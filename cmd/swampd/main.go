@@ -1,0 +1,138 @@
+// Command swampd runs a SWAMP platform as a long-lived daemon: the MQTT
+// broker listens on a real TCP port (external devices and dashboards can
+// connect with any MQTT 3.1.1 client), the simulated pilot devices feed it,
+// and the decision loop runs on a wall-clock cadence. SIGINT shuts down
+// cleanly.
+//
+// Usage:
+//
+//	swampd -pilot intercrop -mode farm-fog -listen 127.0.0.1:1883 -interval 2s
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/core"
+	"github.com/swamp-project/swamp/internal/httpapi"
+)
+
+func main() {
+	var (
+		pilotName = flag.String("pilot", "matopiba", "pilot: matopiba, guaspari, intercrop, cbec")
+		modeName  = flag.String("mode", "farm-fog", "deployment: cloud-only, farm-fog, mobile-fog")
+		listen    = flag.String("listen", "127.0.0.1:1883", "MQTT TCP listen address")
+		httpAddr  = flag.String("http", "127.0.0.1:8026", "HTTP API listen address (empty disables)")
+		interval  = flag.Duration("interval", 2*time.Second, "sensor sampling / decision interval")
+		sealed    = flag.Bool("sealed", false, "enable secchan payload encryption")
+	)
+	flag.Parse()
+	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, *sealed); err != nil {
+		fmt.Fprintln(os.Stderr, "swampd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, sealed bool) error {
+	pilot, err := core.PilotByName(pilotName)
+	if err != nil {
+		return err
+	}
+	var mode core.Mode
+	switch modeName {
+	case "cloud-only":
+		mode = core.ModeCloudOnly
+	case "farm-fog":
+		mode = core.ModeFarmFog
+	case "mobile-fog":
+		mode = core.ModeMobileFog
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	p, err := core.New(core.Options{Pilot: pilot, Mode: mode, Sealed: sealed, Seed: time.Now().UnixNano()})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		if err := p.Broker.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "swampd: broker:", err)
+		}
+	}()
+	if httpAddr != "" {
+		api, err := httpapi.NewServer(httpapi.Config{
+			Context: p.Context, Tokens: p.Tokens, PEP: p.PEP,
+			Analytics: p.Analytics, Metrics: p.Metrics(),
+		})
+		if err != nil {
+			return err
+		}
+		httpLn, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer httpLn.Close()
+		go func() {
+			if err := http.Serve(httpLn, api); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "swampd: http:", err)
+			}
+		}()
+		fmt.Printf("swampd: http API on %s (POST /oauth/token, GET /v2/entities, /healthz, /metrics)\n", httpLn.Addr())
+	}
+	fmt.Printf("swampd: pilot=%s mode=%s mqtt=%s sealed=%v\n", pilot.Name, mode, ln.Addr(), sealed)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	day := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nswampd: shutting down")
+			return nil
+		case at := <-tick.C:
+			// Each tick is one accelerated "day" of the pilot.
+			doy := (pilot.SeasonStartDOY+day-1)%365 + 1
+			wd := p.Weather.Next(doy)
+			p.Station.SetDay(wd)
+			p.Decision.SetSeasonDay(day % pilot.Crop.SeasonDays())
+			if err := p.PumpOnce(at, 5*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "swampd: pump:", err)
+				continue
+			}
+			cmds, err := p.DecideOnce(at)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swampd: decide:", err)
+			}
+			vec, _, err := p.Decision.PrescriptionFromCommands(cmds, p.Field.Grid.NumCells())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swampd: prescription:", err)
+				continue
+			}
+			if _, err := p.Field.StepAll(4, wd.RainMM, vec); err != nil {
+				fmt.Fprintln(os.Stderr, "swampd: soil:", err)
+				continue
+			}
+			mean, min, max := p.Field.MoistureStats()
+			fmt.Printf("day %3d: ctx-entities=%d commands=%d moisture=%.3f [%.3f..%.3f] sessions=%d\n",
+				day, p.Context.EntityCount(), len(cmds), mean, min, max, p.Broker.SessionCount())
+			day++
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package swamp is a from-scratch Go reproduction of the system described
+// in "SWAMP: Smart Water Management Platform Overview and Security
+// Challenges" (Kamienski et al., DSN-W 2018): a FIWARE-style IoT platform
+// for precision irrigation — MQTT device transport, an NGSI context broker,
+// an UltraLight IoT agent, OAuth2/PEP security enablers, payload
+// cryptography, fog computing for offline availability, the four pilots
+// (MATOPIBA VRI pivots, Guaspari deficit drip, Intercrop desalination-aware
+// scheduling, CBEC canal distribution), and the behavioral-baseline anomaly
+// detection the paper names as its central security challenge.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the derived experiment results, and
+// bench_test.go in this directory for the harness that regenerates every
+// experiment row.
+package swamp

@@ -1,0 +1,43 @@
+// MATOPIBA pilot example: run the full soybean season twice on identical
+// heterogeneous soil — Variable Rate Irrigation vs conventional uniform
+// pivot practice — and report the pilot's headline numbers: water volume,
+// pump energy and yield ("save energy used in irrigation", paper §I).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/swamp-project/swamp/internal/core"
+)
+
+func main() {
+	fmt.Println("MATOPIBA pilot: VRI vs conventional uniform pivot (soybean, 120-day season)")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %12s %12s %8s\n", "VARIABILITY", "VRI m3", "UNIFORM m3", "SAVING", "ΔYIELD")
+	for _, variability := range []float64{0.1, 0.2, 0.3, 0.4} {
+		rows, err := core.ExpVRIvsUniform(variability, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vri, uni := rows[0], rows[1]
+		saving := 100 * (1 - vri.WaterM3/uni.WaterM3)
+		fmt.Printf("%-12.1f %12.0f %12.0f %11.1f%% %+8.3f\n",
+			variability, vri.WaterM3, uni.WaterM3, saving, vri.YieldIndex-uni.YieldIndex)
+	}
+	fmt.Println()
+	fmt.Println("The saving grows with soil heterogeneity: uniform practice must size")
+	fmt.Println("every pass for the neediest sector (the paper's 'farmers feed more")
+	fmt.Println("water than is needed' problem), while VRI waters each sector to its")
+	fmt.Println("own requirement. Pump energy scales linearly with volume.")
+
+	rows, err := core.ExpVRIvsUniform(0.3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s water=%6.0f m3  energy=%7.1f kWh  yield=%.3f  stress-days=%.1f\n",
+			r.Strategy, r.WaterM3, r.EnergyKWh, r.YieldIndex, r.StressDays)
+	}
+}

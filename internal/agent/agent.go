@@ -1,0 +1,323 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/mqtt"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/secchan"
+)
+
+// AttrSpec maps one UL short code to a quantity (and measurement depth for
+// soil probes).
+type AttrSpec struct {
+	Quantity model.Quantity
+	Depth    float64
+}
+
+// Provision registers one device with the agent: its descriptor, the NGSI
+// entity it feeds, and its UL attribute dictionary.
+type Provision struct {
+	Desc       model.Descriptor
+	EntityID   string
+	EntityType string
+	// AttrMap maps UL codes ("m", "t") to quantities.
+	AttrMap map[string]AttrSpec
+}
+
+// Validate reports the first problem with the provision record.
+func (p Provision) Validate() error {
+	if err := p.Desc.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.Desc.APIKey == "":
+		return fmt.Errorf("agent: device %s: empty API key", p.Desc.ID)
+	case p.EntityID == "":
+		return fmt.Errorf("agent: device %s: empty entity id", p.Desc.ID)
+	case p.EntityType == "":
+		return fmt.Errorf("agent: device %s: empty entity type", p.Desc.ID)
+	case len(p.AttrMap) == 0 && !p.Desc.Kind.IsActuator():
+		return fmt.Errorf("agent: device %s: empty attribute map", p.Desc.ID)
+	}
+	return nil
+}
+
+// NGSIAttrName is the context attribute name for a spec: the quantity,
+// suffixed with the depth in centimetres for below-ground measurements
+// ("soilMoisture_d20").
+func NGSIAttrName(s AttrSpec) string {
+	if s.Depth > 0 {
+		return fmt.Sprintf("%s_d%d", s.Quantity, int(s.Depth*100+0.5))
+	}
+	return string(s.Quantity)
+}
+
+// Config wires an Agent.
+type Config struct {
+	// Client is the agent's MQTT connection (already connected).
+	Client *mqtt.Client
+	// Context receives decoded measurements.
+	Context *ngsi.Broker
+	// KeyRing, if non-nil, requires every northbound payload to be a valid
+	// secchan envelope (AAD = topic) and protects southbound commands the
+	// same way.
+	KeyRing *secchan.KeyRing
+	// Replay guards sealed traffic; defaults to a fresh guard when KeyRing
+	// is set.
+	Replay *secchan.ReplayGuard
+	// Metrics receives agent counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+	// Logf receives diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the IoT agent. Construct with New, then Start.
+type Agent struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu      sync.RWMutex
+	byID    map[model.DeviceID]*Provision
+	byKeyID map[string]*Provision // apiKey+"/"+deviceID
+	started bool
+}
+
+// Errors surfaced by the agent.
+var (
+	ErrUnknownDevice = errors.New("agent: unknown device")
+	ErrBadAPIKey     = errors.New("agent: api key mismatch")
+)
+
+// New validates the config and builds an agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Client == nil || cfg.Context == nil {
+		return nil, fmt.Errorf("agent: client and context are required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.KeyRing != nil && cfg.Replay == nil {
+		cfg.Replay = secchan.NewReplayGuard()
+	}
+	return &Agent{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		byID:    make(map[model.DeviceID]*Provision),
+		byKeyID: make(map[string]*Provision),
+	}, nil
+}
+
+// Metrics returns the agent's registry.
+func (a *Agent) Metrics() *metrics.Registry { return a.reg }
+
+// Provision registers a device. It may be called before or after Start.
+func (a *Agent) Provision(p Provision) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cp := p
+	cp.AttrMap = make(map[string]AttrSpec, len(p.AttrMap))
+	for k, v := range p.AttrMap {
+		cp.AttrMap[k] = v
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.byID[p.Desc.ID]; dup {
+		return fmt.Errorf("agent: device %s already provisioned", p.Desc.ID)
+	}
+	a.byID[p.Desc.ID] = &cp
+	a.byKeyID[p.Desc.APIKey+"/"+string(p.Desc.ID)] = &cp
+	a.reg.Counter("agent.provisioned").Inc()
+	return nil
+}
+
+// Device returns the provision record for id.
+func (a *Agent) Device(id model.DeviceID) (Provision, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	p := a.byID[id]
+	if p == nil {
+		return Provision{}, fmt.Errorf("%w: %s", ErrUnknownDevice, id)
+	}
+	return *p, nil
+}
+
+// Start subscribes to the northbound topic tree. Call once.
+func (a *Agent) Start() error {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return fmt.Errorf("agent: already started")
+	}
+	a.started = true
+	a.mu.Unlock()
+	_, err := a.cfg.Client.Subscribe(AttrsFilter, 1, a.onMeasure)
+	if err != nil {
+		return fmt.Errorf("agent: subscribe northbound: %w", err)
+	}
+	return nil
+}
+
+// onMeasure handles one northbound MQTT message.
+func (a *Agent) onMeasure(msg mqtt.Message) {
+	apiKey, devID, err := ParseAttrsTopic(msg.Topic)
+	if err != nil {
+		a.reg.Counter("agent.north.badtopic").Inc()
+		return
+	}
+	a.mu.RLock()
+	prov := a.byKeyID[apiKey+"/"+devID]
+	a.mu.RUnlock()
+	if prov == nil {
+		// Unknown device or wrong API key — the unauthorized-node threat
+		// of §III. Count and drop.
+		a.reg.Counter("agent.north.unknown").Inc()
+		return
+	}
+
+	payload := msg.Payload
+	if a.cfg.KeyRing != nil {
+		sender, seq, pt, err := a.cfg.KeyRing.Open(payload, []byte(msg.Topic))
+		if err != nil {
+			a.reg.Counter("agent.north.badseal").Inc()
+			return
+		}
+		if sender != string(prov.Desc.ID) {
+			a.reg.Counter("agent.north.badseal").Inc()
+			return
+		}
+		if err := a.cfg.Replay.Check(sender, seq); err != nil {
+			a.reg.Counter("agent.north.replay").Inc()
+			return
+		}
+		payload = pt
+	}
+
+	values, err := DecodeUL(string(payload))
+	if err != nil {
+		a.reg.Counter("agent.north.baddecode").Inc()
+		return
+	}
+
+	attrs := make(map[string]ngsi.Attribute, len(values))
+	for code, v := range values {
+		spec, ok := prov.AttrMap[code]
+		if !ok {
+			a.reg.Counter("agent.north.unknownattr").Inc()
+			continue
+		}
+		attrs[NGSIAttrName(spec)] = ngsi.Attribute{
+			Type:  "Number",
+			Value: v,
+			Metadata: map[string]string{
+				"device": string(prov.Desc.ID),
+				"owner":  prov.Desc.Owner,
+			},
+		}
+	}
+	if len(attrs) == 0 {
+		return
+	}
+	if err := a.cfg.Context.UpdateAttrs(prov.EntityID, prov.EntityType, attrs); err != nil {
+		a.reg.Counter("agent.north.ctxerr").Inc()
+		a.cfg.Logf("agent: context update for %s: %v", prov.Desc.ID, err)
+		return
+	}
+	a.reg.Counter("agent.north.ok").Inc()
+}
+
+// SendCommand publishes a southbound actuator command over MQTT (QoS 1),
+// sealed when a key ring is configured. The issuer must already be
+// authorized by the PEP — the agent only transports.
+func (a *Agent) SendCommand(cmd model.Command) error {
+	if err := cmd.Validate(); err != nil {
+		return err
+	}
+	a.mu.RLock()
+	prov := a.byID[cmd.Target]
+	a.mu.RUnlock()
+	if prov == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, cmd.Target)
+	}
+	topic := CmdTopic(prov.Desc.APIKey, string(prov.Desc.ID))
+	payload := []byte(EncodeCommand(string(cmd.Target), cmd.Name, cmd.Value))
+	if a.cfg.KeyRing != nil {
+		sealed, err := a.cfg.KeyRing.Seal("agent", payload, []byte(topic))
+		if err != nil {
+			return fmt.Errorf("agent: seal command: %w", err)
+		}
+		payload = sealed
+	}
+	if err := a.cfg.Client.Publish(topic, payload, 1, false); err != nil {
+		a.reg.Counter("agent.south.err").Inc()
+		return fmt.Errorf("agent: command to %s: %w", cmd.Target, err)
+	}
+	a.reg.Counter("agent.south.ok").Inc()
+	return nil
+}
+
+// DeviceSender builds the SendFunc a simulated device uses to transmit its
+// readings: UL-encode against the provision's dictionary, optionally seal,
+// publish QoS 1 to the device's attrs topic over the given client.
+func DeviceSender(prov Provision, client *mqtt.Client, ring *secchan.KeyRing) (func([]model.Reading) error, error) {
+	if err := prov.Validate(); err != nil {
+		return nil, err
+	}
+	// Reverse dictionary: (quantity, depth) -> code.
+	type qd struct {
+		q model.Quantity
+		d int
+	}
+	rev := make(map[qd]string, len(prov.AttrMap))
+	for code, spec := range prov.AttrMap {
+		rev[qd{spec.Quantity, int(spec.Depth*100 + 0.5)}] = code
+	}
+	topic := AttrsTopic(prov.Desc.APIKey, string(prov.Desc.ID))
+
+	return func(readings []model.Reading) error {
+		values := make(map[string]float64, len(readings))
+		for _, r := range readings {
+			code, ok := rev[qd{r.Quantity, int(r.Depth*100 + 0.5)}]
+			if !ok {
+				continue // quantity not in this device's dictionary
+			}
+			values[code] = r.Value
+		}
+		if len(values) == 0 {
+			return nil
+		}
+		payload := []byte(EncodeUL(values))
+		if ring != nil {
+			sealed, err := ring.Seal(string(prov.Desc.ID), payload, []byte(topic))
+			if err != nil {
+				return fmt.Errorf("agent: seal readings: %w", err)
+			}
+			payload = sealed
+		}
+		return client.Publish(topic, payload, 1, false)
+	}, nil
+}
+
+// WaitNorthbound blocks until the agent has processed at least n
+// northbound batches or the timeout elapses; used by integration tests and
+// the scenario runner to synchronize.
+func (a *Agent) WaitNorthbound(n uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if a.reg.Counter("agent.north.ok").Value() >= n {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

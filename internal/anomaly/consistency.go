@@ -1,0 +1,133 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ConsistencyConfig tunes the cross-sensor consistency detector.
+type ConsistencyConfig struct {
+	// MinPeers is the minimum number of other sensors of the same quantity
+	// needed before judging (default 4). Below that, the "partial view"
+	// problem the paper warns about makes cross-checking unreliable.
+	MinPeers int
+	// K is the robust z-score (MAD-based) alarm threshold (default 5).
+	K float64
+	// MinSpread floors the robust scale estimate. With few peers the MAD
+	// is an unstable estimator and can collapse toward zero by chance,
+	// exploding the z-score; set MinSpread to the known sensor noise scale
+	// (e.g. 0.008 m³/m³ for soil probes) to bound false positives.
+	MinSpread float64
+	// Cooldown suppresses repeated alerts per device (default 1m).
+	Cooldown time.Duration
+}
+
+func (c *ConsistencyConfig) defaults() {
+	if c.MinPeers <= 0 {
+		c.MinPeers = 4
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+}
+
+// ConsistencyDetector cross-checks each sensor against the population of
+// sensors measuring the same quantity in the same deployment: a reading far
+// from the robust consensus (median ± K·MAD) is flagged. This catches the
+// §III value-tampering attack even when the attacker keeps the series
+// internally smooth (defeating the per-series EWMA baseline).
+type ConsistencyDetector struct {
+	cfg ConsistencyConfig
+
+	mu        sync.Mutex
+	latest    map[string]map[string]float64 // quantity -> device -> last value
+	lastAlert map[string]time.Time
+}
+
+// NewConsistencyDetector builds a detector.
+func NewConsistencyDetector(cfg ConsistencyConfig) *ConsistencyDetector {
+	cfg.defaults()
+	return &ConsistencyDetector{
+		cfg:       cfg,
+		latest:    make(map[string]map[string]float64),
+		lastAlert: make(map[string]time.Time),
+	}
+}
+
+// Observe feeds one (device, quantity, value) sample.
+func (d *ConsistencyDetector) Observe(device, quantity string, v float64, at time.Time) *Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byDev := d.latest[quantity]
+	if byDev == nil {
+		byDev = make(map[string]float64)
+		d.latest[quantity] = byDev
+	}
+	// Collect peer values (excluding this device) before updating.
+	peers := make([]float64, 0, len(byDev))
+	for dev, pv := range byDev {
+		if dev != device {
+			peers = append(peers, pv)
+		}
+	}
+	byDev[device] = v
+	if len(peers) < d.cfg.MinPeers {
+		return nil
+	}
+	med := median(peers)
+	// 1.4826·MAD ≈ σ for normal data; floor it per config.
+	spread := 1.4826 * medianAbsDev(peers, med)
+	if spread < d.cfg.MinSpread {
+		spread = d.cfg.MinSpread
+	}
+	if spread < 1e-9 {
+		spread = 1e-9
+	}
+	z := math.Abs(v-med) / spread
+	if z <= d.cfg.K {
+		return nil
+	}
+	if at.Sub(d.lastAlert[device]) < d.cfg.Cooldown {
+		return nil
+	}
+	d.lastAlert[device] = at
+	return &Alert{
+		At: at, Kind: "consistency", Device: device, Score: z,
+		Detail: fmt.Sprintf("%s=%.4g vs consensus %.4g (spread %.4g, %d peers)",
+			quantity, v, med, spread, len(peers)),
+	}
+}
+
+// PeerCount returns how many devices currently report quantity.
+func (d *ConsistencyDetector) PeerCount(quantity string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.latest[quantity])
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func medianAbsDev(xs []float64, med float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return median(devs)
+}

@@ -1,0 +1,85 @@
+package anomaly
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSlowPoisonEvadesEWMAButNotConsistency documents the layered-defense
+// rationale: an attacker who drifts a sensor's value slower than the EWMA
+// adaptation rate never trips the per-series baseline (the baseline drifts
+// with the attack), but the cross-sensor consistency check still catches
+// the sensor once it diverges from its honest peers. This is why the
+// engine runs both.
+func TestSlowPoisonEvadesEWMAButNotConsistency(t *testing.T) {
+	ewma := NewEWMADetector(EWMAConfig{})
+	consist := NewConsistencyDetector(ConsistencyConfig{MinPeers: 5, K: 5, MinSpread: 0.008})
+	rng := rand.New(rand.NewSource(9))
+	at := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	// Warm up both detectors with honest traffic.
+	for k := 0; k < 100; k++ {
+		v := 0.25 + rng.NormFloat64()*0.01
+		if a := ewma.Observe("victim", v, at); a != nil {
+			t.Fatalf("false positive during warmup: %+v", a)
+		}
+		for i := 0; i < 8; i++ {
+			consist.Observe(fmt.Sprintf("p%d", i), "m", 0.25+rng.NormFloat64()*0.01, at)
+		}
+		consist.Observe("victim", "m", v, at)
+		at = at.Add(time.Minute)
+	}
+
+	// Slow poison: +0.0005 per sample — far below the 4σ EWMA threshold at
+	// every individual step.
+	var ewmaAlert, consistAlert *Alert
+	drift := 0.0
+	for k := 0; k < 400; k++ {
+		drift += 0.0005
+		v := 0.25 + drift + rng.NormFloat64()*0.01
+		if a := ewma.Observe("victim", v, at); a != nil && ewmaAlert == nil {
+			ewmaAlert = a
+		}
+		for i := 0; i < 8; i++ {
+			consist.Observe(fmt.Sprintf("p%d", i), "m", 0.25+rng.NormFloat64()*0.01, at)
+		}
+		if a := consist.Observe("victim", "m", v, at); a != nil && consistAlert == nil {
+			consistAlert = a
+		}
+		at = at.Add(time.Minute)
+	}
+	if consistAlert == nil {
+		t.Error("consistency layer missed the slow poison entirely")
+	}
+	// The point of the test is the contrast: consistency fires while the
+	// drifted value is still early; EWMA may fire eventually but only
+	// after the divergence is already large.
+	if ewmaAlert != nil && consistAlert != nil && ewmaAlert.At.Before(consistAlert.At) {
+		t.Errorf("EWMA (%v) beat consistency (%v) on a slow drift — unexpected ordering",
+			ewmaAlert.At, consistAlert.At)
+	}
+}
+
+// TestSequenceProfilerPerContext: contexts learn independent baselines.
+func TestSequenceProfilerPerContext(t *testing.T) {
+	p := NewSequenceProfiler()
+	for i := 0; i < 5; i++ {
+		p.Observe("zoneA", "plan", time.Now())
+		p.Observe("zoneA", "command", time.Now())
+		p.Observe("zoneB", "survey", time.Now())
+		p.Observe("zoneB", "report", time.Now())
+	}
+	p.Seal()
+	// zoneB's vocabulary is fine for zoneB...
+	if a := p.Observe("zoneB", "survey", time.Now()); a != nil {
+		t.Errorf("zoneB normal transition flagged: %+v", a)
+	}
+	// Transitions are global per (from,to) pair: "command" -> "survey" was
+	// never learned anywhere, so a cross-vocabulary jump alerts.
+	p.Observe("zoneA", "command", time.Now())
+	if a := p.Observe("zoneA", "report", time.Now()); a == nil {
+		t.Error("unlearned transition not flagged")
+	}
+}

@@ -1,0 +1,79 @@
+package anomaly
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SequenceProfiler learns the expected order of application events — the
+// paper's "understand and correlate the expected sequence of events and
+// behavior of agriculture applications". During a learning phase it records
+// which event transitions occur (e.g. plan → command → flow-rise →
+// moisture-rise); after sealing, transitions never seen in the baseline
+// raise alerts (e.g. flow-rise with no preceding command = hijacked
+// actuator; command at 3am from a new issuer = compromised account).
+type SequenceProfiler struct {
+	mu          sync.Mutex
+	transitions map[string]map[string]int
+	last        map[string]string // per-context previous event
+	sealed      bool
+}
+
+// NewSequenceProfiler starts in learning mode.
+func NewSequenceProfiler() *SequenceProfiler {
+	return &SequenceProfiler{
+		transitions: make(map[string]map[string]int),
+		last:        make(map[string]string),
+	}
+}
+
+// Seal ends the learning phase; subsequent unseen transitions alert.
+func (p *SequenceProfiler) Seal() {
+	p.mu.Lock()
+	p.sealed = true
+	p.mu.Unlock()
+}
+
+// Sealed reports whether learning has ended.
+func (p *SequenceProfiler) Sealed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealed
+}
+
+// Observe feeds one event for a context (a device, a zone, a pilot). In
+// learning mode it extends the baseline and never alerts; sealed, it
+// alerts on transitions with zero baseline support.
+func (p *SequenceProfiler) Observe(context, event string, at time.Time) *Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prev, seen := p.last[context]
+	p.last[context] = event
+	if !seen {
+		prev = "<start>"
+	}
+	if !p.sealed {
+		m := p.transitions[prev]
+		if m == nil {
+			m = make(map[string]int)
+			p.transitions[prev] = m
+		}
+		m[event]++
+		return nil
+	}
+	if p.transitions[prev][event] > 0 {
+		return nil
+	}
+	return &Alert{
+		At: at, Kind: "sequence", Device: context, Score: 1,
+		Detail: fmt.Sprintf("unexpected transition %q → %q", prev, event),
+	}
+}
+
+// TransitionCount returns the learned support for a transition.
+func (p *SequenceProfiler) TransitionCount(from, to string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.transitions[from][to]
+}

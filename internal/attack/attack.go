@@ -1,0 +1,300 @@
+// Package attack implements runnable versions of every threat Section III
+// of the SWAMP paper enumerates: DoS floods against the broker, sensor
+// value tampering (bias / spike / stuck / scale), Sybil swarms of fake
+// identities, passive eavesdropping for commodity-market intelligence,
+// replay of captured envelopes, and rogue actuator commands.
+//
+// Injectors operate through the same interfaces honest components use
+// (publish functions, send functions), so experiments exercise the real
+// pipeline end to end. This package exists to evaluate the platform's
+// defenses — pair every injector with the anomaly/secchan/pep counterpart
+// that detects or blocks it.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/agent"
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// PublishFunc abstracts "publish one MQTT message" so injectors can drive
+// a real client, a broker injection point, or a test recorder.
+type PublishFunc func(topic string, payload []byte) error
+
+// FloodStats reports a DoS run.
+type FloodStats struct {
+	Sent   uint64
+	Errors uint64
+}
+
+// DoSFlooder hammers a topic at a configured rate — the §III
+// denial-of-service attack on sensors/broker capacity.
+type DoSFlooder struct {
+	Publish PublishFunc
+	Topic   string
+	// RatePerSec is the target publish rate (required).
+	RatePerSec float64
+	// PayloadLen is the flood message size (default 64 bytes).
+	PayloadLen int
+}
+
+// Run floods until stop closes or d elapses (whichever first; pass d<=0
+// for stop-only). It returns the stats.
+func (f *DoSFlooder) Run(stop <-chan struct{}, d time.Duration) (FloodStats, error) {
+	if f.Publish == nil || f.Topic == "" || f.RatePerSec <= 0 {
+		return FloodStats{}, fmt.Errorf("attack: flooder needs publish, topic and positive rate")
+	}
+	plen := f.PayloadLen
+	if plen <= 0 {
+		plen = 64
+	}
+	payload := make([]byte, plen)
+	interval := time.Duration(float64(time.Second) / f.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var deadline <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		deadline = t.C
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var stats FloodStats
+	for {
+		select {
+		case <-stop:
+			return stats, nil
+		case <-deadline:
+			return stats, nil
+		case <-tick.C:
+			if err := f.Publish(f.Topic, payload); err != nil {
+				stats.Errors++
+			} else {
+				stats.Sent++
+			}
+		}
+	}
+}
+
+// TamperMode selects how a man-in-the-middle perturbs readings.
+type TamperMode int
+
+// Tamper modes.
+const (
+	// TamperBias adds Param to every value — the slow poison that drags
+	// irrigation decisions off target.
+	TamperBias TamperMode = iota + 1
+	// TamperSpike multiplies occasional values by Param (impulse noise).
+	TamperSpike
+	// TamperStuck freezes the value at the first one seen.
+	TamperStuck
+	// TamperScale multiplies every value by Param.
+	TamperScale
+)
+
+// TamperSender wraps a device's send function with a §III value-tampering
+// MITM. spikeProb applies only to TamperSpike.
+func TamperSender(inner func([]model.Reading) error, mode TamperMode, param, spikeProb float64, seed int64) (func([]model.Reading) error, error) {
+	switch mode {
+	case TamperBias, TamperSpike, TamperStuck, TamperScale:
+	default:
+		return nil, fmt.Errorf("attack: unknown tamper mode %d", mode)
+	}
+	if mode == TamperSpike && (spikeProb <= 0 || spikeProb > 1) {
+		return nil, fmt.Errorf("attack: spike probability %g outside (0,1]", spikeProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	frozen := make(map[model.Quantity]float64)
+	return func(readings []model.Reading) error {
+		out := make([]model.Reading, len(readings))
+		copy(out, readings)
+		mu.Lock()
+		for i := range out {
+			switch mode {
+			case TamperBias:
+				out[i].Value += param
+			case TamperScale:
+				out[i].Value *= param
+			case TamperSpike:
+				if rng.Float64() < spikeProb {
+					out[i].Value *= param
+				}
+			case TamperStuck:
+				if v, ok := frozen[out[i].Quantity]; ok {
+					out[i].Value = v
+				} else {
+					frozen[out[i].Quantity] = out[i].Value
+				}
+			}
+		}
+		mu.Unlock()
+		return inner(out)
+	}, nil
+}
+
+// SybilSwarm fabricates n identities that publish near-identical readings —
+// the fake-sensor / fake-drone attack corrupting NDVI and soil maps.
+type SybilSwarm struct {
+	// IDPrefix names the fake identities ("sybil-0", "sybil-1", …).
+	IDPrefix string
+	// N is the number of identities (required).
+	N int
+	// Publish sends one reading batch for one fake identity.
+	Publish func(deviceID string, readings []model.Reading) error
+	// Value is the fabricated measurement level.
+	Value    float64
+	Quantity model.Quantity
+	// JitterStd adds tiny per-identity noise; a naive attacker uses 0,
+	// a careful one mimics sensor noise. Either way first-seen clustering
+	// plus stream similarity catches the naive case.
+	JitterStd float64
+
+	rng *rand.Rand
+}
+
+// Round publishes one synchronized round of fabricated readings at time at.
+func (s *SybilSwarm) Round(at time.Time) error {
+	if s.N <= 0 || s.Publish == nil {
+		return fmt.Errorf("attack: swarm needs N and publish")
+	}
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(0xDEAD))
+	}
+	base := s.Value
+	for i := 0; i < s.N; i++ {
+		v := base
+		if s.JitterStd > 0 {
+			v += s.rng.NormFloat64() * s.JitterStd
+		}
+		r := model.Reading{
+			Device:   model.DeviceID(fmt.Sprintf("%s-%d", s.IDPrefix, i)),
+			Quantity: s.Quantity,
+			Value:    v,
+			At:       at,
+		}
+		if err := s.Publish(string(r.Device), []model.Reading{r}); err != nil {
+			return fmt.Errorf("attack: sybil %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Eavesdropper passively captures traffic (wire taps, compromised broker,
+// rogue subscriber) and measures how much of it is intelligible — the
+// commodity-market leakage scenario. Feed it with Observe; Analyze reports
+// the exposure.
+type Eavesdropper struct {
+	mu       sync.Mutex
+	captured []capture
+}
+
+type capture struct {
+	topic   string
+	payload []byte
+}
+
+// Observe records one captured frame.
+func (e *Eavesdropper) Observe(topic string, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	e.mu.Lock()
+	e.captured = append(e.captured, capture{topic: topic, payload: cp})
+	e.mu.Unlock()
+}
+
+// Exposure summarises an eavesdropping campaign.
+type Exposure struct {
+	Total int
+	// Intelligible counts payloads that parsed as UltraLight cleartext —
+	// each one leaks crop state to the attacker.
+	Intelligible int
+	// Opaque counts payloads that did not parse (sealed or binary).
+	Opaque int
+}
+
+// Analyze classifies everything captured so far.
+func (e *Eavesdropper) Analyze() Exposure {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	exp := Exposure{Total: len(e.captured)}
+	for _, c := range e.captured {
+		if _, err := agent.DecodeUL(string(c.payload)); err == nil {
+			exp.Intelligible++
+		} else {
+			exp.Opaque++
+		}
+	}
+	return exp
+}
+
+// Captured returns the number of captured frames.
+func (e *Eavesdropper) Captured() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.captured)
+}
+
+// Replayer captures frames and re-publishes them later — the
+// record-and-reinject attack that secchan's sequence window must stop.
+type Replayer struct {
+	mu       sync.Mutex
+	captured []capture
+}
+
+// Capture records a frame for later replay.
+func (r *Replayer) Capture(topic string, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	r.mu.Lock()
+	r.captured = append(r.captured, capture{topic: topic, payload: cp})
+	r.mu.Unlock()
+}
+
+// ReplayAll re-publishes every captured frame through publish, returning
+// how many sends succeeded at the transport level (acceptance at the
+// application layer is what the replay guard decides).
+func (r *Replayer) ReplayAll(publish PublishFunc) (int, error) {
+	if publish == nil {
+		return 0, fmt.Errorf("attack: replayer needs publish")
+	}
+	r.mu.Lock()
+	frames := append([]capture(nil), r.captured...)
+	r.mu.Unlock()
+	n := 0
+	for _, c := range frames {
+		if err := publish(c.topic, c.payload); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// RogueCommander fires actuator commands through whatever command channel
+// the attacker reached (a stolen token, an unprotected agent) — the §III
+// actuator-takeover threat.
+type RogueCommander struct {
+	// Send issues one command (e.g. agent.SendCommand or a PEP-guarded
+	// wrapper — the experiment compares both).
+	Send func(model.Command) error
+	// Issuer is the identity the attacker presents.
+	Issuer string
+}
+
+// OpenEverything commands every target to a destructive full-open state.
+// It returns per-target errors (nil error = the attack got through).
+func (rc *RogueCommander) OpenEverything(targets []model.DeviceID, at time.Time) map[model.DeviceID]error {
+	out := make(map[model.DeviceID]error, len(targets))
+	for _, tgt := range targets {
+		out[tgt] = rc.Send(model.Command{
+			Target: tgt, Name: "open", Value: 1.0, Issuer: rc.Issuer, At: at,
+		})
+	}
+	return out
+}

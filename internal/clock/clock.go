@@ -1,0 +1,112 @@
+// Package clock abstracts time so the platform can run against the wall
+// clock in deployments and against a fast simulated clock in tests,
+// benchmarks and season-long simulations (a 120-day irrigation season must
+// run in milliseconds).
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the platform depends on.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a manually advanced simulated clock. It is safe for concurrent
+// use. Timers fire during Advance in timestamp order.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []simWaiter
+}
+
+type simWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewSim returns a simulated clock starting at start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so Advance
+// never blocks on an abandoned waiter.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, simWaiter{at: s.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing any timers that come due, in
+// order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	// Fire waiters in timestamp order up to target.
+	sort.Slice(s.waiters, func(i, j int) bool { return s.waiters[i].at.Before(s.waiters[j].at) })
+	var rest []simWaiter
+	fired := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.at.After(target) {
+			fired = append(fired, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waiters = rest
+	s.now = target
+	s.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- w.at
+	}
+}
+
+// PendingWaiters returns how many timers are currently registered. Tests
+// use it to synchronize with goroutines that loop on After: advance only
+// once the loop has re-armed its timer.
+func (s *Sim) PendingWaiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Set jumps the clock to t (which must not be in the past of the clock),
+// firing due timers.
+func (s *Sim) Set(t time.Time) {
+	s.mu.Lock()
+	d := t.Sub(s.now)
+	s.mu.Unlock()
+	if d > 0 {
+		s.Advance(d)
+	}
+}

@@ -1,0 +1,97 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSimAdvanceFiresTimers(t *testing.T) {
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+
+	ch1 := s.After(10 * time.Minute)
+	ch2 := s.After(30 * time.Minute)
+
+	s.Advance(15 * time.Minute)
+	select {
+	case at := <-ch1:
+		if want := start.Add(10 * time.Minute); !at.Equal(want) {
+			t.Errorf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("10-minute timer did not fire after 15-minute advance")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("30-minute timer fired early")
+	default:
+	}
+
+	s.Advance(15 * time.Minute)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("30-minute timer did not fire")
+	}
+	if got := s.Now(); !got.Equal(start.Add(30 * time.Minute)) {
+		t.Errorf("Now = %v", got)
+	}
+}
+
+func TestSimAfterNonPositive(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	select {
+	case <-s.After(0):
+	default:
+		t.Error("After(0) did not fire immediately")
+	}
+	select {
+	case <-s.After(-time.Second):
+	default:
+		t.Error("After(negative) did not fire immediately")
+	}
+}
+
+func TestSimSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	s := NewSim(start)
+	ch := s.After(5 * time.Second)
+	s.Set(start.Add(10 * time.Second))
+	select {
+	case <-ch:
+	default:
+		t.Error("Set did not fire due timer")
+	}
+	// Set to the past is a no-op.
+	s.Set(start)
+	if got := s.Now(); !got.Equal(start.Add(10 * time.Second)) {
+		t.Errorf("Set backwards moved the clock to %v", got)
+	}
+}
+
+func TestSimTimersFireInOrder(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	chans := make([]<-chan time.Time, 10)
+	for i := range chans {
+		chans[i] = s.After(time.Duration(10-i) * time.Second) // reverse order
+	}
+	s.Advance(time.Minute)
+	var last time.Time
+	for i := len(chans) - 1; i >= 0; i-- { // chans[9] fires first (1s)
+		at := <-chans[i]
+		if at.Before(last) {
+			t.Fatalf("timers fired out of order: %v before %v", at, last)
+		}
+		last = at
+	}
+}

@@ -1,0 +1,148 @@
+// Package cloud implements the SWAMP cloud services: telemetry ingestion
+// into the historical time-series store, the analytics queries the
+// irrigation optimizer and dashboards consume, and plain-text reporting.
+// In FIWARE terms this is the STH-Comet/QuantumLeap + application-services
+// tier.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// Ingestor persists readings and NGSI notifications into the store.
+type Ingestor struct {
+	store *timeseries.Store
+	reg   *metrics.Registry
+}
+
+// NewIngestor builds an ingestor over store. metricsReg may be nil.
+func NewIngestor(store *timeseries.Store, metricsReg *metrics.Registry) *Ingestor {
+	if metricsReg == nil {
+		metricsReg = metrics.NewRegistry()
+	}
+	return &Ingestor{store: store, reg: metricsReg}
+}
+
+// Metrics returns the ingestor's registry.
+func (i *Ingestor) Metrics() *metrics.Registry { return i.reg }
+
+// IngestReadings appends a batch of device readings.
+func (i *Ingestor) IngestReadings(batch []model.Reading) error {
+	for _, r := range batch {
+		if err := r.Validate(); err != nil {
+			i.reg.Counter("cloud.ingest.invalid").Inc()
+			return fmt.Errorf("cloud: %w", err)
+		}
+		key := timeseries.SeriesKey{Device: string(r.Device), Quantity: quantityKey(r)}
+		if err := i.store.Append(key, timeseries.Point{At: r.At, Value: r.Value}); err != nil {
+			return fmt.Errorf("cloud: %w", err)
+		}
+	}
+	i.reg.Counter("cloud.ingest.readings").Add(uint64(len(batch)))
+	return nil
+}
+
+func quantityKey(r model.Reading) string {
+	if r.Depth > 0 {
+		return fmt.Sprintf("%s_d%d", r.Quantity, int(r.Depth*100+0.5))
+	}
+	return string(r.Quantity)
+}
+
+// NotificationHandler adapts the ingestor to NGSI subscriptions: every
+// numeric attribute in a notification becomes a point in the entity's
+// series. Wire it as the handler of a catch-all subscription.
+func (i *Ingestor) NotificationHandler() ngsi.Handler {
+	return func(n ngsi.Notification) {
+		for name, attr := range n.Entity.Attrs {
+			v, ok := attr.Float()
+			if !ok {
+				continue
+			}
+			at := attr.At
+			if at.IsZero() {
+				at = n.At
+			}
+			key := timeseries.SeriesKey{Device: n.Entity.ID, Quantity: name}
+			if err := i.store.Append(key, timeseries.Point{At: at, Value: v}); err != nil {
+				i.reg.Counter("cloud.ingest.invalid").Inc()
+				continue
+			}
+		}
+		i.reg.Counter("cloud.ingest.notifications").Inc()
+	}
+}
+
+// Analytics answers the queries the optimizer and dashboards need.
+type Analytics struct {
+	store *timeseries.Store
+}
+
+// NewAnalytics builds an analytics facade over store.
+func NewAnalytics(store *timeseries.Store) *Analytics {
+	return &Analytics{store: store}
+}
+
+// Summary aggregates one series over [from, to).
+func (a *Analytics) Summary(device, quantity string, from, to time.Time) timeseries.Aggregate {
+	return a.store.Summarize(timeseries.SeriesKey{Device: device, Quantity: quantity}, from, to)
+}
+
+// Daily returns day-resolution means for a series.
+func (a *Analytics) Daily(device, quantity string, from, to time.Time) ([]timeseries.Point, error) {
+	return a.store.Downsample(timeseries.SeriesKey{Device: device, Quantity: quantity}, from, to, 24*time.Hour)
+}
+
+// Latest returns the freshest value of a series.
+func (a *Analytics) Latest(device, quantity string) (timeseries.Point, bool) {
+	return a.store.Latest(timeseries.SeriesKey{Device: device, Quantity: quantity})
+}
+
+// ReportRow is one line of a field report.
+type ReportRow struct {
+	Device   string
+	Quantity string
+	Agg      timeseries.Aggregate
+}
+
+// FieldReport summarises every series whose device id has the given prefix
+// over [from, to), sorted by (device, quantity).
+func (a *Analytics) FieldReport(devicePrefix string, from, to time.Time) []ReportRow {
+	var rows []ReportRow
+	for _, key := range a.store.Keys() {
+		if !strings.HasPrefix(key.Device, devicePrefix) {
+			continue
+		}
+		agg := a.store.Summarize(key, from, to)
+		if agg.Count == 0 {
+			continue
+		}
+		rows = append(rows, ReportRow{Device: key.Device, Quantity: key.Quantity, Agg: agg})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Device != rows[j].Device {
+			return rows[i].Device < rows[j].Device
+		}
+		return rows[i].Quantity < rows[j].Quantity
+	})
+	return rows
+}
+
+// RenderReport formats rows as an aligned text table.
+func RenderReport(rows []ReportRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-22s %8s %10s %10s %10s\n", "DEVICE", "QUANTITY", "N", "MIN", "MEAN", "MAX")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-22s %8d %10.3f %10.3f %10.3f\n",
+			r.Device, r.Quantity, r.Agg.Count, r.Agg.Min, r.Agg.Mean, r.Agg.Max)
+	}
+	return b.String()
+}

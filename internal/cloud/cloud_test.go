@@ -1,0 +1,132 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestIngestReadings(t *testing.T) {
+	store := timeseries.New()
+	ing := NewIngestor(store, nil)
+	batch := []model.Reading{
+		{Device: "p1", Quantity: model.QSoilMoisture, Value: 0.2, Depth: 0.2, At: t0},
+		{Device: "p1", Quantity: model.QSoilMoisture, Value: 0.3, Depth: 0.5, At: t0},
+		{Device: "ws", Quantity: model.QAirTemp, Value: 28, At: t0},
+	}
+	if err := ing.IngestReadings(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Depth separates series.
+	if got := store.Len(timeseries.SeriesKey{Device: "p1", Quantity: "soilMoisture_d20"}); got != 1 {
+		t.Errorf("d20 points = %d", got)
+	}
+	if got := store.Len(timeseries.SeriesKey{Device: "p1", Quantity: "soilMoisture_d50"}); got != 1 {
+		t.Errorf("d50 points = %d", got)
+	}
+	if err := ing.IngestReadings([]model.Reading{{}}); err == nil {
+		t.Error("invalid reading accepted")
+	}
+	if ing.Metrics().Counter("cloud.ingest.readings").Value() != 3 {
+		t.Error("ingest counter wrong")
+	}
+}
+
+func TestNotificationHandler(t *testing.T) {
+	store := timeseries.New()
+	ing := NewIngestor(store, nil)
+	ctx := ngsi.NewBroker(ngsi.BrokerConfig{})
+	defer ctx.Close()
+	if _, err := ctx.Subscribe(ngsi.Subscription{
+		EntityIDPattern: "*",
+		Handler:         ing.NotificationHandler(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx.UpdateAttrs("urn:plot:1", "AgriParcel", map[string]ngsi.Attribute{
+		"soilMoisture_d20": {Type: "Number", Value: 0.22, At: t0},
+		"label":            {Type: "Text", Value: "north plot", At: t0}, // non-numeric: skipped
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	key := timeseries.SeriesKey{Device: "urn:plot:1", Quantity: "soilMoisture_d20"}
+	for time.Now().Before(deadline) && store.Len(key) == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if store.Len(key) != 1 {
+		t.Fatal("notification not persisted")
+	}
+	if store.Len(timeseries.SeriesKey{Device: "urn:plot:1", Quantity: "label"}) != 0 {
+		t.Error("non-numeric attribute persisted")
+	}
+}
+
+func seedStore(t *testing.T) *timeseries.Store {
+	t.Helper()
+	store := timeseries.New()
+	ing := NewIngestor(store, nil)
+	for day := 0; day < 3; day++ {
+		for h := 0; h < 24; h++ {
+			at := t0.Add(time.Duration(day*24+h) * time.Hour)
+			err := ing.IngestReadings([]model.Reading{
+				{Device: "farm1-p1", Quantity: model.QSoilMoisture, Value: 0.2 + float64(day)*0.01, At: at},
+				{Device: "farm1-ws", Quantity: model.QAirTemp, Value: 25, At: at},
+				{Device: "farm2-p9", Quantity: model.QSoilMoisture, Value: 0.4, At: at},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return store
+}
+
+func TestAnalyticsQueries(t *testing.T) {
+	store := seedStore(t)
+	a := NewAnalytics(store)
+
+	agg := a.Summary("farm1-p1", "soilMoisture", t0, t0.Add(72*time.Hour))
+	if agg.Count != 72 {
+		t.Errorf("summary count = %d", agg.Count)
+	}
+	daily, err := a.Daily("farm1-p1", "soilMoisture", t0, t0.Add(72*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(daily) != 3 {
+		t.Fatalf("daily windows = %d", len(daily))
+	}
+	if !(daily[0].Value < daily[2].Value) {
+		t.Errorf("daily trend lost: %v", daily)
+	}
+	if _, ok := a.Latest("farm1-p1", "soilMoisture"); !ok {
+		t.Error("latest missing")
+	}
+	if _, ok := a.Latest("ghost", "x"); ok {
+		t.Error("latest for unknown series")
+	}
+}
+
+func TestFieldReportFiltersAndSorts(t *testing.T) {
+	store := seedStore(t)
+	a := NewAnalytics(store)
+	rows := a.FieldReport("farm1-", t0, t0.Add(72*time.Hour))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Device != "farm1-p1" || rows[1].Device != "farm1-ws" {
+		t.Errorf("order: %s, %s", rows[0].Device, rows[1].Device)
+	}
+	text := RenderReport(rows)
+	if !strings.Contains(text, "farm1-p1") || !strings.Contains(text, "soilMoisture") {
+		t.Errorf("report:\n%s", text)
+	}
+	if strings.Contains(text, "farm2") {
+		t.Error("report leaked other farm's devices")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// Drone stress input lowers the trigger for the stressed sector only: a
+// depletion level below the normal trigger fires once the sector shows
+// NDVI stress.
+func TestNDVIStressLowersTrigger(t *testing.T) {
+	e, err := NewDecisionEngine(PilotMATOPIBA, mustGrid(t), map[model.DeviceID]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Now()
+	// Choose a moisture level between 0.8×RAW-trigger and 0.9×RAW-trigger:
+	// below the normal trigger, above the stress-lowered one.
+	dep := 0.85 * e.cfg.TriggerFrac * e.rawMM
+	theta := PilotMATOPIBA.Soil.FieldCapacity - dep/(1000*PilotMATOPIBA.Crop.RootDepthM)
+	latest := map[string]model.Reading{
+		"p0/soilMoisture_d20": {Device: "p0", Quantity: "soilMoisture_d20", Value: theta, At: at},
+	}
+
+	// Without stress input: silent.
+	if cmds := e.Decide(latest, at); len(cmds) != 0 {
+		t.Fatalf("fired below trigger without stress input: %v", cmds)
+	}
+	// Mark sector 5's cells stressed.
+	e.SetNDVIStressCells(e.layout.CellsOfSector(5))
+	cmds := e.Decide(latest, at)
+	if len(cmds) != 1 {
+		t.Fatalf("stressed decide issued %d commands, want 1", len(cmds))
+	}
+	if want := model.DeviceID("matopiba-pivot-s05"); cmds[0].Target != want {
+		t.Errorf("command target %s, want %s", cmds[0].Target, want)
+	}
+}
+
+func TestSetNDVIStressIgnoredForZonePilots(t *testing.T) {
+	e, err := NewDecisionEngine(PilotIntercrop, mustGrid(t), map[model.DeviceID]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetNDVIStressCells([]int{1, 2, 3}) // must not panic or change state
+	if e.ndviStress != nil {
+		t.Error("zone pilot stored NDVI stress")
+	}
+}
+
+func TestPrescriptionFromCommandsErrors(t *testing.T) {
+	e, err := NewDecisionEngine(PilotMATOPIBA, mustGrid(t), map[model.DeviceID]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := PilotMATOPIBA.GridRows * PilotMATOPIBA.GridCols
+	bad := []model.Command{{Target: "matopiba-pivot-s99", Name: "setRate", Value: 5}}
+	if _, _, err := e.PrescriptionFromCommands(bad, n); err == nil {
+		t.Error("out-of-range sector accepted")
+	}
+	unknown := []model.Command{{Target: "mystery-device", Name: "setRate", Value: 5}}
+	if _, _, err := e.PrescriptionFromCommands(unknown, n); err == nil {
+		t.Error("unknown target accepted")
+	}
+	// Zero-value and non-setRate commands are ignored, not errors.
+	noop := []model.Command{
+		{Target: "matopiba-valve", Name: "close", Value: 0},
+		{Target: "matopiba-pivot-s01", Name: "setRate", Value: 0},
+	}
+	vec, vol, err := e.PrescriptionFromCommands(noop, n)
+	if err != nil || vol != 0 {
+		t.Errorf("noop commands: vol=%g err=%v", vol, err)
+	}
+	for _, v := range vec {
+		if v != 0 {
+			t.Fatal("noop commands watered cells")
+		}
+	}
+}
+
+func TestStageSupplySchedule(t *testing.T) {
+	e, err := NewDecisionEngine(PilotGuaspari, mustGrid(t), map[model.DeviceID]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crop := PilotGuaspari.Crop
+	// Establishment: full supply.
+	e.SetSeasonDay(0)
+	if got := e.stageSupply(); got != 1.0 {
+		t.Errorf("initial stage supply = %g", got)
+	}
+	// Mid-season: deficit.
+	e.SetSeasonDay(crop.StageDays[0] + crop.StageDays[1] + 1)
+	if got := e.stageSupply(); got != 0.6 {
+		t.Errorf("mid stage supply = %g", got)
+	}
+	// Past season: late fraction.
+	e.SetSeasonDay(crop.SeasonDays() + 10)
+	if got := e.stageSupply(); got != 0.8 {
+		t.Errorf("late stage supply = %g", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package core composes the SWAMP platform — the paper's contribution. It
+// wires the substrates (MQTT transport, IoT agent, NGSI context broker,
+// security GEs, anomaly engine, fog node, cloud services, irrigation
+// controllers) into one deployable system, defines the four pilots of the
+// paper's §I, and provides the deployment configurations (§I: "smart
+// algorithms and analytics in the cloud, fog-based smart decisions located
+// on the farm premises and possibly mobile fog nodes acting in the field")
+// plus the season-scale scenario runner the experiments build on.
+package core
+
+import (
+	"fmt"
+
+	"github.com/swamp-project/swamp/internal/irrigation"
+	"github.com/swamp-project/swamp/internal/soil"
+	"github.com/swamp-project/swamp/internal/weather"
+)
+
+// IrrigationKind selects a pilot's actuation method.
+type IrrigationKind int
+
+// Irrigation kinds across the pilots.
+const (
+	// IrrigationVRIPivot: center pivot with per-sector variable rate
+	// (MATOPIBA).
+	IrrigationVRIPivot IrrigationKind = iota + 1
+	// IrrigationDrip: threshold-refill drip (Intercrop).
+	IrrigationDrip
+	// IrrigationDeficitDrip: regulated-deficit drip (Guaspari).
+	IrrigationDeficitDrip
+	// IrrigationCanal: district canal distribution (CBEC).
+	IrrigationCanal
+)
+
+// Pilot is one deployment site: climate, crop, soil, geometry and goals.
+type Pilot struct {
+	Name    string
+	Goal    string
+	Climate weather.Climate
+	Crop    soil.Crop
+	Soil    soil.Profile
+	// SoilVariability is the spatial heterogeneity amplitude (drives VRI
+	// benefit).
+	SoilVariability float64
+	// GridRows/GridCols/CellSizeM define the field raster.
+	GridRows, GridCols int
+	CellSizeM          float64
+	// Probes is how many soil probes instrument the field.
+	Probes int
+	// Irrigation selects the actuation method.
+	Irrigation IrrigationKind
+	// Sectors is the VRI sector count (pivot pilots).
+	Sectors int
+	// Pump models the pressurizing pump (energy accounting).
+	Pump irrigation.PumpModel
+	// SeasonStartDOY anchors the crop season in the climate year.
+	SeasonStartDOY int
+}
+
+// Validate reports the first problem with the pilot definition.
+func (p Pilot) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("core: unnamed pilot")
+	case p.GridRows <= 0 || p.GridCols <= 0 || p.CellSizeM <= 0:
+		return fmt.Errorf("core: pilot %s: bad grid %dx%d@%g", p.Name, p.GridRows, p.GridCols, p.CellSizeM)
+	case p.Probes <= 0:
+		return fmt.Errorf("core: pilot %s: needs probes", p.Name)
+	case p.Irrigation == 0:
+		return fmt.Errorf("core: pilot %s: no irrigation kind", p.Name)
+	case p.Irrigation == IrrigationVRIPivot && p.Sectors <= 0:
+		return fmt.Errorf("core: pilot %s: VRI needs sectors", p.Name)
+	case p.SeasonStartDOY < 1 || p.SeasonStartDOY > 365:
+		return fmt.Errorf("core: pilot %s: season start DOY %d", p.Name, p.SeasonStartDOY)
+	}
+	if err := p.Crop.Validate(); err != nil {
+		return fmt.Errorf("core: pilot %s: %w", p.Name, err)
+	}
+	if err := p.Soil.Validate(); err != nil {
+		return fmt.Errorf("core: pilot %s: %w", p.Name, err)
+	}
+	if err := p.Pump.Validate(); err != nil {
+		return fmt.Errorf("core: pilot %s: %w", p.Name, err)
+	}
+	return nil
+}
+
+// The four SWAMP pilots (§I of the paper).
+var (
+	// PilotMATOPIBA: VRI on center pivots for soybean; save water and
+	// energy (the paper's "main pilot goal").
+	PilotMATOPIBA = Pilot{
+		Name:            "matopiba",
+		Goal:            "variable-rate irrigation on center pivots; save water and energy",
+		Climate:         weather.ClimateMATOPIBA,
+		Crop:            soil.CropSoybean,
+		Soil:            soil.ProfileSandyLoam,
+		SoilVariability: 0.3,
+		GridRows:        24, GridCols: 24, CellSizeM: 25,
+		Probes:         12,
+		Irrigation:     IrrigationVRIPivot,
+		Sectors:        24,
+		Pump:           irrigation.PumpModel{HeadM: 60, Efficiency: 0.7},
+		SeasonStartDOY: 135, // dry-season soybean under irrigation
+	}
+	// PilotGuaspari: winter wine grapes under regulated deficit; goal is
+	// wine quality.
+	PilotGuaspari = Pilot{
+		Name:            "guaspari",
+		Goal:            "winter-harvest wine grapes; improve wine quality via RDI",
+		Climate:         weather.ClimateGuaspari,
+		Crop:            soil.CropWineGrape,
+		Soil:            soil.ProfileClayLoam,
+		SoilVariability: 0.2,
+		GridRows:        16, GridCols: 16, CellSizeM: 20,
+		Probes:         8,
+		Irrigation:     IrrigationDeficitDrip,
+		Pump:           irrigation.PumpModel{HeadM: 40, Efficiency: 0.65},
+		SeasonStartDOY: 32, // prune in February, harvest in winter
+	}
+	// PilotIntercrop: semi-arid vegetables partly on desalinated water;
+	// goal is rational water use.
+	PilotIntercrop = Pilot{
+		Name:            "intercrop",
+		Goal:            "rational water use with desalinated supply",
+		Climate:         weather.ClimateIntercrop,
+		Crop:            soil.CropLettuce,
+		Soil:            soil.ProfileSand,
+		SoilVariability: 0.15,
+		GridRows:        12, GridCols: 12, CellSizeM: 15,
+		Probes:         6,
+		Irrigation:     IrrigationDrip,
+		Pump:           irrigation.PumpModel{HeadM: 35, Efficiency: 0.7},
+		SeasonStartDOY: 60,
+	}
+	// PilotCBEC: maize in the Emilia district fed by canals; goal is
+	// optimized distribution.
+	PilotCBEC = Pilot{
+		Name:            "cbec",
+		Goal:            "optimize canal water distribution to farms",
+		Climate:         weather.ClimateCBEC,
+		Crop:            soil.CropMaizeSilage,
+		Soil:            soil.ProfileLoam,
+		SoilVariability: 0.2,
+		GridRows:        16, GridCols: 16, CellSizeM: 30,
+		Probes:         8,
+		Irrigation:     IrrigationCanal,
+		Pump:           irrigation.PumpModel{HeadM: 20, Efficiency: 0.75},
+		SeasonStartDOY: 115,
+	}
+)
+
+// Pilots lists the built-in pilots.
+func Pilots() []Pilot {
+	return []Pilot{PilotMATOPIBA, PilotGuaspari, PilotIntercrop, PilotCBEC}
+}
+
+// PilotByName finds a built-in pilot.
+func PilotByName(name string) (Pilot, error) {
+	for _, p := range Pilots() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pilot{}, fmt.Errorf("core: unknown pilot %q (have matopiba, guaspari, intercrop, cbec)", name)
+}

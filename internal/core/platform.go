@@ -1,0 +1,686 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/agent"
+	"github.com/swamp-project/swamp/internal/anomaly"
+	"github.com/swamp-project/swamp/internal/cloud"
+	"github.com/swamp-project/swamp/internal/drone"
+	"github.com/swamp-project/swamp/internal/fog"
+	"github.com/swamp-project/swamp/internal/irrigation"
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/mqtt"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/identity"
+	"github.com/swamp-project/swamp/internal/security/oauth"
+	"github.com/swamp-project/swamp/internal/security/pep"
+	"github.com/swamp-project/swamp/internal/security/secchan"
+	"github.com/swamp-project/swamp/internal/sensor"
+	"github.com/swamp-project/swamp/internal/simnet"
+	"github.com/swamp-project/swamp/internal/soil"
+	"github.com/swamp-project/swamp/internal/timeseries"
+	"github.com/swamp-project/swamp/internal/weather"
+)
+
+// Mode selects the paper's deployment configuration (§I).
+type Mode int
+
+// Deployment modes.
+const (
+	// ModeCloudOnly: decisions run in the cloud; every loop crosses the
+	// backhaul, so a partition stalls irrigation.
+	ModeCloudOnly Mode = iota + 1
+	// ModeFarmFog: a fog node on the farm premises decides locally and
+	// syncs telemetry opportunistically.
+	ModeFarmFog
+	// ModeMobileFog: farm fog plus mobile fog (drone NDVI) inputs.
+	ModeMobileFog
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCloudOnly:
+		return "cloud-only"
+	case ModeFarmFog:
+		return "farm-fog"
+	case ModeMobileFog:
+		return "mobile-fog"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Backhaul models the farm↔cloud Internet path: a latency plus a
+// partition switch. Both the fog sync and cloud-mode decision loops cross
+// it.
+type Backhaul struct {
+	mu          sync.Mutex
+	partitioned bool
+	latency     time.Duration
+	trips       uint64
+	failures    uint64
+}
+
+// NewBackhaul builds a backhaul with one-way latency lat.
+func NewBackhaul(lat time.Duration) *Backhaul {
+	return &Backhaul{latency: lat}
+}
+
+// ErrPartitioned is returned for traffic during a partition.
+var ErrPartitioned = errors.New("core: backhaul partitioned")
+
+// Do executes one round trip: it fails during partitions and otherwise
+// charges 2× latency before invoking f.
+func (b *Backhaul) Do(f func() error) error {
+	b.mu.Lock()
+	down := b.partitioned
+	lat := b.latency
+	b.mu.Unlock()
+	if down {
+		b.mu.Lock()
+		b.failures++
+		b.mu.Unlock()
+		return ErrPartitioned
+	}
+	if lat > 0 {
+		time.Sleep(2 * lat)
+	}
+	b.mu.Lock()
+	b.trips++
+	b.mu.Unlock()
+	return f()
+}
+
+// SetPartitioned cuts or heals the backhaul.
+func (b *Backhaul) SetPartitioned(p bool) {
+	b.mu.Lock()
+	b.partitioned = p
+	b.mu.Unlock()
+}
+
+// Partitioned reports the current state.
+func (b *Backhaul) Partitioned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.partitioned
+}
+
+// Trips returns (successful round trips, failures).
+func (b *Backhaul) Trips() (uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.failures
+}
+
+// Options configures a Platform.
+type Options struct {
+	Pilot Pilot
+	Mode  Mode
+	// Seed drives every stochastic component deterministically.
+	Seed int64
+	// Sealed turns on secchan payload encryption end to end.
+	Sealed bool
+	// BackhaulLatency is the one-way farm↔cloud latency (default 20ms;
+	// use 0 in unit tests).
+	BackhaulLatency time.Duration
+	// DeviceLink impairs the device→broker links (default perfect).
+	DeviceLink simnet.Config
+	// Metrics receives all component counters; nil allocates one.
+	Metrics *metrics.Registry
+}
+
+// Platform is one fully wired SWAMP deployment.
+type Platform struct {
+	Opts Options
+
+	// Transport and context plane.
+	Broker  *mqtt.Broker
+	Context *ngsi.Broker
+	Agent   *agent.Agent
+
+	// Security plane (§III).
+	IDM     *identity.Store
+	Tokens  *oauth.Server
+	PDP     *pep.PDP
+	PEP     *pep.PEP
+	KeyRing *secchan.KeyRing
+	Anomaly *anomaly.Engine
+
+	// Cloud plane.
+	Store     *timeseries.Store
+	Ingestor  *cloud.Ingestor
+	Analytics *cloud.Analytics
+	Backhaul  *Backhaul
+
+	// Farm plane.
+	Fog       *fog.Node
+	Actuators *irrigation.ActuatorBank
+	Field     *soil.Field
+	Weather   *weather.Generator
+	Station   *sensor.WeatherStation
+	Probes    []*ProbeUnit
+	Decision  *DecisionEngine
+
+	reg       *metrics.Registry
+	cleanups  []func()
+	closed    bool
+	mu        sync.Mutex
+	droneUnit *drone.Drone
+}
+
+// ProbeUnit bundles one provisioned soil probe with its transport.
+type ProbeUnit struct {
+	Probe  *sensor.SoilProbe
+	Prov   agent.Provision
+	Client *mqtt.Client
+	Send   func([]model.Reading) error
+	Cell   int
+}
+
+// New wires a complete platform for the pilot. Close releases everything.
+func New(opts Options) (*Platform, error) {
+	if err := opts.Pilot.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Mode == 0 {
+		opts.Mode = ModeFarmFog
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	p := &Platform{Opts: opts, reg: opts.Metrics}
+
+	// --- security plane ---
+	p.IDM = identity.NewStore()
+	p.Tokens = oauth.NewServer(p.IDM, oauth.Config{})
+	owner := opts.Pilot.Name
+	p.PDP = pep.NewPDP(
+		pep.Policy{
+			ID:              "farmer-own-data",
+			Roles:           []identity.Role{identity.RoleFarmer, identity.RoleAgronomist},
+			Owners:          []string{owner},
+			Actions:         []string{"read", "subscribe"},
+			ResourcePattern: "ngsi:urn:swamp:" + owner + ":*",
+			Effect:          pep.Permit,
+		},
+		pep.Policy{
+			ID:              "farmer-commands",
+			Roles:           []identity.Role{identity.RoleFarmer},
+			Owners:          []string{owner},
+			Actions:         []string{"command"},
+			ResourcePattern: "actuator:" + owner + ":*",
+			Effect:          pep.Permit,
+		},
+		pep.Policy{
+			ID:      "services-full",
+			Roles:   []identity.Role{identity.RoleService},
+			Actions: []string{"read", "subscribe", "command"},
+			Effect:  pep.Permit,
+		},
+	)
+	p.PEP = pep.NewPEP(p.Tokens, p.PDP, p.reg)
+	if err := p.IDM.Register(identity.Principal{
+		ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: owner,
+	}, "farmer-secret"); err != nil {
+		return nil, err
+	}
+	if err := p.IDM.Register(identity.Principal{
+		ID: "svc-irrigation", Roles: []identity.Role{identity.RoleService}, Owner: owner,
+	}, "svc-secret"); err != nil {
+		return nil, err
+	}
+	if opts.Sealed {
+		p.KeyRing = secchan.NewKeyRing()
+		if _, err := p.KeyRing.Generate("agent"); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- anomaly engine, fed by the broker tap and context notifications ---
+	p.Anomaly = anomaly.NewEngine(anomaly.EngineConfig{
+		Rate: anomaly.RateConfig{Window: 5 * time.Second, LimitPerSec: 50},
+		// Heterogeneous soil makes honest probes genuinely disagree, so
+		// the cross-sensor check needs a generous spread floor here; the
+		// per-series EWMA carries the fine-grained tamper detection.
+		Consistency: anomaly.ConsistencyConfig{MinPeers: 4, K: 8, MinSpread: 0.02},
+		// Honest probes carry ≥0.004 m³/m³ instrument noise, so their
+		// pairwise streams differ by ~0.006 on average; only fabricated
+		// replicas fall under this epsilon.
+		Sybil:   anomaly.SybilConfig{SimilarityEps: 0.002, MinSamples: 6},
+		Sink:    func(anomaly.Alert) {},
+		Metrics: p.reg,
+	})
+
+	// --- transport plane ---
+	p.Broker = mqtt.NewBroker(mqtt.BrokerConfig{
+		Metrics: p.reg,
+		ACL:     p.brokerACL,
+	})
+	p.Broker.Tap = p.Anomaly.OnMessage
+	p.cleanups = append(p.cleanups, p.Broker.Close)
+
+	// --- context plane ---
+	p.Context = ngsi.NewBroker(ngsi.BrokerConfig{Metrics: p.reg})
+	p.cleanups = append(p.cleanups, p.Context.Close)
+
+	// --- cloud plane ---
+	p.Store = timeseries.New(timeseries.WithMaxPointsPerSeries(100_000))
+	p.Ingestor = cloud.NewIngestor(p.Store, p.reg)
+	p.Analytics = cloud.NewAnalytics(p.Store)
+	lat := opts.BackhaulLatency
+	p.Backhaul = NewBackhaul(lat)
+
+	// Context → anomaly + cloud persistence. In fog modes the fog node
+	// forwards telemetry instead, so the context subscription only feeds
+	// anomaly detection there.
+	if _, err := p.Context.Subscribe(ngsi.Subscription{
+		ID:              "platform-telemetry",
+		EntityIDPattern: "*",
+		Handler:         p.onContextNotification,
+	}); err != nil {
+		return nil, err
+	}
+
+	// --- IoT agent ---
+	agentClient, err := p.dial("iot-agent")
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.Agent, err = agent.New(agent.Config{
+		Client: agentClient, Context: p.Context, KeyRing: p.KeyRing, Metrics: p.reg,
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	if err := p.Agent.Start(); err != nil {
+		p.Close()
+		return nil, err
+	}
+
+	// --- farm plane: field, weather, devices ---
+	grid, err := model.NewFieldGrid(
+		model.GeoPoint{Lat: opts.Pilot.Climate.LatitudeDeg, Lon: -45},
+		opts.Pilot.GridRows, opts.Pilot.GridCols, opts.Pilot.CellSizeM)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.Field, err = soil.NewHeterogeneousField(grid, opts.Pilot.Crop, opts.Pilot.Soil,
+		opts.Pilot.SoilVariability, opts.Seed)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.Weather, err = weather.NewGenerator(opts.Pilot.Climate, opts.Seed+1)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.Actuators = irrigation.NewActuatorBank()
+
+	if err := p.provisionDevices(); err != nil {
+		p.Close()
+		return nil, err
+	}
+
+	// --- decision engine + fog ---
+	p.Decision, err = NewDecisionEngine(opts.Pilot, p.Field.Grid, p.probeCells())
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	if opts.Mode != ModeCloudOnly {
+		p.Fog, err = fog.NewNode(fog.Config{
+			Uplink:   p.cloudUplink,
+			Decide:   p.Decision.Decide,
+			Commands: p.applyCommand,
+			Metrics:  p.reg,
+		})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// brokerACL restricts devices to their own topics; infrastructure clients
+// are unrestricted. This is the transport-level arm of the §III access
+// control story.
+func (p *Platform) brokerACL(clientID, topic string, write bool) bool {
+	switch clientID {
+	case "iot-agent", "fog", "cloud", "platform", "bench":
+		return true
+	}
+	apiKey, devID, err := agent.ParseAttrsTopic(topic)
+	if err == nil {
+		_ = apiKey
+		return write && devID == clientID
+	}
+	// Command topics: only the device itself may subscribe.
+	if k, d, ok := parseCmdTopic(topic); ok {
+		_ = k
+		return !write && d == clientID
+	}
+	return false
+}
+
+func parseCmdTopic(topic string) (apiKey, dev string, ok bool) {
+	// topic = ul/<key>/<dev>/cmd
+	parts := splitTopic(topic)
+	if len(parts) == 4 && parts[0] == "ul" && parts[3] == "cmd" {
+		return parts[1], parts[2], true
+	}
+	return "", "", false
+}
+
+func splitTopic(t string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(t); i++ {
+		if t[i] == '/' {
+			parts = append(parts, t[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, t[start:])
+}
+
+// dial connects an infrastructure client to the platform broker over a
+// perfect in-memory link.
+func (p *Platform) dial(clientID string) (*mqtt.Client, error) {
+	ct, st, cleanup, err := mqtt.NewSimPair(simnet.Config{}, clientID)
+	if err != nil {
+		return nil, err
+	}
+	p.Broker.AttachTransport(st)
+	c, err := mqtt.Connect(ct, mqtt.ClientConfig{ClientID: clientID, KeepAlive: 0})
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("core: dial %s: %w", clientID, err)
+	}
+	p.cleanups = append(p.cleanups, func() { c.Close(); cleanup() })
+	return c, nil
+}
+
+// DialDevice connects a (possibly impaired) device client — also used by
+// attack injectors to join as rogue devices.
+func (p *Platform) DialDevice(clientID string, link simnet.Config) (*mqtt.Client, error) {
+	ct, st, cleanup, err := mqtt.NewSimPair(link, clientID)
+	if err != nil {
+		return nil, err
+	}
+	p.Broker.AttachTransport(st)
+	c, err := mqtt.Connect(ct, mqtt.ClientConfig{ClientID: clientID})
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("core: dial device %s: %w", clientID, err)
+	}
+	p.mu.Lock()
+	p.cleanups = append(p.cleanups, func() { c.Close(); cleanup() })
+	p.mu.Unlock()
+	return c, nil
+}
+
+// provisionDevices creates the pilot's probes and weather station,
+// registers them with IDM, agent and (optionally) the key ring.
+func (p *Platform) provisionDevices() error {
+	pilot := p.Opts.Pilot
+	n := p.Field.Grid.NumCells()
+	stride := n / pilot.Probes
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < pilot.Probes; i++ {
+		cell := (i*stride + stride/2) % n
+		id := fmt.Sprintf("%s-probe-%02d", pilot.Name, i)
+		desc := model.Descriptor{
+			ID: model.DeviceID(id), Kind: model.KindSoilProbe, Owner: pilot.Name,
+			Location: cellCenter(p.Field.Grid, cell),
+			Depths:   []float64{0.2, 0.5},
+			APIKey:   "swamp-" + pilot.Name,
+		}
+		prov := agent.Provision{
+			Desc:       desc,
+			EntityID:   fmt.Sprintf("urn:swamp:%s:probe:%02d", pilot.Name, i),
+			EntityType: "SoilProbe",
+			AttrMap: map[string]agent.AttrSpec{
+				"m1": {Quantity: model.QSoilMoisture, Depth: 0.2},
+				"m2": {Quantity: model.QSoilMoisture, Depth: 0.5},
+			},
+		}
+		if err := p.Agent.Provision(prov); err != nil {
+			return err
+		}
+		if err := p.IDM.Register(identity.Principal{
+			ID: id, Roles: []identity.Role{identity.RoleDevice}, Owner: pilot.Name,
+		}, "device-"+id); err != nil {
+			return err
+		}
+		if p.KeyRing != nil {
+			if _, err := p.KeyRing.Generate(id); err != nil {
+				return err
+			}
+		}
+		probe, err := sensor.NewSoilProbe(desc, p.Field, cell, 0.004, p.Opts.Seed+int64(i)+10)
+		if err != nil {
+			return err
+		}
+		client, err := p.DialDevice(id, p.Opts.DeviceLink)
+		if err != nil {
+			return err
+		}
+		send, err := agent.DeviceSender(prov, client, p.KeyRing)
+		if err != nil {
+			return err
+		}
+		p.Probes = append(p.Probes, &ProbeUnit{Probe: probe, Prov: prov, Client: client, Send: send, Cell: cell})
+	}
+
+	// Weather station.
+	wsID := pilot.Name + "-ws"
+	wsDesc := model.Descriptor{
+		ID: model.DeviceID(wsID), Kind: model.KindWeatherStation, Owner: pilot.Name,
+		APIKey: "swamp-" + pilot.Name,
+	}
+	ws, err := sensor.NewWeatherStation(wsDesc, p.Opts.Seed+99)
+	if err != nil {
+		return err
+	}
+	p.Station = ws
+	return nil
+}
+
+func cellCenter(g model.FieldGrid, idx int) model.GeoPoint {
+	r, c := g.CellRC(idx)
+	return g.CellCenter(r, c)
+}
+
+// probeCells maps probe device id → field cell.
+func (p *Platform) probeCells() map[model.DeviceID]int {
+	out := make(map[model.DeviceID]int, len(p.Probes))
+	for _, u := range p.Probes {
+		out[u.Prov.Desc.ID] = u.Cell
+	}
+	return out
+}
+
+// onContextNotification feeds anomaly detection (always) and, in cloud-only
+// mode, persists through the backhaul (fog forwards otherwise).
+func (p *Platform) onContextNotification(n ngsi.Notification) {
+	for name, attr := range n.Entity.Attrs {
+		v, ok := attr.Float()
+		if !ok {
+			continue
+		}
+		dev := attr.Metadata["device"]
+		if dev == "" {
+			dev = n.Entity.ID
+		}
+		at := attr.At
+		if at.IsZero() {
+			at = n.At
+		}
+		p.Anomaly.OnReading(model.Reading{
+			Device: model.DeviceID(dev), Quantity: model.Quantity(name), Value: v, At: at,
+		})
+	}
+	defer p.reg.Counter("platform.notify.processed").Inc()
+	if p.Opts.Mode == ModeCloudOnly {
+		_ = p.Backhaul.Do(func() error {
+			p.Ingestor.NotificationHandler()(n)
+			return nil
+		})
+	} else if p.Fog != nil {
+		// Fog ingests the decoded readings for local decisions + sync.
+		var batch []model.Reading
+		for name, attr := range n.Entity.Attrs {
+			v, ok := attr.Float()
+			if !ok {
+				continue
+			}
+			dev := attr.Metadata["device"]
+			if dev == "" {
+				dev = n.Entity.ID
+			}
+			at := attr.At
+			if at.IsZero() {
+				at = n.At
+			}
+			batch = append(batch, model.Reading{
+				Device: model.DeviceID(dev), Quantity: model.Quantity(name), Value: v, At: at,
+			})
+		}
+		_ = p.Fog.Ingest(batch)
+	}
+}
+
+// cloudUplink is the fog node's northbound path: a backhaul round trip
+// into the cloud ingestor.
+func (p *Platform) cloudUplink(batch []model.Reading) error {
+	return p.Backhaul.Do(func() error {
+		return p.Ingestor.IngestReadings(batch)
+	})
+}
+
+// applyCommand journals a decision into the actuator bank and the anomaly
+// sequence profiler.
+func (p *Platform) applyCommand(c model.Command) error {
+	p.Anomaly.OnEvent("decision-loop", "command:"+c.Name, c.At)
+	return p.Actuators.Apply(c)
+}
+
+// PumpOnce drives one full northbound cycle: every probe samples and
+// publishes over MQTT, and the call blocks until the agent has processed
+// the batches (or the timeout expires).
+func (p *Platform) PumpOnce(at time.Time, timeout time.Duration) error {
+	before := p.reg.Counter("agent.north.ok").Value()
+	for _, u := range p.Probes {
+		readings, err := u.Probe.Sample(at)
+		if err != nil {
+			return err
+		}
+		if err := u.Send(readings); err != nil {
+			return fmt.Errorf("core: probe %s publish: %w", u.Prov.Desc.ID, err)
+		}
+	}
+	want := before + uint64(len(p.Probes))
+	if !p.Agent.WaitNorthbound(want, timeout) {
+		return fmt.Errorf("core: northbound pipeline incomplete (%d/%d)",
+			p.reg.Counter("agent.north.ok").Value()-before, len(p.Probes))
+	}
+	return nil
+}
+
+// WaitPipeline blocks until the mode-appropriate downstream (fog ingest or
+// cloud persistence) has processed at least n notification batches, making
+// Pump→Decide cycles deterministic. It reports whether the target was
+// reached before the timeout.
+func (p *Platform) WaitPipeline(n uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.reg.Counter("platform.notify.processed").Value() >= n {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// DecideOnce runs one decision cycle appropriate to the deployment mode
+// and returns the issued commands. In cloud-only mode the loop crosses the
+// backhaul twice (state fetch + command push) and therefore fails during
+// partitions; in fog modes it is local and always available.
+func (p *Platform) DecideOnce(at time.Time) ([]model.Command, error) {
+	p.Anomaly.OnEvent("decision-loop", "plan", at)
+	switch p.Opts.Mode {
+	case ModeCloudOnly:
+		var cmds []model.Command
+		err := p.Backhaul.Do(func() error { // fetch state
+			latest := p.cloudLatest()
+			cmds = p.Decision.Decide(latest, at)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cmds {
+			if err := p.Backhaul.Do(func() error { return p.applyCommand(c) }); err != nil {
+				return cmds, err
+			}
+		}
+		return cmds, nil
+	default:
+		if p.Fog == nil {
+			return nil, errors.New("core: fog node missing")
+		}
+		return p.Fog.RunDecision(at)
+	}
+}
+
+// cloudLatest reconstructs the latest-readings view from the cloud store.
+func (p *Platform) cloudLatest() map[string]model.Reading {
+	out := make(map[string]model.Reading)
+	for _, key := range p.Store.Keys() {
+		pt, ok := p.Store.Latest(key)
+		if !ok {
+			continue
+		}
+		out[key.Device+"/"+key.Quantity] = model.Reading{
+			Device:   model.DeviceID(key.Device),
+			Quantity: model.Quantity(key.Quantity),
+			Value:    pt.Value,
+			At:       pt.At,
+		}
+	}
+	return out
+}
+
+// Metrics returns the shared registry.
+func (p *Platform) Metrics() *metrics.Registry { return p.reg }
+
+// Close tears the platform down in reverse construction order.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	cleanups := p.cleanups
+	p.cleanups = nil
+	p.mu.Unlock()
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+}

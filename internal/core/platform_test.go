@@ -1,0 +1,313 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/mqtt"
+	"github.com/swamp-project/swamp/internal/simnet"
+)
+
+var t0 = time.Date(2026, 6, 1, 6, 0, 0, 0, time.UTC)
+
+func newPlatform(t *testing.T, pilot Pilot, mode Mode, sealed bool) *Platform {
+	t.Helper()
+	p, err := New(Options{Pilot: pilot, Mode: mode, Seed: 7, Sealed: sealed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPilotDefinitionsValid(t *testing.T) {
+	for _, p := range Pilots() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("pilot %s: %v", p.Name, err)
+		}
+	}
+	if _, err := PilotByName("matopiba"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PilotByName("atlantis"); err == nil {
+		t.Error("unknown pilot accepted")
+	}
+	bad := PilotMATOPIBA
+	bad.Sectors = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("VRI pilot without sectors accepted")
+	}
+}
+
+func TestPlatformConstructionAllPilotsAndModes(t *testing.T) {
+	for _, pilot := range Pilots() {
+		for _, mode := range []Mode{ModeCloudOnly, ModeFarmFog, ModeMobileFog} {
+			p := newPlatform(t, pilot, mode, false)
+			if len(p.Probes) != pilot.Probes {
+				t.Errorf("%s/%s: %d probes, want %d", pilot.Name, mode, len(p.Probes), pilot.Probes)
+			}
+			if mode != ModeCloudOnly && p.Fog == nil {
+				t.Errorf("%s/%s: fog node missing", pilot.Name, mode)
+			}
+			if mode == ModeCloudOnly && p.Fog != nil {
+				t.Errorf("%s/%s: unexpected fog node", pilot.Name, mode)
+			}
+		}
+	}
+}
+
+func TestPumpOnceReachesContextAndCloud(t *testing.T) {
+	p := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	if err := p.PumpOnce(t0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Context entities exist.
+	entities := p.Context.QueryEntities("urn:swamp:matopiba:probe:*", "")
+	if len(entities) != PilotMATOPIBA.Probes {
+		t.Fatalf("context has %d probe entities", len(entities))
+	}
+	if _, ok := entities[0].Attrs["soilMoisture_d20"]; !ok {
+		t.Errorf("entity attrs: %v", entities[0].AttrNames())
+	}
+	// Fog has a local view and forwarded to the cloud store.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(p.Store.Keys()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(p.Fog.Latest()) == 0 {
+		t.Error("fog latest view empty")
+	}
+	if len(p.Store.Keys()) == 0 {
+		t.Error("cloud store empty after pump")
+	}
+}
+
+func TestPumpOnceCloudMode(t *testing.T) {
+	p := newPlatform(t, PilotIntercrop, ModeCloudOnly, false)
+	if err := p.PumpOnce(t0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(p.Store.Keys()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(p.Store.Keys()) == 0 {
+		t.Fatal("cloud-only mode did not persist telemetry")
+	}
+}
+
+func TestFogDecisionIssuesCommands(t *testing.T) {
+	p := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	dryField(p)
+	if err := p.PumpOnce(t0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for fog ingest (async through context notifications).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(p.Fog.Latest()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmds, err := p.DecideOnce(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("dry field produced no irrigation commands")
+	}
+	for _, c := range cmds {
+		if c.Name != "setRate" || c.Value <= 0 || c.Value > 20 {
+			t.Errorf("command %+v", c)
+		}
+	}
+	// Commands land in the actuator journal.
+	if len(p.Actuators.Journal()) != len(cmds) {
+		t.Errorf("journal %d vs commands %d", len(p.Actuators.Journal()), len(cmds))
+	}
+	vec, vol, err := p.Decision.PrescriptionFromCommands(cmds, p.Field.Grid.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol <= 0 {
+		t.Error("no volume")
+	}
+	wet := 0
+	for _, v := range vec {
+		if v > 0 {
+			wet++
+		}
+	}
+	if wet == 0 {
+		t.Error("prescription waters nothing")
+	}
+}
+
+// The availability experiment in miniature: a partition stalls cloud-mode
+// decisions but not fog-mode ones.
+func TestPartitionAvailabilityContrast(t *testing.T) {
+	cloudP := newPlatform(t, PilotMATOPIBA, ModeCloudOnly, false)
+	fogP := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	for _, p := range []*Platform{cloudP, fogP} {
+		dryField(p)
+		if err := p.PumpOnce(t0, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(fogP.Fog.Latest()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Sanity: both decide fine while connected.
+	if _, err := cloudP.DecideOnce(t0); err != nil {
+		t.Fatalf("cloud decide online: %v", err)
+	}
+	if _, err := fogP.DecideOnce(t0); err != nil {
+		t.Fatalf("fog decide online: %v", err)
+	}
+
+	// Cut the Internet.
+	cloudP.Backhaul.SetPartitioned(true)
+	fogP.Backhaul.SetPartitioned(true)
+
+	if _, err := cloudP.DecideOnce(t0.Add(time.Hour)); err == nil {
+		t.Error("cloud-only decisions survived a partition (should fail)")
+	}
+	cmds, err := fogP.DecideOnce(t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("fog decisions failed during partition: %v", err)
+	}
+	if len(cmds) == 0 {
+		t.Error("fog issued no commands during partition despite dry field")
+	}
+
+	// Heal; fog syncs its backlog.
+	fogP.Backhaul.SetPartitioned(false)
+	if err := fogP.PumpOnce(t0.Add(2*time.Hour), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fogP.Fog.Flush()
+	if st := fogP.Fog.Stats(); st.Buffered != 0 {
+		t.Errorf("fog backlog not drained: %+v", st)
+	}
+}
+
+func TestSealedPlatformEndToEnd(t *testing.T) {
+	p := newPlatform(t, PilotIntercrop, ModeFarmFog, true)
+	if err := p.PumpOnce(t0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metrics().Counter("agent.north.ok").Value(); got != uint64(PilotIntercrop.Probes) {
+		t.Errorf("sealed northbound ok = %d", got)
+	}
+	if bad := p.Metrics().Counter("agent.north.badseal").Value(); bad != 0 {
+		t.Errorf("badseal = %d", bad)
+	}
+}
+
+func TestBrokerACLBlocksRogueDevice(t *testing.T) {
+	p := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	rogue, err := p.DialDevice("rogue-node", simnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rogue publishes to another device's attrs topic: dropped by ACL.
+	if err := rogue.Publish("ul/swamp-matopiba/matopiba-probe-00/attrs", []byte("m1|0.01"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := p.Metrics().Counter("mqtt.publish.denied").Value(); got == 0 {
+		t.Error("rogue publish not denied")
+	}
+	// Rogue cannot subscribe to another device's command topic.
+	if _, err := rogue.Subscribe("ul/swamp-matopiba/matopiba-probe-00/cmd", 0, func(mqtt.Message) {}); err == nil {
+		t.Error("rogue subscribed to another device's command topic")
+	}
+}
+
+func TestPEPGuardsPlatformResources(t *testing.T) {
+	p := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	tok, err := p.Tokens.GrantPassword("matopiba-farmer", "farmer-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PEP.Authorize(tok.Value, "read", "ngsi:urn:swamp:matopiba:probe:01"); err != nil {
+		t.Errorf("farmer read own data: %v", err)
+	}
+	if _, err := p.PEP.Authorize(tok.Value, "read", "ngsi:urn:swamp:guaspari:probe:01"); err == nil {
+		t.Error("cross-pilot read permitted")
+	}
+	if _, err := p.PEP.Authorize(tok.Value, "command", "actuator:matopiba:valve"); err != nil {
+		t.Errorf("farmer command own actuator: %v", err)
+	}
+	svc, _ := p.Tokens.GrantClientCredentials("svc-irrigation", "svc-secret")
+	if _, err := p.PEP.Authorize(svc.Value, "command", "actuator:matopiba:pivot-s01"); err != nil {
+		t.Errorf("service command: %v", err)
+	}
+}
+
+func TestDecisionEngineEstimates(t *testing.T) {
+	e, err := NewDecisionEngine(PilotMATOPIBA, mustGrid(t), map[model.DeviceID]int{"p0": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At field capacity: zero depletion. Far below: clamped to TAW.
+	if d := e.estimateDepletion(PilotMATOPIBA.Soil.FieldCapacity); d != 0 {
+		t.Errorf("depletion at FC = %g", d)
+	}
+	if d := e.estimateDepletion(0.0); d != e.tawMM {
+		t.Errorf("depletion at zero = %g, want TAW %g", d, e.tawMM)
+	}
+	// Wet view → no commands.
+	latest := map[string]model.Reading{
+		"p0/soilMoisture_d20": {Device: "p0", Quantity: "soilMoisture_d20", Value: PilotMATOPIBA.Soil.FieldCapacity, At: t0},
+	}
+	if cmds := e.Decide(latest, t0); len(cmds) != 0 {
+		t.Errorf("wet field commands: %v", cmds)
+	}
+	// Dry view → commands for every sector (global fallback).
+	latest["p0/soilMoisture_d20"] = model.Reading{Device: "p0", Quantity: "soilMoisture_d20", Value: 0.05, At: t0}
+	cmds := e.Decide(latest, t0)
+	if len(cmds) != PilotMATOPIBA.Sectors {
+		t.Errorf("dry field commands = %d, want %d", len(cmds), PilotMATOPIBA.Sectors)
+	}
+}
+
+func mustGrid(t *testing.T) model.FieldGrid {
+	t.Helper()
+	g, err := model.NewFieldGrid(model.GeoPoint{Lat: -12, Lon: -45}, PilotMATOPIBA.GridRows, PilotMATOPIBA.GridCols, PilotMATOPIBA.CellSizeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunSeasonMATOPIBAFog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("season simulation is long")
+	}
+	p := newPlatform(t, PilotMATOPIBA, ModeFarmFog, false)
+	rep, err := p.RunSeason(SeasonHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Days != PilotMATOPIBA.Crop.SeasonDays() {
+		t.Errorf("days = %d", rep.Days)
+	}
+	if rep.IrrigationMM <= 0 {
+		t.Error("season applied no water")
+	}
+	if rep.EnergyKWh <= 0 {
+		t.Error("no energy accounted")
+	}
+	if rep.YieldIndex < 0.7 {
+		t.Errorf("irrigated yield %.3f too low", rep.YieldIndex)
+	}
+	if rep.DecisionFailures != 0 {
+		t.Errorf("decision failures = %d", rep.DecisionFailures)
+	}
+	if !strings.Contains(rep.String(), "pilot=matopiba") {
+		t.Error("report rendering broken")
+	}
+}

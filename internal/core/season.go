@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/irrigation"
+	"github.com/swamp-project/swamp/internal/soil"
+)
+
+// SeasonReport aggregates one simulated irrigation season end to end —
+// the platform-level rows the experiments print.
+type SeasonReport struct {
+	Pilot string
+	Mode  string
+	Days  int
+
+	// Field-mean water fluxes, mm.
+	IrrigationMM float64
+	RainMM       float64
+	ET0MM        float64
+	ETcMM        float64
+	DeepPercMM   float64
+
+	// Volume and energy over the whole field.
+	WaterM3   float64
+	EnergyKWh float64
+
+	// Outcome indices.
+	YieldIndex   float64
+	QualityIndex float64 // RDI pilots
+	StressDays   float64
+
+	// Decision-loop availability.
+	DecisionCycles   int
+	DecisionFailures int
+	CommandsIssued   int
+
+	// Security: alerts seen during the season, by kind.
+	Alerts map[string]int
+}
+
+// String renders the report as aligned text.
+func (r *SeasonReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pilot=%s mode=%s days=%d\n", r.Pilot, r.Mode, r.Days)
+	fmt.Fprintf(&b, "  water: irrigation=%.1fmm rain=%.1fmm et0=%.1fmm etc=%.1fmm percolation=%.1fmm\n",
+		r.IrrigationMM, r.RainMM, r.ET0MM, r.ETcMM, r.DeepPercMM)
+	fmt.Fprintf(&b, "  volume=%.0fm3 energy=%.1fkWh\n", r.WaterM3, r.EnergyKWh)
+	fmt.Fprintf(&b, "  yield=%.3f quality=%.3f stress-days=%.1f\n", r.YieldIndex, r.QualityIndex, r.StressDays)
+	fmt.Fprintf(&b, "  decisions=%d failures=%d commands=%d\n", r.DecisionCycles, r.DecisionFailures, r.CommandsIssued)
+	if len(r.Alerts) > 0 {
+		fmt.Fprintf(&b, "  alerts=%v\n", r.Alerts)
+	}
+	return b.String()
+}
+
+// SeasonHooks lets experiments intervene in the daily loop.
+type SeasonHooks struct {
+	// OnDay runs before day d (0-based) is simulated.
+	OnDay func(day int, p *Platform)
+	// PumpTimeout bounds the northbound wait per day (default 5s).
+	PumpTimeout time.Duration
+}
+
+// RunSeason simulates the pilot's full crop season through the real
+// platform pipeline: every day the weather advances, probes publish over
+// MQTT, the agent updates context, the mode-appropriate decision loop
+// issues commands, and the soil responds. It returns the season report.
+func (p *Platform) RunSeason(hooks SeasonHooks) (*SeasonReport, error) {
+	if hooks.PumpTimeout <= 0 {
+		hooks.PumpTimeout = 5 * time.Second
+	}
+	pilot := p.Opts.Pilot
+	days := pilot.Crop.SeasonDays()
+	report := &SeasonReport{Pilot: pilot.Name, Mode: p.Opts.Mode.String(), Days: days}
+	at := time.Date(2026, 1, 1, 6, 0, 0, 0, time.UTC).AddDate(0, 0, pilot.SeasonStartDOY-1)
+	expectedNotifications := p.reg.Counter("platform.notify.processed").Value()
+
+	for day := 0; day < days; day++ {
+		if hooks.OnDay != nil {
+			hooks.OnDay(day, p)
+		}
+		p.Decision.SetSeasonDay(day)
+		doy := (pilot.SeasonStartDOY+day-1)%365 + 1
+		wd := p.Weather.Next(doy)
+		p.Station.SetDay(wd)
+
+		et0, err := soil.ET0PenmanMonteith(soil.ET0Input{
+			TminC: wd.TminC, TmaxC: wd.TmaxC, RHMeanPct: wd.RHMeanPct,
+			WindMS: wd.WindMS, SolarMJ: wd.SolarMJ,
+			LatitudeDeg: pilot.Climate.LatitudeDeg, AltitudeM: pilot.Climate.AltitudeM,
+			DOY: doy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: day %d: %w", day, err)
+		}
+
+		// Northbound: sensors → MQTT → agent → context (→ fog/cloud).
+		if err := p.PumpOnce(at, hooks.PumpTimeout); err != nil {
+			return nil, fmt.Errorf("core: day %d: %w", day, err)
+		}
+		// Wait for the async context→fog/cloud tail so every decision sees
+		// today's readings (deterministic seasons).
+		expectedNotifications += uint64(len(p.Probes))
+		if !p.WaitPipeline(expectedNotifications, hooks.PumpTimeout) {
+			return nil, fmt.Errorf("core: day %d: pipeline tail incomplete", day)
+		}
+
+		// Decision loop.
+		report.DecisionCycles++
+		cmds, err := p.DecideOnce(at)
+		if err != nil {
+			// Unavailable (e.g. cloud mode during a partition): the crop
+			// gets no water today. That is the availability experiment.
+			report.DecisionFailures++
+			cmds = nil
+		}
+		report.CommandsIssued += len(cmds)
+
+		vec, volume, err := p.Decision.PrescriptionFromCommands(cmds, p.Field.Grid.NumCells())
+		if err != nil {
+			return nil, fmt.Errorf("core: day %d: %w", day, err)
+		}
+		report.WaterM3 += volume
+		report.EnergyKWh += pilot.Pump.EnergyKWh(volume)
+
+		if _, err := p.Field.StepAll(et0, wd.RainMM, vec); err != nil {
+			return nil, fmt.Errorf("core: day %d: %w", day, err)
+		}
+		at = at.Add(24 * time.Hour)
+	}
+
+	tot := p.Field.FieldTotals()
+	report.IrrigationMM = tot.Irrigation
+	report.RainMM = tot.Rain
+	report.ET0MM = tot.ET0
+	report.ETcMM = tot.ETc
+	report.DeepPercMM = tot.DeepPerc
+	report.StressDays = tot.StressDays
+	report.YieldIndex = p.Field.MeanYieldIndex()
+	if pilot.Irrigation == IrrigationDeficitDrip {
+		report.QualityIndex = meanQuality(p.Field)
+	}
+	report.Alerts = p.Anomaly.CountByKind()
+	return report, nil
+}
+
+func meanQuality(f *soil.Field) float64 {
+	sum := 0.0
+	for _, c := range f.Cells {
+		sum += irrigation.WineQualityIndex(c)
+	}
+	return sum / float64(len(f.Cells))
+}

@@ -1,0 +1,131 @@
+// Package drone simulates the mobile fog nodes of the SWAMP architecture:
+// survey drones that overfly a field, capture red/near-infrared imagery and
+// compute NDVI (Normalized Difference Vegetation Index) maps on board. The
+// paper's §III singles out fake drone imagery (Sybil nodes) corrupting NDVI
+// as a concrete threat; this package provides both the honest pipeline and
+// the hooks the attack package perturbs.
+package drone
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/soil"
+)
+
+// Image is a single-band raster over a field grid.
+type Image struct {
+	Grid   model.FieldGrid
+	Pixels []float64 // reflectance 0..1, row-major
+}
+
+// NDVIMap is a computed vegetation-index raster.
+type NDVIMap struct {
+	Grid   model.FieldGrid
+	Values []float64 // -1..1
+	Device model.DeviceID
+	At     time.Time
+}
+
+// Drone is a survey drone. Construct with New.
+type Drone struct {
+	Desc     model.Descriptor
+	NoiseStd float64 // per-pixel reflectance noise
+	rng      *rand.Rand
+}
+
+// New validates and builds a drone.
+func New(desc model.Descriptor, noiseStd float64, seed int64) (*Drone, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if desc.Kind != model.KindDrone {
+		return nil, fmt.Errorf("drone: %s is %v, not a drone", desc.ID, desc.Kind)
+	}
+	if noiseStd < 0 {
+		return nil, fmt.Errorf("drone: negative noise")
+	}
+	return &Drone{Desc: desc, NoiseStd: noiseStd, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Survey overflies the field and captures red + NIR imagery. Canopy
+// reflectance is driven by the true crop state: healthy, unstressed canopy
+// absorbs red and reflects NIR strongly; stressed or sparse canopy the
+// reverse — the standard spectral response NDVI exploits.
+func (d *Drone) Survey(field *soil.Field, at time.Time) (red, nir Image, err error) {
+	n := field.Grid.NumCells()
+	red = Image{Grid: field.Grid, Pixels: make([]float64, n)}
+	nir = Image{Grid: field.Grid, Pixels: make([]float64, n)}
+	for i, cell := range field.Cells {
+		// Canopy density from the Kc curve (proxy for ground cover), vigor
+		// from the stress coefficient.
+		kc := cell.Crop().Kc(cell.Day())
+		cover := clamp((kc-0.2)/1.0, 0, 1)
+		vigor := cell.Ks()
+		health := cover * vigor
+
+		r := 0.30 - 0.22*health + d.rng.NormFloat64()*d.NoiseStd
+		ir := 0.15 + 0.45*health + d.rng.NormFloat64()*d.NoiseStd
+		red.Pixels[i] = clamp(r, 0.01, 1)
+		nir.Pixels[i] = clamp(ir, 0.01, 1)
+	}
+	return red, nir, nil
+}
+
+// ComputeNDVI derives the NDVI raster from a red/NIR pair.
+func ComputeNDVI(red, nir Image, device model.DeviceID, at time.Time) (*NDVIMap, error) {
+	if len(red.Pixels) != len(nir.Pixels) {
+		return nil, fmt.Errorf("drone: band size mismatch %d vs %d", len(red.Pixels), len(nir.Pixels))
+	}
+	if red.Grid != nir.Grid {
+		return nil, fmt.Errorf("drone: band grids differ")
+	}
+	out := &NDVIMap{Grid: red.Grid, Values: make([]float64, len(red.Pixels)), Device: device, At: at}
+	for i := range red.Pixels {
+		den := nir.Pixels[i] + red.Pixels[i]
+		if den <= 0 {
+			out.Values[i] = 0
+			continue
+		}
+		out.Values[i] = (nir.Pixels[i] - red.Pixels[i]) / den
+	}
+	return out, nil
+}
+
+// SurveyNDVI is the full onboard pipeline: capture then compute.
+func (d *Drone) SurveyNDVI(field *soil.Field, at time.Time) (*NDVIMap, error) {
+	red, nir, err := d.Survey(field, at)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeNDVI(red, nir, d.Desc.ID, at)
+}
+
+// Mean returns the map's mean NDVI.
+func (m *NDVIMap) Mean() float64 {
+	if len(m.Values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range m.Values {
+		s += v
+	}
+	return s / float64(len(m.Values))
+}
+
+// StressCells returns indices whose NDVI falls below threshold — the cells
+// an agronomist would scout (or the VRI planner would prioritize).
+func (m *NDVIMap) StressCells(threshold float64) []int {
+	var out []int
+	for i, v := range m.Values {
+		if v < threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }

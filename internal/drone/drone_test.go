@@ -1,0 +1,139 @@
+package drone
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/soil"
+)
+
+func droneDesc() model.Descriptor {
+	return model.Descriptor{ID: "drone-1", Kind: model.KindDrone, Owner: "farm"}
+}
+
+func midSeasonField(t *testing.T, stressSector bool) *soil.Field {
+	t.Helper()
+	grid, err := model.NewFieldGrid(model.GeoPoint{Lat: -12, Lon: -45}, 10, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := soil.NewHeterogeneousField(grid, soil.CropSoybean, soil.ProfileLoam, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance everyone to mid-season, well watered.
+	for day := 0; day < 60; day++ {
+		for _, c := range f.Cells {
+			c.Step(5, 0, 5)
+		}
+	}
+	if stressSector {
+		// Drought the first two rows only.
+		for idx := 0; idx < 20; idx++ {
+			for day := 0; day < 40; day++ {
+				f.Cells[idx].Step(7, 0, 0)
+			}
+		}
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(droneDesc(), 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := droneDesc()
+	bad.Kind = model.KindSoilProbe
+	if _, err := New(bad, 0.01, 1); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := New(droneDesc(), -0.1, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestHealthyFieldHighNDVI(t *testing.T) {
+	d, _ := New(droneDesc(), 0.01, 2)
+	f := midSeasonField(t, false)
+	m, err := d.SurveyNDVI(f, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := m.Mean(); mean < 0.5 {
+		t.Errorf("healthy mid-season NDVI %.2f, want >= 0.5", mean)
+	}
+	for _, v := range m.Values {
+		if v < -1 || v > 1 {
+			t.Fatalf("NDVI %.2f outside [-1,1]", v)
+		}
+	}
+}
+
+func TestStressShowsInNDVI(t *testing.T) {
+	d, _ := New(droneDesc(), 0.01, 3)
+	f := midSeasonField(t, true)
+	m, err := d.SurveyNDVI(f, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stressed, healthy float64
+	for i, v := range m.Values {
+		if i < 20 {
+			stressed += v / 20
+		} else {
+			healthy += v / 80
+		}
+	}
+	if stressed >= healthy-0.1 {
+		t.Errorf("stressed rows NDVI %.2f should sit well below healthy %.2f", stressed, healthy)
+	}
+	// StressCells should pick up (mostly) the droughted rows.
+	cut := (stressed + healthy) / 2
+	cells := m.StressCells(cut)
+	if len(cells) < 10 {
+		t.Fatalf("found only %d stressed cells", len(cells))
+	}
+	inFirstRows := 0
+	for _, c := range cells {
+		if c < 20 {
+			inFirstRows++
+		}
+	}
+	if float64(inFirstRows)/float64(len(cells)) < 0.8 {
+		t.Errorf("stress localization poor: %d/%d in droughted rows", inFirstRows, len(cells))
+	}
+}
+
+func TestComputeNDVIValidation(t *testing.T) {
+	g, _ := model.NewFieldGrid(model.GeoPoint{}, 2, 2, 10)
+	g2, _ := model.NewFieldGrid(model.GeoPoint{}, 4, 1, 10)
+	red := Image{Grid: g, Pixels: []float64{0.1, 0.1, 0.1, 0.1}}
+	nirShort := Image{Grid: g, Pixels: []float64{0.5}}
+	if _, err := ComputeNDVI(red, nirShort, "d", time.Now()); err == nil {
+		t.Error("mismatched band sizes accepted")
+	}
+	nirWrongGrid := Image{Grid: g2, Pixels: []float64{0.5, 0.5, 0.5, 0.5}}
+	if _, err := ComputeNDVI(red, nirWrongGrid, "d", time.Now()); err == nil {
+		t.Error("mismatched grids accepted")
+	}
+	nir := Image{Grid: g, Pixels: []float64{0.5, 0.5, 0.5, 0.5}}
+	m, err := ComputeNDVI(red, nir, "d", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 - 0.1) / (0.5 + 0.1)
+	for _, v := range m.Values {
+		if math.Abs(v-want) > 1e-9 {
+			t.Errorf("NDVI %.3f, want %.3f", v, want)
+		}
+	}
+}
+
+func TestMeanEmptyMap(t *testing.T) {
+	m := NDVIMap{}
+	if m.Mean() != 0 {
+		t.Error("empty map mean != 0")
+	}
+}

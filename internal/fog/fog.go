@@ -1,0 +1,229 @@
+// Package fog implements the SWAMP farm-premises fog node. The paper's
+// availability requirement (§III: "the availability of the platform must be
+// provided even in case of Internet disconnections using local components
+// (fog computing) to keep the platform running properly") maps to three
+// responsibilities implemented here:
+//
+//  1. keep the freshest field state locally (LatestStore),
+//  2. keep making irrigation decisions and driving local actuators while
+//     the backhaul is down (RunDecision), and
+//  3. buffer northbound telemetry in a bounded store-and-forward queue and
+//     sync it to the cloud when connectivity returns (Flush).
+package fog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// UplinkFunc forwards one batch of readings to the cloud. It returns an
+// error while the backhaul is down — the node treats any error as
+// "partitioned, retry later".
+type UplinkFunc func([]model.Reading) error
+
+// DecisionFunc computes irrigation commands from the node's latest local
+// view. It is invoked on the fog node, so it works during disconnections.
+type DecisionFunc func(latest map[string]model.Reading, at time.Time) []model.Command
+
+// CommandSink applies a command to a local actuator.
+type CommandSink func(model.Command) error
+
+// Config wires a Node.
+type Config struct {
+	// Uplink forwards batches cloudward (required).
+	Uplink UplinkFunc
+	// Decide computes local decisions; nil disables the decision loop.
+	Decide DecisionFunc
+	// Commands applies decisions to local actuators; required when Decide
+	// is set.
+	Commands CommandSink
+	// QueueCap bounds the store-and-forward queue in batches (default
+	// 4096). When full, the OLDEST batch is dropped — fresh state matters
+	// more for irrigation than stale history.
+	QueueCap int
+	// Metrics receives counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+// Stats snapshot of the node's queue and traffic.
+type Stats struct {
+	Ingested  uint64
+	Forwarded uint64
+	Buffered  int
+	Dropped   uint64
+	Decisions uint64
+	CmdErrors uint64
+}
+
+// Node is a fog node. Construct with NewNode. Safe for concurrent use.
+type Node struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu     sync.Mutex
+	latest map[string]model.Reading // key: device/quantity(/depth)
+	queue  [][]model.Reading
+	stats  Stats
+	online bool
+}
+
+// NewNode validates the config and builds a node. Nodes start optimistic
+// (online) and discover partitions through uplink failures.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Uplink == nil {
+		return nil, errors.New("fog: uplink is required")
+	}
+	if cfg.Decide != nil && cfg.Commands == nil {
+		return nil, errors.New("fog: decision loop needs a command sink")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Node{
+		cfg:    cfg,
+		reg:    cfg.Metrics,
+		latest: make(map[string]model.Reading),
+		online: true,
+	}, nil
+}
+
+// Metrics returns the node's registry.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// seriesKey builds the latest-store key for a reading.
+func seriesKey(r model.Reading) string {
+	if r.Depth > 0 {
+		return fmt.Sprintf("%s/%s/d%d", r.Device, r.Quantity, int(r.Depth*100+0.5))
+	}
+	return fmt.Sprintf("%s/%s", r.Device, r.Quantity)
+}
+
+// Ingest accepts a batch from the local sensor plane: it refreshes the
+// local view, enqueues the batch for the cloud and opportunistically
+// flushes.
+func (n *Node) Ingest(batch []model.Reading) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, r := range batch {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("fog: %w", err)
+		}
+	}
+	cp := make([]model.Reading, len(batch))
+	copy(cp, batch)
+
+	n.mu.Lock()
+	for _, r := range cp {
+		key := seriesKey(r)
+		if cur, ok := n.latest[key]; !ok || r.At.After(cur.At) {
+			n.latest[key] = r
+		}
+	}
+	n.stats.Ingested += uint64(len(cp))
+	n.queue = append(n.queue, cp)
+	if len(n.queue) > n.cfg.QueueCap {
+		drop := len(n.queue) - n.cfg.QueueCap
+		n.stats.Dropped += uint64(drop)
+		n.queue = append(n.queue[:0], n.queue[drop:]...)
+		n.reg.Counter("fog.queue.dropped").Add(uint64(drop))
+	}
+	n.reg.Counter("fog.ingested").Add(uint64(len(cp)))
+	n.mu.Unlock()
+
+	n.Flush()
+	return nil
+}
+
+// Flush drains the queue through the uplink until it empties or the uplink
+// fails (partition). It returns how many batches were forwarded.
+func (n *Node) Flush() int {
+	sent := 0
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 {
+			n.mu.Unlock()
+			return sent
+		}
+		batch := n.queue[0]
+		n.mu.Unlock()
+
+		if err := n.cfg.Uplink(batch); err != nil {
+			n.mu.Lock()
+			n.online = false
+			n.mu.Unlock()
+			n.reg.Counter("fog.uplink.fail").Inc()
+			return sent
+		}
+		n.mu.Lock()
+		// Pop the batch we just sent (it is still at the head: Flush is
+		// the only consumer and re-checks under the lock).
+		if len(n.queue) > 0 && &n.queue[0][0] == &batch[0] {
+			n.queue = n.queue[1:]
+		}
+		n.online = true
+		n.stats.Forwarded += uint64(len(batch))
+		n.mu.Unlock()
+		n.reg.Counter("fog.uplink.ok").Inc()
+		sent++
+	}
+}
+
+// Online reports the node's last-known backhaul state.
+func (n *Node) Online() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.online
+}
+
+// Latest returns a copy of the node's freshest reading per series.
+func (n *Node) Latest() map[string]model.Reading {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]model.Reading, len(n.latest))
+	for k, v := range n.latest {
+		out[k] = v
+	}
+	return out
+}
+
+// RunDecision executes the local decision function against the current
+// view and applies the resulting commands to local actuators. It works
+// identically online and offline — that is the availability story.
+func (n *Node) RunDecision(at time.Time) ([]model.Command, error) {
+	if n.cfg.Decide == nil {
+		return nil, errors.New("fog: no decision function configured")
+	}
+	cmds := n.cfg.Decide(n.Latest(), at)
+	n.mu.Lock()
+	n.stats.Decisions++
+	n.mu.Unlock()
+	n.reg.Counter("fog.decisions").Inc()
+	for _, c := range cmds {
+		if err := n.cfg.Commands(c); err != nil {
+			n.mu.Lock()
+			n.stats.CmdErrors++
+			n.mu.Unlock()
+			n.reg.Counter("fog.cmd.err").Inc()
+			return cmds, fmt.Errorf("fog: applying %s to %s: %w", c.Name, c.Target, err)
+		}
+	}
+	return cmds, nil
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats
+	st.Buffered = len(n.queue)
+	return st
+}

@@ -1,0 +1,241 @@
+package fog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+var t0 = time.Date(2026, 6, 1, 6, 0, 0, 0, time.UTC)
+
+// fakeUplink is a controllable cloud endpoint.
+type fakeUplink struct {
+	mu      sync.Mutex
+	down    bool
+	batches [][]model.Reading
+}
+
+func (u *fakeUplink) forward(b []model.Reading) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.down {
+		return errors.New("backhaul down")
+	}
+	u.batches = append(u.batches, b)
+	return nil
+}
+
+func (u *fakeUplink) setDown(d bool) {
+	u.mu.Lock()
+	u.down = d
+	u.mu.Unlock()
+}
+
+func (u *fakeUplink) received() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	n := 0
+	for _, b := range u.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func reading(dev string, v float64, at time.Time) model.Reading {
+	return model.Reading{Device: model.DeviceID(dev), Quantity: model.QSoilMoisture, Value: v, At: at}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Error("missing uplink accepted")
+	}
+	u := &fakeUplink{}
+	if _, err := NewNode(Config{Uplink: u.forward, Decide: func(map[string]model.Reading, time.Time) []model.Command { return nil }}); err == nil {
+		t.Error("decide without command sink accepted")
+	}
+}
+
+func TestIngestForwardsWhenOnline(t *testing.T) {
+	u := &fakeUplink{}
+	n, err := NewNode(Config{Uplink: u.forward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := n.Ingest([]model.Reading{reading("p1", 0.2, t0.Add(time.Duration(i)*time.Minute))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.received() != 5 {
+		t.Errorf("cloud received %d readings", u.received())
+	}
+	st := n.Stats()
+	if st.Ingested != 5 || st.Forwarded != 5 || st.Buffered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !n.Online() {
+		t.Error("node thinks it is offline")
+	}
+}
+
+func TestIngestValidates(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward})
+	if err := n.Ingest([]model.Reading{{}}); err == nil {
+		t.Error("invalid reading accepted")
+	}
+	if err := n.Ingest(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestPartitionBuffersThenSyncs(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward})
+
+	u.setDown(true)
+	for i := 0; i < 10; i++ {
+		n.Ingest([]model.Reading{reading("p1", 0.2, t0.Add(time.Duration(i)*time.Minute))})
+	}
+	if u.received() != 0 {
+		t.Fatalf("readings crossed a partition: %d", u.received())
+	}
+	if n.Online() {
+		t.Error("node did not notice the partition")
+	}
+	st := n.Stats()
+	if st.Buffered != 10 {
+		t.Errorf("buffered = %d, want 10", st.Buffered)
+	}
+
+	// Heal: everything syncs, in order.
+	u.setDown(false)
+	if sent := n.Flush(); sent != 10 {
+		t.Errorf("flush forwarded %d batches", sent)
+	}
+	if u.received() != 10 {
+		t.Errorf("cloud received %d after heal", u.received())
+	}
+	if !n.Online() {
+		t.Error("node still offline after successful flush")
+	}
+	// Order preserved.
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for i, b := range u.batches {
+		if !b[0].At.Equal(t0.Add(time.Duration(i) * time.Minute)) {
+			t.Fatalf("batch %d out of order", i)
+		}
+	}
+}
+
+func TestQueueBoundDropsOldest(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward, QueueCap: 5})
+	u.setDown(true)
+	for i := 0; i < 12; i++ {
+		n.Ingest([]model.Reading{reading("p1", float64(i), t0.Add(time.Duration(i)*time.Minute))})
+	}
+	st := n.Stats()
+	if st.Buffered != 5 || st.Dropped != 7 {
+		t.Errorf("stats = %+v", st)
+	}
+	u.setDown(false)
+	n.Flush()
+	// The 5 newest batches survived.
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.batches) != 5 || u.batches[0][0].Value != 7 {
+		t.Errorf("synced batches start at %g", u.batches[0][0].Value)
+	}
+}
+
+func TestLatestViewKeepsFreshest(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward})
+	n.Ingest([]model.Reading{reading("p1", 0.30, t0.Add(time.Hour))})
+	n.Ingest([]model.Reading{reading("p1", 0.10, t0)}) // stale arrival
+	latest := n.Latest()
+	if len(latest) != 1 {
+		t.Fatalf("latest has %d series", len(latest))
+	}
+	for _, r := range latest {
+		if r.Value != 0.30 {
+			t.Errorf("stale reading overwrote fresh one: %g", r.Value)
+		}
+	}
+	// Depth-distinct series are separate keys.
+	deep := reading("p1", 0.5, t0)
+	deep.Depth = 0.5
+	n.Ingest([]model.Reading{deep})
+	if len(n.Latest()) != 2 {
+		t.Errorf("depth series collapsed: %d keys", len(n.Latest()))
+	}
+}
+
+// The availability headline: decisions keep flowing during a partition.
+func TestDecisionsContinueOffline(t *testing.T) {
+	u := &fakeUplink{}
+	var mu sync.Mutex
+	var applied []model.Command
+	decide := func(latest map[string]model.Reading, at time.Time) []model.Command {
+		for _, r := range latest {
+			if r.Value < 0.15 { // dry → irrigate
+				return []model.Command{{Target: "valve-1", Name: "open", Value: 1, Issuer: "fog", At: at}}
+			}
+		}
+		return nil
+	}
+	sink := func(c model.Command) error {
+		mu.Lock()
+		applied = append(applied, c)
+		mu.Unlock()
+		return nil
+	}
+	n, err := NewNode(Config{Uplink: u.forward, Decide: decide, Commands: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u.setDown(true) // Internet is gone.
+	n.Ingest([]model.Reading{reading("p1", 0.10, t0)})
+	cmds, err := n.RunDecision(t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Target != "valve-1" {
+		t.Fatalf("offline decision = %+v", cmds)
+	}
+	mu.Lock()
+	if len(applied) != 1 {
+		t.Errorf("commands applied = %d", len(applied))
+	}
+	mu.Unlock()
+	if st := n.Stats(); st.Decisions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDecisionErrorsSurface(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{
+		Uplink: u.forward,
+		Decide: func(map[string]model.Reading, time.Time) []model.Command {
+			return []model.Command{{Target: "v", Name: "open", Value: 1}}
+		},
+		Commands: func(model.Command) error { return errors.New("valve jammed") },
+	})
+	if _, err := n.RunDecision(t0); err == nil {
+		t.Error("command failure swallowed")
+	}
+	if st := n.Stats(); st.CmdErrors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	bare, _ := NewNode(Config{Uplink: u.forward})
+	if _, err := bare.RunDecision(t0); err == nil {
+		t.Error("decision without decide func succeeded")
+	}
+}

@@ -1,0 +1,259 @@
+// Package httpapi exposes the SWAMP platform northbound over HTTP, the way
+// a FIWARE deployment exposes Orion: an NGSI-v2-flavoured REST API for
+// context entities plus an OAuth2 token endpoint. Every data route demands
+// a bearer token and crosses the PEP, so the paper's §III access-control
+// chain (identify → authorize → audit) guards external clients exactly as
+// it guards internal ones.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/cloud"
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/oauth"
+	"github.com/swamp-project/swamp/internal/security/pep"
+)
+
+// Config wires a Server.
+type Config struct {
+	// Context is the entity store behind /v2/entities (required).
+	Context *ngsi.Broker
+	// Tokens backs POST /oauth/token (required).
+	Tokens *oauth.Server
+	// PEP authorizes every data route (required).
+	PEP *pep.PEP
+	// Analytics backs /v2/analytics (optional; 404 when nil).
+	Analytics *cloud.Analytics
+	// Metrics is rendered at GET /metrics; nil allocates a private one.
+	Metrics *metrics.Registry
+}
+
+// Server is the HTTP facade. It implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// NewServer validates the config and builds the routing table.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Context == nil || cfg.Tokens == nil || cfg.PEP == nil {
+		return nil, errors.New("httpapi: context, tokens and pep are required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /oauth/token", s.handleToken)
+	s.mux.HandleFunc("GET /v2/entities", s.handleListEntities)
+	s.mux.HandleFunc("GET /v2/entities/{id}", s.handleGetEntity)
+	s.mux.HandleFunc("POST /v2/entities/{id}/attrs", s.handleUpdateAttrs)
+	s.mux.HandleFunc("DELETE /v2/entities/{id}", s.handleDeleteEntity)
+	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}", s.handleAnalytics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, cfg.Metrics.Snapshot())
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope (Orion-style).
+type apiError struct {
+	Error       string `json:"error"`
+	Description string `json:"description,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, kind, desc string) {
+	writeJSON(w, code, apiError{Error: kind, Description: desc})
+}
+
+// handleToken implements the password and client_credentials grants with
+// form encoding per RFC 6749.
+func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_request", "malformed form")
+		return
+	}
+	var tok oauth.Token
+	var err error
+	switch r.PostForm.Get("grant_type") {
+	case "password":
+		tok, err = s.cfg.Tokens.GrantPassword(
+			r.PostForm.Get("username"), r.PostForm.Get("password"))
+	case "client_credentials":
+		tok, err = s.cfg.Tokens.GrantClientCredentials(
+			r.PostForm.Get("client_id"), r.PostForm.Get("client_secret"))
+	default:
+		writeErr(w, http.StatusBadRequest, "unsupported_grant_type", "")
+		return
+	}
+	if err != nil {
+		s.cfg.Metrics.Counter("httpapi.token.rejected").Inc()
+		writeErr(w, http.StatusUnauthorized, "invalid_grant", "authentication failed")
+		return
+	}
+	s.cfg.Metrics.Counter("httpapi.token.issued").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"access_token": tok.Value,
+		"token_type":   "Bearer",
+		"expires_in":   int(time.Until(tok.ExpiresAt).Seconds()),
+	})
+}
+
+// authorize enforces bearer-token + PEP on a data route; it returns false
+// after writing the error response.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resource string) bool {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(auth, prefix) {
+		writeErr(w, http.StatusUnauthorized, "missing_token", "Authorization: Bearer required")
+		return false
+	}
+	if _, err := s.cfg.PEP.Authorize(strings.TrimPrefix(auth, prefix), action, resource); err != nil {
+		if errors.Is(err, pep.ErrDenied) {
+			writeErr(w, http.StatusForbidden, "access_denied", err.Error())
+		} else {
+			writeErr(w, http.StatusUnauthorized, "invalid_token", "token rejected")
+		}
+		return false
+	}
+	return true
+}
+
+// entityJSON is the wire form of an entity.
+type entityJSON struct {
+	ID    string                    `json:"id"`
+	Type  string                    `json:"type"`
+	Attrs map[string]ngsi.Attribute `json:"attrs"`
+}
+
+func toJSON(e *ngsi.Entity) entityJSON {
+	return entityJSON{ID: e.ID, Type: e.Type, Attrs: e.Attrs}
+}
+
+func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
+	pattern := r.URL.Query().Get("idPattern")
+	if pattern == "" {
+		pattern = "*"
+	}
+	if !s.authorize(w, r, "read", "ngsi:"+pattern) {
+		return
+	}
+	entities := s.cfg.Context.QueryEntities(pattern, r.URL.Query().Get("type"))
+	out := make([]entityJSON, 0, len(entities))
+	for _, e := range entities {
+		out = append(out, toJSON(e))
+	}
+	s.cfg.Metrics.Counter("httpapi.entities.list").Inc()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorize(w, r, "read", "ngsi:"+id) {
+		return
+	}
+	e, err := s.cfg.Context.GetEntity(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(e))
+}
+
+// updateBody is the accepted payload of POST .../attrs: attribute name →
+// {type, value}.
+type updateBody map[string]struct {
+	Type  string  `json:"type"`
+	Value float64 `json:"value"`
+}
+
+func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorize(w, r, "write", "ngsi:"+id) {
+		return
+	}
+	var body updateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body) == 0 {
+		writeErr(w, http.StatusBadRequest, "invalid_body", "expected {attr:{type,value}}")
+		return
+	}
+	entityType := r.URL.Query().Get("type")
+	if entityType == "" {
+		entityType = "Thing"
+	}
+	attrs := make(map[string]ngsi.Attribute, len(body))
+	for name, a := range body {
+		typ := a.Type
+		if typ == "" {
+			typ = "Number"
+		}
+		attrs[name] = ngsi.Attribute{Type: typ, Value: a.Value}
+	}
+	if err := s.cfg.Context.UpdateAttrs(id, entityType, attrs); err != nil {
+		writeErr(w, http.StatusBadRequest, "update_failed", err.Error())
+		return
+	}
+	s.cfg.Metrics.Counter("httpapi.entities.update").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.authorize(w, r, "write", "ngsi:"+id) {
+		return
+	}
+	if err := s.cfg.Context.DeleteEntity(id); err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAnalytics returns the summary aggregate of one series:
+// GET /v2/analytics/{device}/{quantity}?hours=24
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Analytics == nil {
+		writeErr(w, http.StatusNotFound, "analytics_disabled", "")
+		return
+	}
+	device := r.PathValue("device")
+	quantity := r.PathValue("quantity")
+	if !s.authorize(w, r, "read", "series:"+device) {
+		return
+	}
+	hours := 24
+	if h := r.URL.Query().Get("hours"); h != "" {
+		if _, err := fmt.Sscanf(h, "%d", &hours); err != nil || hours <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_hours", h)
+			return
+		}
+	}
+	to := time.Now().Add(time.Hour) // include freshly stamped points
+	from := to.Add(-time.Duration(hours+1) * time.Hour)
+	agg := s.cfg.Analytics.Summary(device, quantity, from, to)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"device": device, "quantity": quantity,
+		"count": agg.Count, "min": agg.Min, "max": agg.Max, "mean": agg.Mean,
+	})
+}

@@ -1,0 +1,294 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/cloud"
+	"github.com/swamp-project/swamp/internal/model"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/identity"
+	"github.com/swamp-project/swamp/internal/security/oauth"
+	"github.com/swamp-project/swamp/internal/security/pep"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+type fixture struct {
+	srv    *httptest.Server
+	ctx    *ngsi.Broker
+	tokens *oauth.Server
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	idm := identity.NewStore()
+	if err := idm.Register(identity.Principal{
+		ID: "farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: "farm1",
+	}, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := idm.Register(identity.Principal{
+		ID: "outsider", Roles: []identity.Role{identity.RoleFarmer}, Owner: "farm2",
+	}, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	tokens := oauth.NewServer(idm, oauth.Config{})
+	pdp := pep.NewPDP(
+		pep.Policy{
+			ID: "own-ngsi", Roles: []identity.Role{identity.RoleFarmer},
+			Owners: []string{"farm1"}, ResourcePattern: "ngsi:urn:farm1:*", Effect: pep.Permit,
+		},
+		pep.Policy{
+			ID: "own-series", Roles: []identity.Role{identity.RoleFarmer},
+			Owners: []string{"farm1"}, ResourcePattern: "series:farm1-*", Effect: pep.Permit,
+		},
+	)
+	ctx := ngsi.NewBroker(ngsi.BrokerConfig{})
+	t.Cleanup(ctx.Close)
+	store := timeseries.New()
+	ing := cloud.NewIngestor(store, nil)
+	if err := ing.IngestReadings([]model.Reading{
+		{Device: "farm1-p1", Quantity: model.QSoilMoisture, Value: 0.25, At: time.Now()},
+		{Device: "farm1-p1", Quantity: model.QSoilMoisture, Value: 0.27, At: time.Now()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewServer(Config{
+		Context: ctx, Tokens: tokens, PEP: pep.NewPEP(tokens, pdp, nil),
+		Analytics: cloud.NewAnalytics(store),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return &fixture{srv: ts, ctx: ctx, tokens: tokens}
+}
+
+func (f *fixture) token(t *testing.T, user string) string {
+	t.Helper()
+	resp, err := http.PostForm(f.srv.URL+"/oauth/token", url.Values{
+		"grant_type": {"password"}, "username": {user}, "password": {"pw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("token status %d", resp.StatusCode)
+	}
+	var body struct {
+		AccessToken string `json:"access_token"`
+		TokenType   string `json:"token_type"`
+		ExpiresIn   int    `json:"expires_in"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TokenType != "Bearer" || body.ExpiresIn <= 0 || body.AccessToken == "" {
+		t.Fatalf("token body %+v", body)
+	}
+	return body.AccessToken
+}
+
+func (f *fixture) do(t *testing.T, method, path, token string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, f.srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestTokenEndpoint(t *testing.T) {
+	f := newFixture(t)
+	f.token(t, "farmer") // success path asserted inside
+
+	// Wrong password.
+	resp, err := http.PostForm(f.srv.URL+"/oauth/token", url.Values{
+		"grant_type": {"password"}, "username": {"farmer"}, "password": {"nope"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("bad password status %d", resp.StatusCode)
+	}
+	// Unknown grant type.
+	resp2, err := http.PostForm(f.srv.URL+"/oauth/token", url.Values{"grant_type": {"magic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad grant status %d", resp2.StatusCode)
+	}
+}
+
+func TestEntityCRUDOverHTTP(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+
+	// Create/update via POST attrs.
+	body := []byte(`{"soilMoisture":{"type":"Number","value":0.31}}`)
+	resp := f.do(t, "POST", "/v2/entities/urn:farm1:plot1/attrs?type=AgriParcel", tok, body)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	// Read it back.
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot1", tok, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d", resp.StatusCode)
+	}
+	var e entityJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != "AgriParcel" {
+		t.Errorf("entity %+v", e)
+	}
+	if v, ok := e.Attrs["soilMoisture"].Float(); !ok || v != 0.31 {
+		t.Errorf("attr = %v", e.Attrs["soilMoisture"].Value)
+	}
+	// List with pattern.
+	resp = f.do(t, "GET", "/v2/entities?idPattern=urn:farm1:*", tok, nil)
+	var list []entityJSON
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Errorf("list = %d entities", len(list))
+	}
+	// Delete.
+	resp = f.do(t, "DELETE", "/v2/entities/urn:farm1:plot1", tok, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot1", tok, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get after delete status %d", resp.StatusCode)
+	}
+}
+
+func TestAuthzEnforcedOverHTTP(t *testing.T) {
+	f := newFixture(t)
+	// No token → 401.
+	resp := f.do(t, "GET", "/v2/entities/urn:farm1:plot1", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no-token status %d", resp.StatusCode)
+	}
+	// Garbage token → 401.
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot1", "garbage", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("garbage-token status %d", resp.StatusCode)
+	}
+	// Cross-tenant token → 403.
+	outsider := f.token(t, "outsider")
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot1", outsider, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("cross-tenant status %d", resp.StatusCode)
+	}
+	// Revoked token → 401.
+	tok := f.token(t, "farmer")
+	f.tokens.Revoke(tok)
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot1", tok, nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("revoked-token status %d", resp.StatusCode)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+	for _, body := range []string{"", "{}", "not json"} {
+		resp := f.do(t, "POST", "/v2/entities/urn:farm1:x/attrs", tok, []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestAnalyticsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+	resp := f.do(t, "GET", "/v2/analytics/farm1-p1/soilMoisture?hours=48", tok, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analytics status %d", resp.StatusCode)
+	}
+	var out struct {
+		Count int     `json:"count"`
+		Mean  float64 `json:"mean"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 2 || out.Mean != 0.26 {
+		t.Errorf("analytics %+v", out)
+	}
+	// Foreign series denied.
+	resp = f.do(t, "GET", "/v2/analytics/farm2-p9/soilMoisture", tok, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("foreign series status %d", resp.StatusCode)
+	}
+	// Bad hours.
+	resp = f.do(t, "GET", "/v2/analytics/farm1-p1/soilMoisture?hours=-3", tok, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hours status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	f := newFixture(t)
+	resp := f.do(t, "GET", "/healthz", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d", resp.StatusCode)
+	}
+	f.token(t, "farmer") // bump a counter
+	resp = f.do(t, "GET", "/metrics", "", nil)
+	buf := new(strings.Builder)
+	if _, err := jsonSafeCopy(buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "httpapi.token.issued") {
+		t.Errorf("metrics output missing counters:\n%s", buf.String())
+	}
+}
+
+func jsonSafeCopy(dst *strings.Builder, resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	buf := make([]byte, 32<<10)
+	var n int64
+	for {
+		m, err := resp.Body.Read(buf)
+		dst.Write(buf[:m])
+		n += int64(m)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package irrigation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// ActuatorBank tracks the commanded state of a deployment's actuators
+// (valves, pumps, pivot sector rates). It is the component a hijacked
+// credential would drive — the §III actuator-takeover threat — so every
+// state change is journaled with its issuer for the anomaly layer to audit.
+type ActuatorBank struct {
+	mu      sync.Mutex
+	states  map[model.DeviceID]float64
+	journal []model.Command
+	maxLog  int
+}
+
+// NewActuatorBank returns an empty bank retaining up to 10k journal
+// entries.
+func NewActuatorBank() *ActuatorBank {
+	return &ActuatorBank{states: make(map[model.DeviceID]float64), maxLog: 10_000}
+}
+
+// Apply executes a command: "open"/"setRate"/"close" set the target's
+// state value. Unknown verbs fail.
+func (a *ActuatorBank) Apply(cmd model.Command) error {
+	if err := cmd.Validate(); err != nil {
+		return err
+	}
+	var v float64
+	switch cmd.Name {
+	case "open", "setRate", "set":
+		v = cmd.Value
+	case "close", "stop":
+		v = 0
+	default:
+		return fmt.Errorf("irrigation: unknown actuator verb %q", cmd.Name)
+	}
+	if v < 0 {
+		return fmt.Errorf("irrigation: negative actuator value %g", v)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.states[cmd.Target] = v
+	if cmd.At.IsZero() {
+		cmd.At = time.Now()
+	}
+	a.journal = append(a.journal, cmd)
+	if len(a.journal) > a.maxLog {
+		a.journal = append(a.journal[:0], a.journal[len(a.journal)-a.maxLog:]...)
+	}
+	return nil
+}
+
+// State returns the current value of an actuator (0 when never commanded).
+func (a *ActuatorBank) State(id model.DeviceID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.states[id]
+}
+
+// States returns a copy of all actuator states.
+func (a *ActuatorBank) States() map[model.DeviceID]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[model.DeviceID]float64, len(a.states))
+	for k, v := range a.states {
+		out[k] = v
+	}
+	return out
+}
+
+// Journal returns a copy of the command journal, oldest first.
+func (a *ActuatorBank) Journal() []model.Command {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]model.Command(nil), a.journal...)
+}
+
+// IssuerSummary counts journal entries per issuer — the quick forensic view
+// after a suspected takeover.
+func (a *ActuatorBank) IssuerSummary() []IssuerCount {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	counts := make(map[string]int)
+	for _, c := range a.journal {
+		counts[c.Issuer]++
+	}
+	out := make([]IssuerCount, 0, len(counts))
+	for issuer, n := range counts {
+		out = append(out, IssuerCount{Issuer: issuer, Commands: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Issuer < out[j].Issuer })
+	return out
+}
+
+// IssuerCount pairs an issuer with its command count.
+type IssuerCount struct {
+	Issuer   string
+	Commands int
+}

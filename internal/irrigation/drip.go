@@ -1,0 +1,93 @@
+package irrigation
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/swamp-project/swamp/internal/soil"
+)
+
+// DripScheduler is the threshold-refill controller used by the drip pilots
+// (Intercrop vegetables, Guaspari vines): irrigate a zone when its
+// depletion passes the trigger, refill toward the target.
+type DripScheduler struct {
+	Config PlannerConfig
+}
+
+// NewDripScheduler builds a scheduler.
+func NewDripScheduler(cfg PlannerConfig) *DripScheduler {
+	cfg.defaults()
+	return &DripScheduler{Config: cfg}
+}
+
+// Plan returns today's application depth (mm) for one zone.
+func (d *DripScheduler) Plan(b *soil.Balance) float64 {
+	raw := b.RAW()
+	dep := b.Depletion()
+	if dep <= d.Config.TriggerFrac*raw {
+		return 0
+	}
+	return math.Min(dep-d.Config.RefillFrac*raw, d.Config.MaxDepthMM)
+}
+
+// DeficitScheduler implements regulated deficit irrigation (RDI) — the
+// Guaspari strategy: during selected crop stages, deliberately supply only
+// a fraction of the full refill so the vines experience controlled stress,
+// which concentrates berry flavour (higher quality index) while saving
+// water.
+type DeficitScheduler struct {
+	Inner *DripScheduler
+	// StageSupplyFrac scales the full-refill depth per FAO crop stage
+	// (initial, development, mid, late). 1 = full supply.
+	StageSupplyFrac [4]float64
+}
+
+// NewDeficitScheduler validates and builds an RDI scheduler.
+func NewDeficitScheduler(cfg PlannerConfig, stageSupply [4]float64) (*DeficitScheduler, error) {
+	for i, f := range stageSupply {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("irrigation: stage %d supply fraction %g outside [0,1]", i, f)
+		}
+	}
+	return &DeficitScheduler{Inner: NewDripScheduler(cfg), StageSupplyFrac: stageSupply}, nil
+}
+
+// stageOf returns the FAO stage index for a season day.
+func stageOf(crop soil.Crop, day int) int {
+	d := day
+	for i := 0; i < 4; i++ {
+		if d < crop.StageDays[i] {
+			return i
+		}
+		d -= crop.StageDays[i]
+	}
+	return 3
+}
+
+// Plan returns today's (possibly deficit) application depth for the zone.
+func (r *DeficitScheduler) Plan(b *soil.Balance) float64 {
+	full := r.Inner.Plan(b)
+	if full == 0 {
+		return 0
+	}
+	return full * r.StageSupplyFrac[stageOf(b.Crop(), b.Day())]
+}
+
+// WineQualityIndex scores a finished Guaspari season: moderate stress in
+// mid/late season raises quality; severe stress or no stress lowers it.
+// The shape follows the RDI literature (quality peaks at mild deficit).
+//
+// The index combines: water saved (deficit) and yield retention.
+func WineQualityIndex(b *soil.Balance) float64 {
+	tot := b.Totals()
+	if tot.ETc <= 0 {
+		return 0
+	}
+	// Deficit severity: stress-day fraction over the season.
+	season := float64(b.Crop().SeasonDays())
+	stress := tot.StressDays / season
+	// Quality peaks around 10-20% cumulative mild stress.
+	const peak = 0.15
+	quality := 1 - 2.2*math.Abs(stress-peak)
+	return math.Max(0, math.Min(1, quality))
+}

@@ -1,0 +1,113 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func lifecycle(t *testing.T) *Ledger {
+	t.Helper()
+	l := New()
+	steps := []struct {
+		typ    EventType
+		detail string
+	}{
+		{EventRegistered, "factory enrolment"},
+		{EventProvisioned, "agent provision, farm matopiba"},
+		{EventKeyRotated, "seasonal rotation"},
+	}
+	for i, s := range steps {
+		if _, err := l.Append("probe-1", s.typ, s.detail, "operator", t0.Add(time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestAppendAndVerify(t *testing.T) {
+	l := lifecycle(t)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	hist := l.History("probe-1")
+	if len(hist) != 3 || hist[0].Type != EventRegistered || hist[2].Type != EventKeyRotated {
+		t.Errorf("history = %+v", hist)
+	}
+	// Chain links: each PrevHash equals the previous Hash.
+	for i := 1; i < len(hist); i++ {
+		if hist[i].PrevHash != hist[i-1].Hash {
+			t.Fatalf("chain broken between %d and %d", i-1, i)
+		}
+	}
+	if _, err := l.Append("", EventRevoked, "", "x", t0); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	l := lifecycle(t)
+	if err := l.Tamper(1, "rewritten history"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("tamper not detected: %v", err)
+	}
+	// Status must refuse to answer over a broken chain.
+	if err := l.Status("probe-1"); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("status over broken chain: %v", err)
+	}
+	if err := l.Tamper(99, "x"); err == nil {
+		t.Error("tamper out of range accepted")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	l := lifecycle(t)
+	if err := l.Status("probe-1"); err != nil {
+		t.Fatalf("healthy device: %v", err)
+	}
+	// Compromise → revoked status.
+	l.Append("probe-1", EventCompromised, "sybil cluster member", "anomaly-engine", t0.Add(4*time.Hour))
+	if err := l.Status("probe-1"); !errors.Is(err, ErrRevoked) {
+		t.Errorf("compromised device status: %v", err)
+	}
+	// Key rotation restores standing.
+	l.Append("probe-1", EventKeyRotated, "re-keyed after incident", "operator", t0.Add(5*time.Hour))
+	if err := l.Status("probe-1"); err != nil {
+		t.Errorf("re-keyed device: %v", err)
+	}
+	// Hard revocation is terminal until re-registration.
+	l.Append("probe-1", EventRevoked, "decommissioned", "operator", t0.Add(6*time.Hour))
+	if err := l.Status("probe-1"); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked device: %v", err)
+	}
+	// Unknown devices are in good standing (no history, nothing revoked).
+	if err := l.Status("ghost"); err != nil {
+		t.Errorf("unknown device: %v", err)
+	}
+}
+
+func TestInterleavedDevices(t *testing.T) {
+	l := New()
+	for i := 0; i < 20; i++ {
+		dev := model.DeviceID(fmt.Sprintf("d%d", i%4))
+		if _, err := l.Append(dev, EventProvisioned, "", "op", t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.History("d1")); got != 5 {
+		t.Errorf("d1 history = %d", got)
+	}
+}

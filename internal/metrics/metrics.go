@@ -1,0 +1,204 @@
+// Package metrics is a small dependency-free telemetry registry the
+// platform components use to expose operational counters (messages
+// published, notifications delivered, authorization denials, alerts
+// raised). Benchmarks and the scenario runner read the registry to build
+// their report rows.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter named name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram named name, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric as "name value" lines, sorted by name.
+func (r *Registry) Snapshot() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var lines []string
+	for n, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", n, g.Value()))
+	}
+	for n, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%v p99=%v",
+			n, h.Count(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is an instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add increments the value by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram records durations and answers quantile queries. It keeps the
+// raw samples (bounded) — at platform scale (thousands of samples per
+// bench run) this is simpler and more accurate than bucketing.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+	max     int
+}
+
+// NewHistogram returns a histogram bounded to 100k samples.
+func NewHistogram() *Histogram {
+	return &Histogram{max: 100_000}
+}
+
+// Observe records one duration. Once the bound is hit, a random-ish
+// (deterministic stride) reservoir overwrite keeps memory constant.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) < h.max {
+		h.samples = append(h.samples, d)
+	} else {
+		// Overwrite with a simple rolling index derived from the count.
+		h.samples[len(h.samples)%h.max] = d
+	}
+	h.sorted = false
+}
+
+// Count returns the number of retained samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Quantile returns the q-quantile (0..1) of retained samples, or 0 if empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	q = math.Max(0, math.Min(1, q))
+	idx := int(q * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Mean returns the mean of retained samples, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}

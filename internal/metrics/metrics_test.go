@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("same name returned different counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("concurrent counter = %d, want 16000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("level")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if g.Value() != 2.0 {
+		t.Errorf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should return 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if mean := h.Mean(); mean < 49*time.Millisecond || mean > 52*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	// Quantile clamping.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramBounded(t *testing.T) {
+	h := &Histogram{max: 100}
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() > 100 {
+		t.Errorf("histogram grew past bound: %d", h.Count())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Inc()
+	r.Gauge("b.level").Set(7)
+	r.Histogram("c.lat").Observe(time.Second)
+	snap := r.Snapshot()
+	for _, want := range []string{"counter a.count 1", "gauge b.level 7", "histogram c.lat"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}

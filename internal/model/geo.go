@@ -1,0 +1,110 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeoPoint is a WGS84 coordinate. For the small field extents SWAMP deals
+// with (hundreds of metres) we use an equirectangular approximation for
+// distances, which is accurate to well under a metre at that scale.
+type GeoPoint struct {
+	Lat float64
+	Lon float64
+}
+
+// earthRadiusM is the mean Earth radius used by DistanceM.
+const earthRadiusM = 6_371_000.0
+
+// DistanceM returns the approximate ground distance in metres between p and q.
+func (p GeoPoint) DistanceM(q GeoPoint) float64 {
+	latRad := (p.Lat + q.Lat) / 2 * math.Pi / 180
+	dLat := (q.Lat - p.Lat) * math.Pi / 180
+	dLon := (q.Lon - p.Lon) * math.Pi / 180
+	x := dLon * math.Cos(latRad)
+	return earthRadiusM * math.Hypot(dLat, x)
+}
+
+// Offset returns the point reached by moving dx metres east and dy metres
+// north from p.
+func (p GeoPoint) Offset(dxM, dyM float64) GeoPoint {
+	dLat := dyM / earthRadiusM * 180 / math.Pi
+	dLon := dxM / (earthRadiusM * math.Cos(p.Lat*math.Pi/180)) * 180 / math.Pi
+	return GeoPoint{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}
+
+// FieldGrid discretizes a rectangular field into Rows x Cols square cells of
+// CellSizeM metres. It is the spatial substrate shared by the soil model
+// (one water balance per cell), the drone imagery (one NDVI pixel per cell)
+// and the VRI controller (sectors map onto cells).
+type FieldGrid struct {
+	Origin    GeoPoint // south-west corner
+	Rows      int
+	Cols      int
+	CellSizeM float64
+}
+
+// NewFieldGrid validates and constructs a grid.
+func NewFieldGrid(origin GeoPoint, rows, cols int, cellSizeM float64) (FieldGrid, error) {
+	if rows <= 0 || cols <= 0 {
+		return FieldGrid{}, fmt.Errorf("field grid: non-positive dimensions %dx%d", rows, cols)
+	}
+	if cellSizeM <= 0 {
+		return FieldGrid{}, fmt.Errorf("field grid: non-positive cell size %g", cellSizeM)
+	}
+	return FieldGrid{Origin: origin, Rows: rows, Cols: cols, CellSizeM: cellSizeM}, nil
+}
+
+// NumCells returns Rows*Cols.
+func (g FieldGrid) NumCells() int { return g.Rows * g.Cols }
+
+// CellIndex converts (row, col) to a flat index, or -1 if out of range.
+func (g FieldGrid) CellIndex(row, col int) int {
+	if row < 0 || row >= g.Rows || col < 0 || col >= g.Cols {
+		return -1
+	}
+	return row*g.Cols + col
+}
+
+// CellRC converts a flat index back to (row, col).
+func (g FieldGrid) CellRC(idx int) (row, col int) {
+	return idx / g.Cols, idx % g.Cols
+}
+
+// CellCenter returns the geographic centre of cell (row, col).
+func (g FieldGrid) CellCenter(row, col int) GeoPoint {
+	dx := (float64(col) + 0.5) * g.CellSizeM
+	dy := (float64(row) + 0.5) * g.CellSizeM
+	return g.Origin.Offset(dx, dy)
+}
+
+// CellAt returns the flat cell index containing p, or -1 if p is outside
+// the grid.
+func (g FieldGrid) CellAt(p GeoPoint) int {
+	// Invert Offset using the same equirectangular approximation.
+	dLat := (p.Lat - g.Origin.Lat) * math.Pi / 180
+	dLon := (p.Lon - g.Origin.Lon) * math.Pi / 180
+	dy := dLat * earthRadiusM
+	dx := dLon * earthRadiusM * math.Cos(g.Origin.Lat*math.Pi/180)
+	col := int(math.Floor(dx / g.CellSizeM))
+	row := int(math.Floor(dy / g.CellSizeM))
+	return g.CellIndex(row, col)
+}
+
+// AreaHa returns the grid area in hectares.
+func (g FieldGrid) AreaHa() float64 {
+	return float64(g.NumCells()) * g.CellSizeM * g.CellSizeM / 10_000
+}
+
+// Neighbors returns the flat indices of the 4-connected neighbours of idx
+// that lie inside the grid. Used by the spatial-consistency tamper detector.
+func (g FieldGrid) Neighbors(idx int) []int {
+	row, col := g.CellRC(idx)
+	out := make([]int, 0, 4)
+	for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		if n := g.CellIndex(row+d[0], col+d[1]); n >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}

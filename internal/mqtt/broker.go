@@ -1,0 +1,542 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// AuthFunc authenticates a connecting client and returns an MQTT connect
+// return code (ConnAccepted to admit). It is the hook the SWAMP security
+// layer plugs into (device API keys, OAuth bearer passwords).
+type AuthFunc func(clientID, username, password string) byte
+
+// ACLFunc authorizes one topic operation. write=true means publish,
+// write=false means subscribe. Returning false rejects the operation.
+type ACLFunc func(clientID, topic string, write bool) bool
+
+// BrokerConfig tunes broker behaviour. The zero value is usable.
+type BrokerConfig struct {
+	// Auth is consulted on CONNECT; nil admits everyone.
+	Auth AuthFunc
+	// ACL is consulted on PUBLISH and SUBSCRIBE; nil allows everything.
+	ACL ACLFunc
+	// RetryInterval is the QoS 1 redelivery interval (default 1s).
+	RetryInterval time.Duration
+	// MaxRetries bounds QoS 1 redeliveries before the message is dropped
+	// (default 5).
+	MaxRetries int
+	// Metrics receives broker counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+	// Logf receives diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Broker is an MQTT 3.1.1-subset message broker. Construct with NewBroker;
+// attach clients with Serve (TCP) and/or AttachTransport (simulated links).
+type Broker struct {
+	cfg BrokerConfig
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	subs     *subTree
+	retained map[string]retainedMsg
+	closed   bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	// Tap, if set, observes every PUBLISH routed by the broker. The anomaly
+	// detection layer uses it as its traffic feed. Must be set before
+	// clients attach. The callback must not block.
+	Tap func(clientID, topic string, payload []byte, at time.Time)
+}
+
+type retainedMsg struct {
+	payload []byte
+	qos     byte
+}
+
+// NewBroker constructs a broker ready to accept transports.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Broker{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		sessions: make(map[string]*session),
+		subs:     newSubTree(),
+		retained: make(map[string]retainedMsg),
+		done:     make(chan struct{}),
+	}
+}
+
+// Metrics returns the broker's metrics registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// Serve accepts TCP connections on ln until the broker is closed or the
+// listener fails. It blocks; run it in a goroutine.
+func (b *Broker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-b.done:
+				return nil
+			default:
+				return fmt.Errorf("mqtt broker: accept: %w", err)
+			}
+		}
+		b.AttachTransport(NewStreamTransport(conn))
+	}
+}
+
+// AttachTransport hands a connected transport to the broker, which serves
+// it on its own goroutine until disconnect.
+func (b *Broker) AttachTransport(t Transport) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		t.Close()
+		return
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go func() {
+		defer b.wg.Done()
+		b.serveTransport(t)
+	}()
+}
+
+// Close disconnects every client and waits for connection goroutines.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	close(b.done)
+	for _, s := range sessions {
+		s.close()
+	}
+	b.wg.Wait()
+}
+
+// SessionCount returns the number of connected clients.
+func (b *Broker) SessionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// RetainedCount returns the number of retained topics.
+func (b *Broker) RetainedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.retained)
+}
+
+// session is one connected client.
+type session struct {
+	id        string
+	transport Transport
+	broker    *Broker
+
+	mu       sync.Mutex
+	pending  map[uint16]*pendingPub
+	nextID   uint16
+	lastSeen time.Time
+	keep     time.Duration
+	done     chan struct{}
+	closedFl bool
+}
+
+type pendingPub struct {
+	pkt     *Packet
+	sentAt  time.Time
+	retries int
+}
+
+func (s *session) close() {
+	s.mu.Lock()
+	if s.closedFl {
+		s.mu.Unlock()
+		return
+	}
+	s.closedFl = true
+	s.mu.Unlock()
+	close(s.done)
+	s.transport.Close()
+}
+
+func (s *session) touch() {
+	s.mu.Lock()
+	s.lastSeen = time.Now()
+	s.mu.Unlock()
+}
+
+func (b *Broker) serveTransport(t Transport) {
+	// First packet must be CONNECT.
+	first, err := t.ReadPacket()
+	if err != nil {
+		t.Close()
+		return
+	}
+	if first.Type != CONNECT {
+		b.cfg.Logf("mqtt broker: %s: first packet %v, want CONNECT", t.RemoteAddr(), first.Type)
+		t.Close()
+		return
+	}
+	if first.ClientID == "" {
+		_ = t.WritePacket(&Packet{Type: CONNACK, ReturnCode: ConnRefusedIdentifier})
+		t.Close()
+		return
+	}
+	if b.cfg.Auth != nil {
+		if code := b.cfg.Auth(first.ClientID, first.Username, first.Password); code != ConnAccepted {
+			b.reg.Counter("mqtt.connect.refused").Inc()
+			_ = t.WritePacket(&Packet{Type: CONNACK, ReturnCode: code})
+			t.Close()
+			return
+		}
+	}
+
+	s := &session{
+		id:        first.ClientID,
+		transport: t,
+		broker:    b,
+		pending:   make(map[uint16]*pendingPub),
+		lastSeen:  time.Now(),
+		keep:      time.Duration(first.KeepAliveSec) * time.Second,
+		done:      make(chan struct{}),
+	}
+
+	// Session takeover: a reconnect with the same client id displaces the
+	// old connection (3.1.1 §3.1.4).
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		t.Close()
+		return
+	}
+	if old := b.sessions[s.id]; old != nil {
+		old.close()
+		b.subs.removeAll(s.id)
+	}
+	b.sessions[s.id] = s
+	b.mu.Unlock()
+
+	if err := t.WritePacket(&Packet{Type: CONNACK, ReturnCode: ConnAccepted}); err != nil {
+		b.dropSession(s)
+		return
+	}
+	b.reg.Counter("mqtt.connect.accepted").Inc()
+
+	// QoS 1 redelivery + keepalive watchdog.
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.sessionJanitor(s)
+	}()
+
+	for {
+		pkt, err := t.ReadPacket()
+		if err != nil {
+			break
+		}
+		s.touch()
+		if stop := b.handlePacket(s, pkt); stop {
+			break
+		}
+	}
+	b.dropSession(s)
+}
+
+// handlePacket processes one inbound packet; it reports whether the session
+// should end.
+func (b *Broker) handlePacket(s *session, pkt *Packet) (stop bool) {
+	switch pkt.Type {
+	case PUBLISH:
+		b.handlePublish(s, pkt)
+	case PUBACK:
+		s.mu.Lock()
+		delete(s.pending, pkt.PacketID)
+		s.mu.Unlock()
+	case SUBSCRIBE:
+		b.handleSubscribe(s, pkt)
+	case UNSUBSCRIBE:
+		b.handleUnsubscribe(s, pkt)
+	case PINGREQ:
+		_ = s.transport.WritePacket(&Packet{Type: PINGRESP})
+	case DISCONNECT:
+		return true
+	default:
+		b.cfg.Logf("mqtt broker: %s sent unexpected %v", s.id, pkt.Type)
+		return true
+	}
+	return false
+}
+
+func (b *Broker) handlePublish(s *session, pkt *Packet) {
+	if err := ValidateTopicName(pkt.Topic); err != nil {
+		b.cfg.Logf("mqtt broker: %s: %v", s.id, err)
+		return
+	}
+	if b.cfg.ACL != nil && !b.cfg.ACL(s.id, pkt.Topic, true) {
+		b.reg.Counter("mqtt.publish.denied").Inc()
+		return
+	}
+	b.reg.Counter("mqtt.publish.in").Inc()
+	if pkt.QoS == 1 {
+		_ = s.transport.WritePacket(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+	}
+	if pkt.Retain {
+		b.mu.Lock()
+		if len(pkt.Payload) == 0 {
+			delete(b.retained, pkt.Topic)
+		} else {
+			b.retained[pkt.Topic] = retainedMsg{payload: pkt.Payload, qos: pkt.QoS}
+		}
+		b.mu.Unlock()
+	}
+	if tap := b.Tap; tap != nil {
+		tap(s.id, pkt.Topic, pkt.Payload, time.Now())
+	}
+	b.route(pkt)
+}
+
+// route fans a publish out to matching subscribers.
+func (b *Broker) route(pkt *Packet) {
+	b.mu.Lock()
+	matches := b.subs.match(pkt.Topic)
+	targets := make([]*session, 0, len(matches))
+	qoss := make([]byte, 0, len(matches))
+	for id, subQoS := range matches {
+		if sess := b.sessions[id]; sess != nil {
+			targets = append(targets, sess)
+			q := pkt.QoS
+			if subQoS < q {
+				q = subQoS
+			}
+			qoss = append(qoss, q)
+		}
+	}
+	b.mu.Unlock()
+
+	for i, sess := range targets {
+		b.deliver(sess, pkt.Topic, pkt.Payload, qoss[i], false)
+	}
+}
+
+// deliver writes one PUBLISH to a subscriber, tracking it for redelivery if
+// QoS 1.
+func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, retain bool) {
+	out := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	if qos == 1 {
+		s.mu.Lock()
+		id := s.allocPacketIDLocked()
+		out.PacketID = id
+		s.pending[id] = &pendingPub{pkt: out, sentAt: time.Now()}
+		s.mu.Unlock()
+	}
+	if err := s.transport.WritePacket(out); err != nil {
+		b.reg.Counter("mqtt.deliver.err").Inc()
+		return
+	}
+	b.reg.Counter("mqtt.deliver.out").Inc()
+}
+
+// allocPacketIDLocked returns the next free packet id; s.mu must be held.
+func (s *session) allocPacketIDLocked() uint16 {
+	for {
+		s.nextID++
+		if s.nextID == 0 {
+			s.nextID = 1
+		}
+		if _, used := s.pending[s.nextID]; !used {
+			return s.nextID
+		}
+	}
+}
+
+func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
+	granted := make([]byte, len(pkt.Filters))
+	accepted := make([]Subscription, 0, len(pkt.Filters))
+	for i, f := range pkt.Filters {
+		qos := f.QoS
+		if qos > 1 {
+			qos = 1 // downgrade: broker supports QoS 0/1
+		}
+		if err := ValidateTopicFilter(f.Filter); err != nil {
+			granted[i] = 0x80
+			continue
+		}
+		if b.cfg.ACL != nil && !b.cfg.ACL(s.id, f.Filter, false) {
+			b.reg.Counter("mqtt.subscribe.denied").Inc()
+			granted[i] = 0x80
+			continue
+		}
+		granted[i] = qos
+		accepted = append(accepted, Subscription{Filter: f.Filter, QoS: qos})
+	}
+
+	b.mu.Lock()
+	for _, f := range accepted {
+		b.subs.add(f.Filter, s.id, f.QoS)
+	}
+	// Snapshot retained messages matching the new filters.
+	type retRef struct {
+		topic string
+		msg   retainedMsg
+		qos   byte
+	}
+	var rets []retRef
+	for topic, msg := range b.retained {
+		for _, f := range accepted {
+			if MatchTopic(f.Filter, topic) {
+				q := msg.qos
+				if f.QoS < q {
+					q = f.QoS
+				}
+				rets = append(rets, retRef{topic: topic, msg: msg, qos: q})
+				break
+			}
+		}
+	}
+	b.mu.Unlock()
+
+	_ = s.transport.WritePacket(&Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted})
+	for _, r := range rets {
+		b.deliver(s, r.topic, r.msg.payload, r.qos, true)
+	}
+	b.reg.Counter("mqtt.subscribe.ok").Add(uint64(len(accepted)))
+}
+
+func (b *Broker) handleUnsubscribe(s *session, pkt *Packet) {
+	b.mu.Lock()
+	for _, f := range pkt.Filters {
+		b.subs.remove(f.Filter, s.id)
+	}
+	b.mu.Unlock()
+	_ = s.transport.WritePacket(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
+}
+
+// sessionJanitor periodically redelivers unacknowledged QoS 1 messages and
+// enforces the keepalive deadline.
+func (b *Broker) sessionJanitor(s *session) {
+	tick := time.NewTicker(b.cfg.RetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-b.done:
+			return
+		case now := <-tick.C:
+			var resend []*Packet
+			expired := false
+			s.mu.Lock()
+			for id, p := range s.pending {
+				if now.Sub(p.sentAt) < b.cfg.RetryInterval {
+					continue
+				}
+				if p.retries >= b.cfg.MaxRetries {
+					delete(s.pending, id)
+					b.reg.Counter("mqtt.deliver.expired").Inc()
+					continue
+				}
+				p.retries++
+				p.sentAt = now
+				dup := *p.pkt
+				dup.Dup = true
+				resend = append(resend, &dup)
+			}
+			if s.keep > 0 && now.Sub(s.lastSeen) > s.keep*3/2 {
+				expired = true
+			}
+			s.mu.Unlock()
+			for _, pkt := range resend {
+				if err := s.transport.WritePacket(pkt); err != nil {
+					break
+				}
+				b.reg.Counter("mqtt.deliver.retry").Inc()
+			}
+			if expired {
+				b.cfg.Logf("mqtt broker: %s keepalive expired", s.id)
+				b.dropSession(s)
+				return
+			}
+		}
+	}
+}
+
+// dropSession removes s from the broker and closes its transport.
+func (b *Broker) dropSession(s *session) {
+	b.mu.Lock()
+	if b.sessions[s.id] == s {
+		delete(b.sessions, s.id)
+		b.subs.removeAll(s.id)
+	}
+	b.mu.Unlock()
+	s.close()
+}
+
+// errBrokerClosed reported by operations on a closed broker.
+var errBrokerClosed = errors.New("mqtt: broker closed")
+
+// InjectPublish routes a message as if a client had published it. The fog
+// node uses this to replay its store-and-forward queue into the cloud
+// broker after a partition heals.
+func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte, retain bool) error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return errBrokerClosed
+	}
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	if b.cfg.ACL != nil && !b.cfg.ACL(clientID, topic, true) {
+		b.reg.Counter("mqtt.publish.denied").Inc()
+		return fmt.Errorf("mqtt: publish to %q denied for %s", topic, clientID)
+	}
+	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	if retain {
+		b.mu.Lock()
+		if len(payload) == 0 {
+			delete(b.retained, topic)
+		} else {
+			b.retained[topic] = retainedMsg{payload: payload, qos: qos}
+		}
+		b.mu.Unlock()
+	}
+	if tap := b.Tap; tap != nil {
+		tap(clientID, topic, payload, time.Now())
+	}
+	b.reg.Counter("mqtt.publish.in").Inc()
+	b.route(pkt)
+	return nil
+}

@@ -1,0 +1,409 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is a received publication handed to a subscription handler.
+type Message struct {
+	Topic   string
+	Payload []byte
+	QoS     byte
+	Retain  bool
+	Dup     bool
+}
+
+// Handler consumes messages for a subscription. Handlers run on the
+// client's read loop: they must not block for long.
+type Handler func(Message)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	ClientID     string
+	Username     string
+	Password     string
+	KeepAlive    time.Duration // 0 disables client pings
+	CleanSession bool
+	// AckTimeout bounds waits for CONNACK/SUBACK/PUBACK (default 2s).
+	AckTimeout time.Duration
+	// PublishRetries is how many times a QoS 1 publish is retransmitted
+	// before giving up (default 5).
+	PublishRetries int
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("mqtt: client closed")
+
+// ErrAckTimeout is returned when the broker does not acknowledge in time
+// (wrapped with context).
+var ErrAckTimeout = errors.New("mqtt: ack timeout")
+
+// Client is an MQTT client running over any Transport. Construct with
+// Connect. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+	t   Transport
+
+	mu       sync.Mutex
+	nextID   uint16
+	acks     map[uint16]chan *Packet // PUBACK / SUBACK / UNSUBACK waiters
+	subs     []clientSub
+	closed   bool
+	closeErr error
+
+	pingpong chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// DefaultHandler receives messages that match no registered
+	// subscription handler (e.g. retained floods). May be nil.
+	DefaultHandler Handler
+}
+
+type clientSub struct {
+	filter  string
+	handler Handler
+}
+
+// Connect performs the MQTT handshake over t and starts the client loops.
+// On error the transport is closed.
+func Connect(t Transport, cfg ClientConfig) (*Client, error) {
+	if cfg.ClientID == "" {
+		t.Close()
+		return nil, fmt.Errorf("mqtt: empty client id")
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 2 * time.Second
+	}
+	if cfg.PublishRetries <= 0 {
+		cfg.PublishRetries = 5
+	}
+	c := &Client{
+		cfg:      cfg,
+		t:        t,
+		acks:     make(map[uint16]chan *Packet),
+		pingpong: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	conn := &Packet{
+		Type:         CONNECT,
+		ClientID:     cfg.ClientID,
+		Username:     cfg.Username,
+		Password:     cfg.Password,
+		KeepAliveSec: uint16(cfg.KeepAlive / time.Second),
+		CleanSession: cfg.CleanSession,
+	}
+	if err := t.WritePacket(conn); err != nil {
+		t.Close()
+		return nil, fmt.Errorf("mqtt connect: %w", err)
+	}
+	ack, err := c.readWithTimeout(cfg.AckTimeout)
+	if err != nil {
+		t.Close()
+		return nil, fmt.Errorf("mqtt connect: waiting CONNACK: %w", err)
+	}
+	if ack.Type != CONNACK {
+		t.Close()
+		return nil, fmt.Errorf("mqtt connect: got %v, want CONNACK", ack.Type)
+	}
+	if ack.ReturnCode != ConnAccepted {
+		t.Close()
+		return nil, fmt.Errorf("mqtt connect: refused (code %d)", ack.ReturnCode)
+	}
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	if cfg.KeepAlive > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.pingLoop()
+		}()
+	}
+	return c, nil
+}
+
+// readWithTimeout reads one packet before the client loops start.
+func (c *Client) readWithTimeout(d time.Duration) (*Packet, error) {
+	type res struct {
+		p   *Packet
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		p, err := c.t.ReadPacket()
+		ch <- res{p, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.p, r.err
+	case <-time.After(d):
+		return nil, ErrAckTimeout
+	}
+}
+
+// Close disconnects cleanly and releases the client goroutines.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.t.WritePacket(&Packet{Type: DISCONNECT})
+	close(c.done)
+	err := c.t.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Closed reports whether the client has shut down (by Close or broker
+// disconnect).
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *Client) readLoop() {
+	for {
+		pkt, err := c.t.ReadPacket()
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.closed = true
+				c.closeErr = err
+				close(c.done)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch pkt.Type {
+		case PUBLISH:
+			c.dispatch(pkt)
+			if pkt.QoS == 1 {
+				_ = c.t.WritePacket(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+			}
+		case PUBACK, SUBACK, UNSUBACK:
+			c.mu.Lock()
+			ch := c.acks[pkt.PacketID]
+			delete(c.acks, pkt.PacketID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- pkt
+			}
+		case PINGRESP:
+			select {
+			case c.pingpong <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Client) dispatch(pkt *Packet) {
+	msg := Message{Topic: pkt.Topic, Payload: pkt.Payload, QoS: pkt.QoS, Retain: pkt.Retain, Dup: pkt.Dup}
+	c.mu.Lock()
+	var h Handler
+	for _, s := range c.subs {
+		if MatchTopic(s.filter, pkt.Topic) {
+			h = s.handler
+			break
+		}
+	}
+	if h == nil {
+		h = c.DefaultHandler
+	}
+	c.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+func (c *Client) pingLoop() {
+	tick := time.NewTicker(c.cfg.KeepAlive)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			if err := c.t.WritePacket(&Packet{Type: PINGREQ}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// allocAck registers an ack waiter and returns (packetID, channel).
+func (c *Client) allocAck() (uint16, chan *Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClientClosed
+	}
+	for {
+		c.nextID++
+		if c.nextID == 0 {
+			c.nextID = 1
+		}
+		if _, used := c.acks[c.nextID]; !used {
+			break
+		}
+	}
+	ch := make(chan *Packet, 1)
+	c.acks[c.nextID] = ch
+	return c.nextID, ch, nil
+}
+
+func (c *Client) dropAck(id uint16) {
+	c.mu.Lock()
+	delete(c.acks, id)
+	c.mu.Unlock()
+}
+
+// Publish sends one message. QoS 0 is fire-and-forget; QoS 1 blocks until
+// PUBACK, retransmitting with the DUP flag up to PublishRetries times —
+// this is the mechanism that survives lossy rural links.
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if qos > 1 {
+		return fmt.Errorf("mqtt: QoS %d unsupported", qos)
+	}
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	if qos == 0 {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClientClosed
+		}
+		return c.t.WritePacket(&Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain})
+	}
+
+	id, ch, err := c.allocAck()
+	if err != nil {
+		return err
+	}
+	defer c.dropAck(id)
+	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: 1, Retain: retain, PacketID: id}
+	for attempt := 0; attempt <= c.cfg.PublishRetries; attempt++ {
+		if attempt > 0 {
+			pkt.Dup = true
+		}
+		if err := c.t.WritePacket(pkt); err != nil {
+			return fmt.Errorf("mqtt publish %q: %w", topic, err)
+		}
+		select {
+		case <-ch:
+			return nil
+		case <-time.After(c.cfg.AckTimeout):
+			// retransmit
+		case <-c.done:
+			return ErrClientClosed
+		}
+	}
+	return fmt.Errorf("mqtt publish %q: %w after %d attempts", topic, ErrAckTimeout, c.cfg.PublishRetries+1)
+}
+
+// Subscribe registers handler for filter and waits for the broker grant.
+// It returns the granted QoS.
+func (c *Client) Subscribe(filter string, qos byte, handler Handler) (byte, error) {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return 0, err
+	}
+	if qos > 1 {
+		qos = 1
+	}
+	id, ch, err := c.allocAck()
+	if err != nil {
+		return 0, err
+	}
+	defer c.dropAck(id)
+
+	// Register the handler before SUBACK so retained messages delivered
+	// immediately after the grant are not missed.
+	c.mu.Lock()
+	c.subs = append(c.subs, clientSub{filter: filter, handler: handler})
+	c.mu.Unlock()
+
+	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, Filters: []Subscription{{Filter: filter, QoS: qos}}}
+	if err := c.t.WritePacket(pkt); err != nil {
+		c.removeSub(filter)
+		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, err)
+	}
+	select {
+	case ack := <-ch:
+		if len(ack.GrantedQoS) != 1 || ack.GrantedQoS[0] == 0x80 {
+			c.removeSub(filter)
+			return 0, fmt.Errorf("mqtt subscribe %q: rejected by broker", filter)
+		}
+		return ack.GrantedQoS[0], nil
+	case <-time.After(c.cfg.AckTimeout):
+		c.removeSub(filter)
+		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, ErrAckTimeout)
+	case <-c.done:
+		return 0, ErrClientClosed
+	}
+}
+
+// Unsubscribe removes the subscription for filter.
+func (c *Client) Unsubscribe(filter string) error {
+	id, ch, err := c.allocAck()
+	if err != nil {
+		return err
+	}
+	defer c.dropAck(id)
+	pkt := &Packet{Type: UNSUBSCRIBE, PacketID: id, Filters: []Subscription{{Filter: filter}}}
+	if err := c.t.WritePacket(pkt); err != nil {
+		return fmt.Errorf("mqtt unsubscribe %q: %w", filter, err)
+	}
+	select {
+	case <-ch:
+		c.removeSub(filter)
+		return nil
+	case <-time.After(c.cfg.AckTimeout):
+		return fmt.Errorf("mqtt unsubscribe %q: %w", filter, ErrAckTimeout)
+	case <-c.done:
+		return ErrClientClosed
+	}
+}
+
+func (c *Client) removeSub(filter string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.subs {
+		if s.filter == filter {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Ping sends a PINGREQ and waits for the PINGRESP, useful as a liveness
+// probe over impaired links.
+func (c *Client) Ping(timeout time.Duration) error {
+	select {
+	case <-c.pingpong: // drain stale pong
+	default:
+	}
+	if err := c.t.WritePacket(&Packet{Type: PINGREQ}); err != nil {
+		return err
+	}
+	select {
+	case <-c.pingpong:
+		return nil
+	case <-time.After(timeout):
+		return ErrAckTimeout
+	case <-c.done:
+		return ErrClientClosed
+	}
+}

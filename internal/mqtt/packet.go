@@ -1,0 +1,448 @@
+// Package mqtt implements the subset of MQTT 3.1.1 the SWAMP platform uses
+// as its device transport: CONNECT/CONNACK, PUBLISH with QoS 0 and 1
+// (PUBACK), SUBSCRIBE/SUBACK, UNSUBSCRIBE/UNSUBACK, PING and DISCONNECT,
+// plus retained messages and the standard '+' / '#' topic wildcards.
+//
+// The wire codec is the real 3.1.1 framing (fixed header, varint remaining
+// length, UTF-8 strings), so the broker can serve genuine TCP clients; an
+// additional transport runs the same packets over simnet links to model
+// lossy rural connections beneath the MQTT layer.
+package mqtt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PacketType is the 4-bit MQTT control packet type.
+type PacketType byte
+
+// MQTT 3.1.1 control packet types (the implemented subset).
+const (
+	CONNECT     PacketType = 1
+	CONNACK     PacketType = 2
+	PUBLISH     PacketType = 3
+	PUBACK      PacketType = 4
+	SUBSCRIBE   PacketType = 8
+	SUBACK      PacketType = 9
+	UNSUBSCRIBE PacketType = 10
+	UNSUBACK    PacketType = 11
+	PINGREQ     PacketType = 12
+	PINGRESP    PacketType = 13
+	DISCONNECT  PacketType = 14
+)
+
+var typeNames = map[PacketType]string{
+	CONNECT: "CONNECT", CONNACK: "CONNACK", PUBLISH: "PUBLISH", PUBACK: "PUBACK",
+	SUBSCRIBE: "SUBSCRIBE", SUBACK: "SUBACK", UNSUBSCRIBE: "UNSUBSCRIBE",
+	UNSUBACK: "UNSUBACK", PINGREQ: "PINGREQ", PINGRESP: "PINGRESP", DISCONNECT: "DISCONNECT",
+}
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("packet-type(%d)", byte(t))
+}
+
+// Connect return codes carried in CONNACK.
+const (
+	ConnAccepted          byte = 0
+	ConnRefusedProtocol   byte = 1
+	ConnRefusedIdentifier byte = 2
+	ConnRefusedBadAuth    byte = 4
+	ConnRefusedNotAuthed  byte = 5
+)
+
+// Packet is the decoded form of one MQTT control packet. A single struct
+// (rather than one type per packet) keeps the codec and the broker's
+// dispatch loop simple; unused fields are zero.
+type Packet struct {
+	Type PacketType
+
+	// CONNECT
+	ClientID     string
+	Username     string
+	Password     string
+	KeepAliveSec uint16
+	CleanSession bool
+
+	// CONNACK
+	ReturnCode     byte
+	SessionPresent bool
+
+	// PUBLISH
+	Topic    string
+	Payload  []byte
+	QoS      byte
+	Retain   bool
+	Dup      bool
+	PacketID uint16 // also PUBACK / SUBSCRIBE / SUBACK / UNSUBSCRIBE / UNSUBACK
+
+	// SUBSCRIBE / UNSUBSCRIBE
+	Filters []Subscription
+	// SUBACK
+	GrantedQoS []byte
+}
+
+// Subscription pairs a topic filter with a requested QoS.
+type Subscription struct {
+	Filter string
+	QoS    byte
+}
+
+// ErrMalformed is wrapped by all decode errors.
+var ErrMalformed = errors.New("mqtt: malformed packet")
+
+const maxRemainingLength = 268_435_455 // MQTT spec maximum
+
+// protocolName and protocolLevel identify MQTT 3.1.1 in CONNECT.
+const (
+	protocolName  = "MQTT"
+	protocolLevel = 4
+)
+
+// Encode serialises p into MQTT 3.1.1 wire format.
+func (p *Packet) Encode() ([]byte, error) {
+	var body bytes.Buffer
+	var flags byte
+
+	switch p.Type {
+	case CONNECT:
+		writeString(&body, protocolName)
+		body.WriteByte(protocolLevel)
+		var connectFlags byte
+		if p.CleanSession {
+			connectFlags |= 0x02
+		}
+		if p.Username != "" {
+			connectFlags |= 0x80
+		}
+		if p.Password != "" {
+			connectFlags |= 0x40
+		}
+		body.WriteByte(connectFlags)
+		writeUint16(&body, p.KeepAliveSec)
+		writeString(&body, p.ClientID)
+		if p.Username != "" {
+			writeString(&body, p.Username)
+		}
+		if p.Password != "" {
+			writeString(&body, p.Password)
+		}
+
+	case CONNACK:
+		var ack byte
+		if p.SessionPresent {
+			ack = 1
+		}
+		body.WriteByte(ack)
+		body.WriteByte(p.ReturnCode)
+
+	case PUBLISH:
+		if p.QoS > 1 {
+			return nil, fmt.Errorf("mqtt: QoS %d unsupported (only 0 and 1)", p.QoS)
+		}
+		if err := ValidateTopicName(p.Topic); err != nil {
+			return nil, err
+		}
+		if p.Dup {
+			flags |= 0x08
+		}
+		flags |= p.QoS << 1
+		if p.Retain {
+			flags |= 0x01
+		}
+		writeString(&body, p.Topic)
+		if p.QoS > 0 {
+			writeUint16(&body, p.PacketID)
+		}
+		body.Write(p.Payload)
+
+	case PUBACK:
+		writeUint16(&body, p.PacketID)
+
+	case SUBSCRIBE:
+		flags = 0x02 // mandated reserved bits
+		writeUint16(&body, p.PacketID)
+		if len(p.Filters) == 0 {
+			return nil, fmt.Errorf("mqtt: SUBSCRIBE with no filters")
+		}
+		for _, f := range p.Filters {
+			if err := ValidateTopicFilter(f.Filter); err != nil {
+				return nil, err
+			}
+			writeString(&body, f.Filter)
+			body.WriteByte(f.QoS)
+		}
+
+	case SUBACK:
+		writeUint16(&body, p.PacketID)
+		body.Write(p.GrantedQoS)
+
+	case UNSUBSCRIBE:
+		flags = 0x02
+		writeUint16(&body, p.PacketID)
+		if len(p.Filters) == 0 {
+			return nil, fmt.Errorf("mqtt: UNSUBSCRIBE with no filters")
+		}
+		for _, f := range p.Filters {
+			writeString(&body, f.Filter)
+		}
+
+	case UNSUBACK:
+		writeUint16(&body, p.PacketID)
+
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// no body
+
+	default:
+		return nil, fmt.Errorf("mqtt: cannot encode packet type %v", p.Type)
+	}
+
+	if body.Len() > maxRemainingLength {
+		return nil, fmt.Errorf("mqtt: packet too large (%d bytes)", body.Len())
+	}
+
+	var out bytes.Buffer
+	out.WriteByte(byte(p.Type)<<4 | flags)
+	writeRemainingLength(&out, body.Len())
+	out.Write(body.Bytes())
+	return out.Bytes(), nil
+}
+
+// Decode parses one packet from raw wire bytes (fixed header included).
+func Decode(raw []byte) (*Packet, error) {
+	r := bytes.NewReader(raw)
+	p, err := ReadPacket(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, r.Len())
+	}
+	return p, nil
+}
+
+// ReadPacket reads and decodes exactly one packet from r.
+func ReadPacket(r io.Reader) (*Packet, error) {
+	var hdr [1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // propagate io.EOF for clean shutdown detection
+	}
+	pt := PacketType(hdr[0] >> 4)
+	flags := hdr[0] & 0x0f
+
+	rl, err := readRemainingLength(r)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, rl)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: short body: %v", ErrMalformed, err)
+	}
+	return decodeBody(pt, flags, body)
+}
+
+func decodeBody(pt PacketType, flags byte, body []byte) (*Packet, error) {
+	p := &Packet{Type: pt}
+	buf := bytes.NewReader(body)
+
+	switch pt {
+	case CONNECT:
+		name, err := readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		if name != protocolName {
+			return nil, fmt.Errorf("%w: protocol name %q", ErrMalformed, name)
+		}
+		level, err := buf.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing protocol level", ErrMalformed)
+		}
+		if level != protocolLevel {
+			return nil, fmt.Errorf("%w: protocol level %d", ErrMalformed, level)
+		}
+		cf, err := buf.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing connect flags", ErrMalformed)
+		}
+		p.CleanSession = cf&0x02 != 0
+		ka, err := readUint16(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.KeepAliveSec = ka
+		if p.ClientID, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if cf&0x80 != 0 {
+			if p.Username, err = readString(buf); err != nil {
+				return nil, err
+			}
+		}
+		if cf&0x40 != 0 {
+			if p.Password, err = readString(buf); err != nil {
+				return nil, err
+			}
+		}
+
+	case CONNACK:
+		if len(body) != 2 {
+			return nil, fmt.Errorf("%w: CONNACK body %d bytes", ErrMalformed, len(body))
+		}
+		p.SessionPresent = body[0]&1 != 0
+		p.ReturnCode = body[1]
+
+	case PUBLISH:
+		p.Dup = flags&0x08 != 0
+		p.QoS = (flags >> 1) & 0x03
+		p.Retain = flags&0x01 != 0
+		if p.QoS > 1 {
+			return nil, fmt.Errorf("%w: QoS %d unsupported", ErrMalformed, p.QoS)
+		}
+		topic, err := readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.Topic = topic
+		if p.QoS > 0 {
+			if p.PacketID, err = readUint16(buf); err != nil {
+				return nil, err
+			}
+		}
+		p.Payload = make([]byte, buf.Len())
+		if _, err := io.ReadFull(buf, p.Payload); err != nil {
+			return nil, fmt.Errorf("%w: payload: %v", ErrMalformed, err)
+		}
+
+	case PUBACK, UNSUBACK:
+		id, err := readUint16(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.PacketID = id
+
+	case SUBSCRIBE:
+		id, err := readUint16(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.PacketID = id
+		for buf.Len() > 0 {
+			f, err := readString(buf)
+			if err != nil {
+				return nil, err
+			}
+			q, err := buf.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: missing subscribe QoS", ErrMalformed)
+			}
+			p.Filters = append(p.Filters, Subscription{Filter: f, QoS: q})
+		}
+		if len(p.Filters) == 0 {
+			return nil, fmt.Errorf("%w: SUBSCRIBE with no filters", ErrMalformed)
+		}
+
+	case SUBACK:
+		id, err := readUint16(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.PacketID = id
+		p.GrantedQoS = make([]byte, buf.Len())
+		if _, err := io.ReadFull(buf, p.GrantedQoS); err != nil {
+			return nil, fmt.Errorf("%w: SUBACK codes: %v", ErrMalformed, err)
+		}
+
+	case UNSUBSCRIBE:
+		id, err := readUint16(buf)
+		if err != nil {
+			return nil, err
+		}
+		p.PacketID = id
+		for buf.Len() > 0 {
+			f, err := readString(buf)
+			if err != nil {
+				return nil, err
+			}
+			p.Filters = append(p.Filters, Subscription{Filter: f})
+		}
+
+	case PINGREQ, PINGRESP, DISCONNECT:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %v with body", ErrMalformed, pt)
+		}
+
+	default:
+		return nil, fmt.Errorf("%w: unknown packet type %d", ErrMalformed, pt)
+	}
+	return p, nil
+}
+
+// --- primitive encoders / decoders ---
+
+func writeUint16(w *bytes.Buffer, v uint16) {
+	w.WriteByte(byte(v >> 8))
+	w.WriteByte(byte(v))
+}
+
+func readUint16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: short uint16", ErrMalformed)
+	}
+	return uint16(b[0])<<8 | uint16(b[1]), nil
+}
+
+func writeString(w *bytes.Buffer, s string) {
+	writeUint16(w, uint16(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := readUint16(r)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("%w: short string", ErrMalformed)
+	}
+	return string(b), nil
+}
+
+func writeRemainingLength(w *bytes.Buffer, n int) {
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		w.WriteByte(b)
+		if n == 0 {
+			return
+		}
+	}
+}
+
+func readRemainingLength(r io.Reader) (int, error) {
+	mult := 1
+	val := 0
+	var b [1]byte
+	for i := 0; i < 4; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, fmt.Errorf("%w: short remaining length", ErrMalformed)
+		}
+		val += int(b[0]&0x7f) * mult
+		if b[0]&0x80 == 0 {
+			return val, nil
+		}
+		mult *= 128
+	}
+	return 0, fmt.Errorf("%w: remaining length overflow", ErrMalformed)
+}

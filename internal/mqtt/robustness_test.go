@@ -1,0 +1,173 @@
+package mqtt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/simnet"
+)
+
+// TestBrokerKeepaliveExpiry: a client that stops talking past 1.5× its
+// keepalive is dropped by the broker's janitor.
+func TestBrokerKeepaliveExpiry(t *testing.T) {
+	b := NewBroker(BrokerConfig{RetryInterval: 20 * time.Millisecond})
+	defer b.Close()
+	// KeepAlive 0 on the client side disables client pings; the CONNECT
+	// still advertises 1 second, so the broker expects traffic.
+	ct, st, cleanup, err := NewSimPair(simnet.Config{}, "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	b.AttachTransport(st)
+	// Hand-roll the connect so no ping loop runs.
+	if err := ct.WritePacket(&Packet{Type: CONNECT, ClientID: "quiet", KeepAliveSec: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return b.SessionCount() == 1 })
+	// Silence > 1.5s → dropped.
+	waitFor(t, 4*time.Second, func() bool { return b.SessionCount() == 0 })
+}
+
+// TestBrokerSurvivesGarbage: random byte blobs thrown at the broker as
+// "first packets" must be rejected without panicking or leaking sessions.
+func TestBrokerSurvivesGarbage(t *testing.T) {
+	b := NewBroker(BrokerConfig{Logf: func(string, ...any) {}})
+	defer b.Close()
+	f := func(blob []byte) bool {
+		ct, st, cleanup, err := NewSimPair(simnet.Config{}, "garbage")
+		if err != nil {
+			return false
+		}
+		defer cleanup()
+		b.AttachTransport(st)
+		_ = ct.(*SimTransport).ep.Send(blob) // raw frame, bypassing the codec
+		time.Sleep(time.Millisecond)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := b.SessionCount(); n != 0 {
+		t.Errorf("%d sessions leaked from garbage connects", n)
+	}
+}
+
+// TestBrokerRejectsNonConnectFirst: the first packet must be CONNECT.
+func TestBrokerRejectsNonConnectFirst(t *testing.T) {
+	b := NewBroker(BrokerConfig{Logf: func(string, ...any) {}})
+	defer b.Close()
+	ct, st, cleanup, err := NewSimPair(simnet.Config{}, "eager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	b.AttachTransport(st)
+	if err := ct.WritePacket(&Packet{Type: PUBLISH, Topic: "x", Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	// The broker must close the transport; the next read fails.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := ct.ReadPacket(); err != nil {
+			return
+		}
+	}
+	t.Fatal("broker kept a session that never sent CONNECT")
+}
+
+// TestBrokerRejectsEmptyClientID per MQTT 3.1.1 with clean-session
+// identifiers required in this implementation.
+func TestBrokerRejectsEmptyClientID(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	ct, st, cleanup, err := NewSimPair(simnet.Config{}, "anon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	b.AttachTransport(st)
+	if err := ct.WritePacket(&Packet{Type: CONNECT, ClientID: ""}); err != nil {
+		t.Fatal(err)
+	}
+	// The broker sends a refusal CONNACK and immediately closes; depending
+	// on scheduling the client sees either. Both are a rejection.
+	ack, err := ct.ReadPacket()
+	if err == nil && (ack.Type != CONNACK || ack.ReturnCode != ConnRefusedIdentifier) {
+		t.Errorf("ack = %+v", ack)
+	}
+	waitFor(t, time.Second, func() bool { return b.SessionCount() == 0 })
+}
+
+// TestDecodeFuzzNoPanic feeds random blobs to the packet decoder.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	f := func(blob []byte) bool {
+		_, _ = Decode(blob) // must not panic; errors are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRetainedReplacedNotDuplicated: re-publishing a retained topic keeps
+// exactly one retained message with the newest payload.
+func TestRetainedReplacedNotDuplicated(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	pub := newTestPair(t, b, "r-pub")
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish("cfg/x", []byte{byte('0' + i)}, 1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return b.RetainedCount() == 1 })
+	sub := newTestPair(t, b, "r-sub")
+	got := make(chan Message, 4)
+	if _, err := sub.Subscribe("cfg/x", 0, func(m Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "4" {
+			t.Errorf("retained payload %q, want newest \"4\"", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no retained delivery")
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("duplicate retained delivery: %q", m.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestManyClientsFanOut: one publish reaches dozens of subscribers.
+func TestManyClientsFanOut(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	const n = 40
+	got := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		c := newTestPair(t, b, "fan-sub-"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		if _, err := c.Subscribe("fan/#", 0, func(Message) { got <- struct{}{} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := newTestPair(t, b, "fan-pub")
+	if err := pub.Publish("fan/x", []byte("v"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d subscribers reached", i, n)
+		}
+	}
+}

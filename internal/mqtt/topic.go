@@ -1,0 +1,178 @@
+package mqtt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidateTopicName checks a concrete topic (no wildcards) used in PUBLISH.
+func ValidateTopicName(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("mqtt: empty topic")
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("mqtt: wildcard in topic name %q", topic)
+	}
+	if strings.ContainsRune(topic, 0) {
+		return fmt.Errorf("mqtt: NUL in topic name")
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a subscription filter, allowing '+' and a
+// trailing '#' per the 3.1.1 rules.
+func ValidateTopicFilter(filter string) error {
+	if filter == "" {
+		return fmt.Errorf("mqtt: empty topic filter")
+	}
+	if strings.ContainsRune(filter, 0) {
+		return fmt.Errorf("mqtt: NUL in topic filter")
+	}
+	levels := strings.Split(filter, "/")
+	for i, lv := range levels {
+		switch {
+		case lv == "#":
+			if i != len(levels)-1 {
+				return fmt.Errorf("mqtt: '#' not at end of filter %q", filter)
+			}
+		case lv == "+":
+			// single-level wildcard is fine anywhere
+		case strings.ContainsAny(lv, "+#"):
+			return fmt.Errorf("mqtt: wildcard mixed into level %q of filter %q", lv, filter)
+		}
+	}
+	return nil
+}
+
+// MatchTopic reports whether the concrete topic matches the filter under
+// MQTT 3.1.1 wildcard semantics. Topics beginning with '$' are not matched
+// by wildcard-leading filters (the $SYS rule).
+func MatchTopic(filter, topic string) bool {
+	if filter == topic {
+		return true
+	}
+	fl := strings.Split(filter, "/")
+	tl := strings.Split(topic, "/")
+	// $-prefixed topics must not match filters starting with a wildcard.
+	if len(tl) > 0 && strings.HasPrefix(tl[0], "$") && (fl[0] == "+" || fl[0] == "#") {
+		return false
+	}
+	for i, f := range fl {
+		if f == "#" {
+			return true
+		}
+		if i >= len(tl) {
+			return false
+		}
+		if f != "+" && f != tl[i] {
+			return false
+		}
+	}
+	return len(fl) == len(tl)
+}
+
+// subTree is a trie over topic levels used by the broker to find matching
+// subscribers quickly. Not safe for concurrent use; the broker guards it.
+type subTree struct {
+	children map[string]*subTree
+	subs     map[string]byte // client id -> granted QoS
+}
+
+func newSubTree() *subTree {
+	return &subTree{children: make(map[string]*subTree), subs: make(map[string]byte)}
+}
+
+// add registers clientID under filter with qos, replacing any previous QoS.
+func (t *subTree) add(filter, clientID string, qos byte) {
+	node := t
+	for _, lv := range strings.Split(filter, "/") {
+		child := node.children[lv]
+		if child == nil {
+			child = newSubTree()
+			node.children[lv] = child
+		}
+		node = child
+	}
+	node.subs[clientID] = qos
+}
+
+// remove deletes clientID's subscription under filter. It reports whether a
+// subscription was actually removed. Empty branches are pruned.
+func (t *subTree) remove(filter, clientID string) bool {
+	levels := strings.Split(filter, "/")
+	return t.removeLevels(levels, clientID)
+}
+
+func (t *subTree) removeLevels(levels []string, clientID string) bool {
+	if len(levels) == 0 {
+		if _, ok := t.subs[clientID]; ok {
+			delete(t.subs, clientID)
+			return true
+		}
+		return false
+	}
+	child := t.children[levels[0]]
+	if child == nil {
+		return false
+	}
+	removed := child.removeLevels(levels[1:], clientID)
+	if removed && len(child.subs) == 0 && len(child.children) == 0 {
+		delete(t.children, levels[0])
+	}
+	return removed
+}
+
+// removeAll deletes every subscription of clientID anywhere in the tree.
+func (t *subTree) removeAll(clientID string) {
+	delete(t.subs, clientID)
+	for lv, child := range t.children {
+		child.removeAll(clientID)
+		if len(child.subs) == 0 && len(child.children) == 0 {
+			delete(t.children, lv)
+		}
+	}
+}
+
+// match collects (clientID, qos) pairs whose filters match topic. A client
+// subscribed via several overlapping filters is reported once at the
+// highest granted QoS.
+func (t *subTree) match(topic string) map[string]byte {
+	out := make(map[string]byte)
+	tl := strings.Split(topic, "/")
+	dollar := len(tl) > 0 && strings.HasPrefix(tl[0], "$")
+	t.matchLevels(tl, dollar, true, out)
+	return out
+}
+
+func (t *subTree) matchLevels(levels []string, dollar, first bool, out map[string]byte) {
+	if len(levels) == 0 {
+		collect(t.subs, out)
+		// "sport/#" matches "sport" too: a '#' child at the terminal level.
+		if h := t.children["#"]; h != nil {
+			collect(h.subs, out)
+		}
+		return
+	}
+	lv := levels[0]
+	if child := t.children[lv]; child != nil {
+		child.matchLevels(levels[1:], dollar, false, out)
+	}
+	// Wildcards never match the first level of $-topics.
+	if dollar && first {
+		return
+	}
+	if child := t.children["+"]; child != nil {
+		child.matchLevels(levels[1:], dollar, false, out)
+	}
+	if child := t.children["#"]; child != nil {
+		collect(child.subs, out)
+	}
+}
+
+func collect(src, dst map[string]byte) {
+	for id, q := range src {
+		if cur, ok := dst[id]; !ok || q > cur {
+			dst[id] = q
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package mqtt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/simnet"
+)
+
+// Transport moves whole MQTT packets between a client and the broker. Two
+// implementations exist: StreamTransport over a net.Conn (real TCP framing)
+// and SimTransport over a simnet endpoint (one frame per packet, so the
+// simulated link's loss applies per-packet, beneath the QoS layer).
+type Transport interface {
+	// WritePacket sends one packet. It may silently lose the packet if the
+	// underlying medium does (SimTransport); stream transports never do.
+	WritePacket(p *Packet) error
+	// ReadPacket blocks for the next packet. io.EOF / ErrTransportClosed
+	// signal an orderly close.
+	ReadPacket() (*Packet, error)
+	// Close tears the transport down, unblocking pending reads.
+	Close() error
+	// RemoteAddr describes the peer for logging.
+	RemoteAddr() string
+}
+
+// ErrTransportClosed is returned by ReadPacket after Close.
+var ErrTransportClosed = errors.New("mqtt: transport closed")
+
+// StreamTransport frames packets over a byte stream (normally TCP).
+type StreamTransport struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex // serialise writers
+}
+
+// NewStreamTransport wraps conn.
+func NewStreamTransport(conn net.Conn) *StreamTransport {
+	return &StreamTransport{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// WritePacket implements Transport.
+func (t *StreamTransport) WritePacket(p *Packet) error {
+	raw, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	_, err = t.conn.Write(raw)
+	return err
+}
+
+// ReadPacket implements Transport.
+func (t *StreamTransport) ReadPacket() (*Packet, error) {
+	return ReadPacket(t.r)
+}
+
+// Close implements Transport.
+func (t *StreamTransport) Close() error { return t.conn.Close() }
+
+// RemoteAddr implements Transport.
+func (t *StreamTransport) RemoteAddr() string {
+	if a := t.conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "stream"
+}
+
+// SetReadDeadline exposes the conn deadline for keepalive enforcement.
+func (t *StreamTransport) SetReadDeadline(at time.Time) error {
+	return t.conn.SetReadDeadline(at)
+}
+
+// SimTransport carries one encoded packet per simnet frame. Loss on the
+// simulated link silently discards individual packets — exactly the failure
+// the QoS 1 retransmission path must absorb.
+type SimTransport struct {
+	ep   *simnet.Endpoint
+	name string
+
+	closed chan struct{}
+	once   *sync.Once
+}
+
+// NewSimTransport wraps one endpoint of a simnet duplex.
+func NewSimTransport(ep *simnet.Endpoint, name string) *SimTransport {
+	return &SimTransport{ep: ep, name: name, closed: make(chan struct{}), once: new(sync.Once)}
+}
+
+// WritePacket implements Transport.
+func (t *SimTransport) WritePacket(p *Packet) error {
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	raw, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	return t.ep.Send(raw)
+}
+
+// ReadPacket implements Transport.
+func (t *SimTransport) ReadPacket() (*Packet, error) {
+	select {
+	case raw, ok := <-t.ep.Recv():
+		if !ok {
+			return nil, ErrTransportClosed
+		}
+		return Decode(raw)
+	case <-t.closed:
+		return nil, ErrTransportClosed
+	}
+}
+
+// Close implements Transport.
+func (t *SimTransport) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	return nil
+}
+
+// RemoteAddr implements Transport.
+func (t *SimTransport) RemoteAddr() string { return "sim:" + t.name }
+
+// NewSimPair builds a connected (client, broker-side) transport pair over a
+// fresh simnet duplex with cfg impairments. Closing either side closes the
+// pair, mirroring TCP connection semantics. The returned cleanup closes the
+// duplex.
+func NewSimPair(cfg simnet.Config, name string) (client, server Transport, cleanup func(), err error) {
+	d, err := simnet.NewDuplex(cfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("mqtt: sim pair: %w", err)
+	}
+	// Shared close signal: like a TCP conn, either endpoint closing tears
+	// down both directions.
+	closed := make(chan struct{})
+	once := new(sync.Once)
+	c := &SimTransport{ep: d.A, name: name + "-client", closed: closed, once: once}
+	s := &SimTransport{ep: d.B, name: name + "-server", closed: closed, once: once}
+	return c, s, func() {
+		c.Close()
+		d.Close()
+	}, nil
+}

@@ -1,0 +1,380 @@
+package ngsi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// ErrNotFound is returned for lookups of unknown entities or subscriptions.
+var ErrNotFound = errors.New("ngsi: not found")
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("ngsi: broker closed")
+
+// Notification is what a subscriber receives: the subscription that fired
+// and the entity snapshot restricted to the requested attributes.
+type Notification struct {
+	SubscriptionID string
+	Entity         *Entity
+	At             time.Time
+}
+
+// Handler consumes notifications. Handlers run on the broker's dispatch
+// goroutine; they must not block for long.
+type Handler func(Notification)
+
+// Subscription describes the NGSI-v2 subject+notification contract:
+// which entities, which attribute changes trigger, which attributes are
+// delivered, and optional throttling.
+type Subscription struct {
+	ID string
+	// EntityIDPattern selects entities: exact id, prefix with '*', or "*".
+	EntityIDPattern string
+	// EntityType, if non-empty, further restricts matching entities.
+	EntityType string
+	// ConditionAttrs lists the attributes whose change fires the
+	// subscription; empty means any attribute change.
+	ConditionAttrs []string
+	// NotifyAttrs restricts the attributes included in notifications;
+	// empty means all.
+	NotifyAttrs []string
+	// Throttling suppresses notifications closer together than this.
+	Throttling time.Duration
+	// Handler receives the notifications. Required.
+	Handler Handler
+}
+
+type subState struct {
+	sub          Subscription
+	lastNotified map[string]time.Time // per entity id
+}
+
+// BrokerConfig configures the context broker.
+type BrokerConfig struct {
+	// Clock drives throttling decisions; nil means the wall clock.
+	Clock clock.Clock
+	// Metrics receives broker counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+	// QueueLen bounds the async notification queue (default 4096).
+	QueueLen int
+}
+
+// Broker is the context broker. Construct with NewBroker; call Close to
+// release the dispatch goroutine.
+type Broker struct {
+	clk clock.Clock
+	reg *metrics.Registry
+
+	mu       sync.RWMutex
+	entities map[string]*Entity
+	subs     map[string]*subState
+	nextSub  int
+	closed   bool
+
+	queue chan queuedNotification
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type queuedNotification struct {
+	handler Handler
+	note    Notification
+}
+
+// NewBroker constructs a broker and starts its dispatcher.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	b := &Broker{
+		clk:      cfg.Clock,
+		reg:      cfg.Metrics,
+		entities: make(map[string]*Entity),
+		subs:     make(map[string]*subState),
+		queue:    make(chan queuedNotification, cfg.QueueLen),
+		done:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.dispatch()
+	}()
+	return b
+}
+
+func (b *Broker) dispatch() {
+	for {
+		select {
+		case <-b.done:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case q := <-b.queue:
+					q.handler(q.note)
+				default:
+					return
+				}
+			}
+		case q := <-b.queue:
+			q.handler(q.note)
+		}
+	}
+}
+
+// Close stops the dispatcher after draining queued notifications.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.done)
+	b.wg.Wait()
+}
+
+// Metrics returns the broker's registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// UpsertEntity creates or replaces an entity wholesale and notifies
+// subscribers of every attribute as changed.
+func (b *Broker) UpsertEntity(e *Entity) error {
+	if err := validateEntityKey(e.ID, e.Type); err != nil {
+		return err
+	}
+	cp := e.Clone()
+	now := b.clk.Now()
+	for k, a := range cp.Attrs {
+		if a.At.IsZero() {
+			a.At = now
+			cp.Attrs[k] = a
+		}
+	}
+	changed := make([]string, 0, len(cp.Attrs))
+	for k := range cp.Attrs {
+		changed = append(changed, k)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.entities[cp.ID] = cp
+	b.reg.Counter("ngsi.upsert").Inc()
+	b.notifyLocked(cp, changed)
+	b.mu.Unlock()
+	return nil
+}
+
+// UpdateAttrs merges attribute updates into an existing entity (creating it
+// with type typ if absent, matching Orion's upsert semantics for the IoT
+// agent path) and fires matching subscriptions.
+func (b *Broker) UpdateAttrs(id, typ string, attrs map[string]Attribute) error {
+	if err := validateEntityKey(id, typ); err != nil {
+		return err
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("ngsi: entity %q: empty attribute update", id)
+	}
+	now := b.clk.Now()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	e := b.entities[id]
+	if e == nil {
+		e = &Entity{ID: id, Type: typ, Attrs: make(map[string]Attribute)}
+		b.entities[id] = e
+	}
+	changed := make([]string, 0, len(attrs))
+	for k, a := range attrs {
+		ca := cloneAttr(a)
+		if ca.At.IsZero() {
+			ca.At = now
+		}
+		e.Attrs[k] = ca
+		changed = append(changed, k)
+	}
+	b.reg.Counter("ngsi.update").Inc()
+	b.notifyLocked(e, changed)
+	return nil
+}
+
+// BatchUpdate applies several entity updates atomically with respect to
+// queries (one lock hold) and fires subscriptions per entity.
+func (b *Broker) BatchUpdate(updates map[string]struct {
+	Type  string
+	Attrs map[string]Attribute
+}) error {
+	ids := make([]string, 0, len(updates))
+	for id := range updates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic application order
+	for _, id := range ids {
+		u := updates[id]
+		if err := b.UpdateAttrs(id, u.Type, u.Attrs); err != nil {
+			return fmt.Errorf("ngsi: batch update %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// GetEntity returns a deep copy of the entity.
+func (b *Broker) GetEntity(id string) (*Entity, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e := b.entities[id]
+	if e == nil {
+		return nil, fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
+	}
+	return e.Clone(), nil
+}
+
+// QueryEntities returns copies of entities matching the id pattern and
+// (optional) type, sorted by id.
+func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []*Entity
+	for id, e := range b.entities {
+		if !MatchIDPattern(idPattern, id) {
+			continue
+		}
+		if entityType != "" && e.Type != entityType {
+			continue
+		}
+		out = append(out, e.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DeleteEntity removes an entity.
+func (b *Broker) DeleteEntity(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.entities[id]; !ok {
+		return fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
+	}
+	delete(b.entities, id)
+	b.reg.Counter("ngsi.delete").Inc()
+	return nil
+}
+
+// EntityCount returns the number of stored entities.
+func (b *Broker) EntityCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entities)
+}
+
+// Subscribe registers a subscription and returns its id.
+func (b *Broker) Subscribe(sub Subscription) (string, error) {
+	if sub.Handler == nil {
+		return "", fmt.Errorf("ngsi: subscription without handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return "", ErrClosed
+	}
+	if sub.ID == "" {
+		b.nextSub++
+		sub.ID = fmt.Sprintf("sub-%d", b.nextSub)
+	}
+	if _, dup := b.subs[sub.ID]; dup {
+		return "", fmt.Errorf("ngsi: duplicate subscription id %q", sub.ID)
+	}
+	b.subs[sub.ID] = &subState{sub: sub, lastNotified: make(map[string]time.Time)}
+	b.reg.Counter("ngsi.subscribe").Inc()
+	return sub.ID, nil
+}
+
+// Unsubscribe removes a subscription.
+func (b *Broker) Unsubscribe(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[id]; !ok {
+		return fmt.Errorf("ngsi: subscription %q: %w", id, ErrNotFound)
+	}
+	delete(b.subs, id)
+	return nil
+}
+
+// SubscriptionCount returns the number of active subscriptions.
+func (b *Broker) SubscriptionCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// notifyLocked evaluates subscriptions against an entity whose attributes
+// in changed were just written. b.mu must be held.
+func (b *Broker) notifyLocked(e *Entity, changed []string) {
+	now := b.clk.Now()
+	for _, st := range b.subs {
+		s := &st.sub
+		if !MatchIDPattern(s.EntityIDPattern, e.ID) {
+			continue
+		}
+		if s.EntityType != "" && s.EntityType != e.Type {
+			continue
+		}
+		if len(s.ConditionAttrs) > 0 && !intersects(s.ConditionAttrs, changed) {
+			continue
+		}
+		if s.Throttling > 0 {
+			if last, ok := st.lastNotified[e.ID]; ok && now.Sub(last) < s.Throttling {
+				b.reg.Counter("ngsi.notify.throttled").Inc()
+				continue
+			}
+		}
+		st.lastNotified[e.ID] = now
+
+		snapshot := e.Clone()
+		if len(s.NotifyAttrs) > 0 {
+			filtered := make(map[string]Attribute, len(s.NotifyAttrs))
+			for _, k := range s.NotifyAttrs {
+				if a, ok := snapshot.Attrs[k]; ok {
+					filtered[k] = a
+				}
+			}
+			snapshot.Attrs = filtered
+		}
+		note := Notification{SubscriptionID: s.ID, Entity: snapshot, At: now}
+		select {
+		case b.queue <- queuedNotification{handler: s.Handler, note: note}:
+			b.reg.Counter("ngsi.notify.queued").Inc()
+		default:
+			b.reg.Counter("ngsi.notify.dropped").Inc()
+		}
+	}
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+// Package anonymize implements the data-governance technique §III of the
+// SWAMP paper recommends for data leaving a farmer's trust domain ("data
+// anonymization is another helpful technique for data governance"): before
+// telemetry is shared with the consortium, researchers or markets, device
+// identities are pseudonymized with a keyed HMAC, locations are coarsened
+// to a grid, and values can be released only as k-anonymous aggregates —
+// so crop state can be studied without exposing which farm produced it
+// (the commodity-market leakage scenario).
+package anonymize
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// Pseudonymizer replaces device identities with stable keyed pseudonyms.
+// The same device always maps to the same pseudonym under one key, so
+// longitudinal studies still work; without the key the mapping cannot be
+// reversed or recomputed.
+type Pseudonymizer struct {
+	key []byte
+	// LocationCellDeg coarsens coordinates to a lat/lon grid of this cell
+	// size in degrees (default 0.05° ≈ 5 km). Zero keeps the default;
+	// negative drops location entirely.
+	LocationCellDeg float64
+}
+
+// NewPseudonymizer builds a pseudonymizer over a secret key (≥16 bytes).
+func NewPseudonymizer(key []byte) (*Pseudonymizer, error) {
+	if len(key) < 16 {
+		return nil, fmt.Errorf("anonymize: key must be at least 16 bytes, got %d", len(key))
+	}
+	return &Pseudonymizer{key: append([]byte(nil), key...), LocationCellDeg: 0.05}, nil
+}
+
+// Pseudonym returns the stable pseudonym for a device id.
+func (p *Pseudonymizer) Pseudonym(id model.DeviceID) string {
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write([]byte(id))
+	return "anon-" + hex.EncodeToString(mac.Sum(nil))[:16]
+}
+
+// Reading returns an anonymized copy: pseudonymous device, coarsened (or
+// dropped) location, untouched measurement.
+func (p *Pseudonymizer) Reading(r model.Reading) model.Reading {
+	out := r
+	out.Device = model.DeviceID(p.Pseudonym(r.Device))
+	cell := p.LocationCellDeg
+	if cell == 0 {
+		cell = 0.05
+	}
+	if cell < 0 {
+		out.Location = model.GeoPoint{}
+	} else {
+		out.Location = model.GeoPoint{
+			Lat: math.Floor(r.Location.Lat/cell) * cell,
+			Lon: math.Floor(r.Location.Lon/cell) * cell,
+		}
+	}
+	return out
+}
+
+// Batch anonymizes a slice of readings.
+func (p *Pseudonymizer) Batch(rs []model.Reading) []model.Reading {
+	out := make([]model.Reading, len(rs))
+	for i, r := range rs {
+		out[i] = p.Reading(r)
+	}
+	return out
+}
+
+// AggregateRow is one k-anonymous release row: a quantity's statistics over
+// at least K distinct devices.
+type AggregateRow struct {
+	Quantity model.Quantity
+	Devices  int
+	Count    int
+	Min      float64
+	Max      float64
+	Mean     float64
+}
+
+// KAnonymousAggregate groups readings by quantity and releases statistics
+// only for groups backed by at least k distinct devices; smaller groups
+// are suppressed (returned in suppressed). This is the release form for
+// cross-farm benchmarking without exposing any single farm.
+func KAnonymousAggregate(rs []model.Reading, k int) (released []AggregateRow, suppressed []model.Quantity, err error) {
+	if k < 2 {
+		return nil, nil, fmt.Errorf("anonymize: k must be >= 2, got %d", k)
+	}
+	type acc struct {
+		devices map[model.DeviceID]bool
+		count   int
+		min     float64
+		max     float64
+		sum     float64
+	}
+	groups := make(map[model.Quantity]*acc)
+	for _, r := range rs {
+		if err := r.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("anonymize: %w", err)
+		}
+		g := groups[r.Quantity]
+		if g == nil {
+			g = &acc{devices: make(map[model.DeviceID]bool), min: math.Inf(1), max: math.Inf(-1)}
+			groups[r.Quantity] = g
+		}
+		g.devices[r.Device] = true
+		g.count++
+		g.sum += r.Value
+		g.min = math.Min(g.min, r.Value)
+		g.max = math.Max(g.max, r.Value)
+	}
+	quantities := make([]model.Quantity, 0, len(groups))
+	for q := range groups {
+		quantities = append(quantities, q)
+	}
+	sort.Slice(quantities, func(i, j int) bool { return quantities[i] < quantities[j] })
+	for _, q := range quantities {
+		g := groups[q]
+		if len(g.devices) < k {
+			suppressed = append(suppressed, q)
+			continue
+		}
+		released = append(released, AggregateRow{
+			Quantity: q, Devices: len(g.devices), Count: g.count,
+			Min: g.min, Max: g.max, Mean: g.sum / float64(g.count),
+		})
+	}
+	return released, suppressed, nil
+}

@@ -1,0 +1,107 @@
+package anonymize
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+func key() []byte { return []byte("0123456789abcdef0123456789abcdef") }
+
+func TestPseudonymStableAndKeyed(t *testing.T) {
+	p1, err := NewPseudonymizer(key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p1.Pseudonym("probe-1")
+	b := p1.Pseudonym("probe-1")
+	c := p1.Pseudonym("probe-2")
+	if a != b {
+		t.Error("pseudonym not stable")
+	}
+	if a == c {
+		t.Error("different devices collide")
+	}
+	if !strings.HasPrefix(a, "anon-") || strings.Contains(a, "probe") {
+		t.Errorf("pseudonym leaks identity: %q", a)
+	}
+	// Different key → different mapping.
+	p2, _ := NewPseudonymizer([]byte("ffffffffffffffff0123456789abcdef"))
+	if p2.Pseudonym("probe-1") == a {
+		t.Error("pseudonym independent of key")
+	}
+	if _, err := NewPseudonymizer([]byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestReadingAnonymization(t *testing.T) {
+	p, _ := NewPseudonymizer(key())
+	r := model.Reading{
+		Device: "probe-7", Quantity: model.QSoilMoisture, Value: 0.23,
+		Location: model.GeoPoint{Lat: -12.15271, Lon: -45.00349}, At: time.Now(),
+	}
+	out := p.Reading(r)
+	if out.Device == r.Device {
+		t.Error("device id not pseudonymized")
+	}
+	if out.Value != r.Value || out.Quantity != r.Quantity {
+		t.Error("measurement altered")
+	}
+	// Location coarsened to the 0.05° grid.
+	if math.Abs(out.Location.Lat-(-12.20)) > 1e-9 || math.Abs(out.Location.Lon-(-45.05)) > 1e-9 {
+		t.Errorf("location = %+v", out.Location)
+	}
+	// Original untouched.
+	if r.Device != "probe-7" {
+		t.Error("caller's reading mutated")
+	}
+	// Negative cell size drops location.
+	p.LocationCellDeg = -1
+	if got := p.Reading(r).Location; got != (model.GeoPoint{}) {
+		t.Errorf("location not dropped: %+v", got)
+	}
+	if got := p.Batch([]model.Reading{r, r}); len(got) != 2 {
+		t.Errorf("batch len %d", len(got))
+	}
+}
+
+func TestKAnonymousAggregate(t *testing.T) {
+	now := time.Now()
+	mk := func(dev string, q model.Quantity, v float64) model.Reading {
+		return model.Reading{Device: model.DeviceID(dev), Quantity: q, Value: v, At: now}
+	}
+	rs := []model.Reading{
+		// soilMoisture: 3 devices → released at k=3.
+		mk("a", model.QSoilMoisture, 0.2),
+		mk("b", model.QSoilMoisture, 0.3),
+		mk("c", model.QSoilMoisture, 0.4),
+		mk("a", model.QSoilMoisture, 0.3),
+		// airTemperature: 1 device → suppressed.
+		mk("a", model.QAirTemp, 30),
+	}
+	released, suppressed, err := KAnonymousAggregate(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(released) != 1 || released[0].Quantity != model.QSoilMoisture {
+		t.Fatalf("released = %+v", released)
+	}
+	row := released[0]
+	if row.Devices != 3 || row.Count != 4 || row.Min != 0.2 || row.Max != 0.4 || row.Mean != 0.3 {
+		t.Errorf("row = %+v", row)
+	}
+	if len(suppressed) != 1 || suppressed[0] != model.QAirTemp {
+		t.Errorf("suppressed = %v", suppressed)
+	}
+
+	if _, _, err := KAnonymousAggregate(rs, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := KAnonymousAggregate([]model.Reading{{}}, 2); err == nil {
+		t.Error("invalid reading accepted")
+	}
+}

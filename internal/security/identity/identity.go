@@ -1,0 +1,195 @@
+// Package identity is the SWAMP identity manager — the stand-in for the
+// FIWARE Keyrock GE. It stores the principals of a deployment (farmers,
+// agronomists, devices, platform services), their roles, their tenancy
+// (which farm's data they own, §III "each owner controls their data") and
+// their credentials, hashed with an iterated salted HMAC-SHA256.
+package identity
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Role is a coarse authorization role attached to a principal.
+type Role string
+
+// Built-in roles used by the default SWAMP policy set.
+const (
+	RoleAdmin      Role = "admin"
+	RoleFarmer     Role = "farmer"
+	RoleAgronomist Role = "agronomist"
+	RoleDevice     Role = "device"
+	RoleService    Role = "service"
+)
+
+// Principal is an authenticated actor: user, device or service account.
+type Principal struct {
+	ID       string
+	Roles    []Role
+	Owner    string // tenant (farm) whose data this principal belongs to
+	Disabled bool
+}
+
+// HasRole reports whether the principal holds r.
+func (p Principal) HasRole(r Role) bool {
+	for _, have := range p.Roles {
+		if have == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound      = errors.New("identity: principal not found")
+	ErrBadCredential = errors.New("identity: bad credential")
+	ErrDisabled      = errors.New("identity: principal disabled")
+	ErrExists        = errors.New("identity: principal already exists")
+)
+
+const (
+	saltLen        = 16
+	hashIterations = 1024
+)
+
+type record struct {
+	principal Principal
+	salt      []byte
+	hash      []byte
+}
+
+// Store is the credential and principal database. Construct with NewStore.
+// Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]*record
+}
+
+// NewStore returns an empty identity store.
+func NewStore() *Store {
+	return &Store{records: make(map[string]*record)}
+}
+
+// Register adds a principal with the given secret. Registering an existing
+// id fails with ErrExists.
+func (s *Store) Register(p Principal, secret string) error {
+	if p.ID == "" {
+		return fmt.Errorf("identity: empty principal id")
+	}
+	if secret == "" {
+		return fmt.Errorf("identity: principal %q: empty secret", p.ID)
+	}
+	salt := make([]byte, saltLen)
+	if _, err := rand.Read(salt); err != nil {
+		return fmt.Errorf("identity: salt: %w", err)
+	}
+	rec := &record{principal: clonePrincipal(p), salt: salt, hash: hashSecret(secret, salt)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.records[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, p.ID)
+	}
+	s.records[p.ID] = rec
+	return nil
+}
+
+// Authenticate verifies (id, secret) and returns the principal.
+func (s *Store) Authenticate(id, secret string) (Principal, error) {
+	s.mu.RLock()
+	rec := s.records[id]
+	s.mu.RUnlock()
+	if rec == nil {
+		// Burn comparable time for unknown users to blunt enumeration.
+		hashSecret(secret, make([]byte, saltLen))
+		return Principal{}, ErrNotFound
+	}
+	if !hmac.Equal(rec.hash, hashSecret(secret, rec.salt)) {
+		return Principal{}, fmt.Errorf("%w: %s", ErrBadCredential, id)
+	}
+	if rec.principal.Disabled {
+		return Principal{}, fmt.Errorf("%w: %s", ErrDisabled, id)
+	}
+	return clonePrincipal(rec.principal), nil
+}
+
+// Get returns the principal without authenticating.
+func (s *Store) Get(id string) (Principal, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec := s.records[id]
+	if rec == nil {
+		return Principal{}, ErrNotFound
+	}
+	return clonePrincipal(rec.principal), nil
+}
+
+// SetDisabled flips the disabled bit — the kill switch for a compromised
+// device identity.
+func (s *Store) SetDisabled(id string, disabled bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.records[id]
+	if rec == nil {
+		return ErrNotFound
+	}
+	rec.principal.Disabled = disabled
+	return nil
+}
+
+// SetSecret rotates a principal's secret.
+func (s *Store) SetSecret(id, secret string) error {
+	if secret == "" {
+		return fmt.Errorf("identity: principal %q: empty secret", id)
+	}
+	salt := make([]byte, saltLen)
+	if _, err := rand.Read(salt); err != nil {
+		return fmt.Errorf("identity: salt: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.records[id]
+	if rec == nil {
+		return ErrNotFound
+	}
+	rec.salt = salt
+	rec.hash = hashSecret(secret, salt)
+	return nil
+}
+
+// IDs returns all registered principal ids, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.records))
+	for id := range s.records {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hashSecret derives a verifier via iterated HMAC-SHA256 (PBKDF2-shaped,
+// stdlib only).
+func hashSecret(secret string, salt []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write([]byte(secret))
+	sum := mac.Sum(nil)
+	for i := 1; i < hashIterations; i++ {
+		mac.Reset()
+		mac.Write(sum)
+		sum = mac.Sum(sum[:0])
+	}
+	return sum
+}
+
+func clonePrincipal(p Principal) Principal {
+	cp := p
+	cp.Roles = append([]Role(nil), p.Roles...)
+	return cp
+}

@@ -1,0 +1,121 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAuthenticate(t *testing.T) {
+	s := NewStore()
+	p := Principal{ID: "alice", Roles: []Role{RoleFarmer}, Owner: "guaspari"}
+	if err := s.Register(p, "grapes-2026"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Authenticate("alice", "grapes-2026")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "alice" || !got.HasRole(RoleFarmer) || got.Owner != "guaspari" {
+		t.Errorf("principal = %+v", got)
+	}
+}
+
+func TestAuthenticateFailures(t *testing.T) {
+	s := NewStore()
+	s.Register(Principal{ID: "bob", Roles: []Role{RoleDevice}}, "s3cret")
+
+	if _, err := s.Authenticate("bob", "wrong"); !errors.Is(err, ErrBadCredential) {
+		t.Errorf("wrong password: %v", err)
+	}
+	if _, err := s.Authenticate("nobody", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown user: %v", err)
+	}
+	if err := s.SetDisabled("bob", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Authenticate("bob", "s3cret"); !errors.Is(err, ErrDisabled) {
+		t.Errorf("disabled user: %v", err)
+	}
+	if err := s.SetDisabled("bob", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Authenticate("bob", "s3cret"); err != nil {
+		t.Errorf("re-enabled user: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Register(Principal{}, "x"); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := s.Register(Principal{ID: "x"}, ""); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if err := s.Register(Principal{ID: "dup"}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(Principal{ID: "dup"}, "b"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate register: %v", err)
+	}
+}
+
+func TestSetSecret(t *testing.T) {
+	s := NewStore()
+	s.Register(Principal{ID: "carol"}, "old")
+	if err := s.SetSecret("carol", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Authenticate("carol", "old"); err == nil {
+		t.Error("old secret still valid after rotation")
+	}
+	if _, err := s.Authenticate("carol", "new"); err != nil {
+		t.Errorf("new secret rejected: %v", err)
+	}
+	if err := s.SetSecret("ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("rotate unknown: %v", err)
+	}
+	if err := s.SetSecret("carol", ""); err == nil {
+		t.Error("empty new secret accepted")
+	}
+}
+
+func TestGetDoesNotLeakMutableState(t *testing.T) {
+	s := NewStore()
+	s.Register(Principal{ID: "dave", Roles: []Role{RoleFarmer}}, "x")
+	p, err := s.Get("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Roles[0] = RoleAdmin // mutate the copy
+	again, _ := s.Get("dave")
+	if again.HasRole(RoleAdmin) {
+		t.Error("caller mutation escalated stored roles")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := NewStore()
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		s.Register(Principal{ID: id}, "x")
+	}
+	ids := s.IDs()
+	if len(ids) != 3 || ids[0] != "alpha" || ids[2] != "zeta" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestHashDeterministicPerSalt(t *testing.T) {
+	salt := []byte("0123456789abcdef")
+	h1 := hashSecret("pw", salt)
+	h2 := hashSecret("pw", salt)
+	if string(h1) != string(h2) {
+		t.Error("hash not deterministic")
+	}
+	if string(hashSecret("pw2", salt)) == string(h1) {
+		t.Error("different secrets collide")
+	}
+	if string(hashSecret("pw", []byte("fedcba9876543210"))) == string(h1) {
+		t.Error("different salts collide")
+	}
+}

@@ -1,0 +1,258 @@
+package secchan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ring(t *testing.T, ids ...string) *KeyRing {
+	t.Helper()
+	k := NewKeyRing()
+	for _, id := range ids {
+		if _, err := k.Generate(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := ring(t, "probe-1")
+	pt := []byte(`{"soilMoisture":0.23}`)
+	aad := []byte("swamp/farm1/soil")
+	env, err := k.Seal("probe-1", pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, seq, got, err := k.Open(env, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != "probe-1" || seq != 1 || !bytes.Equal(got, pt) {
+		t.Errorf("open = %q seq=%d %q", sender, seq, got)
+	}
+}
+
+func TestSequenceIncrements(t *testing.T) {
+	k := ring(t, "d")
+	for want := uint64(1); want <= 5; want++ {
+		env, err := k.Seal("d", []byte("x"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, seq, _, err := k.Open(env, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != want {
+			t.Errorf("seq = %d, want %d", seq, want)
+		}
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	k := ring(t, "d")
+	env, _ := k.Seal("d", []byte("telemetry"), []byte("topic"))
+
+	// Flip each region: header (sender/seq), nonce, ciphertext.
+	for _, idx := range []int{1, len(env) - 25, len(env) - 1} {
+		bad := append([]byte(nil), env...)
+		bad[idx] ^= 0xFF
+		if _, _, _, err := k.Open(bad, []byte("topic")); err == nil {
+			t.Errorf("tampered byte %d accepted", idx)
+		}
+	}
+	// Wrong AAD (message moved to another topic) must fail.
+	if _, _, _, err := k.Open(env, []byte("other-topic")); !errors.Is(err, ErrTampered) {
+		t.Errorf("AAD mismatch: %v", err)
+	}
+}
+
+func TestUnknownSenderAndMalformed(t *testing.T) {
+	k := ring(t, "known")
+	other := ring(t, "ghost")
+	env, _ := other.Seal("ghost", []byte("x"), nil)
+	if _, _, _, err := k.Open(env, nil); !errors.Is(err, ErrUnknownSender) {
+		t.Errorf("unknown sender: %v", err)
+	}
+	if _, err := k.Seal("ghost", []byte("x"), nil); !errors.Is(err, ErrUnknownSender) {
+		t.Errorf("seal unknown: %v", err)
+	}
+	for _, junk := range [][]byte{nil, {}, {5, 'a'}, bytes.Repeat([]byte{9}, 8)} {
+		if _, _, _, err := k.Open(junk, nil); err == nil {
+			t.Errorf("malformed envelope %v accepted", junk)
+		}
+	}
+}
+
+func TestRevokeKey(t *testing.T) {
+	k := ring(t, "d")
+	env, _ := k.Seal("d", []byte("x"), nil)
+	k.Revoke("d")
+	if _, _, _, err := k.Open(env, nil); !errors.Is(err, ErrUnknownSender) {
+		t.Errorf("open after revoke: %v", err)
+	}
+}
+
+func TestImportKey(t *testing.T) {
+	k1 := NewKeyRing()
+	key, err := k1.Generate("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := NewKeyRing()
+	if err := k2.Import("d", key); err != nil {
+		t.Fatal(err)
+	}
+	env, _ := k1.Seal("d", []byte("shared"), nil)
+	_, _, pt, err := k2.Open(env, nil)
+	if err != nil || string(pt) != "shared" {
+		t.Errorf("cross-ring open: %v %q", err, pt)
+	}
+	if err := k2.Import("bad", []byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := k2.Import("", key); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestDistinctCiphertexts(t *testing.T) {
+	k := ring(t, "d")
+	e1, _ := k.Seal("d", []byte("same"), nil)
+	e2, _ := k.Seal("d", []byte("same"), nil)
+	if bytes.Equal(e1, e2) {
+		t.Error("identical plaintexts produced identical envelopes (nonce reuse?)")
+	}
+}
+
+func TestReplayGuardBasic(t *testing.T) {
+	g := NewReplayGuard()
+	if err := g.Check("d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("d", 1); !errors.Is(err, ErrReplay) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := g.Check("d", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("d", 0); !errors.Is(err, ErrReplay) {
+		t.Errorf("zero seq: %v", err)
+	}
+	// Different sender has an independent window.
+	if err := g.Check("e", 1); err != nil {
+		t.Errorf("other sender: %v", err)
+	}
+}
+
+func TestReplayGuardOutOfOrderWindow(t *testing.T) {
+	g := NewReplayGuard()
+	// Accept 10, then late-but-fresh 5, then reject replayed 5.
+	if err := g.Check("d", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("d", 5); err != nil {
+		t.Fatalf("in-window late packet rejected: %v", err)
+	}
+	if err := g.Check("d", 5); !errors.Is(err, ErrReplay) {
+		t.Errorf("replayed late packet: %v", err)
+	}
+}
+
+func TestReplayGuardOldBeyondWindow(t *testing.T) {
+	g := NewReplayGuard()
+	if err := g.Check("d", 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("d", 5000-replayWin); !errors.Is(err, ErrReplay) {
+		t.Errorf("ancient packet: %v", err)
+	}
+	// Just inside the window is fine.
+	if err := g.Check("d", 5000-replayWin+1); err != nil {
+		t.Errorf("edge-of-window packet rejected: %v", err)
+	}
+}
+
+func TestReplayGuardBigJump(t *testing.T) {
+	g := NewReplayGuard()
+	g.Check("d", 1)
+	if err := g.Check("d", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// After the jump, 1 is out of window.
+	if err := g.Check("d", 1); !errors.Is(err, ErrReplay) {
+		t.Errorf("pre-jump seq: %v", err)
+	}
+}
+
+// Property: any strictly increasing sequence is always accepted; a repeat
+// of any previously seen in-window value is always rejected.
+func TestReplayGuardProperty(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		g := NewReplayGuard()
+		seq := uint64(0)
+		seen := []uint64{}
+		for _, d := range deltas {
+			seq += uint64(d%16) + 1
+			if err := g.Check("d", seq); err != nil {
+				return false
+			}
+			seen = append(seen, seq)
+		}
+		// Replay everything still inside the window: must all fail.
+		for _, s := range seen {
+			if seq-s < replayWin {
+				if err := g.Check("d", s); err == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := ring(t, "d")
+	msg := []byte("fog-readable payload")
+	tag, err := k.Sign("d", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify("d", msg, tag); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify("d", []byte("altered"), tag); !errors.Is(err, ErrTampered) {
+		t.Errorf("altered message: %v", err)
+	}
+	if _, err := k.Sign("nobody", msg); !errors.Is(err, ErrUnknownSender) {
+		t.Errorf("sign unknown: %v", err)
+	}
+}
+
+// Property: Seal/Open round-trips arbitrary payloads and AADs.
+func TestSealOpenProperty(t *testing.T) {
+	k := ring(t, "p")
+	f := func(pt, aad []byte) bool {
+		env, err := k.Seal("p", pt, aad)
+		if err != nil {
+			return false
+		}
+		_, _, got, err := k.Open(env, aad)
+		if err != nil {
+			return false
+		}
+		if len(pt) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

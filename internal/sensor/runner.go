@@ -1,0 +1,184 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// SendFunc transmits a batch of readings northbound. The platform supplies
+// an implementation that UL-encodes and publishes over MQTT (optionally
+// sealed by secchan). Errors are counted, not fatal: field devices retry on
+// the next cycle.
+type SendFunc func(readings []model.Reading) error
+
+// RunnerConfig configures a device firmware loop.
+type RunnerConfig struct {
+	// Interval between samples (required).
+	Interval time.Duration
+	// Clock for scheduling; nil means the wall clock.
+	Clock clock.Clock
+	// BatteryCapacity in abstract joules; 0 disables the battery model.
+	BatteryCapacity float64
+	// EnergyPerSample drained per cycle (default 1 when battery enabled).
+	EnergyPerSample float64
+}
+
+// RunnerStats counts a runner's lifetime activity.
+type RunnerStats struct {
+	Samples   uint64
+	SendErrs  uint64
+	LastError string
+	Battery   float64 // remaining fraction 0..1; 1 when battery disabled
+}
+
+// Runner is the firmware loop of one device: sample, (optionally) spend
+// battery, send, sleep. Construct with NewRunner, start with Start, stop
+// with Stop. The loop stops by itself when the battery empties.
+type Runner struct {
+	src  Source
+	send SendFunc
+	cfg  RunnerConfig
+
+	mu      sync.Mutex
+	stats   RunnerStats
+	battery float64
+	started bool
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ErrBatteryDead is recorded when the battery model exhausts the device.
+var ErrBatteryDead = errors.New("sensor: battery exhausted")
+
+// NewRunner validates and builds a runner.
+func NewRunner(src Source, send SendFunc, cfg RunnerConfig) (*Runner, error) {
+	if src == nil || send == nil {
+		return nil, fmt.Errorf("sensor: runner needs source and send func")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("sensor: non-positive interval %v", cfg.Interval)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.BatteryCapacity > 0 && cfg.EnergyPerSample <= 0 {
+		cfg.EnergyPerSample = 1
+	}
+	return &Runner{
+		src: src, send: send, cfg: cfg,
+		battery: cfg.BatteryCapacity,
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the loop. It may be called once.
+func (r *Runner) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("sensor: runner for %s already started", r.src.Descriptor().ID)
+	}
+	r.started = true
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.loop()
+	}()
+	return nil
+}
+
+// Stop terminates the loop and waits for it.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	if r.stopped || !r.started {
+		r.stopped = true
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	if r.cfg.BatteryCapacity > 0 {
+		st.Battery = r.battery / r.cfg.BatteryCapacity
+	} else {
+		st.Battery = 1
+	}
+	return st
+}
+
+// SampleOnce performs one sample+send cycle immediately (used by tests and
+// by the platform to prime retained topics).
+func (r *Runner) SampleOnce() error {
+	return r.cycle(r.cfg.Clock.Now())
+}
+
+func (r *Runner) loop() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case at := <-r.cfg.Clock.After(r.cfg.Interval):
+			if err := r.cycle(at); errors.Is(err, ErrBatteryDead) {
+				return
+			}
+		}
+	}
+}
+
+func (r *Runner) cycle(at time.Time) error {
+	if r.cfg.BatteryCapacity > 0 {
+		r.mu.Lock()
+		if r.battery < r.cfg.EnergyPerSample {
+			r.stats.LastError = ErrBatteryDead.Error()
+			r.mu.Unlock()
+			return ErrBatteryDead
+		}
+		r.battery -= r.cfg.EnergyPerSample
+		r.mu.Unlock()
+	}
+	readings, err := r.src.Sample(at)
+	if err != nil {
+		r.recordErr(err)
+		return err
+	}
+	// Battery level piggybacks on every batch when the model is on.
+	if r.cfg.BatteryCapacity > 0 {
+		r.mu.Lock()
+		lvl := r.battery / r.cfg.BatteryCapacity
+		r.mu.Unlock()
+		readings = append(readings, model.Reading{
+			Device: r.src.Descriptor().ID, Quantity: model.QBattery,
+			Value: lvl, Unit: "frac", Location: r.src.Descriptor().Location, At: at,
+		})
+	}
+	if err := r.send(readings); err != nil {
+		r.recordErr(err)
+		return err
+	}
+	r.mu.Lock()
+	r.stats.Samples++
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Runner) recordErr(err error) {
+	r.mu.Lock()
+	r.stats.SendErrs++
+	r.stats.LastError = err.Error()
+	r.mu.Unlock()
+}

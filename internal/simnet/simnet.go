@@ -1,0 +1,266 @@
+// Package simnet simulates the constrained rural network links the SWAMP
+// paper calls out ("communication constraints in rural areas"): latency,
+// jitter, random frame loss, limited bandwidth and hard partitions
+// (Internet disconnection at the farm, §III availability requirement).
+//
+// A Link is a unidirectional, message-oriented channel. The MQTT layer
+// treats one frame per MQTT packet, so frame loss maps exactly onto the
+// QoS semantics the platform relies on: QoS 0 publishes die with the frame,
+// QoS 1 publishes are retransmitted.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("simnet: link closed")
+
+// Config describes a link's impairments. The zero value is a perfect link.
+type Config struct {
+	Latency   time.Duration // one-way propagation delay
+	Jitter    time.Duration // uniform extra delay in [0, Jitter)
+	LossProb  float64       // per-frame loss probability in [0, 1)
+	Bandwidth int           // bytes/second; 0 means unlimited
+	QueueLen  int           // frames buffered in flight; 0 means 1024
+	Seed      int64         // RNG seed; 0 means 1
+}
+
+func (c Config) validate() error {
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("simnet: loss probability %g outside [0,1)", c.LossProb)
+	}
+	if c.Latency < 0 || c.Jitter < 0 || c.Bandwidth < 0 {
+		return fmt.Errorf("simnet: negative impairment in %+v", c)
+	}
+	return nil
+}
+
+// Stats counts frames over the life of a link.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64 // random loss
+	Cut       uint64 // dropped because partitioned
+	Overflow  uint64 // dropped because the in-flight queue was full
+}
+
+// Link is a unidirectional impaired message channel. Construct with
+// NewLink. Safe for concurrent use.
+type Link struct {
+	cfg Config
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned bool
+	closed      bool
+	stats       Stats
+
+	in   chan frame
+	out  chan []byte
+	done chan struct{}
+}
+
+type frame struct {
+	payload   []byte
+	deliverAt time.Time
+}
+
+// NewLink builds a link and starts its delivery pump. Close must be called
+// to release the pump goroutine.
+func NewLink(cfg Config) (*Link, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	l := &Link{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		in:   make(chan frame, cfg.QueueLen),
+		out:  make(chan []byte, cfg.QueueLen),
+		done: make(chan struct{}),
+	}
+	go l.pump()
+	return l, nil
+}
+
+// pump delivers frames in FIFO order, honouring each frame's deliverAt.
+func (l *Link) pump() {
+	for {
+		select {
+		case <-l.done:
+			return
+		case f, ok := <-l.in:
+			if !ok {
+				return
+			}
+			if wait := time.Until(f.deliverAt); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-l.done:
+					t.Stop()
+					return
+				}
+			}
+			select {
+			case l.out <- f.payload:
+				l.mu.Lock()
+				l.stats.Delivered++
+				l.mu.Unlock()
+			case <-l.done:
+				return
+			}
+		}
+	}
+}
+
+// Send enqueues one frame. The payload is copied. Frames may be silently
+// lost per the configured loss probability or an active partition — that is
+// the point of the simulation; Send only returns an error once the link is
+// closed.
+func (l *Link) Send(payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.stats.Sent++
+	if l.partitioned {
+		l.stats.Cut++
+		l.mu.Unlock()
+		return nil
+	}
+	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		l.stats.Lost++
+		l.mu.Unlock()
+		return nil
+	}
+	delay := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	if l.cfg.Bandwidth > 0 {
+		delay += time.Duration(float64(len(payload)) / float64(l.cfg.Bandwidth) * float64(time.Second))
+	}
+	l.mu.Unlock()
+
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	f := frame{payload: cp, deliverAt: time.Now().Add(delay)}
+	select {
+	case l.in <- f:
+	default:
+		l.mu.Lock()
+		l.stats.Overflow++
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// Recv returns the delivery channel. It is closed only when the link is
+// closed AND drained is impossible; consumers should also watch their own
+// shutdown signal.
+func (l *Link) Recv() <-chan []byte { return l.out }
+
+// SetPartitioned cuts (true) or heals (false) the link. While cut, frames
+// are counted and discarded — exactly what a down backhaul does.
+func (l *Link) SetPartitioned(p bool) {
+	l.mu.Lock()
+	l.partitioned = p
+	l.mu.Unlock()
+}
+
+// Partitioned reports whether the link is currently cut.
+func (l *Link) Partitioned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close stops the pump. Subsequent Sends fail with ErrClosed.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+}
+
+// Duplex is a bidirectional link: a pair of endpoints connected by two
+// independent unidirectional Links sharing a Config.
+type Duplex struct {
+	a2b, b2a *Link
+	A, B     *Endpoint
+}
+
+// Endpoint is one side of a Duplex.
+type Endpoint struct {
+	send *Link
+	recv *Link
+}
+
+// Send transmits toward the peer endpoint.
+func (e *Endpoint) Send(payload []byte) error { return e.send.Send(payload) }
+
+// Recv returns the channel of frames arriving from the peer.
+func (e *Endpoint) Recv() <-chan []byte { return e.recv.Recv() }
+
+// NewDuplex builds a bidirectional impaired channel. Both directions use
+// cfg; the reverse direction's RNG is derived from Seed+1 so loss patterns
+// differ.
+func NewDuplex(cfg Config) (*Duplex, error) {
+	a2b, err := NewLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rev := cfg
+	if rev.Seed == 0 {
+		rev.Seed = 1
+	}
+	rev.Seed++
+	b2a, err := NewLink(rev)
+	if err != nil {
+		a2b.Close()
+		return nil, err
+	}
+	d := &Duplex{a2b: a2b, b2a: b2a}
+	d.A = &Endpoint{send: a2b, recv: b2a}
+	d.B = &Endpoint{send: b2a, recv: a2b}
+	return d, nil
+}
+
+// SetPartitioned cuts or heals both directions.
+func (d *Duplex) SetPartitioned(p bool) {
+	d.a2b.SetPartitioned(p)
+	d.b2a.SetPartitioned(p)
+}
+
+// Stats returns (A→B, B→A) stats.
+func (d *Duplex) Stats() (Stats, Stats) { return d.a2b.Stats(), d.b2a.Stats() }
+
+// Close releases both directions.
+func (d *Duplex) Close() {
+	d.a2b.Close()
+	d.b2a.Close()
+}

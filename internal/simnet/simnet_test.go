@@ -1,0 +1,214 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, l *Link, timeout time.Duration) []byte {
+	t.Helper()
+	select {
+	case b := <-l.Recv():
+		return b
+	case <-time.After(timeout):
+		t.Fatal("no frame within timeout")
+		return nil
+	}
+}
+
+func TestPerfectLinkDelivers(t *testing.T) {
+	l, err := NewLink(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvOne(t, l, time.Second)); got != "hello" {
+		t.Errorf("got %q", got)
+	}
+	st := l.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Lost != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkCopiesPayload(t *testing.T) {
+	l, err := NewLink(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	buf := []byte("abc")
+	l.Send(buf)
+	buf[0] = 'X' // mutate after send
+	if got := string(recvOne(t, l, time.Second)); got != "abc" {
+		t.Errorf("payload aliased: got %q", got)
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	l, err := NewLink(Config{Latency: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	start := time.Now()
+	l.Send([]byte("x"))
+	recvOne(t, l, time.Second)
+	if el := time.Since(start); el < 45*time.Millisecond {
+		t.Errorf("delivered after %v, want >=50ms", el)
+	}
+}
+
+func TestLinkLossStatistical(t *testing.T) {
+	l, err := NewLink(Config{LossProb: 0.5, Seed: 42, QueueLen: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := l.Stats()
+	if st.Lost < 400 || st.Lost > 600 {
+		t.Errorf("lost %d of %d at p=0.5; outside [400,600]", st.Lost, n)
+	}
+	if st.Sent != n {
+		t.Errorf("sent = %d", st.Sent)
+	}
+}
+
+func TestLinkPartition(t *testing.T) {
+	l, err := NewLink(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetPartitioned(true)
+	if !l.Partitioned() {
+		t.Error("Partitioned() = false")
+	}
+	l.Send([]byte("dropped"))
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-l.Recv():
+		t.Fatal("frame crossed a partition")
+	default:
+	}
+	if st := l.Stats(); st.Cut != 1 {
+		t.Errorf("cut = %d", st.Cut)
+	}
+	// Heal and verify delivery resumes.
+	l.SetPartitioned(false)
+	l.Send([]byte("ok"))
+	if got := string(recvOne(t, l, time.Second)); got != "ok" {
+		t.Errorf("after heal got %q", got)
+	}
+}
+
+func TestLinkClose(t *testing.T) {
+	l, err := NewLink(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // idempotent
+	if err := l.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestLinkFIFOOrder(t *testing.T) {
+	l, err := NewLink(Config{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 9, QueueLen: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	for i := 0; i < n; i++ {
+		b := recvOne(t, l, time.Second)
+		if b[0] != byte(i) {
+			t.Fatalf("frame %d arrived out of order (got %d)", i, b[0])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewLink(Config{LossProb: 1.0}); err == nil {
+		t.Error("loss=1.0 accepted")
+	}
+	if _, err := NewLink(Config{LossProb: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := NewLink(Config{Latency: -time.Second}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestDuplexBothDirections(t *testing.T) {
+	d, err := NewDuplex(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.A.Send([]byte("a->b")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-d.B.Recv():
+		if string(got) != "a->b" {
+			t.Errorf("B got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("B received nothing")
+	}
+	if err := d.B.Send([]byte("b->a")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-d.A.Recv():
+		if string(got) != "b->a" {
+			t.Errorf("A got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("A received nothing")
+	}
+}
+
+func TestDuplexPartitionCutsBoth(t *testing.T) {
+	d, err := NewDuplex(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.SetPartitioned(true)
+	d.A.Send([]byte("x"))
+	d.B.Send([]byte("y"))
+	time.Sleep(10 * time.Millisecond)
+	a2b, b2a := d.Stats()
+	if a2b.Cut != 1 || b2a.Cut != 1 {
+		t.Errorf("cut counts = %d, %d", a2b.Cut, b2a.Cut)
+	}
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	// 1000 B/s: a 100-byte frame takes ~100ms serialization.
+	l, err := NewLink(Config{Bandwidth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	start := time.Now()
+	l.Send(make([]byte, 100))
+	recvOne(t, l, time.Second)
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Errorf("100B at 1000B/s delivered in %v, want ~100ms", el)
+	}
+}

@@ -1,0 +1,155 @@
+package soil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Balance runs the FAO-56 daily root-zone water balance (eq. 85) for one
+// homogeneous patch of soil under one crop. It is the physical truth the
+// simulated soil probes sample and the irrigation controllers act on.
+type Balance struct {
+	crop    Crop
+	profile Profile
+
+	day        int     // 0-based day of season
+	depletion  float64 // Dr, mm
+	cumulative Totals
+}
+
+// Totals accumulates season-to-date fluxes (mm, except Stress in days).
+type Totals struct {
+	ET0        float64
+	ETc        float64 // actual (stress-adjusted) crop ET
+	Rain       float64
+	Irrigation float64
+	DeepPerc   float64 // drainage below the root zone
+	StressDays float64 // days with Ks below 1 (fractional)
+}
+
+// NewBalance starts a season with the root zone at initialDepletionFrac of
+// TAW depleted (0 = field capacity).
+func NewBalance(crop Crop, profile Profile, initialDepletionFrac float64) (*Balance, error) {
+	if err := crop.Validate(); err != nil {
+		return nil, err
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if initialDepletionFrac < 0 || initialDepletionFrac > 1 {
+		return nil, fmt.Errorf("soil: initial depletion fraction %g outside [0,1]", initialDepletionFrac)
+	}
+	b := &Balance{crop: crop, profile: profile}
+	b.depletion = initialDepletionFrac * b.TAW()
+	return b, nil
+}
+
+// TAW is total available water in the root zone (mm).
+func (b *Balance) TAW() float64 { return b.profile.TAWmm(b.crop.RootDepthM) }
+
+// RAW is readily available water (mm): the depletion threshold below which
+// the crop feels no stress.
+func (b *Balance) RAW() float64 { return b.crop.DepletionFraction * b.TAW() }
+
+// Depletion returns current root-zone depletion Dr (mm).
+func (b *Balance) Depletion() float64 { return b.depletion }
+
+// Day returns the 0-based season day of the next Step call.
+func (b *Balance) Day() int { return b.day }
+
+// Crop returns the crop being grown.
+func (b *Balance) Crop() Crop { return b.crop }
+
+// Profile returns the soil profile.
+func (b *Balance) Profile() Profile { return b.profile }
+
+// Moisture returns the volumetric water content θ (m³/m³) implied by the
+// current depletion — what a perfect soil-moisture probe would read.
+func (b *Balance) Moisture() float64 {
+	return b.profile.FieldCapacity - b.depletion/(1000*b.crop.RootDepthM)
+}
+
+// Ks returns the current water-stress coefficient (FAO-56 eq. 84):
+// 1 when Dr ≤ RAW, falling linearly to 0 at full depletion.
+func (b *Balance) Ks() float64 {
+	raw := b.RAW()
+	if b.depletion <= raw {
+		return 1
+	}
+	taw := b.TAW()
+	ks := (taw - b.depletion) / (taw - raw)
+	return math.Max(0, ks)
+}
+
+// StepResult reports one day's fluxes.
+type StepResult struct {
+	Day       int
+	ET0       float64
+	Kc        float64
+	Ks        float64
+	ETc       float64 // stress-adjusted, mm
+	RainMM    float64
+	IrrigMM   float64
+	DeepPerc  float64
+	Depletion float64 // after the step
+	Moisture  float64 // after the step
+	Stressed  bool
+}
+
+// Step advances one day with reference ET et0 (mm), rain and irrigation
+// (mm). It returns the day's fluxes.
+func (b *Balance) Step(et0, rainMM, irrigMM float64) (StepResult, error) {
+	if et0 < 0 || rainMM < 0 || irrigMM < 0 {
+		return StepResult{}, fmt.Errorf("soil: negative flux (et0=%g rain=%g irrig=%g)", et0, rainMM, irrigMM)
+	}
+	kc := b.crop.Kc(b.day)
+	ks := b.Ks()
+	etc := kc * ks * et0
+
+	// Water in reduces depletion; ET increases it. Excess beyond field
+	// capacity drains as deep percolation.
+	dr := b.depletion - rainMM - irrigMM + etc
+	var dp float64
+	if dr < 0 {
+		dp = -dr
+		dr = 0
+	}
+	taw := b.TAW()
+	if dr > taw {
+		// Cannot deplete more than TAW; ET is already Ks-limited, so this
+		// only guards rounding.
+		dr = taw
+	}
+	b.depletion = dr
+
+	res := StepResult{
+		Day: b.day, ET0: et0, Kc: kc, Ks: ks, ETc: etc,
+		RainMM: rainMM, IrrigMM: irrigMM, DeepPerc: dp,
+		Depletion: dr, Moisture: b.Moisture(), Stressed: ks < 1,
+	}
+	b.cumulative.ET0 += et0
+	b.cumulative.ETc += etc
+	b.cumulative.Rain += rainMM
+	b.cumulative.Irrigation += irrigMM
+	b.cumulative.DeepPerc += dp
+	if ks < 1 {
+		b.cumulative.StressDays += 1 - ks
+	}
+	b.day++
+	return res, nil
+}
+
+// Totals returns season-to-date cumulative fluxes.
+func (b *Balance) Totals() Totals { return b.cumulative }
+
+// YieldIndex estimates relative yield (0..1) from accumulated stress using
+// a linearized FAO-33 response: each fully stressed day in the season
+// costs proportionally.
+func (b *Balance) YieldIndex() float64 {
+	season := float64(b.crop.SeasonDays())
+	if season == 0 {
+		return 0
+	}
+	loss := b.cumulative.StressDays / season
+	return math.Max(0, 1-1.2*loss)
+}

@@ -1,0 +1,133 @@
+package soil
+
+import "fmt"
+
+// Crop describes a crop's FAO-56 parameters: the four-stage Kc curve, root
+// depth and the depletion fraction p (how much of the available water may
+// be used before stress sets in).
+type Crop struct {
+	Name string
+	// Stage lengths in days: initial, development, mid-season, late.
+	StageDays [4]int
+	// KcIni, KcMid, KcEnd anchor the crop coefficient curve; development
+	// and late stages interpolate linearly.
+	KcIni, KcMid, KcEnd float64
+	// RootDepthM is the effective rooting depth Zr.
+	RootDepthM float64
+	// DepletionFraction is p: the readily-available fraction of TAW.
+	DepletionFraction float64
+}
+
+// Validate reports the first implausible parameter.
+func (c Crop) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("soil: unnamed crop")
+	case c.SeasonDays() <= 0:
+		return fmt.Errorf("soil: crop %s: empty season", c.Name)
+	case c.RootDepthM <= 0:
+		return fmt.Errorf("soil: crop %s: non-positive root depth", c.Name)
+	case c.DepletionFraction <= 0 || c.DepletionFraction >= 1:
+		return fmt.Errorf("soil: crop %s: depletion fraction %g outside (0,1)", c.Name, c.DepletionFraction)
+	case c.KcIni <= 0 || c.KcMid <= 0 || c.KcEnd <= 0:
+		return fmt.Errorf("soil: crop %s: non-positive Kc", c.Name)
+	}
+	return nil
+}
+
+// SeasonDays is the total season length.
+func (c Crop) SeasonDays() int {
+	return c.StageDays[0] + c.StageDays[1] + c.StageDays[2] + c.StageDays[3]
+}
+
+// Kc returns the crop coefficient on day (0-based) of the season, following
+// the FAO-56 piecewise curve. Days past the season hold KcEnd.
+func (c Crop) Kc(day int) float64 {
+	if day < 0 {
+		return c.KcIni
+	}
+	d := day
+	if d < c.StageDays[0] {
+		return c.KcIni
+	}
+	d -= c.StageDays[0]
+	if d < c.StageDays[1] {
+		f := float64(d) / float64(c.StageDays[1])
+		return c.KcIni + f*(c.KcMid-c.KcIni)
+	}
+	d -= c.StageDays[1]
+	if d < c.StageDays[2] {
+		return c.KcMid
+	}
+	d -= c.StageDays[2]
+	if d < c.StageDays[3] {
+		f := float64(d) / float64(c.StageDays[3])
+		return c.KcMid + f*(c.KcEnd-c.KcMid)
+	}
+	return c.KcEnd
+}
+
+// Crops grown in the SWAMP pilots (FAO-56 table 11/12/17/22 values).
+var (
+	// CropSoybean: the MATOPIBA pilot's crop under the VRI pivots.
+	CropSoybean = Crop{
+		Name:      "soybean",
+		StageDays: [4]int{20, 30, 50, 20},
+		KcIni:     0.4, KcMid: 1.15, KcEnd: 0.5,
+		RootDepthM: 1.0, DepletionFraction: 0.5,
+	}
+	// CropWineGrape: the Guaspari pilot's crop (winter harvest window).
+	CropWineGrape = Crop{
+		Name:      "wine-grape",
+		StageDays: [4]int{30, 50, 60, 40},
+		KcIni:     0.3, KcMid: 0.7, KcEnd: 0.45,
+		RootDepthM: 1.2, DepletionFraction: 0.45,
+	}
+	// CropLettuce: representative of the Intercrop vegetable rotation.
+	CropLettuce = Crop{
+		Name:      "lettuce",
+		StageDays: [4]int{20, 30, 15, 10},
+		KcIni:     0.7, KcMid: 1.0, KcEnd: 0.95,
+		RootDepthM: 0.4, DepletionFraction: 0.3,
+	}
+	// CropMaizeSilage: grown in the CBEC district.
+	CropMaizeSilage = Crop{
+		Name:      "maize-silage",
+		StageDays: [4]int{20, 35, 40, 30},
+		KcIni:     0.3, KcMid: 1.20, KcEnd: 0.6,
+		RootDepthM: 1.2, DepletionFraction: 0.55,
+	}
+)
+
+// Profile captures a soil's water-holding characteristics.
+type Profile struct {
+	Name string
+	// FieldCapacity and WiltingPoint are volumetric water contents, m³/m³.
+	FieldCapacity float64
+	WiltingPoint  float64
+}
+
+// Validate reports the first implausible parameter.
+func (p Profile) Validate() error {
+	switch {
+	case p.FieldCapacity <= 0 || p.FieldCapacity >= 0.6:
+		return fmt.Errorf("soil: profile %s: field capacity %g implausible", p.Name, p.FieldCapacity)
+	case p.WiltingPoint <= 0 || p.WiltingPoint >= p.FieldCapacity:
+		return fmt.Errorf("soil: profile %s: wilting point %g outside (0, FC)", p.Name, p.WiltingPoint)
+	}
+	return nil
+}
+
+// TAWmm is total available water (mm) for root depth zr (m), FAO-56 eq. 82.
+func (p Profile) TAWmm(zr float64) float64 {
+	return 1000 * (p.FieldCapacity - p.WiltingPoint) * zr
+}
+
+// Soil profiles spanning the pilots' textures.
+var (
+	ProfileSand      = Profile{Name: "sand", FieldCapacity: 0.12, WiltingPoint: 0.04}
+	ProfileSandyLoam = Profile{Name: "sandy-loam", FieldCapacity: 0.20, WiltingPoint: 0.09}
+	ProfileLoam      = Profile{Name: "loam", FieldCapacity: 0.27, WiltingPoint: 0.12}
+	ProfileClayLoam  = Profile{Name: "clay-loam", FieldCapacity: 0.33, WiltingPoint: 0.19}
+	ProfileClay      = Profile{Name: "clay", FieldCapacity: 0.38, WiltingPoint: 0.24}
+)

@@ -1,0 +1,113 @@
+// Package soil implements the agronomic core the SWAMP decision layer runs
+// on: the FAO-56 reference evapotranspiration (Penman-Monteith), crop
+// coefficient curves, and the daily root-zone water balance that converts
+// weather + irrigation into soil moisture — the quantity every pilot's
+// sensors report and every irrigation decision hinges on.
+package soil
+
+import (
+	"fmt"
+	"math"
+)
+
+// ET0Input collects the daily inputs for reference evapotranspiration.
+type ET0Input struct {
+	TminC       float64
+	TmaxC       float64
+	RHMeanPct   float64
+	WindMS      float64 // at 2 m
+	SolarMJ     float64 // measured shortwave, MJ/m²/day
+	LatitudeDeg float64
+	AltitudeM   float64
+	DOY         int
+}
+
+// Validate reports the first implausible input.
+func (in ET0Input) Validate() error {
+	switch {
+	case in.TmaxC < in.TminC:
+		return fmt.Errorf("soil: Tmax %.1f < Tmin %.1f", in.TmaxC, in.TminC)
+	case in.RHMeanPct < 0 || in.RHMeanPct > 100:
+		return fmt.Errorf("soil: RH %.1f%% outside [0,100]", in.RHMeanPct)
+	case in.WindMS < 0:
+		return fmt.Errorf("soil: negative wind %.1f", in.WindMS)
+	case in.SolarMJ < 0:
+		return fmt.Errorf("soil: negative radiation %.1f", in.SolarMJ)
+	case in.DOY < 1 || in.DOY > 366:
+		return fmt.Errorf("soil: DOY %d outside [1,366]", in.DOY)
+	}
+	return nil
+}
+
+// ET0PenmanMonteith computes daily reference evapotranspiration (mm/day)
+// with the FAO-56 Penman-Monteith equation (eq. 6), using the standard
+// daily approximations: soil heat flux G≈0, net radiation from measured
+// shortwave with albedo 0.23 and the FAO net-longwave formula.
+func ET0PenmanMonteith(in ET0Input) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	tmean := (in.TmaxC + in.TminC) / 2
+
+	// Psychrometric constant (eq. 8) from altitude-derived pressure (eq. 7).
+	pressure := 101.3 * math.Pow((293-0.0065*in.AltitudeM)/293, 5.26)
+	gamma := 0.000665 * pressure
+
+	// Vapour pressures (eq. 11-12, 19).
+	es := (satVP(in.TmaxC) + satVP(in.TminC)) / 2
+	ea := es * in.RHMeanPct / 100
+
+	// Slope of the saturation curve at Tmean (eq. 13).
+	delta := 4098 * satVP(tmean) / math.Pow(tmean+237.3, 2)
+
+	// Net shortwave (eq. 38).
+	rns := (1 - 0.23) * in.SolarMJ
+
+	// Net longwave (eq. 39) needs clear-sky radiation for the cloudiness
+	// term; reuse the weather package's formula inline to avoid a cycle.
+	rso := clearSky(in.LatitudeDeg, in.AltitudeM, in.DOY)
+	relSW := 1.0
+	if rso > 0 {
+		relSW = math.Min(in.SolarMJ/rso, 1.0)
+	}
+	const sigma = 4.903e-9 // MJ K⁻⁴ m⁻² day⁻¹
+	tkMax, tkMin := in.TmaxC+273.16, in.TminC+273.16
+	rnl := sigma * (math.Pow(tkMax, 4) + math.Pow(tkMin, 4)) / 2 *
+		(0.34 - 0.14*math.Sqrt(math.Max(ea, 0))) * (1.35*relSW - 0.35)
+
+	rn := rns - rnl
+	const g = 0.0 // daily soil heat flux
+
+	num := 0.408*delta*(rn-g) + gamma*900/(tmean+273)*in.WindMS*(es-ea)
+	den := delta + gamma*(1+0.34*in.WindMS)
+	et0 := num / den
+	if et0 < 0 {
+		et0 = 0
+	}
+	return et0, nil
+}
+
+// satVP is saturation vapour pressure (kPa) at temperature t (°C), FAO-56
+// eq. 11.
+func satVP(t float64) float64 {
+	return 0.6108 * math.Exp(17.27*t/(t+237.3))
+}
+
+// clearSky duplicates weather.ClearSkyRadiation to keep soil free of a
+// dependency on the stochastic generator package.
+func clearSky(latDeg, altitudeM float64, doy int) float64 {
+	phi := latDeg * math.Pi / 180
+	dr := 1 + 0.033*math.Cos(2*math.Pi/365*float64(doy))
+	delta := 0.409 * math.Sin(2*math.Pi/365*float64(doy)-1.39)
+	x := -math.Tan(phi) * math.Tan(delta)
+	if x > 1 {
+		x = 1
+	} else if x < -1 {
+		x = -1
+	}
+	ws := math.Acos(x)
+	const gsc = 0.0820
+	ra := 24 * 60 / math.Pi * gsc * dr *
+		(ws*math.Sin(phi)*math.Sin(delta) + math.Cos(phi)*math.Cos(delta)*math.Sin(ws))
+	return (0.75 + 2e-5*altitudeM) * ra
+}

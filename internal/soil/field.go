@@ -1,0 +1,156 @@
+package soil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// Field is a spatially heterogeneous field: one water balance per grid
+// cell, with soil properties that vary smoothly across space. That spatial
+// variability is exactly why Variable Rate Irrigation out-performs uniform
+// pivots (the MATOPIBA pilot's premise).
+type Field struct {
+	Grid  model.FieldGrid
+	Cells []*Balance
+}
+
+// NewHeterogeneousField builds a field growing crop on soils derived from
+// base, with field capacity and wilting point perturbed by a smooth random
+// field of relative amplitude variability (e.g. 0.25 = ±25%).
+func NewHeterogeneousField(grid model.FieldGrid, crop Crop, base Profile, variability float64, seed int64) (*Field, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if variability < 0 || variability > 0.6 {
+		return nil, fmt.Errorf("soil: variability %g outside [0, 0.6]", variability)
+	}
+	noise := smoothNoise(grid.Rows, grid.Cols, 4, seed)
+	f := &Field{Grid: grid, Cells: make([]*Balance, grid.NumCells())}
+	for r := 0; r < grid.Rows; r++ {
+		for c := 0; c < grid.Cols; c++ {
+			idx := grid.CellIndex(r, c)
+			scale := 1 + variability*noise[idx]
+			p := Profile{
+				Name:          fmt.Sprintf("%s-cell%d", base.Name, idx),
+				FieldCapacity: base.FieldCapacity * scale,
+				WiltingPoint:  base.WiltingPoint * scale,
+			}
+			b, err := NewBalance(crop, p, 0)
+			if err != nil {
+				return nil, fmt.Errorf("soil: cell %d: %w", idx, err)
+			}
+			f.Cells[idx] = b
+		}
+	}
+	return f, nil
+}
+
+// smoothNoise returns a per-cell field in [-1, 1], generated on a coarse
+// lattice (one knot per blockSize cells) and bilinearly interpolated so
+// neighbouring cells correlate — like real soil texture maps.
+func smoothNoise(rows, cols, blockSize int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	kr := rows/blockSize + 2
+	kc := cols/blockSize + 2
+	knots := make([]float64, kr*kc)
+	for i := range knots {
+		knots[i] = rng.Float64()*2 - 1
+	}
+	knot := func(r, c int) float64 { return knots[r*kc+c] }
+
+	out := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			fr := float64(r) / float64(blockSize)
+			fc := float64(c) / float64(blockSize)
+			r0, c0 := int(fr), int(fc)
+			tr, tc := fr-float64(r0), fc-float64(c0)
+			v := knot(r0, c0)*(1-tr)*(1-tc) +
+				knot(r0+1, c0)*tr*(1-tc) +
+				knot(r0, c0+1)*(1-tr)*tc +
+				knot(r0+1, c0+1)*tr*tc
+			out[r*cols+c] = v
+		}
+	}
+	return out
+}
+
+// StepAll advances every cell one day. irrig gives per-cell irrigation
+// depth (mm); pass nil for a dry day. It returns the per-cell results.
+func (f *Field) StepAll(et0, rainMM float64, irrig []float64) ([]StepResult, error) {
+	if irrig != nil && len(irrig) != len(f.Cells) {
+		return nil, fmt.Errorf("soil: irrigation vector length %d != %d cells", len(irrig), len(f.Cells))
+	}
+	out := make([]StepResult, len(f.Cells))
+	for i, cell := range f.Cells {
+		var im float64
+		if irrig != nil {
+			im = irrig[i]
+		}
+		res, err := cell.Step(et0, rainMM, im)
+		if err != nil {
+			return nil, fmt.Errorf("soil: cell %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// MoistureMap returns the current per-cell volumetric moisture.
+func (f *Field) MoistureMap() []float64 {
+	out := make([]float64, len(f.Cells))
+	for i, c := range f.Cells {
+		out[i] = c.Moisture()
+	}
+	return out
+}
+
+// DepletionMap returns current per-cell depletion (mm).
+func (f *Field) DepletionMap() []float64 {
+	out := make([]float64, len(f.Cells))
+	for i, c := range f.Cells {
+		out[i] = c.Depletion()
+	}
+	return out
+}
+
+// FieldTotals aggregates cell totals (mean per-cell mm).
+func (f *Field) FieldTotals() Totals {
+	var agg Totals
+	n := float64(len(f.Cells))
+	for _, c := range f.Cells {
+		t := c.Totals()
+		agg.ET0 += t.ET0 / n
+		agg.ETc += t.ETc / n
+		agg.Rain += t.Rain / n
+		agg.Irrigation += t.Irrigation / n
+		agg.DeepPerc += t.DeepPerc / n
+		agg.StressDays += t.StressDays / n
+	}
+	return agg
+}
+
+// MeanYieldIndex averages the per-cell yield index.
+func (f *Field) MeanYieldIndex() float64 {
+	sum := 0.0
+	for _, c := range f.Cells {
+		sum += c.YieldIndex()
+	}
+	return sum / float64(len(f.Cells))
+}
+
+// MoistureStats summarises the spatial moisture distribution.
+func (f *Field) MoistureStats() (mean, min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, c := range f.Cells {
+		m := c.Moisture()
+		mean += m
+		min = math.Min(min, m)
+		max = math.Max(max, m)
+	}
+	mean /= float64(len(f.Cells))
+	return mean, min, max
+}

@@ -1,0 +1,342 @@
+package soil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/swamp-project/swamp/internal/model"
+)
+
+// A standard FAO-ish summer day for Bologna.
+func summerDay() ET0Input {
+	return ET0Input{
+		TminC: 16, TmaxC: 30, RHMeanPct: 60, WindMS: 2,
+		SolarMJ: 25, LatitudeDeg: 44.6, AltitudeM: 30, DOY: 190,
+	}
+}
+
+func TestET0PlausibleMagnitude(t *testing.T) {
+	et0, err := ET0PenmanMonteith(summerDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-summer reference ET in the Po valley is ~4-7 mm/day.
+	if et0 < 3 || et0 > 8 {
+		t.Errorf("summer ET0 = %.2f mm/day, want 3-8", et0)
+	}
+
+	winter := ET0Input{TminC: 0, TmaxC: 8, RHMeanPct: 80, WindMS: 1.5,
+		SolarMJ: 5, LatitudeDeg: 44.6, AltitudeM: 30, DOY: 15}
+	et0w, err := ET0PenmanMonteith(winter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et0w >= et0 || et0w < 0 || et0w > 2 {
+		t.Errorf("winter ET0 = %.2f, summer %.2f", et0w, et0)
+	}
+}
+
+func TestET0Monotonicity(t *testing.T) {
+	base, _ := ET0PenmanMonteith(summerDay())
+
+	hot := summerDay()
+	hot.TmaxC += 6
+	hot.TminC += 6
+	et0hot, _ := ET0PenmanMonteith(hot)
+	if et0hot <= base {
+		t.Errorf("hotter day should raise ET0: %.2f vs %.2f", et0hot, base)
+	}
+
+	humid := summerDay()
+	humid.RHMeanPct = 95
+	et0humid, _ := ET0PenmanMonteith(humid)
+	if et0humid >= base {
+		t.Errorf("humid day should lower ET0: %.2f vs %.2f", et0humid, base)
+	}
+
+	windy := summerDay()
+	windy.WindMS = 6
+	et0windy, _ := ET0PenmanMonteith(windy)
+	if et0windy <= base {
+		t.Errorf("windy day should raise ET0: %.2f vs %.2f", et0windy, base)
+	}
+}
+
+func TestET0Validation(t *testing.T) {
+	bad := summerDay()
+	bad.TmaxC = bad.TminC - 1
+	if _, err := ET0PenmanMonteith(bad); err == nil {
+		t.Error("Tmax<Tmin accepted")
+	}
+	bad = summerDay()
+	bad.RHMeanPct = 150
+	if _, err := ET0PenmanMonteith(bad); err == nil {
+		t.Error("RH 150% accepted")
+	}
+	bad = summerDay()
+	bad.DOY = 0
+	if _, err := ET0PenmanMonteith(bad); err == nil {
+		t.Error("DOY 0 accepted")
+	}
+}
+
+func TestKcCurveShape(t *testing.T) {
+	c := CropSoybean
+	if got := c.Kc(0); got != c.KcIni {
+		t.Errorf("Kc(0) = %g", got)
+	}
+	if got := c.Kc(-5); got != c.KcIni {
+		t.Errorf("Kc(-5) = %g", got)
+	}
+	midStart := c.StageDays[0] + c.StageDays[1]
+	if got := c.Kc(midStart + 1); got != c.KcMid {
+		t.Errorf("Kc(mid) = %g, want %g", got, c.KcMid)
+	}
+	// Development stage is monotonic rising.
+	prev := c.Kc(c.StageDays[0])
+	for d := c.StageDays[0] + 1; d < midStart; d++ {
+		cur := c.Kc(d)
+		if cur < prev {
+			t.Fatalf("Kc not monotone in development at day %d", d)
+		}
+		prev = cur
+	}
+	// Past season end holds KcEnd.
+	if got := c.Kc(c.SeasonDays() + 30); got != c.KcEnd {
+		t.Errorf("Kc past season = %g", got)
+	}
+}
+
+func TestCropAndProfileValidation(t *testing.T) {
+	for _, c := range []Crop{CropSoybean, CropWineGrape, CropLettuce, CropMaizeSilage} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("built-in crop %s invalid: %v", c.Name, err)
+		}
+	}
+	bad := CropSoybean
+	bad.DepletionFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad depletion fraction accepted")
+	}
+	for _, p := range []Profile{ProfileSand, ProfileSandyLoam, ProfileLoam, ProfileClayLoam, ProfileClay} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile %s invalid: %v", p.Name, err)
+		}
+	}
+	badP := ProfileLoam
+	badP.WiltingPoint = badP.FieldCapacity + 0.01
+	if err := badP.Validate(); err == nil {
+		t.Error("WP>FC accepted")
+	}
+}
+
+func TestBalanceDryDown(t *testing.T) {
+	b, err := NewBalance(CropSoybean, ProfileLoam, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Moisture() != ProfileLoam.FieldCapacity {
+		t.Errorf("initial moisture %g != FC %g", b.Moisture(), ProfileLoam.FieldCapacity)
+	}
+	prev := b.Moisture()
+	for i := 0; i < 55; i++ {
+		if _, err := b.Step(6, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		cur := b.Moisture()
+		if cur > prev+1e-12 {
+			t.Fatalf("moisture rose on a dry day (%g -> %g)", prev, cur)
+		}
+		prev = cur
+	}
+	if b.Depletion() <= b.RAW() {
+		t.Error("55 dry 6mm days should pass the RAW threshold for loam/soybean")
+	}
+	if b.Ks() >= 1 {
+		t.Error("stress coefficient should be < 1 past RAW")
+	}
+}
+
+func TestBalanceIrrigationRefills(t *testing.T) {
+	b, _ := NewBalance(CropSoybean, ProfileLoam, 0.5)
+	d0 := b.Depletion()
+	res, err := b.Step(0, 0, d0/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Depletion()-d0/2) > 1e-9 {
+		t.Errorf("depletion after irrigation = %g, want %g", b.Depletion(), d0/2)
+	}
+	if res.DeepPerc != 0 {
+		t.Errorf("unexpected percolation %g", res.DeepPerc)
+	}
+	// Over-irrigation drains, never pushes moisture above FC.
+	res, _ = b.Step(0, 0, 500)
+	if res.DeepPerc <= 0 {
+		t.Error("500mm should percolate")
+	}
+	if b.Moisture() > b.Profile().FieldCapacity+1e-12 {
+		t.Error("moisture exceeded field capacity")
+	}
+}
+
+func TestBalanceRejectsNegativeFlux(t *testing.T) {
+	b, _ := NewBalance(CropSoybean, ProfileLoam, 0)
+	if _, err := b.Step(-1, 0, 0); err == nil {
+		t.Error("negative ET0 accepted")
+	}
+	if _, err := b.Step(1, -1, 0); err == nil {
+		t.Error("negative rain accepted")
+	}
+}
+
+// Property: mass balance — over any schedule, rain+irrigation-ETc-percolation
+// equals the change in storage (i.e. -ΔDr), to rounding.
+func TestWaterMassBalanceProperty(t *testing.T) {
+	f := func(days []uint8) bool {
+		b, err := NewBalance(CropSoybean, ProfileSandyLoam, 0.3)
+		if err != nil {
+			return false
+		}
+		d0 := b.Depletion()
+		for i, raw := range days {
+			et0 := float64(raw % 8)
+			rain := float64((raw >> 3) % 4 * 5)
+			var irr float64
+			if i%4 == 0 {
+				irr = float64(raw % 16)
+			}
+			if _, err := b.Step(et0, rain, irr); err != nil {
+				return false
+			}
+		}
+		tot := b.Totals()
+		lhs := tot.Rain + tot.Irrigation - tot.ETc - tot.DeepPerc
+		rhs := d0 - b.Depletion()
+		return math.Abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: moisture always stays within [WP-ish floor, FC].
+func TestMoistureBoundsProperty(t *testing.T) {
+	f := func(days []uint8) bool {
+		b, err := NewBalance(CropLettuce, ProfileSand, 0.2)
+		if err != nil {
+			return false
+		}
+		for _, raw := range days {
+			if _, err := b.Step(float64(raw%9), float64(raw%3)*4, float64(raw%5)*3); err != nil {
+				return false
+			}
+			m := b.Moisture()
+			if m > ProfileSand.FieldCapacity+1e-9 || m < ProfileSand.WiltingPoint-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldIndexResponds(t *testing.T) {
+	wellWatered, _ := NewBalance(CropSoybean, ProfileLoam, 0)
+	droughted, _ := NewBalance(CropSoybean, ProfileLoam, 0)
+	for i := 0; i < CropSoybean.SeasonDays(); i++ {
+		wellWatered.Step(5, 0, 6)
+		droughted.Step(5, 0, 0)
+	}
+	if wellWatered.YieldIndex() < 0.95 {
+		t.Errorf("well-watered yield %g", wellWatered.YieldIndex())
+	}
+	if droughted.YieldIndex() > 0.6 {
+		t.Errorf("droughted yield %g too high", droughted.YieldIndex())
+	}
+}
+
+func TestHeterogeneousField(t *testing.T) {
+	grid, err := model.NewFieldGrid(model.GeoPoint{Lat: -12.15, Lon: -45}, 16, 16, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewHeterogeneousField(grid, CropSoybean, ProfileSandyLoam, 0.25, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 256 {
+		t.Fatalf("cells = %d", len(f.Cells))
+	}
+	// Cells should differ (heterogeneity) but stay plausible.
+	fcs := map[float64]bool{}
+	for _, c := range f.Cells {
+		p := c.Profile()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("cell profile invalid: %v", err)
+		}
+		fcs[math.Round(p.FieldCapacity*1e6)] = true
+	}
+	if len(fcs) < 50 {
+		t.Errorf("field too homogeneous: %d distinct FCs", len(fcs))
+	}
+
+	// Spatial correlation: adjacent cells closer than distant ones on average.
+	adjDiff, farDiff := 0.0, 0.0
+	n := 0
+	for r := 0; r < grid.Rows-1; r++ {
+		for c := 0; c < grid.Cols-8; c++ {
+			a := f.Cells[grid.CellIndex(r, c)].Profile().FieldCapacity
+			b := f.Cells[grid.CellIndex(r, c+1)].Profile().FieldCapacity
+			d := f.Cells[grid.CellIndex(r, c+8)].Profile().FieldCapacity
+			adjDiff += math.Abs(a - b)
+			farDiff += math.Abs(a - d)
+			n++
+		}
+	}
+	if adjDiff/float64(n) >= farDiff/float64(n) {
+		t.Error("no spatial correlation: adjacent cells differ as much as distant ones")
+	}
+
+	// Step the whole field and check vector length handling.
+	if _, err := f.StepAll(5, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.StepAll(5, 0, make([]float64, 3)); err == nil {
+		t.Error("wrong irrigation vector length accepted")
+	}
+	irr := make([]float64, len(f.Cells))
+	for i := range irr {
+		irr[i] = 5
+	}
+	if _, err := f.StepAll(5, 0, irr); err != nil {
+		t.Fatal(err)
+	}
+	mean, min, max := f.MoistureStats()
+	if min > mean || mean > max {
+		t.Errorf("stats inconsistent: %g %g %g", min, mean, max)
+	}
+	if got := f.FieldTotals(); got.Irrigation <= 0 || got.ETc <= 0 {
+		t.Errorf("field totals %+v", got)
+	}
+	if len(f.MoistureMap()) != 256 || len(f.DepletionMap()) != 256 {
+		t.Error("map lengths wrong")
+	}
+	if y := f.MeanYieldIndex(); y <= 0 || y > 1 {
+		t.Errorf("yield index %g", y)
+	}
+}
+
+func TestFieldVariabilityValidation(t *testing.T) {
+	grid, _ := model.NewFieldGrid(model.GeoPoint{}, 4, 4, 10)
+	if _, err := NewHeterogeneousField(grid, CropSoybean, ProfileLoam, 0.9, 1); err == nil {
+		t.Error("variability 0.9 accepted")
+	}
+	badProfile := Profile{Name: "bad", FieldCapacity: 0.7, WiltingPoint: 0.1}
+	if _, err := NewHeterogeneousField(grid, CropSoybean, badProfile, 0.2, 1); err == nil {
+		t.Error("invalid base profile accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package timeseries implements the in-memory time-series store the SWAMP
+// cloud and fog layers persist telemetry into. It supports appends, range
+// queries, aggregation and downsampling, with optional retention by count.
+//
+// The store stands in for the historical-data backends a FIWARE deployment
+// would use (STH-Comet / QuantumLeap); it offers the same query shapes the
+// analytics layer needs.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample in a series.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// SeriesKey identifies a series: one device/quantity pair.
+type SeriesKey struct {
+	Device   string
+	Quantity string
+}
+
+// String implements fmt.Stringer.
+func (k SeriesKey) String() string { return k.Device + "/" + k.Quantity }
+
+// Store is a concurrency-safe collection of series. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu        sync.RWMutex
+	series    map[SeriesKey]*series
+	maxPoints int // per-series retention, 0 = unlimited
+}
+
+type series struct {
+	pts []Point // kept sorted by At
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithMaxPointsPerSeries bounds per-series memory: when a series exceeds n
+// points the oldest are dropped.
+func WithMaxPointsPerSeries(n int) Option {
+	return func(s *Store) { s.maxPoints = n }
+}
+
+// New constructs an empty store.
+func New(opts ...Option) *Store {
+	s := &Store{series: make(map[SeriesKey]*series)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Append adds a point to the series identified by key. Out-of-order appends
+// are accepted and inserted in timestamp order.
+func (s *Store) Append(key SeriesKey, p Point) error {
+	if key.Device == "" || key.Quantity == "" {
+		return fmt.Errorf("timeseries: empty series key")
+	}
+	if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+		return fmt.Errorf("timeseries %s: non-finite value", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[key]
+	if sr == nil {
+		sr = &series{}
+		s.series[key] = sr
+	}
+	n := len(sr.pts)
+	if n == 0 || !p.At.Before(sr.pts[n-1].At) {
+		sr.pts = append(sr.pts, p)
+	} else {
+		// Out-of-order: binary search for insertion point.
+		i := sort.Search(n, func(i int) bool { return sr.pts[i].At.After(p.At) })
+		sr.pts = append(sr.pts, Point{})
+		copy(sr.pts[i+1:], sr.pts[i:])
+		sr.pts[i] = p
+	}
+	if s.maxPoints > 0 && len(sr.pts) > s.maxPoints {
+		drop := len(sr.pts) - s.maxPoints
+		sr.pts = append(sr.pts[:0], sr.pts[drop:]...)
+	}
+	return nil
+}
+
+// Len returns the number of points currently held for key.
+func (s *Store) Len(key SeriesKey) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sr := s.series[key]; sr != nil {
+		return len(sr.pts)
+	}
+	return 0
+}
+
+// Keys returns all series keys, sorted for determinism.
+func (s *Store) Keys() []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]SeriesKey, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Quantity < keys[j].Quantity
+	})
+	return keys
+}
+
+// Range returns a copy of the points in [from, to) for key, in order.
+func (s *Store) Range(key SeriesKey, from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[key]
+	if sr == nil {
+		return nil
+	}
+	lo := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(from) })
+	hi := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, sr.pts[lo:hi])
+	return out
+}
+
+// Latest returns the most recent point for key, and whether one exists.
+func (s *Store) Latest(key SeriesKey) (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[key]
+	if sr == nil || len(sr.pts) == 0 {
+		return Point{}, false
+	}
+	return sr.pts[len(sr.pts)-1], true
+}
+
+// Aggregate summarises the points of key in [from, to).
+type Aggregate struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	Sum   float64
+}
+
+// Summarize computes an Aggregate over [from, to). Count==0 means no data.
+func (s *Store) Summarize(key SeriesKey, from, to time.Time) Aggregate {
+	pts := s.Range(key, from, to)
+	agg := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, p := range pts {
+		agg.Count++
+		agg.Sum += p.Value
+		agg.Min = math.Min(agg.Min, p.Value)
+		agg.Max = math.Max(agg.Max, p.Value)
+	}
+	if agg.Count > 0 {
+		agg.Mean = agg.Sum / float64(agg.Count)
+	} else {
+		agg.Min, agg.Max = 0, 0
+	}
+	return agg
+}
+
+// Downsample buckets the points of key in [from, to) into fixed windows and
+// returns one mean point per non-empty window, stamped at the window start.
+func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Point, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive downsample window %v", window)
+	}
+	pts := s.Range(key, from, to)
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	var out []Point
+	wStart := from
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{At: wStart, Value: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range pts {
+		for !p.At.Before(wStart.Add(window)) {
+			flush()
+			wStart = wStart.Add(window)
+		}
+		sum += p.Value
+		n++
+	}
+	flush()
+	return out, nil
+}
+
+// DeleteBefore removes all points older than cutoff from every series and
+// returns how many points were dropped.
+func (s *Store) DeleteBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, sr := range s.series {
+		i := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(cutoff) })
+		if i > 0 {
+			dropped += i
+			sr.pts = append(sr.pts[:0], sr.pts[i:]...)
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,205 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func key() SeriesKey { return SeriesKey{Device: "probe-1", Quantity: "soilMoisture"} }
+
+func TestAppendAndRange(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Range(key(), t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if len(got) != 3 {
+		t.Fatalf("range returned %d points, want 3", len(got))
+	}
+	for i, p := range got {
+		if p.Value != float64(i+2) {
+			t.Errorf("point %d = %g", i, p.Value)
+		}
+	}
+	if s.Len(key()) != 10 {
+		t.Errorf("Len = %d", s.Len(key()))
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := New()
+	if err := s.Append(SeriesKey{}, Point{At: t0, Value: 1}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Append(key(), Point{At: t0, Value: math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := s.Append(key(), Point{At: t0, Value: math.Inf(-1)}); err == nil {
+		t.Error("-Inf accepted")
+	}
+}
+
+func TestOutOfOrderAppendKeepsSorted(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(50)
+	for _, i := range perm {
+		if err := s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := s.Range(key(), t0, t0.Add(time.Hour))
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At.Before(pts[i-1].At) {
+			t.Fatalf("points out of order at %d", i)
+		}
+	}
+}
+
+// Property: for any insertion order, Range(-inf, +inf) is sorted and
+// complete.
+func TestSortedInvariantProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		for _, off := range offsets {
+			if err := s.Append(key(), Point{At: t0.Add(time.Duration(off) * time.Second), Value: float64(off)}); err != nil {
+				return false
+			}
+		}
+		pts := s.Range(key(), t0.Add(-time.Hour), t0.Add(100*time.Hour))
+		if len(pts) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].At.Before(pts[i-1].At) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := New()
+	if _, ok := s.Latest(key()); ok {
+		t.Error("Latest on empty store returned ok")
+	}
+	s.Append(key(), Point{At: t0, Value: 1})
+	s.Append(key(), Point{At: t0.Add(time.Minute), Value: 2})
+	p, ok := s.Latest(key())
+	if !ok || p.Value != 2 {
+		t.Errorf("Latest = %+v, %v", p, ok)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)})
+	}
+	agg := s.Summarize(key(), t0, t0.Add(time.Hour))
+	if agg.Count != 5 || agg.Min != 1 || agg.Max != 5 || agg.Sum != 15 || agg.Mean != 3 {
+		t.Errorf("agg = %+v", agg)
+	}
+	empty := s.Summarize(key(), t0.Add(-time.Hour), t0)
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty agg = %+v", empty)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := New()
+	// Two per 10-minute window, values (0,1),(2,3),(4,5).
+	for i := 0; i < 6; i++ {
+		s.Append(key(), Point{At: t0.Add(time.Duration(i) * 5 * time.Minute), Value: float64(i)})
+	}
+	out, err := s.Downsample(key(), t0, t0.Add(time.Hour), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 2.5, 4.5}
+	if len(out) != len(want) {
+		t.Fatalf("downsample returned %d windows, want %d", len(out), len(want))
+	}
+	for i, p := range out {
+		if p.Value != want[i] {
+			t.Errorf("window %d mean = %g, want %g", i, p.Value, want[i])
+		}
+	}
+	if _, err := s.Downsample(key(), t0, t0.Add(time.Hour), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	s := New(WithMaxPointsPerSeries(10))
+	for i := 0; i < 25; i++ {
+		s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Second), Value: float64(i)})
+	}
+	if got := s.Len(key()); got != 10 {
+		t.Fatalf("retention kept %d points, want 10", got)
+	}
+	pts := s.Range(key(), t0, t0.Add(time.Hour))
+	if pts[0].Value != 15 {
+		t.Errorf("oldest kept point = %g, want 15", pts[0].Value)
+	}
+}
+
+func TestDeleteBefore(t *testing.T) {
+	s := New()
+	k2 := SeriesKey{Device: "probe-2", Quantity: "x"}
+	for i := 0; i < 10; i++ {
+		s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Minute), Value: 1})
+		s.Append(k2, Point{At: t0.Add(time.Duration(i) * time.Minute), Value: 1})
+	}
+	n := s.DeleteBefore(t0.Add(5 * time.Minute))
+	if n != 10 {
+		t.Errorf("deleted %d, want 10", n)
+	}
+	if s.Len(key()) != 5 || s.Len(k2) != 5 {
+		t.Errorf("lens = %d, %d", s.Len(key()), s.Len(k2))
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	s.Append(SeriesKey{Device: "b", Quantity: "y"}, Point{At: t0, Value: 1})
+	s.Append(SeriesKey{Device: "a", Quantity: "z"}, Point{At: t0, Value: 1})
+	s.Append(SeriesKey{Device: "a", Quantity: "a"}, Point{At: t0, Value: 1})
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0].Device != "a" || keys[0].Quantity != "a" || keys[2].Device != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				s.Append(key(), Point{At: t0.Add(time.Duration(w*1000+i) * time.Millisecond), Value: 1})
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if got := s.Len(key()); got != 800 {
+		t.Errorf("concurrent appends: %d points, want 800", got)
+	}
+}

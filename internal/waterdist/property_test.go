@@ -1,0 +1,96 @@
+package waterdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: proportional allocation never exceeds demand or capacity, and
+// when nothing is oversubscribed it equals demand exactly.
+func TestProportionalInvariantsProperty(t *testing.T) {
+	n := cbecNet(t)
+	f := func(d1, d2, d3, d4 uint8) bool {
+		demand := map[string]float64{
+			"f1": float64(d1), "f2": float64(d2), "f3": float64(d3), "f4": float64(d4),
+		}
+		alloc, err := n.AllocateProportional(demand)
+		if err != nil {
+			return false
+		}
+		for id, d := range demand {
+			if alloc[id] > d+1e-6 || alloc[id] < -1e-9 {
+				return false
+			}
+		}
+		if alloc["f3"]+alloc["f4"] > 30+1e-6 {
+			return false
+		}
+		if alloc["f1"]+alloc["f2"] > 60+1e-6 {
+			return false
+		}
+		return alloc.Total() <= 100+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max-min is never worse for the minimum-delivery farm than
+// proportional (the optimizer's defining guarantee on trees).
+func TestMaxMinDominatesWorstCaseProperty(t *testing.T) {
+	n := cbecNet(t)
+	f := func(d1, d2, d3, d4 uint8) bool {
+		demand := map[string]float64{
+			"f1": float64(d1) + 1, "f2": float64(d2) + 1,
+			"f3": float64(d3) + 1, "f4": float64(d4) + 1,
+		}
+		prop, err := n.AllocateProportional(demand)
+		if err != nil {
+			return false
+		}
+		fair, err := n.AllocateMaxMin(demand)
+		if err != nil {
+			return false
+		}
+		minOf := func(a Allocation) float64 {
+			m := -1.0
+			for _, off := range n.Offtakes() {
+				if m < 0 || a[off] < m {
+					m = a[off]
+				}
+			}
+			return m
+		}
+		return minOf(fair) >= minOf(prop)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost-aware sourcing is never more expensive than the naive
+// split for the same delivered volume.
+func TestCostAwareDominatesProperty(t *testing.T) {
+	sources := intercropSources()
+	f := func(dRaw uint16) bool {
+		demand := float64(dRaw % 3000)
+		smart, err := AllocateByCost(demand, sources)
+		if err != nil {
+			return false
+		}
+		naive, err := AllocateNaive(demand, sources)
+		if err != nil {
+			return false
+		}
+		if smart.Shortfall > naive.Shortfall+1e-6 {
+			return false
+		}
+		if smart.Shortfall == naive.Shortfall {
+			return smart.CostEUR <= naive.CostEUR+1e-6
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

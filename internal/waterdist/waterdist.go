@@ -1,0 +1,373 @@
+// Package waterdist models the CBEC pilot's substrate: a canal network
+// distributing water from a source through capacity-limited reaches to farm
+// offtakes. It provides two allocators — a naive proportional split and a
+// max-min fair progressive-filling optimizer — so the platform can show the
+// "optimizing water distribution to the farms" objective, plus the
+// cost-aware multi-source scheduler the Intercrop pilot needs for its
+// expensive desalinated water.
+package waterdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeKind classifies network nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindSource NodeKind = iota + 1
+	KindJunction
+	KindOfftake
+)
+
+// Network is a rooted canal tree: one source, junctions, and offtakes at
+// the leaves. Edges carry daily capacities (m³/day).
+type Network struct {
+	source   string
+	nodes    map[string]NodeKind
+	parent   map[string]string
+	capacity map[string]float64 // keyed by child node: capacity of edge parent→child
+	children map[string][]string
+	frozen   bool
+}
+
+// NewNetwork starts a network with its source node.
+func NewNetwork(sourceID string) (*Network, error) {
+	if sourceID == "" {
+		return nil, fmt.Errorf("waterdist: empty source id")
+	}
+	n := &Network{
+		source:   sourceID,
+		nodes:    map[string]NodeKind{sourceID: KindSource},
+		parent:   make(map[string]string),
+		capacity: make(map[string]float64),
+		children: make(map[string][]string),
+	}
+	return n, nil
+}
+
+// AddCanal attaches a new node under parent with the given canal capacity.
+// kind must be KindJunction or KindOfftake.
+func (n *Network) AddCanal(parentID, id string, kind NodeKind, capacityM3 float64) error {
+	if n.frozen {
+		return errors.New("waterdist: network already validated (frozen)")
+	}
+	if kind != KindJunction && kind != KindOfftake {
+		return fmt.Errorf("waterdist: node %q: bad kind %d", id, kind)
+	}
+	if id == "" || capacityM3 <= 0 {
+		return fmt.Errorf("waterdist: node %q: need id and positive capacity", id)
+	}
+	if _, ok := n.nodes[parentID]; !ok {
+		return fmt.Errorf("waterdist: parent %q unknown", parentID)
+	}
+	if n.nodes[parentID] == KindOfftake {
+		return fmt.Errorf("waterdist: parent %q is an offtake (leaf)", parentID)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("waterdist: node %q already exists", id)
+	}
+	n.nodes[id] = kind
+	n.parent[id] = parentID
+	n.capacity[id] = capacityM3
+	n.children[parentID] = append(n.children[parentID], id)
+	return nil
+}
+
+// Validate freezes the topology after checking every junction leads to at
+// least one offtake.
+func (n *Network) Validate() error {
+	if len(n.Offtakes()) == 0 {
+		return errors.New("waterdist: network has no offtakes")
+	}
+	for id, kind := range n.nodes {
+		if kind == KindJunction && len(n.children[id]) == 0 {
+			return fmt.Errorf("waterdist: junction %q is a dead end", id)
+		}
+	}
+	n.frozen = true
+	return nil
+}
+
+// Offtakes returns the offtake ids, sorted.
+func (n *Network) Offtakes() []string {
+	var out []string
+	for id, kind := range n.nodes {
+		if kind == KindOfftake {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pathEdges returns the chain of edge-keys (child node ids) from the source
+// down to id.
+func (n *Network) pathEdges(id string) []string {
+	var rev []string
+	for id != n.source {
+		rev = append(rev, id)
+		id = n.parent[id]
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Allocation maps offtake id → delivered m³.
+type Allocation map[string]float64
+
+// Total returns the sum of deliveries.
+func (a Allocation) Total() float64 {
+	t := 0.0
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// MinSatisfaction returns the minimum delivered/demand ratio across
+// offtakes with positive demand — the fairness figure of merit.
+func MinSatisfaction(alloc Allocation, demand map[string]float64) float64 {
+	minSat := math.Inf(1)
+	for id, d := range demand {
+		if d <= 0 {
+			continue
+		}
+		minSat = math.Min(minSat, alloc[id]/d)
+	}
+	if math.IsInf(minSat, 1) {
+		return 1
+	}
+	return minSat
+}
+
+// checkDemand validates a demand map against the network.
+func (n *Network) checkDemand(demand map[string]float64) error {
+	for id, d := range demand {
+		if n.nodes[id] != KindOfftake {
+			return fmt.Errorf("waterdist: demand for non-offtake %q", id)
+		}
+		if d < 0 {
+			return fmt.Errorf("waterdist: negative demand for %q", id)
+		}
+	}
+	return nil
+}
+
+// AllocateProportional is the baseline: every offtake requests its demand;
+// when an edge is oversubscribed, all flows through it scale down by the
+// same factor, cascading from the source. This mirrors how districts
+// historically split water pro-rata without per-farm intelligence.
+func (n *Network) AllocateProportional(demand map[string]float64) (Allocation, error) {
+	if err := n.checkDemand(demand); err != nil {
+		return nil, err
+	}
+	alloc := make(Allocation, len(demand))
+	for id, d := range demand {
+		alloc[id] = d
+	}
+	// Repeatedly find the most oversubscribed edge and scale its subtree.
+	for iter := 0; iter < len(n.nodes)+1; iter++ {
+		worstRatio := 1.0
+		worstEdge := ""
+		for edge, cap := range n.capacity {
+			flow := n.subtreeFlow(edge, alloc)
+			if flow > cap && cap/flow < worstRatio {
+				worstRatio = cap / flow
+				worstEdge = edge
+			}
+		}
+		if worstEdge == "" {
+			return alloc, nil
+		}
+		for _, off := range n.subtreeOfftakes(worstEdge) {
+			alloc[off] *= worstRatio
+		}
+	}
+	return alloc, nil
+}
+
+// AllocateMaxMin runs progressive filling: raise every unfrozen offtake's
+// allocation together until an edge saturates or a demand is met, freeze,
+// repeat. The result is the max-min fair allocation subject to demands and
+// capacities — what the SWAMP optimizer deploys at CBEC.
+func (n *Network) AllocateMaxMin(demand map[string]float64) (Allocation, error) {
+	if err := n.checkDemand(demand); err != nil {
+		return nil, err
+	}
+	alloc := make(Allocation, len(demand))
+	active := make(map[string]bool)
+	for id, d := range demand {
+		alloc[id] = 0
+		if d > 0 {
+			active[id] = true
+		}
+	}
+	for len(active) > 0 {
+		// Max uniform increment before an edge saturates.
+		inc := math.Inf(1)
+		for edge, cap := range n.capacity {
+			nActive := 0
+			for _, off := range n.subtreeOfftakes(edge) {
+				if active[off] {
+					nActive++
+				}
+			}
+			if nActive == 0 {
+				continue
+			}
+			slack := cap - n.subtreeFlow(edge, alloc)
+			inc = math.Min(inc, slack/float64(nActive))
+		}
+		// Demand completion can bind earlier.
+		for off := range active {
+			inc = math.Min(inc, demand[off]-alloc[off])
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for off := range active {
+			alloc[off] += inc
+		}
+		// Freeze saturated offtakes: demand met, or on a saturated path.
+		for off := range active {
+			if alloc[off] >= demand[off]-1e-9 {
+				delete(active, off)
+				continue
+			}
+			for _, edge := range n.pathEdges(off) {
+				if n.subtreeFlow(edge, alloc) >= n.capacity[edge]-1e-9 {
+					delete(active, off)
+					break
+				}
+			}
+		}
+		if inc == 0 && len(active) > 0 {
+			// No progress possible; all remaining are capacity-blocked.
+			break
+		}
+	}
+	return alloc, nil
+}
+
+func (n *Network) subtreeOfftakes(node string) []string {
+	var out []string
+	var walk func(string)
+	walk = func(id string) {
+		if n.nodes[id] == KindOfftake {
+			out = append(out, id)
+			return
+		}
+		for _, c := range n.children[id] {
+			walk(c)
+		}
+	}
+	walk(node)
+	return out
+}
+
+func (n *Network) subtreeFlow(node string, alloc Allocation) float64 {
+	f := 0.0
+	for _, off := range n.subtreeOfftakes(node) {
+		f += alloc[off]
+	}
+	return f
+}
+
+// WaterSource is one supply option for the multi-source (Intercrop)
+// scheduler.
+type WaterSource struct {
+	Name       string
+	CapacityM3 float64 // per day
+	CostPerM3  float64 // €/m³ (desalination ≈ 0.6-1.0, wells ≈ 0.05-0.1)
+}
+
+// SourcePlan is the chosen draw per source plus the total cost.
+type SourcePlan struct {
+	DrawM3    map[string]float64
+	CostEUR   float64
+	Shortfall float64 // unmet demand
+}
+
+// AllocateByCost fills demand from the cheapest sources first — the
+// rational-use policy for a farm that pays desalination prices.
+func AllocateByCost(demandM3 float64, sources []WaterSource) (SourcePlan, error) {
+	if demandM3 < 0 {
+		return SourcePlan{}, fmt.Errorf("waterdist: negative demand %g", demandM3)
+	}
+	for _, s := range sources {
+		if s.CapacityM3 < 0 || s.CostPerM3 < 0 {
+			return SourcePlan{}, fmt.Errorf("waterdist: source %q has negative parameters", s.Name)
+		}
+	}
+	sorted := append([]WaterSource(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CostPerM3 != sorted[j].CostPerM3 {
+			return sorted[i].CostPerM3 < sorted[j].CostPerM3
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	plan := SourcePlan{DrawM3: make(map[string]float64, len(sources))}
+	remaining := demandM3
+	for _, s := range sorted {
+		if remaining <= 0 {
+			break
+		}
+		draw := math.Min(remaining, s.CapacityM3)
+		if draw > 0 {
+			plan.DrawM3[s.Name] = draw
+			plan.CostEUR += draw * s.CostPerM3
+			remaining -= draw
+		}
+	}
+	plan.Shortfall = math.Max(0, remaining)
+	return plan, nil
+}
+
+// AllocateNaive is the baseline that splits demand evenly across sources
+// regardless of cost (what a non-smart controller does).
+func AllocateNaive(demandM3 float64, sources []WaterSource) (SourcePlan, error) {
+	if demandM3 < 0 {
+		return SourcePlan{}, fmt.Errorf("waterdist: negative demand %g", demandM3)
+	}
+	plan := SourcePlan{DrawM3: make(map[string]float64, len(sources))}
+	if len(sources) == 0 {
+		plan.Shortfall = demandM3
+		return plan, nil
+	}
+	share := demandM3 / float64(len(sources))
+	remaining := demandM3
+	for _, s := range sources {
+		draw := math.Min(share, s.CapacityM3)
+		plan.DrawM3[s.Name] = draw
+		plan.CostEUR += draw * s.CostPerM3
+		remaining -= draw
+	}
+	// Second pass: spill leftover into any remaining capacity, arbitrary
+	// (name) order — still cost-blind.
+	if remaining > 1e-9 {
+		sorted := append([]WaterSource(nil), sources...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, s := range sorted {
+			if remaining <= 0 {
+				break
+			}
+			spare := s.CapacityM3 - plan.DrawM3[s.Name]
+			draw := math.Min(remaining, spare)
+			if draw > 0 {
+				plan.DrawM3[s.Name] += draw
+				plan.CostEUR += draw * s.CostPerM3
+				remaining -= draw
+			}
+		}
+	}
+	plan.Shortfall = math.Max(0, remaining)
+	return plan, nil
+}

@@ -1,0 +1,261 @@
+package waterdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// cbecNet builds:   source ──main(100)──> j1 ──north(60)──> f1, f2
+//
+//	└──south(30)──> f3, f4
+func cbecNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.AddCanal("src", "j1", KindJunction, 100))
+	must(n.AddCanal("j1", "north", KindJunction, 60))
+	must(n.AddCanal("j1", "south", KindJunction, 30))
+	must(n.AddCanal("north", "f1", KindOfftake, 50))
+	must(n.AddCanal("north", "f2", KindOfftake, 50))
+	must(n.AddCanal("south", "f3", KindOfftake, 25))
+	must(n.AddCanal("south", "f4", KindOfftake, 25))
+	must(n.Validate())
+	return n
+}
+
+func TestNetworkConstructionErrors(t *testing.T) {
+	if _, err := NewNetwork(""); err == nil {
+		t.Error("empty source accepted")
+	}
+	n, _ := NewNetwork("s")
+	if err := n.AddCanal("ghost", "x", KindJunction, 10); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := n.AddCanal("s", "x", KindJunction, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := n.AddCanal("s", "x", NodeKind(0), 10); err == nil {
+		t.Error("bad kind accepted")
+	}
+	n.AddCanal("s", "leaf", KindOfftake, 10)
+	if err := n.AddCanal("leaf", "y", KindOfftake, 5); err == nil {
+		t.Error("child under offtake accepted")
+	}
+	if err := n.AddCanal("s", "leaf", KindOfftake, 10); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	// Dead-end junction fails validation.
+	n2, _ := NewNetwork("s")
+	n2.AddCanal("s", "j", KindJunction, 10)
+	n2.AddCanal("s", "f", KindOfftake, 10)
+	if err := n2.Validate(); err == nil {
+		t.Error("dead-end junction passed validation")
+	}
+	// No offtakes at all.
+	n3, _ := NewNetwork("s")
+	if err := n3.Validate(); err == nil {
+		t.Error("offtake-less network passed validation")
+	}
+}
+
+func TestAllocationUnderAmpleCapacity(t *testing.T) {
+	n := cbecNet(t)
+	demand := map[string]float64{"f1": 10, "f2": 10, "f3": 10, "f4": 5}
+	for name, alloc := range map[string]func(map[string]float64) (Allocation, error){
+		"proportional": n.AllocateProportional,
+		"maxmin":       n.AllocateMaxMin,
+	} {
+		got, err := alloc(demand)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for id, d := range demand {
+			if math.Abs(got[id]-d) > 1e-6 {
+				t.Errorf("%s: %s got %.2f, want %.2f", name, id, got[id], d)
+			}
+		}
+	}
+}
+
+func TestAllocationRespectsCapacities(t *testing.T) {
+	n := cbecNet(t)
+	// south canal (30) oversubscribed: f3+f4 want 50.
+	demand := map[string]float64{"f1": 20, "f2": 20, "f3": 30, "f4": 20}
+	for name, alloc := range map[string]func(map[string]float64) (Allocation, error){
+		"proportional": n.AllocateProportional,
+		"maxmin":       n.AllocateMaxMin,
+	} {
+		got, err := alloc(demand)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f := got["f3"] + got["f4"]; f > 30+1e-6 {
+			t.Errorf("%s: south canal flow %.2f exceeds 30", name, f)
+		}
+		if f := got.Total(); f > 100+1e-6 {
+			t.Errorf("%s: main canal flow %.2f exceeds 100", name, f)
+		}
+		// North side unconstrained: fully served.
+		if got["f1"] < 20-1e-6 || got["f2"] < 20-1e-6 {
+			t.Errorf("%s: north farms cut unnecessarily: %v", name, got)
+		}
+	}
+}
+
+func TestMaxMinFairerThanProportional(t *testing.T) {
+	n := cbecNet(t)
+	// Unequal demands on the bottlenecked south branch: f3 wants 4x f4.
+	demand := map[string]float64{"f3": 40, "f4": 10}
+	prop, err := n.AllocateProportional(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := n.AllocateMaxMin(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proportional scales both by 30/50: f4 gets 6.
+	if math.Abs(prop["f4"]-6) > 1e-6 {
+		t.Errorf("proportional f4 = %.2f, want 6", prop["f4"])
+	}
+	// Max-min serves the small farm fully: f4 gets 10, f3 the remaining 20.
+	if math.Abs(fair["f4"]-10) > 1e-6 || math.Abs(fair["f3"]-20) > 1e-6 {
+		t.Errorf("maxmin allocation %v, want f3=20 f4=10", fair)
+	}
+	// Max-min maximizes the worst-off farm's absolute delivery (10 vs 6);
+	// proportional instead equalizes satisfaction ratios.
+	minOf := func(a Allocation) float64 {
+		m := math.Inf(1)
+		for _, v := range a {
+			m = math.Min(m, v)
+		}
+		return m
+	}
+	if minOf(fair) <= minOf(prop) {
+		t.Errorf("maxmin worst delivery %.1f should beat proportional %.1f", minOf(fair), minOf(prop))
+	}
+	if MinSatisfaction(prop, demand) != 0.6 {
+		t.Errorf("proportional satisfaction %.2f, want 0.6", MinSatisfaction(prop, demand))
+	}
+	// Both deliver the full bottleneck volume.
+	if math.Abs(fair.Total()-30) > 1e-6 || math.Abs(prop.Total()-30) > 1e-6 {
+		t.Errorf("totals: fair %.1f prop %.1f, want 30", fair.Total(), prop.Total())
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	n := cbecNet(t)
+	if _, err := n.AllocateMaxMin(map[string]float64{"j1": 5}); err == nil {
+		t.Error("demand on junction accepted")
+	}
+	if _, err := n.AllocateProportional(map[string]float64{"f1": -5}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+// Property: max-min never violates any canal capacity and never exceeds any
+// demand, for random demand vectors.
+func TestMaxMinInvariantsProperty(t *testing.T) {
+	n := cbecNet(t)
+	f := func(d1, d2, d3, d4 uint8) bool {
+		demand := map[string]float64{
+			"f1": float64(d1), "f2": float64(d2), "f3": float64(d3), "f4": float64(d4),
+		}
+		alloc, err := n.AllocateMaxMin(demand)
+		if err != nil {
+			return false
+		}
+		for id, d := range demand {
+			if alloc[id] > d+1e-6 || alloc[id] < -1e-9 {
+				return false
+			}
+		}
+		if alloc["f3"]+alloc["f4"] > 30+1e-6 {
+			return false
+		}
+		if alloc["f1"]+alloc["f2"] > 60+1e-6 {
+			return false
+		}
+		return alloc.Total() <= 100+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func intercropSources() []WaterSource {
+	return []WaterSource{
+		{Name: "well", CapacityM3: 400, CostPerM3: 0.08},
+		{Name: "canal", CapacityM3: 300, CostPerM3: 0.15},
+		{Name: "desal", CapacityM3: 2000, CostPerM3: 0.85},
+	}
+}
+
+func TestAllocateByCostPrefersCheap(t *testing.T) {
+	plan, err := AllocateByCost(500, intercropSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DrawM3["well"] != 400 || plan.DrawM3["canal"] != 100 || plan.DrawM3["desal"] != 0 {
+		t.Errorf("plan = %+v", plan.DrawM3)
+	}
+	wantCost := 400*0.08 + 100*0.15
+	if math.Abs(plan.CostEUR-wantCost) > 1e-9 {
+		t.Errorf("cost %.2f, want %.2f", plan.CostEUR, wantCost)
+	}
+	if plan.Shortfall != 0 {
+		t.Errorf("shortfall %.1f", plan.Shortfall)
+	}
+}
+
+func TestAllocateByCostSpillsToDesal(t *testing.T) {
+	plan, _ := AllocateByCost(1000, intercropSources())
+	if plan.DrawM3["desal"] != 300 {
+		t.Errorf("desal draw %.1f, want 300", plan.DrawM3["desal"])
+	}
+	// Demand beyond all capacity reports shortfall.
+	plan, _ = AllocateByCost(5000, intercropSources())
+	if plan.Shortfall != 5000-2700 {
+		t.Errorf("shortfall %.1f", plan.Shortfall)
+	}
+}
+
+func TestCostAwareBeatsNaive(t *testing.T) {
+	demand := 600.0
+	smart, err := AllocateByCost(demand, intercropSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := AllocateNaive(demand, intercropSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Shortfall != 0 || naive.Shortfall != 0 {
+		t.Fatalf("both plans should satisfy 600 m³ (smart %.1f naive %.1f)", smart.Shortfall, naive.Shortfall)
+	}
+	if smart.CostEUR >= naive.CostEUR {
+		t.Errorf("cost-aware %.2f EUR should beat naive %.2f EUR", smart.CostEUR, naive.CostEUR)
+	}
+}
+
+func TestAllocateValidatesInput(t *testing.T) {
+	if _, err := AllocateByCost(-1, intercropSources()); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := AllocateByCost(10, []WaterSource{{Name: "x", CapacityM3: -5}}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	plan, err := AllocateNaive(10, nil)
+	if err != nil || plan.Shortfall != 10 {
+		t.Errorf("empty sources: %+v, %v", plan, err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package weather generates synthetic but climatologically plausible daily
+// weather for each SWAMP pilot site. Real pilots feed the platform from
+// weather stations; the simulator substitutes a seeded stochastic generator
+// with the right seasonal shape (annual temperature cycle, rain regime,
+// clear-sky radiation by latitude) so the irrigation logic downstream sees
+// realistic forcing.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Climate parameterizes a site's weather statistics.
+type Climate struct {
+	Name string
+	// LatitudeDeg drives day length and clear-sky radiation (negative =
+	// southern hemisphere).
+	LatitudeDeg float64
+	AltitudeM   float64
+	// TempMeanC is the annual mean daily-mean temperature.
+	TempMeanC float64
+	// TempAmplitudeC is the annual cycle half-range (mean of the warmest
+	// day minus annual mean).
+	TempAmplitudeC float64
+	// DiurnalRangeC is the typical Tmax-Tmin spread.
+	DiurnalRangeC float64
+	// PeakDOY is the day of year with the highest mean temperature
+	// (≈196 for the northern hemisphere, ≈15 for the southern).
+	PeakDOY int
+	// RHMeanPct is the mean relative humidity.
+	RHMeanPct float64
+	// WindMeanMS is the mean 2-metre wind speed.
+	WindMeanMS float64
+	// RainProb is the daily probability of rain.
+	RainProb float64
+	// RainMeanMM is the mean depth of a rainy day (exponential).
+	RainMeanMM float64
+	// CloudAttenuation in [0,1): mean fraction of clear-sky radiation lost
+	// to clouds on rainy days.
+	CloudAttenuation float64
+}
+
+// Pilot climates, shaped after the four SWAMP sites.
+var (
+	// CBEC: Po valley, humid subtropical; water arrives via canals.
+	ClimateCBEC = Climate{
+		Name: "cbec-bologna", LatitudeDeg: 44.6, AltitudeM: 30,
+		TempMeanC: 14, TempAmplitudeC: 10, DiurnalRangeC: 9, PeakDOY: 200,
+		RHMeanPct: 70, WindMeanMS: 2.0, RainProb: 0.25, RainMeanMM: 7, CloudAttenuation: 0.5,
+	}
+	// Intercrop: Cartagena, semi-arid Mediterranean; very little rain.
+	ClimateIntercrop = Climate{
+		Name: "intercrop-cartagena", LatitudeDeg: 37.6, AltitudeM: 10,
+		TempMeanC: 18, TempAmplitudeC: 8, DiurnalRangeC: 8, PeakDOY: 205,
+		RHMeanPct: 65, WindMeanMS: 3.0, RainProb: 0.07, RainMeanMM: 5, CloudAttenuation: 0.4,
+	}
+	// Guaspari: São Paulo highlands; dry winter (the irrigated harvest
+	// window June-August the paper describes).
+	ClimateGuaspari = Climate{
+		Name: "guaspari-pinhal", LatitudeDeg: -22.2, AltitudeM: 900,
+		TempMeanC: 19, TempAmplitudeC: 4, DiurnalRangeC: 12, PeakDOY: 20,
+		RHMeanPct: 68, WindMeanMS: 1.8, RainProb: 0.18, RainMeanMM: 9, CloudAttenuation: 0.5,
+	}
+	// MATOPIBA: Barreiras cerrado; hot, marked wet/dry seasons.
+	ClimateMATOPIBA = Climate{
+		Name: "matopiba-barreiras", LatitudeDeg: -12.15, AltitudeM: 450,
+		TempMeanC: 25, TempAmplitudeC: 3, DiurnalRangeC: 13, PeakDOY: 290,
+		RHMeanPct: 55, WindMeanMS: 2.5, RainProb: 0.20, RainMeanMM: 11, CloudAttenuation: 0.45,
+	}
+)
+
+// Day is one day of generated weather — exactly the inputs FAO-56 needs.
+type Day struct {
+	DOY       int // day of year, 1..366
+	TminC     float64
+	TmaxC     float64
+	RHMeanPct float64
+	WindMS    float64
+	SolarMJ   float64 // shortwave radiation, MJ/m²/day
+	RainMM    float64
+}
+
+// TmeanC returns the daily mean temperature.
+func (d Day) TmeanC() float64 { return (d.TminC + d.TmaxC) / 2 }
+
+// Generator produces a deterministic weather sequence for a climate and
+// seed. Not safe for concurrent use; give each goroutine its own.
+type Generator struct {
+	c   Climate
+	rng *rand.Rand
+}
+
+// NewGenerator validates the climate and builds a generator.
+func NewGenerator(c Climate, seed int64) (*Generator, error) {
+	if c.RainProb < 0 || c.RainProb > 1 {
+		return nil, fmt.Errorf("weather: rain probability %g outside [0,1]", c.RainProb)
+	}
+	if c.LatitudeDeg < -66 || c.LatitudeDeg > 66 {
+		return nil, fmt.Errorf("weather: latitude %g outside supported range", c.LatitudeDeg)
+	}
+	return &Generator{c: c, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Climate returns the generator's climate.
+func (g *Generator) Climate() Climate { return g.c }
+
+// Next generates the weather for day-of-year doy (1-based). Successive
+// calls consume the generator's random stream, so call it in day order.
+func (g *Generator) Next(doy int) Day {
+	c := g.c
+	phase := 2 * math.Pi * float64(doy-c.PeakDOY) / 365
+	tmean := c.TempMeanC + c.TempAmplitudeC*math.Cos(phase) + g.rng.NormFloat64()*1.5
+
+	half := c.DiurnalRangeC/2 + g.rng.NormFloat64()*0.8
+	if half < 1 {
+		half = 1
+	}
+	day := Day{
+		DOY:       doy,
+		TminC:     tmean - half,
+		TmaxC:     tmean + half,
+		RHMeanPct: clamp(c.RHMeanPct+g.rng.NormFloat64()*8, 15, 100),
+		WindMS:    math.Max(0.3, c.WindMeanMS+g.rng.NormFloat64()*0.8),
+	}
+
+	raining := g.rng.Float64() < c.RainProb
+	if raining {
+		day.RainMM = g.rng.ExpFloat64() * c.RainMeanMM
+		day.RHMeanPct = clamp(day.RHMeanPct+15, 15, 100)
+	}
+
+	rs := ClearSkyRadiation(c.LatitudeDeg, c.AltitudeM, doy)
+	atten := 0.75 + g.rng.NormFloat64()*0.08 // typical clear-day transmissivity
+	if raining {
+		atten *= 1 - c.CloudAttenuation
+	}
+	day.SolarMJ = math.Max(1, rs*clamp(atten, 0.1, 1.0))
+	return day
+}
+
+// Season generates days consecutive days starting at startDOY, wrapping
+// around the year end.
+func (g *Generator) Season(startDOY, days int) []Day {
+	out := make([]Day, days)
+	for i := 0; i < days; i++ {
+		doy := (startDOY+i-1)%365 + 1
+		out[i] = g.Next(doy)
+	}
+	return out
+}
+
+// ClearSkyRadiation returns the FAO-56 clear-sky shortwave radiation Rso
+// (MJ/m²/day) for a latitude, altitude and day of year, via extraterrestrial
+// radiation Ra (FAO-56 eq. 21-28 and 37).
+func ClearSkyRadiation(latDeg, altitudeM float64, doy int) float64 {
+	phi := latDeg * math.Pi / 180
+	dr := 1 + 0.033*math.Cos(2*math.Pi/365*float64(doy))
+	delta := 0.409 * math.Sin(2*math.Pi/365*float64(doy)-1.39)
+	x := -math.Tan(phi) * math.Tan(delta)
+	ws := math.Acos(clamp(x, -1, 1)) // sunset hour angle
+	const gsc = 0.0820               // solar constant, MJ/m²/min
+	ra := 24 * 60 / math.Pi * gsc * dr *
+		(ws*math.Sin(phi)*math.Sin(delta) + math.Cos(phi)*math.Cos(delta)*math.Sin(ws))
+	return (0.75 + 2e-5*altitudeM) * ra
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

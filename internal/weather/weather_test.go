@@ -1,0 +1,148 @@
+package weather
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(ClimateMATOPIBA, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(ClimateMATOPIBA, 42)
+	for doy := 1; doy <= 30; doy++ {
+		d1, d2 := g1.Next(doy), g2.Next(doy)
+		if d1 != d2 {
+			t.Fatalf("doy %d: generators diverged: %+v vs %+v", doy, d1, d2)
+		}
+	}
+	g3, _ := NewGenerator(ClimateMATOPIBA, 43)
+	diff := false
+	for doy := 1; doy <= 10; doy++ {
+		if g3.Next(doy) != g1.Next(doy) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical weather")
+	}
+}
+
+func TestGeneratorPlausibleRanges(t *testing.T) {
+	for _, c := range []Climate{ClimateCBEC, ClimateIntercrop, ClimateGuaspari, ClimateMATOPIBA} {
+		g, err := NewGenerator(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range g.Season(1, 365) {
+			if d.TmaxC <= d.TminC {
+				t.Fatalf("%s doy %d: Tmax %.1f <= Tmin %.1f", c.Name, d.DOY, d.TmaxC, d.TminC)
+			}
+			if d.TmeanC() < -20 || d.TmeanC() > 50 {
+				t.Fatalf("%s doy %d: Tmean %.1f implausible", c.Name, d.DOY, d.TmeanC())
+			}
+			if d.RHMeanPct < 15 || d.RHMeanPct > 100 {
+				t.Fatalf("%s doy %d: RH %.1f", c.Name, d.DOY, d.RHMeanPct)
+			}
+			if d.WindMS < 0.2 || d.WindMS > 20 {
+				t.Fatalf("%s doy %d: wind %.1f", c.Name, d.DOY, d.WindMS)
+			}
+			if d.SolarMJ < 0.5 || d.SolarMJ > 40 {
+				t.Fatalf("%s doy %d: solar %.1f", c.Name, d.DOY, d.SolarMJ)
+			}
+			if d.RainMM < 0 {
+				t.Fatalf("%s doy %d: negative rain", c.Name, d.DOY)
+			}
+		}
+	}
+}
+
+func TestSeasonalCycleShape(t *testing.T) {
+	g, _ := NewGenerator(ClimateCBEC, 7)
+	days := g.Season(1, 365)
+	// Mean July temperature should exceed mean January temperature in
+	// Bologna by a wide margin.
+	var jan, jul float64
+	for i := 0; i < 31; i++ {
+		jan += days[i].TmeanC() / 31
+	}
+	for i := 181; i < 212; i++ {
+		jul += days[i].TmeanC() / 31
+	}
+	if jul-jan < 10 {
+		t.Errorf("CBEC seasonal swing: Jan %.1f, Jul %.1f", jan, jul)
+	}
+}
+
+func TestSouthernHemisphereInverted(t *testing.T) {
+	g, _ := NewGenerator(ClimateGuaspari, 7)
+	days := g.Season(1, 365)
+	var jan, jul float64
+	for i := 0; i < 31; i++ {
+		jan += days[i].TmeanC() / 31
+	}
+	for i := 181; i < 212; i++ {
+		jul += days[i].TmeanC() / 31
+	}
+	if jan <= jul {
+		t.Errorf("Guaspari (southern hemisphere): Jan %.1f should exceed Jul %.1f", jan, jul)
+	}
+}
+
+func TestRainStatistics(t *testing.T) {
+	g, _ := NewGenerator(ClimateIntercrop, 11)
+	rainDays := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if g.Next(i%365+1).RainMM > 0 {
+			rainDays++
+		}
+	}
+	frac := float64(rainDays) / n
+	if math.Abs(frac-ClimateIntercrop.RainProb) > 0.03 {
+		t.Errorf("rain frequency %.3f, configured %.3f", frac, ClimateIntercrop.RainProb)
+	}
+}
+
+func TestClearSkyRadiation(t *testing.T) {
+	// Summer solstice at 44.6N should far exceed winter solstice.
+	summer := ClearSkyRadiation(44.6, 30, 172)
+	winter := ClearSkyRadiation(44.6, 30, 355)
+	if summer < 2*winter {
+		t.Errorf("seasonal radiation: summer %.1f winter %.1f", summer, winter)
+	}
+	if summer < 25 || summer > 35 {
+		t.Errorf("summer Rso %.1f MJ/m²/day implausible for 44.6N", summer)
+	}
+	// Equator is roughly season-invariant.
+	e1 := ClearSkyRadiation(0, 0, 80)
+	e2 := ClearSkyRadiation(0, 0, 260)
+	if math.Abs(e1-e2)/e1 > 0.1 {
+		t.Errorf("equator radiation varies too much: %.1f vs %.1f", e1, e2)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := ClimateCBEC
+	bad.RainProb = 1.5
+	if _, err := NewGenerator(bad, 1); err == nil {
+		t.Error("bad rain probability accepted")
+	}
+	polar := ClimateCBEC
+	polar.LatitudeDeg = 80
+	if _, err := NewGenerator(polar, 1); err == nil {
+		t.Error("polar latitude accepted")
+	}
+}
+
+func TestSeasonWrapsYear(t *testing.T) {
+	g, _ := NewGenerator(ClimateMATOPIBA, 5)
+	days := g.Season(360, 10)
+	if len(days) != 10 {
+		t.Fatalf("season length %d", len(days))
+	}
+	if days[0].DOY != 360 || days[9].DOY != 4 {
+		t.Errorf("DOY wrap: first %d last %d", days[0].DOY, days[9].DOY)
+	}
+}
