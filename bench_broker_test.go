@@ -1,0 +1,177 @@
+// Benchmarks for the NGSI context-broker hot path: concurrent attribute
+// upserts and subscription fan-out under a realistic subscription load
+// (1k subscriptions, the "thousands of devices per pilot" regime the paper
+// names as the platform's scale challenge).
+//
+// The sweep compares the pre-refactor behavior (CompatLinearScan: every
+// update evaluates all 1k subscriptions, one shard ≈ one global lock)
+// against the sharded broker with the pattern-shape subscription index.
+package swamp_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/ngsi"
+)
+
+const (
+	benchEntities = 1024
+	benchSubs     = 1000
+)
+
+func benchEntityID(i int) string { return fmt.Sprintf("urn:bench:probe:%04d", i) }
+
+// newBenchBroker builds a broker carrying benchSubs subscriptions: mostly
+// exact-id subscriptions spread over the entity space, plus a small mix of
+// prefix and wildcard patterns like a real deployment (dashboards, fog
+// sync, per-plot alarms).
+func newBenchBroker(b *testing.B, cfg ngsi.BrokerConfig) *ngsi.Broker {
+	b.Helper()
+	ctx := ngsi.NewBroker(cfg)
+	b.Cleanup(ctx.Close)
+	var delivered atomic.Uint64
+	handler := func(ngsi.Notification) { delivered.Add(1) }
+	for i := 0; i < benchSubs; i++ {
+		var pattern string
+		switch {
+		case i%100 == 0: // 1%: catch-all (platform telemetry, dashboards)
+			pattern = "*"
+		case i%20 == 0: // 5%: prefix (per-farm views)
+			pattern = fmt.Sprintf("urn:bench:probe:%02d*", i%100)
+		default: // exact-id (per-plot alarms)
+			pattern = benchEntityID(i % benchEntities)
+		}
+		if _, err := ctx.Subscribe(ngsi.Subscription{
+			EntityIDPattern: pattern,
+			ConditionAttrs:  []string{"soilMoisture_d20"},
+			Handler:         handler,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ctx
+}
+
+func benchConcurrentUpsert(b *testing.B, cfg ngsi.BrokerConfig) {
+	ctx := newBenchBroker(b, cfg)
+	attrs := map[string]ngsi.Attribute{
+		"soilMoisture_d20": {Type: "Number", Value: 0.23},
+		"soilMoisture_d50": {Type: "Number", Value: 0.29},
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			id := benchEntityID(int(i % benchEntities))
+			if err := ctx.UpdateAttrs(id, "SoilProbe", attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBrokerConcurrentUpsert measures concurrent UpdateAttrs
+// throughput with 1k live subscriptions: the seed behavior (linear-scan,
+// single shard), then the indexed broker at 1/4/8 shards.
+func BenchmarkBrokerConcurrentUpsert(b *testing.B) {
+	b.Run("legacy-scan-shards-1", func(b *testing.B) {
+		b.SetParallelism(4)
+		benchConcurrentUpsert(b, ngsi.BrokerConfig{QueueLen: 1024, Shards: 1, CompatLinearScan: true})
+	})
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("indexed-shards-%d", shards), func(b *testing.B) {
+			b.SetParallelism(4)
+			benchConcurrentUpsert(b, ngsi.BrokerConfig{QueueLen: 1024, Shards: shards})
+		})
+	}
+}
+
+// BenchmarkBrokerNotifyFanout measures the cost of evaluating the
+// subscription set for one update that matches a single exact-id
+// subscription — the common case for per-plot alarms.
+func BenchmarkBrokerNotifyFanout(b *testing.B) {
+	run := func(b *testing.B, cfg ngsi.BrokerConfig) {
+		ctx := newBenchBroker(b, cfg)
+		attrs := map[string]ngsi.Attribute{
+			"soilMoisture_d20": {Type: "Number", Value: 0.21},
+		}
+		id := benchEntityID(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ctx.UpdateAttrs(id, "SoilProbe", attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("legacy-scan", func(b *testing.B) {
+		run(b, ngsi.BrokerConfig{QueueLen: 1024, Shards: 1, CompatLinearScan: true})
+	})
+	b.Run("indexed", func(b *testing.B) {
+		run(b, ngsi.BrokerConfig{QueueLen: 1024})
+	})
+}
+
+// BenchmarkBrokerBatchUpdate measures the batched ingest path: 64 entities
+// per BatchUpdate (one lock acquisition per touched shard) against the same
+// 64 entities applied as individual UpdateAttrs calls.
+func BenchmarkBrokerBatchUpdate(b *testing.B) {
+	const batchSize = 64
+	attrs := func() map[string]ngsi.Attribute {
+		return map[string]ngsi.Attribute{
+			"soilMoisture_d20": {Type: "Number", Value: 0.23},
+		}
+	}
+	b.Run("individual", func(b *testing.B) {
+		ctx := newBenchBroker(b, ngsi.BrokerConfig{QueueLen: 1024})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batchSize; j++ {
+				if err := ctx.UpdateAttrs(benchEntityID((i*batchSize+j)%benchEntities), "SoilProbe", attrs()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		ctx := newBenchBroker(b, ngsi.BrokerConfig{QueueLen: 1024})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := make(map[string]ngsi.BatchEntry, batchSize)
+			for j := 0; j < batchSize; j++ {
+				batch[benchEntityID((i*batchSize+j)%benchEntities)] = ngsi.BatchEntry{Type: "SoilProbe", Attrs: attrs()}
+			}
+			if err := ctx.BatchUpdate(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatcherIngest measures the full coalescing path: Add →
+// interval flush → BatchUpdate, at the agent's default cadence.
+func BenchmarkBatcherIngest(b *testing.B) {
+	ctx := newBenchBroker(b, ngsi.BrokerConfig{QueueLen: 1024})
+	ba, err := ngsi.NewBatcher(ngsi.BatcherConfig{
+		Broker:        ctx,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ba.Close)
+	attrs := map[string]ngsi.Attribute{
+		"soilMoisture_d20": {Type: "Number", Value: 0.23},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ba.Add(benchEntityID(i%benchEntities), "SoilProbe", attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ba.Flush()
+}

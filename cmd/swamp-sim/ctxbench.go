@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/ngsi"
+)
+
+// ctxBenchConfig parameterizes the context-plane stress run: how many
+// simulated devices feed the broker, how hard, and through which path.
+type ctxBenchConfig struct {
+	Devices int // distinct entities
+	Updates int // total attribute updates
+	Shards  int // broker shards (0 = default)
+	Subs    int // live subscriptions
+	Workers int // concurrent writers
+	Batch   int // entities per BatchUpdate; 1 = individual UpdateAttrs
+}
+
+// runCtxBench drives the sharded broker the way a fleet-scale deployment
+// would: Subs live subscriptions (exact/prefix/wildcard mix), Workers
+// concurrent ingest paths, updates applied in batches. It prints
+// throughput plus the broker's own shard/queue/batch counters.
+func runCtxBench(cfg ctxBenchConfig) error {
+	if cfg.Devices <= 0 || cfg.Updates <= 0 || cfg.Workers <= 0 || cfg.Batch <= 0 {
+		return fmt.Errorf("ctxbench: devices, updates, workers and batch must be positive")
+	}
+	broker := ngsi.NewBroker(ngsi.BrokerConfig{Shards: cfg.Shards, QueueLen: 8192})
+	defer broker.Close()
+
+	var delivered atomic.Uint64
+	handler := func(ngsi.Notification) { delivered.Add(1) }
+	for i := 0; i < cfg.Subs; i++ {
+		var pattern string
+		switch {
+		case i%100 == 0:
+			pattern = "*"
+		case i%20 == 0:
+			pattern = fmt.Sprintf("urn:sim:dev:%03d*", i%1000)
+		default:
+			pattern = entityID(i % cfg.Devices)
+		}
+		if _, err := broker.Subscribe(ngsi.Subscription{
+			EntityIDPattern: pattern,
+			ConditionAttrs:  []string{"soilMoisture_d20"},
+			Handler:         handler,
+		}); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("ctxbench: %d devices, %d updates, %d shards, %d subs, %d workers, batch %d\n",
+		cfg.Devices, cfg.Updates, broker.ShardCount(), cfg.Subs, cfg.Workers, cfg.Batch)
+
+	var next, applied atomic.Uint64 // applied counts distinct entity writes (duplicates in a batch coalesce)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		// Distribute Updates across workers without dropping the remainder.
+		perWorker := cfg.Updates / cfg.Workers
+		if w < cfg.Updates%cfg.Workers {
+			perWorker++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for done := 0; done < perWorker; {
+				n := cfg.Batch
+				if rest := perWorker - done; n > rest {
+					n = rest
+				}
+				if n == 1 {
+					i := int(next.Add(1))
+					if err := broker.UpdateAttrs(entityID(i%cfg.Devices), "SoilProbe", simAttrs(i)); err != nil {
+						errs <- err
+						return
+					}
+					applied.Add(1)
+				} else {
+					batch := make(map[string]ngsi.BatchEntry, n)
+					for j := 0; j < n; j++ {
+						i := int(next.Add(1))
+						batch[entityID(i%cfg.Devices)] = ngsi.BatchEntry{Type: "SoilProbe", Attrs: simAttrs(i)}
+					}
+					if err := broker.BatchUpdate(batch); err != nil {
+						errs <- err
+						return
+					}
+					applied.Add(uint64(len(batch)))
+				}
+				done += n
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	generated, written := next.Load(), applied.Load()
+	reg := broker.Metrics()
+	fmt.Printf("applied %d entity writes (%d generated updates) in %v  (%.0f writes/s)\n",
+		written, generated, elapsed.Round(time.Millisecond), float64(written)/elapsed.Seconds())
+	fmt.Printf("entities=%d queued=%d dropped=%d delivered=%d queue-depth=%d\n",
+		broker.EntityCount(),
+		reg.Counter("ngsi.notify.queued").Value(),
+		reg.Counter("ngsi.notify.dropped").Value(),
+		reg.Counter("ngsi.notify.delivered").Value(),
+		broker.QueueDepth())
+	fmt.Printf("batch-calls=%d batch-entities=%d\n",
+		reg.Counter("ngsi.batch.calls").Value(),
+		reg.Counter("ngsi.batch.entities").Value())
+	return nil
+}
+
+func entityID(i int) string { return fmt.Sprintf("urn:sim:dev:%07d", i) }
+
+func simAttrs(i int) map[string]ngsi.Attribute {
+	return map[string]ngsi.Attribute{
+		"soilMoisture_d20": {Type: "Number", Value: 0.20 + float64(i%100)/1000},
+		"soilMoisture_d50": {Type: "Number", Value: 0.28 + float64(i%50)/1000},
+	}
+}

@@ -1,11 +1,14 @@
 // Command swamp-sim runs SWAMP simulations from the command line: a full
-// pilot season through the real platform pipeline, or the complete derived
-// experiment suite (the rows recorded in EXPERIMENTS.md).
+// pilot season through the real platform pipeline, the complete derived
+// experiment suite (the rows recorded in EXPERIMENTS.md), or a
+// context-plane stress run that drives the sharded NGSI broker at
+// fleet scale.
 //
 // Usage:
 //
 //	swamp-sim -pilot matopiba -mode farm-fog        # one season
 //	swamp-sim -experiments                          # all experiment tables
+//	swamp-sim -ctxbench -devices 100000 -updates 1000000 -shards 16
 package main
 
 import (
@@ -24,19 +27,36 @@ func main() {
 		sealed      = flag.Bool("sealed", false, "enable secchan payload encryption")
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		experiments = flag.Bool("experiments", false, "run the full experiment suite instead of a season")
+
+		ctxbench = flag.Bool("ctxbench", false, "stress the context broker instead of a season")
+		devices  = flag.Int("devices", 100_000, "ctxbench: simulated device/entity count")
+		updates  = flag.Int("updates", 1_000_000, "ctxbench: total attribute updates to apply")
+		shards   = flag.Int("shards", 0, "ctxbench: broker shard count (0 = default)")
+		subs     = flag.Int("subs", 1000, "ctxbench: live subscriptions during the run")
+		workers  = flag.Int("workers", 8, "ctxbench: concurrent writer goroutines")
+		batch    = flag.Int("batch", 64, "ctxbench: entities per BatchUpdate (1 = unbatched)")
 	)
 	flag.Parse()
 
-	if *experiments {
+	switch {
+	case *experiments:
 		if err := runExperiments(); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := runSeason(*pilotName, *modeName, *sealed, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "swamp-sim:", err)
-		os.Exit(1)
+	case *ctxbench:
+		if err := runCtxBench(ctxBenchConfig{
+			Devices: *devices, Updates: *updates, Shards: *shards,
+			Subs: *subs, Workers: *workers, Batch: *batch,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := runSeason(*pilotName, *modeName, *sealed, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

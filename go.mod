@@ -1,0 +1,3 @@
+module github.com/swamp-project/swamp
+
+go 1.24

@@ -76,12 +76,22 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Logf receives diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// BatchInterval enables the batched ingest path: decoded measurements
+	// are coalesced per entity and flushed to the context broker as
+	// BatchUpdate calls on this cadence. Zero keeps the synchronous
+	// per-message path.
+	BatchInterval time.Duration
+	// BatchMaxEntities flushes early once this many distinct entities are
+	// pending (default 256). Only meaningful with BatchInterval > 0.
+	BatchMaxEntities int
 }
 
-// Agent is the IoT agent. Construct with New, then Start.
+// Agent is the IoT agent. Construct with New, then Start. When batching is
+// configured, call Stop to flush the northbound tail.
 type Agent struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg     Config
+	reg     *metrics.Registry
+	batcher *ngsi.Batcher
 
 	mu      sync.RWMutex
 	byID    map[model.DeviceID]*Provision
@@ -109,12 +119,54 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.KeyRing != nil && cfg.Replay == nil {
 		cfg.Replay = secchan.NewReplayGuard()
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
 		byID:    make(map[model.DeviceID]*Provision),
 		byKeyID: make(map[string]*Provision),
-	}, nil
+	}
+	if cfg.BatchInterval > 0 {
+		okCtr := cfg.Metrics.Counter("agent.north.ok")
+		errCtr := cfg.Metrics.Counter("agent.north.ctxerr")
+		ba, err := ngsi.NewBatcher(ngsi.BatcherConfig{
+			Broker:        cfg.Context,
+			FlushInterval: cfg.BatchInterval,
+			MaxEntities:   cfg.BatchMaxEntities,
+			Metrics:       cfg.Metrics,
+			// agent.north.ok counts northbound messages; with batching it
+			// advances only once the measurements are visible in the
+			// context broker, so WaitNorthbound keeps its meaning.
+			OnFlush: func(fs ngsi.FlushStats) {
+				if fs.Err != nil {
+					errCtr.Add(uint64(fs.Updates))
+					cfg.Logf("agent: batched context update (%d entities): %v", fs.Entities, fs.Err)
+					return
+				}
+				okCtr.Add(uint64(fs.Updates))
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.batcher = ba
+	}
+	return a, nil
+}
+
+// Stop flushes and stops the batched ingest path, if configured. The agent
+// must not receive further northbound traffic afterwards. Idempotent.
+func (a *Agent) Stop() {
+	if a.batcher != nil {
+		a.batcher.Close()
+	}
+}
+
+// FlushNorthbound forces any coalesced-but-unflushed measurements into the
+// context broker now. A no-op on the synchronous path.
+func (a *Agent) FlushNorthbound() {
+	if a.batcher != nil {
+		a.batcher.Flush()
+	}
 }
 
 // Metrics returns the agent's registry.
@@ -226,6 +278,15 @@ func (a *Agent) onMeasure(msg mqtt.Message) {
 		}
 	}
 	if len(attrs) == 0 {
+		return
+	}
+	if a.batcher != nil {
+		// Batched ingest path: coalesce per entity, flush on the batcher's
+		// cadence. agent.north.ok advances at flush time (see New).
+		if err := a.batcher.Add(prov.EntityID, prov.EntityType, attrs); err != nil {
+			a.reg.Counter("agent.north.ctxerr").Inc()
+			a.cfg.Logf("agent: batch context update for %s: %v", prov.Desc.ID, err)
+		}
 		return
 	}
 	if err := a.cfg.Context.UpdateAttrs(prov.EntityID, prov.EntityType, attrs); err != nil {

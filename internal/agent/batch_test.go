@@ -1,0 +1,103 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/mqtt"
+	"github.com/swamp-project/swamp/internal/ngsi"
+)
+
+// newBatchedStack wires the northbound pipeline with the batched ingest
+// path enabled.
+func newBatchedStack(t *testing.T, interval time.Duration) *stack {
+	t.Helper()
+	broker := mqtt.NewBroker(mqtt.BrokerConfig{})
+	t.Cleanup(broker.Close)
+	ctx := ngsi.NewBroker(ngsi.BrokerConfig{})
+	t.Cleanup(ctx.Close)
+
+	agentClient := dial(t, broker, "iot-agent")
+	a, err := New(Config{Client: agentClient, Context: ctx, BatchInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Stop)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &stack{broker: broker, ctx: ctx, agent: a}
+}
+
+// TestBatchedNorthboundFlow: measurements reach the context broker through
+// the coalescing path, and agent.north.ok advances only once they are
+// visible.
+func TestBatchedNorthboundFlow(t *testing.T) {
+	s := newBatchedStack(t, time.Millisecond)
+	if err := s.agent.Provision(probeProvision()); err != nil {
+		t.Fatal(err)
+	}
+	dev := dial(t, s.broker, "probe-1")
+	payload := EncodeUL(map[string]float64{"m1": 0.21, "m2": 0.27})
+	if err := dev.Publish(AttrsTopic("k1", "probe-1"), []byte(payload), 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.agent.WaitNorthbound(1, 2*time.Second) {
+		t.Fatal("batched northbound not processed")
+	}
+	// WaitNorthbound returning means the flush already happened: the
+	// entity must be visible without further waiting.
+	e, err := s.ctx.GetEntity("urn:swamp:farm1:plot1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Attrs["soilMoisture_d20"].Float(); !ok || v != 0.21 {
+		t.Errorf("d20 = %v", e.Attrs["soilMoisture_d20"].Value)
+	}
+}
+
+// TestBatchedNorthboundCoalesces: two messages for the same entity inside
+// one window produce one batch flush whose update count still reflects
+// both messages.
+func TestBatchedNorthboundCoalesces(t *testing.T) {
+	s := newBatchedStack(t, time.Hour) // flush manually
+	if err := s.agent.Provision(probeProvision()); err != nil {
+		t.Fatal(err)
+	}
+	dev := dial(t, s.broker, "probe-1")
+	for _, payload := range []string{"m1|0.10", "m1|0.20|m2|0.30"} {
+		if err := dev.Publish(AttrsTopic("k1", "probe-1"), []byte(payload), 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for both messages to be decoded and buffered.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) &&
+		s.agent.Metrics().Counter("ngsi.batcher.added").Value() < 2 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.agent.Metrics().Counter("ngsi.batcher.added").Value(); got != 2 {
+		t.Fatalf("buffered %d northbound messages, want 2", got)
+	}
+	// Both UL payloads landed on one pending entity; nothing flushed yet.
+	if s.ctx.EntityCount() != 0 {
+		t.Fatal("flushed before interval")
+	}
+	s.agent.FlushNorthbound()
+	if !s.agent.WaitNorthbound(2, 2*time.Second) {
+		t.Fatalf("ok counter = %d, want 2", s.agent.Metrics().Counter("agent.north.ok").Value())
+	}
+	e, err := s.ctx.GetEntity("urn:swamp:farm1:plot1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Attrs["soilMoisture_d20"].Float(); v != 0.20 {
+		t.Errorf("last write lost: d20 = %v", e.Attrs["soilMoisture_d20"].Value)
+	}
+	if v, _ := e.Attrs["soilMoisture_d50"].Float(); v != 0.30 {
+		t.Errorf("d50 = %v", e.Attrs["soilMoisture_d50"].Value)
+	}
+	if got := s.agent.Metrics().Counter("ngsi.batcher.flushes").Value(); got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/agent"
@@ -57,13 +58,14 @@ func (m Mode) String() string {
 
 // Backhaul models the farm↔cloud Internet path: a latency plus a
 // partition switch. Both the fog sync and cloud-mode decision loops cross
-// it.
+// it. Entirely lock-free: the partition flag and the trip/failure counters
+// are atomics and the latency is fixed at construction, so concurrent
+// round trips never serialize on backhaul state.
 type Backhaul struct {
-	mu          sync.Mutex
-	partitioned bool
-	latency     time.Duration
-	trips       uint64
-	failures    uint64
+	partitioned atomic.Bool
+	latency     time.Duration // immutable after NewBackhaul
+	trips       atomic.Uint64
+	failures    atomic.Uint64
 }
 
 // NewBackhaul builds a backhaul with one-way latency lat.
@@ -77,44 +79,30 @@ var ErrPartitioned = errors.New("core: backhaul partitioned")
 // Do executes one round trip: it fails during partitions and otherwise
 // charges 2× latency before invoking f.
 func (b *Backhaul) Do(f func() error) error {
-	b.mu.Lock()
-	down := b.partitioned
-	lat := b.latency
-	b.mu.Unlock()
-	if down {
-		b.mu.Lock()
-		b.failures++
-		b.mu.Unlock()
+	if b.partitioned.Load() {
+		b.failures.Add(1)
 		return ErrPartitioned
 	}
-	if lat > 0 {
-		time.Sleep(2 * lat)
+	if b.latency > 0 {
+		time.Sleep(2 * b.latency)
 	}
-	b.mu.Lock()
-	b.trips++
-	b.mu.Unlock()
+	b.trips.Add(1)
 	return f()
 }
 
 // SetPartitioned cuts or heals the backhaul.
 func (b *Backhaul) SetPartitioned(p bool) {
-	b.mu.Lock()
-	b.partitioned = p
-	b.mu.Unlock()
+	b.partitioned.Store(p)
 }
 
 // Partitioned reports the current state.
 func (b *Backhaul) Partitioned() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.partitioned
+	return b.partitioned.Load()
 }
 
 // Trips returns (successful round trips, failures).
 func (b *Backhaul) Trips() (uint64, uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.trips, b.failures
+	return b.trips.Load(), b.failures.Load()
 }
 
 // Options configures a Platform.
@@ -132,6 +120,17 @@ type Options struct {
 	DeviceLink simnet.Config
 	// Metrics receives all component counters; nil allocates one.
 	Metrics *metrics.Registry
+	// ContextShards overrides the context broker's shard count
+	// (0 → ngsi.DefaultShards).
+	ContextShards int
+	// AgentBatchInterval tunes the IoT agent's batched ingest path: the
+	// coalescing window before measurements flush to the context broker.
+	// 0 means the 2ms default; negative disables batching (synchronous
+	// per-message context updates).
+	AgentBatchInterval time.Duration
+	// FogSyncBatches is the number of buffered telemetry batches the fog
+	// node coalesces per backhaul round trip (0 → 32).
+	FogSyncBatches int
 }
 
 // Platform is one fully wired SWAMP deployment.
@@ -268,7 +267,7 @@ func New(opts Options) (*Platform, error) {
 	p.cleanups = append(p.cleanups, p.Broker.Close)
 
 	// --- context plane ---
-	p.Context = ngsi.NewBroker(ngsi.BrokerConfig{Metrics: p.reg})
+	p.Context = ngsi.NewBroker(ngsi.BrokerConfig{Metrics: p.reg, Shards: opts.ContextShards})
 	p.cleanups = append(p.cleanups, p.Context.Close)
 
 	// --- cloud plane ---
@@ -295,13 +294,25 @@ func New(opts Options) (*Platform, error) {
 		p.Close()
 		return nil, err
 	}
+	batchInterval := opts.AgentBatchInterval
+	switch {
+	case batchInterval == 0:
+		batchInterval = 2 * time.Millisecond
+	case batchInterval < 0:
+		batchInterval = 0 // synchronous path
+	}
 	p.Agent, err = agent.New(agent.Config{
 		Client: agentClient, Context: p.Context, KeyRing: p.KeyRing, Metrics: p.reg,
+		BatchInterval: batchInterval,
 	})
 	if err != nil {
 		p.Close()
 		return nil, err
 	}
+	// Register before Start so a construction failure below still stops
+	// the batcher goroutine; cleanups run in reverse order, so this stops
+	// the agent before the context broker closes.
+	p.cleanups = append(p.cleanups, p.Agent.Stop)
 	if err := p.Agent.Start(); err != nil {
 		p.Close()
 		return nil, err
@@ -340,11 +351,16 @@ func New(opts Options) (*Platform, error) {
 		return nil, err
 	}
 	if opts.Mode != ModeCloudOnly {
+		syncBatches := opts.FogSyncBatches
+		if syncBatches <= 0 {
+			syncBatches = 32
+		}
 		p.Fog, err = fog.NewNode(fog.Config{
-			Uplink:   p.cloudUplink,
-			Decide:   p.Decision.Decide,
-			Commands: p.applyCommand,
-			Metrics:  p.reg,
+			Uplink:            p.cloudUplink,
+			Decide:            p.Decision.Decide,
+			Commands:          p.applyCommand,
+			MaxBatchesPerTrip: syncBatches,
+			Metrics:           p.reg,
 		})
 		if err != nil {
 			p.Close()

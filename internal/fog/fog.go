@@ -46,6 +46,12 @@ type Config struct {
 	// 4096). When full, the OLDEST batch is dropped — fresh state matters
 	// more for irrigation than stale history.
 	QueueCap int
+	// MaxBatchesPerTrip coalesces up to this many queued batches into one
+	// uplink call (default 1: one trip per batch). After a partition the
+	// backlog can be thousands of batches and every trip costs a full
+	// backhaul round trip, so syncing them in bulk shortens recovery by
+	// the same factor.
+	MaxBatchesPerTrip int
 	// Metrics receives counters; nil allocates a private registry.
 	Metrics *metrics.Registry
 }
@@ -65,6 +71,10 @@ type Node struct {
 	cfg Config
 	reg *metrics.Registry
 
+	// flushMu serializes flushers so the queue has exactly one consumer;
+	// the uplink call runs outside the state lock.
+	flushMu sync.Mutex
+
 	mu     sync.Mutex
 	latest map[string]model.Reading // key: device/quantity(/depth)
 	queue  [][]model.Reading
@@ -83,6 +93,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4096
+	}
+	if cfg.MaxBatchesPerTrip <= 0 {
+		cfg.MaxBatchesPerTrip = 1
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
@@ -144,36 +157,62 @@ func (n *Node) Ingest(batch []model.Reading) error {
 }
 
 // Flush drains the queue through the uplink until it empties or the uplink
-// fails (partition). It returns how many batches were forwarded.
+// fails (partition), coalescing up to MaxBatchesPerTrip queued batches per
+// uplink call. It returns how many ingested batches were forwarded.
 func (n *Node) Flush() int {
+	n.flushMu.Lock()
+	defer n.flushMu.Unlock()
 	sent := 0
 	for {
 		n.mu.Lock()
-		if len(n.queue) == 0 {
+		k := len(n.queue)
+		if k == 0 {
 			n.mu.Unlock()
 			return sent
 		}
-		batch := n.queue[0]
+		if k > n.cfg.MaxBatchesPerTrip {
+			k = n.cfg.MaxBatchesPerTrip
+		}
+		// Pop the head now; flushMu makes us the only consumer. On uplink
+		// failure the head is pushed back, subject to the queue cap.
+		head := make([][]model.Reading, k)
+		copy(head, n.queue[:k])
+		n.queue = n.queue[k:]
 		n.mu.Unlock()
 
-		if err := n.cfg.Uplink(batch); err != nil {
+		payload := head[0]
+		if k > 1 {
+			total := 0
+			for _, b := range head {
+				total += len(b)
+			}
+			merged := make([]model.Reading, 0, total)
+			for _, b := range head {
+				merged = append(merged, b...)
+			}
+			payload = merged
+		}
+
+		if err := n.cfg.Uplink(payload); err != nil {
 			n.mu.Lock()
 			n.online = false
+			n.queue = append(head, n.queue...)
+			if over := len(n.queue) - n.cfg.QueueCap; over > 0 {
+				n.stats.Dropped += uint64(over)
+				n.queue = append(n.queue[:0:0], n.queue[over:]...)
+				n.reg.Counter("fog.queue.dropped").Add(uint64(over))
+			}
 			n.mu.Unlock()
 			n.reg.Counter("fog.uplink.fail").Inc()
 			return sent
 		}
 		n.mu.Lock()
-		// Pop the batch we just sent (it is still at the head: Flush is
-		// the only consumer and re-checks under the lock).
-		if len(n.queue) > 0 && &n.queue[0][0] == &batch[0] {
-			n.queue = n.queue[1:]
-		}
 		n.online = true
-		n.stats.Forwarded += uint64(len(batch))
+		n.stats.Forwarded += uint64(len(payload))
 		n.mu.Unlock()
 		n.reg.Counter("fog.uplink.ok").Inc()
-		sent++
+		n.reg.Counter("fog.uplink.batches").Add(uint64(k))
+		sent += k
 	}
 }
 

@@ -219,6 +219,67 @@ func TestDecisionsContinueOffline(t *testing.T) {
 	}
 }
 
+// TestFlushCoalescesBatches: with MaxBatchesPerTrip set, a backlog syncs
+// in bulk — far fewer backhaul round trips — while preserving order and
+// reading counts.
+func TestFlushCoalescesBatches(t *testing.T) {
+	u := &fakeUplink{}
+	n, err := NewNode(Config{Uplink: u.forward, MaxBatchesPerTrip: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.setDown(true)
+	for i := 0; i < 10; i++ {
+		n.Ingest([]model.Reading{reading("p1", float64(i), t0.Add(time.Duration(i)*time.Minute))})
+	}
+	u.setDown(false)
+	if sent := n.Flush(); sent != 10 {
+		t.Errorf("flush forwarded %d batches, want 10", sent)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	// 10 batches in trips of ≤4 → 3 uplink calls.
+	if len(u.batches) != 3 {
+		t.Fatalf("uplink trips = %d, want 3", len(u.batches))
+	}
+	total := 0
+	last := -1.0
+	for _, b := range u.batches {
+		total += len(b)
+		for _, r := range b {
+			if r.Value <= last {
+				t.Fatal("coalesced sync out of order")
+			}
+			last = r.Value
+		}
+	}
+	if total != 10 {
+		t.Errorf("cloud received %d readings, want 10", total)
+	}
+	if st := n.Stats(); st.Forwarded != 10 || st.Buffered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestFlushFailureRequeuesHead: a mid-drain partition pushes the in-flight
+// batches back so nothing is lost once the backhaul heals.
+func TestFlushFailureRequeuesHead(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward, MaxBatchesPerTrip: 4})
+	u.setDown(true)
+	for i := 0; i < 6; i++ {
+		n.Ingest([]model.Reading{reading("p1", float64(i), t0.Add(time.Duration(i)*time.Minute))})
+	}
+	if st := n.Stats(); st.Buffered != 6 {
+		t.Fatalf("buffered = %d", st.Buffered)
+	}
+	u.setDown(false)
+	n.Flush()
+	if u.received() != 6 {
+		t.Errorf("cloud received %d readings after heal", u.received())
+	}
+}
+
 func TestDecisionErrorsSurface(t *testing.T) {
 	u := &fakeUplink{}
 	n, _ := NewNode(Config{

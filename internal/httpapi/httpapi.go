@@ -54,6 +54,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v2/entities", s.handleListEntities)
 	s.mux.HandleFunc("GET /v2/entities/{id}", s.handleGetEntity)
 	s.mux.HandleFunc("POST /v2/entities/{id}/attrs", s.handleUpdateAttrs)
+	s.mux.HandleFunc("POST /v2/op/update", s.handleBatchUpdate)
 	s.mux.HandleFunc("DELETE /v2/entities/{id}", s.handleDeleteEntity)
 	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}", s.handleAnalytics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -215,6 +216,64 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cfg.Metrics.Counter("httpapi.entities.update").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// batchBody is the payload of POST /v2/op/update, following Orion's batch
+// operation shape: an action plus the affected entities.
+type batchBody struct {
+	ActionType string `json:"actionType"`
+	Entities   []struct {
+		ID    string                    `json:"id"`
+		Type  string                    `json:"type"`
+		Attrs map[string]ngsi.Attribute `json:"attrs"`
+	} `json:"entities"`
+}
+
+// handleBatchUpdate is the batched ingest path over HTTP: one request, a
+// per-entity PEP pass, then one BatchUpdate with a single lock acquisition
+// per broker shard — the NGSI-v2 `POST /v2/op/update` operation.
+func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
+	var body batchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body.Entities) == 0 {
+		writeErr(w, http.StatusBadRequest, "invalid_body", "expected {actionType, entities:[{id,type,attrs}]}")
+		return
+	}
+	if body.ActionType != "" && body.ActionType != "append" && body.ActionType != "update" {
+		writeErr(w, http.StatusBadRequest, "invalid_action", body.ActionType)
+		return
+	}
+	updates := make(map[string]ngsi.BatchEntry, len(body.Entities))
+	for _, e := range body.Entities {
+		if !s.authorize(w, r, "write", "ngsi:"+e.ID) {
+			return
+		}
+		typ := e.Type
+		if typ == "" {
+			typ = "Thing"
+		}
+		entry := updates[e.ID]
+		if entry.Attrs == nil {
+			entry = ngsi.BatchEntry{Type: typ, Attrs: make(map[string]ngsi.Attribute, len(e.Attrs))}
+		} else if e.Type != "" {
+			// Duplicate id: an explicitly typed entry wins over an earlier
+			// defaulted one.
+			entry.Type = e.Type
+		}
+		for name, a := range e.Attrs {
+			if a.Type == "" {
+				a.Type = "Number"
+			}
+			entry.Attrs[name] = a
+		}
+		updates[e.ID] = entry
+	}
+	if err := s.cfg.Context.BatchUpdate(updates); err != nil {
+		writeErr(w, http.StatusBadRequest, "update_failed", err.Error())
+		return
+	}
+	s.cfg.Metrics.Counter("httpapi.entities.batch").Inc()
+	s.cfg.Metrics.Counter("httpapi.entities.batch.size").Add(uint64(len(updates)))
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -186,6 +186,54 @@ func TestEntityCRUDOverHTTP(t *testing.T) {
 	}
 }
 
+// TestBatchUpdateOverHTTP exercises the batched ingest path: one
+// POST /v2/op/update request lands several entities in one BatchUpdate.
+func TestBatchUpdateOverHTTP(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+
+	body := []byte(`{"actionType":"append","entities":[
+		{"id":"urn:farm1:plot1","type":"AgriParcel","attrs":{"soilMoisture":{"type":"Number","value":0.28}}},
+		{"id":"urn:farm1:plot2","type":"AgriParcel","attrs":{"soilMoisture":{"type":"Number","value":0.31}}}
+	]}`)
+	resp := f.do(t, "POST", "/v2/op/update", tok, body)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if f.ctx.EntityCount() != 2 {
+		t.Errorf("entity count = %d, want 2", f.ctx.EntityCount())
+	}
+	e, err := f.ctx.GetEntity("urn:farm1:plot2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Attrs["soilMoisture"].Float(); !ok || v != 0.31 {
+		t.Errorf("attr = %v", e.Attrs["soilMoisture"].Value)
+	}
+
+	// A cross-tenant entity anywhere in the batch rejects the request
+	// before anything is applied.
+	denied := []byte(`{"entities":[
+		{"id":"urn:farm1:plot3","type":"AgriParcel","attrs":{"soilMoisture":{"type":"Number","value":0.1}}},
+		{"id":"urn:farm2:plot1","type":"AgriParcel","attrs":{"soilMoisture":{"type":"Number","value":0.1}}}
+	]}`)
+	resp = f.do(t, "POST", "/v2/op/update", tok, denied)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("cross-tenant batch status %d", resp.StatusCode)
+	}
+	if _, err := f.ctx.GetEntity("urn:farm1:plot3"); err == nil {
+		t.Error("partially applied a denied batch")
+	}
+
+	// Malformed bodies are rejected.
+	for _, bad := range []string{"", "{}", `{"entities":[]}`, `{"actionType":"delete","entities":[{"id":"x","type":"T"}]}`} {
+		resp := f.do(t, "POST", "/v2/op/update", tok, []byte(bad))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", bad, resp.StatusCode)
+		}
+	}
+}
+
 func TestAuthzEnforcedOverHTTP(t *testing.T) {
 	f := newFixture(t)
 	// No token → 401.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,39 +33,59 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter returns the counter named name, creating it on first use.
+// Counter returns the counter named name, creating it on first use. Hot
+// paths should resolve their counters once and hold the pointer; the
+// read-locked fast path here keeps incidental lookups cheap anyway.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	if c := r.counters[name]; c != nil {
+		return c
 	}
+	c = &Counter{}
+	r.counters[name] = c
 	return c
 }
 
 // Gauge returns the gauge named name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g := r.gauges[name]
-	if g == nil {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g := r.gauges[name]; g != nil {
+		return g
 	}
+	g = &Gauge{}
+	r.gauges[name] = g
 	return g
 }
 
 // Histogram returns the histogram named name, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h := r.histograms[name]
-	if h == nil {
-		h = NewHistogram()
-		r.histograms[name] = h
+	if h := r.histograms[name]; h != nil {
+		return h
 	}
+	h = NewHistogram()
+	r.histograms[name] = h
 	return h
 }
 
@@ -87,55 +108,42 @@ func (r *Registry) Snapshot() string {
 	return strings.Join(lines, "\n")
 }
 
-// Counter is a monotonically increasing counter.
+// Counter is a monotonically increasing counter. It is lock-free: counters
+// sit on every hot path (one MQTT publish or NGSI update touches several),
+// and a mutex here becomes a cross-shard serialization point.
 type Counter struct {
-	mu sync.Mutex
-	v  uint64
+	v atomic.Uint64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Gauge is an instantaneous value.
+// Gauge is an instantaneous value, stored as atomic float64 bits.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the value.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add increments the value by d (d may be negative).
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram records durations and answers quantile queries. It keeps the
 // raw samples (bounded) — at platform scale (thousands of samples per

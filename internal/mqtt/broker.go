@@ -52,6 +52,11 @@ type Broker struct {
 	wg   sync.WaitGroup
 	done chan struct{}
 
+	// Hot-path counters, resolved once: the northbound bridge pushes every
+	// sensor reading through publish/deliver, so per-message registry map
+	// lookups add up.
+	cPubIn, cPubDenied, cDeliverOut, cDeliverErr *metrics.Counter
+
 	// Tap, if set, observes every PUBLISH routed by the broker. The anomaly
 	// detection layer uses it as its traffic feed. Must be set before
 	// clients attach. The callback must not block.
@@ -84,6 +89,11 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		subs:     newSubTree(),
 		retained: make(map[string]retainedMsg),
 		done:     make(chan struct{}),
+
+		cPubIn:      cfg.Metrics.Counter("mqtt.publish.in"),
+		cPubDenied:  cfg.Metrics.Counter("mqtt.publish.denied"),
+		cDeliverOut: cfg.Metrics.Counter("mqtt.deliver.out"),
+		cDeliverErr: cfg.Metrics.Counter("mqtt.deliver.err"),
 	}
 }
 
@@ -305,10 +315,10 @@ func (b *Broker) handlePublish(s *session, pkt *Packet) {
 		return
 	}
 	if b.cfg.ACL != nil && !b.cfg.ACL(s.id, pkt.Topic, true) {
-		b.reg.Counter("mqtt.publish.denied").Inc()
+		b.cPubDenied.Inc()
 		return
 	}
-	b.reg.Counter("mqtt.publish.in").Inc()
+	b.cPubIn.Inc()
 	if pkt.QoS == 1 {
 		_ = s.transport.WritePacket(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
 	}
@@ -362,10 +372,10 @@ func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, ret
 		s.mu.Unlock()
 	}
 	if err := s.transport.WritePacket(out); err != nil {
-		b.reg.Counter("mqtt.deliver.err").Inc()
+		b.cDeliverErr.Inc()
 		return
 	}
-	b.reg.Counter("mqtt.deliver.out").Inc()
+	b.cDeliverOut.Inc()
 }
 
 // allocPacketIDLocked returns the next free packet id; s.mu must be held.
@@ -520,7 +530,7 @@ func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte,
 		return err
 	}
 	if b.cfg.ACL != nil && !b.cfg.ACL(clientID, topic, true) {
-		b.reg.Counter("mqtt.publish.denied").Inc()
+		b.cPubDenied.Inc()
 		return fmt.Errorf("mqtt: publish to %q denied for %s", topic, clientID)
 	}
 	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
@@ -536,7 +546,7 @@ func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte,
 	if tap := b.Tap; tap != nil {
 		tap(clientID, topic, payload, time.Now())
 	}
-	b.reg.Counter("mqtt.publish.in").Inc()
+	b.cPubIn.Inc()
 	b.route(pkt)
 	return nil
 }

@@ -1,0 +1,200 @@
+package ngsi
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// FlushStats describes one Batcher flush.
+type FlushStats struct {
+	// Entities is the number of distinct entities in the flushed batch.
+	Entities int
+	// Updates is the number of Add calls coalesced into the batch (≥
+	// Entities when several updates hit the same entity inside one
+	// interval).
+	Updates int
+	// Err is the BatchUpdate error, nil on success.
+	Err error
+}
+
+// BatcherConfig configures a Batcher.
+type BatcherConfig struct {
+	// Broker receives the flushed batches (required).
+	Broker *Broker
+	// FlushInterval is the coalescing window (default 5ms).
+	FlushInterval time.Duration
+	// MaxEntities flushes early once this many distinct entities are
+	// pending (default 256), bounding both memory and notification delay
+	// under burst load.
+	MaxEntities int
+	// OnFlush, if non-nil, observes every flush (including failed ones).
+	// It runs on the flusher goroutine or inside Add/Close; keep it cheap.
+	OnFlush func(FlushStats)
+	// Metrics receives batcher counters; nil uses the broker's registry.
+	Metrics *metrics.Registry
+}
+
+// Batcher coalesces per-entity attribute updates and flushes them to the
+// broker as BatchUpdate calls on a fixed cadence — the batched ingest path
+// the IoT agent's MQTT northbound uses. Within one window, later updates to
+// the same attribute overwrite earlier ones (last-write-wins, the same
+// outcome sequential UpdateAttrs calls produce) and the entity still gets
+// exactly one notification per changed-attribute set.
+//
+// Construct with NewBatcher; call Close to flush the tail and stop the
+// flusher goroutine.
+type Batcher struct {
+	cfg BatcherConfig
+
+	// flushMu serializes flushes end to end (swap + BatchUpdate). Without
+	// it, two concurrent flushers could apply their swapped-out batches in
+	// the wrong order and an older value would overwrite a newer one.
+	flushMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[string]*pendingEntity
+	updates int
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	cFlush, cUpdates, cEntities, cAdded *metrics.Counter
+	gPending                            *metrics.Gauge
+}
+
+type pendingEntity struct {
+	typ     string
+	attrs   map[string]Attribute
+	updates int
+}
+
+// NewBatcher validates the config and starts the flusher goroutine.
+func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
+	if cfg.Broker == nil {
+		return nil, errors.New("ngsi: batcher requires a broker")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	if cfg.MaxEntities <= 0 {
+		cfg.MaxEntities = 256
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Broker.Metrics()
+	}
+	ba := &Batcher{
+		cfg:       cfg,
+		pending:   make(map[string]*pendingEntity),
+		stop:      make(chan struct{}),
+		cFlush:    cfg.Metrics.Counter("ngsi.batcher.flushes"),
+		cUpdates:  cfg.Metrics.Counter("ngsi.batcher.updates"),
+		cEntities: cfg.Metrics.Counter("ngsi.batcher.entities"),
+		cAdded:    cfg.Metrics.Counter("ngsi.batcher.added"),
+		gPending:  cfg.Metrics.Gauge("ngsi.batcher.pending"),
+	}
+	ba.wg.Add(1)
+	go ba.loop()
+	return ba, nil
+}
+
+func (ba *Batcher) loop() {
+	defer ba.wg.Done()
+	t := time.NewTicker(ba.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ba.stop:
+			ba.Flush()
+			return
+		case <-t.C:
+			ba.Flush()
+		}
+	}
+}
+
+// Add buffers one entity update. It normally returns without touching the
+// broker — the flush happens on the batcher's cadence — but once
+// MaxEntities distinct entities are pending, the triggering Add flushes
+// synchronously (running BatchUpdate, and OnFlush, on its goroutine) to
+// bound memory and notification delay under burst load.
+func (ba *Batcher) Add(id, typ string, attrs map[string]Attribute) error {
+	if err := validateEntityKey(id, typ); err != nil {
+		return err
+	}
+	if len(attrs) == 0 {
+		return errors.New("ngsi: batcher: empty attribute update")
+	}
+	ba.mu.Lock()
+	if ba.closed {
+		ba.mu.Unlock()
+		return ErrClosed
+	}
+	pe := ba.pending[id]
+	if pe == nil {
+		pe = &pendingEntity{typ: typ, attrs: make(map[string]Attribute, len(attrs))}
+		ba.pending[id] = pe
+	}
+	for k, a := range attrs {
+		pe.attrs[k] = cloneAttr(a)
+	}
+	pe.updates++
+	ba.updates++
+	full := len(ba.pending) >= ba.cfg.MaxEntities
+	ba.gPending.Set(float64(len(ba.pending)))
+	ba.cAdded.Inc()
+	ba.mu.Unlock()
+	if full {
+		ba.Flush()
+	}
+	return nil
+}
+
+// Flush pushes everything pending to the broker now and returns the number
+// of entities flushed. Safe to call concurrently with Add and other
+// flushers; concurrent flushes apply in order.
+func (ba *Batcher) Flush() int {
+	ba.flushMu.Lock()
+	defer ba.flushMu.Unlock()
+	ba.mu.Lock()
+	if len(ba.pending) == 0 {
+		ba.mu.Unlock()
+		return 0
+	}
+	pending := ba.pending
+	updates := ba.updates
+	ba.pending = make(map[string]*pendingEntity, len(pending))
+	ba.updates = 0
+	ba.gPending.Set(0)
+	ba.mu.Unlock()
+
+	batch := make(map[string]BatchEntry, len(pending))
+	for id, pe := range pending {
+		batch[id] = BatchEntry{Type: pe.typ, Attrs: pe.attrs}
+	}
+	err := ba.cfg.Broker.BatchUpdate(batch)
+	ba.cFlush.Inc()
+	ba.cUpdates.Add(uint64(updates))
+	ba.cEntities.Add(uint64(len(batch)))
+	if ba.cfg.OnFlush != nil {
+		ba.cfg.OnFlush(FlushStats{Entities: len(batch), Updates: updates, Err: err})
+	}
+	return len(batch)
+}
+
+// Close flushes the tail and stops the flusher. Further Adds return
+// ErrClosed. Idempotent.
+func (ba *Batcher) Close() {
+	ba.mu.Lock()
+	if ba.closed {
+		ba.mu.Unlock()
+		return
+	}
+	ba.closed = true
+	ba.mu.Unlock()
+	close(ba.stop)
+	ba.wg.Wait()
+}

@@ -1,0 +1,145 @@
+package ngsi
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalescesPerEntity: several Adds for one entity inside a
+// window produce one BatchUpdate entry with merged attributes
+// (last-write-wins) and one notification.
+func TestBatcherCoalescesPerEntity(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	var notes atomic.Int32
+	b.Subscribe(Subscription{EntityIDPattern: "*", Handler: func(Notification) { notes.Add(1) }})
+
+	var flushes atomic.Int32
+	var lastStats atomic.Value
+	ba, err := NewBatcher(BatcherConfig{
+		Broker:        b,
+		FlushInterval: time.Hour, // flush manually
+		OnFlush: func(fs FlushStats) {
+			flushes.Add(1)
+			lastStats.Store(fs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+
+	ba.Add("e1", "T", map[string]Attribute{"a": num(1), "b": num(2)})
+	ba.Add("e1", "T", map[string]Attribute{"a": num(10)}) // overwrites a
+	ba.Add("e2", "T", map[string]Attribute{"a": num(3)})
+	if n := ba.Flush(); n != 2 {
+		t.Fatalf("flush pushed %d entities, want 2", n)
+	}
+	fs := lastStats.Load().(FlushStats)
+	if fs.Entities != 2 || fs.Updates != 3 || fs.Err != nil {
+		t.Errorf("flush stats = %+v", fs)
+	}
+	e, err := b.GetEntity("e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Attrs["a"].Float(); v != 10 {
+		t.Errorf("last write lost: a = %v", e.Attrs["a"].Value)
+	}
+	if v, _ := e.Attrs["b"].Float(); v != 2 {
+		t.Errorf("earlier attribute lost: b = %v", e.Attrs["b"].Value)
+	}
+	// One notification per entity per flush, not per Add.
+	waitFor(t, time.Second, func() bool { return notes.Load() == 2 })
+	time.Sleep(20 * time.Millisecond)
+	if notes.Load() != 2 {
+		t.Errorf("notifications = %d, want 2", notes.Load())
+	}
+}
+
+// TestBatcherFlushesOnInterval: without manual flushes the ticker drives
+// updates into the broker.
+func TestBatcherFlushesOnInterval(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	ba, err := NewBatcher(BatcherConfig{Broker: b, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+	ba.Add("e1", "T", map[string]Attribute{"a": num(1)})
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := b.GetEntity("e1"); err == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("interval flush never reached the broker")
+}
+
+// TestBatcherMaxEntitiesFlushesEarly: hitting the pending-entity cap
+// flushes without waiting for the ticker.
+func TestBatcherMaxEntitiesFlushesEarly(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	ba, err := NewBatcher(BatcherConfig{Broker: b, FlushInterval: time.Hour, MaxEntities: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+	ba.Add("e1", "T", map[string]Attribute{"a": num(1)})
+	ba.Add("e2", "T", map[string]Attribute{"a": num(2)})
+	if b.EntityCount() != 0 {
+		t.Fatal("flushed before reaching MaxEntities")
+	}
+	ba.Add("e3", "T", map[string]Attribute{"a": num(3)})
+	if b.EntityCount() != 3 {
+		t.Errorf("entity count after cap flush = %d, want 3", b.EntityCount())
+	}
+}
+
+// TestBatcherCloseFlushesTail: Close pushes pending updates and further
+// Adds fail with ErrClosed.
+func TestBatcherCloseFlushesTail(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	ba, err := NewBatcher(BatcherConfig{Broker: b, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba.Add("e1", "T", map[string]Attribute{"a": num(1)})
+	ba.Close()
+	ba.Close() // idempotent
+	if b.EntityCount() != 1 {
+		t.Error("pending update lost at Close")
+	}
+	if err := ba.Add("e2", "T", map[string]Attribute{"a": num(2)}); err != ErrClosed {
+		t.Errorf("add after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherValidatesAdds: malformed updates are rejected at Add time so
+// they cannot poison a whole flush later.
+func TestBatcherValidatesAdds(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	ba, err := NewBatcher(BatcherConfig{Broker: b, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+	if err := ba.Add("", "T", map[string]Attribute{"a": num(1)}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := ba.Add("e", "", map[string]Attribute{"a": num(1)}); err == nil {
+		t.Error("empty type accepted")
+	}
+	if err := ba.Add("e", "T", nil); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, err := NewBatcher(BatcherConfig{}); err == nil {
+		t.Error("batcher without broker accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/clock"
@@ -25,7 +26,7 @@ type Notification struct {
 	At             time.Time
 }
 
-// Handler consumes notifications. Handlers run on the broker's dispatch
+// Handler consumes notifications. Handlers run on a shard's dispatch
 // goroutine; they must not block for long.
 type Handler func(Notification)
 
@@ -44,15 +45,11 @@ type Subscription struct {
 	// NotifyAttrs restricts the attributes included in notifications;
 	// empty means all.
 	NotifyAttrs []string
-	// Throttling suppresses notifications closer together than this.
+	// Throttling suppresses notifications closer together than this,
+	// tracked per entity.
 	Throttling time.Duration
 	// Handler receives the notifications. Required.
 	Handler Handler
-}
-
-type subState struct {
-	sub          Subscription
-	lastNotified map[string]time.Time // per entity id
 }
 
 // BrokerConfig configures the context broker.
@@ -61,25 +58,57 @@ type BrokerConfig struct {
 	Clock clock.Clock
 	// Metrics receives broker counters; nil allocates a private registry.
 	Metrics *metrics.Registry
-	// QueueLen bounds the async notification queue (default 4096).
+	// QueueLen bounds each shard's async notification queue (default 4096).
 	QueueLen int
+	// Shards is the number of hash-sharded entity stores, each with its own
+	// lock and dispatch worker (default 8). Upserts on entities in
+	// different shards never contend.
+	Shards int
+	// CompatLinearScan disables the subscription index and evaluates every
+	// registered subscription on each update — the pre-sharding behavior.
+	// Exists so benchmarks can measure the index win; leave false.
+	CompatLinearScan bool
 }
 
-// Broker is the context broker. Construct with NewBroker; call Close to
-// release the dispatch goroutine.
-type Broker struct {
-	clk clock.Clock
-	reg *metrics.Registry
+// DefaultShards is the shard count used when BrokerConfig.Shards is zero.
+const DefaultShards = 8
 
+// Broker is the context broker: a hash-sharded entity store with an
+// indexed subscription table. Construct with NewBroker; call Close to
+// release the dispatch goroutines.
+type Broker struct {
+	clk    clock.Clock
+	reg    *metrics.Registry
+	scan   bool
+	shards []*shard
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Subscription table. The index is copy-on-write: subscribe/unsubscribe
+	// rebuild it under subMu and publish atomically; shard update paths
+	// load it lock-free.
+	subMu   sync.Mutex
+	subs    map[string]*subState
+	nextSub int
+	index   atomic.Pointer[subIndex]
+
+	// Hot-path counters, resolved once so updates never touch the registry
+	// map.
+	cUpsert, cUpdate, cDelete     *metrics.Counter
+	cQueued, cDropped, cDelivered *metrics.Counter
+	cThrottled                    *metrics.Counter
+	cBatchCalls, cBatchEntities   *metrics.Counter
+}
+
+// shard is one slice of the entity map with its own lock, notification
+// queue and dispatch worker. An entity id always hashes to the same shard,
+// which serializes updates (and thus notification order) per entity.
+type shard struct {
 	mu       sync.RWMutex
 	entities map[string]*Entity
-	subs     map[string]*subState
-	nextSub  int
-	closed   bool
-
-	queue chan queuedNotification
-	done  chan struct{}
-	wg    sync.WaitGroup
+	queue    chan queuedNotification
+	depth    *metrics.Gauge
 }
 
 type queuedNotification struct {
@@ -87,7 +116,7 @@ type queuedNotification struct {
 	note    Notification
 }
 
-// NewBroker constructs a broker and starts its dispatcher.
+// NewBroker constructs a broker and starts one dispatcher per shard.
 func NewBroker(cfg BrokerConfig) *Broker {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
@@ -98,50 +127,100 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
 	}
-	b := &Broker{
-		clk:      cfg.Clock,
-		reg:      cfg.Metrics,
-		entities: make(map[string]*Entity),
-		subs:     make(map[string]*subState),
-		queue:    make(chan queuedNotification, cfg.QueueLen),
-		done:     make(chan struct{}),
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
 	}
-	b.wg.Add(1)
-	go func() {
-		defer b.wg.Done()
-		b.dispatch()
-	}()
+	b := &Broker{
+		clk:  cfg.Clock,
+		reg:  cfg.Metrics,
+		scan: cfg.CompatLinearScan,
+		subs: make(map[string]*subState),
+		done: make(chan struct{}),
+
+		cUpsert:        cfg.Metrics.Counter("ngsi.upsert"),
+		cUpdate:        cfg.Metrics.Counter("ngsi.update"),
+		cDelete:        cfg.Metrics.Counter("ngsi.delete"),
+		cQueued:        cfg.Metrics.Counter("ngsi.notify.queued"),
+		cDropped:       cfg.Metrics.Counter("ngsi.notify.dropped"),
+		cDelivered:     cfg.Metrics.Counter("ngsi.notify.delivered"),
+		cThrottled:     cfg.Metrics.Counter("ngsi.notify.throttled"),
+		cBatchCalls:    cfg.Metrics.Counter("ngsi.batch.calls"),
+		cBatchEntities: cfg.Metrics.Counter("ngsi.batch.entities"),
+	}
+	b.index.Store(newSubIndex())
+	b.reg.Gauge("ngsi.shards").Set(float64(cfg.Shards))
+	b.shards = make([]*shard, cfg.Shards)
+	for i := range b.shards {
+		sh := &shard{
+			entities: make(map[string]*Entity),
+			queue:    make(chan queuedNotification, cfg.QueueLen),
+			depth:    cfg.Metrics.Gauge(fmt.Sprintf("ngsi.queue.depth.%d", i)),
+		}
+		b.shards[i] = sh
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.dispatch(sh)
+		}()
+	}
 	return b
 }
 
-func (b *Broker) dispatch() {
+// shardFor hashes an entity id onto its shard (FNV-1a).
+func (b *Broker) shardFor(id string) *shard {
+	return b.shards[b.shardIndex(id)]
+}
+
+func (b *Broker) shardIndex(id string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(b.shards)))
+}
+
+func (b *Broker) dispatch(sh *shard) {
 	for {
 		select {
 		case <-b.done:
 			// Drain what is already queued, then exit.
 			for {
 				select {
-				case q := <-b.queue:
+				case q := <-sh.queue:
 					q.handler(q.note)
+					b.cDelivered.Inc()
 				default:
+					sh.depth.Set(0)
 					return
 				}
 			}
-		case q := <-b.queue:
+		case q := <-sh.queue:
 			q.handler(q.note)
+			b.cDelivered.Inc()
+			sh.depth.Set(float64(len(sh.queue)))
 		}
 	}
 }
 
-// Close stops the dispatcher after draining queued notifications.
+// Close stops the dispatchers after draining queued notifications. Updates
+// that were accepted before Close are guaranteed delivery: the shard-lock
+// barrier below flushes in-flight writers (their enqueues happen under the
+// shard lock), and writers arriving later see closed under the lock and
+// return ErrClosed without enqueuing.
 func (b *Broker) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
-	b.closed = true
-	b.mu.Unlock()
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		sh.mu.Unlock()
+	}
 	close(b.done)
 	b.wg.Wait()
 }
@@ -149,11 +228,27 @@ func (b *Broker) Close() {
 // Metrics returns the broker's registry.
 func (b *Broker) Metrics() *metrics.Registry { return b.reg }
 
+// ShardCount returns the number of entity shards.
+func (b *Broker) ShardCount() int { return len(b.shards) }
+
+// QueueDepth returns the total number of notifications currently queued
+// across all shard dispatchers.
+func (b *Broker) QueueDepth() int {
+	n := 0
+	for _, sh := range b.shards {
+		n += len(sh.queue)
+	}
+	return n
+}
+
 // UpsertEntity creates or replaces an entity wholesale and notifies
 // subscribers of every attribute as changed.
 func (b *Broker) UpsertEntity(e *Entity) error {
 	if err := validateEntityKey(e.ID, e.Type); err != nil {
 		return err
+	}
+	if b.closed.Load() {
+		return ErrClosed
 	}
 	cp := e.Clone()
 	now := b.clk.Now()
@@ -168,15 +263,16 @@ func (b *Broker) UpsertEntity(e *Entity) error {
 		changed = append(changed, k)
 	}
 
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	sh := b.shardFor(cp.ID)
+	sh.mu.Lock()
+	if b.closed.Load() { // re-check under the lock; see Close
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	b.entities[cp.ID] = cp
-	b.reg.Counter("ngsi.upsert").Inc()
-	b.notifyLocked(cp, changed)
-	b.mu.Unlock()
+	sh.entities[cp.ID] = cp
+	b.cUpsert.Inc()
+	b.notifyShardLocked(sh, cp, changed)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -190,17 +286,28 @@ func (b *Broker) UpdateAttrs(id, typ string, attrs map[string]Attribute) error {
 	if len(attrs) == 0 {
 		return fmt.Errorf("ngsi: entity %q: empty attribute update", id)
 	}
-	now := b.clk.Now()
-
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	if b.closed.Load() {
 		return ErrClosed
 	}
-	e := b.entities[id]
+	now := b.clk.Now()
+	sh := b.shardFor(id)
+	sh.mu.Lock()
+	if b.closed.Load() { // re-check under the lock; see Close
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	b.applyUpdateLocked(sh, id, typ, attrs, now)
+	sh.mu.Unlock()
+	return nil
+}
+
+// applyUpdateLocked merges attrs into the entity and fires subscriptions.
+// sh.mu must be held for writing.
+func (b *Broker) applyUpdateLocked(sh *shard, id, typ string, attrs map[string]Attribute, now time.Time) {
+	e := sh.entities[id]
 	if e == nil {
-		e = &Entity{ID: id, Type: typ, Attrs: make(map[string]Attribute)}
-		b.entities[id] = e
+		e = &Entity{ID: id, Type: typ, Attrs: make(map[string]Attribute, len(attrs))}
+		sh.entities[id] = e
 	}
 	changed := make([]string, 0, len(attrs))
 	for k, a := range attrs {
@@ -211,36 +318,73 @@ func (b *Broker) UpdateAttrs(id, typ string, attrs map[string]Attribute) error {
 		e.Attrs[k] = ca
 		changed = append(changed, k)
 	}
-	b.reg.Counter("ngsi.update").Inc()
-	b.notifyLocked(e, changed)
-	return nil
+	b.cUpdate.Inc()
+	b.notifyShardLocked(sh, e, changed)
 }
 
-// BatchUpdate applies several entity updates atomically with respect to
-// queries (one lock hold) and fires subscriptions per entity.
-func (b *Broker) BatchUpdate(updates map[string]struct {
+// BatchEntry is one entity's slice of a BatchUpdate. It aliases the
+// anonymous struct the original API used, so existing callers that build
+// the map literally still compile.
+type BatchEntry = struct {
 	Type  string
 	Attrs map[string]Attribute
-}) error {
-	ids := make([]string, 0, len(updates))
-	for id := range updates {
-		ids = append(ids, id)
+}
+
+// BatchUpdate applies several entity updates with one lock acquisition per
+// shard and fires subscriptions per entity. Validation runs up front, so a
+// malformed entry fails the whole batch before anything is applied. The
+// one exception is a concurrent Close: it can interrupt between shards, in
+// which case already-applied shards stay applied and the call returns
+// ErrClosed — callers treat that as shutdown, not as a clean rejection.
+func (b *Broker) BatchUpdate(updates map[string]BatchEntry) error {
+	if len(updates) == 0 {
+		return nil
 	}
-	sort.Strings(ids) // deterministic application order
-	for _, id := range ids {
-		u := updates[id]
-		if err := b.UpdateAttrs(id, u.Type, u.Attrs); err != nil {
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	for id, u := range updates {
+		if err := validateEntityKey(id, u.Type); err != nil {
 			return fmt.Errorf("ngsi: batch update %q: %w", id, err)
 		}
+		if len(u.Attrs) == 0 {
+			return fmt.Errorf("ngsi: batch update %q: empty attribute update", id)
+		}
 	}
+	groups := make([][]string, len(b.shards))
+	for id := range updates {
+		si := b.shardIndex(id)
+		groups[si] = append(groups[si], id)
+	}
+	now := b.clk.Now()
+	for si, ids := range groups {
+		if len(ids) == 0 {
+			continue
+		}
+		sort.Strings(ids) // deterministic application order within a shard
+		sh := b.shards[si]
+		sh.mu.Lock()
+		if b.closed.Load() { // re-check under the lock; see Close
+			sh.mu.Unlock()
+			return ErrClosed
+		}
+		for _, id := range ids {
+			u := updates[id]
+			b.applyUpdateLocked(sh, id, u.Type, u.Attrs, now)
+		}
+		sh.mu.Unlock()
+	}
+	b.cBatchCalls.Inc()
+	b.cBatchEntities.Add(uint64(len(updates)))
 	return nil
 }
 
 // GetEntity returns a deep copy of the entity.
 func (b *Broker) GetEntity(id string) (*Entity, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	e := b.entities[id]
+	sh := b.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.entities[id]
 	if e == nil {
 		return nil, fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
 	}
@@ -250,17 +394,19 @@ func (b *Broker) GetEntity(id string) (*Entity, error) {
 // QueryEntities returns copies of entities matching the id pattern and
 // (optional) type, sorted by id.
 func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
 	var out []*Entity
-	for id, e := range b.entities {
-		if !MatchIDPattern(idPattern, id) {
-			continue
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for id, e := range sh.entities {
+			if !MatchIDPattern(idPattern, id) {
+				continue
+			}
+			if entityType != "" && e.Type != entityType {
+				continue
+			}
+			out = append(out, e.Clone())
 		}
-		if entityType != "" && e.Type != entityType {
-			continue
-		}
-		out = append(out, e.Clone())
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -268,21 +414,26 @@ func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
 
 // DeleteEntity removes an entity.
 func (b *Broker) DeleteEntity(id string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.entities[id]; !ok {
+	sh := b.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entities[id]; !ok {
 		return fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
 	}
-	delete(b.entities, id)
-	b.reg.Counter("ngsi.delete").Inc()
+	delete(sh.entities, id)
+	b.cDelete.Inc()
 	return nil
 }
 
 // EntityCount returns the number of stored entities.
 func (b *Broker) EntityCount() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return len(b.entities)
+	n := 0
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		n += len(sh.entities)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Subscribe registers a subscription and returns its id.
@@ -290,9 +441,9 @@ func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	if sub.Handler == nil {
 		return "", fmt.Errorf("ngsi: subscription without handler")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
+	if b.closed.Load() {
 		return "", ErrClosed
 	}
 	if sub.ID == "" {
@@ -302,51 +453,72 @@ func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	if _, dup := b.subs[sub.ID]; dup {
 		return "", fmt.Errorf("ngsi: duplicate subscription id %q", sub.ID)
 	}
-	b.subs[sub.ID] = &subState{sub: sub, lastNotified: make(map[string]time.Time)}
+	b.subs[sub.ID] = newSubState(sub)
+	b.rebuildIndexLocked()
 	b.reg.Counter("ngsi.subscribe").Inc()
 	return sub.ID, nil
 }
 
 // Unsubscribe removes a subscription.
 func (b *Broker) Unsubscribe(id string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
 	if _, ok := b.subs[id]; !ok {
 		return fmt.Errorf("ngsi: subscription %q: %w", id, ErrNotFound)
 	}
 	delete(b.subs, id)
+	b.rebuildIndexLocked()
 	return nil
 }
 
 // SubscriptionCount returns the number of active subscriptions.
 func (b *Broker) SubscriptionCount() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
 	return len(b.subs)
 }
 
-// notifyLocked evaluates subscriptions against an entity whose attributes
-// in changed were just written. b.mu must be held.
-func (b *Broker) notifyLocked(e *Entity, changed []string) {
-	now := b.clk.Now()
+// rebuildIndexLocked publishes a fresh immutable index built from the
+// subscription set. b.subMu must be held. O(subscriptions), but Subscribe
+// and Unsubscribe are rare next to updates.
+func (b *Broker) rebuildIndexLocked() {
+	ix := newSubIndex()
 	for _, st := range b.subs {
+		ix.add(st)
+	}
+	b.index.Store(ix)
+}
+
+// notifyShardLocked evaluates subscriptions against an entity whose
+// attributes in changed were just written. The entity's shard lock must be
+// held; the subscription index is read lock-free.
+func (b *Broker) notifyShardLocked(sh *shard, e *Entity, changed []string) {
+	ix := b.index.Load()
+	var matched []*subState
+	if b.scan {
+		matched = ix.collectScan(e.ID, e.Type, nil)
+	} else {
+		matched = ix.collect(e.ID, e.Type, nil)
+	}
+	if len(matched) == 0 {
+		return
+	}
+	now := b.clk.Now()
+	for _, st := range matched {
 		s := &st.sub
-		if !MatchIDPattern(s.EntityIDPattern, e.ID) {
-			continue
-		}
-		if s.EntityType != "" && s.EntityType != e.Type {
-			continue
-		}
 		if len(s.ConditionAttrs) > 0 && !intersects(s.ConditionAttrs, changed) {
 			continue
 		}
 		if s.Throttling > 0 {
+			st.mu.Lock()
 			if last, ok := st.lastNotified[e.ID]; ok && now.Sub(last) < s.Throttling {
-				b.reg.Counter("ngsi.notify.throttled").Inc()
+				st.mu.Unlock()
+				b.cThrottled.Inc()
 				continue
 			}
+			st.lastNotified[e.ID] = now
+			st.mu.Unlock()
 		}
-		st.lastNotified[e.ID] = now
 
 		snapshot := e.Clone()
 		if len(s.NotifyAttrs) > 0 {
@@ -360,10 +532,11 @@ func (b *Broker) notifyLocked(e *Entity, changed []string) {
 		}
 		note := Notification{SubscriptionID: s.ID, Entity: snapshot, At: now}
 		select {
-		case b.queue <- queuedNotification{handler: s.Handler, note: note}:
-			b.reg.Counter("ngsi.notify.queued").Inc()
+		case sh.queue <- queuedNotification{handler: s.Handler, note: note}:
+			b.cQueued.Inc()
+			sh.depth.Set(float64(len(sh.queue)))
 		default:
-			b.reg.Counter("ngsi.notify.dropped").Inc()
+			b.cDropped.Inc()
 		}
 	}
 }
