@@ -1,14 +1,17 @@
 // Command swamp-sim runs SWAMP simulations from the command line: a full
 // pilot season through the real platform pipeline, the complete derived
-// experiment suite (the rows recorded in EXPERIMENTS.md), or a
-// context-plane stress run that drives the sharded NGSI broker at
-// fleet scale.
+// experiment suite (the rows recorded in EXPERIMENTS.md), a context-plane
+// stress run that drives the sharded NGSI broker at fleet scale, or a
+// telemetry-plane stress run that drives the chunked time-series engine
+// with fleet-scale append and aggregate-query load.
 //
 // Usage:
 //
 //	swamp-sim -pilot matopiba -mode farm-fog        # one season
 //	swamp-sim -experiments                          # all experiment tables
 //	swamp-sim -ctxbench -devices 100000 -updates 1000000 -shards 16
+//	swamp-sim -tsbench -devices 10000 -points 5000000 -batch 256
+//	swamp-sim -tsbench -tslegacy ...                # same load, old engine
 package main
 
 import (
@@ -29,12 +32,19 @@ func main() {
 		experiments = flag.Bool("experiments", false, "run the full experiment suite instead of a season")
 
 		ctxbench = flag.Bool("ctxbench", false, "stress the context broker instead of a season")
-		devices  = flag.Int("devices", 100_000, "ctxbench: simulated device/entity count")
+		devices  = flag.Int("devices", 100_000, "ctxbench/tsbench: simulated device count")
 		updates  = flag.Int("updates", 1_000_000, "ctxbench: total attribute updates to apply")
-		shards   = flag.Int("shards", 0, "ctxbench: broker shard count (0 = default)")
+		shards   = flag.Int("shards", 0, "ctxbench/tsbench: shard count (0 = default)")
 		subs     = flag.Int("subs", 1000, "ctxbench: live subscriptions during the run")
-		workers  = flag.Int("workers", 8, "ctxbench: concurrent writer goroutines")
-		batch    = flag.Int("batch", 64, "ctxbench: entities per BatchUpdate (1 = unbatched)")
+		workers  = flag.Int("workers", 8, "ctxbench/tsbench: concurrent writer goroutines")
+		batch    = flag.Int("batch", 64, "ctxbench/tsbench: entities (or points) per batch (1 = unbatched)")
+
+		tsbench  = flag.Bool("tsbench", false, "stress the time-series engine instead of a season")
+		points   = flag.Int("points", 5_000_000, "tsbench: total points to append")
+		queries  = flag.Int("queries", 10_000, "tsbench: summarize+downsample query pairs after the load")
+		chunk    = flag.Int("chunk", 0, "tsbench: points per sealed chunk (0 = default)")
+		qwindow  = flag.Duration("qwindow", time.Hour, "tsbench: downsample window for the query phase")
+		tslegacy = flag.Bool("tslegacy", false, "tsbench: drive the legacy flat-slice engine for comparison")
 	)
 	flag.Parse()
 
@@ -48,6 +58,15 @@ func main() {
 		if err := runCtxBench(ctxBenchConfig{
 			Devices: *devices, Updates: *updates, Shards: *shards,
 			Subs: *subs, Workers: *workers, Batch: *batch,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *tsbench:
+		if err := runTSBench(tsBenchConfig{
+			Devices: *devices, Points: *points, Workers: *workers, Batch: *batch,
+			Queries: *queries, Shards: *shards, ChunkSize: *chunk,
+			Window: *qwindow, Legacy: *tslegacy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// tsBenchConfig parameterizes the telemetry-plane stress run: how many
+// simulated device series feed the store, how hard, and through which
+// engine.
+type tsBenchConfig struct {
+	Devices   int           // distinct devices (each contributes 2 series)
+	Points    int           // total points appended
+	Workers   int           // concurrent writer goroutines
+	Batch     int           // points per AppendBatch; 1 = individual Append
+	Queries   int           // Summarize+Downsample queries after the load
+	Shards    int           // store shards (0 = default)
+	ChunkSize int           // points per sealed chunk (0 = default)
+	Window    time.Duration // downsample window for the query phase
+	Legacy    bool          // drive the legacy flat-slice engine instead
+}
+
+// tsAppender abstracts the two engines for the bench loop.
+type tsAppender interface {
+	Append(timeseries.SeriesKey, timeseries.Point) error
+	Summarize(timeseries.SeriesKey, time.Time, time.Time) timeseries.Aggregate
+	Downsample(timeseries.SeriesKey, time.Time, time.Time, time.Duration) ([]timeseries.Point, error)
+}
+
+// runTSBench drives the chunked time-series engine the way a fleet-scale
+// deployment would: Workers concurrent ingest paths appending Points
+// samples across Devices×2 series (mostly in-order, with occasional
+// backfill), then Queries aggregate queries over the loaded data. With
+// -tslegacy the same load runs against the pre-chunking engine for
+// comparison.
+func runTSBench(cfg tsBenchConfig) error {
+	if cfg.Devices <= 0 || cfg.Points <= 0 || cfg.Workers <= 0 || cfg.Batch <= 0 {
+		return fmt.Errorf("tsbench: devices, points, workers and batch must be positive")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Hour
+	}
+
+	var store *timeseries.Store
+	var engine tsAppender
+	if cfg.Legacy {
+		engine = timeseries.NewLegacy(0)
+	} else {
+		store = timeseries.New(
+			timeseries.WithShards(cfg.Shards),
+			timeseries.WithChunkSize(cfg.ChunkSize),
+		)
+		defer store.Close()
+		engine = store
+	}
+
+	name := "chunked"
+	batchLabel := fmt.Sprintf("batch %d", cfg.Batch)
+	if cfg.Legacy {
+		name = "legacy"
+		// The legacy engine has no batched append path; don't let the
+		// header imply a like-for-like batching comparison.
+		batchLabel = "unbatched (legacy has no AppendBatch)"
+	}
+	fmt.Printf("tsbench(%s): %d devices (%d series), %d points, %d workers, %s\n",
+		name, cfg.Devices, 2*cfg.Devices, cfg.Points, cfg.Workers, batchLabel)
+
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Precompute device ids: a fmt.Sprintf per generated point would cost
+	// about as much as the append being measured.
+	deviceIDs := make([]string, cfg.Devices)
+	for i := range deviceIDs {
+		deviceIDs[i] = fmt.Sprintf("urn:sim:probe:%06d", i)
+	}
+	mkPoint := func(i int) (timeseries.SeriesKey, timeseries.Point) {
+		dev := i % cfg.Devices
+		quantity := "soilMoisture_d20"
+		if (i/cfg.Devices)%2 == 1 { // alternate per sweep so every device gets both series
+			quantity = "soilMoisture_d50"
+		}
+		at := base.Add(time.Duration(i/cfg.Devices) * time.Second)
+		if i%97 == 0 { // occasional late arrival exercising the backfill path
+			at = at.Add(-time.Minute)
+		}
+		return timeseries.SeriesKey{Device: deviceIDs[dev], Quantity: quantity},
+			timeseries.Point{At: at, Value: 0.20 + float64(i%100)/1000}
+	}
+
+	// --- append phase ---
+	var next atomic.Uint64
+	var appended atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]timeseries.BatchPoint, 0, cfg.Batch)
+			for {
+				batch = batch[:0]
+				for len(batch) < cfg.Batch {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Points {
+						break
+					}
+					k, p := mkPoint(i)
+					batch = append(batch, timeseries.BatchPoint{Key: k, Point: p})
+				}
+				if len(batch) == 0 {
+					return
+				}
+				if store != nil && cfg.Batch > 1 {
+					accepted, rejected := store.AppendBatch(batch)
+					if rejected > 0 {
+						errs <- fmt.Errorf("tsbench: %d points rejected", rejected)
+						return
+					}
+					appended.Add(uint64(accepted))
+				} else {
+					for _, bp := range batch {
+						if err := engine.Append(bp.Key, bp.Point); err != nil {
+							errs <- err
+							return
+						}
+					}
+					appended.Add(uint64(len(batch)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	appendElapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	fmt.Printf("appended %d points in %v  (%.0f points/s)\n",
+		appended.Load(), appendElapsed.Round(time.Millisecond),
+		float64(appended.Load())/appendElapsed.Seconds())
+
+	// --- query phase ---
+	if cfg.Queries > 0 {
+		from := base.Add(-time.Hour)
+		to := base.Add(time.Duration(cfg.Points/cfg.Devices+3600) * time.Second)
+		var totalCount atomic.Uint64 // consumed so the queries cannot be elided
+		start = time.Now()
+		var qwg sync.WaitGroup
+		perWorker := cfg.Queries / cfg.Workers
+		for w := 0; w < cfg.Workers; w++ {
+			n := perWorker
+			if w < cfg.Queries%cfg.Workers {
+				n++
+			}
+			qwg.Add(1)
+			go func(w, n int) {
+				defer qwg.Done()
+				for q := 0; q < n; q++ {
+					k := timeseries.SeriesKey{Device: deviceIDs[(w+q)%cfg.Devices], Quantity: "soilMoisture_d20"}
+					agg := engine.Summarize(k, from, to)
+					totalCount.Add(uint64(agg.Count))
+					if pts, err := engine.Downsample(k, from, to, cfg.Window); err == nil {
+						totalCount.Add(uint64(len(pts)))
+					}
+				}
+			}(w, n)
+		}
+		qwg.Wait()
+		queryElapsed := time.Since(start)
+		fmt.Printf("ran %d summarize+downsample query pairs in %v  (%.0f queries/s, %d points touched)\n",
+			cfg.Queries, queryElapsed.Round(time.Millisecond),
+			float64(cfg.Queries)/queryElapsed.Seconds(), totalCount.Load())
+	}
+
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("series=%d sealed-chunks=%d points=%d shards=%d\n",
+			st.Series, st.SealedChunks, st.Points, store.ShardCount())
+	}
+	return nil
+}

@@ -3,6 +3,10 @@
 // irrigation optimizer and dashboards consume, and plain-text reporting.
 // In FIWARE terms this is the STH-Comet/QuantumLeap + application-services
 // tier.
+//
+// Ingestion rides the store's batched append path (one shard lock per
+// batch, however many series it spans) and analytics ride the aggregate
+// pushdown path (chunk summaries, no point copying).
 package cloud
 
 import (
@@ -21,6 +25,11 @@ import (
 type Ingestor struct {
 	store *timeseries.Store
 	reg   *metrics.Registry
+
+	// Hot-path counters, resolved once so ingest never touches the
+	// registry map.
+	cReadings, cInvalid *metrics.Counter
+	cBatches, cNotifs   *metrics.Counter
 }
 
 // NewIngestor builds an ingestor over store. metricsReg may be nil.
@@ -28,25 +37,52 @@ func NewIngestor(store *timeseries.Store, metricsReg *metrics.Registry) *Ingesto
 	if metricsReg == nil {
 		metricsReg = metrics.NewRegistry()
 	}
-	return &Ingestor{store: store, reg: metricsReg}
+	return &Ingestor{
+		store:     store,
+		reg:       metricsReg,
+		cReadings: metricsReg.Counter("cloud.ingest.readings"),
+		cInvalid:  metricsReg.Counter("cloud.ingest.invalid"),
+		cBatches:  metricsReg.Counter("cloud.ingest.batches"),
+		cNotifs:   metricsReg.Counter("cloud.ingest.notifications"),
+	}
 }
 
 // Metrics returns the ingestor's registry.
 func (i *Ingestor) Metrics() *metrics.Registry { return i.reg }
 
-// IngestReadings appends a batch of device readings.
+// IngestReadings appends a batch of device readings through the store's
+// batched path (one shard lock per batch). Invalid readings are
+// skipped-and-counted (`cloud.ingest.invalid`), never an error: a
+// validation failure is a data-quality fact about the reading, not a
+// transport failure, and returning one would make the fog node's
+// store-and-forward loop treat the batch as retryable — wedging its
+// queue head on a deterministically poisoned batch forever. Accepted
+// readings are counted exactly, even for mixed batches.
 func (i *Ingestor) IngestReadings(batch []model.Reading) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	pts := make([]timeseries.BatchPoint, 0, len(batch))
+	invalid := 0
 	for _, r := range batch {
 		if err := r.Validate(); err != nil {
-			i.reg.Counter("cloud.ingest.invalid").Inc()
-			return fmt.Errorf("cloud: %w", err)
+			invalid++
+			continue
 		}
-		key := timeseries.SeriesKey{Device: string(r.Device), Quantity: quantityKey(r)}
-		if err := i.store.Append(key, timeseries.Point{At: r.At, Value: r.Value}); err != nil {
-			return fmt.Errorf("cloud: %w", err)
-		}
+		pts = append(pts, timeseries.BatchPoint{
+			Key:   timeseries.SeriesKey{Device: string(r.Device), Quantity: quantityKey(r)},
+			Point: timeseries.Point{At: r.At, Value: r.Value},
+		})
 	}
-	i.reg.Counter("cloud.ingest.readings").Add(uint64(len(batch)))
+	accepted, rejected := i.store.AppendBatch(pts)
+	invalid += rejected
+	i.cBatches.Inc()
+	if accepted > 0 {
+		i.cReadings.Add(uint64(accepted))
+	}
+	if invalid > 0 {
+		i.cInvalid.Add(uint64(invalid))
+	}
 	return nil
 }
 
@@ -59,9 +95,11 @@ func quantityKey(r model.Reading) string {
 
 // NotificationHandler adapts the ingestor to NGSI subscriptions: every
 // numeric attribute in a notification becomes a point in the entity's
-// series. Wire it as the handler of a catch-all subscription.
+// series, landed through one batched append. Wire it as the handler of a
+// catch-all subscription.
 func (i *Ingestor) NotificationHandler() ngsi.Handler {
 	return func(n ngsi.Notification) {
+		pts := make([]timeseries.BatchPoint, 0, len(n.Entity.Attrs))
 		for name, attr := range n.Entity.Attrs {
 			v, ok := attr.Float()
 			if !ok {
@@ -71,17 +109,26 @@ func (i *Ingestor) NotificationHandler() ngsi.Handler {
 			if at.IsZero() {
 				at = n.At
 			}
-			key := timeseries.SeriesKey{Device: n.Entity.ID, Quantity: name}
-			if err := i.store.Append(key, timeseries.Point{At: at, Value: v}); err != nil {
-				i.reg.Counter("cloud.ingest.invalid").Inc()
-				continue
+			pts = append(pts, timeseries.BatchPoint{
+				Key:   timeseries.SeriesKey{Device: n.Entity.ID, Quantity: name},
+				Point: timeseries.Point{At: at, Value: v},
+			})
+		}
+		if len(pts) > 0 {
+			accepted, rejected := i.store.AppendBatch(pts)
+			if accepted > 0 {
+				i.cReadings.Add(uint64(accepted))
+			}
+			if rejected > 0 {
+				i.cInvalid.Add(uint64(rejected))
 			}
 		}
-		i.reg.Counter("cloud.ingest.notifications").Inc()
+		i.cNotifs.Inc()
 	}
 }
 
-// Analytics answers the queries the optimizer and dashboards need.
+// Analytics answers the queries the optimizer and dashboards need. All
+// aggregate queries use the store's pushdown path over chunk summaries.
 type Analytics struct {
 	store *timeseries.Store
 }
@@ -94,6 +141,12 @@ func NewAnalytics(store *timeseries.Store) *Analytics {
 // Summary aggregates one series over [from, to).
 func (a *Analytics) Summary(device, quantity string, from, to time.Time) timeseries.Aggregate {
 	return a.store.Summarize(timeseries.SeriesKey{Device: device, Quantity: quantity}, from, to)
+}
+
+// Windows returns fixed-window aggregates (count/min/max/mean) for a
+// series — the downsampled range the dashboard series endpoint serves.
+func (a *Analytics) Windows(device, quantity string, from, to time.Time, window time.Duration) ([]timeseries.WindowAggregate, error) {
+	return a.store.AggregateWindows(timeseries.SeriesKey{Device: device, Quantity: quantity}, from, to, window)
 }
 
 // Daily returns day-resolution means for a series.

@@ -30,11 +30,43 @@ func TestIngestReadings(t *testing.T) {
 	if got := store.Len(timeseries.SeriesKey{Device: "p1", Quantity: "soilMoisture_d50"}); got != 1 {
 		t.Errorf("d50 points = %d", got)
 	}
-	if err := ing.IngestReadings([]model.Reading{{}}); err == nil {
-		t.Error("invalid reading accepted")
+	// An all-invalid batch is not an error (it must not look like a
+	// transport failure to the fog retry loop) — it is skipped and counted.
+	if err := ing.IngestReadings([]model.Reading{{}}); err != nil {
+		t.Errorf("all-invalid batch returned error: %v", err)
+	}
+	if ing.Metrics().Counter("cloud.ingest.invalid").Value() != 1 {
+		t.Error("invalid counter wrong")
 	}
 	if ing.Metrics().Counter("cloud.ingest.readings").Value() != 3 {
 		t.Error("ingest counter wrong")
+	}
+}
+
+// A mixed batch must not abort on the invalid reading: valid readings land
+// and are counted, invalid ones are skipped and counted.
+func TestIngestSkipsInvalidMidBatch(t *testing.T) {
+	store := timeseries.New()
+	ing := NewIngestor(store, nil)
+	batch := []model.Reading{
+		{Device: "p1", Quantity: model.QSoilMoisture, Value: 0.2, At: t0},
+		{}, // invalid: must be skipped, not fail the batch
+		{Device: "p2", Quantity: model.QSoilMoisture, Value: 0.3, At: t0},
+	}
+	if err := ing.IngestReadings(batch); err != nil {
+		t.Fatalf("mixed batch rejected: %v", err)
+	}
+	if got := store.Len(timeseries.SeriesKey{Device: "p1", Quantity: "soilMoisture"}); got != 1 {
+		t.Errorf("p1 points = %d", got)
+	}
+	if got := store.Len(timeseries.SeriesKey{Device: "p2", Quantity: "soilMoisture"}); got != 1 {
+		t.Errorf("p2 points = %d", got)
+	}
+	if got := ing.Metrics().Counter("cloud.ingest.readings").Value(); got != 2 {
+		t.Errorf("accepted counter = %d, want 2", got)
+	}
+	if got := ing.Metrics().Counter("cloud.ingest.invalid").Value(); got != 1 {
+		t.Errorf("invalid counter = %d, want 1", got)
 	}
 }
 
@@ -109,6 +141,20 @@ func TestAnalyticsQueries(t *testing.T) {
 	}
 	if _, ok := a.Latest("ghost", "x"); ok {
 		t.Error("latest for unknown series")
+	}
+
+	wins, err := a.Windows("farm1-p1", "soilMoisture", t0, t0.Add(72*time.Hour), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 6 {
+		t.Fatalf("12h windows = %d, want 6", len(wins))
+	}
+	if wins[0].Count != 12 || !wins[0].Start.Equal(t0) {
+		t.Errorf("window 0 = %+v", wins[0])
+	}
+	if _, err := a.Windows("farm1-p1", "soilMoisture", t0, t0.Add(time.Hour), 0); err == nil {
+		t.Error("zero window accepted")
 	}
 }
 

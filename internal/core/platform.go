@@ -9,6 +9,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/agent"
 	"github.com/swamp-project/swamp/internal/anomaly"
+	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/cloud"
 	"github.com/swamp-project/swamp/internal/drone"
 	"github.com/swamp-project/swamp/internal/fog"
@@ -131,6 +132,25 @@ type Options struct {
 	// FogSyncBatches is the number of buffered telemetry batches the fog
 	// node coalesces per backhaul round trip (0 → 32).
 	FogSyncBatches int
+	// TimeseriesShards overrides the telemetry store's shard count
+	// (0 → timeseries.DefaultShards).
+	TimeseriesShards int
+	// TimeseriesChunkSize overrides the points-per-sealed-chunk seal
+	// threshold (0 → timeseries.DefaultChunkSize).
+	TimeseriesChunkSize int
+	// TelemetryMaxAge enables age-based retention in the telemetry store:
+	// points older than this are evicted in the background and series
+	// emptied by eviction are dropped. 0 disables age-based retention.
+	TelemetryMaxAge time.Duration
+	// TelemetryEvictionInterval is the background eviction cadence
+	// (0 → timeseries.DefaultEvictionInterval; only meaningful with
+	// TelemetryMaxAge set).
+	TelemetryEvictionInterval time.Duration
+	// TelemetryClock drives age-based retention decisions (nil → wall
+	// clock). Simulations that enable TelemetryMaxAge must pass their
+	// simulated clock here: readings carry simulated timestamps, and
+	// evicting against wall time would silently delete the whole season.
+	TelemetryClock clock.Clock
 }
 
 // Platform is one fully wired SWAMP deployment.
@@ -271,7 +291,19 @@ func New(opts Options) (*Platform, error) {
 	p.cleanups = append(p.cleanups, p.Context.Close)
 
 	// --- cloud plane ---
-	p.Store = timeseries.New(timeseries.WithMaxPointsPerSeries(100_000))
+	tsOpts := []timeseries.Option{
+		timeseries.WithMaxPointsPerSeries(100_000),
+		timeseries.WithShards(opts.TimeseriesShards),
+		timeseries.WithChunkSize(opts.TimeseriesChunkSize),
+	}
+	if opts.TelemetryMaxAge > 0 {
+		tsOpts = append(tsOpts,
+			timeseries.WithMaxAge(opts.TelemetryMaxAge),
+			timeseries.WithEvictionInterval(opts.TelemetryEvictionInterval),
+			timeseries.WithClock(opts.TelemetryClock))
+	}
+	p.Store = timeseries.New(tsOpts...)
+	p.cleanups = append(p.cleanups, p.Store.Close)
 	p.Ingestor = cloud.NewIngestor(p.Store, p.reg)
 	p.Analytics = cloud.NewAnalytics(p.Store)
 	lat := opts.BackhaulLatency
@@ -664,21 +696,18 @@ func (p *Platform) DecideOnce(at time.Time) ([]model.Command, error) {
 	}
 }
 
-// cloudLatest reconstructs the latest-readings view from the cloud store.
+// cloudLatest reconstructs the latest-readings view from the cloud store
+// in one pass over the store's shards (no key copying, no per-key lock).
 func (p *Platform) cloudLatest() map[string]model.Reading {
 	out := make(map[string]model.Reading)
-	for _, key := range p.Store.Keys() {
-		pt, ok := p.Store.Latest(key)
-		if !ok {
-			continue
-		}
+	p.Store.ForEachLatest(func(key timeseries.SeriesKey, pt timeseries.Point) {
 		out[key.Device+"/"+key.Quantity] = model.Reading{
 			Device:   model.DeviceID(key.Device),
 			Quantity: model.Quantity(key.Quantity),
 			Value:    pt.Value,
 			At:       pt.At,
 		}
-	}
+	})
 	return out
 }
 

@@ -5,9 +5,11 @@ import (
 	"testing"
 	"time"
 
+	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/model"
 	"github.com/swamp-project/swamp/internal/mqtt"
 	"github.com/swamp-project/swamp/internal/simnet"
+	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
 var t0 = time.Date(2026, 6, 1, 6, 0, 0, 0, time.UTC)
@@ -56,6 +58,40 @@ func TestPlatformConstructionAllPilotsAndModes(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestTelemetryStoreKnobs(t *testing.T) {
+	sim := clock.NewSim(t0.Add(2 * time.Hour))
+	p, err := New(Options{
+		Pilot: PilotIntercrop, Mode: ModeFarmFog, Seed: 7,
+		TimeseriesShards:          4,
+		TimeseriesChunkSize:       64,
+		TelemetryMaxAge:           time.Hour,
+		TelemetryEvictionInterval: time.Minute,
+		TelemetryClock:            sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if got := p.Store.ShardCount(); got != 4 {
+		t.Errorf("store shards = %d, want 4", got)
+	}
+	// Retention must cut off against the injected (simulated) clock, not
+	// wall time: a reading stamped 30 simulated minutes ago survives, one
+	// stamped 90 simulated minutes ago is evicted.
+	k := timeseries.SeriesKey{Device: "probe-x", Quantity: "m"}
+	p.Store.Append(k, timeseries.Point{At: t0.Add(30 * time.Minute), Value: 1}) // age 90m
+	p.Store.Append(k, timeseries.Point{At: t0.Add(90 * time.Minute), Value: 2}) // age 30m
+	if dropped := p.Store.EvictExpired(); dropped != 1 {
+		t.Errorf("evicted %d points, want 1", dropped)
+	}
+	if got := p.Store.Len(k); got != 1 {
+		t.Errorf("kept %d points, want 1", got)
+	}
+	// Close is registered as a cleanup: a second explicit Close must be
+	// safe (Platform.Close and the eviction goroutine race otherwise).
+	p.Store.Close()
 }
 
 func TestPumpOnceReachesContextAndCloud(t *testing.T) {

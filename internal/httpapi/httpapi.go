@@ -57,6 +57,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v2/op/update", s.handleBatchUpdate)
 	s.mux.HandleFunc("DELETE /v2/entities/{id}", s.handleDeleteEntity)
 	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}", s.handleAnalytics)
+	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}/series", s.handleAnalyticsSeries)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -289,6 +290,21 @@ func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// analyticsRange parses the shared ?hours=N query range: it returns the
+// [from, to) window or false after writing the error response.
+func (s *Server) analyticsRange(w http.ResponseWriter, r *http.Request) (from, to time.Time, ok bool) {
+	hours := 24
+	if h := r.URL.Query().Get("hours"); h != "" {
+		if _, err := fmt.Sscanf(h, "%d", &hours); err != nil || hours <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_hours", h)
+			return time.Time{}, time.Time{}, false
+		}
+	}
+	to = time.Now().Add(time.Hour) // include freshly stamped points
+	from = to.Add(-time.Duration(hours+1) * time.Hour)
+	return from, to, true
+}
+
 // handleAnalytics returns the summary aggregate of one series:
 // GET /v2/analytics/{device}/{quantity}?hours=24
 func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
@@ -301,18 +317,69 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r, "read", "series:"+device) {
 		return
 	}
-	hours := 24
-	if h := r.URL.Query().Get("hours"); h != "" {
-		if _, err := fmt.Sscanf(h, "%d", &hours); err != nil || hours <= 0 {
-			writeErr(w, http.StatusBadRequest, "invalid_hours", h)
-			return
-		}
+	from, to, ok := s.analyticsRange(w, r)
+	if !ok {
+		return
 	}
-	to := time.Now().Add(time.Hour) // include freshly stamped points
-	from := to.Add(-time.Duration(hours+1) * time.Hour)
 	agg := s.cfg.Analytics.Summary(device, quantity, from, to)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"device": device, "quantity": quantity,
 		"count": agg.Count, "min": agg.Min, "max": agg.Max, "mean": agg.Mean,
+	})
+}
+
+// seriesWindowJSON is one downsampled window of a series response.
+type seriesWindowJSON struct {
+	At    time.Time `json:"at"`
+	Count int       `json:"count"`
+	Min   float64   `json:"min"`
+	Max   float64   `json:"max"`
+	Mean  float64   `json:"mean"`
+}
+
+// handleAnalyticsSeries returns a downsampled range of one series, one
+// aggregate per window:
+// GET /v2/analytics/{device}/{quantity}/series?hours=24&window=1h
+// The window accepts Go duration syntax (15m, 1h, 24h; default 1h). The
+// aggregation is pushed down onto the store's chunk summaries, so the cost
+// scales with chunks, not points.
+func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Analytics == nil {
+		writeErr(w, http.StatusNotFound, "analytics_disabled", "")
+		return
+	}
+	device := r.PathValue("device")
+	quantity := r.PathValue("quantity")
+	if !s.authorize(w, r, "read", "series:"+device) {
+		return
+	}
+	from, to, ok := s.analyticsRange(w, r)
+	if !ok {
+		return
+	}
+	window := time.Hour
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_window", ws)
+			return
+		}
+		window = d
+	}
+	wins, err := s.cfg.Analytics.Windows(device, quantity, from, to, window)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "query_failed", err.Error())
+		return
+	}
+	points := make([]seriesWindowJSON, 0, len(wins))
+	for _, wa := range wins {
+		points = append(points, seriesWindowJSON{
+			At: wa.Start, Count: wa.Count, Min: wa.Min, Max: wa.Max, Mean: wa.Mean,
+		})
+	}
+	s.cfg.Metrics.Counter("httpapi.analytics.series").Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"device": device, "quantity": quantity, "window": window.String(),
+		"points": points,
 	})
 }

@@ -301,6 +301,61 @@ func TestAnalyticsEndpoint(t *testing.T) {
 	}
 }
 
+// TestAnalyticsSeriesEndpoint exercises the downsampled-series route: the
+// window parameter, the PEP guard and input validation.
+func TestAnalyticsSeriesEndpoint(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+	resp := f.do(t, "GET", "/v2/analytics/farm1-p1/soilMoisture/series?hours=48&window=1h", tok, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("series status %d", resp.StatusCode)
+	}
+	var out struct {
+		Device string `json:"device"`
+		Window string `json:"window"`
+		Points []struct {
+			Count int     `json:"count"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+			Mean  float64 `json:"mean"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Device != "farm1-p1" || out.Window != "1h0m0s" {
+		t.Errorf("series envelope %+v", out)
+	}
+	total := 0
+	for _, p := range out.Points {
+		total += p.Count
+		if p.Min > p.Mean || p.Mean > p.Max {
+			t.Errorf("inconsistent window %+v", p)
+		}
+	}
+	if len(out.Points) == 0 || total != 2 {
+		t.Errorf("windows = %d, total count = %d (want 2 points total)", len(out.Points), total)
+	}
+
+	// Bad window values.
+	for _, q := range []string{"window=0s", "window=-5m", "window=banana"} {
+		resp := f.do(t, "GET", "/v2/analytics/farm1-p1/soilMoisture/series?"+q, tok, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", q, resp.StatusCode)
+		}
+	}
+	// Foreign series denied by the PEP.
+	resp = f.do(t, "GET", "/v2/analytics/farm2-p9/soilMoisture/series", tok, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("foreign series status %d", resp.StatusCode)
+	}
+	// No token.
+	resp = f.do(t, "GET", "/v2/analytics/farm1-p1/soilMoisture/series", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated status %d", resp.StatusCode)
+	}
+}
+
 func TestHealthAndMetrics(t *testing.T) {
 	f := newFixture(t)
 	resp := f.do(t, "GET", "/healthz", "", nil)

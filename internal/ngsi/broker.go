@@ -10,6 +10,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/shardhash"
 )
 
 // ErrNotFound is returned for lookups of unknown entities or subscriptions.
@@ -172,16 +173,7 @@ func (b *Broker) shardFor(id string) *shard {
 }
 
 func (b *Broker) shardIndex(id string) int {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= prime32
-	}
-	return int(h % uint32(len(b.shards)))
+	return shardhash.Index(len(b.shards), id)
 }
 
 func (b *Broker) dispatch(sh *shard) {

@@ -1,0 +1,31 @@
+// Package shardhash is the allocation-free FNV-1a hash both sharded
+// planes (the NGSI context broker and the time-series engine) use to
+// spread keys over shards. Keeping it in one place keeps their shard
+// distribution behavior from silently diverging.
+package shardhash
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+)
+
+// Sum hashes parts as if joined by '/', without allocating.
+func Sum(parts ...string) uint32 {
+	h := uint32(offset32)
+	for i, part := range parts {
+		if i > 0 {
+			h ^= uint32('/')
+			h *= prime32
+		}
+		for j := 0; j < len(part); j++ {
+			h ^= uint32(part[j])
+			h *= prime32
+		}
+	}
+	return h
+}
+
+// Index maps parts onto one of n shards. n must be positive.
+func Index(n int, parts ...string) int {
+	return int(Sum(parts...) % uint32(n))
+}

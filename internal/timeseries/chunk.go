@@ -1,0 +1,234 @@
+package timeseries
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// chunk is one fixed-size run of a series. A chunk in the sealed slice is
+// immutable: its points never change and its summary (count/sum/min/max/
+// first/last) is precomputed, so aggregate queries consume the summary
+// instead of the points and readers holding a snapshot of the sealed slice
+// never need a lock. "Rewrites" of sealed data (out-of-order inserts,
+// retention trims) build a replacement chunk and publish a new slice.
+type chunk struct {
+	pts []Point // sorted by At; never mutated once the chunk is sealed
+
+	// Precomputed summary over pts.
+	count       int
+	sum         float64
+	min, max    float64
+	first, last Point // earliest and latest point
+}
+
+// buildChunk seals pts (which must be non-empty and sorted by At) into an
+// immutable chunk with its summary computed.
+func buildChunk(pts []Point) *chunk {
+	c := &chunk{
+		pts:   pts,
+		count: len(pts),
+		min:   math.Inf(1),
+		max:   math.Inf(-1),
+		first: pts[0],
+		last:  pts[len(pts)-1],
+	}
+	for _, p := range pts {
+		c.sum += p.Value
+		if p.Value < c.min {
+			c.min = p.Value
+		}
+		if p.Value > c.max {
+			c.max = p.Value
+		}
+	}
+	return c
+}
+
+// searchPoints returns the index of the first point with At >= at.
+func searchPoints(pts []Point, at time.Time) int {
+	return sort.Search(len(pts), func(i int) bool { return !pts[i].At.Before(at) })
+}
+
+// series is one device/quantity stream: a copy-on-write slice of sealed
+// immutable chunks plus a mutable head run. Invariants (under the shard
+// write lock):
+//
+//   - sealed chunks are ordered and non-overlapping (boundary timestamps may
+//     tie), each internally sorted;
+//   - every head point is >= the last sealed chunk's last timestamp, so
+//     sealed..head concatenation is the whole series in order;
+//   - sealedPts equals the total point count across sealed chunks.
+//
+// The sealed slice is published through an atomic pointer: writers replace
+// it under the shard lock, readers may snapshot it under the shard read
+// lock and keep scanning it after releasing the lock.
+type series struct {
+	sealed    atomic.Pointer[[]*chunk]
+	head      []Point // sorted by At; guarded by the shard lock
+	sealedPts int     // guarded by the shard lock
+}
+
+func (sr *series) loadSealed() []*chunk {
+	if p := sr.sealed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (sr *series) storeSealed(cs []*chunk) {
+	sr.sealed.Store(&cs)
+}
+
+// totalLocked returns the series' point count. Shard lock required.
+func (sr *series) totalLocked() int { return sr.sealedPts + len(sr.head) }
+
+// latestLocked returns the most recent point. Shard read lock required.
+func (sr *series) latestLocked() (Point, bool) {
+	if n := len(sr.head); n > 0 {
+		return sr.head[n-1], true
+	}
+	if sealed := sr.loadSealed(); len(sealed) > 0 {
+		return sealed[len(sealed)-1].last, true
+	}
+	return Point{}, false
+}
+
+// appendLocked inserts p preserving sort order. Shard write lock required.
+// chunkSize is the seal threshold for the head run.
+func (sr *series) appendLocked(p Point, chunkSize int) {
+	sealed := sr.loadSealed()
+	if n := len(sealed); n > 0 && p.At.Before(sealed[n-1].last.At) {
+		sr.insertSealedLocked(sealed, p, chunkSize)
+		return
+	}
+	// In-order (or within-head out-of-order) fast path.
+	if n := len(sr.head); n == 0 || !p.At.Before(sr.head[n-1].At) {
+		sr.head = append(sr.head, p)
+	} else {
+		i := sort.Search(n, func(i int) bool { return sr.head[i].At.After(p.At) })
+		sr.head = append(sr.head, Point{})
+		copy(sr.head[i+1:], sr.head[i:])
+		sr.head[i] = p
+	}
+	if len(sr.head) >= chunkSize {
+		sr.sealHeadLocked(sealed)
+	}
+}
+
+// sealHeadLocked turns the head run into a sealed chunk.
+func (sr *series) sealHeadLocked(sealed []*chunk) {
+	ns := make([]*chunk, len(sealed)+1)
+	copy(ns, sealed)
+	ns[len(sealed)] = buildChunk(sr.head)
+	sr.sealedPts += len(sr.head)
+	sr.head = nil // the old backing array now belongs to the sealed chunk
+	sr.storeSealed(ns)
+}
+
+// insertSealedLocked handles the rare out-of-order append that lands before
+// the end of sealed territory: the covering chunk is rebuilt with the point
+// inserted (splitting if it grew past 2×chunkSize) and a fresh sealed slice
+// is published.
+func (sr *series) insertSealedLocked(sealed []*chunk, p Point, chunkSize int) {
+	// Last chunk whose first point is <= p.At; points earlier than every
+	// chunk go into chunk 0.
+	idx := sort.Search(len(sealed), func(i int) bool { return sealed[i].first.At.After(p.At) }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	old := sealed[idx]
+	pos := sort.Search(len(old.pts), func(i int) bool { return old.pts[i].At.After(p.At) })
+	pts := make([]Point, 0, len(old.pts)+1)
+	pts = append(pts, old.pts[:pos]...)
+	pts = append(pts, p)
+	pts = append(pts, old.pts[pos:]...)
+
+	var repl []*chunk
+	if len(pts) > 2*chunkSize {
+		h := len(pts) / 2
+		repl = []*chunk{buildChunk(pts[:h:h]), buildChunk(pts[h:])}
+	} else {
+		repl = []*chunk{buildChunk(pts)}
+	}
+	ns := make([]*chunk, 0, len(sealed)+len(repl)-1)
+	ns = append(ns, sealed[:idx]...)
+	ns = append(ns, repl...)
+	ns = append(ns, sealed[idx+1:]...)
+	sr.sealedPts++
+	sr.storeSealed(ns)
+}
+
+// enforceCapLocked applies count-based retention: exact when the series
+// is head-only, chunk-granular otherwise — a sealed chunk drops only once
+// it is entirely over the cap, so a series may transiently hold up to one
+// extra chunk. Trimming inside a chunk would rebuild it (summary rescan +
+// copy-on-write publish) on every append once a series sits at the cap,
+// turning the ingest hot path O(chunkSize); whole-chunk drops are pure
+// suffix re-slices and keep steady-state appends O(1). Shard write lock
+// required.
+func (sr *series) enforceCapLocked(maxPoints int) {
+	over := sr.totalLocked() - maxPoints
+	if over <= 0 {
+		return
+	}
+	sealed := sr.loadSealed()
+	if len(sealed) == 0 {
+		sr.head = append(sr.head[:0], sr.head[over:]...)
+		return
+	}
+	i := 0
+	for i < len(sealed) && over >= sealed[i].count {
+		over -= sealed[i].count
+		sr.sealedPts -= sealed[i].count
+		i++
+	}
+	if i > 0 {
+		// Copy the suffix rather than re-slice: a shared backing array
+		// would pin the dropped chunks until the next seal. Drops happen
+		// at most once per chunkSize appends, so the copy is cheap.
+		ns := make([]*chunk, len(sealed)-i)
+		copy(ns, sealed[i:])
+		sr.storeSealed(ns)
+	}
+}
+
+// deleteBeforeLocked drops every point older than cutoff and returns how
+// many were removed. Shard write lock required.
+func (sr *series) deleteBeforeLocked(cutoff time.Time) int {
+	dropped := 0
+	sealed := sr.loadSealed()
+	i := 0
+	for i < len(sealed) && sealed[i].last.At.Before(cutoff) {
+		dropped += sealed[i].count
+		i++
+	}
+	ns := sealed[i:]
+	if len(ns) > 0 {
+		if j := searchPoints(ns[0].pts, cutoff); j > 0 {
+			pts := make([]Point, ns[0].count-j)
+			copy(pts, ns[0].pts[j:])
+			trimmed := make([]*chunk, len(ns))
+			copy(trimmed, ns)
+			trimmed[0] = buildChunk(pts)
+			ns = trimmed
+			dropped += j
+		} else if i > 0 {
+			// Copy the surviving suffix so the dropped chunks are not
+			// pinned by a shared backing array (see enforceCapLocked).
+			cp := make([]*chunk, len(ns))
+			copy(cp, ns)
+			ns = cp
+		}
+	}
+	if dropped > 0 {
+		sr.sealedPts -= dropped
+		sr.storeSealed(ns)
+	}
+	if j := searchPoints(sr.head, cutoff); j > 0 {
+		sr.head = append(sr.head[:0], sr.head[j:]...)
+		dropped += j
+	}
+	return dropped
+}

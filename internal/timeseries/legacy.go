@@ -1,0 +1,182 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LegacyStore is the pre-chunking engine: one RWMutex over flat sorted
+// slices, with every Summarize/Downsample/Range copying the whole point
+// range under the lock. It is kept verbatim so benchmarks can measure the
+// chunked engine's win and equivalence tests can prove the two engines
+// answer queries identically. New code should use Store.
+type LegacyStore struct {
+	mu        sync.RWMutex
+	series    map[SeriesKey]*legacySeries
+	maxPoints int // per-series retention, 0 = unlimited
+}
+
+type legacySeries struct {
+	pts []Point // kept sorted by At
+}
+
+// NewLegacy constructs an empty legacy store with the given per-series
+// point cap (0 = unlimited).
+func NewLegacy(maxPoints int) *LegacyStore {
+	return &LegacyStore{series: make(map[SeriesKey]*legacySeries), maxPoints: maxPoints}
+}
+
+// Append adds a point to the series identified by key. Out-of-order appends
+// are accepted and inserted in timestamp order.
+func (s *LegacyStore) Append(key SeriesKey, p Point) error {
+	if err := validatePoint(key, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[key]
+	if sr == nil {
+		sr = &legacySeries{}
+		s.series[key] = sr
+	}
+	n := len(sr.pts)
+	if n == 0 || !p.At.Before(sr.pts[n-1].At) {
+		sr.pts = append(sr.pts, p)
+	} else {
+		i := sort.Search(n, func(i int) bool { return sr.pts[i].At.After(p.At) })
+		sr.pts = append(sr.pts, Point{})
+		copy(sr.pts[i+1:], sr.pts[i:])
+		sr.pts[i] = p
+	}
+	if s.maxPoints > 0 && len(sr.pts) > s.maxPoints {
+		drop := len(sr.pts) - s.maxPoints
+		sr.pts = append(sr.pts[:0], sr.pts[drop:]...)
+	}
+	return nil
+}
+
+// Len returns the number of points currently held for key.
+func (s *LegacyStore) Len(key SeriesKey) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sr := s.series[key]; sr != nil {
+		return len(sr.pts)
+	}
+	return 0
+}
+
+// Keys returns all series keys, sorted for determinism.
+func (s *LegacyStore) Keys() []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]SeriesKey, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Quantity < keys[j].Quantity
+	})
+	return keys
+}
+
+// Range returns a copy of the points in [from, to) for key, in order.
+func (s *LegacyStore) Range(key SeriesKey, from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[key]
+	if sr == nil {
+		return nil
+	}
+	lo := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(from) })
+	hi := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, sr.pts[lo:hi])
+	return out
+}
+
+// Latest returns the most recent point for key, and whether one exists.
+func (s *LegacyStore) Latest(key SeriesKey) (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[key]
+	if sr == nil || len(sr.pts) == 0 {
+		return Point{}, false
+	}
+	return sr.pts[len(sr.pts)-1], true
+}
+
+// Summarize computes an Aggregate over [from, to). Count==0 means no data.
+func (s *LegacyStore) Summarize(key SeriesKey, from, to time.Time) Aggregate {
+	pts := s.Range(key, from, to)
+	agg := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, p := range pts {
+		agg.Count++
+		agg.Sum += p.Value
+		agg.Min = math.Min(agg.Min, p.Value)
+		agg.Max = math.Max(agg.Max, p.Value)
+	}
+	if agg.Count > 0 {
+		agg.Mean = agg.Sum / float64(agg.Count)
+	} else {
+		agg.Min, agg.Max = 0, 0
+	}
+	return agg
+}
+
+// Downsample buckets the points of key in [from, to) into fixed windows and
+// returns one mean point per non-empty window, stamped at the window start.
+func (s *LegacyStore) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Point, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive downsample window %v", window)
+	}
+	pts := s.Range(key, from, to)
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	var out []Point
+	wStart := from
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{At: wStart, Value: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range pts {
+		for !p.At.Before(wStart.Add(window)) {
+			flush()
+			wStart = wStart.Add(window)
+		}
+		sum += p.Value
+		n++
+	}
+	flush()
+	return out, nil
+}
+
+// DeleteBefore removes all points older than cutoff from every series and
+// returns how many points were dropped. Unlike Store.DeleteBefore it keeps
+// emptied series in the map — the leak the chunked engine fixes.
+func (s *LegacyStore) DeleteBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, sr := range s.series {
+		i := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(cutoff) })
+		if i > 0 {
+			dropped += i
+			sr.pts = append(sr.pts[:0], sr.pts[i:]...)
+		}
+	}
+	return dropped
+}

@@ -1,10 +1,21 @@
 // Package timeseries implements the in-memory time-series store the SWAMP
-// cloud and fog layers persist telemetry into. It supports appends, range
-// queries, aggregation and downsampling, with optional retention by count.
+// cloud and fog layers persist telemetry into: the stand-in for the
+// historical-data backends of a FIWARE deployment (STH-Comet /
+// QuantumLeap), offering the query shapes the analytics layer needs.
 //
-// The store stands in for the historical-data backends a FIWARE deployment
-// would use (STH-Comet / QuantumLeap); it offers the same query shapes the
-// analytics layer needs.
+// The engine is sharded and chunked. Series are spread over hash-sharded
+// maps (one lock each) so appends to different devices never contend, and
+// each series stores its points as fixed-size chunks: sealed chunks are
+// immutable and carry precomputed summaries (count/sum/min/max/first/last),
+// so Summarize and AggregateWindows push aggregation down onto chunk
+// summaries plus a partial scan of at most the two edge chunks per range —
+// no point copying — and the heavy part of a read runs on a lock-free
+// snapshot of the sealed slice. Retention is by point count
+// (WithMaxPointsPerSeries) and by age (WithMaxAge plus a background
+// eviction loop that also drops emptied series).
+//
+// LegacyStore preserves the previous engine (one RWMutex over flat sorted
+// slices, O(points) copy per query) for benchmarks and equivalence tests.
 package timeseries
 
 import (
@@ -13,6 +24,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+	"github.com/swamp-project/swamp/internal/shardhash"
 )
 
 // Point is one sample in a series.
@@ -30,86 +44,266 @@ type SeriesKey struct {
 // String implements fmt.Stringer.
 func (k SeriesKey) String() string { return k.Device + "/" + k.Quantity }
 
+// Defaults for the tunable knobs.
+const (
+	// DefaultShards is the shard count used when WithShards is not given.
+	DefaultShards = 8
+	// DefaultChunkSize is the points-per-sealed-chunk used when
+	// WithChunkSize is not given.
+	DefaultChunkSize = 512
+	// DefaultEvictionInterval is the background eviction cadence used when
+	// WithMaxAge is set without WithEvictionInterval.
+	DefaultEvictionInterval = time.Minute
+)
+
 // Store is a concurrency-safe collection of series. The zero value is not
-// usable; construct with New.
+// usable; construct with New. Close releases the background eviction
+// goroutine (a no-op when age-based retention is off).
 type Store struct {
-	mu        sync.RWMutex
-	series    map[SeriesKey]*series
-	maxPoints int // per-series retention, 0 = unlimited
+	shards     []*tsShard
+	chunkSize  int
+	maxPoints  int           // per-series retention by count, 0 = unlimited
+	maxAge     time.Duration // per-point retention by age, 0 = unlimited
+	evictEvery time.Duration
+	clk        clock.Clock
+
+	nshards   int // applied by options before shards are built
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
-type series struct {
-	pts []Point // kept sorted by At
+type tsShard struct {
+	mu     sync.RWMutex
+	series map[SeriesKey]*series
 }
 
 // Option configures a Store.
 type Option func(*Store)
 
 // WithMaxPointsPerSeries bounds per-series memory: when a series exceeds n
-// points the oldest are dropped.
+// points the oldest are dropped. The bound is exact while a series fits in
+// its head run; once chunks have sealed it is chunk-granular — the oldest
+// chunk drops when it is entirely over the cap, so a series may hold up to
+// one extra chunk (keeping steady-state appends O(1) at the cap).
 func WithMaxPointsPerSeries(n int) Option {
 	return func(s *Store) { s.maxPoints = n }
 }
 
-// New constructs an empty store.
+// WithShards sets the number of hash-sharded series maps (default
+// DefaultShards). Non-positive values keep the default.
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.nshards = n
+		}
+	}
+}
+
+// WithChunkSize sets the seal threshold: a series' head run seals into an
+// immutable summarised chunk once it reaches n points (default
+// DefaultChunkSize). Values below 2 keep the default.
+func WithChunkSize(n int) Option {
+	return func(s *Store) {
+		if n >= 2 {
+			s.chunkSize = n
+		}
+	}
+}
+
+// WithMaxAge enables time-based retention: points older than d are dropped
+// by the background eviction loop (see WithEvictionInterval) and by
+// EvictExpired. Series emptied by eviction are removed entirely.
+func WithMaxAge(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.maxAge = d
+		}
+	}
+}
+
+// WithEvictionInterval sets the background eviction cadence (default
+// DefaultEvictionInterval). Only meaningful together with WithMaxAge.
+func WithEvictionInterval(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.evictEvery = d
+		}
+	}
+}
+
+// WithClock sets the time source for age-based retention; nil keeps the
+// wall clock. Tests drive eviction with a simulated clock.
+func WithClock(c clock.Clock) Option {
+	return func(s *Store) {
+		if c != nil {
+			s.clk = c
+		}
+	}
+}
+
+// New constructs an empty store. If WithMaxAge is given, a background
+// eviction goroutine starts; call Close to stop it.
 func New(opts ...Option) *Store {
-	s := &Store{series: make(map[SeriesKey]*series)}
+	s := &Store{
+		nshards:   DefaultShards,
+		chunkSize: DefaultChunkSize,
+		clk:       clock.Real{},
+	}
 	for _, o := range opts {
 		o(s)
+	}
+	s.shards = make([]*tsShard, s.nshards)
+	for i := range s.shards {
+		s.shards[i] = &tsShard{series: make(map[SeriesKey]*series)}
+	}
+	if s.maxAge > 0 {
+		if s.evictEvery <= 0 {
+			s.evictEvery = DefaultEvictionInterval
+		}
+		s.done = make(chan struct{})
+		s.wg.Add(1)
+		go s.evictLoop()
 	}
 	return s
 }
 
-// Append adds a point to the series identified by key. Out-of-order appends
-// are accepted and inserted in timestamp order.
-func (s *Store) Append(key SeriesKey, p Point) error {
+// Close stops the background eviction goroutine. Safe to call multiple
+// times; the store itself remains usable for appends and queries.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.done != nil {
+			close(s.done)
+			s.wg.Wait()
+		}
+	})
+}
+
+func (s *Store) evictLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.clk.After(s.evictEvery):
+			s.EvictExpired()
+		}
+	}
+}
+
+// EvictExpired applies age-based retention now: every point older than
+// MaxAge is dropped and emptied series are removed. It returns the number
+// of points dropped (0 when WithMaxAge is not configured).
+func (s *Store) EvictExpired() int {
+	if s.maxAge <= 0 {
+		return 0
+	}
+	return s.DeleteBefore(s.clk.Now().Add(-s.maxAge))
+}
+
+// shardIndex hashes a series key onto its shard (FNV-1a over
+// device + '/' + quantity, allocation-free).
+func (s *Store) shardIndex(k SeriesKey) int {
+	return shardhash.Index(len(s.shards), k.Device, k.Quantity)
+}
+
+func (s *Store) shardFor(k SeriesKey) *tsShard { return s.shards[s.shardIndex(k)] }
+
+func validatePoint(key SeriesKey, p Point) error {
 	if key.Device == "" || key.Quantity == "" {
 		return fmt.Errorf("timeseries: empty series key")
 	}
 	if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
 		return fmt.Errorf("timeseries %s: non-finite value", key)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sr := s.series[key]
+	return nil
+}
+
+// appendLocked inserts p into the (existing or new) series for key and
+// applies count-based retention. The shard write lock must be held.
+func (s *Store) appendLocked(sh *tsShard, key SeriesKey, p Point) {
+	sr := sh.series[key]
 	if sr == nil {
 		sr = &series{}
-		s.series[key] = sr
+		sh.series[key] = sr
 	}
-	n := len(sr.pts)
-	if n == 0 || !p.At.Before(sr.pts[n-1].At) {
-		sr.pts = append(sr.pts, p)
-	} else {
-		// Out-of-order: binary search for insertion point.
-		i := sort.Search(n, func(i int) bool { return sr.pts[i].At.After(p.At) })
-		sr.pts = append(sr.pts, Point{})
-		copy(sr.pts[i+1:], sr.pts[i:])
-		sr.pts[i] = p
+	sr.appendLocked(p, s.chunkSize)
+	if s.maxPoints > 0 {
+		sr.enforceCapLocked(s.maxPoints)
 	}
-	if s.maxPoints > 0 && len(sr.pts) > s.maxPoints {
-		drop := len(sr.pts) - s.maxPoints
-		sr.pts = append(sr.pts[:0], sr.pts[drop:]...)
+}
+
+// Append adds a point to the series identified by key. Out-of-order appends
+// are accepted and inserted in timestamp order.
+func (s *Store) Append(key SeriesKey, p Point) error {
+	if err := validatePoint(key, p); err != nil {
+		return err
 	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	s.appendLocked(sh, key, p)
+	sh.mu.Unlock()
 	return nil
+}
+
+// BatchPoint is one entry of an AppendBatch: a point addressed to a series.
+type BatchPoint struct {
+	Key   SeriesKey
+	Point Point
+}
+
+// AppendBatch appends a batch of points taking each shard lock at most
+// once, however many series the batch touches. Invalid entries (empty key,
+// non-finite value) are skipped; every valid entry lands. It returns how
+// many points were accepted and how many rejected.
+func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int) {
+	if len(batch) == 0 {
+		return 0, 0
+	}
+	groups := make([][]int, len(s.shards))
+	for i := range batch {
+		if validatePoint(batch[i].Key, batch[i].Point) != nil {
+			rejected++
+			continue
+		}
+		si := s.shardIndex(batch[i].Key)
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			s.appendLocked(sh, batch[i].Key, batch[i].Point)
+		}
+		sh.mu.Unlock()
+		accepted += len(idxs)
+	}
+	return accepted, rejected
 }
 
 // Len returns the number of points currently held for key.
 func (s *Store) Len(key SeriesKey) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if sr := s.series[key]; sr != nil {
-		return len(sr.pts)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sr := sh.series[key]; sr != nil {
+		return sr.totalLocked()
 	}
 	return 0
 }
 
 // Keys returns all series keys, sorted for determinism.
 func (s *Store) Keys() []SeriesKey {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]SeriesKey, 0, len(s.series))
-	for k := range s.series {
-		keys = append(keys, k)
+	var keys []SeriesKey
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.series {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Device != keys[j].Device {
@@ -120,33 +314,95 @@ func (s *Store) Keys() []SeriesKey {
 	return keys
 }
 
+// snapshot captures a consistent view of one series: the immutable sealed
+// slice plus a copy of the head points overlapping [from, to). The head
+// copy is bounded by the chunk size; the sealed chunks are processed
+// lock-free after the shard lock is released.
+func (s *Store) snapshot(key SeriesKey, from, to time.Time) (sealed []*chunk, head []Point, ok bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	sr := sh.series[key]
+	if sr == nil {
+		sh.mu.RUnlock()
+		return nil, nil, false
+	}
+	sealed = sr.loadSealed()
+	lo := searchPoints(sr.head, from)
+	hi := searchPoints(sr.head, to)
+	if lo < hi {
+		head = make([]Point, hi-lo)
+		copy(head, sr.head[lo:hi])
+	}
+	sh.mu.RUnlock()
+	return sealed, head, true
+}
+
+// Iter streams the points of key in [from, to) to fn in timestamp order,
+// without materialising the range. fn returning false stops the iteration.
+// fn runs outside the store's locks, so it may call back into the store.
+func (s *Store) Iter(key SeriesKey, from, to time.Time, fn func(Point) bool) {
+	sealed, head, ok := s.snapshot(key, from, to)
+	if !ok {
+		return
+	}
+	for _, c := range sealed {
+		if c.last.At.Before(from) {
+			continue
+		}
+		if !c.first.At.Before(to) {
+			break
+		}
+		for _, p := range c.pts[searchPoints(c.pts, from):] {
+			if !p.At.Before(to) {
+				break
+			}
+			if !fn(p) {
+				return
+			}
+		}
+	}
+	for _, p := range head {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
 // Range returns a copy of the points in [from, to) for key, in order.
 func (s *Store) Range(key SeriesKey, from, to time.Time) []Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[key]
-	if sr == nil {
-		return nil
-	}
-	lo := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(from) })
-	hi := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(to) })
-	if lo >= hi {
-		return nil
-	}
-	out := make([]Point, hi-lo)
-	copy(out, sr.pts[lo:hi])
+	var out []Point
+	s.Iter(key, from, to, func(p Point) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
 // Latest returns the most recent point for key, and whether one exists.
 func (s *Store) Latest(key SeriesKey) (Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[key]
-	if sr == nil || len(sr.pts) == 0 {
-		return Point{}, false
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sr := sh.series[key]; sr != nil {
+		return sr.latestLocked()
 	}
-	return sr.pts[len(sr.pts)-1], true
+	return Point{}, false
+}
+
+// ForEachLatest calls fn with the most recent point of every series. It
+// walks each shard once under its read lock, so it is much cheaper than
+// Keys+Latest per key at fleet scale. fn runs under a shard lock and must
+// not call back into the store; iteration order is unspecified.
+func (s *Store) ForEachLatest(fn func(SeriesKey, Point)) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, sr := range sh.series {
+			if p, ok := sr.latestLocked(); ok {
+				fn(k, p)
+			}
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // Aggregate summarises the points of key in [from, to).
@@ -158,68 +414,210 @@ type Aggregate struct {
 	Sum   float64
 }
 
-// Summarize computes an Aggregate over [from, to). Count==0 means no data.
-func (s *Store) Summarize(key SeriesKey, from, to time.Time) Aggregate {
-	pts := s.Range(key, from, to)
-	agg := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
-	for _, p := range pts {
-		agg.Count++
-		agg.Sum += p.Value
-		agg.Min = math.Min(agg.Min, p.Value)
-		agg.Max = math.Max(agg.Max, p.Value)
+func (a *Aggregate) addPoint(v float64) {
+	a.Count++
+	a.Sum += v
+	if v < a.Min {
+		a.Min = v
 	}
-	if agg.Count > 0 {
-		agg.Mean = agg.Sum / float64(agg.Count)
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+func (a *Aggregate) addChunk(c *chunk) {
+	a.Count += c.count
+	a.Sum += c.sum
+	if c.min < a.Min {
+		a.Min = c.min
+	}
+	if c.max > a.Max {
+		a.Max = c.max
+	}
+}
+
+func (a *Aggregate) finalize() {
+	if a.Count > 0 {
+		a.Mean = a.Sum / float64(a.Count)
 	} else {
-		agg.Min, agg.Max = 0, 0
+		a.Min, a.Max = 0, 0
 	}
+}
+
+// aggregateRange accumulates the points of pts within [from, to) into agg.
+func aggregateRange(agg *Aggregate, pts []Point, from, to time.Time) {
+	for _, p := range pts[searchPoints(pts, from):] {
+		if !p.At.Before(to) {
+			break
+		}
+		agg.addPoint(p.Value)
+	}
+}
+
+// Summarize computes an Aggregate over [from, to). Count==0 means no data.
+//
+// This is the aggregate-pushdown path: chunks fully inside the range
+// contribute their precomputed summary, only the at-most-two edge chunks
+// are scanned (in place — sealed chunks are immutable, so the scan runs on
+// a lock-free snapshot), and the head run is aggregated under the shard
+// read lock. No points are copied and nothing is allocated.
+func (s *Store) Summarize(key SeriesKey, from, to time.Time) Aggregate {
+	agg := Aggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	sr := sh.series[key]
+	var sealed []*chunk
+	if sr != nil {
+		sealed = sr.loadSealed()
+		aggregateRange(&agg, sr.head, from, to)
+	}
+	sh.mu.RUnlock()
+	for _, c := range sealed {
+		if c.last.At.Before(from) {
+			continue
+		}
+		if !c.first.At.Before(to) {
+			break
+		}
+		if !c.first.At.Before(from) && c.last.At.Before(to) {
+			agg.addChunk(c) // fully covered: summary only
+		} else {
+			aggregateRange(&agg, c.pts, from, to) // edge chunk: partial scan
+		}
+	}
+	agg.finalize()
 	return agg
+}
+
+// WindowAggregate is one window of an AggregateWindows result, stamped at
+// the window start.
+type WindowAggregate struct {
+	Start time.Time
+	Aggregate
+}
+
+// AggregateWindows buckets the points of key in [from, to) into fixed
+// windows aligned to from and returns one Aggregate per non-empty window,
+// in order. Chunks that fall entirely inside one window contribute their
+// precomputed summary; only edge and window-straddling chunks are scanned.
+func (s *Store) AggregateWindows(key SeriesKey, from, to time.Time, window time.Duration) ([]WindowAggregate, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive window %v", window)
+	}
+	if !from.Before(to) {
+		return nil, nil
+	}
+	sealed, head, ok := s.snapshot(key, from, to)
+	if !ok {
+		return nil, nil
+	}
+
+	var out []WindowAggregate
+	cur := WindowAggregate{}
+	curIdx := int64(-1)
+	winOf := func(at time.Time) int64 { return int64(at.Sub(from) / window) }
+	startWin := func(idx int64) {
+		if cur.Count > 0 {
+			cur.finalize()
+			out = append(out, cur)
+		}
+		curIdx = idx
+		cur = WindowAggregate{
+			Start:     from.Add(time.Duration(idx) * window),
+			Aggregate: Aggregate{Min: math.Inf(1), Max: math.Inf(-1)},
+		}
+	}
+	addPoint := func(p Point) {
+		if idx := winOf(p.At); idx != curIdx {
+			startWin(idx)
+		}
+		cur.addPoint(p.Value)
+	}
+
+	for _, c := range sealed {
+		if c.last.At.Before(from) {
+			continue
+		}
+		if !c.first.At.Before(to) {
+			break
+		}
+		if !c.first.At.Before(from) && c.last.At.Before(to) && winOf(c.first.At) == winOf(c.last.At) {
+			// Whole chunk inside one window: summary pushdown.
+			if idx := winOf(c.first.At); idx != curIdx {
+				startWin(idx)
+			}
+			cur.addChunk(c)
+			continue
+		}
+		for _, p := range c.pts[searchPoints(c.pts, from):] {
+			if !p.At.Before(to) {
+				break
+			}
+			addPoint(p)
+		}
+	}
+	for _, p := range head {
+		addPoint(p)
+	}
+	if cur.Count > 0 {
+		cur.finalize()
+		out = append(out, cur)
+	}
+	return out, nil
 }
 
 // Downsample buckets the points of key in [from, to) into fixed windows and
 // returns one mean point per non-empty window, stamped at the window start.
 func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Point, error) {
-	if window <= 0 {
-		return nil, fmt.Errorf("timeseries: non-positive downsample window %v", window)
+	wins, err := s.AggregateWindows(key, from, to, window)
+	if err != nil || len(wins) == 0 {
+		return nil, err
 	}
-	pts := s.Range(key, from, to)
-	if len(pts) == 0 {
-		return nil, nil
+	out := make([]Point, len(wins))
+	for i, w := range wins {
+		out[i] = Point{At: w.Start, Value: w.Mean}
 	}
-	var out []Point
-	wStart := from
-	var sum float64
-	var n int
-	flush := func() {
-		if n > 0 {
-			out = append(out, Point{At: wStart, Value: sum / float64(n)})
-		}
-		sum, n = 0, 0
-	}
-	for _, p := range pts {
-		for !p.At.Before(wStart.Add(window)) {
-			flush()
-			wStart = wStart.Add(window)
-		}
-		sum += p.Value
-		n++
-	}
-	flush()
 	return out, nil
 }
 
-// DeleteBefore removes all points older than cutoff from every series and
-// returns how many points were dropped.
+// DeleteBefore removes all points older than cutoff from every series,
+// drops series left empty, and returns how many points were removed.
 func (s *Store) DeleteBefore(cutoff time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	for _, sr := range s.series {
-		i := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(cutoff) })
-		if i > 0 {
-			dropped += i
-			sr.pts = append(sr.pts[:0], sr.pts[i:]...)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, sr := range sh.series {
+			dropped += sr.deleteBeforeLocked(cutoff)
+			if sr.totalLocked() == 0 {
+				delete(sh.series, k)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return dropped
 }
+
+// Stats is a point-in-time inventory of the store.
+type Stats struct {
+	Series       int // live series
+	SealedChunks int // immutable summarised chunks
+	Points       int // total points, head runs included
+}
+
+// Stats walks every shard under its read lock and returns the inventory.
+func (s *Store) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, sr := range sh.series {
+			st.Series++
+			st.SealedChunks += len(sr.loadSealed())
+			st.Points += sr.totalLocked()
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// ShardCount returns the number of series shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
