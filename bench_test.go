@@ -1,6 +1,6 @@
 // Benchmarks regenerating every experiment in EXPERIMENTS.md. The paper
 // itself publishes no tables or figures (it is a 2-page overview), so each
-// benchmark reproduces one *claim* — see DESIGN.md §4 for the mapping.
+// benchmark reproduces one *claim* — see DESIGN.md for the mapping.
 //
 // Macro experiments (seasons, availability runs) execute once per
 // iteration and export their headline numbers via b.ReportMetric, so
@@ -268,7 +268,7 @@ func BenchmarkPartialViewBaseline(b *testing.B) {
 // --- Ablations -------------------------------------------------------------------
 
 // BenchmarkQoSOnLossyLink quantifies the QoS 0 vs QoS 1 delivery tradeoff
-// on a rural-grade lossy link (DESIGN.md §5 ablation).
+// on a rural-grade lossy link (DESIGN.md ablation).
 func BenchmarkQoSOnLossyLink(b *testing.B) {
 	for _, qos := range []byte{0, 1} {
 		b.Run(fmt.Sprintf("qos%d", qos), func(b *testing.B) {
@@ -340,7 +340,7 @@ func BenchmarkQoSOnLossyLink(b *testing.B) {
 }
 
 // BenchmarkSubscriptionThrottling measures notification suppression under
-// NGSI throttling (DESIGN.md §5 ablation).
+// NGSI throttling (DESIGN.md ablation).
 func BenchmarkSubscriptionThrottling(b *testing.B) {
 	for _, throttle := range []time.Duration{0, time.Second} {
 		b.Run(fmt.Sprintf("throttle-%v", throttle), func(b *testing.B) {
@@ -385,7 +385,7 @@ func BenchmarkSubscriptionThrottling(b *testing.B) {
 }
 
 // BenchmarkAnomalyWindow sweeps the DoS window length: longer windows
-// smooth bursts but delay detection (DESIGN.md §5 ablation).
+// smooth bursts but delay detection (DESIGN.md ablation).
 func BenchmarkAnomalyWindow(b *testing.B) {
 	for _, window := range []time.Duration{time.Second, 10 * time.Second, time.Minute} {
 		b.Run(fmt.Sprintf("window-%v", window), func(b *testing.B) {

@@ -1,9 +1,11 @@
 // Command swamp-sim runs SWAMP simulations from the command line: a full
 // pilot season through the real platform pipeline, the complete derived
 // experiment suite (the rows recorded in EXPERIMENTS.md), a context-plane
-// stress run that drives the sharded NGSI broker at fleet scale, or a
+// stress run that drives the sharded NGSI broker at fleet scale, a
 // telemetry-plane stress run that drives the chunked time-series engine
-// with fleet-scale append and aggregate-query load.
+// with fleet-scale append and aggregate-query load, or a transport-plane
+// stress run that fans MQTT publishes out to many subscribers with one
+// deliberately stalled session attached (queued vs synchronous delivery).
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	swamp-sim -ctxbench -devices 100000 -updates 1000000 -shards 16
 //	swamp-sim -tsbench -devices 10000 -points 5000000 -batch 256
 //	swamp-sim -tsbench -tslegacy ...                # same load, old engine
+//	swamp-sim -mqttbench -pubs 4 -fansubs 8 -msgs 2000 -stall 1ms
 package main
 
 import (
@@ -45,6 +48,13 @@ func main() {
 		chunk    = flag.Int("chunk", 0, "tsbench: points per sealed chunk (0 = default)")
 		qwindow  = flag.Duration("qwindow", time.Hour, "tsbench: downsample window for the query phase")
 		tslegacy = flag.Bool("tslegacy", false, "tsbench: drive the legacy flat-slice engine for comparison")
+
+		mqttbench = flag.Bool("mqttbench", false, "stress the MQTT broker fan-out instead of a season")
+		pubs      = flag.Int("pubs", 4, "mqttbench: concurrent publisher clients")
+		fansubs   = flag.Int("fansubs", 8, "mqttbench: healthy subscriber clients")
+		msgs      = flag.Int("msgs", 2000, "mqttbench: total messages published")
+		mqttqueue = flag.Int("mqttqueue", 0, "mqttbench: per-session outbound queue bound (0 = default)")
+		stall     = flag.Duration("stall", time.Millisecond, "mqttbench: per-write delay of the stalled session")
 	)
 	flag.Parse()
 
@@ -58,6 +68,13 @@ func main() {
 		if err := runCtxBench(ctxBenchConfig{
 			Devices: *devices, Updates: *updates, Shards: *shards,
 			Subs: *subs, Workers: *workers, Batch: *batch,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *mqttbench:
+		if err := runMQTTBench(mqttBenchConfig{
+			Pubs: *pubs, Subs: *fansubs, Msgs: *msgs, Queue: *mqttqueue, Stall: *stall,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

@@ -32,15 +32,17 @@ func main() {
 		httpAddr  = flag.String("http", "127.0.0.1:8026", "HTTP API listen address (empty disables)")
 		interval  = flag.Duration("interval", 2*time.Second, "sensor sampling / decision interval")
 		sealed    = flag.Bool("sealed", false, "enable secchan payload encryption")
+		mqttQueue = flag.Int("mqtt-queue", 0, "per-session MQTT outbound queue bound (0 = default)")
+		mqttRetry = flag.Duration("mqtt-retry", 0, "MQTT QoS 1 redelivery interval (0 = default 1s)")
 	)
 	flag.Parse()
-	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, *sealed); err != nil {
+	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, *sealed, *mqttQueue, *mqttRetry); err != nil {
 		fmt.Fprintln(os.Stderr, "swampd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, sealed bool) error {
+func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, sealed bool, mqttQueue int, mqttRetry time.Duration) error {
 	pilot, err := core.PilotByName(pilotName)
 	if err != nil {
 		return err
@@ -57,7 +59,10 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, s
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	p, err := core.New(core.Options{Pilot: pilot, Mode: mode, Sealed: sealed, Seed: time.Now().UnixNano()})
+	p, err := core.New(core.Options{
+		Pilot: pilot, Mode: mode, Sealed: sealed, Seed: time.Now().UnixNano(),
+		MQTTSessionQueue: mqttQueue, MQTTRetryInterval: mqttRetry,
+	})
 	if err != nil {
 		return err
 	}

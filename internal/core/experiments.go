@@ -24,7 +24,7 @@ func newWeatherGen(p Pilot, seed int64) (weatherGen, error) {
 
 // This file is the experiment harness behind EXPERIMENTS.md: one function
 // per derived experiment (the paper has no tables/figures of its own — see
-// DESIGN.md §4). The root bench file and cmd/swamp-sim both call these and
+// DESIGN.md). The root bench file and cmd/swamp-sim both call these and
 // print the same rows.
 
 // ModeRow is one EXP-A1 result line.

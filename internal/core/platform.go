@@ -151,6 +151,17 @@ type Options struct {
 	// simulated clock here: readings carry simulated timestamps, and
 	// evicting against wall time would silently delete the whole season.
 	TelemetryClock clock.Clock
+	// MQTTSessionQueue bounds each broker session's outbound queue
+	// (0 → mqtt.DefaultSessionQueueLen). A stalled subscriber overflows
+	// only its own queue; other sessions keep streaming.
+	MQTTSessionQueue int
+	// MQTTRetryInterval overrides the broker's QoS 1 redelivery /
+	// keepalive cadence (0 → 1s).
+	MQTTRetryInterval time.Duration
+	// TransportClock drives the MQTT broker's keepalive, QoS 1 redelivery
+	// and Tap timestamps (nil → wall clock). Simulations pass their
+	// simulated clock so retransmission behaviour is deterministic.
+	TransportClock clock.Clock
 }
 
 // Platform is one fully wired SWAMP deployment.
@@ -280,8 +291,11 @@ func New(opts Options) (*Platform, error) {
 
 	// --- transport plane ---
 	p.Broker = mqtt.NewBroker(mqtt.BrokerConfig{
-		Metrics: p.reg,
-		ACL:     p.brokerACL,
+		Metrics:         p.reg,
+		ACL:             p.brokerACL,
+		SessionQueueLen: opts.MQTTSessionQueue,
+		RetryInterval:   opts.MQTTRetryInterval,
+		Clock:           opts.TransportClock,
 	})
 	p.Broker.Tap = p.Anomaly.OnMessage
 	p.cleanups = append(p.cleanups, p.Broker.Close)

@@ -121,18 +121,28 @@ func seriesKey(r model.Reading) string {
 
 // Ingest accepts a batch from the local sensor plane: it refreshes the
 // local view, enqueues the batch for the cloud and opportunistically
-// flushes.
+// flushes. Invalid readings are skipped-and-counted (`fog.ingest.invalid`)
+// rather than failing the batch — one poisoned reading must not discard its
+// valid batchmates, mirroring the cloud ingestor's behaviour.
 func (n *Node) Ingest(batch []model.Reading) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	cp := make([]model.Reading, 0, len(batch))
+	invalid := 0
 	for _, r := range batch {
 		if err := r.Validate(); err != nil {
-			return fmt.Errorf("fog: %w", err)
+			invalid++
+			continue
 		}
+		cp = append(cp, r)
 	}
-	cp := make([]model.Reading, len(batch))
-	copy(cp, batch)
+	if invalid > 0 {
+		n.reg.Counter("fog.ingest.invalid").Add(uint64(invalid))
+	}
+	if len(cp) == 0 {
+		return nil
+	}
 
 	n.mu.Lock()
 	for _, r := range cp {

@@ -84,11 +84,47 @@ func TestIngestForwardsWhenOnline(t *testing.T) {
 func TestIngestValidates(t *testing.T) {
 	u := &fakeUplink{}
 	n, _ := NewNode(Config{Uplink: u.forward})
-	if err := n.Ingest([]model.Reading{{}}); err == nil {
-		t.Error("invalid reading accepted")
+	// An all-invalid batch is not an error (it must not look like a
+	// transport failure) — it is skipped and counted, like cloud.Ingestor.
+	if err := n.Ingest([]model.Reading{{}}); err != nil {
+		t.Errorf("all-invalid batch returned error: %v", err)
+	}
+	if got := n.Metrics().Counter("fog.ingest.invalid").Value(); got != 1 {
+		t.Errorf("fog.ingest.invalid = %d, want 1", got)
+	}
+	if u.received() != 0 {
+		t.Errorf("invalid readings forwarded: %d", u.received())
 	}
 	if err := n.Ingest(nil); err != nil {
 		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestIngestPoisonedBatchKeepsValidReadings: one invalid reading must not
+// discard its valid batchmates — they are ingested, forwarded and visible
+// in the latest view, while the poisoned reading is skipped and counted.
+func TestIngestPoisonedBatchKeepsValidReadings(t *testing.T) {
+	u := &fakeUplink{}
+	n, _ := NewNode(Config{Uplink: u.forward})
+	batch := []model.Reading{
+		reading("p1", 0.21, t0),
+		{}, // poisoned: fails Validate
+		reading("p2", 0.27, t0),
+	}
+	if err := n.Ingest(batch); err != nil {
+		t.Fatalf("poisoned batch rejected outright: %v", err)
+	}
+	if u.received() != 2 {
+		t.Errorf("cloud received %d readings, want the 2 valid ones", u.received())
+	}
+	if got := n.Metrics().Counter("fog.ingest.invalid").Value(); got != 1 {
+		t.Errorf("fog.ingest.invalid = %d, want 1", got)
+	}
+	if st := n.Stats(); st.Ingested != 2 {
+		t.Errorf("stats.Ingested = %d, want 2", st.Ingested)
+	}
+	if len(n.Latest()) != 2 {
+		t.Errorf("latest view has %d series, want 2", len(n.Latest()))
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/shardhash"
 )
 
 // AuthFunc authenticates a connecting client and returns an MQTT connect
@@ -31,23 +33,57 @@ type BrokerConfig struct {
 	// MaxRetries bounds QoS 1 redeliveries before the message is dropped
 	// (default 5).
 	MaxRetries int
+	// SessionQueueLen bounds each session's outbound queue in packets
+	// (default 256). When a session's queue is full, QoS 0 deliveries drop
+	// the oldest queued packet and QoS 1 deliveries are parked for the
+	// redelivery pass — either way only that session degrades.
+	SessionQueueLen int
+	// RetainedShards splits the retained-message store (default 8).
+	RetainedShards int
+	// CompatSyncDelivery restores the pre-queue fan-out: route() writes
+	// synchronously to every subscriber from the publisher's goroutine, so
+	// one slow subscriber head-of-line-blocks every publisher. Kept for
+	// benchmarking against the per-session queue path.
+	CompatSyncDelivery bool
+	// Clock drives keepalive, QoS 1 redelivery and Tap timestamps (nil →
+	// wall clock). Simulations pass clock.Sim so retransmission is
+	// deterministic.
+	Clock clock.Clock
 	// Metrics receives broker counters; nil allocates a private registry.
 	Metrics *metrics.Registry
 	// Logf receives diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
 
+// DefaultSessionQueueLen is the per-session outbound queue bound.
+const DefaultSessionQueueLen = 256
+
+// DefaultRetainedShards is the retained-store shard count.
+const DefaultRetainedShards = 8
+
 // Broker is an MQTT 3.1.1-subset message broker. Construct with NewBroker;
 // attach clients with Serve (TCP) and/or AttachTransport (simulated links).
+//
+// Concurrency: the session map, the subscription trie and the (sharded)
+// retained store each sit behind their own lock, so CONNECT storms,
+// SUBSCRIBE floods and PUBLISH routing never serialize on one mutex. Fan-out
+// is asynchronous: route() snapshots the matching sessions and enqueues onto
+// each session's bounded outbound queue; a dedicated writer goroutine per
+// session drains it, so a slow or dead subscriber overflows only its own
+// queue while every other session keeps streaming.
 type Broker struct {
 	cfg BrokerConfig
 	reg *metrics.Registry
+	clk clock.Clock
 
-	mu       sync.Mutex
+	sessMu   sync.RWMutex
 	sessions map[string]*session
-	subs     *subTree
-	retained map[string]retainedMsg
 	closed   bool
+
+	subMu sync.RWMutex
+	subs  *subTree
+
+	retained []*retainedShard
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -56,6 +92,8 @@ type Broker struct {
 	// sensor reading through publish/deliver, so per-message registry map
 	// lookups add up.
 	cPubIn, cPubDenied, cDeliverOut, cDeliverErr *metrics.Counter
+	cQueueDropped, cQueueParked                  *metrics.Counter
+	gQueueDepth                                  *metrics.Gauge
 
 	// Tap, if set, observes every PUBLISH routed by the broker. The anomaly
 	// detection layer uses it as its traffic feed. Must be set before
@@ -68,6 +106,12 @@ type retainedMsg struct {
 	qos     byte
 }
 
+// retainedShard is one lock's worth of the retained-message store.
+type retainedShard struct {
+	mu sync.RWMutex
+	m  map[string]retainedMsg
+}
+
 // NewBroker constructs a broker ready to accept transports.
 func NewBroker(cfg BrokerConfig) *Broker {
 	if cfg.RetryInterval <= 0 {
@@ -76,29 +120,51 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
 	}
+	if cfg.SessionQueueLen <= 0 {
+		cfg.SessionQueueLen = DefaultSessionQueueLen
+	}
+	if cfg.RetainedShards <= 0 {
+		cfg.RetainedShards = DefaultRetainedShards
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	shards := make([]*retainedShard, cfg.RetainedShards)
+	for i := range shards {
+		shards[i] = &retainedShard{m: make(map[string]retainedMsg)}
+	}
 	return &Broker{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
+		clk:      cfg.Clock,
 		sessions: make(map[string]*session),
 		subs:     newSubTree(),
-		retained: make(map[string]retainedMsg),
+		retained: shards,
 		done:     make(chan struct{}),
 
-		cPubIn:      cfg.Metrics.Counter("mqtt.publish.in"),
-		cPubDenied:  cfg.Metrics.Counter("mqtt.publish.denied"),
-		cDeliverOut: cfg.Metrics.Counter("mqtt.deliver.out"),
-		cDeliverErr: cfg.Metrics.Counter("mqtt.deliver.err"),
+		cPubIn:        cfg.Metrics.Counter("mqtt.publish.in"),
+		cPubDenied:    cfg.Metrics.Counter("mqtt.publish.denied"),
+		cDeliverOut:   cfg.Metrics.Counter("mqtt.deliver.out"),
+		cDeliverErr:   cfg.Metrics.Counter("mqtt.deliver.err"),
+		cQueueDropped: cfg.Metrics.Counter("mqtt.queue.dropped"),
+		cQueueParked:  cfg.Metrics.Counter("mqtt.queue.parked"),
+		gQueueDepth:   cfg.Metrics.Gauge("mqtt.queue.depth"),
 	}
 }
 
 // Metrics returns the broker's metrics registry.
 func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// retainedFor returns the retained shard owning topic.
+func (b *Broker) retainedFor(topic string) *retainedShard {
+	return b.retained[shardhash.Index(len(b.retained), topic)]
+}
 
 // Serve accepts TCP connections on ln until the broker is closed or the
 // listener fails. It blocks; run it in a goroutine.
@@ -120,14 +186,14 @@ func (b *Broker) Serve(ln net.Listener) error {
 // AttachTransport hands a connected transport to the broker, which serves
 // it on its own goroutine until disconnect.
 func (b *Broker) AttachTransport(t Transport) {
-	b.mu.Lock()
+	b.sessMu.Lock()
 	if b.closed {
-		b.mu.Unlock()
+		b.sessMu.Unlock()
 		t.Close()
 		return
 	}
 	b.wg.Add(1)
-	b.mu.Unlock()
+	b.sessMu.Unlock()
 	go func() {
 		defer b.wg.Done()
 		b.serveTransport(t)
@@ -136,9 +202,9 @@ func (b *Broker) AttachTransport(t Transport) {
 
 // Close disconnects every client and waits for connection goroutines.
 func (b *Broker) Close() {
-	b.mu.Lock()
+	b.sessMu.Lock()
 	if b.closed {
-		b.mu.Unlock()
+		b.sessMu.Unlock()
 		return
 	}
 	b.closed = true
@@ -146,7 +212,7 @@ func (b *Broker) Close() {
 	for _, s := range b.sessions {
 		sessions = append(sessions, s)
 	}
-	b.mu.Unlock()
+	b.sessMu.Unlock()
 	close(b.done)
 	for _, s := range sessions {
 		s.close()
@@ -156,16 +222,20 @@ func (b *Broker) Close() {
 
 // SessionCount returns the number of connected clients.
 func (b *Broker) SessionCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.sessMu.RLock()
+	defer b.sessMu.RUnlock()
 	return len(b.sessions)
 }
 
 // RetainedCount returns the number of retained topics.
 func (b *Broker) RetainedCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.retained)
+	n := 0
+	for _, sh := range b.retained {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // session is one connected client.
@@ -176,17 +246,24 @@ type session struct {
 
 	mu       sync.Mutex
 	pending  map[uint16]*pendingPub
+	outq     []*Packet // bounded outbound queue, drained by the writer
 	nextID   uint16
 	lastSeen time.Time
 	keep     time.Duration
-	done     chan struct{}
 	closedFl bool
+
+	notify chan struct{} // cap 1: wakes the writer when outq fills
+	done   chan struct{}
 }
 
 type pendingPub struct {
 	pkt     *Packet
 	sentAt  time.Time
 	retries int
+	// parked marks a QoS 1 publish that never made it onto the outbound
+	// queue (overflow). The writer's retry pass sends it as a fresh
+	// transmission: no DUP flag, no retry charged.
+	parked bool
 }
 
 func (s *session) close() {
@@ -196,14 +273,20 @@ func (s *session) close() {
 		return
 	}
 	s.closedFl = true
+	dropped := len(s.outq)
+	s.outq = nil
 	s.mu.Unlock()
+	if dropped > 0 {
+		s.broker.gQueueDepth.Add(-float64(dropped))
+	}
 	close(s.done)
 	s.transport.Close()
 }
 
 func (s *session) touch() {
+	now := s.broker.clk.Now()
 	s.mu.Lock()
-	s.lastSeen = time.Now()
+	s.lastSeen = now
 	s.mu.Unlock()
 }
 
@@ -238,25 +321,34 @@ func (b *Broker) serveTransport(t Transport) {
 		transport: t,
 		broker:    b,
 		pending:   make(map[uint16]*pendingPub),
-		lastSeen:  time.Now(),
+		lastSeen:  b.clk.Now(),
 		keep:      time.Duration(first.KeepAliveSec) * time.Second,
+		notify:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
 
 	// Session takeover: a reconnect with the same client id displaces the
-	// old connection (3.1.1 §3.1.4).
-	b.mu.Lock()
+	// old connection (3.1.1 §3.1.4). Displace + strip subscriptions +
+	// install must be atomic under sessMu: publishing the new session
+	// before the old one's subscriptions are removed would let a racing
+	// route() deliver the old session's topics to the new transport, and a
+	// delayed removeAll would strip subscriptions the new client has
+	// already re-established. Nesting subMu inside sessMu is safe — no
+	// path acquires them in the opposite nesting.
+	b.sessMu.Lock()
 	if b.closed {
-		b.mu.Unlock()
+		b.sessMu.Unlock()
 		t.Close()
 		return
 	}
 	if old := b.sessions[s.id]; old != nil {
 		old.close()
+		b.subMu.Lock()
 		b.subs.removeAll(s.id)
+		b.subMu.Unlock()
 	}
 	b.sessions[s.id] = s
-	b.mu.Unlock()
+	b.sessMu.Unlock()
 
 	if err := t.WritePacket(&Packet{Type: CONNACK, ReturnCode: ConnAccepted}); err != nil {
 		b.dropSession(s)
@@ -264,11 +356,20 @@ func (b *Broker) serveTransport(t Transport) {
 	}
 	b.reg.Counter("mqtt.connect.accepted").Inc()
 
-	// QoS 1 redelivery + keepalive watchdog.
+	// Dedicated writer: drains the outbound queue and runs QoS 1
+	// redelivery. The keepalive watchdog stays a separate goroutine on
+	// purpose: a dead TCP peer can wedge the writer inside a blocking
+	// WritePacket forever, and only an independent watchdog can then drop
+	// the session (transport.Close unblocks the writer).
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		b.sessionJanitor(s)
+		b.sessionWriter(s)
+	}()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.keepaliveWatchdog(s)
 	}()
 
 	for {
@@ -323,26 +424,40 @@ func (b *Broker) handlePublish(s *session, pkt *Packet) {
 		_ = s.transport.WritePacket(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
 	}
 	if pkt.Retain {
-		b.mu.Lock()
-		if len(pkt.Payload) == 0 {
-			delete(b.retained, pkt.Topic)
-		} else {
-			b.retained[pkt.Topic] = retainedMsg{payload: pkt.Payload, qos: pkt.QoS}
-		}
-		b.mu.Unlock()
+		b.storeRetained(pkt.Topic, pkt.Payload, pkt.QoS)
 	}
 	if tap := b.Tap; tap != nil {
-		tap(s.id, pkt.Topic, pkt.Payload, time.Now())
+		tap(s.id, pkt.Topic, pkt.Payload, b.clk.Now())
 	}
 	b.route(pkt)
 }
 
-// route fans a publish out to matching subscribers.
+// storeRetained updates the retained store for topic; an empty payload
+// clears it (3.1.1 §3.3.1.3).
+func (b *Broker) storeRetained(topic string, payload []byte, qos byte) {
+	sh := b.retainedFor(topic)
+	sh.mu.Lock()
+	if len(payload) == 0 {
+		delete(sh.m, topic)
+	} else {
+		sh.m[topic] = retainedMsg{payload: payload, qos: qos}
+	}
+	sh.mu.Unlock()
+}
+
+// route fans a publish out to matching subscribers. It only snapshots and
+// enqueues — it never writes to a transport, so a stalled subscriber cannot
+// block the publisher's read goroutine.
 func (b *Broker) route(pkt *Packet) {
-	b.mu.Lock()
+	b.subMu.RLock()
 	matches := b.subs.match(pkt.Topic)
+	b.subMu.RUnlock()
+	if len(matches) == 0 {
+		return
+	}
 	targets := make([]*session, 0, len(matches))
 	qoss := make([]byte, 0, len(matches))
+	b.sessMu.RLock()
 	for id, subQoS := range matches {
 		if sess := b.sessions[id]; sess != nil {
 			targets = append(targets, sess)
@@ -353,29 +468,239 @@ func (b *Broker) route(pkt *Packet) {
 			qoss = append(qoss, q)
 		}
 	}
-	b.mu.Unlock()
+	b.sessMu.RUnlock()
 
 	for i, sess := range targets {
 		b.deliver(sess, pkt.Topic, pkt.Payload, qoss[i], false)
 	}
 }
 
-// deliver writes one PUBLISH to a subscriber, tracking it for redelivery if
-// QoS 1.
+// deliver hands one PUBLISH to a subscriber session, tracking it for
+// redelivery if QoS 1. On the default path the packet is enqueued for the
+// session's writer; with CompatSyncDelivery it is written in place.
 func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, retain bool) {
 	out := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
-	if qos == 1 {
-		s.mu.Lock()
-		id := s.allocPacketIDLocked()
-		out.PacketID = id
-		s.pending[id] = &pendingPub{pkt: out, sentAt: time.Now()}
-		s.mu.Unlock()
-	}
-	if err := s.transport.WritePacket(out); err != nil {
-		b.cDeliverErr.Inc()
+	if b.cfg.CompatSyncDelivery {
+		if qos == 1 {
+			s.mu.Lock()
+			if s.closedFl {
+				s.mu.Unlock()
+				return
+			}
+			id := s.allocPacketIDLocked()
+			out.PacketID = id
+			s.pending[id] = &pendingPub{pkt: out, sentAt: b.clk.Now()}
+			s.mu.Unlock()
+		}
+		if err := s.transport.WritePacket(out); err != nil {
+			b.cDeliverErr.Inc()
+			return
+		}
+		b.cDeliverOut.Inc()
 		return
 	}
-	b.cDeliverOut.Inc()
+	b.enqueue(s, out)
+}
+
+// enqueue places a delivery on s's bounded outbound queue. Overflow policy:
+// QoS 0 drops the oldest queued packet (fresh field state matters more than
+// stale history — the same call the fog queue makes); QoS 1 entries are
+// parked in the pending map for the writer's retry pass, which transmits
+// them once the queue drains. Either way, only this session degrades.
+func (b *Broker) enqueue(s *session, out *Packet) {
+	var dropped *Packet
+	s.mu.Lock()
+	if s.closedFl {
+		s.mu.Unlock()
+		return
+	}
+	if out.QoS == 1 {
+		// The pending map is the session's inflight window. Cap it at 4×
+		// the queue bound: past that the session is not draining at all
+		// (wedged transport), and tracking more would grow memory without
+		// bound — shed the newest delivery instead.
+		if len(s.pending) >= 4*b.cfg.SessionQueueLen {
+			s.mu.Unlock()
+			b.cQueueDropped.Inc()
+			return
+		}
+		id := s.allocPacketIDLocked()
+		out.PacketID = id
+		p := &pendingPub{pkt: out, sentAt: b.clk.Now()}
+		s.pending[id] = p
+		if len(s.outq) >= b.cfg.SessionQueueLen {
+			p.parked = true
+			s.mu.Unlock()
+			b.cQueueParked.Inc()
+			return
+		}
+	} else if len(s.outq) >= b.cfg.SessionQueueLen {
+		dropped = s.outq[0]
+		s.outq = s.outq[1:]
+	}
+	s.outq = append(s.outq, out)
+	s.mu.Unlock()
+
+	if dropped != nil {
+		if dropped.QoS == 1 {
+			// A queued QoS 1 packet is already tracked in pending; evicting
+			// it from the queue just converts it into a parked entry.
+			s.mu.Lock()
+			if p := s.pending[dropped.PacketID]; p != nil {
+				p.parked = true
+			}
+			s.mu.Unlock()
+			b.cQueueParked.Inc()
+		} else {
+			b.cQueueDropped.Inc()
+		}
+	} else {
+		b.gQueueDepth.Add(1)
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// sessionWriter is the per-session writer goroutine: it drains the outbound
+// queue, redelivers unacknowledged QoS 1 messages and enforces the
+// keepalive deadline. Keeping redelivery bookkeeping here means the only
+// contention on session.mu is the short enqueue/pop critical section.
+func (b *Broker) sessionWriter(s *session) {
+	retry := b.clk.After(b.cfg.RetryInterval)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-b.done:
+			return
+		case <-s.notify:
+			if !b.drainQueue(s) {
+				b.dropSession(s)
+				return
+			}
+		case now := <-retry:
+			retry = b.clk.After(b.cfg.RetryInterval)
+			// Drain before retrying: retransmitting (or transmitting
+			// parked entries) while older deliveries still sit unwritten
+			// in the queue would reorder QoS 1 streams and DUP-mark first
+			// transmissions.
+			if !b.drainQueue(s) || !b.retryPass(s, now) {
+				b.dropSession(s)
+				return
+			}
+		}
+	}
+}
+
+// drainQueue writes everything queued on s, batching pops so the lock is
+// held only to swap slices. It reports false on a write error.
+func (b *Broker) drainQueue(s *session) bool {
+	for {
+		s.mu.Lock()
+		batch := s.outq
+		s.outq = nil
+		s.mu.Unlock()
+		if len(batch) == 0 {
+			return true
+		}
+		b.gQueueDepth.Add(-float64(len(batch)))
+		qos1 := 0
+		for _, pkt := range batch {
+			if err := s.transport.WritePacket(pkt); err != nil {
+				b.cDeliverErr.Inc()
+				return false
+			}
+			if pkt.QoS == 1 {
+				qos1++
+			}
+			b.cDeliverOut.Inc()
+		}
+		if qos1 > 0 {
+			// The unacked clock starts at transmission, not enqueue —
+			// otherwise time spent waiting in the queue behind a slow link
+			// would be charged as retry/expiry time. One stamp pass per
+			// batch keeps s.mu traffic off the per-packet path.
+			now := b.clk.Now()
+			s.mu.Lock()
+			for _, pkt := range batch {
+				if pkt.QoS != 1 {
+					continue
+				}
+				if p := s.pending[pkt.PacketID]; p != nil {
+					p.sentAt = now
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// retryPass redelivers due QoS 1 messages (transmitting parked ones for
+// the first time) and expires messages past MaxRetries. It reports false
+// when the session must be dropped.
+func (b *Broker) retryPass(s *session, now time.Time) bool {
+	var resend []*Packet
+	s.mu.Lock()
+	for id, p := range s.pending {
+		if p.parked {
+			p.parked = false
+			p.sentAt = now
+			resend = append(resend, p.pkt)
+			continue
+		}
+		if now.Sub(p.sentAt) < b.cfg.RetryInterval {
+			continue
+		}
+		if p.retries >= b.cfg.MaxRetries {
+			delete(s.pending, id)
+			b.reg.Counter("mqtt.deliver.expired").Inc()
+			continue
+		}
+		p.retries++
+		p.sentAt = now
+		dup := *p.pkt
+		dup.Dup = true
+		resend = append(resend, &dup)
+	}
+	s.mu.Unlock()
+	for _, pkt := range resend {
+		if err := s.transport.WritePacket(pkt); err != nil {
+			b.cDeliverErr.Inc()
+			return false
+		}
+		if pkt.Dup {
+			b.reg.Counter("mqtt.deliver.retry").Inc()
+		} else {
+			b.cDeliverOut.Inc()
+		}
+	}
+	return true
+}
+
+// keepaliveWatchdog drops the session once it has been silent past 1.5×
+// its keepalive (3.1.1 §3.1.2.10). Independent of the writer goroutine so
+// a transport wedged mid-write still gets reaped — dropSession's
+// transport.Close is what unblocks the stuck writer.
+func (b *Broker) keepaliveWatchdog(s *session) {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-b.done:
+			return
+		case now := <-b.clk.After(b.cfg.RetryInterval):
+			s.mu.Lock()
+			expired := s.keep > 0 && now.Sub(s.lastSeen) > s.keep*3/2
+			s.mu.Unlock()
+			if expired {
+				b.cfg.Logf("mqtt broker: %s keepalive expired", s.id)
+				b.dropSession(s)
+				return
+			}
+		}
+	}
 }
 
 // allocPacketIDLocked returns the next free packet id; s.mu must be held.
@@ -412,10 +737,12 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 		accepted = append(accepted, Subscription{Filter: f.Filter, QoS: qos})
 	}
 
-	b.mu.Lock()
+	b.subMu.Lock()
 	for _, f := range accepted {
 		b.subs.add(f.Filter, s.id, f.QoS)
 	}
+	b.subMu.Unlock()
+
 	// Snapshot retained messages matching the new filters.
 	type retRef struct {
 		topic string
@@ -423,19 +750,24 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 		qos   byte
 	}
 	var rets []retRef
-	for topic, msg := range b.retained {
-		for _, f := range accepted {
-			if MatchTopic(f.Filter, topic) {
-				q := msg.qos
-				if f.QoS < q {
-					q = f.QoS
+	if len(accepted) > 0 {
+		for _, sh := range b.retained {
+			sh.mu.RLock()
+			for topic, msg := range sh.m {
+				for _, f := range accepted {
+					if MatchTopic(f.Filter, topic) {
+						q := msg.qos
+						if f.QoS < q {
+							q = f.QoS
+						}
+						rets = append(rets, retRef{topic: topic, msg: msg, qos: q})
+						break
+					}
 				}
-				rets = append(rets, retRef{topic: topic, msg: msg, qos: q})
-				break
 			}
+			sh.mu.RUnlock()
 		}
 	}
-	b.mu.Unlock()
 
 	_ = s.transport.WritePacket(&Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted})
 	for _, r := range rets {
@@ -445,71 +777,27 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 }
 
 func (b *Broker) handleUnsubscribe(s *session, pkt *Packet) {
-	b.mu.Lock()
+	b.subMu.Lock()
 	for _, f := range pkt.Filters {
 		b.subs.remove(f.Filter, s.id)
 	}
-	b.mu.Unlock()
+	b.subMu.Unlock()
 	_ = s.transport.WritePacket(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
-}
-
-// sessionJanitor periodically redelivers unacknowledged QoS 1 messages and
-// enforces the keepalive deadline.
-func (b *Broker) sessionJanitor(s *session) {
-	tick := time.NewTicker(b.cfg.RetryInterval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-b.done:
-			return
-		case now := <-tick.C:
-			var resend []*Packet
-			expired := false
-			s.mu.Lock()
-			for id, p := range s.pending {
-				if now.Sub(p.sentAt) < b.cfg.RetryInterval {
-					continue
-				}
-				if p.retries >= b.cfg.MaxRetries {
-					delete(s.pending, id)
-					b.reg.Counter("mqtt.deliver.expired").Inc()
-					continue
-				}
-				p.retries++
-				p.sentAt = now
-				dup := *p.pkt
-				dup.Dup = true
-				resend = append(resend, &dup)
-			}
-			if s.keep > 0 && now.Sub(s.lastSeen) > s.keep*3/2 {
-				expired = true
-			}
-			s.mu.Unlock()
-			for _, pkt := range resend {
-				if err := s.transport.WritePacket(pkt); err != nil {
-					break
-				}
-				b.reg.Counter("mqtt.deliver.retry").Inc()
-			}
-			if expired {
-				b.cfg.Logf("mqtt broker: %s keepalive expired", s.id)
-				b.dropSession(s)
-				return
-			}
-		}
-	}
 }
 
 // dropSession removes s from the broker and closes its transport.
 func (b *Broker) dropSession(s *session) {
-	b.mu.Lock()
-	if b.sessions[s.id] == s {
+	b.sessMu.Lock()
+	owner := b.sessions[s.id] == s
+	if owner {
 		delete(b.sessions, s.id)
-		b.subs.removeAll(s.id)
 	}
-	b.mu.Unlock()
+	b.sessMu.Unlock()
+	if owner {
+		b.subMu.Lock()
+		b.subs.removeAll(s.id)
+		b.subMu.Unlock()
+	}
 	s.close()
 }
 
@@ -520,9 +808,9 @@ var errBrokerClosed = errors.New("mqtt: broker closed")
 // node uses this to replay its store-and-forward queue into the cloud
 // broker after a partition heals.
 func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte, retain bool) error {
-	b.mu.Lock()
+	b.sessMu.RLock()
 	closed := b.closed
-	b.mu.Unlock()
+	b.sessMu.RUnlock()
 	if closed {
 		return errBrokerClosed
 	}
@@ -535,16 +823,10 @@ func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte,
 	}
 	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
 	if retain {
-		b.mu.Lock()
-		if len(payload) == 0 {
-			delete(b.retained, topic)
-		} else {
-			b.retained[topic] = retainedMsg{payload: payload, qos: qos}
-		}
-		b.mu.Unlock()
+		b.storeRetained(topic, payload, qos)
 	}
 	if tap := b.Tap; tap != nil {
-		tap(clientID, topic, payload, time.Now())
+		tap(clientID, topic, payload, b.clk.Now())
 	}
 	b.cPubIn.Inc()
 	b.route(pkt)

@@ -210,19 +210,23 @@ func (c *Client) readLoop() {
 
 func (c *Client) dispatch(pkt *Packet) {
 	msg := Message{Topic: pkt.Topic, Payload: pkt.Payload, QoS: pkt.QoS, Retain: pkt.Retain, Dup: pkt.Dup}
+	// A message can match several overlapping filters (e.g. "farm/+/soil"
+	// and "farm/#"); every matching handler fires, not just the first.
 	c.mu.Lock()
-	var h Handler
+	var hs []Handler
 	for _, s := range c.subs {
 		if MatchTopic(s.filter, pkt.Topic) {
-			h = s.handler
-			break
+			hs = append(hs, s.handler)
 		}
 	}
-	if h == nil {
-		h = c.DefaultHandler
-	}
 	c.mu.Unlock()
-	if h != nil {
+	if len(hs) == 0 {
+		if h := c.DefaultHandler; h != nil {
+			h(msg)
+		}
+		return
+	}
+	for _, h := range hs {
 		h(msg)
 	}
 }
@@ -330,25 +334,57 @@ func (c *Client) Subscribe(filter string, qos byte, handler Handler) (byte, erro
 	defer c.dropAck(id)
 
 	// Register the handler before SUBACK so retained messages delivered
-	// immediately after the grant are not missed.
+	// immediately after the grant are not missed. A re-subscribe on the
+	// same filter replaces the previous handler: the broker keeps one
+	// subscription per (client, filter), so must the client — appending
+	// would leave a stale handler alive after Unsubscribe.
 	c.mu.Lock()
-	c.subs = append(c.subs, clientSub{filter: filter, handler: handler})
+	var prev Handler
+	replaced := false
+	for i, s := range c.subs {
+		if s.filter == filter {
+			prev = s.handler
+			c.subs[i].handler = handler
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		c.subs = append(c.subs, clientSub{filter: filter, handler: handler})
+	}
 	c.mu.Unlock()
+	// On failure, a fresh subscribe is removed outright; a failed
+	// re-subscribe restores the previous, still-granted handler — the
+	// broker keeps delivering for the old grant either way.
+	rollback := func() {
+		if !replaced {
+			c.removeSub(filter)
+			return
+		}
+		c.mu.Lock()
+		for i, s := range c.subs {
+			if s.filter == filter {
+				c.subs[i].handler = prev
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
 
 	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, Filters: []Subscription{{Filter: filter, QoS: qos}}}
 	if err := c.t.WritePacket(pkt); err != nil {
-		c.removeSub(filter)
+		rollback()
 		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, err)
 	}
 	select {
 	case ack := <-ch:
 		if len(ack.GrantedQoS) != 1 || ack.GrantedQoS[0] == 0x80 {
-			c.removeSub(filter)
+			rollback()
 			return 0, fmt.Errorf("mqtt subscribe %q: rejected by broker", filter)
 		}
 		return ack.GrantedQoS[0], nil
 	case <-time.After(c.cfg.AckTimeout):
-		c.removeSub(filter)
+		rollback()
 		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, ErrAckTimeout)
 	case <-c.done:
 		return 0, ErrClientClosed
@@ -380,12 +416,13 @@ func (c *Client) Unsubscribe(filter string) error {
 func (c *Client) removeSub(filter string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, s := range c.subs {
-		if s.filter == filter {
-			c.subs = append(c.subs[:i], c.subs[i+1:]...)
-			return
+	kept := c.subs[:0]
+	for _, s := range c.subs {
+		if s.filter != filter {
+			kept = append(kept, s)
 		}
 	}
+	c.subs = kept
 }
 
 // Ping sends a PINGREQ and waits for the PINGRESP, useful as a liveness

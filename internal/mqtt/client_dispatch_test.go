@@ -1,0 +1,125 @@
+package mqtt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientOverlappingSubscriptions: a message matching several filters
+// fires every matching handler, not just the first registered one.
+func TestClientOverlappingSubscriptions(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	pub := newTestPair(t, b, "pub")
+	sub := newTestPair(t, b, "sub")
+
+	var narrow, wide atomic.Int32
+	if _, err := sub.Subscribe("farm/+/soil", 0, func(Message) { narrow.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe("farm/#", 0, func(Message) { wide.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := pub.Publish("farm/f1/soil", []byte("0.2"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return narrow.Load() == 1 && wide.Load() == 1 })
+
+	// A topic matching only the wide filter fires only that handler.
+	if err := pub.Publish("farm/f1/weather", []byte("30"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return wide.Load() == 2 })
+	time.Sleep(20 * time.Millisecond)
+	if narrow.Load() != 1 {
+		t.Errorf("narrow handler fired %d times, want 1", narrow.Load())
+	}
+}
+
+// TestFailedResubscribeKeepsPreviousHandler: when a re-subscribe on an
+// already-granted filter is rejected by the broker, the previous handler
+// must be restored — the broker still delivers for the original grant, and
+// losing the handler would silently drop those messages.
+func TestFailedResubscribeKeepsPreviousHandler(t *testing.T) {
+	var denySubs atomic.Bool
+	b := NewBroker(BrokerConfig{
+		ACL: func(clientID, topic string, write bool) bool {
+			return write || !denySubs.Load()
+		},
+	})
+	defer b.Close()
+	pub := newTestPair(t, b, "pub")
+	sub := newTestPair(t, b, "sub")
+
+	var got atomic.Int32
+	if _, err := sub.Subscribe("rs/t", 0, func(Message) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	denySubs.Store(true)
+	if _, err := sub.Subscribe("rs/t", 0, func(Message) {}); err == nil {
+		t.Fatal("denied re-subscribe succeeded")
+	}
+	// The original grant is intact broker-side; the original handler must
+	// still fire.
+	if err := pub.Publish("rs/t", []byte("v"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return got.Load() == 1 })
+}
+
+// TestClientResubscribeReplacesHandler: subscribing twice to the same
+// filter replaces the handler instead of accumulating entries, and
+// Unsubscribe removes the subscription entirely — no stale handler keeps
+// firing on messages the broker no longer tracks for this client.
+func TestClientResubscribeReplacesHandler(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	pub := newTestPair(t, b, "pub")
+	sub := newTestPair(t, b, "sub")
+
+	var first, second atomic.Int32
+	if _, err := sub.Subscribe("re/t", 0, func(Message) { first.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Subscribe("re/t", 0, func(Message) { second.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("re/t", []byte("1"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return second.Load() == 1 })
+	if first.Load() != 0 {
+		t.Errorf("replaced handler still fired %d times", first.Load())
+	}
+
+	// After Unsubscribe no handler remains: a broker-side message for the
+	// filter (published before the broker processes anything further) must
+	// not reach either handler, and the default handler must not see
+	// messages for a filter that was never re-added.
+	if err := sub.Unsubscribe("re/t"); err != nil {
+		t.Fatal(err)
+	}
+	var stray atomic.Int32
+	sub.DefaultHandler = func(Message) { stray.Add(1) }
+	if err := pub.Publish("re/t", []byte("2"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if second.Load() != 1 || first.Load() != 0 {
+		t.Errorf("stale handler fired after unsubscribe: first=%d second=%d", first.Load(), second.Load())
+	}
+	if stray.Load() != 0 {
+		t.Errorf("broker delivered %d messages after unsubscribe", stray.Load())
+	}
+
+	// The client's sub table is actually empty (removeSub removed every
+	// entry, not just the first).
+	sub.mu.Lock()
+	n := len(sub.subs)
+	sub.mu.Unlock()
+	if n != 0 {
+		t.Errorf("client retains %d subscription entries after unsubscribe", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/simnet"
@@ -128,6 +129,74 @@ func (t *SimTransport) Close() error {
 
 // RemoteAddr implements Transport.
 func (t *SimTransport) RemoteAddr() string { return "sim:" + t.name }
+
+// SlowTransport is a broker-side Transport with no real peer: inbound
+// packets are injected by the driver and every outbound PUBLISH write costs
+// Delay — a subscriber consuming slower than the farm publishes. Benchmarks
+// and the swamp-sim -mqttbench stress tool use it to model a wedged link
+// without standing up a socket. A Delay of 0 models a subscriber that sinks
+// instantly.
+type SlowTransport struct {
+	// Delay is charged on every PUBLISH write. Immutable after Attach.
+	Delay time.Duration
+
+	in     chan *Packet
+	closed chan struct{}
+	once   sync.Once
+	pubs   atomic.Int64
+}
+
+// NewSlowTransport builds a SlowTransport with the given per-PUBLISH delay.
+func NewSlowTransport(delay time.Duration) *SlowTransport {
+	return &SlowTransport{Delay: delay, in: make(chan *Packet, 16), closed: make(chan struct{})}
+}
+
+// Inject feeds one inbound packet (CONNECT, SUBSCRIBE, ...) to the broker.
+func (t *SlowTransport) Inject(p *Packet) { t.in <- p }
+
+// PublishCount reports how many PUBLISH packets the broker managed to write.
+func (t *SlowTransport) PublishCount() int64 { return t.pubs.Load() }
+
+// WritePacket implements Transport.
+func (t *SlowTransport) WritePacket(p *Packet) error {
+	if p.Type == PUBLISH && t.Delay > 0 {
+		timer := time.NewTimer(t.Delay)
+		select {
+		case <-timer.C:
+		case <-t.closed:
+			timer.Stop()
+			return ErrTransportClosed
+		}
+	}
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	if p.Type == PUBLISH {
+		t.pubs.Add(1)
+	}
+	return nil
+}
+
+// ReadPacket implements Transport.
+func (t *SlowTransport) ReadPacket() (*Packet, error) {
+	select {
+	case p := <-t.in:
+		return p, nil
+	case <-t.closed:
+		return nil, ErrTransportClosed
+	}
+}
+
+// Close implements Transport.
+func (t *SlowTransport) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	return nil
+}
+
+// RemoteAddr implements Transport.
+func (t *SlowTransport) RemoteAddr() string { return "slow" }
 
 // NewSimPair builds a connected (client, broker-side) transport pair over a
 // fresh simnet duplex with cfg impairments. Closing either side closes the
