@@ -47,7 +47,7 @@ func newBenchBroker(b *testing.B, cfg ngsi.BrokerConfig) *ngsi.Broker {
 		if _, err := ctx.Subscribe(ngsi.Subscription{
 			EntityIDPattern: pattern,
 			ConditionAttrs:  []string{"soilMoisture_d20"},
-			Handler:         handler,
+			Notifier:        ngsi.Callback(handler),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -146,6 +146,98 @@ func BenchmarkBrokerBatchUpdate(b *testing.B) {
 			}
 			if err := ctx.BatchUpdate(batch); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBrokerFilteredQuery measures a selective northbound query
+// (~1% of a 8k-entity farm matches, page of 10) three ways: the
+// pre-redesign shape — clone the whole matching id/type space via
+// QueryEntities, then filter and page in the caller — against the query
+// engine's pushdown (filter + projection + limit evaluated inside the
+// shard scans), ordered and unordered.
+func BenchmarkBrokerFilteredQuery(b *testing.B) {
+	const queryEntities = 8192
+	seed := func(b *testing.B) *ngsi.Broker {
+		b.Helper()
+		ctx := ngsi.NewBroker(ngsi.BrokerConfig{})
+		b.Cleanup(ctx.Close)
+		for i := 0; i < queryEntities; i++ {
+			err := ctx.UpsertEntity(&ngsi.Entity{
+				ID: fmt.Sprintf("urn:bench:q:%05d", i), Type: "SoilProbe",
+				Attrs: map[string]ngsi.Attribute{
+					"soilMoisture_d20": {Type: "Number", Value: float64(i%1000) / 1000},
+					"soilMoisture_d50": {Type: "Number", Value: float64(i%500) / 1000},
+					"battery":          {Type: "Number", Value: 0.5},
+					"zone":             {Type: "Text", Value: fmt.Sprintf("zone-%d", i%16)},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ctx
+	}
+	conds, err := ngsi.ParseQ("soilMoisture_d20<0.01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const page = 10
+
+	b.Run("filter-after-clone", func(b *testing.B) {
+		ctx := seed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			all := ctx.QueryEntities("*", "SoilProbe") // clones everything
+			got := 0
+			for _, e := range all {
+				if v, ok := e.Attrs["soilMoisture_d20"].Float(); ok && v < 0.01 {
+					if got++; got == page {
+						break
+					}
+				}
+			}
+			if got != page {
+				b.Fatalf("matched %d", got)
+			}
+		}
+	})
+	b.Run("pushdown-ordered", func(b *testing.B) {
+		ctx := seed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ctx.Query(ngsi.Query{
+				Type: "SoilProbe", Conditions: conds,
+				OrderBy: ngsi.OrderByID, Limit: page,
+			})
+			if err != nil || len(res.Entities) != page {
+				b.Fatalf("%d entities, %v", len(res.Entities), err)
+			}
+		}
+	})
+	b.Run("pushdown-unordered", func(b *testing.B) {
+		ctx := seed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ctx.Query(ngsi.Query{
+				Type: "SoilProbe", Conditions: conds, Limit: page,
+			})
+			if err != nil || len(res.Entities) != page {
+				b.Fatalf("%d entities, %v", len(res.Entities), err)
+			}
+		}
+	})
+	b.Run("pushdown-projected", func(b *testing.B) {
+		ctx := seed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ctx.Query(ngsi.Query{
+				Type: "SoilProbe", Conditions: conds,
+				Attrs: []string{"soilMoisture_d20"}, OrderBy: ngsi.OrderByID, Limit: page,
+			})
+			if err != nil || len(res.Entities) != page {
+				b.Fatalf("%d entities, %v", len(res.Entities), err)
 			}
 		}
 	})

@@ -351,7 +351,7 @@ func BenchmarkSubscriptionThrottling(b *testing.B) {
 			if _, err := ctx.Subscribe(ngsi.Subscription{
 				EntityIDPattern: "*",
 				Throttling:      throttle,
-				Handler:         func(ngsi.Notification) { delivered.Add(1) },
+				Notifier:        ngsi.Callback(func(ngsi.Notification) { delivered.Add(1) }),
 			}); err != nil {
 				b.Fatal(err)
 			}

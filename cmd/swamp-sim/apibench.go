@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/httpapi"
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/identity"
+	"github.com/swamp-project/swamp/internal/security/oauth"
+	"github.com/swamp-project/swamp/internal/security/pep"
+)
+
+// apiBenchConfig parameterizes the northbound API stress run: filtered
+// queries against a seeded entity store, then webhook notification
+// fan-out with one deliberately stalled endpoint.
+type apiBenchConfig struct {
+	Devices int // entities seeded into the context broker
+	Queries int // filtered GET /v2/entities requests
+	Workers int // concurrent HTTP query clients
+	Subs    int // healthy webhook subscriptions (one stalled is added)
+	Updates int // entity updates driving notifications
+}
+
+// runAPIBench stands up the real HTTP facade (OAuth + PEP + query engine
+// + subscription CRUD) on a loopback listener and drives it the way an
+// application tier would: authenticated filtered queries with pagination
+// and count, then webhook subscriptions receiving NGSI notifications —
+// with a stalled endpoint attached to prove delivery isolation.
+func runAPIBench(cfg apiBenchConfig) error {
+	if cfg.Devices <= 0 || cfg.Queries <= 0 || cfg.Workers <= 0 || cfg.Subs <= 0 || cfg.Updates <= 0 {
+		return fmt.Errorf("apibench: devices, queries, workers, subs and updates must be positive")
+	}
+	reg := metrics.NewRegistry()
+	idm := identity.NewStore()
+	if err := idm.Register(identity.Principal{
+		ID: "bench-svc", Roles: []identity.Role{identity.RoleService},
+	}, "bench-secret"); err != nil {
+		return err
+	}
+	tokens := oauth.NewServer(idm, oauth.Config{})
+	pdp := pep.NewPDP(pep.Policy{
+		ID: "services-full", Roles: []identity.Role{identity.RoleService},
+		Actions: []string{"read", "subscribe"}, Effect: pep.Permit,
+	})
+	broker := ngsi.NewBroker(ngsi.BrokerConfig{Metrics: reg, QueueLen: 8192})
+	defer broker.Close()
+	pool := ngsi.NewWebhookPool(ngsi.WebhookConfig{
+		Metrics:          reg,
+		Client:           &http.Client{Timeout: 250 * time.Millisecond},
+		QueueLen:         cfg.Updates, // absorb the update burst; the stalled queue still overflows
+		RetryBackoff:     5 * time.Millisecond,
+		MaxRetries:       1,
+		FailureThreshold: 3,
+		OnStatus:         ngsi.StatusUpdater(broker),
+	})
+	defer pool.Close()
+	api, err := httpapi.NewServer(httpapi.Config{
+		Context: broker, Tokens: tokens, PEP: pep.NewPEP(tokens, pdp, reg),
+		Metrics: reg, Webhooks: pool,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, api) }()
+	base := "http://" + ln.Addr().String()
+
+	// Seed the store directly — the ingest path has its own bench.
+	for i := 0; i < cfg.Devices; i++ {
+		if err := broker.UpsertEntity(&ngsi.Entity{
+			ID: entityID(i), Type: "SoilProbe",
+			Attrs: map[string]ngsi.Attribute{
+				"soilMoisture": {Type: "Number", Value: float64(i%1000) / 1000},
+				"zone":         {Type: "Text", Value: fmt.Sprintf("zone-%d", i%16)},
+			},
+		}); err != nil {
+			return err
+		}
+	}
+
+	resp, err := http.PostForm(base+"/oauth/token", url.Values{
+		"grant_type": {"password"}, "username": {"bench-svc"}, "password": {"bench-secret"},
+	})
+	if err != nil {
+		return err
+	}
+	var tok struct {
+		AccessToken string `json:"access_token"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tok)
+	resp.Body.Close()
+	if err != nil || tok.AccessToken == "" {
+		return fmt.Errorf("apibench: token grant failed (%v)", err)
+	}
+
+	fmt.Printf("apibench: %d entities, %d queries x %d workers, %d subs, %d updates on %s\n",
+		cfg.Devices, cfg.Queries, cfg.Workers, cfg.Subs, cfg.Updates, base)
+
+	// --- phase 1: filtered queries ---
+	queryPaths := []string{
+		"/v2/entities?q=soilMoisture%3C0.05&limit=50&options=count",
+		"/v2/entities?q=soilMoisture%3E%3D0.9%3Bzone==zone-3&limit=20",
+		"/v2/entities?idPattern=urn:sim:dev:000*&attrs=soilMoisture&limit=100",
+		"/v2/entities?orderBy=!soilMoisture&limit=10",
+	}
+	var qerrs atomic.Uint64
+	client := &http.Client{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		perWorker := cfg.Queries / cfg.Workers
+		if w < cfg.Queries%cfg.Workers {
+			perWorker++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				req, _ := http.NewRequest("GET", base+queryPaths[(w+i)%len(queryPaths)], nil)
+				req.Header.Set("Authorization", "Bearer "+tok.AccessToken)
+				resp, err := client.Do(req)
+				if err != nil {
+					qerrs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					qerrs.Add(1)
+				}
+			}
+		}(w, perWorker)
+	}
+	wg.Wait()
+	qElapsed := time.Since(start)
+	fmt.Printf("queries: %d in %v (%.0f queries/s, %d errors)\n",
+		cfg.Queries, qElapsed.Round(time.Millisecond),
+		float64(cfg.Queries)/qElapsed.Seconds(), qerrs.Load())
+
+	// --- phase 2: webhook notification fan-out ---
+	var received atomic.Uint64
+	recvSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		received.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	})}
+	recvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer recvLn.Close()
+	go func() { _ = recvSrv.Serve(recvLn) }()
+	stallSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Second) // past the pool client timeout
+		w.WriteHeader(http.StatusNoContent)
+	})}
+	stallLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer stallLn.Close()
+	go func() { _ = stallSrv.Serve(stallLn) }()
+
+	mkSub := func(target string) error {
+		body := fmt.Sprintf(`{"subject":{"entities":[{"idPattern":"urn:sim:dev:*"}],
+			"condition":{"attrs":["soilMoisture"]}},
+			"notification":{"http":{"url":%q}}}`, target)
+		req, _ := http.NewRequest("POST", base+"/v2/subscriptions", strings.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+tok.AccessToken)
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("apibench: subscription create status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for i := 0; i < cfg.Subs; i++ {
+		if err := mkSub("http://" + recvLn.Addr().String() + "/hook"); err != nil {
+			return err
+		}
+	}
+	if err := mkSub("http://" + stallLn.Addr().String() + "/hook"); err != nil {
+		return err
+	}
+
+	start = time.Now()
+	for i := 0; i < cfg.Updates; i++ {
+		if err := broker.UpdateAttrs(entityID(i%cfg.Devices), "SoilProbe", map[string]ngsi.Attribute{
+			"soilMoisture": {Type: "Number", Value: float64(i%1000) / 1000},
+		}); err != nil {
+			return err
+		}
+	}
+	// Wait for the healthy subscriptions to drain. The stalled endpoint
+	// keeps timing out in the background bounded by its own queue, so the
+	// loop ends on the healthy target, a quiet period, or the deadline.
+	want := uint64(cfg.Updates * cfg.Subs)
+	deadline := time.Now().Add(30 * time.Second)
+	lastRecv := start
+	prev := uint64(0)
+	quiet := 0
+	for received.Load() < want && time.Now().Before(deadline) {
+		if got := received.Load(); got != prev {
+			prev, lastRecv, quiet = got, time.Now(), 0
+		} else if broker.QueueDepth() == 0 && pool.Depth() == 0 {
+			if quiet++; quiet > 40 { // ~200ms with nothing pending anywhere
+				break
+			}
+		} else {
+			quiet = 0
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if received.Load() != prev {
+		lastRecv = time.Now()
+	}
+	nElapsed := lastRecv.Sub(start)
+	if nElapsed <= 0 {
+		nElapsed = time.Since(start)
+	}
+	fmt.Printf("webhooks: %d/%d healthy notifications in %v (%.0f deliveries/s)\n",
+		received.Load(), want, nElapsed.Round(time.Millisecond),
+		float64(received.Load())/nElapsed.Seconds())
+	fmt.Printf("webhook counters: sent=%d failed=%d retries=%d dropped=%d depth=%d\n",
+		reg.Counter("ngsi.webhook.sent").Value(),
+		reg.Counter("ngsi.webhook.failed").Value(),
+		reg.Counter("ngsi.webhook.retries").Value(),
+		reg.Counter("ngsi.webhook.dropped").Value(),
+		pool.Depth())
+	// Give the stalled endpoint a moment to cross its consecutive-failure
+	// threshold so the status flip is visible in the report.
+	stalledFailed := 0
+	failDeadline := time.Now().Add(5 * time.Second)
+	for {
+		stalledFailed = 0
+		for _, v := range broker.Subscriptions() {
+			if v.Status == ngsi.SubFailed {
+				stalledFailed++
+			}
+		}
+		if stalledFailed > 0 || !time.Now().Before(failDeadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("subscriptions: %d total, %d failed (the stalled endpoint isolates to itself)\n",
+		broker.SubscriptionCount(), stalledFailed)
+	return nil
+}

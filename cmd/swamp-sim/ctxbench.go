@@ -46,7 +46,7 @@ func runCtxBench(cfg ctxBenchConfig) error {
 		if _, err := broker.Subscribe(ngsi.Subscription{
 			EntityIDPattern: pattern,
 			ConditionAttrs:  []string{"soilMoisture_d20"},
-			Handler:         handler,
+			Notifier:        ngsi.Callback(handler),
 		}); err != nil {
 			return err
 		}

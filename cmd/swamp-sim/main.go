@@ -15,6 +15,7 @@
 //	swamp-sim -tsbench -devices 10000 -points 5000000 -batch 256
 //	swamp-sim -tsbench -tslegacy ...                # same load, old engine
 //	swamp-sim -mqttbench -pubs 4 -fansubs 8 -msgs 2000 -stall 1ms
+//	swamp-sim -apibench -devices 10000 -apiqueries 10000 -apisubs 4 -apiupdates 2000
 package main
 
 import (
@@ -49,6 +50,11 @@ func main() {
 		qwindow  = flag.Duration("qwindow", time.Hour, "tsbench: downsample window for the query phase")
 		tslegacy = flag.Bool("tslegacy", false, "tsbench: drive the legacy flat-slice engine for comparison")
 
+		apibench   = flag.Bool("apibench", false, "stress the northbound HTTP API (filtered queries + webhook notifications)")
+		apiqueries = flag.Int("apiqueries", 10_000, "apibench: filtered GET /v2/entities requests")
+		apisubs    = flag.Int("apisubs", 4, "apibench: healthy webhook subscriptions (one stalled is added)")
+		apiupdates = flag.Int("apiupdates", 2_000, "apibench: entity updates driving notifications")
+
 		mqttbench = flag.Bool("mqttbench", false, "stress the MQTT broker fan-out instead of a season")
 		pubs      = flag.Int("pubs", 4, "mqttbench: concurrent publisher clients")
 		fansubs   = flag.Int("fansubs", 8, "mqttbench: healthy subscriber clients")
@@ -68,6 +74,14 @@ func main() {
 		if err := runCtxBench(ctxBenchConfig{
 			Devices: *devices, Updates: *updates, Shards: *shards,
 			Subs: *subs, Workers: *workers, Batch: *batch,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *apibench:
+		if err := runAPIBench(apiBenchConfig{
+			Devices: *devices, Queries: *apiqueries, Workers: *workers,
+			Subs: *apisubs, Updates: *apiupdates,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

@@ -34,15 +34,22 @@ func main() {
 		sealed    = flag.Bool("sealed", false, "enable secchan payload encryption")
 		mqttQueue = flag.Int("mqtt-queue", 0, "per-session MQTT outbound queue bound (0 = default)")
 		mqttRetry = flag.Duration("mqtt-retry", 0, "MQTT QoS 1 redelivery interval (0 = default 1s)")
+		whWorkers = flag.Int("webhook-workers", 0, "concurrent webhook notification deliveries (0 = default)")
+		whRetry   = flag.Duration("webhook-retry", 0, "first webhook retry backoff, doubling per attempt (0 = default)")
+		queryCap  = flag.Int("query-cap", 0, "hard cap on /v2/entities page sizes (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, *sealed, *mqttQueue, *mqttRetry); err != nil {
+	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, core.Options{
+		Sealed:           *sealed,
+		MQTTSessionQueue: *mqttQueue, MQTTRetryInterval: *mqttRetry,
+		WebhookWorkers: *whWorkers, WebhookRetry: *whRetry, QueryResultCap: *queryCap,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "swampd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, sealed bool, mqttQueue int, mqttRetry time.Duration) error {
+func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, opts core.Options) error {
 	pilot, err := core.PilotByName(pilotName)
 	if err != nil {
 		return err
@@ -59,10 +66,10 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, s
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	p, err := core.New(core.Options{
-		Pilot: pilot, Mode: mode, Sealed: sealed, Seed: time.Now().UnixNano(),
-		MQTTSessionQueue: mqttQueue, MQTTRetryInterval: mqttRetry,
-	})
+	opts.Pilot = pilot
+	opts.Mode = mode
+	opts.Seed = time.Now().UnixNano()
+	p, err := core.New(opts)
 	if err != nil {
 		return err
 	}
@@ -82,10 +89,13 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, s
 		api, err := httpapi.NewServer(httpapi.Config{
 			Context: p.Context, Tokens: p.Tokens, PEP: p.PEP,
 			Analytics: p.Analytics, Metrics: p.Metrics(),
+			Webhooks:      p.Webhooks,
+			QueryMaxLimit: opts.QueryResultCap,
 		})
 		if err != nil {
 			return err
 		}
+		defer api.Close()
 		httpLn, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			return err
@@ -96,9 +106,9 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, s
 				fmt.Fprintln(os.Stderr, "swampd: http:", err)
 			}
 		}()
-		fmt.Printf("swampd: http API on %s (POST /oauth/token, GET /v2/entities, /healthz, /metrics)\n", httpLn.Addr())
+		fmt.Printf("swampd: http API on %s (POST /oauth/token, GET /v2/entities?q=&limit=, /v2/subscriptions, /healthz, /metrics)\n", httpLn.Addr())
 	}
-	fmt.Printf("swampd: pilot=%s mode=%s mqtt=%s sealed=%v\n", pilot.Name, mode, ln.Addr(), sealed)
+	fmt.Printf("swampd: pilot=%s mode=%s mqtt=%s sealed=%v\n", pilot.Name, mode, ln.Addr(), opts.Sealed)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

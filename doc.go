@@ -8,6 +8,13 @@
 // scheduling, CBEC canal distribution), and the behavioral-baseline anomaly
 // detection the paper names as its central security challenge.
 //
+// Applications face the platform through the NGSI-v2 northbound HTTP
+// API (internal/httpapi): GET /v2/entities with filtered queries (q=),
+// attribute projection, ordering and pagination; subscription CRUD under
+// /v2/subscriptions with webhook (HTTP POST) notifications; batch ingest
+// via POST /v2/op/update; OAuth2 tokens at POST /oauth/token — every
+// data route behind the PEP.
+//
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, EXPERIMENTS.md for the derived experiment results, and
 // bench_test.go in this directory for the harness that regenerates every

@@ -93,10 +93,16 @@ func quantityKey(r model.Reading) string {
 	return string(r.Quantity)
 }
 
+// Notifier adapts the ingestor to the broker's Notifier interface — the
+// form a catch-all persistence subscription wires in.
+func (i *Ingestor) Notifier() ngsi.Notifier {
+	return ngsi.Callback(i.NotificationHandler())
+}
+
 // NotificationHandler adapts the ingestor to NGSI subscriptions: every
 // numeric attribute in a notification becomes a point in the entity's
-// series, landed through one batched append. Wire it as the handler of a
-// catch-all subscription.
+// series, landed through one batched append. Wire it (via Notifier) as
+// the handler of a catch-all subscription.
 func (i *Ingestor) NotificationHandler() ngsi.Handler {
 	return func(n ngsi.Notification) {
 		pts := make([]timeseries.BatchPoint, 0, len(n.Entity.Attrs))

@@ -77,7 +77,7 @@ func TestNotificationHandler(t *testing.T) {
 	defer ctx.Close()
 	if _, err := ctx.Subscribe(ngsi.Subscription{
 		EntityIDPattern: "*",
-		Handler:         ing.NotificationHandler(),
+		Notifier:        ing.Notifier(),
 	}); err != nil {
 		t.Fatal(err)
 	}

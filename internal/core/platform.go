@@ -162,6 +162,16 @@ type Options struct {
 	// and Tap timestamps (nil → wall clock). Simulations pass their
 	// simulated clock so retransmission behaviour is deterministic.
 	TransportClock clock.Clock
+	// WebhookWorkers bounds concurrent outbound webhook deliveries
+	// (0 → ngsi.DefaultWebhookWorkers).
+	WebhookWorkers int
+	// WebhookRetry is the first webhook retry backoff, doubling per
+	// attempt (0 → ngsi.DefaultWebhookBackoff).
+	WebhookRetry time.Duration
+	// QueryResultCap is the hard cap on northbound query page sizes the
+	// HTTP API enforces (0 → httpapi.DefaultQueryCap). The platform
+	// records it here; swampd passes it to the API server.
+	QueryResultCap int
 }
 
 // Platform is one fully wired SWAMP deployment.
@@ -169,9 +179,10 @@ type Platform struct {
 	Opts Options
 
 	// Transport and context plane.
-	Broker  *mqtt.Broker
-	Context *ngsi.Broker
-	Agent   *agent.Agent
+	Broker   *mqtt.Broker
+	Context  *ngsi.Broker
+	Agent    *agent.Agent
+	Webhooks *ngsi.WebhookPool
 
 	// Security plane (§III).
 	IDM     *identity.Store
@@ -250,6 +261,14 @@ func New(opts Options) (*Platform, error) {
 			Effect:          pep.Permit,
 		},
 		pep.Policy{
+			ID:              "farmer-subscriptions",
+			Roles:           []identity.Role{identity.RoleFarmer, identity.RoleAgronomist},
+			Owners:          []string{owner},
+			Actions:         []string{"read", "subscribe"},
+			ResourcePattern: "subscriptions",
+			Effect:          pep.Permit,
+		},
+		pep.Policy{
 			ID:      "services-full",
 			Roles:   []identity.Role{identity.RoleService},
 			Actions: []string{"read", "subscribe", "command"},
@@ -303,6 +322,13 @@ func New(opts Options) (*Platform, error) {
 	// --- context plane ---
 	p.Context = ngsi.NewBroker(ngsi.BrokerConfig{Metrics: p.reg, Shards: opts.ContextShards})
 	p.cleanups = append(p.cleanups, p.Context.Close)
+	p.Webhooks = ngsi.NewWebhookPool(ngsi.WebhookConfig{
+		Metrics:      p.reg,
+		Workers:      opts.WebhookWorkers,
+		RetryBackoff: opts.WebhookRetry,
+		OnStatus:     ngsi.StatusUpdater(p.Context),
+	})
+	p.cleanups = append(p.cleanups, p.Webhooks.Close)
 
 	// --- cloud plane ---
 	tsOpts := []timeseries.Option{
@@ -329,7 +355,7 @@ func New(opts Options) (*Platform, error) {
 	if _, err := p.Context.Subscribe(ngsi.Subscription{
 		ID:              "platform-telemetry",
 		EntityIDPattern: "*",
-		Handler:         p.onContextNotification,
+		Notifier:        ngsi.Callback(p.onContextNotification),
 	}); err != nil {
 		return nil, err
 	}

@@ -11,14 +11,24 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/cloud"
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/security/identity"
 	"github.com/swamp-project/swamp/internal/security/oauth"
 	"github.com/swamp-project/swamp/internal/security/pep"
+)
+
+// Query pagination defaults: every entity listing is bounded, so a
+// fleet-scale store can never produce an unbounded response body.
+const (
+	DefaultQueryLimit = 100
+	DefaultQueryCap   = 1000
 )
 
 // Config wires a Server.
@@ -33,12 +43,22 @@ type Config struct {
 	Analytics *cloud.Analytics
 	// Metrics is rendered at GET /metrics; nil allocates a private one.
 	Metrics *metrics.Registry
+	// Webhooks delivers subscription notifications; nil builds a private
+	// pool wired to Context (closed by Server.Close).
+	Webhooks *ngsi.WebhookPool
+	// QueryDefaultLimit is the page size applied when a listing request
+	// names none (0 → DefaultQueryLimit).
+	QueryDefaultLimit int
+	// QueryMaxLimit is the hard cap on requested page sizes
+	// (0 → DefaultQueryCap). Requests above it are rejected with 400.
+	QueryMaxLimit int
 }
 
 // Server is the HTTP facade. It implements http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	ownPool bool
 }
 
 // NewServer validates the config and builds the routing table.
@@ -49,13 +69,33 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.QueryDefaultLimit <= 0 {
+		cfg.QueryDefaultLimit = DefaultQueryLimit
+	}
+	if cfg.QueryMaxLimit <= 0 {
+		cfg.QueryMaxLimit = DefaultQueryCap
+	}
+	if cfg.QueryDefaultLimit > cfg.QueryMaxLimit {
+		cfg.QueryDefaultLimit = cfg.QueryMaxLimit
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if s.cfg.Webhooks == nil {
+		s.cfg.Webhooks = ngsi.NewWebhookPool(ngsi.WebhookConfig{
+			Metrics:  cfg.Metrics,
+			OnStatus: ngsi.StatusUpdater(cfg.Context),
+		})
+		s.ownPool = true
+	}
 	s.mux.HandleFunc("POST /oauth/token", s.handleToken)
 	s.mux.HandleFunc("GET /v2/entities", s.handleListEntities)
 	s.mux.HandleFunc("GET /v2/entities/{id}", s.handleGetEntity)
 	s.mux.HandleFunc("POST /v2/entities/{id}/attrs", s.handleUpdateAttrs)
 	s.mux.HandleFunc("POST /v2/op/update", s.handleBatchUpdate)
 	s.mux.HandleFunc("DELETE /v2/entities/{id}", s.handleDeleteEntity)
+	s.mux.HandleFunc("POST /v2/subscriptions", s.handleCreateSubscription)
+	s.mux.HandleFunc("GET /v2/subscriptions", s.handleListSubscriptions)
+	s.mux.HandleFunc("GET /v2/subscriptions/{id}", s.handleGetSubscription)
+	s.mux.HandleFunc("DELETE /v2/subscriptions/{id}", s.handleDeleteSubscription)
 	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}", s.handleAnalytics)
 	s.mux.HandleFunc("GET /v2/analytics/{device}/{quantity}/series", s.handleAnalyticsSeries)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -68,9 +108,62 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// Close releases resources the server owns (the private webhook pool,
+// when Config.Webhooks was nil).
+func (s *Server) Close() {
+	if s.ownPool {
+		s.cfg.Webhooks.Close()
+	}
+}
+
+// ServeHTTP implements http.Handler. Responses are routed through an
+// envelope writer so even mux-generated failures (unknown route, method
+// mismatch) carry the NGSI-v2 JSON error body instead of plain text.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+}
+
+// envelopeWriter rewrites non-JSON error responses (the mux's plain-text
+// 404/405 pages) into the standard error envelope. Handlers in this
+// package always set the JSON content type before writing an error, so
+// their bodies pass through untouched.
+type envelopeWriter struct {
+	http.ResponseWriter
+	suppressBody bool
+	wroteHeader  bool
+}
+
+func (e *envelopeWriter) WriteHeader(code int) {
+	if e.wroteHeader {
+		e.ResponseWriter.WriteHeader(code)
+		return
+	}
+	e.wroteHeader = true
+	ct := e.Header().Get("Content-Type")
+	if code < http.StatusBadRequest || strings.HasPrefix(ct, "application/json") {
+		e.ResponseWriter.WriteHeader(code)
+		return
+	}
+	e.suppressBody = true
+	e.Header().Set("Content-Type", "application/json")
+	e.ResponseWriter.WriteHeader(code)
+	kind := "error"
+	switch code {
+	case http.StatusNotFound:
+		kind = "not_found"
+	case http.StatusMethodNotAllowed:
+		kind = "method_not_allowed"
+	case http.StatusBadRequest:
+		kind = "bad_request"
+	}
+	_ = json.NewEncoder(e.ResponseWriter).Encode(apiError{Error: kind, Description: http.StatusText(code)})
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if e.suppressBody {
+		return len(b), nil // the plain-text body was replaced by the envelope
+	}
+	return e.ResponseWriter.Write(b)
 }
 
 // apiError is the JSON error envelope (Orion-style).
@@ -122,24 +215,26 @@ func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// authorize enforces bearer-token + PEP on a data route; it returns false
-// after writing the error response.
-func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resource string) bool {
+// authorize enforces bearer-token + PEP on a data route; it returns the
+// authenticated principal, or ok=false after writing the error response
+// (401 missing/invalid token, 403 PEP deny).
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resource string) (identity.Principal, bool) {
 	auth := r.Header.Get("Authorization")
 	const prefix = "Bearer "
 	if !strings.HasPrefix(auth, prefix) {
 		writeErr(w, http.StatusUnauthorized, "missing_token", "Authorization: Bearer required")
-		return false
+		return identity.Principal{}, false
 	}
-	if _, err := s.cfg.PEP.Authorize(strings.TrimPrefix(auth, prefix), action, resource); err != nil {
+	prin, err := s.cfg.PEP.Authorize(strings.TrimPrefix(auth, prefix), action, resource)
+	if err != nil {
 		if errors.Is(err, pep.ErrDenied) {
 			writeErr(w, http.StatusForbidden, "access_denied", err.Error())
 		} else {
 			writeErr(w, http.StatusUnauthorized, "invalid_token", "token rejected")
 		}
-		return false
+		return identity.Principal{}, false
 	}
-	return true
+	return prin, true
 }
 
 // entityJSON is the wire form of an entity.
@@ -153,18 +248,104 @@ func toJSON(e *ngsi.Entity) entityJSON {
 	return entityJSON{ID: e.ID, Type: e.Type, Attrs: e.Attrs}
 }
 
+// handleListEntities serves the NGSI-v2 query surface:
+//
+//	GET /v2/entities?idPattern=urn:farm1:*&type=SoilProbe&q=soilMoisture<0.2
+//	    &attrs=soilMoisture,zone&orderBy=id&limit=50&offset=100&options=count
+//
+// Every knob is pushed down into the broker's shard scans (filter,
+// projection, limit). The page size always applies — even a bare request
+// gets QueryDefaultLimit — so the legacy unpaginated listing can no
+// longer return an unbounded body. options=count adds the exact match
+// total as the Fiware-Total-Count header.
 func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
-	pattern := r.URL.Query().Get("idPattern")
+	// Parse the query string strictly: Go's lenient Query() silently
+	// drops pairs containing raw ';' — which would silently strip a
+	// client's q= filter. Conjunctions must encode ';' as %3B.
+	qs, err := url.ParseQuery(r.URL.RawQuery)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_query",
+			"malformed query string (encode ';' as %3B): "+err.Error())
+		return
+	}
+	pattern := qs.Get("idPattern")
 	if pattern == "" {
 		pattern = "*"
 	}
-	if !s.authorize(w, r, "read", "ngsi:"+pattern) {
+	if _, ok := s.authorize(w, r, "read", "ngsi:"+pattern); !ok {
 		return
 	}
-	entities := s.cfg.Context.QueryEntities(pattern, r.URL.Query().Get("type"))
-	out := make([]entityJSON, 0, len(entities))
-	for _, e := range entities {
+	conds, err := ngsi.ParseQ(qs.Get("q"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error())
+		return
+	}
+	limit := s.cfg.QueryDefaultLimit
+	if ls := qs.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_limit", ls)
+			return
+		}
+		if limit > s.cfg.QueryMaxLimit {
+			writeErr(w, http.StatusBadRequest, "invalid_limit",
+				fmt.Sprintf("limit %d exceeds maximum %d", limit, s.cfg.QueryMaxLimit))
+			return
+		}
+	}
+	// The offset shares the hard cap: per-request clone work scales
+	// with offset+limit, so an uncapped offset would let deep pagination
+	// reinstate the unbounded full-store clone this surface removed.
+	offset := 0
+	if os := qs.Get("offset"); os != "" {
+		offset, err = strconv.Atoi(os)
+		if err != nil || offset < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid_offset", os)
+			return
+		}
+		if offset > s.cfg.QueryMaxLimit {
+			writeErr(w, http.StatusBadRequest, "invalid_offset",
+				fmt.Sprintf("offset %d exceeds maximum %d; narrow the query instead", offset, s.cfg.QueryMaxLimit))
+			return
+		}
+	}
+	orderBy := qs.Get("orderBy")
+	switch orderBy {
+	case "":
+		orderBy = ngsi.OrderByID // deterministic pagination by default
+	case "none":
+		orderBy = "" // engine-level unordered mode: early-stop scan
+	}
+	var attrs []string
+	if as := qs.Get("attrs"); as != "" {
+		attrs = strings.Split(as, ",")
+	}
+	count := false
+	for _, opt := range strings.Split(qs.Get("options"), ",") {
+		if opt == "count" {
+			count = true
+		}
+	}
+	res, err := s.cfg.Context.Query(ngsi.Query{
+		IDPattern:  pattern,
+		Type:       qs.Get("type"),
+		Conditions: conds,
+		Attrs:      attrs,
+		OrderBy:    orderBy,
+		Limit:      limit,
+		Offset:     offset,
+		Count:      count,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error())
+		return
+	}
+	out := make([]entityJSON, 0, len(res.Entities))
+	for _, e := range res.Entities {
 		out = append(out, toJSON(e))
+	}
+	if count {
+		w.Header().Set("Fiware-Total-Count", strconv.Itoa(res.Total))
 	}
 	s.cfg.Metrics.Counter("httpapi.entities.list").Inc()
 	writeJSON(w, http.StatusOK, out)
@@ -172,7 +353,7 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.authorize(w, r, "read", "ngsi:"+id) {
+	if _, ok := s.authorize(w, r, "read", "ngsi:"+id); !ok {
 		return
 	}
 	e, err := s.cfg.Context.GetEntity(id)
@@ -192,7 +373,7 @@ type updateBody map[string]struct {
 
 func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.authorize(w, r, "write", "ngsi:"+id) {
+	if _, ok := s.authorize(w, r, "write", "ngsi:"+id); !ok {
 		return
 	}
 	var body updateBody
@@ -246,7 +427,7 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	updates := make(map[string]ngsi.BatchEntry, len(body.Entities))
 	for _, e := range body.Entities {
-		if !s.authorize(w, r, "write", "ngsi:"+e.ID) {
+		if _, ok := s.authorize(w, r, "write", "ngsi:"+e.ID); !ok {
 			return
 		}
 		typ := e.Type
@@ -280,7 +461,7 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.authorize(w, r, "write", "ngsi:"+id) {
+	if _, ok := s.authorize(w, r, "write", "ngsi:"+id); !ok {
 		return
 	}
 	if err := s.cfg.Context.DeleteEntity(id); err != nil {
@@ -314,7 +495,7 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	}
 	device := r.PathValue("device")
 	quantity := r.PathValue("quantity")
-	if !s.authorize(w, r, "read", "series:"+device) {
+	if _, ok := s.authorize(w, r, "read", "series:"+device); !ok {
 		return
 	}
 	from, to, ok := s.analyticsRange(w, r)
@@ -350,7 +531,7 @@ func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
 	}
 	device := r.PathValue("device")
 	quantity := r.PathValue("quantity")
-	if !s.authorize(w, r, "read", "series:"+device) {
+	if _, ok := s.authorize(w, r, "read", "series:"+device); !ok {
 		return
 	}
 	from, to, ok := s.analyticsRange(w, r)

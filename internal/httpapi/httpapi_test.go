@@ -26,6 +26,13 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T) *fixture {
+	return newFixtureWith(t, nil)
+}
+
+// newFixtureWith builds the standard two-tenant fixture, letting the
+// test tweak the server Config (webhook pool, query limits) before the
+// server is constructed.
+func newFixtureWith(t *testing.T, tweak func(*Config)) *fixture {
 	t.Helper()
 	idm := identity.NewStore()
 	if err := idm.Register(identity.Principal{
@@ -48,6 +55,15 @@ func newFixture(t *testing.T) *fixture {
 			ID: "own-series", Roles: []identity.Role{identity.RoleFarmer},
 			Owners: []string{"farm1"}, ResourcePattern: "series:farm1-*", Effect: pep.Permit,
 		},
+		pep.Policy{
+			ID: "subscriptions", Roles: []identity.Role{identity.RoleFarmer},
+			Actions: []string{"read", "subscribe"}, ResourcePattern: "subscriptions",
+			Effect: pep.Permit,
+		},
+		pep.Policy{
+			ID: "outsider-ngsi", Roles: []identity.Role{identity.RoleFarmer},
+			Owners: []string{"farm2"}, ResourcePattern: "ngsi:urn:farm2:*", Effect: pep.Permit,
+		},
 	)
 	ctx := ngsi.NewBroker(ngsi.BrokerConfig{})
 	t.Cleanup(ctx.Close)
@@ -60,13 +76,18 @@ func newFixture(t *testing.T) *fixture {
 		t.Fatal(err)
 	}
 
-	s, err := NewServer(Config{
+	cfg := Config{
 		Context: ctx, Tokens: tokens, PEP: pep.NewPEP(tokens, pdp, nil),
 		Analytics: cloud.NewAnalytics(store),
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	s, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return &fixture{srv: ts, ctx: ctx, tokens: tokens}

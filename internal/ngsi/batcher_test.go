@@ -13,7 +13,7 @@ func TestBatcherCoalescesPerEntity(t *testing.T) {
 	b := NewBroker(BrokerConfig{})
 	defer b.Close()
 	var notes atomic.Int32
-	b.Subscribe(Subscription{EntityIDPattern: "*", Handler: func(Notification) { notes.Add(1) }})
+	b.Subscribe(Subscription{EntityIDPattern: "*", Notifier: Callback(func(Notification) { notes.Add(1) })})
 
 	var flushes atomic.Int32
 	var lastStats atomic.Value

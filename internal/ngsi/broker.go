@@ -49,8 +49,13 @@ type Subscription struct {
 	// Throttling suppresses notifications closer together than this,
 	// tracked per entity.
 	Throttling time.Duration
-	// Handler receives the notifications. Required.
-	Handler Handler
+	// Notifier receives the notifications. Required. In-process
+	// consumers wrap a function with Callback; HTTP subscriptions use an
+	// HTTPNotifier from a WebhookPool.
+	Notifier Notifier
+	// Owner is the tenant that created the subscription; the HTTP API
+	// scopes visibility and deletion to it. Empty for internal wiring.
+	Owner string
 }
 
 // BrokerConfig configures the context broker.
@@ -113,8 +118,8 @@ type shard struct {
 }
 
 type queuedNotification struct {
-	handler Handler
-	note    Notification
+	notifier Notifier
+	note     Notification
 }
 
 // NewBroker constructs a broker and starts one dispatcher per shard.
@@ -184,7 +189,7 @@ func (b *Broker) dispatch(sh *shard) {
 			for {
 				select {
 				case q := <-sh.queue:
-					q.handler(q.note)
+					q.notifier.Notify(q.note)
 					b.cDelivered.Inc()
 				default:
 					sh.depth.Set(0)
@@ -192,7 +197,7 @@ func (b *Broker) dispatch(sh *shard) {
 				}
 			}
 		case q := <-sh.queue:
-			q.handler(q.note)
+			q.notifier.Notify(q.note)
 			b.cDelivered.Inc()
 			sh.depth.Set(float64(len(sh.queue)))
 		}
@@ -384,24 +389,15 @@ func (b *Broker) GetEntity(id string) (*Entity, error) {
 }
 
 // QueryEntities returns copies of entities matching the id pattern and
-// (optional) type, sorted by id.
+// (optional) type, sorted by id. It is a thin compatibility wrapper over
+// Query; new callers should use Query directly for filtering, projection
+// and pagination pushdown.
 func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
-	var out []*Entity
-	for _, sh := range b.shards {
-		sh.mu.RLock()
-		for id, e := range sh.entities {
-			if !MatchIDPattern(idPattern, id) {
-				continue
-			}
-			if entityType != "" && e.Type != entityType {
-				continue
-			}
-			out = append(out, e.Clone())
-		}
-		sh.mu.RUnlock()
+	res, err := b.Query(Query{IDPattern: idPattern, Type: entityType, OrderBy: OrderByID})
+	if err != nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return res.Entities
 }
 
 // DeleteEntity removes an entity.
@@ -430,8 +426,8 @@ func (b *Broker) EntityCount() int {
 
 // Subscribe registers a subscription and returns its id.
 func (b *Broker) Subscribe(sub Subscription) (string, error) {
-	if sub.Handler == nil {
-		return "", fmt.Errorf("ngsi: subscription without handler")
+	if sub.Notifier == nil {
+		return "", fmt.Errorf("ngsi: subscription without notifier")
 	}
 	b.subMu.Lock()
 	defer b.subMu.Unlock()
@@ -524,7 +520,7 @@ func (b *Broker) notifyShardLocked(sh *shard, e *Entity, changed []string) {
 		}
 		note := Notification{SubscriptionID: s.ID, Entity: snapshot, At: now}
 		select {
-		case sh.queue <- queuedNotification{handler: s.Handler, note: note}:
+		case sh.queue <- queuedNotification{notifier: s.Notifier, note: note}:
 			b.cQueued.Inc()
 			sh.depth.Set(float64(len(sh.queue)))
 		default:

@@ -138,10 +138,10 @@ func TestSubscriptionFires(t *testing.T) {
 	_, err := b.Subscribe(Subscription{
 		EntityIDPattern: "urn:plot:*",
 		ConditionAttrs:  []string{"soilMoisture"},
-		Handler: func(n Notification) {
+		Notifier: Callback(func(n Notification) {
 			notes.Add(1)
 			last.Store(n)
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestSubscriptionNotifyAttrsFilter(t *testing.T) {
 	b.Subscribe(Subscription{
 		EntityIDPattern: "*",
 		NotifyAttrs:     []string{"soilMoisture"},
-		Handler:         func(n Notification) { got.Store(n) },
+		Notifier:        Callback(func(n Notification) { got.Store(n) }),
 	})
 	b.UpsertEntity(&Entity{ID: "e", Type: "T", Attrs: map[string]Attribute{
 		"soilMoisture": num(0.3), "secret": num(42),
@@ -195,7 +195,7 @@ func TestSubscriptionThrottling(t *testing.T) {
 	b.Subscribe(Subscription{
 		EntityIDPattern: "*",
 		Throttling:      time.Minute,
-		Handler:         func(Notification) { notes.Add(1) },
+		Notifier:        Callback(func(Notification) { notes.Add(1) }),
 	})
 	for i := 0; i < 5; i++ {
 		b.UpdateAttrs("e", "T", map[string]Attribute{"a": num(float64(i))})
@@ -217,7 +217,7 @@ func TestUnsubscribe(t *testing.T) {
 	b := NewBroker(BrokerConfig{})
 	defer b.Close()
 	var notes atomic.Int32
-	id, _ := b.Subscribe(Subscription{EntityIDPattern: "*", Handler: func(Notification) { notes.Add(1) }})
+	id, _ := b.Subscribe(Subscription{EntityIDPattern: "*", Notifier: Callback(func(Notification) { notes.Add(1) })})
 	if err := b.Unsubscribe(id); err != nil {
 		t.Fatal(err)
 	}
@@ -237,10 +237,10 @@ func TestSubscribeValidation(t *testing.T) {
 	if _, err := b.Subscribe(Subscription{EntityIDPattern: "*"}); err == nil {
 		t.Error("nil handler accepted")
 	}
-	if _, err := b.Subscribe(Subscription{ID: "s1", EntityIDPattern: "*", Handler: func(Notification) {}}); err != nil {
+	if _, err := b.Subscribe(Subscription{ID: "s1", EntityIDPattern: "*", Notifier: Callback(func(Notification) {})}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Subscribe(Subscription{ID: "s1", EntityIDPattern: "*", Handler: func(Notification) {}}); err == nil {
+	if _, err := b.Subscribe(Subscription{ID: "s1", EntityIDPattern: "*", Notifier: Callback(func(Notification) {})}); err == nil {
 		t.Error("duplicate subscription id accepted")
 	}
 }
@@ -290,7 +290,7 @@ func TestClosedBrokerRejects(t *testing.T) {
 	if err := b.UpsertEntity(&Entity{ID: "e", Type: "T"}); err != ErrClosed {
 		t.Errorf("upsert after close = %v", err)
 	}
-	if _, err := b.Subscribe(Subscription{EntityIDPattern: "*", Handler: func(Notification) {}}); err != ErrClosed {
+	if _, err := b.Subscribe(Subscription{EntityIDPattern: "*", Notifier: Callback(func(Notification) {})}); err != ErrClosed {
 		t.Errorf("subscribe after close = %v", err)
 	}
 }

@@ -15,10 +15,10 @@ func TestNotificationQueueOverflow(t *testing.T) {
 	var delivered atomic.Int32
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "*",
-		Handler: func(Notification) {
+		Notifier: Callback(func(Notification) {
 			<-block
 			delivered.Add(1)
-		},
+		}),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestCloseDrainsQueuedNotifications(t *testing.T) {
 	var delivered atomic.Int32
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "*",
-		Handler:         func(Notification) { delivered.Add(1) },
+		Notifier:        Callback(func(Notification) { delivered.Add(1) }),
 	}); err != nil {
 		t.Fatal(err)
 	}

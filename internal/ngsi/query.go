@@ -1,0 +1,459 @@
+package ngsi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is a filter comparison operator of the NGSI `q=` grammar.
+type Op int
+
+// Operators. OpExists/OpNotExists are the unary forms (`attr`, `!attr`).
+const (
+	OpExists Op = iota
+	OpNotExists
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in `q=` syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpNotExists:
+		return "!"
+	}
+	return ""
+}
+
+// Condition is one parsed filter statement: attribute, operator, value.
+// Unquoted values that parse as numbers compare numerically and only
+// match numeric attribute values; quoted values always compare as
+// strings.
+type Condition struct {
+	Attr  string
+	Op    Op
+	Value string  // raw comparison text (quotes stripped)
+	Num   float64 // parsed numeric value when IsNum
+	IsNum bool
+}
+
+var qOps = []struct {
+	text string
+	op   Op
+}{
+	{"==", OpEq}, {"!=", OpNe}, {"<=", OpLe}, {">=", OpGe}, {"<", OpLt}, {">", OpGt},
+}
+
+// ParseQ parses an NGSI-v2 `q=` filter expression: `;`-separated
+// conjunctions of `attr==value`, `attr!=value`, `attr<value`,
+// `attr<=value`, `attr>value`, `attr>=value`, unary existence `attr` and
+// non-existence `!attr`. Values may be single- or double-quoted to force
+// string comparison ("temperature=='21'").
+func ParseQ(q string) ([]Condition, error) {
+	if strings.TrimSpace(q) == "" {
+		return nil, nil
+	}
+	var out []Condition
+	for _, stmt := range splitStatements(q) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return nil, fmt.Errorf("ngsi: q: empty statement")
+		}
+		c, err := parseStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// splitStatements splits a q= expression on ';' conjunctions, but not
+// on semicolons inside quoted values ("note=='a;b'"). An unterminated
+// quote leaves the scanner in-quote to the end; the remainder reaches
+// parseStatement, which reports the quoting error.
+func splitStatements(q string) []string {
+	var out []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(q); i++ {
+		switch c := q[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ';':
+			out = append(out, q[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, q[start:])
+}
+
+func parseStatement(stmt string) (Condition, error) {
+	for i := 0; i < len(stmt); i++ {
+		for _, cand := range qOps {
+			if !strings.HasPrefix(stmt[i:], cand.text) {
+				continue
+			}
+			attr := strings.TrimSpace(stmt[:i])
+			if attr == "" {
+				return Condition{}, fmt.Errorf("ngsi: q: missing attribute in %q", stmt)
+			}
+			if err := validateQAttr(attr, stmt); err != nil {
+				return Condition{}, err
+			}
+			raw := strings.TrimSpace(stmt[i+len(cand.text):])
+			if raw == "" {
+				return Condition{}, fmt.Errorf("ngsi: q: missing value in %q", stmt)
+			}
+			c := Condition{Attr: attr, Op: cand.op}
+			var err error
+			if c.Value, c.IsNum, err = parseQValue(raw, stmt); err != nil {
+				return Condition{}, err
+			}
+			if c.IsNum {
+				c.Num, _ = strconv.ParseFloat(c.Value, 64)
+			}
+			return c, nil
+		}
+	}
+	// No binary operator: unary existence / non-existence.
+	c := Condition{Op: OpExists, Attr: stmt}
+	if strings.HasPrefix(stmt, "!") {
+		c = Condition{Op: OpNotExists, Attr: strings.TrimSpace(stmt[1:])}
+	}
+	if c.Attr == "" {
+		return Condition{}, fmt.Errorf("ngsi: q: missing attribute in %q", stmt)
+	}
+	if err := validateQAttr(c.Attr, stmt); err != nil {
+		return Condition{}, err
+	}
+	return c, nil
+}
+
+// validateQAttr rejects attribute names containing operator or quote
+// characters — the symptom of a malformed statement such as `attr=value`
+// (single '=') or an unterminated quote.
+func validateQAttr(attr, stmt string) error {
+	if strings.ContainsAny(attr, "=<>!'\" \t") {
+		return fmt.Errorf("ngsi: q: invalid operator in %q", stmt)
+	}
+	return nil
+}
+
+func parseQValue(raw, stmt string) (value string, isNum bool, err error) {
+	if raw[0] == '\'' || raw[0] == '"' {
+		quote := raw[0]
+		if len(raw) < 2 || raw[len(raw)-1] != quote {
+			return "", false, fmt.Errorf("ngsi: q: unterminated quote in %q", stmt)
+		}
+		return raw[1 : len(raw)-1], false, nil
+	}
+	if _, ferr := strconv.ParseFloat(raw, 64); ferr == nil {
+		return raw, true, nil
+	}
+	return raw, false, nil
+}
+
+// match evaluates the condition against an entity in place — no cloning,
+// so the shard scan can reject non-matching entities for free.
+func (c Condition) match(e *Entity) bool {
+	a, ok := e.Attrs[c.Attr]
+	switch c.Op {
+	case OpExists:
+		return ok
+	case OpNotExists:
+		return !ok
+	}
+	if !ok {
+		return false
+	}
+	if c.IsNum {
+		v, isNum := a.Float()
+		return isNum && cmpOp(compareFloat(v, c.Num), c.Op)
+	}
+	s, ok := attrString(a)
+	return ok && cmpOp(strings.Compare(s, c.Value), c.Op)
+}
+
+// attrString renders string-comparable attribute values; numbers are
+// excluded (they only match numeric condition values).
+func attrString(a Attribute) (string, bool) {
+	switch v := a.Value.(type) {
+	case string:
+		return v, true
+	case bool:
+		return strconv.FormatBool(v), true
+	}
+	return "", false
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOp(cmp int, op Op) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// OrderByID is the deterministic default ordering of the HTTP surface.
+const OrderByID = "id"
+
+// Query is a typed northbound context query: subject selection
+// (IDPattern/Type), attribute filter conditions (parsed from the `q=`
+// grammar by ParseQ), attribute projection, ordering and pagination. The
+// broker pushes every part down into the shard scans: non-matching
+// entities are never cloned, projection clones only the requested
+// attributes, and each shard materializes at most Offset+Limit entities.
+type Query struct {
+	// IDPattern selects entities by id: exact, prefix with '*', or
+	// ""/"*" for all.
+	IDPattern string
+	// Type, if non-empty, restricts to entities of that type.
+	Type string
+	// Conditions must all hold (`;`-conjunction). See ParseQ.
+	Conditions []Condition
+	// Attrs projects the result entities to these attributes; empty
+	// keeps all.
+	Attrs []string
+	// OrderBy: "" means unordered (the scan stops as soon as
+	// Offset+Limit matches are found); OrderByID ("id") sorts by entity
+	// id; any other value sorts by that attribute's value (numeric
+	// before string, missing last). A '!' prefix reverses the order.
+	OrderBy string
+	// Limit bounds the number of returned entities; <= 0 means no
+	// limit.
+	Limit int
+	// Offset skips that many matches (in OrderBy order) before the
+	// first returned entity.
+	Offset int
+	// Count requests the exact total match count (forces a full scan
+	// even for unordered limited queries).
+	Count bool
+}
+
+// QueryResult is the answer to a Query.
+type QueryResult struct {
+	// Entities holds the (projected, ordered, paginated) matches.
+	Entities []*Entity
+	// Total is the exact number of matches when Query.Count was set,
+	// and -1 otherwise.
+	Total int
+}
+
+// Query runs a typed context query with filter, projection and limit
+// pushdown: each shard is scanned under its read lock, non-matching
+// entities are rejected in place without cloning, per-shard candidates
+// are bounded to Offset+Limit before cloning, and an unordered query
+// without Count stops scanning entirely once enough matches are found.
+func (b *Broker) Query(q Query) (QueryResult, error) {
+	if q.Limit < 0 || q.Offset < 0 {
+		return QueryResult{}, fmt.Errorf("ngsi: query: negative limit or offset")
+	}
+	need := 0 // per-shard materialization bound; 0 = unbounded
+	if q.Limit > 0 {
+		need = q.Offset + q.Limit
+		if need < 0 { // overflow would silently disable the bound
+			return QueryResult{}, fmt.Errorf("ngsi: query: offset+limit overflows")
+		}
+	}
+	earlyStop := q.OrderBy == "" && !q.Count && need > 0
+	// The cross-shard sort below runs on the projected clones, so a
+	// projection that excludes the OrderBy attribute must carry it
+	// through the clone (and strip it again before returning).
+	projAttrs := q.Attrs
+	carriedKey := ""
+	if len(q.Attrs) > 0 {
+		if key := strings.TrimPrefix(q.OrderBy, "!"); key != "" && key != OrderByID {
+			found := false
+			for _, a := range q.Attrs {
+				if a == key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				projAttrs = append(append([]string(nil), q.Attrs...), key)
+				carriedKey = key
+			}
+		}
+	}
+	res := QueryResult{Total: -1}
+	total := 0
+	var out []*Entity
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		var cand []*Entity // raw pointers, only valid under sh.mu
+		for id, e := range sh.entities {
+			if !MatchIDPattern(q.IDPattern, id) {
+				continue
+			}
+			if q.Type != "" && e.Type != q.Type {
+				continue
+			}
+			if !matchConditions(e, q.Conditions) {
+				continue
+			}
+			total++
+			cand = append(cand, e)
+			if earlyStop && len(out)+len(cand) >= need {
+				break
+			}
+		}
+		if need > 0 && len(cand) > need {
+			sortEntities(cand, q.OrderBy)
+			cand = cand[:need]
+		}
+		for _, e := range cand {
+			out = append(out, cloneProjected(e, projAttrs))
+		}
+		sh.mu.RUnlock()
+		if earlyStop && len(out) >= need {
+			break
+		}
+	}
+	sortEntities(out, q.OrderBy)
+	if q.Count {
+		res.Total = total
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = out[:0]
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	if carriedKey != "" {
+		for _, e := range out {
+			delete(e.Attrs, carriedKey)
+		}
+	}
+	res.Entities = out
+	return res, nil
+}
+
+func matchConditions(e *Entity, conds []Condition) bool {
+	for _, c := range conds {
+		if !c.match(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneProjected deep-copies an entity restricted to the requested
+// attributes (all when attrs is empty) — the projection pushdown, so a
+// narrow query never copies wide entities.
+func cloneProjected(e *Entity, attrs []string) *Entity {
+	if len(attrs) == 0 {
+		return e.Clone()
+	}
+	cp := &Entity{ID: e.ID, Type: e.Type, Attrs: make(map[string]Attribute, len(attrs))}
+	for _, k := range attrs {
+		if a, ok := e.Attrs[k]; ok {
+			cp.Attrs[k] = cloneAttr(a)
+		}
+	}
+	return cp
+}
+
+// sortEntities orders entities per the OrderBy spec: ""/"id" by entity
+// id; any other key by that attribute's value (numeric values before
+// string values, entities missing the attribute last), ties broken by
+// id. A '!' prefix reverses the primary order (missing-attribute
+// entities stay last).
+func sortEntities(list []*Entity, orderBy string) {
+	key := orderBy
+	desc := strings.HasPrefix(key, "!")
+	key = strings.TrimPrefix(key, "!")
+	if key == "" || key == OrderByID {
+		sort.Slice(list, func(i, j int) bool {
+			if desc {
+				return list[j].ID < list[i].ID
+			}
+			return list[i].ID < list[j].ID
+		})
+		return
+	}
+	sort.Slice(list, func(i, j int) bool {
+		ra, va, sa := attrRank(list[i], key)
+		rb, vb, sb := attrRank(list[j], key)
+		if ra != rb {
+			// Rank order (numeric, string, missing) is fixed: '!'
+			// reverses values, not presence.
+			return ra < rb
+		}
+		var c int
+		switch ra {
+		case 0:
+			c = compareFloat(va, vb)
+		case 1:
+			c = strings.Compare(sa, sb)
+		}
+		if c != 0 {
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return list[i].ID < list[j].ID
+	})
+}
+
+func attrRank(e *Entity, key string) (rank int, num float64, str string) {
+	a, ok := e.Attrs[key]
+	if !ok {
+		return 2, 0, ""
+	}
+	if v, isNum := a.Float(); isNum {
+		return 0, v, ""
+	}
+	if s, isStr := attrString(a); isStr {
+		return 1, 0, s
+	}
+	return 2, 0, ""
+}

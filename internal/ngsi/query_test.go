@@ -1,0 +1,342 @@
+package ngsi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseQOperators(t *testing.T) {
+	tests := []struct {
+		q     string
+		attr  string
+		op    Op
+		value string
+		isNum bool
+	}{
+		{"soilMoisture==0.25", "soilMoisture", OpEq, "0.25", true},
+		{"soilMoisture!=0.25", "soilMoisture", OpNe, "0.25", true},
+		{"soilMoisture<0.25", "soilMoisture", OpLt, "0.25", true},
+		{"soilMoisture<=0.25", "soilMoisture", OpLe, "0.25", true},
+		{"soilMoisture>0.25", "soilMoisture", OpGt, "0.25", true},
+		{"soilMoisture>=0.25", "soilMoisture", OpGe, "0.25", true},
+		{"status==open", "status", OpEq, "open", false},
+		{"status=='wine farm'", "status", OpEq, "wine farm", false},
+		{`status=="quoted"`, "status", OpEq, "quoted", false},
+		{"level=='5'", "level", OpEq, "5", false}, // quoted number stays a string
+		{"battery", "battery", OpExists, "", false},
+		{"!battery", "battery", OpNotExists, "", false},
+		{" soilMoisture == 0.25 ", "soilMoisture", OpEq, "0.25", true},
+	}
+	for _, tc := range tests {
+		conds, err := ParseQ(tc.q)
+		if err != nil {
+			t.Errorf("ParseQ(%q): %v", tc.q, err)
+			continue
+		}
+		if len(conds) != 1 {
+			t.Errorf("ParseQ(%q) = %d conditions", tc.q, len(conds))
+			continue
+		}
+		c := conds[0]
+		if c.Attr != tc.attr || c.Op != tc.op || c.Value != tc.value || c.IsNum != tc.isNum {
+			t.Errorf("ParseQ(%q) = %+v, want attr=%q op=%v value=%q isNum=%v",
+				tc.q, c, tc.attr, tc.op, tc.value, tc.isNum)
+		}
+	}
+}
+
+// TestParseQQuotedSemicolon: a ';' inside a quoted value is part of the
+// value, not a conjunction separator.
+func TestParseQQuotedSemicolon(t *testing.T) {
+	conds, err := ParseQ("note=='a;b';zone==zone-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 2 {
+		t.Fatalf("conditions = %d, want 2", len(conds))
+	}
+	if conds[0].Attr != "note" || conds[0].Value != "a;b" || conds[0].IsNum {
+		t.Errorf("first condition = %+v", conds[0])
+	}
+	if conds[1].Attr != "zone" || conds[1].Value != "zone-1" {
+		t.Errorf("second condition = %+v", conds[1])
+	}
+}
+
+func TestParseQConjunction(t *testing.T) {
+	conds, err := ParseQ("soilMoisture<0.2;type==SoilProbe;battery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 3 {
+		t.Fatalf("conditions = %d, want 3", len(conds))
+	}
+	if conds[2].Op != OpExists || conds[2].Attr != "battery" {
+		t.Errorf("third condition = %+v", conds[2])
+	}
+}
+
+func TestParseQErrors(t *testing.T) {
+	for _, q := range []string{
+		"a=5",        // single '=' is not an operator
+		"==5",        // missing attribute
+		"a==",        // missing value
+		"a=='x",      // unterminated quote
+		";",          // empty statements
+		"a==1;;b==2", // empty middle statement
+		"!",          // bare negation
+		"a b",        // whitespace inside attribute
+	} {
+		if _, err := ParseQ(q); err == nil {
+			t.Errorf("ParseQ(%q): no error", q)
+		}
+	}
+}
+
+func TestParseQEmpty(t *testing.T) {
+	for _, q := range []string{"", "   "} {
+		conds, err := ParseQ(q)
+		if err != nil || conds != nil {
+			t.Errorf("ParseQ(%q) = %v, %v", q, conds, err)
+		}
+	}
+}
+
+func seedQueryBroker(t testing.TB, n int) *Broker {
+	b := NewBroker(BrokerConfig{})
+	t.Cleanup(b.Close)
+	for i := 0; i < n; i++ {
+		e := &Entity{
+			ID:   fmt.Sprintf("urn:q:plot:%04d", i),
+			Type: "AgriParcel",
+			Attrs: map[string]Attribute{
+				"soilMoisture": num(float64(i) / float64(n)),
+				"zone":         {Type: "Text", Value: fmt.Sprintf("zone-%d", i%4)},
+			},
+		}
+		if i%10 == 0 {
+			e.Attrs["alarm"] = Attribute{Type: "Boolean", Value: true}
+		}
+		if err := b.UpsertEntity(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func mustQuery(t *testing.T, b *Broker, q Query) QueryResult {
+	t.Helper()
+	res, err := b.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestQueryFilterPushdown(t *testing.T) {
+	b := seedQueryBroker(t, 100)
+
+	conds, err := ParseQ("soilMoisture<0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, b, Query{Conditions: conds, OrderBy: OrderByID, Count: true})
+	if len(res.Entities) != 10 || res.Total != 10 {
+		t.Fatalf("got %d entities, total %d, want 10/10", len(res.Entities), res.Total)
+	}
+	for i := 1; i < len(res.Entities); i++ {
+		if res.Entities[i-1].ID >= res.Entities[i].ID {
+			t.Fatal("result not ordered by id")
+		}
+	}
+
+	// Conjunction with a string condition.
+	conds, _ = ParseQ("soilMoisture<0.1;zone==zone-0")
+	res = mustQuery(t, b, Query{Conditions: conds, Count: true, OrderBy: OrderByID})
+	if res.Total != 3 { // i in {0,4,8} have zone-0 and moisture < 0.1
+		t.Errorf("conjunction total = %d, want 3", res.Total)
+	}
+
+	// Unary existence.
+	conds, _ = ParseQ("alarm")
+	res = mustQuery(t, b, Query{Conditions: conds, Count: true})
+	if res.Total != 10 {
+		t.Errorf("existence total = %d, want 10", res.Total)
+	}
+	conds, _ = ParseQ("!alarm")
+	res = mustQuery(t, b, Query{Conditions: conds, Count: true})
+	if res.Total != 90 {
+		t.Errorf("non-existence total = %d, want 90", res.Total)
+	}
+}
+
+func TestQueryNumericVsStringComparison(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	b.UpsertEntity(&Entity{ID: "n", Type: "T", Attrs: map[string]Attribute{
+		"level": num(5),
+	}})
+	b.UpsertEntity(&Entity{ID: "s", Type: "T", Attrs: map[string]Attribute{
+		"level": {Type: "Text", Value: "5"},
+	}})
+
+	// Unquoted numeric value matches only the numeric attribute.
+	conds, _ := ParseQ("level==5")
+	res := mustQuery(t, b, Query{Conditions: conds})
+	if len(res.Entities) != 1 || res.Entities[0].ID != "n" {
+		t.Errorf("numeric compare matched %v", ids(res.Entities))
+	}
+	// Quoted value matches only the string attribute.
+	conds, _ = ParseQ("level=='5'")
+	res = mustQuery(t, b, Query{Conditions: conds})
+	if len(res.Entities) != 1 || res.Entities[0].ID != "s" {
+		t.Errorf("string compare matched %v", ids(res.Entities))
+	}
+}
+
+// TestQueryEmptyResultVsMissingAttribute: a filter over an attribute
+// nothing carries and a filter that simply matches nothing both return
+// empty result sets (not errors), with Total 0 when counted.
+func TestQueryEmptyResultVsMissingAttribute(t *testing.T) {
+	b := seedQueryBroker(t, 20)
+	for _, q := range []string{"soilMoisture>2", "nonexistent==1", "nonexistent"} {
+		conds, err := ParseQ(q)
+		if err != nil {
+			t.Fatalf("ParseQ(%q): %v", q, err)
+		}
+		res := mustQuery(t, b, Query{Conditions: conds, Count: true})
+		if len(res.Entities) != 0 || res.Total != 0 {
+			t.Errorf("q=%q: %d entities, total %d", q, len(res.Entities), res.Total)
+		}
+	}
+}
+
+func TestQueryProjection(t *testing.T) {
+	b := seedQueryBroker(t, 10)
+	res := mustQuery(t, b, Query{Attrs: []string{"zone"}, OrderBy: OrderByID})
+	if len(res.Entities) != 10 {
+		t.Fatalf("entities = %d", len(res.Entities))
+	}
+	for _, e := range res.Entities {
+		if _, ok := e.Attrs["zone"]; !ok {
+			t.Fatal("projected attribute missing")
+		}
+		if _, leaked := e.Attrs["soilMoisture"]; leaked {
+			t.Fatal("projection leaked unrequested attribute")
+		}
+	}
+}
+
+func TestQueryPagination(t *testing.T) {
+	b := seedQueryBroker(t, 50)
+	var got []string
+	for off := 0; ; off += 7 {
+		res := mustQuery(t, b, Query{OrderBy: OrderByID, Limit: 7, Offset: off, Count: true})
+		if res.Total != 50 {
+			t.Fatalf("total = %d", res.Total)
+		}
+		if len(res.Entities) == 0 {
+			break
+		}
+		got = append(got, ids(res.Entities)...)
+	}
+	if len(got) != 50 {
+		t.Fatalf("paginated %d entities, want 50", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("pages overlap or out of order")
+		}
+	}
+}
+
+func TestQueryUnorderedEarlyStop(t *testing.T) {
+	b := seedQueryBroker(t, 200)
+	res := mustQuery(t, b, Query{Limit: 5})
+	if len(res.Entities) != 5 {
+		t.Fatalf("unordered limited query returned %d", len(res.Entities))
+	}
+	if res.Total != -1 {
+		t.Errorf("total = %d, want -1 without Count", res.Total)
+	}
+}
+
+func TestQueryOrderByAttribute(t *testing.T) {
+	b := seedQueryBroker(t, 20)
+	res := mustQuery(t, b, Query{OrderBy: "soilMoisture", Limit: 3})
+	if len(res.Entities) != 3 {
+		t.Fatalf("entities = %d", len(res.Entities))
+	}
+	if res.Entities[0].ID != "urn:q:plot:0000" {
+		t.Errorf("ascending attr order first = %s", res.Entities[0].ID)
+	}
+	res = mustQuery(t, b, Query{OrderBy: "!soilMoisture", Limit: 1})
+	if res.Entities[0].ID != "urn:q:plot:0019" {
+		t.Errorf("descending attr order first = %s", res.Entities[0].ID)
+	}
+}
+
+// TestQueryOrderByAttributeWithProjection: ordering by an attribute the
+// projection excludes must still order (and paginate) by that attribute
+// across shards — and must not leak the sort key into the result.
+func TestQueryOrderByAttributeWithProjection(t *testing.T) {
+	b := seedQueryBroker(t, 20)
+	res := mustQuery(t, b, Query{
+		OrderBy: "!soilMoisture", Attrs: []string{"zone"}, Limit: 3,
+	})
+	if len(res.Entities) != 3 {
+		t.Fatalf("entities = %d", len(res.Entities))
+	}
+	want := []string{"urn:q:plot:0019", "urn:q:plot:0018", "urn:q:plot:0017"}
+	for i, e := range res.Entities {
+		if e.ID != want[i] {
+			t.Errorf("position %d = %s, want %s", i, e.ID, want[i])
+		}
+		if _, leaked := e.Attrs["soilMoisture"]; leaked {
+			t.Error("carried sort key leaked into the projected result")
+		}
+		if _, ok := e.Attrs["zone"]; !ok {
+			t.Error("projected attribute missing")
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	b := seedQueryBroker(t, 5)
+	if _, err := b.Query(Query{Limit: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := b.Query(Query{Offset: -1}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if _, err := b.Query(Query{Limit: 10, Offset: maxInt - 5}); err == nil {
+		t.Error("offset+limit overflow accepted (materialization bound silently disabled)")
+	}
+}
+
+// TestQueryEntitiesWrapperEquivalence pins the compat wrapper to the old
+// behavior: all matches, sorted by id.
+func TestQueryEntitiesWrapperEquivalence(t *testing.T) {
+	b := seedQueryBroker(t, 30)
+	got := b.QueryEntities("urn:q:plot:000*", "AgriParcel")
+	if len(got) != 10 {
+		t.Fatalf("wrapper returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatal("wrapper result not sorted")
+		}
+	}
+	if got := b.QueryEntities("*", "NoSuchType"); len(got) != 0 {
+		t.Errorf("type filter returned %d", len(got))
+	}
+}
+
+func ids(es []*Entity) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}

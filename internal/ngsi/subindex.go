@@ -3,6 +3,7 @@ package ngsi
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,9 +26,23 @@ type subState struct {
 	shape patternShape
 	pfx   string // pattern prefix, pre-trimmed ("urn:x:*" → "urn:x:")
 
+	// failed is the delivery-health flag behind SubStatus. It is written
+	// by webhook delivery workers and read by API snapshots, so it is
+	// atomic rather than guarded by mu.
+	failed atomic.Bool
+
 	mu           sync.Mutex
 	lastNotified map[string]time.Time // per entity id
 }
+
+func (st *subState) status() SubStatus {
+	if st.failed.Load() {
+		return SubFailed
+	}
+	return SubActive
+}
+
+func (st *subState) setStatus(s SubStatus) { st.failed.Store(s == SubFailed) }
 
 func newSubState(sub Subscription) *subState {
 	st := &subState{sub: sub, lastNotified: make(map[string]time.Time)}

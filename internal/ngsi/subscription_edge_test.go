@@ -19,7 +19,7 @@ func TestThrottlingIsPerEntity(t *testing.T) {
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "urn:x:*",
 		Throttling:      time.Minute,
-		Handler:         func(Notification) { notes.Add(1) },
+		Notifier:        Callback(func(Notification) { notes.Add(1) }),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestThrottledSubscriptionStillSeesOtherEntitiesFresh(t *testing.T) {
 	b.Subscribe(Subscription{
 		EntityIDPattern: "*",
 		Throttling:      time.Minute,
-		Handler:         func(Notification) { notes.Add(1) },
+		Notifier:        Callback(func(Notification) { notes.Add(1) }),
 	})
 	b.UpdateAttrs("e1", "T", map[string]Attribute{"a": num(1)})
 	b.UpdateAttrs("e1", "T", map[string]Attribute{"a": num(2)}) // throttled
@@ -71,13 +71,13 @@ func TestPrefixPatternMatching(t *testing.T) {
 	var farmNotes, allNotes atomic.Int32
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "urn:farm:*",
-		Handler:         func(Notification) { farmNotes.Add(1) },
+		Notifier:        Callback(func(Notification) { farmNotes.Add(1) }),
 	}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "*",
-		Handler:         func(Notification) { allNotes.Add(1) },
+		Notifier:        Callback(func(Notification) { allNotes.Add(1) }),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +100,12 @@ func TestWildcardWithTypeRestriction(t *testing.T) {
 	b.Subscribe(Subscription{
 		EntityIDPattern: "*",
 		EntityType:      "SoilProbe",
-		Handler:         func(Notification) { probeNotes.Add(1) },
+		Notifier:        Callback(func(Notification) { probeNotes.Add(1) }),
 	})
 	var allNotes atomic.Int32
 	b.Subscribe(Subscription{
 		EntityIDPattern: "*",
-		Handler:         func(Notification) { allNotes.Add(1) },
+		Notifier:        Callback(func(Notification) { allNotes.Add(1) }),
 	})
 	b.UpdateAttrs("p1", "SoilProbe", map[string]Attribute{"a": num(1)})
 	b.UpdateAttrs("v1", "Pivot", map[string]Attribute{"a": num(1)})
@@ -128,10 +128,10 @@ func TestConditionAndNotifyAttrsIntersect(t *testing.T) {
 		EntityIDPattern: "*",
 		ConditionAttrs:  []string{"soilMoisture"},
 		NotifyAttrs:     []string{"battery"},
-		Handler: func(n Notification) {
+		Notifier: Callback(func(n Notification) {
 			got.Store(n)
 			notes.Add(1)
-		},
+		}),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestNoNotificationsAfterClose(t *testing.T) {
 	var notes atomic.Int32
 	if _, err := b.Subscribe(Subscription{
 		EntityIDPattern: "*",
-		Handler:         func(Notification) { notes.Add(1) },
+		Notifier:        Callback(func(Notification) { notes.Add(1) }),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestUnsubscribeRemovesFromIndex(t *testing.T) {
 	h := func(Notification) { notes.Add(1) }
 	ids := make([]string, 0, 3)
 	for _, pattern := range []string{"urn:a:1", "urn:a:*", "*"} {
-		id, err := b.Subscribe(Subscription{EntityIDPattern: pattern, Handler: h})
+		id, err := b.Subscribe(Subscription{EntityIDPattern: pattern, Notifier: Callback(h)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +231,7 @@ func TestBatchUpdateNotifiesPerEntity(t *testing.T) {
 	b := NewBroker(BrokerConfig{Shards: 4})
 	defer b.Close()
 	var notes atomic.Int32
-	b.Subscribe(Subscription{EntityIDPattern: "*", Handler: func(Notification) { notes.Add(1) }})
+	b.Subscribe(Subscription{EntityIDPattern: "*", Notifier: Callback(func(Notification) { notes.Add(1) })})
 	batch := make(map[string]BatchEntry, 10)
 	for i := 0; i < 10; i++ {
 		batch[fmt.Sprintf("e%d", i)] = BatchEntry{Type: "T", Attrs: map[string]Attribute{"a": num(float64(i))}}
@@ -263,7 +263,7 @@ func TestIndexMatchesLinearScan(t *testing.T) {
 	for _, p := range patterns {
 		ix.add(newSubState(Subscription{
 			EntityIDPattern: p.pattern, EntityType: p.typ,
-			Handler: func(Notification) {},
+			Notifier: Callback(func(Notification) {}),
 		}))
 	}
 	entities := []struct{ id, typ string }{

@@ -1,0 +1,373 @@
+package ngsi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// Webhook defaults.
+const (
+	// DefaultWebhookWorkers bounds concurrent outbound HTTP deliveries
+	// across the whole pool.
+	DefaultWebhookWorkers = 8
+	// DefaultWebhookQueueLen is the per-subscription pending queue bound.
+	DefaultWebhookQueueLen = 64
+	// DefaultWebhookRetries is the number of redelivery attempts after a
+	// failed POST.
+	DefaultWebhookRetries = 2
+	// DefaultWebhookBackoff is the first retry delay; it doubles per
+	// attempt.
+	DefaultWebhookBackoff = 250 * time.Millisecond
+	// DefaultWebhookFailureThreshold is how many consecutive exhausted
+	// deliveries flip a subscription to SubFailed.
+	DefaultWebhookFailureThreshold = 3
+	// DefaultWebhookTimeout bounds one POST when no Client is supplied.
+	DefaultWebhookTimeout = 5 * time.Second
+)
+
+// WebhookConfig configures a WebhookPool.
+type WebhookConfig struct {
+	// Client performs the POSTs; nil uses a client with
+	// DefaultWebhookTimeout. Supply a short-timeout client in tests.
+	Client *http.Client
+	// Clock drives retry backoff; nil means the wall clock.
+	Clock clock.Clock
+	// Metrics receives the webhook counters; nil allocates a private
+	// registry.
+	Metrics *metrics.Registry
+	// Workers bounds concurrent HTTP deliveries across all
+	// subscriptions (default DefaultWebhookWorkers).
+	Workers int
+	// QueueLen bounds each subscription's pending-notification queue
+	// (default DefaultWebhookQueueLen). Overflow drops the newest
+	// notification for that subscription only.
+	QueueLen int
+	// MaxRetries is the number of redelivery attempts per notification
+	// after the first failure (default DefaultWebhookRetries; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubling per attempt
+	// (default DefaultWebhookBackoff).
+	RetryBackoff time.Duration
+	// FailureThreshold is the consecutive-exhausted-delivery count that
+	// flips a subscription to SubFailed (default
+	// DefaultWebhookFailureThreshold).
+	FailureThreshold int
+	// OnStatus, if set, is invoked when a subscription's endpoint
+	// crosses the failure threshold (healthy=false) or recovers
+	// (healthy=true). Wire it to Broker.SetSubscriptionStatus.
+	OnStatus func(subscriptionID string, healthy bool)
+}
+
+// WebhookPool delivers NGSI notifications to subscription callback URLs.
+// It is the PR 3 per-session-queue recipe applied to outbound HTTP: each
+// subscription owns a bounded pending queue and a delivery goroutine, so
+// a stalled endpoint backs up (and overflows) only its own queue, while
+// a shared semaphore bounds total concurrent HTTP requests.
+type WebhookPool struct {
+	cfg WebhookConfig
+	sem chan struct{}
+
+	mu        sync.Mutex
+	notifiers map[string]*HTTPNotifier
+	closed    bool
+	wg        sync.WaitGroup
+
+	depth                              *metrics.Gauge
+	cSent, cFailed, cRetries, cDropped *metrics.Counter
+}
+
+// NewWebhookPool builds a pool; Close releases the delivery goroutines.
+func NewWebhookPool(cfg WebhookConfig) *WebhookPool {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: DefaultWebhookTimeout}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWebhookWorkers
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultWebhookQueueLen
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultWebhookRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultWebhookBackoff
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultWebhookFailureThreshold
+	}
+	return &WebhookPool{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		notifiers: make(map[string]*HTTPNotifier),
+		depth:     cfg.Metrics.Gauge("ngsi.webhook.depth"),
+		cSent:     cfg.Metrics.Counter("ngsi.webhook.sent"),
+		cFailed:   cfg.Metrics.Counter("ngsi.webhook.failed"),
+		cRetries:  cfg.Metrics.Counter("ngsi.webhook.retries"),
+		cDropped:  cfg.Metrics.Counter("ngsi.webhook.dropped"),
+	}
+}
+
+// ErrPoolClosed is returned by Notifier on a closed pool.
+var ErrPoolClosed = errors.New("ngsi: webhook pool closed")
+
+// StatusUpdater returns the standard WebhookConfig.OnStatus wiring: flip
+// the broker subscription between SubActive and SubFailed as its
+// endpoint recovers or crosses the failure threshold.
+func StatusUpdater(b *Broker) func(subscriptionID string, healthy bool) {
+	return func(id string, healthy bool) {
+		st := SubFailed
+		if healthy {
+			st = SubActive
+		}
+		_ = b.SetSubscriptionStatus(id, st)
+	}
+}
+
+// Notifier registers a delivery worker for one subscription and returns
+// its Notifier. The subscription id keys the worker: Remove stops it.
+func (p *WebhookPool) Notifier(subscriptionID, url string) (*HTTPNotifier, error) {
+	if subscriptionID == "" || url == "" {
+		return nil, fmt.Errorf("ngsi: webhook notifier needs subscription id and url")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	if _, dup := p.notifiers[subscriptionID]; dup {
+		return nil, fmt.Errorf("ngsi: duplicate webhook notifier for subscription %q", subscriptionID)
+	}
+	n := &HTTPNotifier{
+		pool:  p,
+		subID: subscriptionID,
+		url:   url,
+		queue: make(chan Notification, p.cfg.QueueLen),
+		stop:  make(chan struct{}),
+	}
+	p.notifiers[subscriptionID] = n
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		n.run()
+	}()
+	return n, nil
+}
+
+// URL returns the callback URL registered for a subscription.
+func (p *WebhookPool) URL(subscriptionID string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.notifiers[subscriptionID]
+	if !ok {
+		return "", false
+	}
+	return n.url, true
+}
+
+// Remove stops and forgets the subscription's delivery worker; pending
+// notifications are discarded.
+func (p *WebhookPool) Remove(subscriptionID string) {
+	p.mu.Lock()
+	n := p.notifiers[subscriptionID]
+	delete(p.notifiers, subscriptionID)
+	p.mu.Unlock()
+	if n != nil {
+		n.shutdown()
+	}
+}
+
+// Close stops every delivery worker and waits for them to exit.
+func (p *WebhookPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	notifiers := p.notifiers
+	p.notifiers = make(map[string]*HTTPNotifier)
+	p.mu.Unlock()
+	for _, n := range notifiers {
+		n.shutdown()
+	}
+	p.wg.Wait()
+}
+
+// Depth returns the total number of pending notifications across all
+// subscription queues.
+func (p *WebhookPool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := 0
+	for _, n := range p.notifiers {
+		d += len(n.queue)
+	}
+	return d
+}
+
+// HTTPNotifier implements Notifier by POSTing NGSI notification payloads
+// to one subscription's callback URL. Notify never blocks: it enqueues
+// onto the subscription's bounded queue and drops (counted) on overflow,
+// so a stalled endpoint cannot back-pressure the broker's dispatchers.
+type HTTPNotifier struct {
+	pool  *WebhookPool
+	subID string
+	url   string
+	queue chan Notification
+	stop  chan struct{}
+
+	closed   atomic.Bool
+	stopOnce sync.Once
+
+	// consecFail and failed are only touched by the delivery goroutine.
+	consecFail int
+	failed     bool
+}
+
+// Notify implements Notifier.
+func (n *HTTPNotifier) Notify(note Notification) {
+	if n.closed.Load() {
+		n.pool.cDropped.Inc()
+		return
+	}
+	select {
+	case n.queue <- note:
+		n.pool.depth.Add(1)
+		// Re-check after the enqueue: if shutdown ran (and drained)
+		// concurrently, nobody will ever service the queue again, so
+		// drain one item ourselves to keep the depth gauge truthful.
+		if n.closed.Load() {
+			select {
+			case <-n.queue:
+				n.pool.depth.Add(-1)
+				n.pool.cDropped.Inc()
+			default:
+			}
+		}
+	default:
+		n.pool.cDropped.Inc()
+	}
+}
+
+func (n *HTTPNotifier) shutdown() {
+	n.stopOnce.Do(func() {
+		n.closed.Store(true)
+		close(n.stop)
+	})
+}
+
+func (n *HTTPNotifier) run() {
+	for {
+		select {
+		case <-n.stop:
+			// Discard whatever is still pending so the depth gauge
+			// stays truthful.
+			for {
+				select {
+				case <-n.queue:
+					n.pool.depth.Add(-1)
+					n.pool.cDropped.Inc()
+				default:
+					return
+				}
+			}
+		case note := <-n.queue:
+			n.pool.depth.Add(-1)
+			n.deliver(note)
+		}
+	}
+}
+
+// notificationBody is the NGSI-v2 notification wire format.
+type notificationBody struct {
+	SubscriptionID string    `json:"subscriptionId"`
+	Data           []*Entity `json:"data"`
+}
+
+// deliver POSTs one notification with per-subscription retry/backoff and
+// consecutive-failure tracking. The worker only occupies a pool slot
+// while the HTTP request is in flight — backoff sleeps release it.
+func (n *HTTPNotifier) deliver(note Notification) {
+	cfg := &n.pool.cfg
+	body, err := json.Marshal(notificationBody{SubscriptionID: n.subID, Data: []*Entity{note.Entity}})
+	if err != nil {
+		n.pool.cFailed.Inc()
+		return
+	}
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := n.post(body)
+		if err == nil {
+			n.pool.cSent.Inc()
+			n.consecFail = 0
+			if n.failed {
+				n.failed = false
+				if cfg.OnStatus != nil {
+					cfg.OnStatus(n.subID, true)
+				}
+			}
+			return
+		}
+		if errors.Is(err, ErrPoolClosed) {
+			return
+		}
+		if attempt >= cfg.MaxRetries {
+			n.pool.cFailed.Inc()
+			n.consecFail++
+			if n.consecFail >= cfg.FailureThreshold && !n.failed {
+				n.failed = true
+				if cfg.OnStatus != nil {
+					cfg.OnStatus(n.subID, false)
+				}
+			}
+			return
+		}
+		n.pool.cRetries.Inc()
+		select {
+		case <-n.stop:
+			return
+		case <-cfg.Clock.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// post performs one delivery attempt under the pool's concurrency bound.
+func (n *HTTPNotifier) post(body []byte) error {
+	select {
+	case n.pool.sem <- struct{}{}:
+	case <-n.stop:
+		return ErrPoolClosed
+	}
+	defer func() { <-n.pool.sem }()
+	resp, err := n.pool.cfg.Client.Post(n.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= http.StatusMultipleChoices {
+		return fmt.Errorf("ngsi: webhook %s: status %d", n.url, resp.StatusCode)
+	}
+	return nil
+}
