@@ -147,8 +147,8 @@ func BenchmarkTSAppend(b *testing.B) {
 					Point: timeseries.Point{At: tsBenchT0.Add(time.Duration(n/fleet) * time.Second), Value: 0.25},
 				}
 			}
-			if accepted, rejected := s.AppendBatch(batch); accepted != len(batch) || rejected != 0 {
-				b.Fatalf("accepted %d rejected %d", accepted, rejected)
+			if accepted, rejected, err := s.AppendBatch(batch); accepted != len(batch) || rejected != 0 || err != nil {
+				b.Fatalf("accepted %d rejected %d err %v", accepted, rejected, err)
 			}
 		}
 	})

@@ -1,0 +1,123 @@
+// Command benchguard is the CI bench-regression gate: it compares the
+// BENCH_<name>.json files a fresh bench run produced (-current) against
+// the baselines committed at the repository root (-baseline) and exits
+// non-zero when any guarded metric regressed by more than the threshold.
+//
+// Metric direction is encoded in the key suffix, matching what the
+// swamp-sim harnesses emit:
+//
+//	_per_s, _x   higher is better (throughput, speedup ratios)
+//	_us, _ms     lower is better (latency)
+//	anything else is informational and never gates
+//
+// Usage:
+//
+//	benchguard -baseline . -current bench-out [-threshold 0.30]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type report struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func loadReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// direction returns +1 for higher-is-better metrics, -1 for
+// lower-is-better, 0 for informational.
+func direction(key string) int {
+	switch {
+	case strings.HasSuffix(key, "_per_s"), strings.HasSuffix(key, "_x"):
+		return 1
+	case strings.HasSuffix(key, "_us"), strings.HasSuffix(key, "_ms"):
+		return -1
+	}
+	return 0
+}
+
+func main() {
+	baselineDir := flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+	currentDir := flag.String("current", "bench-out", "directory holding this run's BENCH_*.json files")
+	threshold := flag.Float64("threshold", 0.30, "fractional regression that fails the gate (0.30 = 30%)")
+	flag.Parse()
+
+	baselines, err := filepath.Glob(filepath.Join(*baselineDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no BENCH_*.json baselines in %s\n", *baselineDir)
+		os.Exit(2)
+	}
+	sort.Strings(baselines)
+
+	failed := false
+	fmt.Printf("%-12s %-28s %14s %14s %9s  %s\n", "BENCH", "METRIC", "BASELINE", "CURRENT", "DELTA", "STATUS")
+	for _, basePath := range baselines {
+		base, err := loadReport(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			failed = true
+			continue
+		}
+		curPath := filepath.Join(*currentDir, filepath.Base(basePath))
+		cur, err := loadReport(curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: missing current run (%v)\n", base.Name, err)
+			failed = true
+			continue
+		}
+		keys := make([]string, 0, len(base.Metrics))
+		for k := range base.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := base.Metrics[k]
+			cv, ok := cur.Metrics[k]
+			if !ok {
+				fmt.Printf("%-12s %-28s %14.1f %14s %9s  MISSING\n", base.Name, k, bv, "-", "-")
+				failed = true
+				continue
+			}
+			delta := 0.0
+			if bv != 0 {
+				delta = (cv - bv) / bv
+			}
+			status := "info"
+			switch dir := direction(k); {
+			case dir == 0:
+			case dir > 0 && cv < bv*(1-*threshold):
+				status = "REGRESSED"
+				failed = true
+			case dir < 0 && cv > bv*(1+*threshold):
+				status = "REGRESSED"
+				failed = true
+			default:
+				status = "ok"
+			}
+			fmt.Printf("%-12s %-28s %14.1f %14.1f %8.1f%%  %s\n", base.Name, k, bv, cv, delta*100, status)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: FAILED — regression beyond %.0f%% (or missing data)\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}

@@ -263,5 +263,8 @@ func runAPIBench(cfg apiBenchConfig) error {
 	}
 	fmt.Printf("subscriptions: %d total, %d failed (the stalled endpoint isolates to itself)\n",
 		broker.SubscriptionCount(), stalledFailed)
-	return nil
+	return writeBenchJSON("apibench", map[string]float64{
+		"queries_per_s":            float64(cfg.Queries) / qElapsed.Seconds(),
+		"webhook_deliveries_per_s": float64(received.Load()) / nElapsed.Seconds(),
+	})
 }

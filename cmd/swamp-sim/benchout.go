@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// benchJSONPath is the -benchjson flag: when non-empty, each bench
+// harness writes its headline numbers there as machine-readable JSON so
+// CI's regression guard (cmd/benchguard) can compare them against the
+// committed BENCH_<name>.json baselines.
+var benchJSONPath string
+
+// benchReport is the BENCH_<name>.json shape. Metric key suffixes encode
+// the comparison direction for the guard: `_per_s` and `_x` are
+// higher-is-better, `_us` and `_ms` lower-is-better; anything else is
+// informational only.
+type benchReport struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeBenchJSON emits the report when -benchjson is set.
+func writeBenchJSON(name string, metrics map[string]float64) error {
+	if benchJSONPath == "" {
+		return nil
+	}
+	if dir := filepath.Dir(benchJSONPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(benchReport{Name: name, Metrics: metrics}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench json: wrote %s\n", benchJSONPath)
+	return nil
+}

@@ -117,7 +117,9 @@ func runCtxBench(cfg ctxBenchConfig) error {
 	fmt.Printf("batch-calls=%d batch-entities=%d\n",
 		reg.Counter("ngsi.batch.calls").Value(),
 		reg.Counter("ngsi.batch.entities").Value())
-	return nil
+	return writeBenchJSON("ctxbench", map[string]float64{
+		"writes_per_s": float64(written) / elapsed.Seconds(),
+	})
 }
 
 func entityID(i int) string { return fmt.Sprintf("urn:sim:dev:%07d", i) }

@@ -16,6 +16,12 @@
 //	swamp-sim -tsbench -tslegacy ...                # same load, old engine
 //	swamp-sim -mqttbench -pubs 4 -fansubs 8 -msgs 2000 -stall 1ms
 //	swamp-sim -apibench -devices 10000 -apiqueries 10000 -apisubs 4 -apiupdates 2000
+//	swamp-sim -walbench -walpoints 200000 -walworkers 256         # WAL throughput + recovery
+//	swamp-sim -walbench -walingest -waldir D -walmanifest M       # crash-harness producer
+//	swamp-sim -walbench -walverify -waldir D -walmanifest M       # crash-harness checker
+//
+// Every bench accepts -benchjson FILE to emit its headline metrics for
+// the CI regression guard (cmd/benchguard).
 package main
 
 import (
@@ -61,8 +67,21 @@ func main() {
 		msgs      = flag.Int("msgs", 2000, "mqttbench: total messages published")
 		mqttqueue = flag.Int("mqttqueue", 0, "mqttbench: per-session outbound queue bound (0 = default)")
 		stall     = flag.Duration("stall", time.Millisecond, "mqttbench: per-write delay of the stalled session")
+
+		walbench    = flag.Bool("walbench", false, "stress the durability plane (group-committed WAL appends + recovery)")
+		waldir      = flag.String("waldir", "", "walbench: WAL directory (empty = temp dir; required for ingest/verify)")
+		walpoints   = flag.Int("walpoints", 200_000, "walbench: total telemetry points appended")
+		walbatch    = flag.Int("walbatch", 8, "walbench: telemetry points per record / per acked ingest batch")
+		walworkers  = flag.Int("walworkers", 256, "walbench: concurrent appenders sharing each group commit")
+		walingest   = flag.Bool("walingest", false, "walbench: crash-harness producer — sustained acked ingest until killed")
+		walverify   = flag.Bool("walverify", false, "walbench: crash-harness checker — recover and compare to the manifest")
+		walmanifest = flag.String("walmanifest", "", "walbench: acked-writes manifest path for ingest/verify")
+		walsnap     = flag.Duration("walsnap", 0, "walbench: snapshot cadence during ingest (0 = 2s)")
+
+		benchjson = flag.String("benchjson", "", "write the bench's headline metrics to this JSON file (BENCH_<name>.json shape)")
 	)
 	flag.Parse()
+	benchJSONPath = *benchjson
 
 	switch {
 	case *experiments:
@@ -89,6 +108,15 @@ func main() {
 	case *mqttbench:
 		if err := runMQTTBench(mqttBenchConfig{
 			Pubs: *pubs, Subs: *fansubs, Msgs: *msgs, Queue: *mqttqueue, Stall: *stall,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *walbench:
+		if err := runWALBench(walBenchConfig{
+			Dir: *waldir, Points: *walpoints, Batch: *walbatch, Workers: *walworkers,
+			Devices: *devices, Ingest: *walingest, Verify: *walverify,
+			Manifest: *walmanifest, SnapIntv: *walsnap,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

@@ -71,7 +71,10 @@ func runMQTTBench(cfg mqttBenchConfig) error {
 		fmt.Printf("fan-out speedup (queued vs synchronous): %.1f×\n",
 			queued.throughput()/syncRes.throughput())
 	}
-	return nil
+	return writeBenchJSON("mqttbench", map[string]float64{
+		"deliveries_per_s": queued.throughput(),
+		"p50_us":           float64(queued.p50) / float64(time.Microsecond),
+	})
 }
 
 // mqttBenchRun executes one load: the queued path (compat=false) or the

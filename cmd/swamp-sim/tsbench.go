@@ -115,7 +115,11 @@ func runTSBench(cfg tsBenchConfig) error {
 					return
 				}
 				if store != nil && cfg.Batch > 1 {
-					accepted, rejected := store.AppendBatch(batch)
+					accepted, rejected, err := store.AppendBatch(batch)
+					if err != nil {
+						errs <- err
+						return
+					}
 					if rejected > 0 {
 						errs <- fmt.Errorf("tsbench: %d points rejected", rejected)
 						return
@@ -143,6 +147,10 @@ func runTSBench(cfg tsBenchConfig) error {
 	fmt.Printf("appended %d points in %v  (%.0f points/s)\n",
 		appended.Load(), appendElapsed.Round(time.Millisecond),
 		float64(appended.Load())/appendElapsed.Seconds())
+
+	benchMetrics := map[string]float64{
+		"append_points_per_s": float64(appended.Load()) / appendElapsed.Seconds(),
+	}
 
 	// --- query phase ---
 	if cfg.Queries > 0 {
@@ -175,6 +183,7 @@ func runTSBench(cfg tsBenchConfig) error {
 		fmt.Printf("ran %d summarize+downsample query pairs in %v  (%.0f queries/s, %d points touched)\n",
 			cfg.Queries, queryElapsed.Round(time.Millisecond),
 			float64(cfg.Queries)/queryElapsed.Seconds(), totalCount.Load())
+		benchMetrics["queries_per_s"] = float64(cfg.Queries) / queryElapsed.Seconds()
 	}
 
 	if store != nil {
@@ -182,5 +191,5 @@ func runTSBench(cfg tsBenchConfig) error {
 		fmt.Printf("series=%d sealed-chunks=%d points=%d shards=%d\n",
 			st.Series, st.SealedChunks, st.Points, store.ShardCount())
 	}
-	return nil
+	return writeBenchJSON("tsbench", benchMetrics)
 }

@@ -1,0 +1,419 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/core"
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+	"github.com/swamp-project/swamp/internal/wal"
+)
+
+// walBenchConfig parameterizes the durability-plane stress run.
+type walBenchConfig struct {
+	Dir      string        // WAL directory (empty = a temp dir, bench mode only)
+	Points   int           // total telemetry points appended in bench mode
+	Batch    int           // points per record / per acked ingest batch
+	Workers  int           // concurrent appenders (group commit coalesces across them)
+	Devices  int           // distinct devices in ingest mode
+	Ingest   bool          // crash-harness producer: sustained acked ingest + manifest
+	Verify   bool          // crash-harness checker: recover and compare to manifest
+	Manifest string        // manifest path for Ingest/Verify
+	SnapIntv time.Duration // snapshot cadence during ingest (0 = 2s)
+}
+
+// walManifest is the crash harness contract: a lower bound on the writes
+// that were acknowledged (journaled + fsynced) before the kill. The
+// producer updates it only after acks; the checker asserts recovery
+// yields at least these counts.
+type walManifest struct {
+	Entities int `json:"entities"`
+	Points   int `json:"points"`
+}
+
+func runWALBench(cfg walBenchConfig) error {
+	switch {
+	case cfg.Ingest && cfg.Verify:
+		return fmt.Errorf("walbench: -walingest and -walverify are exclusive")
+	case cfg.Ingest:
+		return walIngest(cfg)
+	case cfg.Verify:
+		return walVerify(cfg)
+	default:
+		return walThroughput(cfg)
+	}
+}
+
+// walThroughput measures (a) group-committed append throughput vs the
+// fsync-per-record baseline and (b) recovery time vs store size.
+func walThroughput(cfg walBenchConfig) error {
+	if cfg.Points <= 0 || cfg.Batch <= 0 || cfg.Workers <= 0 {
+		return fmt.Errorf("walbench: points, batch and workers must be positive")
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "walbench-"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	records := cfg.Points / cfg.Batch
+	if records == 0 {
+		records = 1
+	}
+	fmt.Printf("walbench: %d records × %d points, %d workers\n", records, cfg.Batch, cfg.Workers)
+
+	// --- phase 1: group-committed appends ---
+	groupedDir := filepath.Join(dir, "grouped")
+	groupedPerSec, err := walAppendRun(groupedDir, records, cfg.Batch, cfg.Workers, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group-commit   %8.0f appends/s  (%.0f points/s)\n",
+		groupedPerSec, groupedPerSec*float64(cfg.Batch))
+
+	// --- phase 2: fsync-per-record baseline (fewer records: every append
+	// pays a full fsync) ---
+	syncRecords := records / 10
+	if syncRecords < 50 {
+		syncRecords = 50
+	}
+	if syncRecords > 2000 {
+		syncRecords = 2000
+	}
+	syncDir := filepath.Join(dir, "fsync-each")
+	syncPerSec, err := walAppendRun(syncDir, syncRecords, cfg.Batch, cfg.Workers, true)
+	if err != nil {
+		return err
+	}
+	speedup := 0.0
+	if syncPerSec > 0 {
+		speedup = groupedPerSec / syncPerSec
+	}
+	fmt.Printf("fsync-each     %8.0f appends/s  (%d records)\n", syncPerSec, syncRecords)
+	fmt.Printf("group-commit speedup: %.1f×\n", speedup)
+
+	// --- phase 3: recovery time vs store size (both dirs, two sizes) ---
+	recPerSec := 0.0
+	for _, d := range []string{groupedDir, syncDir} {
+		perSec, recs, pts, elapsed, err := walRecoverRun(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery       %d records (%d points) in %v  (%.0f records/s)\n",
+			recs, pts, elapsed.Round(time.Millisecond), perSec)
+		if d == groupedDir {
+			recPerSec = perSec
+		}
+	}
+
+	return writeBenchJSON("walbench", map[string]float64{
+		"grouped_appends_per_s":    groupedPerSec,
+		"grouped_points_per_s":     groupedPerSec * float64(cfg.Batch),
+		"fsync_each_appends_per_s": syncPerSec,
+		"group_commit_speedup_x":   speedup,
+		"recover_records_per_s":    recPerSec,
+	})
+}
+
+// walAppendRun appends records of batch-sized telemetry payloads from
+// workers goroutines and returns sustained acked appends/s.
+func walAppendRun(dir string, records, batch, workers int, syncEvery bool) (float64, error) {
+	m, err := wal.Open(wal.Config{Dir: dir, SyncEveryRecord: syncEvery})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Recover(func(wal.Record) error { return nil }); err != nil {
+		m.Close()
+		return 0, err
+	}
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	var next atomic.Uint64
+	errs := make(chan error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := timeseries.SeriesKey{
+				Device:   fmt.Sprintf("urn:sim:probe:%06d", w),
+				Quantity: "soilMoisture_d20",
+			}
+			pts := make([]timeseries.BatchPoint, batch)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= records {
+					return
+				}
+				for j := range pts {
+					pts[j] = timeseries.BatchPoint{Key: key, Point: timeseries.Point{
+						At:    base.Add(time.Duration(i*batch+j) * time.Millisecond),
+						Value: 0.2 + float64(j%100)/1000,
+					}}
+				}
+				rec, err := wal.EncodeTelemetry(pts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := m.AppendWait(rec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := m.Close(); err != nil {
+		return 0, err
+	}
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	reg := m.Metrics()
+	fsyncs := reg.Counter("wal.fsync").Value()
+	recs := reg.Counter("wal.append.records").Value()
+	if fsyncs > 0 {
+		fmt.Printf("  [%s] %d records, %d fsyncs (%.1f records/fsync)\n",
+			filepath.Base(dir), recs, fsyncs, float64(recs)/float64(fsyncs))
+	}
+	return float64(records) / elapsed.Seconds(), nil
+}
+
+// walRecoverRun replays a WAL directory and reports throughput.
+func walRecoverRun(dir string) (perSec float64, recs, pts int, elapsed time.Duration, err error) {
+	m, err := wal.Open(wal.Config{Dir: dir})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer m.Close()
+	start := time.Now()
+	if _, err := m.Recover(func(rec wal.Record) error {
+		recs++
+		if rec.Type == wal.TypeTelemetry {
+			batch, err := wal.DecodeTelemetry(rec.Payload)
+			if err != nil {
+				return err
+			}
+			pts += len(batch)
+		}
+		return nil
+	}); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	elapsed = time.Since(start)
+	if elapsed > 0 {
+		perSec = float64(recs) / elapsed.Seconds()
+	}
+	return perSec, recs, pts, elapsed, nil
+}
+
+// walDurablePair builds the standalone broker+store+WAL composition the
+// crash harness drives — the same core.OpenDurability wiring the full
+// platform uses, minus the farm.
+func walDurablePair(dir string, snapIntv time.Duration) (*ngsi.Broker, *timeseries.Store, *core.Durability, error) {
+	reg := metrics.NewRegistry()
+	broker := ngsi.NewBroker(ngsi.BrokerConfig{Metrics: reg})
+	store := timeseries.New()
+	d, err := core.OpenDurability(core.DurabilityConfig{
+		Dir:              dir,
+		SnapshotInterval: snapIntv,
+		Metrics:          reg,
+	}, broker, store, nil)
+	if err != nil {
+		broker.Close()
+		store.Close()
+		return nil, nil, nil, err
+	}
+	return broker, store, d, nil
+}
+
+// walIngest is the crash-harness producer: sustained acked entity +
+// telemetry ingest with periodic snapshots, continuously publishing a
+// manifest of acknowledged counts. CI SIGKILLs it mid-write and then
+// runs walVerify against the same directory.
+func walIngest(cfg walBenchConfig) error {
+	if cfg.Dir == "" || cfg.Manifest == "" {
+		return fmt.Errorf("walbench: -walingest needs -waldir and -walmanifest")
+	}
+	if cfg.Devices <= 0 || cfg.Batch <= 0 || cfg.Workers <= 0 {
+		return fmt.Errorf("walbench: devices, batch and workers must be positive")
+	}
+	snapIntv := cfg.SnapIntv
+	if snapIntv <= 0 {
+		snapIntv = 2 * time.Second
+	}
+	if cfg.Workers > cfg.Devices {
+		cfg.Workers = cfg.Devices // one device per worker minimum
+	}
+	broker, store, d, err := walDurablePair(cfg.Dir, snapIntv)
+	if err != nil {
+		return err
+	}
+	recoveredEntities := broker.EntityCount()
+	recoveredPoints := store.Stats().Points
+	fmt.Printf("walingest: dir=%s devices=%d batch=%d workers=%d snapshots every %v\n",
+		cfg.Dir, cfg.Devices, cfg.Batch, cfg.Workers, snapIntv)
+	fmt.Printf("walingest: recovered %d snapshot + %d tail records (entities=%d points=%d)\n",
+		d.Recovered.SnapshotRecords, d.Recovered.TailRecords,
+		recoveredEntities, recoveredPoints)
+
+	// Each worker owns a disjoint slice of the device id space, so the
+	// distinct-entity lower bound is exact per worker.
+	type workerState struct {
+		ackedIters atomic.Uint64
+		rangeSize  int
+	}
+	states := make([]*workerState, cfg.Workers)
+	per := cfg.Devices / cfg.Workers
+	// Recovered state is durable too (it replays from the retained log
+	// and is re-dumped by the next snapshot), so it seeds the manifest —
+	// a second kill on a recovered directory must still account for the
+	// first run's writes.
+	var ackedPoints atomic.Uint64
+	ackedPoints.Store(uint64(recoveredPoints))
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	// Manifest publisher: post-ack counters only, written atomically.
+	writeManifest := func() error {
+		m := walManifest{Points: int(ackedPoints.Load())}
+		for _, st := range states {
+			if st == nil {
+				continue
+			}
+			n := int(st.ackedIters.Load())
+			if n > st.rangeSize {
+				n = st.rangeSize
+			}
+			m.Entities += n
+		}
+		if m.Entities < recoveredEntities {
+			m.Entities = recoveredEntities
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		tmp := cfg.Manifest + ".partial"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, cfg.Manifest)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == cfg.Workers-1 {
+			hi = cfg.Devices
+		}
+		st := &workerState{rangeSize: hi - lo}
+		states[w] = st
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pts := make([]timeseries.BatchPoint, cfg.Batch)
+			for iter := 0; ; iter++ {
+				dev := entityID(lo + iter%(hi-lo))
+				if err := broker.UpdateAttrs(dev, "SoilProbe", simAttrs(iter)); err != nil {
+					errs <- err
+					return
+				}
+				// Devices are disjoint across workers and iter increases,
+				// so timestamps are unique per series.
+				key := timeseries.SeriesKey{Device: dev, Quantity: "soilMoisture_d20"}
+				for j := range pts {
+					pts[j] = timeseries.BatchPoint{Key: key, Point: timeseries.Point{
+						At:    base.Add(time.Duration(iter*cfg.Batch+j) * time.Millisecond),
+						Value: 0.2 + float64(j%100)/1000,
+					}}
+				}
+				if _, _, err := store.AppendBatch(pts); err != nil {
+					errs <- err
+					return
+				}
+				// Both writes are acked (journaled + fsynced): expose them
+				// to the manifest.
+				st.ackedIters.Add(1)
+				ackedPoints.Add(uint64(cfg.Batch))
+			}
+		}(w, lo, hi)
+	}
+
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	report := time.NewTicker(2 * time.Second)
+	defer report.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case err := <-errs:
+			return err
+		case <-done:
+			return nil
+		case <-tick.C:
+			if err := writeManifest(); err != nil {
+				return err
+			}
+		case <-report.C:
+			fmt.Printf("walingest: acked points=%d entities=%d\n",
+				ackedPoints.Load(), broker.EntityCount())
+		}
+	}
+}
+
+// walVerify is the crash-harness checker: recover the directory into a
+// fresh broker + store and assert at least every manifest-acknowledged
+// write survived.
+func walVerify(cfg walBenchConfig) error {
+	if cfg.Dir == "" || cfg.Manifest == "" {
+		return fmt.Errorf("walbench: -walverify needs -waldir and -walmanifest")
+	}
+	data, err := os.ReadFile(cfg.Manifest)
+	if err != nil {
+		return fmt.Errorf("walbench: manifest: %w", err)
+	}
+	var m walManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("walbench: manifest: %w", err)
+	}
+	start := time.Now()
+	broker, store, d, err := walDurablePair(cfg.Dir, -1) // no periodic snapshots
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	defer func() {
+		broker.Close()
+		store.Close()
+		_ = d.Close()
+	}()
+	entities := broker.EntityCount()
+	points := store.Stats().Points
+	fmt.Printf("walverify: recovered in %v — snapshot=%d tail=%d records, torn=%v\n",
+		elapsed.Round(time.Millisecond),
+		d.Recovered.SnapshotRecords, d.Recovered.TailRecords, d.Recovered.Torn)
+	fmt.Printf("walverify: entities recovered=%d acked=%d | points recovered=%d acked=%d\n",
+		entities, m.Entities, points, m.Points)
+	if entities < m.Entities || points < m.Points {
+		return fmt.Errorf("walbench: recovery lost acknowledged writes (entities %d<%d or points %d<%d)",
+			entities, m.Entities, points, m.Points)
+	}
+	fmt.Println("walverify: OK — every acknowledged write recovered")
+	return nil
+}

@@ -37,12 +37,18 @@ func main() {
 		whWorkers = flag.Int("webhook-workers", 0, "concurrent webhook notification deliveries (0 = default)")
 		whRetry   = flag.Duration("webhook-retry", 0, "first webhook retry backoff, doubling per attempt (0 = default)")
 		queryCap  = flag.Int("query-cap", 0, "hard cap on /v2/entities page sizes (0 = default)")
+		walDir    = flag.String("wal-dir", "", "durability: WAL+snapshot directory (empty = in-memory only; existing state is recovered on start)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "durability: WAL segment roll threshold (0 = default 8MiB)")
+		walFsync  = flag.Duration("wal-fsync-interval", 0, "durability: group-commit coalescing window (0 = fsync when the commit queue drains)")
+		snapEvery = flag.Duration("snapshot-interval", 0, "durability: snapshot + WAL truncation cadence (0 = default 5m)")
 	)
 	flag.Parse()
 	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, core.Options{
 		Sealed:           *sealed,
 		MQTTSessionQueue: *mqttQueue, MQTTRetryInterval: *mqttRetry,
 		WebhookWorkers: *whWorkers, WebhookRetry: *whRetry, QueryResultCap: *queryCap,
+		WALDir: *walDir, WALSegmentBytes: *walSeg,
+		WALFsyncInterval: *walFsync, SnapshotInterval: *snapEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "swampd:", err)
 		os.Exit(1)
@@ -109,6 +115,12 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, o
 		fmt.Printf("swampd: http API on %s (POST /oauth/token, GET /v2/entities?q=&limit=, /v2/subscriptions, /healthz, /metrics)\n", httpLn.Addr())
 	}
 	fmt.Printf("swampd: pilot=%s mode=%s mqtt=%s sealed=%v\n", pilot.Name, mode, ln.Addr(), opts.Sealed)
+	if p.Durable != nil {
+		st := p.Durable.Recovered
+		fmt.Printf("swampd: wal=%s recovered %d snapshot + %d tail records (torn=%v) — entities=%d points=%d\n",
+			opts.WALDir, st.SnapshotRecords, st.TailRecords, st.Torn,
+			p.Context.EntityCount(), p.Store.Stats().Points)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

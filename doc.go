@@ -15,6 +15,14 @@
 // via POST /v2/op/update; OAuth2 tokens at POST /oauth/token — every
 // data route behind the PEP.
 //
+// State survives restarts through the durability plane (internal/wal): a
+// segmented, group-committed write-ahead log plus point-in-time
+// snapshots under the context broker and the time-series engine, with
+// corruption-tolerant crash recovery on startup. Enable it with
+// core.Options.WALDir / swampd -wal-dir; tune with -wal-segment-bytes,
+// -wal-fsync-interval and -snapshot-interval (DESIGN.md §7 has the full
+// knob table and the recovery protocol).
+//
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, EXPERIMENTS.md for the derived experiment results, and
 // bench_test.go in this directory for the harness that regenerates every

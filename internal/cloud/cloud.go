@@ -30,6 +30,7 @@ type Ingestor struct {
 	// registry map.
 	cReadings, cInvalid *metrics.Counter
 	cBatches, cNotifs   *metrics.Counter
+	cJournalErr         *metrics.Counter
 }
 
 // NewIngestor builds an ingestor over store. metricsReg may be nil.
@@ -38,12 +39,13 @@ func NewIngestor(store *timeseries.Store, metricsReg *metrics.Registry) *Ingesto
 		metricsReg = metrics.NewRegistry()
 	}
 	return &Ingestor{
-		store:     store,
-		reg:       metricsReg,
-		cReadings: metricsReg.Counter("cloud.ingest.readings"),
-		cInvalid:  metricsReg.Counter("cloud.ingest.invalid"),
-		cBatches:  metricsReg.Counter("cloud.ingest.batches"),
-		cNotifs:   metricsReg.Counter("cloud.ingest.notifications"),
+		store:       store,
+		reg:         metricsReg,
+		cReadings:   metricsReg.Counter("cloud.ingest.readings"),
+		cInvalid:    metricsReg.Counter("cloud.ingest.invalid"),
+		cBatches:    metricsReg.Counter("cloud.ingest.batches"),
+		cNotifs:     metricsReg.Counter("cloud.ingest.notifications"),
+		cJournalErr: metricsReg.Counter("cloud.ingest.journal_errors"),
 	}
 }
 
@@ -74,7 +76,7 @@ func (i *Ingestor) IngestReadings(batch []model.Reading) error {
 			Point: timeseries.Point{At: r.At, Value: r.Value},
 		})
 	}
-	accepted, rejected := i.store.AppendBatch(pts)
+	accepted, rejected, err := i.store.AppendBatch(pts)
 	invalid += rejected
 	i.cBatches.Inc()
 	if accepted > 0 {
@@ -83,7 +85,10 @@ func (i *Ingestor) IngestReadings(batch []model.Reading) error {
 	if invalid > 0 {
 		i.cInvalid.Add(uint64(invalid))
 	}
-	return nil
+	// A durability error (WAL append failure) is a transport-class
+	// failure, unlike per-reading validation: surface it so the fog
+	// node's store-and-forward loop retries the batch.
+	return err
 }
 
 func quantityKey(r model.Reading) string {
@@ -121,12 +126,18 @@ func (i *Ingestor) NotificationHandler() ngsi.Handler {
 			})
 		}
 		if len(pts) > 0 {
-			accepted, rejected := i.store.AppendBatch(pts)
+			accepted, rejected, err := i.store.AppendBatch(pts)
 			if accepted > 0 {
 				i.cReadings.Add(uint64(accepted))
 			}
 			if rejected > 0 {
 				i.cInvalid.Add(uint64(rejected))
+			}
+			if err != nil {
+				// Notification handlers cannot return errors; surface the
+				// durability failure (points applied in memory but not
+				// journaled) on its own counter so it is observable.
+				i.cJournalErr.Inc()
 			}
 		}
 		i.cNotifs.Inc()

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+	"github.com/swamp-project/swamp/internal/wal"
+)
+
+// DefaultSnapshotInterval is the periodic snapshot cadence when
+// DurabilityConfig.SnapshotInterval is zero.
+const DefaultSnapshotInterval = 5 * time.Minute
+
+// DurabilityConfig configures the durability plane of one deployment.
+type DurabilityConfig struct {
+	// Dir is the WAL directory. Required.
+	Dir string
+	// SegmentBytes is the WAL segment roll threshold
+	// (0 → wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// FsyncInterval is the group-commit coalescing window (0 → fsync as
+	// soon as the commit queue drains; batching still emerges under
+	// concurrent writers).
+	FsyncInterval time.Duration
+	// SnapshotInterval is the periodic snapshot + truncation cadence
+	// (0 → DefaultSnapshotInterval; negative disables periodic snapshots
+	// — Snapshot can still be called manually).
+	SnapshotInterval time.Duration
+	// SyncEveryRecord forces one fsync per record (bench baseline).
+	SyncEveryRecord bool
+	// Metrics receives the wal.* counters; nil allocates one.
+	Metrics *metrics.Registry
+}
+
+// Durability wires one WAL manager under a context broker and a
+// time-series store (plus, optionally, a webhook pool for recovering
+// HTTP subscriptions): the composition the Platform and the walbench
+// crash harness share.
+//
+// Recovery semantics: every mutation acknowledged before a crash is
+// recovered. Entity records replay convergently (attribute writes are
+// absolute assignments, so replaying a tail record already reflected in
+// the snapshot is a no-op); telemetry records are exact-once — the
+// snapshot dump freezes the store across the WAL rotation boundary, so
+// snapshot state and tail records partition the acknowledged points.
+// Notifications replayed from the tail may redeliver to webhook
+// endpoints: durability is at-least-once at the notification layer.
+type Durability struct {
+	WAL      *wal.Manager
+	Context  *ngsi.Broker
+	Store    *timeseries.Store
+	Webhooks *ngsi.WebhookPool
+	// Recovered reports what the opening recovery replayed.
+	Recovered wal.RecoverStats
+}
+
+// OpenDurability opens (or creates) the WAL directory, replays its
+// snapshot + tail into the given broker, store and webhook pool — all of
+// which must be freshly constructed and not yet serving traffic — then
+// attaches the journals so every subsequent mutation is logged, and
+// starts the periodic snapshotter. Close the Durability after the stores
+// have stopped writing.
+func OpenDurability(cfg DurabilityConfig, ctx *ngsi.Broker, store *timeseries.Store, hooks *ngsi.WebhookPool) (*Durability, error) {
+	if ctx == nil || store == nil {
+		return nil, fmt.Errorf("core: durability needs a context broker and a store")
+	}
+	m, err := wal.Open(wal.Config{
+		Dir:             cfg.Dir,
+		SegmentBytes:    cfg.SegmentBytes,
+		FsyncInterval:   cfg.FsyncInterval,
+		SyncEveryRecord: cfg.SyncEveryRecord,
+		Metrics:         cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Durability{WAL: m, Context: ctx, Store: store, Webhooks: hooks}
+	stats, err := m.Recover(d.apply)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("core: WAL recovery: %w", err)
+	}
+	d.Recovered = stats
+	ctx.SetJournal(m.ContextJournal())
+	store.SetJournal(m.TelemetryJournal())
+	if cfg.SnapshotInterval >= 0 {
+		interval := cfg.SnapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		m.StartSnapshots(interval, d.dump)
+	}
+	return d, nil
+}
+
+// Close stops the snapshotter and flushes + closes the log. Call it after
+// every writer (broker, store, webhook pool) has stopped.
+func (d *Durability) Close() error { return d.WAL.Close() }
+
+// Snapshot takes one snapshot now and truncates covered segments.
+func (d *Durability) Snapshot() error { return d.WAL.Snapshot(d.dump) }
+
+// apply replays one record during recovery. The journals are not yet
+// attached, so nothing replayed is re-logged.
+func (d *Durability) apply(rec wal.Record) error {
+	switch rec.Type {
+	case wal.TypeEntityUpsert:
+		e, err := wal.DecodeEntityUpsert(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return d.Context.UpsertEntity(e)
+	case wal.TypeEntityMerge:
+		entries, err := wal.DecodeEntityMerge(rec.Payload)
+		if err != nil {
+			return err
+		}
+		for _, en := range entries {
+			if err := d.Context.UpdateAttrs(en.ID, en.Type, en.Attrs); err != nil {
+				return err
+			}
+		}
+		return nil
+	case wal.TypeEntityDelete:
+		id, err := wal.DecodeID(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// A tail delete may target an entity the snapshot already lacks.
+		if err := d.Context.DeleteEntity(id); err != nil && !errors.Is(err, ngsi.ErrNotFound) {
+			return err
+		}
+		return nil
+	case wal.TypeSubscriptionPut:
+		sr, err := wal.DecodeSubscriptionPut(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if d.Webhooks == nil {
+			return nil // no pool to rebuild delivery workers in
+		}
+		// Replay idempotently: a subscription present in both the
+		// snapshot and the tail replaces itself.
+		if _, err := d.Context.Subscription(sr.ID); err == nil {
+			_ = d.Context.Unsubscribe(sr.ID)
+		}
+		d.Webhooks.Remove(sr.ID)
+		notifier, err := d.Webhooks.Notifier(sr.ID, sr.Endpoint)
+		if err != nil {
+			return err
+		}
+		_, err = d.Context.Subscribe(ngsi.Subscription{
+			ID:              sr.ID,
+			EntityIDPattern: sr.EntityIDPattern,
+			EntityType:      sr.EntityType,
+			ConditionAttrs:  sr.ConditionAttrs,
+			NotifyAttrs:     sr.NotifyAttrs,
+			Throttling:      sr.Throttling,
+			Owner:           sr.Owner,
+			Notifier:        notifier,
+		})
+		if err != nil {
+			d.Webhooks.Remove(sr.ID)
+		}
+		return err
+	case wal.TypeSubscriptionDelete:
+		id, err := wal.DecodeID(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := d.Context.Unsubscribe(id); err != nil && !errors.Is(err, ngsi.ErrNotFound) {
+			return err
+		}
+		if d.Webhooks != nil {
+			d.Webhooks.Remove(id)
+		}
+		return nil
+	case wal.TypeTelemetry:
+		pts, err := wal.DecodeTelemetry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_, rejected, err := d.Store.AppendBatch(pts)
+		if err != nil {
+			return err
+		}
+		if rejected > 0 {
+			return fmt.Errorf("core: replay rejected %d telemetry points", rejected)
+		}
+		return nil
+	default:
+		// Unknown record type: written by a newer version. Refuse rather
+		// than silently dropping acknowledged writes.
+		return fmt.Errorf("core: unknown WAL record type %d", rec.Type)
+	}
+}
+
+// telemetrySnapshotChunk bounds the points per snapshot record so one
+// huge series cannot produce an oversized record.
+const telemetrySnapshotChunk = 2048
+
+// dump streams the platform state as a snapshot. Order matters:
+//
+//  1. telemetry first, under DumpFrozen — the store is frozen while the
+//     WAL rotates, which is what makes point recovery exact-count;
+//  2. then entities (after the rotation, so any concurrent update is in
+//     the tail too; replaying it on top of the snapshot converges
+//     because attribute writes are absolute);
+//  3. then webhook subscriptions — last, so replaying the snapshot's
+//     entities never fires recovered subscriptions.
+func (d *Durability) dump(rotate func() error, sink func(wal.Record) error) error {
+	err := d.Store.DumpFrozen(rotate, func(key timeseries.SeriesKey, pts []timeseries.Point) error {
+		for start := 0; start < len(pts); start += telemetrySnapshotChunk {
+			end := start + telemetrySnapshotChunk
+			if end > len(pts) {
+				end = len(pts)
+			}
+			batch := make([]timeseries.BatchPoint, end-start)
+			for i := range batch {
+				batch[i] = timeseries.BatchPoint{Key: key, Point: pts[start+i]}
+			}
+			rec, err := wal.EncodeTelemetry(batch)
+			if err != nil {
+				return err
+			}
+			if err := sink(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.Context.DumpEntities(func(e *ngsi.Entity) error {
+		rec, err := wal.EncodeEntityUpsert(e)
+		if err != nil {
+			return err
+		}
+		return sink(rec)
+	}); err != nil {
+		return err
+	}
+	if d.Webhooks == nil {
+		return nil
+	}
+	for _, v := range d.Context.Subscriptions() {
+		url, ok := d.Webhooks.URL(v.ID)
+		if !ok {
+			continue // in-process wiring: rebuilt on startup, not persisted
+		}
+		rec, err := wal.EncodeSubscriptionPut(wal.SubscriptionRecord{
+			ID:              v.ID,
+			EntityIDPattern: v.EntityIDPattern,
+			EntityType:      v.EntityType,
+			ConditionAttrs:  v.ConditionAttrs,
+			NotifyAttrs:     v.NotifyAttrs,
+			Throttling:      v.Throttling,
+			Owner:           v.Owner,
+			Endpoint:        url,
+		})
+		if err != nil {
+			return err
+		}
+		if err := sink(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// durablePair builds a fresh broker+store+pool over dir. snapIntv < 0
+// disables periodic snapshots.
+func durablePair(t *testing.T, dir string, snapIntv time.Duration) (*ngsi.Broker, *timeseries.Store, *ngsi.WebhookPool, *Durability) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	broker := ngsi.NewBroker(ngsi.BrokerConfig{Metrics: reg})
+	store := timeseries.New()
+	pool := ngsi.NewWebhookPool(ngsi.WebhookConfig{
+		Metrics:  reg,
+		OnStatus: ngsi.StatusUpdater(broker),
+	})
+	d, err := OpenDurability(DurabilityConfig{
+		Dir:              dir,
+		SnapshotInterval: snapIntv,
+		Metrics:          reg,
+	}, broker, store, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		broker.Close()
+		pool.Close()
+		store.Close()
+		_ = d.Close()
+	})
+	return broker, store, pool, d
+}
+
+func TestDurabilityRecoversContextAndTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	broker, store, _, d := durablePair(t, dir, -1)
+
+	// Context mutations: upsert, merge, delete.
+	if err := broker.UpsertEntity(&ngsi.Entity{
+		ID: "urn:test:a", Type: "SoilProbe",
+		Attrs: map[string]ngsi.Attribute{"m": {Type: "Number", Value: 0.25}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.UpdateAttrs("urn:test:a", "SoilProbe", map[string]ngsi.Attribute{
+		"m2": {Type: "Number", Value: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BatchUpdate(map[string]ngsi.BatchEntry{
+		"urn:test:b": {Type: "SoilProbe", Attrs: map[string]ngsi.Attribute{"m": {Type: "Number", Value: 1.0}}},
+		"urn:test:c": {Type: "SoilProbe", Attrs: map[string]ngsi.Attribute{"m": {Type: "Number", Value: 2.0}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.DeleteEntity("urn:test:c"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Telemetry: single and batch.
+	key := timeseries.SeriesKey{Device: "dev-1", Quantity: "m"}
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := store.Append(key, timeseries.Point{At: base, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]timeseries.BatchPoint, 50)
+	for i := range batch {
+		batch[i] = timeseries.BatchPoint{Key: key, Point: timeseries.Point{
+			At: base.Add(time.Duration(i+1) * time.Second), Value: float64(i),
+		}}
+	}
+	if _, _, err := store.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	broker.Close()
+	store.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh stores over the same dir: everything must come back.
+	broker2, store2, _, d2 := durablePair(t, dir, -1)
+	if d2.Recovered.TailRecords == 0 {
+		t.Fatalf("nothing replayed: %+v", d2.Recovered)
+	}
+	if n := broker2.EntityCount(); n != 2 {
+		t.Fatalf("recovered %d entities, want 2 (a, b — c was deleted)", n)
+	}
+	a, err := broker2.GetEntity("urn:test:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Attrs["m"].Float(); v != 0.25 {
+		t.Fatalf("a.m = %v", a.Attrs["m"].Value)
+	}
+	if v, _ := a.Attrs["m2"].Float(); v != 0.5 {
+		t.Fatalf("a.m2 = %v", a.Attrs["m2"].Value)
+	}
+	if _, err := broker2.GetEntity("urn:test:c"); err == nil {
+		t.Fatal("deleted entity resurrected")
+	}
+	if n := store2.Len(key); n != 51 {
+		t.Fatalf("recovered %d points, want 51", n)
+	}
+	latest, ok := store2.Latest(key)
+	if !ok || !latest.At.Equal(base.Add(50*time.Second)) {
+		t.Fatalf("latest = %+v", latest)
+	}
+}
+
+func TestDurabilityRecoversAcrossSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	broker, store, _, d := durablePair(t, dir, -1)
+
+	key := timeseries.SeriesKey{Device: "dev-1", Quantity: "m"}
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 40; i++ {
+		if err := store.Append(key, timeseries.Point{At: base.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := broker.UpsertEntity(&ngsi.Entity{
+		ID: "urn:test:a", Type: "SoilProbe",
+		Attrs: map[string]ngsi.Attribute{"m": {Type: "Number", Value: 0.25}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot tail.
+	for i := 40; i < 55; i++ {
+		if err := store.Append(key, timeseries.Point{At: base.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := broker.UpdateAttrs("urn:test:a", "SoilProbe", map[string]ngsi.Attribute{
+		"m": {Type: "Number", Value: 0.75},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	broker.Close()
+	store.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	broker2, store2, _, d2 := durablePair(t, dir, -1)
+	if d2.Recovered.SnapshotRecords == 0 || d2.Recovered.TailRecords == 0 {
+		t.Fatalf("expected snapshot + tail replay: %+v", d2.Recovered)
+	}
+	if n := store2.Len(key); n != 55 {
+		t.Fatalf("recovered %d points, want 55 (snapshot 40 + tail 15, no duplicates)", n)
+	}
+	a, err := broker2.GetEntity("urn:test:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Attrs["m"].Float(); v != 0.75 {
+		t.Fatalf("tail update lost: m = %v", a.Attrs["m"].Value)
+	}
+}
+
+// TestDurabilityExactCountsUnderConcurrentSnapshots is the core
+// correctness property: with appends racing snapshots (rotation +
+// DumpFrozen + truncation), recovery must reproduce exactly the
+// acknowledged point count — no duplicates from the snapshot/tail
+// overlap, no losses from truncation.
+func TestDurabilityExactCountsUnderConcurrentSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	broker, store, _, d := durablePair(t, dir, -1)
+
+	const workers = 4
+	const perWorker = 300
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	var acked atomic.Uint64
+	var appenders sync.WaitGroup
+	errs := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		appenders.Add(1)
+		go func(w int) {
+			defer appenders.Done()
+			key := timeseries.SeriesKey{Device: fmt.Sprintf("dev-%d", w), Quantity: "m"}
+			for i := 0; i < perWorker; i++ {
+				batch := []timeseries.BatchPoint{
+					{Key: key, Point: timeseries.Point{At: base.Add(time.Duration(2*i) * time.Millisecond), Value: 1}},
+					{Key: key, Point: timeseries.Point{At: base.Add(time.Duration(2*i+1) * time.Millisecond), Value: 2}},
+				}
+				if _, _, err := store.AppendBatch(batch); err != nil {
+					errs <- err
+					return
+				}
+				acked.Add(2)
+			}
+		}(w)
+	}
+	// Snapshot storm concurrent with the appends.
+	stop := make(chan struct{})
+	var snapper sync.WaitGroup
+	snapper.Add(1)
+	go func() {
+		defer snapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := d.Snapshot(); err != nil {
+					errs <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	appenders.Wait()
+	close(stop)
+	snapper.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	total := int(acked.Load())
+	broker.Close()
+	store.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, store2, _, _ := durablePair(t, dir, -1)
+	if got := store2.Stats().Points; got != total {
+		t.Fatalf("recovered %d points, want exactly %d acked", got, total)
+	}
+}
+
+func TestDurabilityWebhookSubscriptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	var received atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		received.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	broker, store, pool, d := durablePair(t, dir, -1)
+	notifier, err := pool.Notifier("urn:swamp:subscription:000007", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Subscribe(ngsi.Subscription{
+		ID:              "urn:swamp:subscription:000007",
+		EntityIDPattern: "urn:test:*",
+		NotifyAttrs:     []string{"m"},
+		Owner:           "tenant-1",
+		Notifier:        notifier,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second durable subscription that gets deleted: must stay deleted.
+	n2, err := pool.Notifier("urn:swamp:subscription:000008", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Subscribe(ngsi.Subscription{
+		ID: "urn:swamp:subscription:000008", EntityIDPattern: "*", Notifier: n2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Unsubscribe("urn:swamp:subscription:000008"); err != nil {
+		t.Fatal(err)
+	}
+	pool.Remove("urn:swamp:subscription:000008")
+	// An in-process subscription: must NOT be journaled.
+	if _, err := broker.Subscribe(ngsi.Subscription{
+		EntityIDPattern: "*", Notifier: ngsi.Callback(func(ngsi.Notification) {}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	broker.Close()
+	pool.Close()
+	store.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	broker2, _, pool2, _ := durablePair(t, dir, -1)
+	subs := broker2.Subscriptions()
+	if len(subs) != 1 || subs[0].ID != "urn:swamp:subscription:000007" {
+		t.Fatalf("recovered subscriptions: %+v", subs)
+	}
+	if subs[0].Owner != "tenant-1" || subs[0].EntityIDPattern != "urn:test:*" {
+		t.Fatalf("subscription fields lost: %+v", subs[0])
+	}
+	if url, ok := pool2.URL("urn:swamp:subscription:000007"); !ok || url != srv.URL {
+		t.Fatalf("webhook URL not restored: %q %v", url, ok)
+	}
+	// And it still delivers: an update must reach the endpoint.
+	if err := broker2.UpsertEntity(&ngsi.Entity{
+		ID: "urn:test:x", Type: "SoilProbe",
+		Attrs: map[string]ngsi.Attribute{"m": {Type: "Number", Value: 0.1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if received.Load() == 0 {
+		t.Fatal("recovered webhook subscription never delivered")
+	}
+}
+
+func TestPlatformWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Pilot:  PilotIntercrop,
+		Mode:   ModeFarmFog,
+		WALDir: dir,
+		// Disable periodic snapshots: this test exercises pure tail replay
+		// through the full platform wiring.
+		SnapshotInterval: -1,
+	}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Context.UpsertEntity(&ngsi.Entity{
+		ID: "urn:test:persist", Type: "Marker",
+		Attrs: map[string]ngsi.Attribute{"v": {Type: "Number", Value: 42.0}},
+	}); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	key := timeseries.SeriesKey{Device: "dev-p", Quantity: "m"}
+	if err := p.Store.Append(key, timeseries.Point{At: time.Now(), Value: 7}); err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	entities := p.Context.EntityCount()
+	p.Close()
+
+	p2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.Durable == nil {
+		t.Fatal("platform did not open durability plane")
+	}
+	if got := p2.Context.EntityCount(); got < entities {
+		t.Fatalf("recovered %d entities, want >= %d", got, entities)
+	}
+	e, err := p2.Context.GetEntity("urn:test:persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Attrs["v"].Float(); v != 42.0 {
+		t.Fatalf("v = %v", e.Attrs["v"].Value)
+	}
+	if n := p2.Store.Len(key); n != 1 {
+		t.Fatalf("recovered %d points for %s, want 1", n, key)
+	}
+}

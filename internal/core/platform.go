@@ -172,6 +172,25 @@ type Options struct {
 	// HTTP API enforces (0 → httpapi.DefaultQueryCap). The platform
 	// records it here; swampd passes it to the API server.
 	QueryResultCap int
+	// WALDir enables the durability plane: a segmented write-ahead log
+	// plus snapshots under the context broker and telemetry store. On
+	// New, any existing state in the directory is recovered before the
+	// platform starts serving. Empty disables durability (the pre-WAL
+	// in-memory behavior).
+	WALDir string
+	// WALSegmentBytes is the WAL segment roll threshold
+	// (0 → wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// WALFsyncInterval is the group-commit coalescing window: how long
+	// the committer accumulates more records after a batch's first before
+	// fsyncing once for all of them (0 → fsync as soon as the commit
+	// queue drains; batching still emerges under concurrent writers).
+	WALFsyncInterval time.Duration
+	// SnapshotInterval is the cadence of point-in-time snapshots that
+	// seal store state and truncate covered WAL segments
+	// (0 → DefaultSnapshotInterval; negative disables periodic
+	// snapshots). Only meaningful with WALDir set.
+	SnapshotInterval time.Duration
 }
 
 // Platform is one fully wired SWAMP deployment.
@@ -197,6 +216,9 @@ type Platform struct {
 	Ingestor  *cloud.Ingestor
 	Analytics *cloud.Analytics
 	Backhaul  *Backhaul
+
+	// Durability plane (nil unless Options.WALDir is set).
+	Durable *Durability
 
 	// Farm plane.
 	Fog       *fog.Node
@@ -317,18 +339,18 @@ func New(opts Options) (*Platform, error) {
 		Clock:           opts.TransportClock,
 	})
 	p.Broker.Tap = p.Anomaly.OnMessage
-	p.cleanups = append(p.cleanups, p.Broker.Close)
 
 	// --- context plane ---
+	// Component shutdown is NOT registered in cleanups: Close sequences
+	// the planes explicitly (ingress → drains → stores → WAL) so
+	// in-flight work lands before the stores it lands in go away.
 	p.Context = ngsi.NewBroker(ngsi.BrokerConfig{Metrics: p.reg, Shards: opts.ContextShards})
-	p.cleanups = append(p.cleanups, p.Context.Close)
 	p.Webhooks = ngsi.NewWebhookPool(ngsi.WebhookConfig{
 		Metrics:      p.reg,
 		Workers:      opts.WebhookWorkers,
 		RetryBackoff: opts.WebhookRetry,
 		OnStatus:     ngsi.StatusUpdater(p.Context),
 	})
-	p.cleanups = append(p.cleanups, p.Webhooks.Close)
 
 	// --- cloud plane ---
 	tsOpts := []timeseries.Option{
@@ -343,11 +365,29 @@ func New(opts Options) (*Platform, error) {
 			timeseries.WithClock(opts.TelemetryClock))
 	}
 	p.Store = timeseries.New(tsOpts...)
-	p.cleanups = append(p.cleanups, p.Store.Close)
 	p.Ingestor = cloud.NewIngestor(p.Store, p.reg)
 	p.Analytics = cloud.NewAnalytics(p.Store)
 	lat := opts.BackhaulLatency
 	p.Backhaul = NewBackhaul(lat)
+
+	// --- durability plane ---
+	// Recovery runs before any internal subscription is wired, so
+	// replaying entities cannot fire platform callbacks; only recovered
+	// webhook subscriptions see (at-least-once) tail redeliveries.
+	if opts.WALDir != "" {
+		d, err := OpenDurability(DurabilityConfig{
+			Dir:              opts.WALDir,
+			SegmentBytes:     opts.WALSegmentBytes,
+			FsyncInterval:    opts.WALFsyncInterval,
+			SnapshotInterval: opts.SnapshotInterval,
+			Metrics:          p.reg,
+		}, p.Context, p.Store, p.Webhooks)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.Durable = d
+	}
 
 	// Context → anomaly + cloud persistence. In fog modes the fog node
 	// forwards telemetry instead, so the context subscription only feeds
@@ -381,10 +421,9 @@ func New(opts Options) (*Platform, error) {
 		p.Close()
 		return nil, err
 	}
-	// Register before Start so a construction failure below still stops
-	// the batcher goroutine; cleanups run in reverse order, so this stops
-	// the agent before the context broker closes.
-	p.cleanups = append(p.cleanups, p.Agent.Stop)
+	// Agent.Stop is sequenced explicitly in Close (after the clients
+	// disconnect, before the context broker closes) so the northbound
+	// batcher flushes into a live broker.
 	if err := p.Agent.Start(); err != nil {
 		p.Close()
 		return nil, err
@@ -754,7 +793,25 @@ func (p *Platform) cloudLatest() map[string]model.Reading {
 // Metrics returns the shared registry.
 func (p *Platform) Metrics() *metrics.Registry { return p.reg }
 
-// Close tears the platform down in reverse construction order.
+// Close tears the platform down in dependency order, not construction
+// order: stop ingress first, then drain every in-flight queue into the
+// stores it feeds, then close the stores, and flush the WAL last — so
+// no acknowledged work is lost at shutdown.
+//
+//  1. disconnect MQTT clients (devices, then infrastructure) so no new
+//     traffic enters;
+//  2. stop the IoT agent, flushing its northbound batcher into the
+//     context broker;
+//  3. close the MQTT broker, draining per-session outbound queues;
+//  4. close the context broker, draining shard notification queues into
+//     their notifiers (webhook queues, fog ingest, cloud persistence);
+//  5. drain and close the webhook pool (bounded wait — a stalled
+//     endpoint cannot wedge shutdown);
+//  6. flush the fog node's store-and-forward backlog while the backhaul
+//     is still reachable;
+//  7. close the telemetry store (stops background eviction);
+//  8. close the durability plane last: every write the steps above
+//     produced group-commits and fsyncs before Close returns.
 func (p *Platform) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -767,5 +824,27 @@ func (p *Platform) Close() {
 	p.mu.Unlock()
 	for i := len(cleanups) - 1; i >= 0; i-- {
 		cleanups[i]()
+	}
+	if p.Agent != nil {
+		p.Agent.Stop()
+	}
+	if p.Broker != nil {
+		p.Broker.Close()
+	}
+	if p.Context != nil {
+		p.Context.Close()
+	}
+	if p.Webhooks != nil {
+		p.Webhooks.Drain(2 * time.Second)
+		p.Webhooks.Close()
+	}
+	if p.Fog != nil {
+		p.Fog.Flush()
+	}
+	if p.Store != nil {
+		p.Store.Close()
+	}
+	if p.Durable != nil {
+		_ = p.Durable.Close()
 	}
 }

@@ -79,6 +79,10 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.QueryDefaultLimit = cfg.QueryMaxLimit
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	// WAL recovery may have repopulated the broker with HTTP-created
+	// subscriptions; advance the id counter past them so fresh creations
+	// never collide with recovered ids.
+	seedSubscriptionCounter(cfg.Context)
 	if s.cfg.Webhooks == nil {
 		s.cfg.Webhooks = ngsi.NewWebhookPool(ngsi.WebhookConfig{
 			Metrics:  cfg.Metrics,

@@ -16,6 +16,25 @@ import (
 // out of the broker's own "sub-N" namespace.
 var nextSubID atomic.Uint64
 
+// seedSubscriptionCounter bumps nextSubID past every existing
+// HTTP-namespace subscription id in the broker (monotonically — the
+// counter is shared across servers), so ids survive a WAL recovery
+// without colliding.
+func seedSubscriptionCounter(b *ngsi.Broker) {
+	for _, v := range b.Subscriptions() {
+		var n uint64
+		if _, err := fmt.Sscanf(v.ID, "urn:swamp:subscription:%d", &n); err != nil {
+			continue
+		}
+		for {
+			cur := nextSubID.Load()
+			if n <= cur || nextSubID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+}
+
 // subscriptionBody is the accepted payload of POST /v2/subscriptions —
 // the Orion subscription shape restricted to one subject entity selector
 // and an HTTP notification target.

@@ -99,6 +99,11 @@ type Broker struct {
 	nextSub int
 	index   atomic.Pointer[subIndex]
 
+	// journal, when set, receives every accepted mutation; callers are
+	// only acknowledged once the journal ack resolves. Set via SetJournal
+	// before the broker receives traffic.
+	journal Journal
+
 	// Hot-path counters, resolved once so updates never touch the registry
 	// map.
 	cUpsert, cUpdate, cDelete     *metrics.Counter
@@ -269,7 +274,17 @@ func (b *Broker) UpsertEntity(e *Entity) error {
 	sh.entities[cp.ID] = cp
 	b.cUpsert.Inc()
 	b.notifyShardLocked(sh, cp, changed)
+	var ack JournalAck
+	if b.journal != nil {
+		// Encode under the shard lock (cp is the live stored entity) and
+		// enqueue here so log order matches apply order; the fsync wait
+		// happens after unlock.
+		ack = b.journal.EntityUpserted(cp)
+	}
 	sh.mu.Unlock()
+	if ack != nil {
+		return ack.Wait()
+	}
 	return nil
 }
 
@@ -293,20 +308,33 @@ func (b *Broker) UpdateAttrs(id, typ string, attrs map[string]Attribute) error {
 		sh.mu.Unlock()
 		return ErrClosed
 	}
-	b.applyUpdateLocked(sh, id, typ, attrs, now)
+	entry := b.applyUpdateLocked(sh, id, typ, attrs, now)
+	var ack JournalAck
+	if b.journal != nil {
+		ack = b.journal.EntitiesMerged([]MergeEntry{entry})
+	}
 	sh.mu.Unlock()
+	if ack != nil {
+		return ack.Wait()
+	}
 	return nil
 }
 
 // applyUpdateLocked merges attrs into the entity and fires subscriptions.
-// sh.mu must be held for writing.
-func (b *Broker) applyUpdateLocked(sh *shard, id, typ string, attrs map[string]Attribute, now time.Time) {
+// sh.mu must be held for writing. When a journal is attached, the
+// returned MergeEntry carries the attributes exactly as applied
+// (timestamps resolved) for the caller to log; otherwise it is zero.
+func (b *Broker) applyUpdateLocked(sh *shard, id, typ string, attrs map[string]Attribute, now time.Time) MergeEntry {
 	e := sh.entities[id]
 	if e == nil {
 		e = &Entity{ID: id, Type: typ, Attrs: make(map[string]Attribute, len(attrs))}
 		sh.entities[id] = e
 	}
 	changed := make([]string, 0, len(attrs))
+	var resolved map[string]Attribute
+	if b.journal != nil {
+		resolved = make(map[string]Attribute, len(attrs))
+	}
 	for k, a := range attrs {
 		ca := cloneAttr(a)
 		if ca.At.IsZero() {
@@ -314,9 +342,16 @@ func (b *Broker) applyUpdateLocked(sh *shard, id, typ string, attrs map[string]A
 		}
 		e.Attrs[k] = ca
 		changed = append(changed, k)
+		if resolved != nil {
+			resolved[k] = ca
+		}
 	}
 	b.cUpdate.Inc()
 	b.notifyShardLocked(sh, e, changed)
+	if resolved == nil {
+		return MergeEntry{}
+	}
+	return MergeEntry{ID: id, Type: e.Type, Attrs: resolved}
 }
 
 // BatchEntry is one entity's slice of a BatchUpdate. It aliases the
@@ -354,6 +389,7 @@ func (b *Broker) BatchUpdate(updates map[string]BatchEntry) error {
 		groups[si] = append(groups[si], id)
 	}
 	now := b.clk.Now()
+	var acks []JournalAck
 	for si, ids := range groups {
 		if len(ids) == 0 {
 			continue
@@ -365,15 +401,27 @@ func (b *Broker) BatchUpdate(updates map[string]BatchEntry) error {
 			sh.mu.Unlock()
 			return ErrClosed
 		}
+		var entries []MergeEntry
+		if b.journal != nil {
+			entries = make([]MergeEntry, 0, len(ids))
+		}
 		for _, id := range ids {
 			u := updates[id]
-			b.applyUpdateLocked(sh, id, u.Type, u.Attrs, now)
+			entry := b.applyUpdateLocked(sh, id, u.Type, u.Attrs, now)
+			if entries != nil {
+				entries = append(entries, entry)
+			}
+		}
+		if len(entries) > 0 {
+			// One record per shard, enqueued under its lock: per-shard
+			// log order matches apply order.
+			acks = append(acks, b.journal.EntitiesMerged(entries))
 		}
 		sh.mu.Unlock()
 	}
 	b.cBatchCalls.Inc()
 	b.cBatchEntities.Add(uint64(len(updates)))
-	return nil
+	return waitAcks(acks)
 }
 
 // GetEntity returns a deep copy of the entity.
@@ -404,12 +452,38 @@ func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
 func (b *Broker) DeleteEntity(id string) error {
 	sh := b.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.entities[id]; !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
 	}
 	delete(sh.entities, id)
 	b.cDelete.Inc()
+	var ack JournalAck
+	if b.journal != nil {
+		ack = b.journal.EntityDeleted(id)
+	}
+	sh.mu.Unlock()
+	if ack != nil {
+		return ack.Wait()
+	}
+	return nil
+}
+
+// DumpEntities streams every stored entity to fn, shard by shard under
+// the shard read lock — the snapshot path. fn must neither retain nor
+// mutate the entity (serialize it before returning) and must not call
+// back into the broker.
+func (b *Broker) DumpEntities(fn func(*Entity) error) error {
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entities {
+			if err := fn(e); err != nil {
+				sh.mu.RUnlock()
+				return err
+			}
+		}
+		sh.mu.RUnlock()
+	}
 	return nil
 }
 
@@ -424,38 +498,79 @@ func (b *Broker) EntityCount() int {
 	return n
 }
 
-// Subscribe registers a subscription and returns its id.
+// Subscribe registers a subscription and returns its id. When a journal
+// is attached and the notifier carries an external endpoint (see
+// Endpointer), the subscription is logged for recovery.
 func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	if sub.Notifier == nil {
 		return "", fmt.Errorf("ngsi: subscription without notifier")
 	}
 	b.subMu.Lock()
-	defer b.subMu.Unlock()
 	if b.closed.Load() {
+		b.subMu.Unlock()
 		return "", ErrClosed
 	}
 	if sub.ID == "" {
 		b.nextSub++
 		sub.ID = fmt.Sprintf("sub-%d", b.nextSub)
+	} else if n, ok := parseGeneratedSubID(sub.ID); ok && n > b.nextSub {
+		// A recovered (or externally chosen) id from the generated
+		// namespace advances the counter so fresh ids never collide.
+		b.nextSub = n
 	}
 	if _, dup := b.subs[sub.ID]; dup {
+		b.subMu.Unlock()
 		return "", fmt.Errorf("ngsi: duplicate subscription id %q", sub.ID)
 	}
-	b.subs[sub.ID] = newSubState(sub)
+	st := newSubState(sub)
+	b.subs[sub.ID] = st
 	b.rebuildIndexLocked()
 	b.reg.Counter("ngsi.subscribe").Inc()
+	var ack JournalAck
+	if b.journal != nil {
+		if ep, ok := sub.Notifier.(Endpointer); ok {
+			ack = b.journal.SubscriptionPut(b.viewLocked(st), ep.Endpoint())
+		}
+	}
+	b.subMu.Unlock()
+	if ack != nil {
+		if err := ack.Wait(); err != nil {
+			return sub.ID, err
+		}
+	}
 	return sub.ID, nil
+}
+
+// parseGeneratedSubID recognizes ids from the broker's own "sub-N"
+// namespace.
+func parseGeneratedSubID(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "sub-%d", &n); err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Unsubscribe removes a subscription.
 func (b *Broker) Unsubscribe(id string) error {
 	b.subMu.Lock()
-	defer b.subMu.Unlock()
-	if _, ok := b.subs[id]; !ok {
+	st, ok := b.subs[id]
+	if !ok {
+		b.subMu.Unlock()
 		return fmt.Errorf("ngsi: subscription %q: %w", id, ErrNotFound)
 	}
 	delete(b.subs, id)
 	b.rebuildIndexLocked()
+	var ack JournalAck
+	if b.journal != nil {
+		if _, durable := st.sub.Notifier.(Endpointer); durable {
+			ack = b.journal.SubscriptionDeleted(id)
+		}
+	}
+	b.subMu.Unlock()
+	if ack != nil {
+		return ack.Wait()
+	}
 	return nil
 }
 

@@ -213,6 +213,22 @@ func (p *WebhookPool) Close() {
 	p.wg.Wait()
 }
 
+// Drain blocks until every subscription queue is empty or the timeout
+// elapses, and returns the remaining depth. Use it before Close during
+// shutdown so queued notifications are delivered rather than discarded —
+// a stalled endpoint bounds the wait at the timeout instead of wedging
+// shutdown.
+func (p *WebhookPool) Drain(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		d := p.Depth()
+		if d == 0 || time.Now().After(deadline) {
+			return d
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Depth returns the total number of pending notifications across all
 // subscription queues.
 func (p *WebhookPool) Depth() int {
@@ -243,6 +259,10 @@ type HTTPNotifier struct {
 	consecFail int
 	failed     bool
 }
+
+// Endpoint implements Endpointer: it returns the callback URL, marking
+// webhook subscriptions as durable for the journal.
+func (n *HTTPNotifier) Endpoint() string { return n.url }
 
 // Notify implements Notifier.
 func (n *HTTPNotifier) Notify(note Notification) {

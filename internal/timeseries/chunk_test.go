@@ -288,14 +288,17 @@ func TestAppendBatchOneLockPerShard(t *testing.T) {
 	// Poison two entries: they must be skipped, not fail the batch.
 	batch[3].Key = SeriesKey{}
 	batch[17].Point.Value = math.NaN()
-	accepted, rejected := s.AppendBatch(batch)
+	accepted, rejected, err := s.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if accepted != 38 || rejected != 2 {
 		t.Fatalf("accepted=%d rejected=%d, want 38/2", accepted, rejected)
 	}
 	if st := s.Stats(); st.Points != 38 {
 		t.Errorf("stored %d points", st.Points)
 	}
-	if a, r := s.AppendBatch(nil); a != 0 || r != 0 {
+	if a, r, _ := s.AppendBatch(nil); a != 0 || r != 0 {
 		t.Errorf("empty batch: %d/%d", a, r)
 	}
 }

@@ -131,7 +131,10 @@ func TestAppendBatchMatchesSingleAppends(t *testing.T) {
 			at := t0.Add(time.Duration(round*1000+rng.Intn(900)) * time.Millisecond)
 			batch = append(batch, BatchPoint{Key: k, Point: Point{At: at, Value: rng.Float64()}})
 		}
-		accepted, rejected := batched.AppendBatch(batch)
+		accepted, rejected, err := batched.AppendBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if accepted != len(batch) || rejected != 0 {
 			t.Fatalf("round %d: accepted %d rejected %d", round, accepted, rejected)
 		}

@@ -67,6 +67,11 @@ type Store struct {
 	evictEvery time.Duration
 	clk        clock.Clock
 
+	// journal, when set, receives every accepted append; callers are only
+	// acknowledged once the journal ack resolves. Set via SetJournal
+	// before the store receives traffic.
+	journal Journal
+
 	nshards   int // applied by options before shards are built
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -233,6 +238,27 @@ func (s *Store) appendLocked(sh *tsShard, key SeriesKey, p Point) {
 	}
 }
 
+// JournalAck is the durability handle a Journal hook returns: Wait
+// blocks until the logged append is durable.
+type JournalAck interface {
+	Wait() error
+}
+
+// Journal receives every accepted append after it has been applied in
+// memory, called under the shard lock so log order matches apply order
+// per shard; the Wait happens after the lock is released. Together with
+// DumpFrozen's full-store freeze this gives exact-count recovery:
+// snapshot state plus tail replay reproduces precisely the acknowledged
+// points, with no duplicates and no losses.
+type Journal interface {
+	PointsAppended(batch []BatchPoint) JournalAck
+}
+
+// SetJournal attaches a journal. It must be called before the store
+// receives traffic (between recovery and serving) — the field is read
+// without synchronization on the append paths.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
 // Append adds a point to the series identified by key. Out-of-order appends
 // are accepted and inserted in timestamp order.
 func (s *Store) Append(key SeriesKey, p Point) error {
@@ -242,7 +268,14 @@ func (s *Store) Append(key SeriesKey, p Point) error {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	s.appendLocked(sh, key, p)
+	var ack JournalAck
+	if s.journal != nil {
+		ack = s.journal.PointsAppended([]BatchPoint{{Key: key, Point: p}})
+	}
 	sh.mu.Unlock()
+	if ack != nil {
+		return ack.Wait()
+	}
 	return nil
 }
 
@@ -255,10 +288,12 @@ type BatchPoint struct {
 // AppendBatch appends a batch of points taking each shard lock at most
 // once, however many series the batch touches. Invalid entries (empty key,
 // non-finite value) are skipped; every valid entry lands. It returns how
-// many points were accepted and how many rejected.
-func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int) {
+// many points were accepted, how many rejected, and — when a journal is
+// attached — the first durability error (accepted points are applied in
+// memory regardless; a non-nil error means they are not yet durable).
+func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int, err error) {
 	if len(batch) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	groups := make([][]int, len(s.shards))
 	for i := range batch {
@@ -269,6 +304,7 @@ func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int) {
 		si := s.shardIndex(batch[i].Key)
 		groups[si] = append(groups[si], i)
 	}
+	var acks []JournalAck
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
@@ -278,10 +314,65 @@ func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int) {
 		for _, i := range idxs {
 			s.appendLocked(sh, batch[i].Key, batch[i].Point)
 		}
+		if s.journal != nil {
+			// One record per shard, enqueued under its lock, so the
+			// DumpFrozen freeze cleanly splits applied-and-logged from
+			// not-yet-applied (see Journal).
+			group := make([]BatchPoint, len(idxs))
+			for j, i := range idxs {
+				group[j] = batch[i]
+			}
+			acks = append(acks, s.journal.PointsAppended(group))
+		}
 		sh.mu.Unlock()
 		accepted += len(idxs)
 	}
-	return accepted, rejected
+	for _, a := range acks {
+		if werr := a.Wait(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return accepted, rejected, err
+}
+
+// DumpFrozen write-locks every shard, calls prepare (the snapshot's WAL
+// rotation barrier), then streams every series' points to sink in
+// timestamp order while all appends are blocked. Because appenders
+// enqueue their journal record before releasing the shard lock, the
+// freeze guarantees the dumped state contains exactly the points whose
+// records precede the rotation — recovery replays snapshot + tail with
+// neither duplicates nor losses. sink must not retain pts. The freeze
+// lasts only as long as serialization (memory speed); appends resume
+// after.
+func (s *Store) DumpFrozen(prepare func() error, sink func(key SeriesKey, pts []Point) error) error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	if prepare != nil {
+		if err := prepare(); err != nil {
+			return err
+		}
+	}
+	for _, sh := range s.shards {
+		for k, sr := range sh.series {
+			for _, c := range sr.loadSealed() {
+				if err := sink(k, c.pts); err != nil {
+					return err
+				}
+			}
+			if len(sr.head) > 0 {
+				if err := sink(k, sr.head); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Len returns the number of points currently held for key.

@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// Type tags a Record's payload so recovery knows which store a record
+// belongs to and how to decode it. The values are part of the on-disk
+// format: never renumber, only append.
+type Type uint8
+
+// Record types. Context-plane records replay through the NGSI broker,
+// telemetry records through the time-series store.
+const (
+	// TypeEntityUpsert carries a full entity replacement (ngsi.Entity).
+	TypeEntityUpsert Type = iota + 1
+	// TypeEntityMerge carries one shard's slice of an attribute-merge
+	// batch, with timestamps already resolved.
+	TypeEntityMerge
+	// TypeEntityDelete carries the id of a deleted entity.
+	TypeEntityDelete
+	// TypeSubscriptionPut carries a durable (webhook) subscription.
+	TypeSubscriptionPut
+	// TypeSubscriptionDelete carries the id of a removed subscription.
+	TypeSubscriptionDelete
+	// TypeTelemetry carries a batch of time-series points.
+	TypeTelemetry
+)
+
+// Record is one durable unit: a typed, opaque payload. The log frames it
+// as [len uint32][crc32 uint32][type uint8][payload], CRC over
+// type+payload, so a torn tail write is detected and replay stops there.
+type Record struct {
+	Type    Type
+	Payload []byte
+}
+
+const (
+	frameHeader = 8 // uint32 body length + uint32 CRC
+	// MaxRecordBytes bounds one record's body so a corrupt length field
+	// cannot drive an absurd allocation during replay.
+	MaxRecordBytes = 64 << 20
+)
+
+// ErrTorn marks a truncated or corrupt record — the expected shape of the
+// final record after a crash mid-write. Replay stops at the first one.
+var ErrTorn = errors.New("wal: torn record")
+
+// appendFrame appends rec's wire encoding to buf and returns the result.
+func appendFrame(buf []byte, rec Record) []byte {
+	n := 1 + len(rec.Payload)
+	off := len(buf)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, byte(rec.Type))
+	buf = append(buf, rec.Payload...)
+	crc := crc32.ChecksumIEEE(buf[off+frameHeader:])
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], crc)
+	return buf
+}
+
+// readRecord reads one frame. io.EOF means a clean end of the stream;
+// ErrTorn means a partial or corrupt frame (stop replaying).
+func readRecord(r io.Reader) (Record, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, ErrTorn // partial header
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > MaxRecordBytes {
+		return Record{}, ErrTorn
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, ErrTorn
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return Record{}, ErrTorn
+	}
+	return Record{Type: Type(body[0]), Payload: body[1:]}, nil
+}

@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// Typed record codecs. Payloads are JSON: the record stream is a
+// durability format, not a hot path — encoding happens once per group
+// commit entry and decoding only during recovery. One caveat is
+// inherited from encoding/json: integer attribute values round-trip as
+// float64, which ngsi.Attribute.Float already treats as equivalent.
+
+// SubscriptionRecord is the declarative, durable slice of a webhook
+// subscription: everything needed to rebuild it on recovery, including
+// the callback endpoint its Notifier was bound to. In-process
+// subscriptions (fog sync, cloud ingest, anomaly feed) are platform
+// wiring re-created on startup and are never journaled.
+type SubscriptionRecord struct {
+	ID              string        `json:"id"`
+	EntityIDPattern string        `json:"pattern"`
+	EntityType      string        `json:"entityType,omitempty"`
+	ConditionAttrs  []string      `json:"conditionAttrs,omitempty"`
+	NotifyAttrs     []string      `json:"notifyAttrs,omitempty"`
+	Throttling      time.Duration `json:"throttling,omitempty"`
+	Owner           string        `json:"owner,omitempty"`
+	Endpoint        string        `json:"endpoint"`
+}
+
+type mergePayload struct {
+	Entries []mergeEntry `json:"entries"`
+}
+
+type mergeEntry struct {
+	ID    string                    `json:"id"`
+	Type  string                    `json:"type"`
+	Attrs map[string]ngsi.Attribute `json:"attrs"`
+}
+
+type idPayload struct {
+	ID string `json:"id"`
+}
+
+type telemetryPayload struct {
+	Points []timeseries.BatchPoint `json:"points"`
+}
+
+func encode(t Type, v any) (Record, error) {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: encode type %d: %w", t, err)
+	}
+	return Record{Type: t, Payload: p}, nil
+}
+
+// EncodeEntityUpsert records a full entity replacement.
+func EncodeEntityUpsert(e *ngsi.Entity) (Record, error) {
+	return encode(TypeEntityUpsert, e)
+}
+
+// DecodeEntityUpsert inverts EncodeEntityUpsert.
+func DecodeEntityUpsert(payload []byte) (*ngsi.Entity, error) {
+	var e ngsi.Entity
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return nil, fmt.Errorf("wal: entity upsert payload: %w", err)
+	}
+	return &e, nil
+}
+
+// EncodeEntityMerge records one shard's resolved attribute-merge batch.
+func EncodeEntityMerge(entries []ngsi.MergeEntry) (Record, error) {
+	p := mergePayload{Entries: make([]mergeEntry, len(entries))}
+	for i, e := range entries {
+		p.Entries[i] = mergeEntry{ID: e.ID, Type: e.Type, Attrs: e.Attrs}
+	}
+	return encode(TypeEntityMerge, p)
+}
+
+// DecodeEntityMerge inverts EncodeEntityMerge.
+func DecodeEntityMerge(payload []byte) ([]ngsi.MergeEntry, error) {
+	var p mergePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("wal: entity merge payload: %w", err)
+	}
+	out := make([]ngsi.MergeEntry, len(p.Entries))
+	for i, e := range p.Entries {
+		out[i] = ngsi.MergeEntry{ID: e.ID, Type: e.Type, Attrs: e.Attrs}
+	}
+	return out, nil
+}
+
+// EncodeEntityDelete records an entity deletion.
+func EncodeEntityDelete(id string) (Record, error) {
+	return encode(TypeEntityDelete, idPayload{ID: id})
+}
+
+// EncodeSubscriptionDelete records a subscription removal.
+func EncodeSubscriptionDelete(id string) (Record, error) {
+	return encode(TypeSubscriptionDelete, idPayload{ID: id})
+}
+
+// DecodeID inverts EncodeEntityDelete / EncodeSubscriptionDelete.
+func DecodeID(payload []byte) (string, error) {
+	var p idPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return "", fmt.Errorf("wal: id payload: %w", err)
+	}
+	return p.ID, nil
+}
+
+// EncodeSubscriptionPut records a durable webhook subscription.
+func EncodeSubscriptionPut(sr SubscriptionRecord) (Record, error) {
+	return encode(TypeSubscriptionPut, sr)
+}
+
+// DecodeSubscriptionPut inverts EncodeSubscriptionPut.
+func DecodeSubscriptionPut(payload []byte) (SubscriptionRecord, error) {
+	var sr SubscriptionRecord
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		return sr, fmt.Errorf("wal: subscription payload: %w", err)
+	}
+	return sr, nil
+}
+
+// EncodeTelemetry records a batch of time-series points.
+func EncodeTelemetry(batch []timeseries.BatchPoint) (Record, error) {
+	return encode(TypeTelemetry, telemetryPayload{Points: batch})
+}
+
+// DecodeTelemetry inverts EncodeTelemetry.
+func DecodeTelemetry(payload []byte) ([]timeseries.BatchPoint, error) {
+	var p telemetryPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("wal: telemetry payload: %w", err)
+	}
+	return p.Points, nil
+}
+
+// erredAck is a pre-failed durability handle for encoding errors.
+type erredAck struct{ err error }
+
+func (a erredAck) Wait() error { return a.err }
+
+// ContextJournal adapts the manager to ngsi.Journal: every accepted
+// context mutation becomes one appended record. The broker calls these
+// hooks while holding the relevant shard (or subscription) lock, which
+// is what makes log order match apply order; only the enqueue happens
+// under the lock — the fsync wait is the caller's, after unlock.
+func (m *Manager) ContextJournal() ngsi.Journal { return ctxJournal{m} }
+
+type ctxJournal struct{ m *Manager }
+
+func (j ctxJournal) EntityUpserted(e *ngsi.Entity) ngsi.JournalAck {
+	rec, err := EncodeEntityUpsert(e)
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
+
+func (j ctxJournal) EntitiesMerged(entries []ngsi.MergeEntry) ngsi.JournalAck {
+	rec, err := EncodeEntityMerge(entries)
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
+
+func (j ctxJournal) EntityDeleted(id string) ngsi.JournalAck {
+	rec, err := EncodeEntityDelete(id)
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
+
+func (j ctxJournal) SubscriptionPut(v ngsi.SubscriptionView, endpoint string) ngsi.JournalAck {
+	rec, err := EncodeSubscriptionPut(SubscriptionRecord{
+		ID:              v.ID,
+		EntityIDPattern: v.EntityIDPattern,
+		EntityType:      v.EntityType,
+		ConditionAttrs:  v.ConditionAttrs,
+		NotifyAttrs:     v.NotifyAttrs,
+		Throttling:      v.Throttling,
+		Owner:           v.Owner,
+		Endpoint:        endpoint,
+	})
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
+
+func (j ctxJournal) SubscriptionDeleted(id string) ngsi.JournalAck {
+	rec, err := EncodeSubscriptionDelete(id)
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
+
+// TelemetryJournal adapts the manager to timeseries.Journal.
+func (m *Manager) TelemetryJournal() timeseries.Journal { return tsJournal{m} }
+
+type tsJournal struct{ m *Manager }
+
+func (j tsJournal) PointsAppended(batch []timeseries.BatchPoint) timeseries.JournalAck {
+	rec, err := EncodeTelemetry(batch)
+	if err != nil {
+		return erredAck{err}
+	}
+	return j.m.Append(rec)
+}
