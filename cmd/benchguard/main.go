@@ -92,8 +92,14 @@ func main() {
 			bv := base.Metrics[k]
 			cv, ok := cur.Metrics[k]
 			if !ok {
-				fmt.Printf("%-12s %-28s %14.1f %14s %9s  MISSING\n", base.Name, k, bv, "-", "-")
-				failed = true
+				// Only guarded metrics gate; an informational one gone
+				// missing is reported but never fails the run.
+				status := "missing"
+				if direction(k) != 0 {
+					status = "MISSING"
+					failed = true
+				}
+				fmt.Printf("%-12s %-28s %14.1f %14s %9s  %s\n", base.Name, k, bv, "-", "-", status)
 				continue
 			}
 			delta := 0.0

@@ -11,8 +11,10 @@ package cloud
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/metrics"
@@ -25,6 +27,14 @@ import (
 type Ingestor struct {
 	store *timeseries.Store
 	reg   *metrics.Registry
+
+	// Logf receives diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+
+	// lastJournalLog throttles durability-failure logging (UnixNano of
+	// the last line): a latched WAL failure would otherwise turn every
+	// notification into a log line.
+	lastJournalLog atomic.Int64
 
 	// Hot-path counters, resolved once so ingest never touches the
 	// registry map.
@@ -51,6 +61,29 @@ func NewIngestor(store *timeseries.Store, metricsReg *metrics.Registry) *Ingesto
 
 // Metrics returns the ingestor's registry.
 func (i *Ingestor) Metrics() *metrics.Registry { return i.reg }
+
+func (i *Ingestor) logf(format string, args ...any) {
+	if i.Logf != nil {
+		i.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// journalLogThrottle bounds how often notification-path durability
+// failures are logged.
+const journalLogThrottle = 10 * time.Second
+
+// noteJournalErr counts an ingest-path durability failure and logs it
+// under the given path label, at most once per throttle window.
+func (i *Ingestor) noteJournalErr(path string, err error) {
+	i.cJournalErr.Inc()
+	now := time.Now().UnixNano()
+	last := i.lastJournalLog.Load()
+	if now-last >= int64(journalLogThrottle) && i.lastJournalLog.CompareAndSwap(last, now) {
+		i.logf("cloud: %s telemetry not durable (batch rolled back from memory): %v", path, err)
+	}
+}
 
 // IngestReadings appends a batch of device readings through the store's
 // batched path (one shard lock per batch). Invalid readings are
@@ -85,10 +118,17 @@ func (i *Ingestor) IngestReadings(batch []model.Reading) error {
 	if invalid > 0 {
 		i.cInvalid.Add(uint64(invalid))
 	}
-	// A durability error (WAL append failure) is a transport-class
-	// failure, unlike per-reading validation: surface it so the fog
-	// node's store-and-forward loop retries the batch.
-	return err
+	if err != nil {
+		// The store rolled the unjournaled batch back, so the fog
+		// node's store-and-forward copy is the only surviving one:
+		// surface the error so it redelivers. While the WAL stays
+		// latched each retry fails cleanly (rolled back again, no
+		// duplicates); after the restart that clears it, the retry
+		// lands durably.
+		i.noteJournalErr("reading-batch", err)
+		return err
+	}
+	return nil
 }
 
 func quantityKey(r model.Reading) string {
@@ -134,10 +174,10 @@ func (i *Ingestor) NotificationHandler() ngsi.Handler {
 				i.cInvalid.Add(uint64(rejected))
 			}
 			if err != nil {
-				// Notification handlers cannot return errors; surface the
-				// durability failure (points applied in memory but not
-				// journaled) on its own counter so it is observable.
-				i.cJournalErr.Inc()
+				// Notification handlers cannot return errors and the
+				// broker does not redeliver, so the rolled-back batch is
+				// dropped: count and log the loss.
+				i.noteJournalErr("notification", err)
 			}
 		}
 		i.cNotifs.Inc()

@@ -253,16 +253,7 @@ func (d *Durability) dump(rotate func() error, sink func(wal.Record) error) erro
 		if !ok {
 			continue // in-process wiring: rebuilt on startup, not persisted
 		}
-		rec, err := wal.EncodeSubscriptionPut(wal.SubscriptionRecord{
-			ID:              v.ID,
-			EntityIDPattern: v.EntityIDPattern,
-			EntityType:      v.EntityType,
-			ConditionAttrs:  v.ConditionAttrs,
-			NotifyAttrs:     v.NotifyAttrs,
-			Throttling:      v.Throttling,
-			Owner:           v.Owner,
-			Endpoint:        url,
-		})
+		rec, err := wal.EncodeSubscriptionPut(wal.NewSubscriptionRecord(v, url))
 		if err != nil {
 			return err
 		}

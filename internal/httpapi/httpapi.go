@@ -186,6 +186,21 @@ func writeErr(w http.ResponseWriter, code int, kind, desc string) {
 	writeJSON(w, code, apiError{Error: kind, Description: desc})
 }
 
+// writeMutationErr maps a broker mutation failure. A durability error
+// (journal record not durable — deletes and subscription changes are
+// rolled back; entity upserts/merges stay applied and converge on
+// restart to the durable state) is the server's fault: 503 tells
+// well-behaved clients to retry instead of dropping the payload as
+// rejected. Everything else answers with the caller's fallback
+// status/kind (400 validation, 404 lookup).
+func writeMutationErr(w http.ResponseWriter, fallbackCode int, kind string, err error) {
+	if errors.Is(err, ngsi.ErrDurability) {
+		writeErr(w, http.StatusServiceUnavailable, "durability_failure", err.Error())
+		return
+	}
+	writeErr(w, fallbackCode, kind, err.Error())
+}
+
 // handleToken implements the password and client_credentials grants with
 // form encoding per RFC 6749.
 func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +413,7 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 		attrs[name] = ngsi.Attribute{Type: typ, Value: a.Value}
 	}
 	if err := s.cfg.Context.UpdateAttrs(id, entityType, attrs); err != nil {
-		writeErr(w, http.StatusBadRequest, "update_failed", err.Error())
+		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		return
 	}
 	s.cfg.Metrics.Counter("httpapi.entities.update").Inc()
@@ -455,7 +470,7 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 		updates[e.ID] = entry
 	}
 	if err := s.cfg.Context.BatchUpdate(updates); err != nil {
-		writeErr(w, http.StatusBadRequest, "update_failed", err.Error())
+		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		return
 	}
 	s.cfg.Metrics.Counter("httpapi.entities.batch").Inc()
@@ -469,7 +484,10 @@ func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.cfg.Context.DeleteEntity(id); err != nil {
-		writeErr(w, http.StatusNotFound, "not_found", id)
+		// A durability failure answers 503, not 404: the delete was
+		// rolled back, so the entity is still there and the client
+		// must retry.
+		writeMutationErr(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

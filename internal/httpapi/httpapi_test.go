@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -414,5 +415,54 @@ func jsonSafeCopy(dst *strings.Builder, resp *http.Response) (int64, error) {
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(Config{}); err == nil {
 		t.Error("empty config accepted")
+	}
+}
+
+// failJournal fails every mutation's ack — a latched WAL.
+type failJournal struct{ err error }
+
+type failJournalAck struct{ err error }
+
+func (a failJournalAck) Wait() error { return a.err }
+
+func (j failJournal) EntityUpserted(*ngsi.Entity) ngsi.JournalAck { return failJournalAck{j.err} }
+func (j failJournal) EntitiesMerged([]ngsi.MergeEntry) ngsi.JournalAck {
+	return failJournalAck{j.err}
+}
+func (j failJournal) EntityDeleted(string) ngsi.JournalAck { return failJournalAck{j.err} }
+func (j failJournal) SubscriptionPut(ngsi.SubscriptionView, string) ngsi.JournalAck {
+	return failJournalAck{j.err}
+}
+func (j failJournal) SubscriptionDeleted(string) ngsi.JournalAck { return failJournalAck{j.err} }
+
+// TestDurabilityFailureMapsTo503 asserts WAL durability failures answer
+// as server faults (503, retryable), not client errors: a 400 would make
+// well-behaved agents drop the payload as rejected, and a 404 on delete
+// would claim an entity is gone while it may resurrect on restart.
+func TestDurabilityFailureMapsTo503(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, "farmer")
+
+	// Seed one entity while the journal still accepts.
+	body := []byte(`{"soilMoisture":{"type":"Number","value":0.3}}`)
+	if resp := f.do(t, "POST", "/v2/entities/urn:farm1:plot1/attrs?type=AgriParcel", tok, body); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("seed status %d", resp.StatusCode)
+	}
+
+	f.ctx.SetJournal(failJournal{err: errors.New("disk full")})
+
+	if resp := f.do(t, "POST", "/v2/entities/urn:farm1:plot1/attrs?type=AgriParcel", tok, body); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("update attrs status = %d, want 503", resp.StatusCode)
+	}
+	batch := []byte(`{"entities":[{"id":"urn:farm1:plot1","type":"AgriParcel","attrs":{"soilMoisture":{"type":"Number","value":0.4}}}]}`)
+	if resp := f.do(t, "POST", "/v2/op/update", tok, batch); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch update status = %d, want 503", resp.StatusCode)
+	}
+	if resp := f.do(t, "DELETE", "/v2/entities/urn:farm1:plot1", tok, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("delete entity status = %d, want 503", resp.StatusCode)
+	}
+	// A genuinely missing entity still answers 404.
+	if resp := f.do(t, "DELETE", "/v2/entities/urn:farm1:nope", tok, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing delete status = %d, want 404", resp.StatusCode)
 	}
 }

@@ -165,7 +165,7 @@ func (s *Server) handleCreateSubscription(w http.ResponseWriter, r *http.Request
 		Owner:           prin.Owner,
 	}); err != nil {
 		s.cfg.Webhooks.Remove(id)
-		writeErr(w, http.StatusBadRequest, "subscription_failed", err.Error())
+		writeMutationErr(w, http.StatusBadRequest, "subscription_failed", err)
 		return
 	}
 	s.cfg.Metrics.Counter("httpapi.subscriptions.created").Inc()
@@ -225,7 +225,9 @@ func (s *Server) handleDeleteSubscription(w http.ResponseWriter, r *http.Request
 		return
 	}
 	if err := s.cfg.Context.Unsubscribe(id); err != nil {
-		writeErr(w, http.StatusNotFound, "not_found", id)
+		// A durability failure answers 503, not 404: the broker rolled
+		// the delete back, so the subscription is still live.
+		writeMutationErr(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	s.cfg.Webhooks.Remove(id)

@@ -283,7 +283,7 @@ func (b *Broker) UpsertEntity(e *Entity) error {
 	}
 	sh.mu.Unlock()
 	if ack != nil {
-		return ack.Wait()
+		return notDurable(ack.Wait())
 	}
 	return nil
 }
@@ -315,7 +315,7 @@ func (b *Broker) UpdateAttrs(id, typ string, attrs map[string]Attribute) error {
 	}
 	sh.mu.Unlock()
 	if ack != nil {
-		return ack.Wait()
+		return notDurable(ack.Wait())
 	}
 	return nil
 }
@@ -421,7 +421,7 @@ func (b *Broker) BatchUpdate(updates map[string]BatchEntry) error {
 	}
 	b.cBatchCalls.Inc()
 	b.cBatchEntities.Add(uint64(len(updates)))
-	return waitAcks(acks)
+	return notDurable(waitAcks(acks))
 }
 
 // GetEntity returns a deep copy of the entity.
@@ -448,24 +448,39 @@ func (b *Broker) QueryEntities(idPattern, entityType string) []*Entity {
 	return res.Entities
 }
 
-// DeleteEntity removes an entity.
+// DeleteEntity removes an entity. A journal failure rolls the delete
+// back so the live state matches the reported outcome (with the same
+// conservative-reporting caveat as Subscribe: the failed record may
+// still prove durable across a restart).
 func (b *Broker) DeleteEntity(id string) error {
 	sh := b.shardFor(id)
 	sh.mu.Lock()
-	if _, ok := sh.entities[id]; !ok {
+	e, ok := sh.entities[id]
+	if !ok {
 		sh.mu.Unlock()
 		return fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
 	}
 	delete(sh.entities, id)
-	b.cDelete.Inc()
 	var ack JournalAck
 	if b.journal != nil {
 		ack = b.journal.EntityDeleted(id)
 	}
 	sh.mu.Unlock()
 	if ack != nil {
-		return ack.Wait()
+		if err := ack.Wait(); err != nil {
+			// Reinstate (the same rollback Subscribe/Unsubscribe do):
+			// the delete record was not acknowledged durable, so
+			// without this the entity would read as gone until restart
+			// and then likely resurrect from the replayed upserts.
+			sh.mu.Lock()
+			if _, taken := sh.entities[id]; !taken {
+				sh.entities[id] = e
+			}
+			sh.mu.Unlock()
+			return notDurable(err)
+		}
 	}
+	b.cDelete.Inc()
 	return nil
 }
 
@@ -500,7 +515,11 @@ func (b *Broker) EntityCount() int {
 
 // Subscribe registers a subscription and returns its id. When a journal
 // is attached and the notifier carries an external endpoint (see
-// Endpointer), the subscription is logged for recovery.
+// Endpointer), the subscription is logged for recovery; a journal
+// failure rolls the registration back so the live state matches the
+// reported outcome. Failure reporting is conservative: a commit that
+// reported failure may still have reached disk, so a rolled-back
+// mutation can reappear after a restart.
 func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	if sub.Notifier == nil {
 		return "", fmt.Errorf("ngsi: subscription without notifier")
@@ -525,7 +544,6 @@ func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	st := newSubState(sub)
 	b.subs[sub.ID] = st
 	b.rebuildIndexLocked()
-	b.reg.Counter("ngsi.subscribe").Inc()
 	var ack JournalAck
 	if b.journal != nil {
 		if ep, ok := sub.Notifier.(Endpointer); ok {
@@ -535,9 +553,20 @@ func (b *Broker) Subscribe(sub Subscription) (string, error) {
 	b.subMu.Unlock()
 	if ack != nil {
 		if err := ack.Wait(); err != nil {
-			return sub.ID, err
+			// Roll back so the observable state matches the reported
+			// failure: left registered, the subscription would deliver
+			// notifications until restart and then likely vanish (its
+			// record was not acknowledged durable).
+			b.subMu.Lock()
+			if cur, ok := b.subs[sub.ID]; ok && cur == st {
+				delete(b.subs, sub.ID)
+				b.rebuildIndexLocked()
+			}
+			b.subMu.Unlock()
+			return "", notDurable(err)
 		}
 	}
+	b.reg.Counter("ngsi.subscribe").Inc()
 	return sub.ID, nil
 }
 
@@ -569,7 +598,19 @@ func (b *Broker) Unsubscribe(id string) error {
 	}
 	b.subMu.Unlock()
 	if ack != nil {
-		return ack.Wait()
+		if err := ack.Wait(); err != nil {
+			// Mirror Subscribe's rollback: the caller is told the delete
+			// failed, so the subscription must stay live — without this
+			// it would stop notifying now yet likely resurrect on
+			// restart (the delete record was not acknowledged durable).
+			b.subMu.Lock()
+			if _, taken := b.subs[id]; !taken {
+				b.subs[id] = st
+				b.rebuildIndexLocked()
+			}
+			b.subMu.Unlock()
+			return notDurable(err)
+		}
 	}
 	return nil
 }

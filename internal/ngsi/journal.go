@@ -1,5 +1,25 @@
 package ngsi
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDurability marks a mutation that was applied in memory but whose
+// journal record could not be made durable (and, where possible, was
+// rolled back). Surfaces map it to a server-side status so clients
+// retry instead of treating the payload as rejected.
+var ErrDurability = errors.New("ngsi: not durable")
+
+// notDurable wraps a journal ack failure in ErrDurability, keeping the
+// underlying error in the chain; nil stays nil.
+func notDurable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrDurability, err)
+}
+
 // JournalAck is the durability handle a Journal hook returns: Wait blocks
 // until the logged mutation is durable (group-committed and fsynced) and
 // reports the commit error. Write paths call the hook under the shard (or

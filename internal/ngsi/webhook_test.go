@@ -105,9 +105,11 @@ func TestWebhookDelivery(t *testing.T) {
 	if v, ok := note.Data[0].Attrs["soilMoisture"].Float(); !ok || v != 0.21 {
 		t.Errorf("attr = %v", note.Data[0].Attrs["soilMoisture"].Value)
 	}
-	if c := pool.cfg.Metrics.Counter("ngsi.webhook.sent").Value(); c != 1 {
-		t.Errorf("sent counter = %d", c)
-	}
+	// The worker increments the counter only after reading the response,
+	// which races the receiver-side count above — wait, don't assert.
+	waitFor(t, 2*time.Second, func() bool {
+		return pool.cfg.Metrics.Counter("ngsi.webhook.sent").Value() == 1
+	})
 	if view, err := b.Subscription("sub-wh"); err != nil || view.Status != SubActive {
 		t.Errorf("subscription view = %+v, %v", view, err)
 	}

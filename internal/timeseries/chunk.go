@@ -160,6 +160,51 @@ func (sr *series) insertSealedLocked(sealed []*chunk, p Point, chunkSize int) {
 	sr.storeSealed(ns)
 }
 
+// removeLocked removes one point equal to p (same timestamp and value)
+// from the series — the journal-failure rollback inverse of
+// appendLocked. The head run is preferred; a sealed hit rebuilds the
+// covering chunk (copy-on-write, like insertSealedLocked). Returns
+// false when no equal point remains (e.g. already evicted by the
+// retention cap). Shard write lock required.
+func (sr *series) removeLocked(p Point) bool {
+	for j := len(sr.head) - 1; j >= 0; j-- {
+		if sr.head[j].At.Equal(p.At) && sr.head[j].Value == p.Value {
+			sr.head = append(sr.head[:j], sr.head[j+1:]...)
+			return true
+		}
+		if sr.head[j].At.Before(p.At) {
+			break
+		}
+	}
+	sealed := sr.loadSealed()
+	for ci := len(sealed) - 1; ci >= 0; ci-- {
+		c := sealed[ci]
+		if c.last.At.Before(p.At) {
+			break
+		}
+		if c.first.At.After(p.At) {
+			continue
+		}
+		for j := len(c.pts) - 1; j >= 0; j-- {
+			if c.pts[j].At.Equal(p.At) && c.pts[j].Value == p.Value {
+				ns := make([]*chunk, 0, len(sealed))
+				ns = append(ns, sealed[:ci]...)
+				if len(c.pts) > 1 {
+					pts := make([]Point, 0, len(c.pts)-1)
+					pts = append(pts, c.pts[:j]...)
+					pts = append(pts, c.pts[j+1:]...)
+					ns = append(ns, buildChunk(pts))
+				}
+				ns = append(ns, sealed[ci+1:]...)
+				sr.sealedPts--
+				sr.storeSealed(ns)
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // enforceCapLocked applies count-based retention: exact when the series
 // is head-only, chunk-granular otherwise — a sealed chunk drops only once
 // it is entirely over the cap, so a series may transiently hold up to one

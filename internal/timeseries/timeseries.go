@@ -226,16 +226,42 @@ func validatePoint(key SeriesKey, p Point) error {
 
 // appendLocked inserts p into the (existing or new) series for key and
 // applies count-based retention. The shard write lock must be held.
-func (s *Store) appendLocked(sh *tsShard, key SeriesKey, p Point) {
+// applyLocked inserts a point without enforcing the retention cap. The
+// journaled paths use it and defer eviction until the ack succeeds (see
+// enforceCapGroup): evicting before durability is known would let a
+// failed batch's rollback — which removes only the new points — drain a
+// capped series a little further on every retry.
+func (s *Store) applyLocked(sh *tsShard, key SeriesKey, p Point) {
 	sr := sh.series[key]
 	if sr == nil {
 		sr = &series{}
 		sh.series[key] = sr
 	}
 	sr.appendLocked(p, s.chunkSize)
+}
+
+// appendLocked is applyLocked plus immediate cap enforcement — the
+// unjournaled path.
+func (s *Store) appendLocked(sh *tsShard, key SeriesKey, p Point) {
+	s.applyLocked(sh, key, p)
 	if s.maxPoints > 0 {
-		sr.enforceCapLocked(s.maxPoints)
+		sh.series[key].enforceCapLocked(s.maxPoints)
 	}
+}
+
+// enforceCapGroup applies the retention cap to every series in pts —
+// the deferred half of applyLocked, run after a successful journal ack.
+func (s *Store) enforceCapGroup(sh *tsShard, pts []BatchPoint) {
+	if s.maxPoints <= 0 {
+		return
+	}
+	sh.mu.Lock()
+	for _, bp := range pts {
+		if sr := sh.series[bp.Key]; sr != nil {
+			sr.enforceCapLocked(s.maxPoints)
+		}
+	}
+	sh.mu.Unlock()
 }
 
 // JournalAck is the durability handle a Journal hook returns: Wait
@@ -267,16 +293,47 @@ func (s *Store) Append(key SeriesKey, p Point) error {
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	s.appendLocked(sh, key, p)
 	var ack JournalAck
 	if s.journal != nil {
+		s.applyLocked(sh, key, p)
 		ack = s.journal.PointsAppended([]BatchPoint{{Key: key, Point: p}})
+	} else {
+		s.appendLocked(sh, key, p)
 	}
 	sh.mu.Unlock()
 	if ack != nil {
-		return ack.Wait()
+		if err := ack.Wait(); err != nil {
+			s.rollback(sh, []BatchPoint{{Key: key, Point: p}})
+			return err
+		}
+		s.enforceCapGroup(sh, []BatchPoint{{Key: key, Point: p}})
 	}
 	return nil
+}
+
+// rollback removes a group of just-applied points whose journal ack
+// failed, so the in-memory state matches the reported outcome and a
+// caller's retry cannot duplicate points. A series emptied by the
+// rollback is dropped from the shard map (else device churn during a
+// durability outage would grow it unboundedly). Returns how many points
+// were actually removed (one may already be gone via the retention cap).
+func (s *Store) rollback(sh *tsShard, pts []BatchPoint) int {
+	removed := 0
+	sh.mu.Lock()
+	for _, bp := range pts {
+		sr := sh.series[bp.Key]
+		if sr == nil {
+			continue
+		}
+		if sr.removeLocked(bp.Point) {
+			removed++
+		}
+		if sr.totalLocked() == 0 {
+			delete(sh.series, bp.Key)
+		}
+	}
+	sh.mu.Unlock()
+	return removed
 }
 
 // BatchPoint is one entry of an AppendBatch: a point addressed to a series.
@@ -289,13 +346,17 @@ type BatchPoint struct {
 // once, however many series the batch touches. Invalid entries (empty key,
 // non-finite value) are skipped; every valid entry lands. It returns how
 // many points were accepted, how many rejected, and — when a journal is
-// attached — the first durability error (accepted points are applied in
-// memory regardless; a non-nil error means they are not yet durable).
+// attached — the durability error. The batch journals as a single
+// record, so durability is all-or-nothing: on a failed ack every
+// applied point is rolled back (removed from memory, not counted
+// accepted), and the caller's retry cannot duplicate a
+// partially-committed prefix.
 func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int, err error) {
 	if len(batch) == 0 {
 		return 0, 0, nil
 	}
 	groups := make([][]int, len(s.shards))
+	valid := 0
 	for i := range batch {
 		if validatePoint(batch[i].Key, batch[i].Point) != nil {
 			rejected++
@@ -303,73 +364,116 @@ func (s *Store) AppendBatch(batch []BatchPoint) (accepted, rejected int, err err
 		}
 		si := s.shardIndex(batch[i].Key)
 		groups[si] = append(groups[si], i)
+		valid++
 	}
-	var acks []JournalAck
-	for si, idxs := range groups {
-		if len(idxs) == 0 {
-			continue
+	if valid == 0 {
+		return 0, rejected, nil
+	}
+	var touched []int
+	for si := range groups {
+		if len(groups[si]) > 0 {
+			touched = append(touched, si)
 		}
+	}
+	// Lock every touched shard (ascending index, the same order
+	// DumpFrozen uses) and enqueue ONE record for the whole batch while
+	// holding them: log order matches apply order on every shard, the
+	// snapshot freeze still cleanly splits applied-and-logged from
+	// not-yet-applied, and the single record is what makes durability
+	// all-or-nothing across shards.
+	for _, si := range touched {
+		s.shards[si].mu.Lock()
+	}
+	applied := make([]BatchPoint, 0, valid)
+	for _, si := range touched {
 		sh := s.shards[si]
-		sh.mu.Lock()
-		for _, i := range idxs {
-			s.appendLocked(sh, batch[i].Key, batch[i].Point)
-		}
-		if s.journal != nil {
-			// One record per shard, enqueued under its lock, so the
-			// DumpFrozen freeze cleanly splits applied-and-logged from
-			// not-yet-applied (see Journal).
-			group := make([]BatchPoint, len(idxs))
-			for j, i := range idxs {
-				group[j] = batch[i]
+		for _, i := range groups[si] {
+			if s.journal != nil {
+				s.applyLocked(sh, batch[i].Key, batch[i].Point)
+			} else {
+				s.appendLocked(sh, batch[i].Key, batch[i].Point)
 			}
-			acks = append(acks, s.journal.PointsAppended(group))
+			applied = append(applied, batch[i])
 		}
-		sh.mu.Unlock()
-		accepted += len(idxs)
 	}
-	for _, a := range acks {
-		if werr := a.Wait(); werr != nil && err == nil {
-			err = werr
+	var ack JournalAck
+	if s.journal != nil {
+		ack = s.journal.PointsAppended(applied)
+	}
+	for _, si := range touched {
+		s.shards[si].mu.Unlock()
+	}
+	accepted = valid
+	if ack != nil {
+		werr := ack.Wait()
+		pos := 0
+		for _, si := range touched {
+			n := len(groups[si])
+			if werr != nil {
+				accepted -= s.rollback(s.shards[si], applied[pos:pos+n])
+			} else {
+				s.enforceCapGroup(s.shards[si], applied[pos:pos+n])
+			}
+			pos += n
 		}
+		err = werr
 	}
 	return accepted, rejected, err
 }
 
 // DumpFrozen write-locks every shard, calls prepare (the snapshot's WAL
-// rotation barrier), then streams every series' points to sink in
-// timestamp order while all appends are blocked. Because appenders
-// enqueue their journal record before releasing the shard lock, the
-// freeze guarantees the dumped state contains exactly the points whose
-// records precede the rotation — recovery replays snapshot + tail with
-// neither duplicates nor losses. sink must not retain pts. The freeze
-// lasts only as long as serialization (memory speed); appends resume
-// after.
+// rotation barrier), captures every series' state, then releases the
+// locks and streams the captured points to sink in timestamp order.
+// Because appenders enqueue their journal record before releasing the
+// shard lock, the freeze guarantees the captured state contains exactly
+// the points whose records precede the rotation — recovery replays
+// snapshot + tail with neither duplicates nor losses. The freeze lasts
+// only as long as the capture (sealed chunks are immutable so only head
+// runs are copied — memory speed, no disk I/O); appends resume while
+// sink serializes and writes. sink must not retain pts.
 func (s *Store) DumpFrozen(prepare func() error, sink func(key SeriesKey, pts []Point) error) error {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
+	type run struct {
+		key SeriesKey
+		pts []Point
 	}
-	defer func() {
+	var runs []run
+	err := func() error {
 		for _, sh := range s.shards {
-			sh.mu.Unlock()
+			sh.mu.Lock()
 		}
+		defer func() {
+			for _, sh := range s.shards {
+				sh.mu.Unlock()
+			}
+		}()
+		if prepare != nil {
+			if err := prepare(); err != nil {
+				return err
+			}
+		}
+		for _, sh := range s.shards {
+			for k, sr := range sh.series {
+				for _, c := range sr.loadSealed() {
+					runs = append(runs, run{key: k, pts: c.pts})
+				}
+				if len(sr.head) > 0 {
+					// The head run mutates in place after the freeze
+					// lifts (in-place inserts, retention trims), so it
+					// is the one thing that must be copied.
+					head := make([]Point, len(sr.head))
+					copy(head, sr.head)
+					runs = append(runs, run{key: k, pts: head})
+				}
+			}
+		}
+		return nil
 	}()
-	if prepare != nil {
-		if err := prepare(); err != nil {
-			return err
-		}
+	if err != nil {
+		return err
 	}
-	for _, sh := range s.shards {
-		for k, sr := range sh.series {
-			for _, c := range sr.loadSealed() {
-				if err := sink(k, c.pts); err != nil {
-					return err
-				}
-			}
-			if len(sr.head) > 0 {
-				if err := sink(k, sr.head); err != nil {
-					return err
-				}
-			}
+	for _, r := range runs {
+		if err := sink(r.key, r.pts); err != nil {
+			return err
 		}
 	}
 	return nil

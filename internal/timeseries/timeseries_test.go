@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -201,5 +202,128 @@ func TestConcurrentAppend(t *testing.T) {
 	}
 	if got := s.Len(key()); got != 800 {
 		t.Errorf("concurrent appends: %d points, want 800", got)
+	}
+}
+
+// TestDumpFrozenReleasesLocksBeforeSink asserts the freeze lifts before
+// sink runs: the sink appends through the normal (shard-write-locking)
+// path, which would self-deadlock if DumpFrozen still held the locks,
+// and the append lands before the captured head run's points — an
+// in-place head shift that would corrupt the dump if it aliased the
+// live slice instead of a copy.
+func TestDumpFrozenReleasesLocksBeforeSink(t *testing.T) {
+	s := New()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Point
+	err := s.DumpFrozen(nil, func(k SeriesKey, pts []Point) error {
+		if err := s.Append(key(), Point{At: t0.Add(-time.Hour), Value: -1}); err != nil {
+			return err
+		}
+		got = append(got, pts...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("dumped %d points, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if p.Value != float64(i) {
+			t.Fatalf("dumped point %d = %g, want %d (frozen state mutated)", i, p.Value, i)
+		}
+	}
+}
+
+var errTest = errors.New("journal down")
+
+// failTSJournal fails every ack — a latched WAL under the store.
+type failTSJournal struct{ err error }
+
+type failTSAck struct{ err error }
+
+func (a failTSAck) Wait() error { return a.err }
+
+func (j failTSJournal) PointsAppended([]BatchPoint) JournalAck { return failTSAck{j.err} }
+
+// TestAppendRollbackOnJournalFailure: a failed journal ack rolls the
+// just-applied points back out of memory, so the store matches the
+// reported outcome and the caller's retry cannot duplicate points.
+func TestAppendRollbackOnJournalFailure(t *testing.T) {
+	s := New()
+	// Pre-existing durable state, applied before the journal fails.
+	for i := 0; i < 5; i++ {
+		if err := s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetJournal(failTSJournal{err: errTest})
+
+	if err := s.Append(key(), Point{At: t0.Add(time.Hour), Value: 99}); err == nil {
+		t.Fatal("append with failing journal reported success")
+	}
+	batch := []BatchPoint{
+		{Key: key(), Point: Point{At: t0.Add(2 * time.Hour), Value: 100}},
+		{Key: SeriesKey{Device: "probe-2", Quantity: "airTemp"}, Point: Point{At: t0, Value: 1}},
+	}
+	accepted, rejected, err := s.AppendBatch(batch)
+	if err == nil {
+		t.Fatal("batch with failing journal reported success")
+	}
+	if accepted != 0 || rejected != 0 {
+		t.Fatalf("accepted=%d rejected=%d after rollback, want 0/0", accepted, rejected)
+	}
+	if n := s.Len(key()); n != 5 {
+		t.Fatalf("series holds %d points after rollback, want 5", n)
+	}
+	if n := s.Len(SeriesKey{Device: "probe-2", Quantity: "airTemp"}); n != 0 {
+		t.Fatalf("second series holds %d points after rollback, want 0", n)
+	}
+	// Retry after the journal recovers lands exactly once.
+	s.SetJournal(nil)
+	if _, _, err := s.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(key()); n != 6 {
+		t.Fatalf("series holds %d points after retry, want 6", n)
+	}
+}
+
+// TestRollbackDoesNotDrainCappedSeries: at the retention cap, eviction
+// must wait for the journal ack — otherwise each failed-and-rolled-back
+// append would evict an old durable point without keeping the new one,
+// draining the series a little further on every retry.
+func TestRollbackDoesNotDrainCappedSeries(t *testing.T) {
+	s := New(WithMaxPointsPerSeries(10))
+	for i := 0; i < 10; i++ {
+		if err := s.Append(key(), Point{At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetJournal(failTSJournal{err: errTest})
+	for r := 0; r < 5; r++ {
+		pt := BatchPoint{Key: key(), Point: Point{At: t0.Add(time.Hour + time.Duration(r)*time.Minute), Value: 99}}
+		if _, _, err := s.AppendBatch([]BatchPoint{pt}); err == nil {
+			t.Fatal("batch with failing journal reported success")
+		}
+	}
+	if n := s.Len(key()); n != 10 {
+		t.Fatalf("capped series holds %d points after rolled-back retries, want 10", n)
+	}
+	// With an accepting journal the cap is enforced after the ack.
+	s.SetJournal(failTSJournal{})
+	if _, _, err := s.AppendBatch([]BatchPoint{{Key: key(), Point: Point{At: t0.Add(2 * time.Hour), Value: 100}}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(key()); n != 10 {
+		t.Fatalf("capped series holds %d points after accepted append, want 10", n)
+	}
+	if p, ok := s.Latest(key()); !ok || p.Value != 100 {
+		t.Fatalf("latest = %+v, want the accepted point", p)
 	}
 }

@@ -123,6 +123,14 @@ type wlog struct {
 	f    *os.File
 	seg  uint64
 	size int64
+	// fatal latches the first write/fsync/rotation failure. Once set,
+	// every subsequent batch fails without touching the file: a failed
+	// write may have left a torn frame mid-segment (records appended
+	// after it would be acknowledged yet unreachable by replay, which
+	// stops at the first torn frame), and after a failed fsync the
+	// kernel may have dropped the dirty pages — a later successful
+	// fsync proves nothing about them.
+	fatal error
 
 	cRecords   *metrics.Counter
 	cBytes     *metrics.Counter
@@ -226,6 +234,12 @@ func (l *wlog) close() error {
 	l.qmu.Unlock()
 	close(l.done)
 	l.wg.Wait()
+	if l.fatal != nil {
+		// The file may already be closed (failed rotation) and its
+		// durability is unknown either way; surface the latched error.
+		l.f.Close()
+		return l.fatal
+	}
 	err := l.f.Sync()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
@@ -261,19 +275,35 @@ func (l *wlog) run() {
 // collect gathers everything immediately available (bounded by maxBatch)
 // and — when a coalescing window is configured and timed is true — keeps
 // accumulating until the window elapses. This is the group-commit lever:
-// every record in the batch shares one fsync.
+// every record in the batch shares one fsync. Control ops cut the window
+// short: a sync barrier is pure added latency if coalesced, and a
+// rotation may be holding the snapshot's store-wide freeze — waiting out
+// the window there would stall every append for its duration.
 func (l *wlog) collect(batch []*Pending, timed bool) []*Pending {
+	hasCtl := false
+	for _, p := range batch {
+		if p.ctl != ctlNone {
+			hasCtl = true
+		}
+	}
 	for len(batch) < l.maxBatch {
 		select {
 		case p := <-l.queue:
+			if p.ctl != ctlNone {
+				hasCtl = true
+			}
 			batch = append(batch, p)
 		default:
-			if timed && l.fsyncInterval > 0 && !l.syncEvery {
+			if timed && !hasCtl && l.fsyncInterval > 0 && !l.syncEvery {
 				t := time.NewTimer(l.fsyncInterval)
 				for len(batch) < l.maxBatch {
 					select {
 					case p := <-l.queue:
 						batch = append(batch, p)
+						if p.ctl != ctlNone {
+							t.Stop()
+							return batch
+						}
 					case <-t.C:
 						return batch
 					}
@@ -289,8 +319,17 @@ func (l *wlog) collect(batch []*Pending, timed bool) []*Pending {
 // commit writes a batch, fsyncs once (or per record in syncEvery mode),
 // then releases every waiter. On error the whole batch is failed — some
 // prefix may in fact be durable, but reporting failure for a durable
-// record is safe (callers treat it as not acknowledged).
+// record is safe (callers treat it as not acknowledged) — and the error
+// latches (see wlog.fatal): the log refuses all further work rather
+// than acknowledge records it cannot promise to recover.
 func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
+	if l.fatal != nil {
+		for _, p := range batch {
+			p.err = l.fatal
+			close(p.done)
+		}
+		return
+	}
 	var err error
 	dirty := false
 	flush := func() {
@@ -341,6 +380,9 @@ func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
 		}
 	}
 	flush()
+	if err != nil {
+		l.fatal = fmt.Errorf("wal: log failed, rejecting further appends: %w", err)
+	}
 	for _, p := range batch {
 		if p.err == nil {
 			p.err = err

@@ -64,14 +64,20 @@ func appendFrame(buf []byte, rec Record) []byte {
 }
 
 // readRecord reads one frame. io.EOF means a clean end of the stream;
-// ErrTorn means a partial or corrupt frame (stop replaying).
+// ErrTorn means a partial or corrupt frame (stop replaying). Only
+// truncation maps to ErrTorn — a real I/O error propagates, so recovery
+// fails loudly instead of mistaking a bad read mid-segment for a crash
+// tail and silently dropping the acknowledged records after it.
 func readRecord(r io.Reader) (Record, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, ErrTorn // partial header
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, ErrTorn // partial header
+		}
+		return Record{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n == 0 || n > MaxRecordBytes {
@@ -79,7 +85,10 @@ func readRecord(r io.Reader) (Record, error) {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Record{}, ErrTorn
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, ErrTorn // partial body
+		}
+		return Record{}, err
 	}
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
 		return Record{}, ErrTorn

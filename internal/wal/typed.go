@@ -112,6 +112,23 @@ func DecodeID(payload []byte) (string, error) {
 	return p.ID, nil
 }
 
+// NewSubscriptionRecord builds the durable record for a webhook
+// subscription — the single view→record mapping shared by the journal
+// hook and the snapshot dump, so the two cannot drift when a field is
+// added.
+func NewSubscriptionRecord(v ngsi.SubscriptionView, endpoint string) SubscriptionRecord {
+	return SubscriptionRecord{
+		ID:              v.ID,
+		EntityIDPattern: v.EntityIDPattern,
+		EntityType:      v.EntityType,
+		ConditionAttrs:  v.ConditionAttrs,
+		NotifyAttrs:     v.NotifyAttrs,
+		Throttling:      v.Throttling,
+		Owner:           v.Owner,
+		Endpoint:        endpoint,
+	}
+}
+
 // EncodeSubscriptionPut records a durable webhook subscription.
 func EncodeSubscriptionPut(sr SubscriptionRecord) (Record, error) {
 	return encode(TypeSubscriptionPut, sr)
@@ -179,16 +196,7 @@ func (j ctxJournal) EntityDeleted(id string) ngsi.JournalAck {
 }
 
 func (j ctxJournal) SubscriptionPut(v ngsi.SubscriptionView, endpoint string) ngsi.JournalAck {
-	rec, err := EncodeSubscriptionPut(SubscriptionRecord{
-		ID:              v.ID,
-		EntityIDPattern: v.EntityIDPattern,
-		EntityType:      v.EntityType,
-		ConditionAttrs:  v.ConditionAttrs,
-		NotifyAttrs:     v.NotifyAttrs,
-		Throttling:      v.Throttling,
-		Owner:           v.Owner,
-		Endpoint:        endpoint,
-	})
+	rec, err := EncodeSubscriptionPut(NewSubscriptionRecord(v, endpoint))
 	if err != nil {
 		return erredAck{err}
 	}

@@ -527,3 +527,58 @@ func TestSnapshotDuringConcurrentAppends(t *testing.T) {
 		t.Fatalf("latest snapshot had %d records, want 2", st.SnapshotRecords)
 	}
 }
+
+// TestWriteFailureLatchesLog forces a write failure (the active segment
+// file is closed out from under the committer, failing the next write
+// the way ENOSPC would) and asserts the log latches: every subsequent
+// append fails — appending past a possibly-torn frame would acknowledge
+// records replay cannot reach — and Close surfaces the latched error.
+func TestWriteFailureLatchesLog(t *testing.T) {
+	dir := t.TempDir()
+	m := openTest(t, dir)
+	if _, err := m.Recover(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendWait(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	// The committer is idle (the previous append's Wait returned and no
+	// rotation has happened), so closing its file is race-free.
+	if err := m.log.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendWait(testRecord(1)); err == nil {
+		t.Fatal("append after write failure was acknowledged")
+	}
+	for i := 2; i < 5; i++ {
+		if err := m.AppendWait(testRecord(i)); err == nil {
+			t.Fatalf("append %d after latched failure was acknowledged", i)
+		}
+	}
+	if err := m.Sync(); err == nil {
+		t.Fatal("sync on a failed log reported success")
+	}
+	if err := m.Close(); err == nil {
+		t.Fatal("close on a failed log reported success")
+	}
+	// Exactly the acknowledged prefix recovers.
+	recs, _ := recoverAll(t, dir)
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+}
+
+// failingReader returns a real I/O error mid-stream.
+type failingReader struct{ err error }
+
+func (r failingReader) Read([]byte) (int, error) { return 0, r.err }
+
+// TestReadRecordPropagatesIOErrors: only truncation is a torn record; a
+// real read error must surface, not end replay as a clean crash tail
+// (which would silently drop every acknowledged record after it).
+func TestReadRecordPropagatesIOErrors(t *testing.T) {
+	werr := fmt.Errorf("input/output error")
+	if _, err := readRecord(failingReader{err: werr}); err != werr {
+		t.Fatalf("readRecord error = %v, want %v", err, werr)
+	}
+}
