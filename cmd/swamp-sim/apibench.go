@@ -118,7 +118,13 @@ func runAPIBench(cfg apiBenchConfig) error {
 		"/v2/entities?orderBy=!soilMoisture&limit=10",
 	}
 	var qerrs atomic.Uint64
-	client := &http.Client{}
+	// The default transport keeps only 2 idle conns per host, so at
+	// higher worker counts the bench would measure TCP handshakes, not
+	// the API. Size the pool to the worker count.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers,
+	}}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/core"
@@ -78,10 +80,40 @@ func main() {
 		walmanifest = flag.String("walmanifest", "", "walbench: acked-writes manifest path for ingest/verify")
 		walsnap     = flag.Duration("walsnap", 0, "walbench: snapshot cadence during ingest (0 = 2s)")
 
-		benchjson = flag.String("benchjson", "", "write the bench's headline metrics to this JSON file (BENCH_<name>.json shape)")
+		benchjson  = flag.String("benchjson", "", "write the bench's headline metrics to this JSON file (BENCH_<name>.json shape)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 	benchJSONPath = *benchjson
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swamp-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before dumping
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "swamp-sim: memprofile:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *experiments:

@@ -71,6 +71,16 @@ func walThroughput(cfg walBenchConfig) error {
 	}
 	fmt.Printf("walbench: %d records × %d points, %d workers\n", records, cfg.Batch, cfg.Workers)
 
+	// --- phase 0: pure codec, no I/O — isolates the record encoding from
+	// the fsync-bound append path so a codec regression is visible even
+	// when appends are disk-limited ---
+	encPerSec, decPerSec, err := walCodecRun(records, cfg.Batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codec encode   %8.0f points/s\n", encPerSec)
+	fmt.Printf("codec decode   %8.0f points/s\n", decPerSec)
+
 	// --- phase 1: group-committed appends ---
 	groupedDir := filepath.Join(dir, "grouped")
 	groupedPerSec, err := walAppendRun(groupedDir, records, cfg.Batch, cfg.Workers, false)
@@ -116,12 +126,48 @@ func walThroughput(cfg walBenchConfig) error {
 	}
 
 	return writeBenchJSON("walbench", map[string]float64{
-		"grouped_appends_per_s":    groupedPerSec,
-		"grouped_points_per_s":     groupedPerSec * float64(cfg.Batch),
-		"fsync_each_appends_per_s": syncPerSec,
-		"group_commit_speedup_x":   speedup,
-		"recover_records_per_s":    recPerSec,
+		"grouped_appends_per_s":     groupedPerSec,
+		"grouped_points_per_s":      groupedPerSec * float64(cfg.Batch),
+		"fsync_each_appends_per_s":  syncPerSec,
+		"group_commit_speedup_x":    speedup,
+		"recover_records_per_s":     recPerSec,
+		"codec_encode_points_per_s": encPerSec,
+		"codec_decode_points_per_s": decPerSec,
 	})
+}
+
+// walCodecRun times telemetry record encode and decode in memory (no
+// log, no fsync): the same payload shape the append phases write, so
+// the per-point codec cost is measured on its own.
+func walCodecRun(records, batch int) (encPerSec, decPerSec float64, err error) {
+	if records > 50000 {
+		records = 50000 // bounded: every encoded record is held for the decode pass
+	}
+	key := timeseries.SeriesKey{Device: "urn:sim:probe:000000", Quantity: "soilMoisture_d20"}
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	pts := make([]timeseries.BatchPoint, batch)
+	encoded := make([]wal.Record, records)
+	start := time.Now()
+	for i := range encoded {
+		for j := range pts {
+			pts[j] = timeseries.BatchPoint{Key: key, Point: timeseries.Point{
+				At:    base.Add(time.Duration(i*batch+j) * time.Millisecond),
+				Value: 0.2 + float64(j%100)/1000,
+			}}
+		}
+		if encoded[i], err = wal.EncodeTelemetry(pts); err != nil {
+			return 0, 0, err
+		}
+	}
+	encPerSec = float64(records*batch) / time.Since(start).Seconds()
+	start = time.Now()
+	for _, rec := range encoded {
+		if _, err = wal.DecodeTelemetry(rec); err != nil {
+			return 0, 0, err
+		}
+	}
+	decPerSec = float64(records*batch) / time.Since(start).Seconds()
+	return encPerSec, decPerSec, nil
 }
 
 // walAppendRun appends records of batch-sized telemetry payloads from
@@ -203,7 +249,7 @@ func walRecoverRun(dir string) (perSec float64, recs, pts int, elapsed time.Dura
 	if _, err := m.Recover(func(rec wal.Record) error {
 		recs++
 		if rec.Type == wal.TypeTelemetry {
-			batch, err := wal.DecodeTelemetry(rec.Payload)
+			batch, err := wal.DecodeTelemetry(rec)
 			if err != nil {
 				return err
 			}

@@ -21,7 +21,22 @@
 // corruption-tolerant crash recovery on startup. Enable it with
 // core.Options.WALDir / swampd -wal-dir; tune with -wal-segment-bytes,
 // -wal-fsync-interval and -snapshot-interval (DESIGN.md §7 has the full
-// knob table and the recovery protocol).
+// knob table and the recovery protocol). New segments use the binary v2
+// record codec (per-segment string interning, delta-encoded telemetry
+// timestamps); v1 JSON segments and snapshots replay forever.
+//
+// Hot-path knobs (DESIGN.md §8 has the invariants):
+//
+//	core.Options.AuditRingSize      PEP audit ring capacity (default 4096;
+//	                                overflow counts security.audit.dropped)
+//	core.Options.TokenPurgeInterval token purge cadence (default 1m,
+//	                                0 = default, negative disables)
+//	core.Options.SecurityClock      clock driving token expiry and purge
+//	                                (wall clock by default, Sim in tests)
+//
+// The northbound GET /v2/entities path memoizes rendered responses,
+// invalidated by the context broker's mutation epoch (ngsi.Broker.Epoch);
+// authorization always runs before a cached body is served.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, EXPERIMENTS.md for the derived experiment results, and

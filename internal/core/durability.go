@@ -109,13 +109,13 @@ func (d *Durability) Snapshot() error { return d.WAL.Snapshot(d.dump) }
 func (d *Durability) apply(rec wal.Record) error {
 	switch rec.Type {
 	case wal.TypeEntityUpsert:
-		e, err := wal.DecodeEntityUpsert(rec.Payload)
+		e, err := wal.DecodeEntityUpsert(rec)
 		if err != nil {
 			return err
 		}
 		return d.Context.UpsertEntity(e)
 	case wal.TypeEntityMerge:
-		entries, err := wal.DecodeEntityMerge(rec.Payload)
+		entries, err := wal.DecodeEntityMerge(rec)
 		if err != nil {
 			return err
 		}
@@ -126,7 +126,7 @@ func (d *Durability) apply(rec wal.Record) error {
 		}
 		return nil
 	case wal.TypeEntityDelete:
-		id, err := wal.DecodeID(rec.Payload)
+		id, err := wal.DecodeID(rec)
 		if err != nil {
 			return err
 		}
@@ -136,7 +136,7 @@ func (d *Durability) apply(rec wal.Record) error {
 		}
 		return nil
 	case wal.TypeSubscriptionPut:
-		sr, err := wal.DecodeSubscriptionPut(rec.Payload)
+		sr, err := wal.DecodeSubscriptionPut(rec)
 		if err != nil {
 			return err
 		}
@@ -168,7 +168,7 @@ func (d *Durability) apply(rec wal.Record) error {
 		}
 		return err
 	case wal.TypeSubscriptionDelete:
-		id, err := wal.DecodeID(rec.Payload)
+		id, err := wal.DecodeID(rec)
 		if err != nil {
 			return err
 		}
@@ -180,7 +180,7 @@ func (d *Durability) apply(rec wal.Record) error {
 		}
 		return nil
 	case wal.TypeTelemetry:
-		pts, err := wal.DecodeTelemetry(rec.Payload)
+		pts, err := wal.DecodeTelemetry(rec)
 		if err != nil {
 			return err
 		}

@@ -191,7 +191,23 @@ type Options struct {
 	// (0 → DefaultSnapshotInterval; negative disables periodic
 	// snapshots). Only meaningful with WALDir set.
 	SnapshotInterval time.Duration
+	// AuditRingSize bounds the PEP's audit ring (entries, rounded up to
+	// a power of two; 0 → pep.DefaultAuditCap). Overflow overwrites the
+	// oldest entries and counts security.audit.dropped.
+	AuditRingSize int
+	// TokenPurgeInterval is the cadence of the OAuth token-store purge
+	// loop that reclaims expired and revoked tokens (0 →
+	// DefaultTokenPurgeInterval; negative disables the loop).
+	TokenPurgeInterval time.Duration
+	// SecurityClock drives token expiry and the purge loop (nil → wall
+	// clock). Simulations pass their simulated clock so token lifetimes
+	// follow simulated time.
+	SecurityClock clock.Clock
 }
+
+// DefaultTokenPurgeInterval is the token-store purge cadence when
+// Options.TokenPurgeInterval is zero.
+const DefaultTokenPurgeInterval = time.Minute
 
 // Platform is one fully wired SWAMP deployment.
 type Platform struct {
@@ -263,7 +279,14 @@ func New(opts Options) (*Platform, error) {
 
 	// --- security plane ---
 	p.IDM = identity.NewStore()
-	p.Tokens = oauth.NewServer(p.IDM, oauth.Config{})
+	p.Tokens = oauth.NewServer(p.IDM, oauth.Config{Clock: opts.SecurityClock})
+	if opts.TokenPurgeInterval >= 0 {
+		interval := opts.TokenPurgeInterval
+		if interval == 0 {
+			interval = DefaultTokenPurgeInterval
+		}
+		p.Tokens.StartPurge(interval)
+	}
 	owner := opts.Pilot.Name
 	p.PDP = pep.NewPDP(
 		pep.Policy{
@@ -297,7 +320,7 @@ func New(opts Options) (*Platform, error) {
 			Effect:  pep.Permit,
 		},
 	)
-	p.PEP = pep.NewPEP(p.Tokens, p.PDP, p.reg)
+	p.PEP = pep.NewPEP(p.Tokens, p.PDP, p.reg, pep.WithAuditCap(opts.AuditRingSize))
 	if err := p.IDM.Register(identity.Principal{
 		ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: owner,
 	}, "farmer-secret"); err != nil {
@@ -843,6 +866,9 @@ func (p *Platform) Close() {
 	}
 	if p.Store != nil {
 		p.Store.Close()
+	}
+	if p.Tokens != nil {
+		p.Tokens.Close()
 	}
 	if p.Durable != nil {
 		_ = p.Durable.Close()

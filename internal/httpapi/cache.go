@@ -1,0 +1,66 @@
+package httpapi
+
+import "sync"
+
+// listCache memoizes rendered GET /v2/entities response bodies keyed by
+// the raw query string, validated against the context broker's mutation
+// epoch: every entity mutation bumps the epoch, so one comparison
+// decides whether a cached body is still the answer the query engine
+// would produce. Authorization is NOT cached — every request crosses
+// the PEP before a cached body is served.
+type listCache struct {
+	mu      sync.RWMutex
+	epoch   uint64
+	entries map[string]*listCacheEntry
+}
+
+// listCacheEntry is one rendered listing: the JSON body exactly as it
+// was sent, plus the Fiware-Total-Count value (-1 when the request did
+// not ask for options=count).
+type listCacheEntry struct {
+	body  []byte
+	total int
+}
+
+// listCacheCap bounds the entry map. On overflow the map is reset
+// wholesale instead of evicted piecewise: the cache is a hot-query
+// accelerator for a small working set of repeated listings, not a
+// store, and a distinct-query flood must not grow it unboundedly.
+const listCacheCap = 512
+
+func newListCache() *listCache {
+	return &listCache{entries: make(map[string]*listCacheEntry)}
+}
+
+// get returns the entry for key if it was rendered at epoch; any entity
+// mutation since (a different broker epoch) makes the whole cache stale.
+func (c *listCache) get(key string, epoch uint64) *listCacheEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.epoch != epoch {
+		return nil
+	}
+	return c.entries[key]
+}
+
+// put stores a body rendered from a query that STARTED at epoch (the
+// caller must capture the epoch before running the query). The
+// capture-before-read protocol makes a racing mutation harmless: the
+// broker bumps its epoch after applying, so a fill whose scan observed
+// the mutation is stored under the pre-mutation epoch and never
+// validates — at worst a wasted fill, never a stale hit.
+func (c *listCache) put(key string, epoch uint64, ent *listCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		if c.epoch > epoch {
+			return // a mutation landed while this body was rendered
+		}
+		c.epoch = epoch
+		clear(c.entries)
+	}
+	if len(c.entries) >= listCacheCap {
+		clear(c.entries)
+	}
+	c.entries[key] = ent
+}

@@ -7,6 +7,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/cloud"
@@ -59,6 +61,17 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	ownPool bool
+
+	// lists memoizes entity-listing bodies across requests, invalidated
+	// by the broker's mutation epoch.
+	lists *listCache
+
+	// Hot-path counters, resolved once so request handling never takes
+	// the registry lock.
+	cTokenIssued, cTokenRejected *metrics.Counter
+	cList, cListCached           *metrics.Counter
+	cUpdate, cBatch, cBatchSize  *metrics.Counter
+	cSeries                      *metrics.Counter
 }
 
 // NewServer validates the config and builds the routing table.
@@ -78,7 +91,20 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueryDefaultLimit > cfg.QueryMaxLimit {
 		cfg.QueryDefaultLimit = cfg.QueryMaxLimit
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		lists: newListCache(),
+
+		cTokenIssued:   cfg.Metrics.Counter("httpapi.token.issued"),
+		cTokenRejected: cfg.Metrics.Counter("httpapi.token.rejected"),
+		cList:          cfg.Metrics.Counter("httpapi.entities.list"),
+		cListCached:    cfg.Metrics.Counter("httpapi.entities.list.cached"),
+		cUpdate:        cfg.Metrics.Counter("httpapi.entities.update"),
+		cBatch:         cfg.Metrics.Counter("httpapi.entities.batch"),
+		cBatchSize:     cfg.Metrics.Counter("httpapi.entities.batch.size"),
+		cSeries:        cfg.Metrics.Counter("httpapi.analytics.series"),
+	}
 	// WAL recovery may have repopulated the broker with HTTP-created
 	// subscriptions; advance the id counter past them so fresh creations
 	// never collide with recovered ids.
@@ -176,10 +202,33 @@ type apiError struct {
 	Description string `json:"description,omitempty"`
 }
 
+// jsonBufPool recycles response-encoding buffers across requests, so a
+// hot northbound path allocates no per-response scratch. Buffers that
+// grew past maxPooledBufBytes (an unusually wide listing) are dropped
+// instead of pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBufBytes = 1 << 16
+
+func getJSONBuf() *bytes.Buffer {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putJSONBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := getJSONBuf()
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putJSONBuf(buf)
 }
 
 func writeErr(w http.ResponseWriter, code int, kind, desc string) {
@@ -222,11 +271,11 @@ func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		s.cfg.Metrics.Counter("httpapi.token.rejected").Inc()
+		s.cTokenRejected.Inc()
 		writeErr(w, http.StatusUnauthorized, "invalid_grant", "authentication failed")
 		return
 	}
-	s.cfg.Metrics.Counter("httpapi.token.issued").Inc()
+	s.cTokenIssued.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"access_token": tok.Value,
 		"token_type":   "Bearer",
@@ -292,6 +341,21 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 		pattern = "*"
 	}
 	if _, ok := s.authorize(w, r, "read", "ngsi:"+pattern); !ok {
+		return
+	}
+	// The epoch must be captured before the query runs: a mutation that
+	// races the scan bumps it, so the filled entry can never validate
+	// against post-mutation reads (see listCache.put).
+	epoch := s.cfg.Context.Epoch()
+	if ent := s.lists.get(r.URL.RawQuery, epoch); ent != nil {
+		if ent.total >= 0 {
+			w.Header().Set("Fiware-Total-Count", strconv.Itoa(ent.total))
+		}
+		s.cList.Inc()
+		s.cListCached.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(ent.body)
 		return
 	}
 	conds, err := ngsi.ParseQ(qs.Get("q"))
@@ -363,11 +427,22 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 	for _, e := range res.Entities {
 		out = append(out, toJSON(e))
 	}
+	buf := getJSONBuf()
+	_ = json.NewEncoder(buf).Encode(out)
+	total := -1
 	if count {
-		w.Header().Set("Fiware-Total-Count", strconv.Itoa(res.Total))
+		total = res.Total
+		w.Header().Set("Fiware-Total-Count", strconv.Itoa(total))
 	}
-	s.cfg.Metrics.Counter("httpapi.entities.list").Inc()
-	writeJSON(w, http.StatusOK, out)
+	s.lists.put(r.URL.RawQuery, epoch, &listCacheEntry{
+		body:  append([]byte(nil), buf.Bytes()...),
+		total: total,
+	})
+	s.cList.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+	putJSONBuf(buf)
 }
 
 func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
@@ -416,7 +491,7 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		return
 	}
-	s.cfg.Metrics.Counter("httpapi.entities.update").Inc()
+	s.cUpdate.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -473,8 +548,8 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		return
 	}
-	s.cfg.Metrics.Counter("httpapi.entities.batch").Inc()
-	s.cfg.Metrics.Counter("httpapi.entities.batch.size").Add(uint64(len(updates)))
+	s.cBatch.Inc()
+	s.cBatchSize.Add(uint64(len(updates)))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -580,7 +655,7 @@ func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
 			At: wa.Start, Count: wa.Count, Min: wa.Min, Max: wa.Max, Mean: wa.Mean,
 		})
 	}
-	s.cfg.Metrics.Counter("httpapi.analytics.series").Inc()
+	s.cSeries.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"device": device, "quantity": quantity, "window": window.String(),
 		"points": points,

@@ -91,6 +91,12 @@ type Broker struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// epoch counts entity mutations; see Epoch. Bumped after each
+	// mutation is applied (inside the shard lock), so a reader that
+	// captures the epoch before a scan can tell afterwards whether the
+	// scanned state might since have changed.
+	epoch atomic.Uint64
+
 	// Subscription table. The index is copy-on-write: subscribe/unsubscribe
 	// rebuild it under subMu and publish atomically; shard update paths
 	// load it lock-free.
@@ -230,6 +236,12 @@ func (b *Broker) Close() {
 // Metrics returns the broker's registry.
 func (b *Broker) Metrics() *metrics.Registry { return b.reg }
 
+// Epoch returns the entity-mutation counter. Two equal Epoch readings
+// bracketing a query guarantee the store did not change in between, so
+// callers can cache derived results (the HTTP listing cache does) and
+// invalidate them by comparing epochs. The counter only ever advances.
+func (b *Broker) Epoch() uint64 { return b.epoch.Load() }
+
 // ShardCount returns the number of entity shards.
 func (b *Broker) ShardCount() int { return len(b.shards) }
 
@@ -272,6 +284,7 @@ func (b *Broker) UpsertEntity(e *Entity) error {
 		return ErrClosed
 	}
 	sh.entities[cp.ID] = cp
+	b.epoch.Add(1)
 	b.cUpsert.Inc()
 	b.notifyShardLocked(sh, cp, changed)
 	var ack JournalAck
@@ -346,6 +359,7 @@ func (b *Broker) applyUpdateLocked(sh *shard, id, typ string, attrs map[string]A
 			resolved[k] = ca
 		}
 	}
+	b.epoch.Add(1)
 	b.cUpdate.Inc()
 	b.notifyShardLocked(sh, e, changed)
 	if resolved == nil {
@@ -461,6 +475,7 @@ func (b *Broker) DeleteEntity(id string) error {
 		return fmt.Errorf("ngsi: entity %q: %w", id, ErrNotFound)
 	}
 	delete(sh.entities, id)
+	b.epoch.Add(1)
 	var ack JournalAck
 	if b.journal != nil {
 		ack = b.journal.EntityDeleted(id)
@@ -475,6 +490,7 @@ func (b *Broker) DeleteEntity(id string) error {
 			sh.mu.Lock()
 			if _, taken := sh.entities[id]; !taken {
 				sh.entities[id] = e
+				b.epoch.Add(1)
 			}
 			sh.mu.Unlock()
 			return notDurable(err)

@@ -1,0 +1,61 @@
+package ngsi
+
+import "testing"
+
+// TestEpochAdvancesOnMutations: every entity mutation path moves the
+// epoch, and pure reads leave it alone — the contract the HTTP listing
+// cache depends on.
+func TestEpochAdvancesOnMutations(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+
+	e0 := b.Epoch()
+	if err := b.UpsertEntity(&Entity{ID: "d1", Type: "Thing", Attrs: map[string]Attribute{
+		"v": {Type: "Number", Value: 1.0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := b.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("upsert did not advance epoch: %d -> %d", e0, e1)
+	}
+
+	if err := b.UpdateAttrs("d1", "Thing", map[string]Attribute{
+		"v": {Type: "Number", Value: 2.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := b.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("update did not advance epoch: %d -> %d", e1, e2)
+	}
+
+	if err := b.BatchUpdate(map[string]BatchEntry{
+		"d2": {Type: "Thing", Attrs: map[string]Attribute{"v": {Type: "Number", Value: 3.0}}},
+		"d3": {Type: "Thing", Attrs: map[string]Attribute{"v": {Type: "Number", Value: 4.0}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e3 := b.Epoch()
+	if e3 < e2+2 {
+		t.Fatalf("batch of 2 advanced epoch by %d, want >= 2", e3-e2)
+	}
+
+	// Reads do not move it.
+	if _, err := b.GetEntity("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Query(Query{IDPattern: "*", OrderBy: OrderByID}); err != nil {
+		t.Fatal(err)
+	}
+	if b.EntityCount() != 3 || b.Epoch() != e3 {
+		t.Fatalf("reads moved the epoch: %d -> %d", e3, b.Epoch())
+	}
+
+	if err := b.DeleteEntity("d3"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() <= e3 {
+		t.Fatalf("delete did not advance epoch: %d -> %d", e3, b.Epoch())
+	}
+}

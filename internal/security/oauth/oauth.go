@@ -4,6 +4,14 @@
 // and the OAuth 2.0 protocol"): resource-owner-password and
 // client-credentials grants, opaque bearer tokens, introspection,
 // revocation and expiry.
+//
+// Introspect sits on every authenticated request, so the token store is
+// built for lock-free reads: tokens live in a sync.Map (issue-once,
+// read-mostly — exactly its sweet spot) and revocation is an atomic flag
+// on the record, so neither a grant burst nor a revocation sweep stalls
+// the read path. Expired and revoked records are reclaimed by
+// PurgeExpired, either called directly or from the StartPurge loop the
+// platform drives on its clock.
 package oauth
 
 import (
@@ -12,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/clock"
@@ -59,13 +68,17 @@ type Server struct {
 	ttl time.Duration
 	clk clock.Clock
 
-	mu     sync.RWMutex
-	tokens map[string]*tokenRecord
+	tokens sync.Map // token value -> *tokenRecord
+	live   atomic.Int64
+
+	purgeOnce sync.Once
+	purgeDone chan struct{}
+	purgeWG   sync.WaitGroup
 }
 
 type tokenRecord struct {
 	token   Token
-	revoked bool
+	revoked atomic.Bool
 }
 
 // NewServer constructs a token server over idm.
@@ -76,7 +89,7 @@ func NewServer(idm *identity.Store, cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	return &Server{idm: idm, ttl: cfg.TTL, clk: cfg.Clock, tokens: make(map[string]*tokenRecord)}
+	return &Server{idm: idm, ttl: cfg.TTL, clk: cfg.Clock, purgeDone: make(chan struct{})}
 }
 
 // GrantPassword implements the resource-owner-password grant: it
@@ -113,21 +126,21 @@ func (s *Server) issue(p identity.Principal, scopes []string) (Token, error) {
 		IssuedAt:  now,
 		ExpiresAt: now.Add(s.ttl),
 	}
-	s.mu.Lock()
-	s.tokens[tok.Value] = &tokenRecord{token: tok}
-	s.mu.Unlock()
+	s.tokens.Store(tok.Value, &tokenRecord{token: tok})
+	s.live.Add(1)
 	return tok, nil
 }
 
-// Introspect validates a bearer token value and returns the token.
+// Introspect validates a bearer token value and returns the token. It is
+// lock-free: one sync.Map read plus an atomic revocation check, so the
+// hot authenticated path never contends with grants or revocations.
 func (s *Server) Introspect(value string) (Token, error) {
-	s.mu.RLock()
-	rec := s.tokens[value]
-	s.mu.RUnlock()
-	if rec == nil {
+	v, ok := s.tokens.Load(value)
+	if !ok {
 		return Token{}, ErrInvalidToken
 	}
-	if rec.revoked {
+	rec := v.(*tokenRecord)
+	if rec.revoked.Load() {
 		return Token{}, ErrRevoked
 	}
 	if s.clk.Now().After(rec.token.ExpiresAt) {
@@ -138,50 +151,76 @@ func (s *Server) Introspect(value string) (Token, error) {
 
 // Revoke invalidates a token immediately.
 func (s *Server) Revoke(value string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec := s.tokens[value]
-	if rec == nil {
+	v, ok := s.tokens.Load(value)
+	if !ok {
 		return ErrInvalidToken
 	}
-	rec.revoked = true
+	v.(*tokenRecord).revoked.Store(true)
 	return nil
 }
 
 // RevokePrincipal invalidates every live token of a principal — the
 // response to a compromised device (§III actuator takeover).
 func (s *Server) RevokePrincipal(principalID string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, rec := range s.tokens {
-		if rec.token.Principal.ID == principalID && !rec.revoked {
-			rec.revoked = true
+	s.tokens.Range(func(_, v any) bool {
+		rec := v.(*tokenRecord)
+		if rec.token.Principal.ID == principalID && rec.revoked.CompareAndSwap(false, true) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
 // PurgeExpired drops expired and revoked tokens, returning how many were
-// removed. Call it periodically to bound memory.
+// removed. The StartPurge loop calls it periodically; it is also safe to
+// call directly, concurrently with everything else.
 func (s *Server) PurgeExpired() int {
 	now := s.clk.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for v, rec := range s.tokens {
-		if rec.revoked || now.After(rec.token.ExpiresAt) {
-			delete(s.tokens, v)
-			n++
+	s.tokens.Range(func(k, v any) bool {
+		rec := v.(*tokenRecord)
+		if rec.revoked.Load() || now.After(rec.token.ExpiresAt) {
+			// LoadAndDelete keeps the live count exact when two purge
+			// passes race over the same record.
+			if _, loaded := s.tokens.LoadAndDelete(k); loaded {
+				s.live.Add(-1)
+				n++
+			}
 		}
-	}
+		return true
+	})
 	return n
 }
 
 // LiveTokens returns the number of stored (not yet purged) tokens.
-func (s *Server) LiveTokens() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.tokens)
+func (s *Server) LiveTokens() int { return int(s.live.Load()) }
+
+// StartPurge reclaims expired and revoked tokens every interval on the
+// server's clock until Close. With a Sim clock, tests drive the loop via
+// Advance.
+func (s *Server) StartPurge(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.purgeWG.Add(1)
+	go func() {
+		defer s.purgeWG.Done()
+		for {
+			select {
+			case <-s.purgeDone:
+				return
+			case <-s.clk.After(interval):
+				s.PurgeExpired()
+			}
+		}
+	}()
+}
+
+// Close stops the purge loop (if any). The server remains usable for
+// issuing and validating tokens; only the background reclamation stops.
+func (s *Server) Close() {
+	s.purgeOnce.Do(func() { close(s.purgeDone) })
+	s.purgeWG.Wait()
 }

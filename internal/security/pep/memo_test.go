@@ -1,0 +1,141 @@
+package pep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/swamp-project/swamp/internal/security/identity"
+)
+
+// TestMemoNeverServesStalePermit is the -race invalidation proof: while
+// workers hammer Authorize (filling the memo), the main goroutine
+// flip-flops a deny policy and revokes tokens — and every Authorize
+// issued after a mutation returns must observe it.
+func TestMemoNeverServesStalePermit(t *testing.T) {
+	tokens, pep := newStack(t)
+	tok, err := tokens.GrantPassword("farm1-farmer", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A rotating resource set keeps the memo populated with
+				// entries the deny flip must invalidate.
+				pep.Authorize(tok.Value, "read", fmt.Sprintf("ngsi:farm1:%d", i%8))
+			}
+		}()
+	}
+
+	for i := 0; i < 100; i++ {
+		res := fmt.Sprintf("ngsi:farm1:%d", i%8)
+		// Warm the memo with a permit for this exact key.
+		if _, err := pep.Authorize(tok.Value, "read", res); err != nil {
+			t.Fatalf("warm-up authorize: %v", err)
+		}
+		pep.pdp.AddPolicy(Policy{ID: "ban", ResourcePattern: res, Effect: Deny})
+		if _, err := pep.Authorize(tok.Value, "read", res); !errors.Is(err, ErrDenied) {
+			t.Fatalf("iteration %d: stale permit served after AddPolicy: err=%v", i, err)
+		}
+		pep.pdp.RemovePolicy("ban")
+		if _, err := pep.Authorize(tok.Value, "read", res); err != nil {
+			t.Fatalf("iteration %d: stale deny served after RemovePolicy: %v", i, err)
+		}
+	}
+
+	// Revocation path: Introspect guards the memo, so a revoked token is
+	// rejected no matter what is cached for its principal.
+	if err := tokens.Revoke(tok.Value); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pep.Authorize(tok.Value, "read", "ngsi:farm1:0"); err == nil || errors.Is(err, ErrDenied) {
+		t.Fatalf("revoked token: got %v, want token rejection", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMemoHitsAndConditionBypass: repeat decisions hit the memo, and
+// installing a Condition policy disables it (closures are uncacheable).
+func TestMemoHitsAndConditionBypass(t *testing.T) {
+	tokens, pep := newStack(t)
+	tok, _ := tokens.GrantPassword("farm1-farmer", "pw")
+
+	for i := 0; i < 5; i++ {
+		if _, err := pep.Authorize(tok.Value, "read", "ngsi:farm1:a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := pep.Metrics().Counter("pep.memo.hits").Value()
+	if hits < 4 {
+		t.Fatalf("memo hits = %d, want >= 4", hits)
+	}
+
+	// A conditional policy must bypass the cache: its answer changes
+	// between calls without any version bump.
+	allow := true
+	pep.pdp.AddPolicy(Policy{
+		ID:              "flaky",
+		ResourcePattern: "ngsi:farm1:cond",
+		Effect:          Deny,
+		Condition:       func(Request) bool { return !allow },
+	})
+	if !pep.pdp.Cacheable() {
+		// expected
+	} else {
+		t.Fatal("PDP with a Condition policy reports Cacheable")
+	}
+	if _, err := pep.Authorize(tok.Value, "read", "ngsi:farm1:cond"); err != nil {
+		t.Fatalf("condition-false should permit: %v", err)
+	}
+	allow = false
+	if _, err := pep.Authorize(tok.Value, "read", "ngsi:farm1:cond"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("condition-true deny was cached away: %v", err)
+	}
+	pep.pdp.RemovePolicy("flaky")
+	if !pep.pdp.Cacheable() {
+		t.Fatal("removing the Condition policy should restore cacheability")
+	}
+}
+
+// TestMemoKeyCoversRoles: two principals sharing an ID prefix or a
+// changed role set must not collide in the memo.
+func TestMemoKeyCoversRoles(t *testing.T) {
+	a := identity.Principal{ID: "p", Roles: []identity.Role{identity.RoleFarmer}, Owner: "farm1"}
+	b := identity.Principal{ID: "p", Roles: []identity.Role{identity.RoleService}, Owner: "farm1"}
+	if memoKey(&a, "read", "r") == memoKey(&b, "read", "r") {
+		t.Fatal("memo key ignores roles")
+	}
+	c := identity.Principal{ID: "p", Owner: "farm1x"}
+	d := identity.Principal{ID: "px", Owner: "farm1"}
+	if memoKey(&c, "read", "r") == memoKey(&d, "read", "r") {
+		t.Fatal("memo key concatenation is ambiguous")
+	}
+}
+
+func TestAuditDroppedCounter(t *testing.T) {
+	tokens, base := newStack(t)
+	pep := NewPEP(tokens, base.pdp, nil, WithAuditCap(8))
+	tok, _ := tokens.GrantPassword("farm1-farmer", "pw")
+	for i := 0; i < 20; i++ {
+		pep.Authorize(tok.Value, "read", "ngsi:farm1:a")
+	}
+	if got := pep.Metrics().Counter("security.audit.dropped").Value(); got != 12 {
+		t.Fatalf("security.audit.dropped = %d, want 12", got)
+	}
+	if n := len(pep.Audit()); n != 8 {
+		t.Fatalf("retained audit = %d, want 8", n)
+	}
+}

@@ -189,9 +189,8 @@ func TestPEPAuditTrail(t *testing.T) {
 }
 
 func TestPEPAuditRingWraps(t *testing.T) {
-	tokens, pep := newStack(t)
-	pep.auditCap = 8
-	pep.audit = make([]AuditEntry, 0, 8)
+	tokens, base := newStack(t)
+	pep := NewPEP(tokens, base.pdp, nil, WithAuditCap(8))
 	tok, _ := tokens.GrantPassword("farm1-farmer", "pw")
 	for i := 0; i < 20; i++ {
 		pep.Authorize(tok.Value, "read", fmt.Sprintf("ngsi:farm1:%d", i))

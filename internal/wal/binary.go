@@ -1,0 +1,559 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// Codec v2 payload bodies. A payload never carries a name twice: strings
+// live in the record's Strings table (interned per segment by the frame
+// layer) and the body refers to them by record-local uvarint index.
+// Values are a tagged union with a JSON-blob escape hatch, so any value
+// the v1 codec could carry still round-trips — numbers decode as float64
+// either way, matching encoding/json's behaviour for `any`.
+//
+// Timestamps are varint unix-nanos plus the zone offset. A record whose
+// timestamps do not survive the unix-nano round trip (far past/future,
+// zero telemetry stamps) falls back to a CodecJSON payload — the per-
+// record codec byte makes that free.
+
+// Value union tags.
+const (
+	vNil   = 0
+	vF64   = 1 // 8-byte little-endian float64 bits
+	vStr   = 2 // string-table index
+	vTrue  = 3
+	vFalse = 4
+	vJSON  = 5 // uvarint length + raw JSON (trees, exotic scalars)
+)
+
+// Time flags.
+const (
+	tZero = 0
+	tUnix = 1 // varint unix-nanos + varint zone-offset seconds
+)
+
+// binWriter accumulates a binary payload plus its record-local string
+// table. Lookup is a linear scan for the small tables typical of one
+// record, switching to a map when a merge batch grows past that.
+type binWriter struct {
+	buf  []byte
+	strs []string
+	idx  map[string]int
+}
+
+const binWriterMapThreshold = 16
+
+func (w *binWriter) strIdx(s string) uint64 {
+	if w.idx != nil {
+		if i, ok := w.idx[s]; ok {
+			return uint64(i)
+		}
+	} else {
+		for i, t := range w.strs {
+			if t == s {
+				return uint64(i)
+			}
+		}
+		if len(w.strs) >= binWriterMapThreshold {
+			w.idx = make(map[string]int, 2*len(w.strs))
+			for i, t := range w.strs {
+				w.idx[t] = i
+			}
+		}
+	}
+	i := len(w.strs)
+	w.strs = append(w.strs, s)
+	if w.idx != nil {
+		w.idx[s] = i
+	}
+	return uint64(i)
+}
+
+func (w *binWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *binWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *binWriter) u8(b byte)        { w.buf = append(w.buf, b) }
+func (w *binWriter) str(s string)     { w.uvarint(w.strIdx(s)) }
+func (w *binWriter) f64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+func (w *binWriter) record(t Type) Record {
+	return Record{Type: t, Codec: CodecBinary, Payload: w.buf, Strings: w.strs}
+}
+
+// timeBinaryOK reports whether t survives the unix-nano round trip the
+// binary time encoding uses. The zero time is excluded on purpose — it
+// gets its own flag.
+func timeBinaryOK(t time.Time) bool {
+	return t.IsZero() || t.Equal(time.Unix(0, t.UnixNano()))
+}
+
+func (w *binWriter) time(t time.Time) {
+	if t.IsZero() {
+		w.u8(tZero)
+		return
+	}
+	w.u8(tUnix)
+	w.varint(t.UnixNano())
+	_, off := t.Zone()
+	w.varint(int64(off))
+}
+
+// value appends the tagged union. It mirrors v1 semantics exactly: the
+// scalars encoding/json would round-trip to float64 use vF64, NaN/Inf
+// are rejected like encoding/json rejects them, and everything else is
+// carried as a JSON blob so replay decodes the same trees v1 would.
+func (w *binWriter) value(v any) error {
+	switch t := v.(type) {
+	case nil:
+		w.u8(vNil)
+	case float64:
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("wal: unsupported float value %v", t)
+		}
+		w.u8(vF64)
+		w.f64(t)
+	case int:
+		w.u8(vF64)
+		w.f64(float64(t))
+	case string:
+		w.u8(vStr)
+		w.str(t)
+	case bool:
+		if t {
+			w.u8(vTrue)
+		} else {
+			w.u8(vFalse)
+		}
+	case json.Number:
+		if f, err := t.Float64(); err == nil {
+			w.u8(vF64)
+			w.f64(f)
+			return nil
+		}
+		return w.jsonValue(v)
+	default:
+		return w.jsonValue(v)
+	}
+	return nil
+}
+
+func (w *binWriter) jsonValue(v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	w.u8(vJSON)
+	w.uvarint(uint64(len(blob)))
+	w.buf = append(w.buf, blob...)
+	return nil
+}
+
+// attr appends one named attribute. Callers have already verified the
+// timestamp with timeBinaryOK.
+func (w *binWriter) attr(name string, a ngsi.Attribute) error {
+	w.str(name)
+	w.str(a.Type)
+	w.time(a.At)
+	w.uvarint(uint64(len(a.Metadata)))
+	for k, v := range a.Metadata {
+		w.str(k)
+		w.str(v)
+	}
+	return w.value(a.Value)
+}
+
+// attrs appends an attribute map, distinguishing nil from empty the way
+// the JSON codec's `attrs` field (no omitempty) does.
+func (w *binWriter) attrs(m map[string]ngsi.Attribute) error {
+	if m == nil {
+		w.uvarint(0)
+		return nil
+	}
+	w.uvarint(uint64(len(m)) + 1)
+	for k, a := range m {
+		if err := w.attr(k, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrsBinaryOK pre-checks every timestamp in an attribute map.
+func attrsBinaryOK(m map[string]ngsi.Attribute) bool {
+	for _, a := range m {
+		if !timeBinaryOK(a.At) {
+			return false
+		}
+	}
+	return true
+}
+
+// binReader consumes a binary payload. The first structural failure
+// latches err; subsequent reads return zero values, so decode loops can
+// check once at the end.
+type binReader struct {
+	p    []byte
+	strs []string
+	err  error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wal: corrupt binary payload: %s", what)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.p)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.p = r.p[n:]
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.p)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.p = r.p[n:]
+	return v
+}
+
+func (r *binReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.p) == 0 {
+		r.fail("u8")
+		return 0
+	}
+	b := r.p[0]
+	r.p = r.p[1:]
+	return b
+}
+
+func (r *binReader) str() string {
+	i := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if i >= uint64(len(r.strs)) {
+		r.fail("string index")
+		return ""
+	}
+	return r.strs[i]
+}
+
+func (r *binReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.p) < 8 {
+		r.fail("f64")
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(r.p)
+	r.p = r.p[8:]
+	return math.Float64frombits(bits)
+}
+
+// count reads a length prefix and sanity-bounds it against the bytes
+// remaining (each counted element costs at least minBytes), so a corrupt
+// count cannot drive an absurd allocation.
+func (r *binReader) count(minBytes int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.p)/minBytes)+1 {
+		r.fail("count out of range")
+		return 0
+	}
+	return int(v)
+}
+
+func (r *binReader) time() time.Time {
+	switch r.u8() {
+	case tZero:
+		return time.Time{}
+	case tUnix:
+		nanos := r.varint()
+		off := r.varint()
+		if r.err != nil {
+			return time.Time{}
+		}
+		t := time.Unix(0, nanos)
+		if off == 0 {
+			return t.UTC()
+		}
+		return t.In(time.FixedZone("", int(off)))
+	default:
+		r.fail("time flag")
+		return time.Time{}
+	}
+}
+
+func (r *binReader) value() any {
+	switch r.u8() {
+	case vNil:
+		return nil
+	case vF64:
+		return r.f64()
+	case vStr:
+		return r.str()
+	case vTrue:
+		return true
+	case vFalse:
+		return false
+	case vJSON:
+		n := r.count(1)
+		if r.err != nil {
+			return nil
+		}
+		if n > len(r.p) {
+			r.fail("json blob length")
+			return nil
+		}
+		var v any
+		if err := json.Unmarshal(r.p[:n], &v); err != nil {
+			r.fail("json blob: " + err.Error())
+			return nil
+		}
+		r.p = r.p[n:]
+		return v
+	default:
+		r.fail("value tag")
+		return nil
+	}
+}
+
+func (r *binReader) attr() (string, ngsi.Attribute) {
+	name := r.str()
+	var a ngsi.Attribute
+	a.Type = r.str()
+	a.At = r.time()
+	if n := r.count(2); n > 0 {
+		a.Metadata = make(map[string]string, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := r.str()
+			a.Metadata[k] = r.str()
+		}
+	}
+	a.Value = r.value()
+	return name, a
+}
+
+func (r *binReader) attrs() map[string]ngsi.Attribute {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil // nil map, as the JSON codec decodes `"attrs":null`
+	}
+	m := make(map[string]ngsi.Attribute, n-1)
+	for i := 0; i < n-1 && r.err == nil; i++ {
+		k, a := r.attr()
+		m[k] = a
+	}
+	return m
+}
+
+// --- per-type bodies -------------------------------------------------
+
+// binEncodeEntityUpsert returns (record, true, nil) on success, or
+// ok=false when the entity needs the JSON fallback.
+func binEncodeEntityUpsert(e *ngsi.Entity) (Record, bool, error) {
+	if !attrsBinaryOK(e.Attrs) {
+		return Record{}, false, nil
+	}
+	w := &binWriter{buf: make([]byte, 0, 64+32*len(e.Attrs))}
+	w.str(e.ID)
+	w.str(e.Type)
+	if err := w.attrs(e.Attrs); err != nil {
+		return Record{}, false, err
+	}
+	return w.record(TypeEntityUpsert), true, nil
+}
+
+func binDecodeEntityUpsert(rec Record) (*ngsi.Entity, error) {
+	r := &binReader{p: rec.Payload, strs: rec.Strings}
+	e := &ngsi.Entity{}
+	e.ID = r.str()
+	e.Type = r.str()
+	e.Attrs = r.attrs()
+	if r.err != nil {
+		return nil, fmt.Errorf("wal: entity upsert payload: %w", r.err)
+	}
+	return e, nil
+}
+
+func binEncodeEntityMerge(entries []ngsi.MergeEntry) (Record, bool, error) {
+	for i := range entries {
+		if !attrsBinaryOK(entries[i].Attrs) {
+			return Record{}, false, nil
+		}
+	}
+	w := &binWriter{buf: make([]byte, 0, 48*len(entries))}
+	w.uvarint(uint64(len(entries)))
+	for i := range entries {
+		w.str(entries[i].ID)
+		w.str(entries[i].Type)
+		if err := w.attrs(entries[i].Attrs); err != nil {
+			return Record{}, false, err
+		}
+	}
+	return w.record(TypeEntityMerge), true, nil
+}
+
+func binDecodeEntityMerge(rec Record) ([]ngsi.MergeEntry, error) {
+	r := &binReader{p: rec.Payload, strs: rec.Strings}
+	n := r.count(3)
+	out := make([]ngsi.MergeEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var e ngsi.MergeEntry
+		e.ID = r.str()
+		e.Type = r.str()
+		e.Attrs = r.attrs()
+		out = append(out, e)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wal: entity merge payload: %w", r.err)
+	}
+	return out, nil
+}
+
+func binEncodeID(t Type, id string) Record {
+	w := &binWriter{buf: make([]byte, 0, 2)}
+	w.str(id)
+	return w.record(t)
+}
+
+func binDecodeID(rec Record) (string, error) {
+	r := &binReader{p: rec.Payload, strs: rec.Strings}
+	id := r.str()
+	if r.err != nil {
+		return "", fmt.Errorf("wal: id payload: %w", r.err)
+	}
+	return id, nil
+}
+
+func binEncodeSubscriptionPut(sr SubscriptionRecord) Record {
+	w := &binWriter{buf: make([]byte, 0, 32)}
+	w.str(sr.ID)
+	w.str(sr.EntityIDPattern)
+	w.str(sr.EntityType)
+	w.str(sr.Owner)
+	w.str(sr.Endpoint)
+	w.varint(int64(sr.Throttling))
+	w.uvarint(uint64(len(sr.ConditionAttrs)))
+	for _, s := range sr.ConditionAttrs {
+		w.str(s)
+	}
+	w.uvarint(uint64(len(sr.NotifyAttrs)))
+	for _, s := range sr.NotifyAttrs {
+		w.str(s)
+	}
+	return w.record(TypeSubscriptionPut)
+}
+
+func binDecodeSubscriptionPut(rec Record) (SubscriptionRecord, error) {
+	r := &binReader{p: rec.Payload, strs: rec.Strings}
+	var sr SubscriptionRecord
+	sr.ID = r.str()
+	sr.EntityIDPattern = r.str()
+	sr.EntityType = r.str()
+	sr.Owner = r.str()
+	sr.Endpoint = r.str()
+	sr.Throttling = time.Duration(r.varint())
+	if n := r.count(1); n > 0 {
+		sr.ConditionAttrs = make([]string, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			sr.ConditionAttrs = append(sr.ConditionAttrs, r.str())
+		}
+	}
+	if n := r.count(1); n > 0 {
+		sr.NotifyAttrs = make([]string, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			sr.NotifyAttrs = append(sr.NotifyAttrs, r.str())
+		}
+	}
+	if r.err != nil {
+		return SubscriptionRecord{}, fmt.Errorf("wal: subscription payload: %w", r.err)
+	}
+	return sr, nil
+}
+
+// binEncodeTelemetry packs a batch as (device, quantity, Δnanos, zone,
+// float64 bits) tuples: timestamps are delta-encoded against the
+// previous point, so a monotone batch costs a couple of bytes per stamp
+// instead of an RFC3339 string.
+func binEncodeTelemetry(batch []timeseries.BatchPoint) (Record, bool, error) {
+	for i := range batch {
+		t := batch[i].Point.At
+		if t.IsZero() || !timeBinaryOK(t) {
+			return Record{}, false, nil
+		}
+		v := batch[i].Point.Value
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Record{}, false, fmt.Errorf("wal: unsupported telemetry value %v", v)
+		}
+	}
+	w := &binWriter{buf: make([]byte, 0, 16+16*len(batch))}
+	w.uvarint(uint64(len(batch)))
+	prev := int64(0)
+	for i := range batch {
+		p := &batch[i]
+		w.str(p.Key.Device)
+		w.str(p.Key.Quantity)
+		nanos := p.Point.At.UnixNano()
+		w.varint(nanos - prev)
+		prev = nanos
+		_, off := p.Point.At.Zone()
+		w.varint(int64(off))
+		w.f64(p.Point.Value)
+	}
+	return w.record(TypeTelemetry), true, nil
+}
+
+func binDecodeTelemetry(rec Record) ([]timeseries.BatchPoint, error) {
+	r := &binReader{p: rec.Payload, strs: rec.Strings}
+	n := r.count(12)
+	out := make([]timeseries.BatchPoint, 0, n)
+	prev := int64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		var bp timeseries.BatchPoint
+		bp.Key.Device = r.str()
+		bp.Key.Quantity = r.str()
+		prev += r.varint()
+		off := r.varint()
+		t := time.Unix(0, prev)
+		if off == 0 {
+			t = t.UTC()
+		} else {
+			t = t.In(time.FixedZone("", int(off)))
+		}
+		bp.Point.At = t
+		bp.Point.Value = r.f64()
+		out = append(out, bp)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wal: telemetry payload: %w", r.err)
+	}
+	return out, nil
+}

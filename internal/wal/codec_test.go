@@ -1,0 +1,455 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+)
+
+// writeV1Segment fabricates an on-disk segment exactly as the codec-v1
+// log wrote it: no magic, JSON payloads in [len][crc][type][payload]
+// frames.
+func writeV1Segment(t *testing.T, dir string, idx uint64, recs []Record) {
+	t.Helper()
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendFrame(buf, rec)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(idx)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jsonEncode forces the v1 JSON encoding of a typed payload.
+func jsonEncode(t *testing.T, typ Type, v any) Record {
+	t.Helper()
+	rec, err := encode(typ, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func testEntity(i int, at time.Time) *ngsi.Entity {
+	return &ngsi.Entity{
+		ID:   fmt.Sprintf("urn:swamp:probe:%03d", i),
+		Type: "SoilProbe",
+		Attrs: map[string]ngsi.Attribute{
+			"moisture": {Type: "Number", Value: float64(i) * 1.5, At: at},
+			"status":   {Type: "Text", Value: "ok", Metadata: map[string]string{"unit": "%"}, At: at},
+		},
+	}
+}
+
+func testBatch(i int, at time.Time) []timeseries.BatchPoint {
+	out := make([]timeseries.BatchPoint, 4)
+	for j := range out {
+		out[j] = timeseries.BatchPoint{
+			Key:   timeseries.SeriesKey{Device: fmt.Sprintf("dev-%02d", i%8), Quantity: "soilMoisture"},
+			Point: timeseries.Point{At: at.Add(time.Duration(j) * time.Second), Value: float64(i*10 + j)},
+		}
+	}
+	return out
+}
+
+// decodeCanonical decodes a replayed record with the typed codecs and
+// renders the result as JSON — a codec-independent canonical form (map
+// keys sorted, timestamps RFC3339), so v1 and v2 replays of the same
+// logical records compare byte-for-byte.
+func decodeCanonical(t *testing.T, rec Record) string {
+	t.Helper()
+	var v any
+	var err error
+	switch rec.Type {
+	case TypeEntityUpsert:
+		v, err = DecodeEntityUpsert(rec)
+	case TypeEntityMerge:
+		v, err = DecodeEntityMerge(rec)
+	case TypeEntityDelete, TypeSubscriptionDelete:
+		v, err = DecodeID(rec)
+	case TypeSubscriptionPut:
+		v, err = DecodeSubscriptionPut(rec)
+	case TypeTelemetry:
+		v, err = DecodeTelemetry(rec)
+	default:
+		t.Fatalf("unknown type %d", rec.Type)
+	}
+	if err != nil {
+		t.Fatalf("decode type %d: %v", rec.Type, err)
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%d:%s", rec.Type, blob)
+}
+
+type collectFull struct{ recs []Record }
+
+func (c *collectFull) apply(rec Record) error {
+	c.recs = append(c.recs, Record{
+		Type:    rec.Type,
+		Codec:   rec.Codec,
+		Payload: append([]byte(nil), rec.Payload...),
+		Strings: append([]string(nil), rec.Strings...),
+	})
+	return nil
+}
+
+// TestCrossVersionMixedDirectoryReplay proves the acceptance contract:
+// a directory holding a v1 JSON segment plus a v2 binary tail recovers
+// to exactly the state a JSON-only directory recovers to.
+func TestCrossVersionMixedDirectoryReplay(t *testing.T) {
+	at := time.Date(2026, 8, 8, 10, 0, 0, 123456789, time.UTC)
+	atZoned := at.In(time.FixedZone("", 2*3600))
+
+	// The logical history: entities, a merge, telemetry, a subscription,
+	// deletes. First half lands in a fabricated v1 segment, second half
+	// is appended live (v2 binary).
+	v1Recs := []Record{
+		jsonEncode(t, TypeEntityUpsert, testEntity(1, at)),
+		jsonEncode(t, TypeEntityUpsert, testEntity(2, atZoned)),
+		jsonEncode(t, TypeTelemetry, telemetryPayload{Points: testBatch(1, at)}),
+		jsonEncode(t, TypeEntityDelete, idPayload{ID: "urn:swamp:probe:001"}),
+	}
+	sub := SubscriptionRecord{
+		ID: "sub-1", EntityIDPattern: "urn:swamp:probe:*", EntityType: "SoilProbe",
+		ConditionAttrs: []string{"moisture"}, NotifyAttrs: []string{"moisture", "status"},
+		Throttling: 5 * time.Second, Owner: "farmer", Endpoint: "http://cb/notify",
+	}
+	mustEncode := func(rec Record, err error) Record {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	v2Recs := []Record{
+		mustEncode(EncodeEntityUpsert(testEntity(3, atZoned))),
+		mustEncode(EncodeEntityMerge([]ngsi.MergeEntry{
+			{ID: "urn:swamp:probe:002", Type: "SoilProbe", Attrs: testEntity(2, at).Attrs},
+		})),
+		mustEncode(EncodeTelemetry(testBatch(2, atZoned))),
+		mustEncode(EncodeSubscriptionPut(sub)),
+		mustEncode(EncodeSubscriptionDelete("sub-1")),
+	}
+
+	// Mixed directory: v1 segment 1, then a live manager appends v2.
+	mixed := t.TempDir()
+	writeV1Segment(t, mixed, 1, v1Recs)
+	m := openTest(t, mixed)
+	if _, err := m.Recover(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range v2Recs {
+		if rec.Codec != CodecBinary {
+			t.Fatalf("type %d did not binary-encode", rec.Type)
+		}
+		if err := m.AppendWait(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON-only twin: the same logical records, all as v1 JSON frames.
+	jsonOnly := t.TempDir()
+	twin := []Record{
+		jsonEncode(t, TypeEntityUpsert, testEntity(3, atZoned)),
+		jsonEncode(t, TypeEntityMerge, mergePayload{Entries: []mergeEntry{
+			{ID: "urn:swamp:probe:002", Type: "SoilProbe", Attrs: testEntity(2, at).Attrs},
+		}}),
+		jsonEncode(t, TypeTelemetry, telemetryPayload{Points: testBatch(2, atZoned)}),
+		jsonEncode(t, TypeSubscriptionPut, sub),
+		jsonEncode(t, TypeSubscriptionDelete, idPayload{ID: "sub-1"}),
+	}
+	writeV1Segment(t, jsonOnly, 1, append(append([]Record(nil), v1Recs...), twin...))
+
+	var got, want collectFull
+	mg := openTest(t, mixed)
+	if _, err := mg.Recover(got.apply); err != nil {
+		t.Fatal(err)
+	}
+	mg.Close()
+	mw := openTest(t, jsonOnly)
+	if _, err := mw.Recover(want.apply); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	if len(got.recs) != len(want.recs) {
+		t.Fatalf("mixed replayed %d records, json-only %d", len(got.recs), len(want.recs))
+	}
+	for i := range got.recs {
+		g, w := decodeCanonical(t, got.recs[i]), decodeCanonical(t, want.recs[i])
+		if g != w {
+			t.Fatalf("record %d differs:\n  mixed:     %s\n  json-only: %s", i, g, w)
+		}
+	}
+}
+
+// TestV1SnapshotReplays proves old snapshot files (no magic, JSON
+// frames) still load.
+func TestV1SnapshotReplays(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		jsonEncode(t, TypeEntityUpsert, testEntity(7, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))),
+		jsonEncode(t, TypeEntityDelete, idPayload{ID: "urn:swamp:probe:001"}),
+	}
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendFrame(buf, rec)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c collectFull
+	m := openTest(t, dir)
+	st, err := m.Recover(c.apply)
+	m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotBoundary != 3 || st.SnapshotRecords != 2 || len(c.recs) != 2 {
+		t.Fatalf("stats=%+v records=%d", st, len(c.recs))
+	}
+	if _, err := DecodeEntityUpsert(c.recs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryTornRecords covers crash tails at the v2 framing layer: a
+// truncated final frame, a truncated segment header, and a corrupt
+// string reference (CRC-valid garbage must fail loudly, not silently
+// truncate).
+func TestBinaryTornRecords(t *testing.T) {
+	at := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	build := func(t *testing.T) (string, int) {
+		dir := t.TempDir()
+		m := openTest(t, dir)
+		if _, err := m.Recover(func(Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		const n = 10
+		for i := 0; i < n; i++ {
+			rec, err := EncodeTelemetry(testBatch(i, at.Add(time.Duration(i) * time.Minute)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AppendWait(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, n
+	}
+
+	t.Run("truncated final frame", func(t *testing.T) {
+		dir, n := build(t)
+		seg := lastNonEmptySegment(t, dir)
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, fi.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+		recs, st := recoverAll(t, dir)
+		if len(recs) != n-1 || !st.Torn {
+			t.Fatalf("recovered %d (torn=%v), want %d torn", len(recs), st.Torn, n-1)
+		}
+	})
+
+	t.Run("truncated header", func(t *testing.T) {
+		dir, _ := build(t)
+		seg := lastNonEmptySegment(t, dir)
+		if err := os.Truncate(seg, 5); err != nil { // mid-magic
+			t.Fatal(err)
+		}
+		recs, st := recoverAll(t, dir)
+		if len(recs) != 0 || !st.Torn {
+			t.Fatalf("recovered %d (torn=%v), want 0 torn", len(recs), st.Torn)
+		}
+	})
+
+	t.Run("corrupt string ref fails loudly", func(t *testing.T) {
+		dir, _ := build(t)
+		seg := lastNonEmptySegment(t, dir)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-frame the first record with a dangling back-reference: the
+		// CRC is valid, so this is not a crash artifact and recovery
+		// must surface an error instead of dropping acknowledged data.
+		bad := (&segEncoder{ids: map[string]uint32{"never-defined": 41}}).appendFrame(nil,
+			Record{Type: TypeEntityDelete, Codec: CodecBinary, Strings: []string{"never-defined"}, Payload: []byte{0}})
+		if err := os.WriteFile(seg, append(append(append([]byte(nil), data[:len(segMagic)]...), bad...), data[len(segMagic):]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := openTest(t, dir)
+		defer m.Close()
+		_, err = m.Recover(func(Record) error { return nil })
+		if err == nil {
+			t.Fatal("recovery of a corrupt (CRC-valid) frame should fail")
+		}
+	})
+}
+
+// TestInternRoundTripFuzz hammers the per-segment interning tables with
+// randomized records across forced rotations: every decoded record must
+// canonically equal its input, whichever segment (and intern table) it
+// landed in.
+func TestInternRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	m := openTest(t, dir, func(c *Config) { c.SegmentBytes = 4 << 10 }) // force many rotations
+	if _, err := m.Recover(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	namePool := []string{"moisture", "temperature", "status", "ph", "conductivity"}
+	valPool := []any{
+		nil, true, false, "wet", 3.25, 7,
+		map[string]any{"lat": 1.5, "lon": -2.25},
+		[]any{"a", 2.0},
+		json.Number("12.5"),
+	}
+	base := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+
+	var want []string
+	appendRec := func(rec Record, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, decodeCanonical(t, rec))
+		if err := m.AppendWait(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		at := base.Add(time.Duration(rng.Intn(1_000_000)) * time.Millisecond)
+		switch rng.Intn(4) {
+		case 0:
+			e := &ngsi.Entity{
+				ID:    fmt.Sprintf("urn:fuzz:%d", rng.Intn(50)),
+				Type:  "SoilProbe",
+				Attrs: map[string]ngsi.Attribute{},
+			}
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				a := ngsi.Attribute{Type: "Number", Value: valPool[rng.Intn(len(valPool))], At: at}
+				if rng.Intn(3) == 0 {
+					a.Metadata = map[string]string{"unit": namePool[rng.Intn(len(namePool))]}
+				}
+				if rng.Intn(5) == 0 {
+					a.At = time.Time{} // zero-time flag path
+				}
+				e.Attrs[namePool[rng.Intn(len(namePool))]] = a
+			}
+			appendRec(EncodeEntityUpsert(e))
+		case 1:
+			entries := make([]ngsi.MergeEntry, 1+rng.Intn(3))
+			for j := range entries {
+				entries[j] = ngsi.MergeEntry{
+					ID:   fmt.Sprintf("urn:fuzz:%d", rng.Intn(50)),
+					Type: "SoilProbe",
+					Attrs: map[string]ngsi.Attribute{
+						namePool[rng.Intn(len(namePool))]: {Type: "Number", Value: rng.Float64(), At: at},
+					},
+				}
+			}
+			appendRec(EncodeEntityMerge(entries))
+		case 2:
+			batch := make([]timeseries.BatchPoint, 1+rng.Intn(8))
+			for j := range batch {
+				batch[j] = timeseries.BatchPoint{
+					Key: timeseries.SeriesKey{
+						Device:   fmt.Sprintf("dev-%d", rng.Intn(10)),
+						Quantity: namePool[rng.Intn(len(namePool))],
+					},
+					// Out-of-order deltas exercise negative varints.
+					Point: timeseries.Point{At: base.Add(time.Duration(rng.Intn(1000)-500) * time.Second), Value: rng.NormFloat64()},
+				}
+			}
+			appendRec(EncodeTelemetry(batch))
+		default:
+			appendRec(EncodeEntityDelete(fmt.Sprintf("urn:fuzz:%d", rng.Intn(50))))
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listIndexed(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d — rotation (and intern reset) not exercised", len(segs))
+	}
+
+	var c collectFull
+	mg := openTest(t, dir)
+	if _, err := mg.Recover(c.apply); err != nil {
+		t.Fatal(err)
+	}
+	mg.Close()
+	if len(c.recs) != n {
+		t.Fatalf("recovered %d records, want %d", len(c.recs), n)
+	}
+	for i, rec := range c.recs {
+		if got := decodeCanonical(t, rec); got != want[i] {
+			t.Fatalf("record %d round-trip mismatch:\n  got:  %s\n  want: %s", i, got, want[i])
+		}
+	}
+}
+
+// TestJSONFallbackForExoticTimes: timestamps outside the unix-nano range
+// take the per-record JSON fallback and still round-trip.
+func TestJSONFallbackForExoticTimes(t *testing.T) {
+	far := time.Date(2500, 1, 1, 0, 0, 0, 0, time.UTC) // beyond unix-nano range
+	e := testEntity(9, far)
+	rec, err := EncodeEntityUpsert(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Codec != CodecJSON {
+		t.Fatalf("codec = %d, want JSON fallback", rec.Codec)
+	}
+	got, err := DecodeEntityUpsert(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Attrs["moisture"].At.Equal(far) {
+		t.Fatalf("At = %v, want %v", got.Attrs["moisture"].At, far)
+	}
+
+	batch := testBatch(1, far)
+	rec, err = EncodeTelemetry(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Codec != CodecJSON {
+		t.Fatalf("telemetry codec = %d, want JSON fallback", rec.Codec)
+	}
+	pts, err := DecodeTelemetry(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts[0].Key, batch[0].Key) || !pts[0].Point.At.Equal(batch[0].Point.At) {
+		t.Fatal("telemetry fallback round-trip mismatch")
+	}
+}

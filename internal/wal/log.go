@@ -123,6 +123,10 @@ type wlog struct {
 	f    *os.File
 	seg  uint64
 	size int64
+	// enc frames records for the active segment and owns its string
+	// intern table; reset on every rotation so each segment decodes
+	// standalone.
+	enc *segEncoder
 	// fatal latches the first write/fsync/rotation failure. Once set,
 	// every subsequent batch fails without touching the file: a failed
 	// write may have left a torn frame mid-segment (records appended
@@ -139,11 +143,17 @@ type wlog struct {
 	gSegment   *metrics.Gauge
 }
 
-// createSegment creates (exclusively) the segment file for idx and makes
-// its directory entry durable.
+// createSegment creates (exclusively) the segment file for idx, writes
+// the v2 header and makes the directory entry durable. The magic is not
+// fsynced on its own: the first group commit's fsync covers it, and a
+// torn header means no record in the segment was ever acknowledged.
 func createSegment(dir string, idx uint64) (*os.File, error) {
 	f, err := os.OpenFile(filepath.Join(dir, segName(idx)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
 		return nil, err
 	}
 	if err := syncDir(dir); err != nil {
@@ -169,6 +179,8 @@ func openLog(dir string, startSeg uint64, segmentBytes int64, fsyncInterval time
 		done:          make(chan struct{}),
 		f:             f,
 		seg:           startSeg,
+		size:          int64(len(segMagic)),
+		enc:           newSegEncoder(),
 		cRecords:      reg.Counter("wal.append.records"),
 		cBytes:        reg.Counter("wal.append.bytes"),
 		cFsyncs:       reg.Counter("wal.fsync"),
@@ -201,8 +213,8 @@ func (l *wlog) enqueue(p *Pending) *Pending {
 // replay as torn (readRecord bounds allocations at MaxRecordBytes),
 // silently truncating recovery of that segment.
 func (l *wlog) append(rec Record) *Pending {
-	if 1+len(rec.Payload) > MaxRecordBytes {
-		return failedPending(fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", 1+len(rec.Payload)))
+	if n := maxBodyBytes(rec); n > MaxRecordBytes {
+		return failedPending(fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", n))
 	}
 	return l.enqueue(&Pending{rec: rec, done: make(chan struct{})})
 }
@@ -355,15 +367,21 @@ func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
 			}
 			p.seg, p.err = l.seg, err
 		default:
-			*bufp = appendFrame((*bufp)[:0], p.rec)
-			frame := *bufp
-			if l.size > 0 && l.size+int64(len(frame)) > l.segmentBytes {
+			// The roll decision comes before encoding: framing interns
+			// the record's strings into the active segment's table, so a
+			// frame must never be encoded against one segment and written
+			// to the next. maxBodyBytes over-estimates (it assumes every
+			// string is an inline definition), which only rolls slightly
+			// early.
+			if l.size > int64(len(segMagic)) && l.size+int64(frameHeader+maxBodyBytes(p.rec)) > l.segmentBytes {
 				flush()
 				if err == nil {
 					err = l.rotateFile()
 				}
 			}
 			if err == nil {
+				*bufp = l.enc.appendFrame((*bufp)[:0], p.rec)
+				frame := *bufp
 				_, werr := l.f.Write(frame)
 				err = werr
 				if werr == nil {
@@ -405,7 +423,8 @@ func (l *wlog) rotateFile() error {
 		return err
 	}
 	l.seg++
-	l.f, l.size = f, 0
+	l.f, l.size = f, int64(len(segMagic))
+	l.enc.reset()
 	l.cRotations.Inc()
 	l.gSegment.Set(float64(l.seg))
 	return nil

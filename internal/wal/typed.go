@@ -9,11 +9,13 @@ import (
 	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
-// Typed record codecs. Payloads are JSON: the record stream is a
-// durability format, not a hot path — encoding happens once per group
-// commit entry and decoding only during recovery. One caveat is
-// inherited from encoding/json: integer attribute values round-trip as
-// float64, which ngsi.Attribute.Float already treats as equivalent.
+// Typed record codecs. Encoders emit the compact CodecBinary bodies
+// (see binary.go) and fall back to the v1 JSON payloads per record for
+// the shapes binary cannot carry — timestamps outside the unix-nano
+// range, zero telemetry stamps. Decoders dispatch on Record.Codec, so
+// v1 segments and snapshots replay unchanged. One caveat is shared by
+// both codecs: integer attribute values round-trip as float64, which
+// ngsi.Attribute.Float already treats as equivalent.
 
 // SubscriptionRecord is the declarative, durable slice of a webhook
 // subscription: everything needed to rebuild it on recovery, including
@@ -59,13 +61,21 @@ func encode(t Type, v any) (Record, error) {
 
 // EncodeEntityUpsert records a full entity replacement.
 func EncodeEntityUpsert(e *ngsi.Entity) (Record, error) {
+	if rec, ok, err := binEncodeEntityUpsert(e); err != nil {
+		return Record{}, fmt.Errorf("wal: encode type %d: %w", TypeEntityUpsert, err)
+	} else if ok {
+		return rec, nil
+	}
 	return encode(TypeEntityUpsert, e)
 }
 
 // DecodeEntityUpsert inverts EncodeEntityUpsert.
-func DecodeEntityUpsert(payload []byte) (*ngsi.Entity, error) {
+func DecodeEntityUpsert(rec Record) (*ngsi.Entity, error) {
+	if rec.Codec == CodecBinary {
+		return binDecodeEntityUpsert(rec)
+	}
 	var e ngsi.Entity
-	if err := json.Unmarshal(payload, &e); err != nil {
+	if err := json.Unmarshal(rec.Payload, &e); err != nil {
 		return nil, fmt.Errorf("wal: entity upsert payload: %w", err)
 	}
 	return &e, nil
@@ -73,6 +83,11 @@ func DecodeEntityUpsert(payload []byte) (*ngsi.Entity, error) {
 
 // EncodeEntityMerge records one shard's resolved attribute-merge batch.
 func EncodeEntityMerge(entries []ngsi.MergeEntry) (Record, error) {
+	if rec, ok, err := binEncodeEntityMerge(entries); err != nil {
+		return Record{}, fmt.Errorf("wal: encode type %d: %w", TypeEntityMerge, err)
+	} else if ok {
+		return rec, nil
+	}
 	p := mergePayload{Entries: make([]mergeEntry, len(entries))}
 	for i, e := range entries {
 		p.Entries[i] = mergeEntry{ID: e.ID, Type: e.Type, Attrs: e.Attrs}
@@ -81,9 +96,12 @@ func EncodeEntityMerge(entries []ngsi.MergeEntry) (Record, error) {
 }
 
 // DecodeEntityMerge inverts EncodeEntityMerge.
-func DecodeEntityMerge(payload []byte) ([]ngsi.MergeEntry, error) {
+func DecodeEntityMerge(rec Record) ([]ngsi.MergeEntry, error) {
+	if rec.Codec == CodecBinary {
+		return binDecodeEntityMerge(rec)
+	}
 	var p mergePayload
-	if err := json.Unmarshal(payload, &p); err != nil {
+	if err := json.Unmarshal(rec.Payload, &p); err != nil {
 		return nil, fmt.Errorf("wal: entity merge payload: %w", err)
 	}
 	out := make([]ngsi.MergeEntry, len(p.Entries))
@@ -95,18 +113,21 @@ func DecodeEntityMerge(payload []byte) ([]ngsi.MergeEntry, error) {
 
 // EncodeEntityDelete records an entity deletion.
 func EncodeEntityDelete(id string) (Record, error) {
-	return encode(TypeEntityDelete, idPayload{ID: id})
+	return binEncodeID(TypeEntityDelete, id), nil
 }
 
 // EncodeSubscriptionDelete records a subscription removal.
 func EncodeSubscriptionDelete(id string) (Record, error) {
-	return encode(TypeSubscriptionDelete, idPayload{ID: id})
+	return binEncodeID(TypeSubscriptionDelete, id), nil
 }
 
 // DecodeID inverts EncodeEntityDelete / EncodeSubscriptionDelete.
-func DecodeID(payload []byte) (string, error) {
+func DecodeID(rec Record) (string, error) {
+	if rec.Codec == CodecBinary {
+		return binDecodeID(rec)
+	}
 	var p idPayload
-	if err := json.Unmarshal(payload, &p); err != nil {
+	if err := json.Unmarshal(rec.Payload, &p); err != nil {
 		return "", fmt.Errorf("wal: id payload: %w", err)
 	}
 	return p.ID, nil
@@ -131,13 +152,16 @@ func NewSubscriptionRecord(v ngsi.SubscriptionView, endpoint string) Subscriptio
 
 // EncodeSubscriptionPut records a durable webhook subscription.
 func EncodeSubscriptionPut(sr SubscriptionRecord) (Record, error) {
-	return encode(TypeSubscriptionPut, sr)
+	return binEncodeSubscriptionPut(sr), nil
 }
 
 // DecodeSubscriptionPut inverts EncodeSubscriptionPut.
-func DecodeSubscriptionPut(payload []byte) (SubscriptionRecord, error) {
+func DecodeSubscriptionPut(rec Record) (SubscriptionRecord, error) {
+	if rec.Codec == CodecBinary {
+		return binDecodeSubscriptionPut(rec)
+	}
 	var sr SubscriptionRecord
-	if err := json.Unmarshal(payload, &sr); err != nil {
+	if err := json.Unmarshal(rec.Payload, &sr); err != nil {
 		return sr, fmt.Errorf("wal: subscription payload: %w", err)
 	}
 	return sr, nil
@@ -145,13 +169,21 @@ func DecodeSubscriptionPut(payload []byte) (SubscriptionRecord, error) {
 
 // EncodeTelemetry records a batch of time-series points.
 func EncodeTelemetry(batch []timeseries.BatchPoint) (Record, error) {
+	if rec, ok, err := binEncodeTelemetry(batch); err != nil {
+		return Record{}, fmt.Errorf("wal: encode type %d: %w", TypeTelemetry, err)
+	} else if ok {
+		return rec, nil
+	}
 	return encode(TypeTelemetry, telemetryPayload{Points: batch})
 }
 
 // DecodeTelemetry inverts EncodeTelemetry.
-func DecodeTelemetry(payload []byte) ([]timeseries.BatchPoint, error) {
+func DecodeTelemetry(rec Record) ([]timeseries.BatchPoint, error) {
+	if rec.Codec == CodecBinary {
+		return binDecodeTelemetry(rec)
+	}
 	var p telemetryPayload
-	if err := json.Unmarshal(payload, &p); err != nil {
+	if err := json.Unmarshal(rec.Payload, &p); err != nil {
 		return nil, fmt.Errorf("wal: telemetry payload: %w", err)
 	}
 	return p.Points, nil

@@ -205,9 +205,26 @@ func (m *Manager) replayFile(path string, apply func(Record) error) (int, bool, 
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<20)
+	// The 8-byte magic selects the v2 frame codec. Anything else — a v1
+	// file from before codec v2, an empty file, or a header torn by a
+	// crash (in which case no record in the file was ever acknowledged) —
+	// reads as v1, whose framing maps such tails to clean EOF or ErrTorn.
+	var dec *segDecoder
+	if hdr, err := br.Peek(len(segMagic)); err == nil && isV2Header(hdr) {
+		if _, err := br.Discard(len(segMagic)); err != nil {
+			return 0, false, err
+		}
+		dec = newSegDecoder()
+	}
 	n := 0
 	for {
-		rec, err := readRecord(br)
+		var rec Record
+		var err error
+		if dec != nil {
+			rec, err = dec.readRecord(br)
+		} else {
+			rec, err = readRecord(br)
+		}
 		if err == io.EOF {
 			return n, false, nil
 		}
@@ -304,6 +321,13 @@ func (m *Manager) Snapshot(dump func(rotate func() error, sink func(Record) erro
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(segMagic[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		m.cSnapErrors.Inc()
+		return err
+	}
+	enc := newSegEncoder() // private intern table: snapshots decode standalone
 	var boundary uint64
 	rotated := false
 	rotate := func() error {
@@ -323,7 +347,7 @@ func (m *Manager) Snapshot(dump func(rotate func() error, sink func(Record) erro
 		if !rotated {
 			return fmt.Errorf("wal: snapshot sink used before rotation")
 		}
-		frame = appendFrame(frame[:0], rec)
+		frame = enc.appendFrame(frame[:0], rec)
 		records++
 		_, err := bw.Write(frame)
 		return err
