@@ -24,13 +24,24 @@ type mqttBenchConfig struct {
 
 // mqttBenchResult is one mode's measurements.
 type mqttBenchResult struct {
-	name      string
-	elapsed   time.Duration
-	delivered uint64
-	expected  uint64
-	p50, p99  time.Duration
-	dropped   uint64
-	parked    uint64
+	name        string
+	elapsed     time.Duration
+	delivered   uint64
+	expected    uint64
+	p50, p99    time.Duration
+	dropped     uint64
+	parked      uint64
+	flushes     uint64 // writer flush boundaries (mqtt.writer.flushes)
+	flushedPkts uint64 // packets covered by those flushes
+}
+
+// flushBatch is the mean packets-per-flush — the coalescing win the writer's
+// drain loop buys over per-packet flushing.
+func (r mqttBenchResult) flushBatch() float64 {
+	if r.flushes == 0 {
+		return 0
+	}
+	return float64(r.flushedPkts) / float64(r.flushes)
 }
 
 func (r mqttBenchResult) throughput() float64 {
@@ -63,9 +74,10 @@ func runMQTTBench(cfg mqttBenchConfig) error {
 		return err
 	}
 	for _, r := range []mqttBenchResult{queued, syncRes} {
-		fmt.Printf("%-12s delivered %d/%d in %v  (%.0f deliveries/s)  p50=%v p99=%v  dropped=%d parked=%d\n",
+		fmt.Printf("%-12s delivered %d/%d in %v  (%.0f deliveries/s)  p50=%v p99=%v  dropped=%d parked=%d  flush_batch=%d/%d (%.1f pkts/flush)\n",
 			r.name, r.delivered, r.expected, r.elapsed.Round(time.Millisecond), r.throughput(),
-			r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond), r.dropped, r.parked)
+			r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond), r.dropped, r.parked,
+			r.flushedPkts, r.flushes, r.flushBatch())
 	}
 	if syncRes.throughput() > 0 {
 		fmt.Printf("fan-out speedup (queued vs synchronous): %.1f×\n",
@@ -74,6 +86,8 @@ func runMQTTBench(cfg mqttBenchConfig) error {
 	return writeBenchJSON("mqttbench", map[string]float64{
 		"deliveries_per_s": queued.throughput(),
 		"p50_us":           float64(queued.p50) / float64(time.Microsecond),
+		"p99_us":           float64(queued.p99) / float64(time.Microsecond),
+		"flush_batch_pkts": queued.flushBatch(),
 	})
 }
 
@@ -214,5 +228,7 @@ func mqttBenchRun(cfg mqttBenchConfig, compat bool) (mqttBenchResult, error) {
 	res.p99 = hist.Quantile(0.99)
 	res.dropped = reg.Counter("mqtt.queue.dropped").Value()
 	res.parked = reg.Counter("mqtt.queue.parked").Value()
+	res.flushes = reg.Counter("mqtt.writer.flushes").Value()
+	res.flushedPkts = reg.Counter("mqtt.writer.flushed_packets").Value()
 	return res, nil
 }

@@ -34,6 +34,8 @@ func main() {
 		sealed    = flag.Bool("sealed", false, "enable secchan payload encryption")
 		mqttQueue = flag.Int("mqtt-queue", 0, "per-session MQTT outbound queue bound (0 = default)")
 		mqttRetry = flag.Duration("mqtt-retry", 0, "MQTT QoS 1 redelivery interval (0 = default 1s)")
+		mqttFlush = flag.Int("mqtt-flush-watermark", 0, "MQTT session writer flush watermark in bytes (0 = default 8KiB, negative = flush per packet)")
+		mqttRC    = flag.Int("mqtt-route-cache", 0, "MQTT topic route cache capacity (0 = default 4096, negative = disabled)")
 		whWorkers = flag.Int("webhook-workers", 0, "concurrent webhook notification deliveries (0 = default)")
 		whRetry   = flag.Duration("webhook-retry", 0, "first webhook retry backoff, doubling per attempt (0 = default)")
 		queryCap  = flag.Int("query-cap", 0, "hard cap on /v2/entities page sizes (0 = default)")
@@ -46,6 +48,7 @@ func main() {
 	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, core.Options{
 		Sealed:           *sealed,
 		MQTTSessionQueue: *mqttQueue, MQTTRetryInterval: *mqttRetry,
+		MQTTFlushWatermark: *mqttFlush, MQTTRouteCache: *mqttRC,
 		WebhookWorkers: *whWorkers, WebhookRetry: *whRetry, QueryResultCap: *queryCap,
 		WALDir: *walDir, WALSegmentBytes: *walSeg,
 		WALFsyncInterval: *walFsync, SnapshotInterval: *snapEvery,

@@ -34,6 +34,23 @@
 //	core.Options.SecurityClock      clock driving token expiry and purge
 //	                                (wall clock by default, Sim in tests)
 //
+// The MQTT broker's fan-out is zero-allocation in steady state: a
+// copy-on-write subscription trie read through one atomic load, an
+// epoch-validated topic→subscribers route cache, publishes encoded once
+// into refcounted shared frames, and per-session writers that coalesce
+// whole-queue drains into single buffered flushes (DESIGN.md §4):
+//
+//	core.Options.MQTTSessionQueue   per-session outbound queue bound
+//	                                (default 256; swampd -mqtt-queue)
+//	core.Options.MQTTRetryInterval  QoS 1 redelivery / keepalive cadence
+//	                                (default 1s; swampd -mqtt-retry)
+//	core.Options.MQTTFlushWatermark writer flush threshold in bytes
+//	                                (default 8KiB, negative = per-packet
+//	                                flush; swampd -mqtt-flush-watermark)
+//	core.Options.MQTTRouteCache     route cache capacity (default 4096,
+//	                                negative disables; swampd
+//	                                -mqtt-route-cache)
+//
 // The northbound GET /v2/entities path memoizes rendered responses,
 // invalidated by the context broker's mutation epoch (ngsi.Broker.Epoch);
 // authorization always runs before a cached body is served.

@@ -158,6 +158,15 @@ type Options struct {
 	// MQTTRetryInterval overrides the broker's QoS 1 redelivery /
 	// keepalive cadence (0 → 1s).
 	MQTTRetryInterval time.Duration
+	// MQTTFlushWatermark is the byte threshold at which a session writer
+	// flushes mid-batch instead of waiting for its queue to drain
+	// (0 → mqtt.DefaultFlushWatermark; negative flushes per packet,
+	// disabling write coalescing).
+	MQTTFlushWatermark int
+	// MQTTRouteCache bounds the broker's topic→subscriber route cache
+	// (0 → mqtt.DefaultRouteCacheSize; negative disables caching so every
+	// publish re-walks the subscription trie).
+	MQTTRouteCache int
 	// TransportClock drives the MQTT broker's keepalive, QoS 1 redelivery
 	// and Tap timestamps (nil → wall clock). Simulations pass their
 	// simulated clock so retransmission behaviour is deterministic.
@@ -359,6 +368,8 @@ func New(opts Options) (*Platform, error) {
 		ACL:             p.brokerACL,
 		SessionQueueLen: opts.MQTTSessionQueue,
 		RetryInterval:   opts.MQTTRetryInterval,
+		FlushWatermark:  opts.MQTTFlushWatermark,
+		RouteCacheSize:  opts.MQTTRouteCache,
 		Clock:           opts.TransportClock,
 	})
 	p.Broker.Tap = p.Anomaly.OnMessage

@@ -1,0 +1,84 @@
+//go:build !race
+
+// Zero-alloc guards for the steady-state fan-out path. The race detector
+// instruments allocations, so these assertions only run in normal builds;
+// the race builds cover the same code via the stress suites.
+
+package mqtt
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// allocSink defeats dead-code elimination in the measured loops.
+var allocSink int
+
+// TestQoS0DeliveryPathZeroAlloc pins the headline perf invariant: once the
+// route cache, frame pool and wire pool are warm, a QoS-0 publish routed,
+// enqueued, drained and written costs zero heap allocations — across ALL
+// goroutines, so the session writer's drain/flush path is covered too.
+func TestQoS0DeliveryPathZeroAlloc(t *testing.T) {
+	// RetryInterval: time.Hour keeps the writer's retry timer from firing
+	// (its clock.After allocates once per tick).
+	b := NewBroker(BrokerConfig{RetryInterval: time.Hour})
+	defer b.Close()
+
+	st := NewSlowTransport(0)
+	defer st.Close()
+	b.AttachTransport(st)
+	st.Inject(&Packet{Type: CONNECT, ClientID: "sink"})
+	st.Inject(&Packet{Type: SUBSCRIBE, PacketID: 1, Filters: []Subscription{
+		{Filter: "farm/+/soil/#", QoS: 0},
+	}})
+	waitFor(t, time.Second, func() bool { return b.SessionCount() == 1 })
+
+	payload := []byte("moisture=41.7")
+	const topic = "farm/f1/soil/probe2"
+
+	// Warm everything: route cache entry for the topic, frame/wire pools,
+	// the writer's batch scratch. Each publish is driven to completion so
+	// frames return to the pool before the next iteration.
+	want := st.PublishCount()
+	pump := func() {
+		if err := b.InjectPublish("pub", topic, payload, 0, false); err != nil {
+			panic(err)
+		}
+		want++
+		for st.PublishCount() < want {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 64; i++ {
+		pump()
+	}
+
+	allocs := testing.AllocsPerRun(200, pump)
+	if allocs != 0 {
+		t.Fatalf("QoS-0 publish->route->enqueue->drain path allocates %.3f objects/op, want 0", allocs)
+	}
+}
+
+// TestTrieMatchZeroAlloc pins the matcher itself: an index-walking trie
+// match into a pre-sized scratch slice splits no strings and allocates
+// nothing, even with wildcard and multi-level overlap.
+func TestTrieMatchZeroAlloc(t *testing.T) {
+	tr := newSubTree()
+	tr = tr.withSub("farm/+/soil/#", "c1", 1)
+	tr = tr.withSub("farm/f1/#", "c2", 0)
+	tr = tr.withSub("farm/f1/soil/probe2", "c3", 1)
+	tr = tr.withSub("#", "c4", 0)
+
+	scratch := make([]subMatch, 0, 16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ms, _ := tr.matchInto("farm/f1/soil/probe2", scratch[:0])
+		allocSink = len(ms)
+	})
+	if allocs != 0 {
+		t.Fatalf("trie matchInto allocates %.3f objects/op, want 0", allocs)
+	}
+	if allocSink != 4 {
+		t.Fatalf("matchInto found %d subscriptions, want 4", allocSink)
+	}
+}

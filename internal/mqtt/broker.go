@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/clock"
@@ -38,6 +40,17 @@ type BrokerConfig struct {
 	// the oldest queued packet and QoS 1 deliveries are parked for the
 	// redelivery pass — either way only that session degrades.
 	SessionQueueLen int
+	// FlushWatermark is the byte threshold at which the session writer
+	// flushes a buffering transport mid-batch (default 8KiB, negative
+	// flushes after every packet). The writer always flushes once its queue
+	// drains empty, so the watermark only bounds latency under sustained
+	// backlog.
+	FlushWatermark int
+	// RouteCacheSize caps the concrete-topic route cache (default 4096
+	// topics; negative disables caching). The cache is reset wholesale when
+	// it fills, which is fine for the telemetry workload it exists for:
+	// a device's topics repeat for its lifetime.
+	RouteCacheSize int
 	// RetainedShards splits the retained-message store (default 8).
 	RetainedShards int
 	// CompatSyncDelivery restores the pre-queue fan-out: route() writes
@@ -61,16 +74,26 @@ const DefaultSessionQueueLen = 256
 // DefaultRetainedShards is the retained-store shard count.
 const DefaultRetainedShards = 8
 
+// DefaultFlushWatermark is the writer's mid-batch flush threshold in bytes.
+const DefaultFlushWatermark = 8 << 10
+
+// DefaultRouteCacheSize bounds the concrete-topic route cache.
+const DefaultRouteCacheSize = 4096
+
 // Broker is an MQTT 3.1.1-subset message broker. Construct with NewBroker;
 // attach clients with Serve (TCP) and/or AttachTransport (simulated links).
 //
-// Concurrency: the session map, the subscription trie and the (sharded)
-// retained store each sit behind their own lock, so CONNECT storms,
-// SUBSCRIBE floods and PUBLISH routing never serialize on one mutex. Fan-out
-// is asynchronous: route() snapshots the matching sessions and enqueues onto
-// each session's bounded outbound queue; a dedicated writer goroutine per
-// session drains it, so a slow or dead subscriber overflows only its own
-// queue while every other session keeps streaming.
+// Concurrency: the subscription trie is an immutable copy-on-write structure
+// behind an atomic.Pointer — route() reads it lock-free; mutations
+// (SUBSCRIBE/UNSUBSCRIBE/disconnect) are serialized by subMu, publish a new
+// root, then bump subEpoch. Resolved routes for concrete topics are cached
+// and tagged with the epoch captured before the match, so a cached route is
+// served only while no mutation has intervened — never stale. Fan-out is
+// asynchronous and encode-once: the PUBLISH frame is encoded into a shared
+// refcounted buffer and enqueued onto each subscriber's bounded queue; a
+// dedicated writer goroutine per session drains the whole queue per wakeup
+// into one buffered flush, so a slow or dead subscriber degrades only
+// itself and N queued packets cost one syscall instead of N.
 type Broker struct {
 	cfg BrokerConfig
 	reg *metrics.Registry
@@ -80,8 +103,12 @@ type Broker struct {
 	sessions map[string]*session
 	closed   bool
 
-	subMu sync.RWMutex
-	subs  *subTree
+	subMu    sync.Mutex // serializes trie mutations; readers never take it
+	subs     atomic.Pointer[subTree]
+	subEpoch atomic.Uint64
+
+	rcMu       sync.Mutex // serializes route-cache map replacement
+	routeCache atomic.Pointer[routeMap]
 
 	retained []*retainedShard
 
@@ -92,13 +119,37 @@ type Broker struct {
 	// sensor reading through publish/deliver, so per-message registry map
 	// lookups add up.
 	cPubIn, cPubDenied, cDeliverOut, cDeliverErr *metrics.Counter
-	cQueueDropped, cQueueParked                  *metrics.Counter
+	cQueueDropped, cQueueParked, cCtlDropped     *metrics.Counter
+	cFlushes, cFlushedPkts, cRouteMiss           *metrics.Counter
 	gQueueDepth                                  *metrics.Gauge
 
 	// Tap, if set, observes every PUBLISH routed by the broker. The anomaly
 	// detection layer uses it as its traffic feed. Must be set before
 	// clients attach. The callback must not block.
 	Tap func(clientID, topic string, payload []byte, at time.Time)
+}
+
+// routeMap is the route cache: concrete topic → cached resolution. The map
+// itself is copy-on-write (replaced only when a new topic is inserted, under
+// rcMu); each entry's resolution swaps independently through an inner
+// atomic.Pointer so epoch invalidation rebuilds one route without copying
+// the map.
+type routeMap map[string]*routeEntry
+
+type routeEntry struct {
+	v atomic.Pointer[routeTargets]
+}
+
+// routeTargets is one resolved fan-out: the sessions subscribed to a topic
+// at the moment epoch was observed.
+type routeTargets struct {
+	epoch   uint64
+	targets []routeTarget
+}
+
+type routeTarget struct {
+	s   *session
+	qos byte // granted subscription QoS
 }
 
 type retainedMsg struct {
@@ -123,6 +174,12 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	if cfg.SessionQueueLen <= 0 {
 		cfg.SessionQueueLen = DefaultSessionQueueLen
 	}
+	if cfg.FlushWatermark == 0 {
+		cfg.FlushWatermark = DefaultFlushWatermark
+	}
+	if cfg.RouteCacheSize == 0 {
+		cfg.RouteCacheSize = DefaultRouteCacheSize
+	}
 	if cfg.RetainedShards <= 0 {
 		cfg.RetainedShards = DefaultRetainedShards
 	}
@@ -139,12 +196,11 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	for i := range shards {
 		shards[i] = &retainedShard{m: make(map[string]retainedMsg)}
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
 		clk:      cfg.Clock,
 		sessions: make(map[string]*session),
-		subs:     newSubTree(),
 		retained: shards,
 		done:     make(chan struct{}),
 
@@ -154,8 +210,14 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		cDeliverErr:   cfg.Metrics.Counter("mqtt.deliver.err"),
 		cQueueDropped: cfg.Metrics.Counter("mqtt.queue.dropped"),
 		cQueueParked:  cfg.Metrics.Counter("mqtt.queue.parked"),
+		cCtlDropped:   cfg.Metrics.Counter("mqtt.queue.ctl_dropped"),
+		cFlushes:      cfg.Metrics.Counter("mqtt.writer.flushes"),
+		cFlushedPkts:  cfg.Metrics.Counter("mqtt.writer.flushed_packets"),
+		cRouteMiss:    cfg.Metrics.Counter("mqtt.route.cache_miss"),
 		gQueueDepth:   cfg.Metrics.Gauge("mqtt.queue.depth"),
 	}
+	b.subs.Store(newSubTree())
+	return b
 }
 
 // Metrics returns the broker's metrics registry.
@@ -242,28 +304,68 @@ func (b *Broker) RetainedCount() int {
 type session struct {
 	id        string
 	transport Transport
+	fw        FrameWriter // transport's shared-frame fast path; nil if unsupported
+	fl        Flusher     // transport's flush hook; nil if it writes through
 	broker    *Broker
 
-	mu       sync.Mutex
-	pending  map[uint16]*pendingPub
-	outq     []*Packet // bounded outbound queue, drained by the writer
-	nextID   uint16
-	lastSeen time.Time
-	keep     time.Duration
-	closedFl bool
+	mu      sync.Mutex
+	pending map[uint16]*pendingPub
+	parkedN int // pending entries with parked=true, so the writer can skip scans
+	// outq is a fixed-capacity ring of queued deliveries (cap =
+	// SessionQueueLen, allocated on first use) drained by the writer.
+	outq            []outMsg
+	outHead, outLen int
+	ctlq            []*Packet // control acks, drained ahead of outq
+	ctlAlt          []*Packet // writer's drained ctl slice, swapped back in
+	nextID          uint16
+	lastSeen        time.Time
+	keep            time.Duration
+	closedFl        bool
 
-	notify chan struct{} // cap 1: wakes the writer when outq fills
+	wbatch []outMsg // writer-owned drain scratch, reused across wakeups
+
+	notify chan struct{} // cap 1: wakes the writer when work is queued
 	done   chan struct{}
 }
 
+// outMsg is one queued delivery: either a shared encoded frame (hot path,
+// the queue holds its own reference) or a standalone packet (retained
+// snapshots, compat paths, transports without WriteFrame).
+type outMsg struct {
+	f   *Frame
+	pkt *Packet
+	pid uint16
+	qos byte
+}
+
 type pendingPub struct {
+	f       *Frame // shared frame (holds a reference); nil → pkt
 	pkt     *Packet
+	pid     uint16
 	sentAt  time.Time
 	retries int
 	// parked marks a QoS 1 publish that never made it onto the outbound
 	// queue (overflow). The writer's retry pass sends it as a fresh
 	// transmission: no DUP flag, no retry charged.
 	parked bool
+}
+
+// pushLocked appends to the ring; the caller has checked it is not full.
+func (s *session) pushLocked(m outMsg) {
+	if s.outq == nil {
+		s.outq = make([]outMsg, s.broker.cfg.SessionQueueLen)
+	}
+	s.outq[(s.outHead+s.outLen)%len(s.outq)] = m
+	s.outLen++
+}
+
+// popLocked removes and returns the oldest ring entry.
+func (s *session) popLocked() outMsg {
+	m := s.outq[s.outHead]
+	s.outq[s.outHead] = outMsg{}
+	s.outHead = (s.outHead + 1) % len(s.outq)
+	s.outLen--
+	return m
 }
 
 func (s *session) close() {
@@ -273,11 +375,26 @@ func (s *session) close() {
 		return
 	}
 	s.closedFl = true
-	dropped := len(s.outq)
-	s.outq = nil
+	dropped := s.outLen
+	var frames []*Frame
+	for s.outLen > 0 {
+		if m := s.popLocked(); m.f != nil {
+			frames = append(frames, m.f)
+		}
+	}
+	s.ctlq = nil
+	for id, p := range s.pending {
+		if p.f != nil {
+			frames = append(frames, p.f)
+		}
+		delete(s.pending, id)
+	}
 	s.mu.Unlock()
 	if dropped > 0 {
 		s.broker.gQueueDepth.Add(-float64(dropped))
+	}
+	for _, f := range frames {
+		f.release()
 	}
 	close(s.done)
 	s.transport.Close()
@@ -326,13 +443,15 @@ func (b *Broker) serveTransport(t Transport) {
 		notify:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
+	s.fw, _ = t.(FrameWriter)
+	s.fl, _ = t.(Flusher)
 
 	// Session takeover: a reconnect with the same client id displaces the
 	// old connection (3.1.1 §3.1.4). Displace + strip subscriptions +
 	// install must be atomic under sessMu: publishing the new session
 	// before the old one's subscriptions are removed would let a racing
 	// route() deliver the old session's topics to the new transport, and a
-	// delayed removeAll would strip subscriptions the new client has
+	// delayed removal would strip subscriptions the new client has
 	// already re-established. Nesting subMu inside sessMu is safe — no
 	// path acquires them in the opposite nesting.
 	b.sessMu.Lock()
@@ -343,13 +462,13 @@ func (b *Broker) serveTransport(t Transport) {
 	}
 	if old := b.sessions[s.id]; old != nil {
 		old.close()
-		b.subMu.Lock()
-		b.subs.removeAll(s.id)
-		b.subMu.Unlock()
+		b.stripSubscriptions(s.id)
 	}
 	b.sessions[s.id] = s
 	b.sessMu.Unlock()
 
+	// CONNACK is written before the writer goroutine exists, so the
+	// single-writer-per-transport rule holds from the first data packet on.
 	if err := t.WritePacket(&Packet{Type: CONNACK, ReturnCode: ConnAccepted}); err != nil {
 		b.dropSession(s)
 		return
@@ -385,22 +504,45 @@ func (b *Broker) serveTransport(t Transport) {
 	b.dropSession(s)
 }
 
+// stripSubscriptions removes every subscription of clientID from the trie,
+// bumping the epoch if anything changed. Callers hold whatever outer locks
+// they need; subMu only serializes the trie swap itself.
+func (b *Broker) stripSubscriptions(clientID string) {
+	b.subMu.Lock()
+	if nr, changed := b.subs.Load().withoutClient(clientID); changed {
+		b.subs.Store(nr)
+		b.subEpoch.Add(1)
+	}
+	b.subMu.Unlock()
+}
+
 // handlePacket processes one inbound packet; it reports whether the session
-// should end.
+// should end. Control responses (PUBACK/SUBACK/UNSUBACK/PINGRESP) are routed
+// through the session's control queue rather than written here: the session
+// writer goroutine is the only writer of the transport.
 func (b *Broker) handlePacket(s *session, pkt *Packet) (stop bool) {
 	switch pkt.Type {
 	case PUBLISH:
 		b.handlePublish(s, pkt)
 	case PUBACK:
 		s.mu.Lock()
-		delete(s.pending, pkt.PacketID)
+		p := s.pending[pkt.PacketID]
+		if p != nil {
+			delete(s.pending, pkt.PacketID)
+			if p.parked {
+				s.parkedN--
+			}
+		}
 		s.mu.Unlock()
+		if p != nil && p.f != nil {
+			p.f.release()
+		}
 	case SUBSCRIBE:
 		b.handleSubscribe(s, pkt)
 	case UNSUBSCRIBE:
 		b.handleUnsubscribe(s, pkt)
 	case PINGREQ:
-		_ = s.transport.WritePacket(&Packet{Type: PINGRESP})
+		b.enqueueCtl(s, &Packet{Type: PINGRESP})
 	case DISCONNECT:
 		return true
 	default:
@@ -421,7 +563,7 @@ func (b *Broker) handlePublish(s *session, pkt *Packet) {
 	}
 	b.cPubIn.Inc()
 	if pkt.QoS == 1 {
-		_ = s.transport.WritePacket(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+		b.enqueueCtl(s, &Packet{Type: PUBACK, PacketID: pkt.PacketID})
 	}
 	if pkt.Retain {
 		b.storeRetained(pkt.Topic, pkt.Payload, pkt.QoS)
@@ -429,7 +571,7 @@ func (b *Broker) handlePublish(s *session, pkt *Packet) {
 	if tap := b.Tap; tap != nil {
 		tap(s.id, pkt.Topic, pkt.Payload, b.clk.Now())
 	}
-	b.route(pkt)
+	b.routePublish(pkt.Topic, pkt.Payload, pkt.QoS)
 }
 
 // storeRetained updates the retained store for topic; an empty payload
@@ -445,13 +587,72 @@ func (b *Broker) storeRetained(topic string, payload []byte, qos byte) {
 	sh.mu.Unlock()
 }
 
-// route fans a publish out to matching subscribers. It only snapshots and
-// enqueues — it never writes to a transport, so a stalled subscriber cannot
-// block the publisher's read goroutine.
-func (b *Broker) route(pkt *Packet) {
-	b.subMu.RLock()
-	matches := b.subs.match(pkt.Topic)
-	b.subMu.RUnlock()
+// routePublish fans a publish out to matching subscribers. It only matches
+// and enqueues — it never writes to a transport, so a stalled subscriber
+// cannot block the publisher's read goroutine.
+//
+// The hot path takes no locks and, at steady state, performs no heap
+// allocations: the subscription trie is read through an atomic pointer, the
+// resolved route comes from the epoch-validated cache, and the PUBLISH frame
+// is encoded once into a pooled refcounted buffer shared by every target.
+func (b *Broker) routePublish(topic string, payload []byte, qos byte) {
+	if b.cfg.CompatSyncDelivery {
+		b.routeCompat(topic, payload, qos)
+		return
+	}
+	// Epoch before match: if a mutation lands between these two loads the
+	// entry is tagged with the older epoch and the next publish rebuilds.
+	// A cached entry is served only while its tag equals the current epoch,
+	// so a stale route can never be served.
+	epoch := b.subEpoch.Load()
+	var rt *routeTargets
+	var re *routeEntry
+	if mp := b.routeCache.Load(); mp != nil {
+		if e := (*mp)[topic]; e != nil {
+			re = e
+			if v := e.v.Load(); v != nil && v.epoch == epoch {
+				rt = v
+			}
+		}
+	}
+	if rt == nil {
+		rt = b.buildRoute(topic, epoch, re)
+	}
+	if len(rt.targets) == 0 {
+		return
+	}
+	// Encode at most twice — QoS 0 and QoS 1 wire layouts differ by the
+	// 2-byte PacketID — and share each frame across all its targets.
+	var f0, f1 *Frame
+	for _, tg := range rt.targets {
+		q := qos
+		if tg.qos < q {
+			q = tg.qos
+		}
+		if q == 0 {
+			if f0 == nil {
+				f0 = newPublishFrame(topic, payload, 0, false)
+			}
+			b.enqueueMsg(tg.s, f0, nil, 0)
+		} else {
+			if f1 == nil {
+				f1 = newPublishFrame(topic, payload, 1, false)
+			}
+			b.enqueueMsg(tg.s, f1, nil, 1)
+		}
+	}
+	if f0 != nil {
+		f0.release()
+	}
+	if f1 != nil {
+		f1.release()
+	}
+}
+
+// routeCompat is the CompatSyncDelivery fan-out: synchronous per-subscriber
+// writes from the publisher's goroutine.
+func (b *Broker) routeCompat(topic string, payload []byte, qos byte) {
+	matches := b.subs.Load().match(topic)
 	if len(matches) == 0 {
 		return
 	}
@@ -461,7 +662,7 @@ func (b *Broker) route(pkt *Packet) {
 	for id, subQoS := range matches {
 		if sess := b.sessions[id]; sess != nil {
 			targets = append(targets, sess)
-			q := pkt.QoS
+			q := qos
 			if subQoS < q {
 				q = subQoS
 			}
@@ -469,15 +670,81 @@ func (b *Broker) route(pkt *Packet) {
 		}
 	}
 	b.sessMu.RUnlock()
-
 	for i, sess := range targets {
-		b.deliver(sess, pkt.Topic, pkt.Payload, qoss[i], false)
+		b.deliver(sess, topic, payload, qoss[i], false)
 	}
 }
 
-// deliver hands one PUBLISH to a subscriber session, tracking it for
-// redelivery if QoS 1. On the default path the packet is enqueued for the
-// session's writer; with CompatSyncDelivery it is written in place.
+// buildRoute resolves topic against the current trie and installs the result
+// in the route cache tagged with epoch (which the caller loaded before any
+// matching — see routePublish).
+func (b *Broker) buildRoute(topic string, epoch uint64, re *routeEntry) *routeTargets {
+	sc := matchScratchPool.Get().(*matchScratch)
+	ms, nodes := b.subs.Load().matchInto(topic, sc.buf[:0])
+	if nodes > 1 {
+		ms = dedupMatches(ms)
+	}
+	rt := &routeTargets{epoch: epoch}
+	if len(ms) > 0 {
+		rt.targets = make([]routeTarget, 0, len(ms))
+		b.sessMu.RLock()
+		for _, m := range ms {
+			if sess := b.sessions[m.id]; sess != nil {
+				rt.targets = append(rt.targets, routeTarget{s: sess, qos: m.qos})
+			}
+		}
+		b.sessMu.RUnlock()
+	}
+	sc.buf = ms[:0]
+	matchScratchPool.Put(sc)
+	b.cRouteMiss.Inc()
+	b.storeRoute(topic, re, rt)
+	return rt
+}
+
+// storeRoute publishes a freshly built route. When the topic already has an
+// entry only the inner pointer swaps; inserting a new topic copies the map
+// (rare: once per topic, amortized over the device's lifetime). At capacity
+// the cache is reset wholesale rather than evicting piecemeal.
+func (b *Broker) storeRoute(topic string, re *routeEntry, rt *routeTargets) {
+	if b.cfg.RouteCacheSize < 0 {
+		return
+	}
+	if re != nil {
+		re.v.Store(rt)
+		return
+	}
+	b.rcMu.Lock()
+	mp := b.routeCache.Load()
+	if mp != nil {
+		if e := (*mp)[topic]; e != nil {
+			// Another publisher inserted the topic while we built.
+			e.v.Store(rt)
+			b.rcMu.Unlock()
+			return
+		}
+	}
+	var nm routeMap
+	switch {
+	case mp == nil || len(*mp) >= b.cfg.RouteCacheSize:
+		nm = make(routeMap, 64)
+	default:
+		nm = make(routeMap, len(*mp)+1)
+		for k, v := range *mp {
+			nm[k] = v
+		}
+	}
+	e := &routeEntry{}
+	e.v.Store(rt)
+	nm[topic] = e
+	b.routeCache.Store(&nm)
+	b.rcMu.Unlock()
+}
+
+// deliver hands one PUBLISH to a subscriber session as a standalone packet
+// (retained snapshots and the compat path; routed fan-out uses shared
+// frames). On the default path the packet is enqueued for the session's
+// writer; with CompatSyncDelivery it is written in place.
 func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, retain bool) {
 	out := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
 	if b.cfg.CompatSyncDelivery {
@@ -489,7 +756,7 @@ func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, ret
 			}
 			id := s.allocPacketIDLocked()
 			out.PacketID = id
-			s.pending[id] = &pendingPub{pkt: out, sentAt: b.clk.Now()}
+			s.pending[id] = &pendingPub{pkt: out, pid: id, sentAt: b.clk.Now()}
 			s.mu.Unlock()
 		}
 		if err := s.transport.WritePacket(out); err != nil {
@@ -499,64 +766,143 @@ func (b *Broker) deliver(s *session, topic string, payload []byte, qos byte, ret
 		b.cDeliverOut.Inc()
 		return
 	}
-	b.enqueue(s, out)
+	b.enqueueMsg(s, nil, out, qos)
 }
 
-// enqueue places a delivery on s's bounded outbound queue. Overflow policy:
-// QoS 0 drops the oldest queued packet (fresh field state matters more than
-// stale history — the same call the fog queue makes); QoS 1 entries are
-// parked in the pending map for the writer's retry pass, which transmits
-// them once the queue drains. Either way, only this session degrades.
-func (b *Broker) enqueue(s *session, out *Packet) {
-	var dropped *Packet
+// enqueueMsg places a delivery (shared frame f or standalone pkt) on s's
+// bounded outbound queue. Overflow policy: QoS 0 drops the oldest queued
+// packet (fresh field state matters more than stale history — the same call
+// the fog queue makes); QoS 1 entries are parked in the pending map for the
+// writer's retry pass, which transmits them once the queue drains. Either
+// way, only this session degrades.
+func (b *Broker) enqueueMsg(s *session, f *Frame, pkt *Packet, qos byte) {
+	var evicted outMsg
+	hasEvicted := false
 	s.mu.Lock()
 	if s.closedFl {
 		s.mu.Unlock()
 		return
 	}
-	if out.QoS == 1 {
+	var pid uint16
+	var victimF *Frame
+	if qos == 1 {
 		// The pending map is the session's inflight window. Cap it at 4×
-		// the queue bound: past that the session is not draining at all
-		// (wedged transport), and tracking more would grow memory without
-		// bound — shed the newest delivery instead.
+		// the queue bound so a sick session cannot grow memory without
+		// bound. At the cap, prefer evicting the oldest entry that was
+		// already transmitted once — its ack is probably in flight, so
+		// losing its retransmission tracking costs less than shedding a
+		// delivery that never went out (on a loss-free link it costs
+		// nothing). Only when nothing has been transmitted (everything
+		// parked behind a full ring) is the new delivery shed.
 		if len(s.pending) >= 4*b.cfg.SessionQueueLen {
-			s.mu.Unlock()
+			var victim *pendingPub
+			for _, p := range s.pending {
+				if p.parked {
+					continue
+				}
+				if victim == nil || p.sentAt.Before(victim.sentAt) {
+					victim = p
+				}
+			}
+			if victim == nil {
+				s.mu.Unlock()
+				b.cQueueDropped.Inc()
+				// Everything inflight is parked: the writer is behind, and on
+				// a single-P runtime a hot publish pipeline's channel handoffs
+				// can keep a runnable writer off the CPU indefinitely. Yield
+				// so it can drain before the next publish sheds too.
+				runtime.Gosched()
+				return
+			}
+			delete(s.pending, victim.pid)
+			victimF = victim.f
 			b.cQueueDropped.Inc()
-			return
 		}
-		id := s.allocPacketIDLocked()
-		out.PacketID = id
-		p := &pendingPub{pkt: out, sentAt: b.clk.Now()}
-		s.pending[id] = p
-		if len(s.outq) >= b.cfg.SessionQueueLen {
+		pid = s.allocPacketIDLocked()
+		p := &pendingPub{pid: pid, sentAt: b.clk.Now()}
+		if f != nil {
+			f.ref()
+			p.f = f
+		} else {
+			pkt.PacketID = pid
+			p.pkt = pkt
+		}
+		s.pending[pid] = p
+		if s.outLen == b.cfg.SessionQueueLen {
 			p.parked = true
+			s.parkedN++
 			s.mu.Unlock()
+			if victimF != nil {
+				victimF.release()
+			}
 			b.cQueueParked.Inc()
+			// Parking means the ring is full with the writer behind; give it
+			// a scheduling slot (see the shed path above).
+			runtime.Gosched()
 			return
 		}
-	} else if len(s.outq) >= b.cfg.SessionQueueLen {
-		dropped = s.outq[0]
-		s.outq = s.outq[1:]
+	} else if s.outLen == b.cfg.SessionQueueLen {
+		evicted = s.popLocked()
+		hasEvicted = true
 	}
-	s.outq = append(s.outq, out)
+	if f != nil {
+		f.ref()
+	}
+	s.pushLocked(outMsg{f: f, pkt: pkt, pid: pid, qos: qos})
 	s.mu.Unlock()
 
-	if dropped != nil {
-		if dropped.QoS == 1 {
+	if victimF != nil {
+		victimF.release()
+	}
+	if hasEvicted {
+		if evicted.qos == 1 {
 			// A queued QoS 1 packet is already tracked in pending; evicting
-			// it from the queue just converts it into a parked entry.
+			// it from the queue just converts it into a parked entry. The
+			// pending entry keeps its own frame reference.
 			s.mu.Lock()
-			if p := s.pending[dropped.PacketID]; p != nil {
+			if p := s.pending[evicted.pid]; p != nil && !p.parked {
 				p.parked = true
+				s.parkedN++
 			}
 			s.mu.Unlock()
 			b.cQueueParked.Inc()
 		} else {
 			b.cQueueDropped.Inc()
 		}
+		if evicted.f != nil {
+			evicted.f.release()
+		}
 	} else {
 		b.gQueueDepth.Add(1)
 	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueCtl queues a control response (PUBACK, SUBACK, UNSUBACK, PINGRESP)
+// for the session writer, which drains control packets ahead of data. This
+// keeps exactly one goroutine writing each transport; the compat path keeps
+// the legacy in-place write. The control queue is bounded: a client flooding
+// requests into a wedged transport loses acks, which QoS 1 retransmission
+// and client-side timeouts already absorb.
+func (b *Broker) enqueueCtl(s *session, pkt *Packet) {
+	if b.cfg.CompatSyncDelivery {
+		_ = s.transport.WritePacket(pkt)
+		return
+	}
+	s.mu.Lock()
+	if s.closedFl || len(s.ctlq) >= b.cfg.SessionQueueLen {
+		dropped := !s.closedFl
+		s.mu.Unlock()
+		if dropped {
+			b.cCtlDropped.Inc()
+		}
+		return
+	}
+	s.ctlq = append(s.ctlq, pkt)
+	s.mu.Unlock()
 	select {
 	case s.notify <- struct{}{}:
 	default:
@@ -576,7 +922,10 @@ func (b *Broker) sessionWriter(s *session) {
 		case <-b.done:
 			return
 		case <-s.notify:
-			if !b.drainQueue(s) {
+			// Drain, then immediately transmit anything the overflow parked:
+			// by the time the ring is empty the parked entries are the oldest
+			// undelivered messages this session has.
+			if !b.drainQueue(s) || !b.unparkPass(s) {
 				b.dropSession(s)
 				return
 			}
@@ -594,28 +943,91 @@ func (b *Broker) sessionWriter(s *session) {
 	}
 }
 
-// drainQueue writes everything queued on s, batching pops so the lock is
-// held only to swap slices. It reports false on a write error.
+// writeData writes one queued delivery through the transport's fastest
+// available path.
+func (s *session) writeData(m outMsg) (wire int, err error) {
+	if m.f != nil {
+		if s.fw != nil {
+			return m.f.wireLen(), s.fw.WriteFrame(m.f, m.pid, false)
+		}
+		return m.f.wireLen(), s.transport.WritePacket(m.f.packet(m.pid, false))
+	}
+	return len(m.pkt.Payload) + len(m.pkt.Topic) + 4, s.transport.WritePacket(m.pkt)
+}
+
+// releaseBatch releases the frame references of batch[from:] and zeroes the
+// entries (error-path cleanup; the happy path releases as it stamps).
+func releaseBatch(batch []outMsg, from int) {
+	for i := from; i < len(batch); i++ {
+		if batch[i].f != nil {
+			batch[i].f.release()
+		}
+		batch[i] = outMsg{}
+	}
+}
+
+// drainQueue writes everything queued on s — control packets first, then the
+// data ring — batching pops so the lock is held only to swap slices, and
+// coalescing the whole drain into buffered writes flushed at queue-empty or
+// the byte watermark. It reports false on a write error.
 func (b *Broker) drainQueue(s *session) bool {
+	unflushed := 0 // packets written since the last flush
+	bytes := 0
 	for {
 		s.mu.Lock()
-		batch := s.outq
-		s.outq = nil
-		s.mu.Unlock()
-		if len(batch) == 0 {
-			return true
+		ctl := s.ctlq
+		if len(ctl) > 0 {
+			// Swap the drained slice for the previously drained one: the
+			// reader appends only to s.ctlq under the lock, and drains are
+			// sequential in this goroutine, so ctlAlt is free for reuse.
+			s.ctlq = s.ctlAlt[:0]
+			s.ctlAlt = ctl
 		}
-		b.gQueueDepth.Add(-float64(len(batch)))
-		qos1 := 0
-		for _, pkt := range batch {
+		n := s.outLen
+		batch := s.wbatch[:0]
+		for i := 0; i < n; i++ {
+			batch = append(batch, s.popLocked())
+		}
+		s.wbatch = batch
+		s.mu.Unlock()
+		if len(ctl) == 0 && len(batch) == 0 {
+			break
+		}
+		if n > 0 {
+			b.gQueueDepth.Add(-float64(n))
+		}
+		for i, pkt := range ctl {
+			ctl[i] = nil
 			if err := s.transport.WritePacket(pkt); err != nil {
-				b.cDeliverErr.Inc()
+				releaseBatch(batch, 0)
 				return false
 			}
-			if pkt.QoS == 1 {
-				qos1++
+			unflushed++
+		}
+		qos1 := 0
+		for i, m := range batch {
+			wire, err := s.writeData(m)
+			if err != nil {
+				b.cDeliverErr.Inc()
+				releaseBatch(batch, i)
+				return false
 			}
 			b.cDeliverOut.Inc()
+			unflushed++
+			bytes += wire
+			if m.qos == 1 {
+				qos1++
+			}
+			if s.fl != nil && bytes >= b.cfg.FlushWatermark {
+				if err := s.fl.Flush(); err != nil {
+					b.cDeliverErr.Inc()
+					releaseBatch(batch, i+1)
+					return false
+				}
+				b.cFlushes.Inc()
+				b.cFlushedPkts.Add(uint64(unflushed))
+				unflushed, bytes = 0, 0
+			}
 		}
 		if qos1 > 0 {
 			// The unacked clock starts at transmission, not enqueue —
@@ -624,30 +1036,57 @@ func (b *Broker) drainQueue(s *session) bool {
 			// batch keeps s.mu traffic off the per-packet path.
 			now := b.clk.Now()
 			s.mu.Lock()
-			for _, pkt := range batch {
-				if pkt.QoS != 1 {
+			for _, m := range batch {
+				if m.qos != 1 {
 					continue
 				}
-				if p := s.pending[pkt.PacketID]; p != nil {
+				if p := s.pending[m.pid]; p != nil {
 					p.sentAt = now
 				}
 			}
 			s.mu.Unlock()
 		}
+		releaseBatch(batch, 0)
 	}
+	// Queue drained empty: flush whatever the watermark left buffered so
+	// tail latency is bounded by one wakeup, not by future traffic.
+	if unflushed > 0 {
+		if s.fl != nil {
+			if err := s.fl.Flush(); err != nil {
+				b.cDeliverErr.Inc()
+				return false
+			}
+		}
+		b.cFlushes.Inc()
+		b.cFlushedPkts.Add(uint64(unflushed))
+	}
+	return true
+}
+
+// resendItem is one retry-pass transmission collected under the lock.
+type resendItem struct {
+	f   *Frame // holds a reference taken under the lock
+	pkt *Packet
+	pid uint16
+	dup bool
 }
 
 // retryPass redelivers due QoS 1 messages (transmitting parked ones for
 // the first time) and expires messages past MaxRetries. It reports false
 // when the session must be dropped.
 func (b *Broker) retryPass(s *session, now time.Time) bool {
-	var resend []*Packet
+	var resend []resendItem
+	var expired []*Frame
 	s.mu.Lock()
 	for id, p := range s.pending {
 		if p.parked {
 			p.parked = false
+			s.parkedN--
 			p.sentAt = now
-			resend = append(resend, p.pkt)
+			if p.f != nil {
+				p.f.ref()
+			}
+			resend = append(resend, resendItem{f: p.f, pkt: p.pkt, pid: p.pid})
 			continue
 		}
 		if now.Sub(p.sentAt) < b.cfg.RetryInterval {
@@ -655,26 +1094,105 @@ func (b *Broker) retryPass(s *session, now time.Time) bool {
 		}
 		if p.retries >= b.cfg.MaxRetries {
 			delete(s.pending, id)
+			if p.f != nil {
+				expired = append(expired, p.f)
+			}
 			b.reg.Counter("mqtt.deliver.expired").Inc()
 			continue
 		}
 		p.retries++
 		p.sentAt = now
-		dup := *p.pkt
-		dup.Dup = true
-		resend = append(resend, &dup)
+		if p.f != nil {
+			p.f.ref()
+			resend = append(resend, resendItem{f: p.f, pid: p.pid, dup: true})
+		} else {
+			dup := *p.pkt
+			dup.Dup = true
+			resend = append(resend, resendItem{pkt: &dup, pid: p.pid, dup: true})
+		}
 	}
 	s.mu.Unlock()
-	for _, pkt := range resend {
-		if err := s.transport.WritePacket(pkt); err != nil {
+	for _, f := range expired {
+		f.release()
+	}
+	return b.writeResend(s, resend)
+}
+
+// unparkPass transmits parked QoS 1 deliveries as soon as the queue whose
+// overflow parked them has drained, instead of leaving them to the next
+// retry tick — parking bounds memory, it should not add a full retry
+// interval of latency. Parked entries are older than anything currently
+// queued, so sending them straight after a drain preserves rough FIFO
+// order. It reports false when the session must be dropped.
+func (b *Broker) unparkPass(s *session) bool {
+	s.mu.Lock()
+	if s.parkedN == 0 || s.outLen > 0 {
+		// Nothing parked, or the ring refilled while we drained: those
+		// entries are older than any parked one now, and the enqueue that
+		// refilled it left a notify token, so another drain+unpark cycle
+		// is already scheduled.
+		s.mu.Unlock()
+		return true
+	}
+	now := b.clk.Now()
+	resend := make([]resendItem, 0, s.parkedN)
+	for _, p := range s.pending {
+		if !p.parked {
+			continue
+		}
+		p.parked = false
+		s.parkedN--
+		p.sentAt = now
+		if p.f != nil {
+			p.f.ref()
+		}
+		resend = append(resend, resendItem{f: p.f, pkt: p.pkt, pid: p.pid})
+	}
+	s.mu.Unlock()
+	return b.writeResend(s, resend)
+}
+
+// writeResend transmits one retry/unpark batch, releasing the frame
+// references the collector took under the lock, and flushes once at the
+// end. It reports false on a write error.
+func (b *Broker) writeResend(s *session, resend []resendItem) bool {
+	for i, r := range resend {
+		var err error
+		switch {
+		case r.f != nil && s.fw != nil:
+			err = s.fw.WriteFrame(r.f, r.pid, r.dup)
+		case r.f != nil:
+			err = s.transport.WritePacket(r.f.packet(r.pid, r.dup))
+		default:
+			err = s.transport.WritePacket(r.pkt)
+		}
+		if r.f != nil {
+			r.f.release()
+		}
+		if err != nil {
 			b.cDeliverErr.Inc()
+			for _, rest := range resend[i+1:] {
+				if rest.f != nil {
+					rest.f.release()
+				}
+			}
 			return false
 		}
-		if pkt.Dup {
+		if r.dup {
 			b.reg.Counter("mqtt.deliver.retry").Inc()
 		} else {
 			b.cDeliverOut.Inc()
 		}
+	}
+	if len(resend) > 0 {
+		if s.fl != nil {
+			if err := s.fl.Flush(); err != nil {
+				b.cDeliverErr.Inc()
+				return false
+			}
+		}
+		b.cFlushes.Inc()
+		b.cFlushedPkts.Add(uint64(len(resend)))
 	}
 	return true
 }
@@ -737,11 +1255,19 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 		accepted = append(accepted, Subscription{Filter: f.Filter, QoS: qos})
 	}
 
-	b.subMu.Lock()
-	for _, f := range accepted {
-		b.subs.add(f.Filter, s.id, f.QoS)
+	if len(accepted) > 0 {
+		b.subMu.Lock()
+		root := b.subs.Load()
+		for _, f := range accepted {
+			root = root.withSub(f.Filter, s.id, f.QoS)
+		}
+		// Store the new root before bumping: a reader that observes the new
+		// epoch must also observe the new tree, or a cache entry could be
+		// tagged fresh while built from the old tree.
+		b.subs.Store(root)
+		b.subEpoch.Add(1)
+		b.subMu.Unlock()
 	}
-	b.subMu.Unlock()
 
 	// Snapshot retained messages matching the new filters.
 	type retRef struct {
@@ -769,7 +1295,10 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 		}
 	}
 
-	_ = s.transport.WritePacket(&Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted})
+	// SUBACK rides the control queue, retained snapshots the data queue;
+	// the writer drains control first, so within any drain cycle the SUBACK
+	// precedes the retained deliveries it acknowledges.
+	b.enqueueCtl(s, &Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted})
 	for _, r := range rets {
 		b.deliver(s, r.topic, r.msg.payload, r.qos, true)
 	}
@@ -778,11 +1307,19 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 
 func (b *Broker) handleUnsubscribe(s *session, pkt *Packet) {
 	b.subMu.Lock()
+	root := b.subs.Load()
+	changed := false
 	for _, f := range pkt.Filters {
-		b.subs.remove(f.Filter, s.id)
+		var removed bool
+		root, removed = root.withoutSub(f.Filter, s.id)
+		changed = changed || removed
+	}
+	if changed {
+		b.subs.Store(root)
+		b.subEpoch.Add(1)
 	}
 	b.subMu.Unlock()
-	_ = s.transport.WritePacket(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
+	b.enqueueCtl(s, &Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
 }
 
 // dropSession removes s from the broker and closes its transport.
@@ -794,9 +1331,7 @@ func (b *Broker) dropSession(s *session) {
 	}
 	b.sessMu.Unlock()
 	if owner {
-		b.subMu.Lock()
-		b.subs.removeAll(s.id)
-		b.subMu.Unlock()
+		b.stripSubscriptions(s.id)
 	}
 	s.close()
 }
@@ -821,7 +1356,6 @@ func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte,
 		b.cPubDenied.Inc()
 		return fmt.Errorf("mqtt: publish to %q denied for %s", topic, clientID)
 	}
-	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
 	if retain {
 		b.storeRetained(topic, payload, qos)
 	}
@@ -829,6 +1363,6 @@ func (b *Broker) InjectPublish(clientID, topic string, payload []byte, qos byte,
 		tap(clientID, topic, payload, b.clk.Now())
 	}
 	b.cPubIn.Inc()
-	b.route(pkt)
+	b.routePublish(topic, payload, qos)
 	return nil
 }

@@ -129,6 +129,33 @@ func Connect(t Transport, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// ackTimerPool recycles the timers bounding PUBACK/SUBACK/PINGRESP waits.
+// A QoS 1 publisher arms one timer per publish; with time.After each would
+// be a fresh runtime timer living the full AckTimeout — allocation and
+// timer-heap churn that dominates paced publish loops.
+var ackTimerPool sync.Pool
+
+func getAckTimer(d time.Duration) *time.Timer {
+	if v := ackTimerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putAckTimer returns a timer whose channel is empty or fired-and-drained;
+// both states are safe to Reset after the Stop+drain here.
+func putAckTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	ackTimerPool.Put(t)
+}
+
 // readWithTimeout reads one packet before the client loops start.
 func (c *Client) readWithTimeout(d time.Duration) (*Packet, error) {
 	type res struct {
@@ -211,22 +238,29 @@ func (c *Client) readLoop() {
 func (c *Client) dispatch(pkt *Packet) {
 	msg := Message{Topic: pkt.Topic, Payload: pkt.Payload, QoS: pkt.QoS, Retain: pkt.Retain, Dup: pkt.Dup}
 	// A message can match several overlapping filters (e.g. "farm/+/soil"
-	// and "farm/#"); every matching handler fires, not just the first.
+	// and "farm/#"); every matching handler fires, not just the first. The
+	// common single-match case avoids building a slice per message.
 	c.mu.Lock()
-	var hs []Handler
+	var first Handler
+	var rest []Handler
 	for _, s := range c.subs {
 		if MatchTopic(s.filter, pkt.Topic) {
-			hs = append(hs, s.handler)
+			if first == nil {
+				first = s.handler
+			} else {
+				rest = append(rest, s.handler)
+			}
 		}
 	}
 	c.mu.Unlock()
-	if len(hs) == 0 {
+	if first == nil {
 		if h := c.DefaultHandler; h != nil {
 			h(msg)
 		}
 		return
 	}
-	for _, h := range hs {
+	first(msg)
+	for _, h := range rest {
 		h(msg)
 	}
 }
@@ -306,12 +340,16 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 		if err := c.t.WritePacket(pkt); err != nil {
 			return fmt.Errorf("mqtt publish %q: %w", topic, err)
 		}
+		timer := getAckTimer(c.cfg.AckTimeout)
 		select {
 		case <-ch:
+			putAckTimer(timer)
 			return nil
-		case <-time.After(c.cfg.AckTimeout):
+		case <-timer.C:
+			putAckTimer(timer)
 			// retransmit
 		case <-c.done:
+			putAckTimer(timer)
 			return ErrClientClosed
 		}
 	}
@@ -376,6 +414,8 @@ func (c *Client) Subscribe(filter string, qos byte, handler Handler) (byte, erro
 		rollback()
 		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, err)
 	}
+	timer := getAckTimer(c.cfg.AckTimeout)
+	defer putAckTimer(timer)
 	select {
 	case ack := <-ch:
 		if len(ack.GrantedQoS) != 1 || ack.GrantedQoS[0] == 0x80 {
@@ -383,7 +423,7 @@ func (c *Client) Subscribe(filter string, qos byte, handler Handler) (byte, erro
 			return 0, fmt.Errorf("mqtt subscribe %q: rejected by broker", filter)
 		}
 		return ack.GrantedQoS[0], nil
-	case <-time.After(c.cfg.AckTimeout):
+	case <-timer.C:
 		rollback()
 		return 0, fmt.Errorf("mqtt subscribe %q: %w", filter, ErrAckTimeout)
 	case <-c.done:
@@ -402,11 +442,13 @@ func (c *Client) Unsubscribe(filter string) error {
 	if err := c.t.WritePacket(pkt); err != nil {
 		return fmt.Errorf("mqtt unsubscribe %q: %w", filter, err)
 	}
+	timer := getAckTimer(c.cfg.AckTimeout)
+	defer putAckTimer(timer)
 	select {
 	case <-ch:
 		c.removeSub(filter)
 		return nil
-	case <-time.After(c.cfg.AckTimeout):
+	case <-timer.C:
 		return fmt.Errorf("mqtt unsubscribe %q: %w", filter, ErrAckTimeout)
 	case <-c.done:
 		return ErrClientClosed
@@ -435,10 +477,12 @@ func (c *Client) Ping(timeout time.Duration) error {
 	if err := c.t.WritePacket(&Packet{Type: PINGREQ}); err != nil {
 		return err
 	}
+	timer := getAckTimer(timeout)
+	defer putAckTimer(timer)
 	select {
 	case <-c.pingpong:
 		return nil
-	case <-time.After(timeout):
+	case <-timer.C:
 		return ErrAckTimeout
 	case <-c.done:
 		return ErrClientClosed

@@ -214,6 +214,81 @@ func (p *Packet) Encode() ([]byte, error) {
 	return out.Bytes(), nil
 }
 
+// appendEncode appends p's wire encoding to dst and returns it. Packet
+// types on broker hot paths (PUBLISH and the control acks) are encoded
+// directly without intermediate buffers; everything else falls back to
+// Encode.
+func (p *Packet) appendEncode(dst []byte) ([]byte, error) {
+	switch p.Type {
+	case PUBLISH:
+		if p.QoS > 1 {
+			return nil, fmt.Errorf("mqtt: QoS %d unsupported (only 0 and 1)", p.QoS)
+		}
+		if err := ValidateTopicName(p.Topic); err != nil {
+			return nil, err
+		}
+		dst, _ = appendPublish(dst, p.Topic, p.Payload, p.QoS, p.Retain, p.Dup, p.PacketID)
+		return dst, nil
+	case PUBACK, UNSUBACK:
+		return append(dst, byte(p.Type)<<4, 2, byte(p.PacketID>>8), byte(p.PacketID)), nil
+	case SUBACK:
+		dst = append(dst, byte(SUBACK)<<4)
+		dst = appendRemainingLength(dst, 2+len(p.GrantedQoS))
+		dst = append(dst, byte(p.PacketID>>8), byte(p.PacketID))
+		return append(dst, p.GrantedQoS...), nil
+	case PINGREQ, PINGRESP, DISCONNECT:
+		return append(dst, byte(p.Type)<<4, 0), nil
+	default:
+		raw, err := p.Encode()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, raw...), nil
+	}
+}
+
+// appendPublish appends a complete PUBLISH frame to dst and returns the new
+// slice plus the offset of the 2-byte PacketID region within it (0 when
+// qos == 0 — QoS-0 frames carry no packet id, and offset 0 can never be a
+// valid id position because the fixed header precedes it).
+func appendPublish(dst []byte, topic string, payload []byte, qos byte, retain, dup bool, pid uint16) ([]byte, int) {
+	flags := qos << 1
+	if retain {
+		flags |= 0x01
+	}
+	if dup {
+		flags |= 0x08
+	}
+	body := 2 + len(topic) + len(payload)
+	if qos > 0 {
+		body += 2
+	}
+	dst = append(dst, byte(PUBLISH)<<4|flags)
+	dst = appendRemainingLength(dst, body)
+	dst = append(dst, byte(len(topic)>>8), byte(len(topic)))
+	dst = append(dst, topic...)
+	pidOff := 0
+	if qos > 0 {
+		pidOff = len(dst)
+		dst = append(dst, byte(pid>>8), byte(pid))
+	}
+	return append(dst, payload...), pidOff
+}
+
+func appendRemainingLength(dst []byte, n int) []byte {
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if n == 0 {
+			return dst
+		}
+	}
+}
+
 // Decode parses one packet from raw wire bytes (fixed header included).
 func Decode(raw []byte) (*Packet, error) {
 	r := bytes.NewReader(raw)

@@ -1,0 +1,204 @@
+package mqtt
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// randFilter builds a random, valid topic filter: a few levels drawn from a
+// pool that includes wildcards, empty levels and a $-prefixed level, with
+// '#' only ever in the final position.
+func randFilter(rng *rand.Rand) string {
+	pool := []string{"a", "b", "c", "farm", "soil", "+", "", "$SYS", "probe-2"}
+	n := 1 + rng.Intn(4)
+	levels := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		levels = append(levels, pool[rng.Intn(len(pool))])
+	}
+	if rng.Intn(3) == 0 {
+		levels = append(levels, "#")
+	}
+	f := strings.Join(levels, "/")
+	if ValidateTopicFilter(f) != nil {
+		return "a/+/#" // rare degenerate case (e.g. lone ""), substitute
+	}
+	return f
+}
+
+// randTopic builds a random concrete topic name (no wildcards), including
+// $-prefixed and empty levels.
+func randTopic(rng *rand.Rand) string {
+	pool := []string{"a", "b", "c", "farm", "soil", "", "$SYS", "probe-2", "x"}
+	n := 1 + rng.Intn(4)
+	levels := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		levels = append(levels, pool[rng.Intn(len(pool))])
+	}
+	return strings.Join(levels, "/")
+}
+
+// TestTrieMatchPropertyVsOracle cross-checks the index-walking trie matcher
+// against the reference MatchTopic predicate over randomized subscription
+// sets and topics, including the $-prefix rule, trailing '#', '+' against
+// empty levels, and overlapping filters per client (highest QoS wins).
+func TestTrieMatchPropertyVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7)) // deterministic: no flaky CI
+	clients := []string{"c0", "c1", "c2", "c3", "c4"}
+	for iter := 0; iter < 300; iter++ {
+		tr := newSubTree()
+		type sub struct {
+			client, filter string
+			qos            byte
+		}
+		var subsList []sub
+		nSubs := 1 + rng.Intn(10)
+		for i := 0; i < nSubs; i++ {
+			s := sub{
+				client: clients[rng.Intn(len(clients))],
+				filter: randFilter(rng),
+				qos:    byte(rng.Intn(2)),
+			}
+			subsList = append(subsList, s)
+			tr = tr.withSub(s.filter, s.client, s.qos)
+		}
+		for k := 0; k < 20; k++ {
+			topic := randTopic(rng)
+			got := tr.match(topic)
+			// Oracle: per client, the max QoS over its matching filters.
+			// Later withSub for the same (client, filter) overwrites, so
+			// walk the list keeping the last QoS per exact filter first.
+			lastQoS := map[string]byte{}
+			for _, s := range subsList {
+				lastQoS[s.client+"\x00"+s.filter] = s.qos
+			}
+			want := map[string]byte{}
+			for key, q := range lastQoS {
+				cf := strings.SplitN(key, "\x00", 2)
+				if MatchTopic(cf[1], topic) {
+					if cur, ok := want[cf[0]]; !ok || q > cur {
+						want[cf[0]] = q
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iter %d topic %q: trie matched %v, oracle %v (subs %v)", iter, topic, got, want, subsList)
+			}
+			for id, q := range want {
+				if gq, ok := got[id]; !ok || gq != q {
+					t.Fatalf("iter %d topic %q client %s: trie qos=%d,ok=%v, oracle qos=%d (subs %v)", iter, topic, id, gq, ok, q, subsList)
+				}
+			}
+		}
+	}
+}
+
+// TestStalledEpochNeverServesRemovedSub drives the route cache's epoch
+// invalidation end-to-end: after an unsubscribe bumps the epoch, the very
+// next publish must rebuild the route and skip the removed subscriber.
+// (Named to run under the CI stress matrix alongside the queue suites.)
+func TestStalledEpochNeverServesRemovedSub(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+
+	sub1 := attachScripted(t, b, "epoch-a", "ep/#", 0)
+	sub2 := attachScripted(t, b, "epoch-b", "ep/#", 0)
+
+	if err := b.InjectPublish("pub", "ep/t", []byte("1"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		return sub1.publishCount() == 1 && sub2.publishCount() == 1
+	})
+
+	// Unsubscribe epoch-a, then publish again on the (cached) topic.
+	sub1.send(&Packet{Type: UNSUBSCRIBE, PacketID: 9, Filters: []Subscription{{Filter: "ep/#"}}})
+	waitFor(t, time.Second, func() bool {
+		sub1.mu.Lock()
+		defer sub1.mu.Unlock()
+		for _, p := range sub1.wrote {
+			if p.Type == UNSUBACK {
+				return true
+			}
+		}
+		return false
+	})
+	if err := b.InjectPublish("pub", "ep/t", []byte("2"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return sub2.publishCount() == 2 })
+	if n := sub1.publishCount(); n != 1 {
+		t.Fatalf("unsubscribed client received %d publishes, want 1 (stale route served)", n)
+	}
+}
+
+// TestOverflowFreeConcurrentTrieMutation hammers the COW trie from
+// concurrent mutators and matchers. Under -race this proves the published
+// tree is never written after the pointer swap; without -race it still
+// checks matchers always observe internally consistent trees.
+func TestOverflowFreeConcurrentTrieMutation(t *testing.T) {
+	var root atomic.Pointer[subTree]
+	root.Store(newSubTree())
+	var mu sync.Mutex // serialises mutators, as subMu does in the broker
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Two mutators add/remove disjoint client subscriptions.
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(len(id))))
+			filters := []string{"a/+/c", "a/#", "a/b/c", "x/y", "+/+/+"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := filters[rng.Intn(len(filters))]
+				mu.Lock()
+				if rng.Intn(2) == 0 {
+					root.Store(root.Load().withSub(f, id, byte(rng.Intn(2))))
+				} else {
+					nt, _ := root.Load().withoutSub(f, id)
+					root.Store(nt)
+				}
+				mu.Unlock()
+			}
+		}("mut" + string(rune('0'+m)))
+	}
+
+	// Four matchers walk whatever tree is current.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			topics := []string{"a/b/c", "a/zz", "x/y", "a", "q/r/s"}
+			scratch := make([]subMatch, 0, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := root.Load()
+				ms, _ := tr.matchInto(topics[i%len(topics)], scratch[:0])
+				for _, m := range ms {
+					if m.qos > 1 {
+						t.Errorf("corrupt match qos %d", m.qos)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -66,10 +66,10 @@ func TestValidateTopicName(t *testing.T) {
 
 func TestSubTreeAddMatchRemove(t *testing.T) {
 	tr := newSubTree()
-	tr.add("a/+/c", "c1", 1)
-	tr.add("a/#", "c2", 0)
-	tr.add("a/b/c", "c3", 1)
-	tr.add("a/b/c", "c1", 0) // c1 twice via overlapping filters
+	tr = tr.withSub("a/+/c", "c1", 1)
+	tr = tr.withSub("a/#", "c2", 0)
+	tr = tr.withSub("a/b/c", "c3", 1)
+	tr = tr.withSub("a/b/c", "c1", 0) // c1 twice via overlapping filters
 
 	m := tr.match("a/b/c")
 	if len(m) != 3 {
@@ -82,10 +82,13 @@ func TestSubTreeAddMatchRemove(t *testing.T) {
 		t.Errorf("unexpected QoS map: %v", m)
 	}
 
-	if !tr.remove("a/+/c", "c1") {
+	var removed bool
+	tr, removed = tr.withoutSub("a/+/c", "c1")
+	if !removed {
 		t.Error("remove existing subscription returned false")
 	}
-	if tr.remove("a/+/c", "c1") {
+	tr, removed = tr.withoutSub("a/+/c", "c1")
+	if removed {
 		t.Error("double remove returned true")
 	}
 	m = tr.match("a/b/c")
@@ -93,16 +96,30 @@ func TestSubTreeAddMatchRemove(t *testing.T) {
 		t.Errorf("after removing a/+/c, c1 QoS should come from a/b/c (0), got %d", m["c1"])
 	}
 
-	tr.removeAll("c2")
+	tr, _ = tr.withoutClient("c2")
 	m = tr.match("a/zzz")
 	if _, ok := m["c2"]; ok {
-		t.Error("c2 still matched after removeAll")
+		t.Error("c2 still matched after withoutClient")
+	}
+}
+
+// TestSubTreeCopyOnWrite pins the COW contract route() relies on: a
+// published tree is never mutated by later subscription changes.
+func TestSubTreeCopyOnWrite(t *testing.T) {
+	old := newSubTree().withSub("a/b", "c1", 1)
+	newer := old.withSub("a/b", "c2", 0)
+	newer, _ = newer.withoutSub("a/b", "c1")
+
+	if m := old.match("a/b"); len(m) != 1 || m["c1"] != 1 {
+		t.Errorf("old tree changed under mutation: %v", m)
+	}
+	if m := newer.match("a/b"); len(m) != 1 || m["c2"] != 0 {
+		t.Errorf("new tree wrong: %v", m)
 	}
 }
 
 func TestSubTreeHashAtParentLevel(t *testing.T) {
-	tr := newSubTree()
-	tr.add("sport/#", "c1", 0)
+	tr := newSubTree().withSub("sport/#", "c1", 0)
 	if m := tr.match("sport"); len(m) != 1 {
 		t.Errorf("'sport/#' should match 'sport' itself, got %v", m)
 	}
@@ -111,10 +128,10 @@ func TestSubTreeHashAtParentLevel(t *testing.T) {
 func TestSubTreePruning(t *testing.T) {
 	tr := newSubTree()
 	for i := 0; i < 50; i++ {
-		tr.add(fmt.Sprintf("deep/%d/leaf", i), "c", 0)
+		tr = tr.withSub(fmt.Sprintf("deep/%d/leaf", i), "c", 0)
 	}
 	for i := 0; i < 50; i++ {
-		tr.remove(fmt.Sprintf("deep/%d/leaf", i), "c")
+		tr, _ = tr.withoutSub(fmt.Sprintf("deep/%d/leaf", i), "c")
 	}
 	if len(tr.children) != 0 {
 		t.Errorf("tree not pruned: %d root children remain", len(tr.children))

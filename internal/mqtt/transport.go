@@ -32,29 +32,80 @@ type Transport interface {
 // ErrTransportClosed is returned by ReadPacket after Close.
 var ErrTransportClosed = errors.New("mqtt: transport closed")
 
+// streamWriteBuf sizes the buffered writer; larger than the default flush
+// watermark so the watermark, not bufio, decides when bytes hit the socket.
+const streamWriteBuf = 32 << 10
+
 // StreamTransport frames packets over a byte stream (normally TCP).
 type StreamTransport struct {
 	conn net.Conn
 	r    *bufio.Reader
 
 	wmu sync.Mutex // serialise writers
+	w   *bufio.Writer
 }
 
 // NewStreamTransport wraps conn.
 func NewStreamTransport(conn net.Conn) *StreamTransport {
-	return &StreamTransport{conn: conn, r: bufio.NewReader(conn)}
+	return &StreamTransport{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriterSize(conn, streamWriteBuf)}
 }
 
-// WritePacket implements Transport.
+// WritePacket implements Transport. Packets written this way are flushed
+// immediately (control traffic and client-side writes keep per-packet
+// latency); only WriteFrame batches.
 func (t *StreamTransport) WritePacket(p *Packet) error {
-	raw, err := p.Encode()
+	buf := getWire()
+	raw, err := p.appendEncode(buf)
 	if err != nil {
+		putWire(buf)
 		return err
 	}
 	t.wmu.Lock()
+	_, werr := t.w.Write(raw)
+	if werr == nil {
+		werr = t.w.Flush()
+	}
+	t.wmu.Unlock()
+	putWire(raw)
+	return werr
+}
+
+// WriteFrame implements FrameWriter: the shared frame's bytes are copied
+// into the buffered writer with the PacketID/DUP region patched for this
+// target. No flush — the session writer flushes on queue-empty or at its
+// byte watermark.
+func (t *StreamTransport) WriteFrame(f *Frame, pid uint16, dup bool) error {
+	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	_, err = t.conn.Write(raw)
+	b0 := f.buf[0]
+	if dup {
+		b0 |= 0x08
+	}
+	if err := t.w.WriteByte(b0); err != nil {
+		return err
+	}
+	if f.pidOff == 0 {
+		_, err := t.w.Write(f.buf[1:])
+		return err
+	}
+	if _, err := t.w.Write(f.buf[1:f.pidOff]); err != nil {
+		return err
+	}
+	if err := t.w.WriteByte(byte(pid >> 8)); err != nil {
+		return err
+	}
+	if err := t.w.WriteByte(byte(pid)); err != nil {
+		return err
+	}
+	_, err := t.w.Write(f.buf[f.pidOff+2:])
 	return err
+}
+
+// Flush implements Flusher, pushing buffered frames to the socket.
+func (t *StreamTransport) Flush() error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.w.Flush()
 }
 
 // ReadPacket implements Transport.
@@ -101,11 +152,26 @@ func (t *SimTransport) WritePacket(p *Packet) error {
 		return ErrTransportClosed
 	default:
 	}
-	raw, err := p.Encode()
+	raw, err := p.appendEncode(getWire())
 	if err != nil {
+		putWire(raw)
 		return err
 	}
-	return t.ep.Send(raw)
+	// Ownership of raw transfers to the link; the receiving SimTransport
+	// recycles it after decode.
+	return t.ep.SendOwned(raw)
+}
+
+// WriteFrame implements FrameWriter: the shared frame is patched into a
+// pooled staging buffer and handed to the link without a second copy.
+func (t *SimTransport) WriteFrame(f *Frame, pid uint16, dup bool) error {
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	raw := f.appendPatched(getWire(), pid, dup)
+	return t.ep.SendOwned(raw)
 }
 
 // ReadPacket implements Transport.
@@ -115,7 +181,11 @@ func (t *SimTransport) ReadPacket() (*Packet, error) {
 		if !ok {
 			return nil, ErrTransportClosed
 		}
-		return Decode(raw)
+		p, err := Decode(raw)
+		// Decode copies topic/payload/granted out of raw, so the wire buffer
+		// can go straight back to the pool even on success.
+		putWire(raw)
+		return p, err
 	case <-t.closed:
 		return nil, ErrTransportClosed
 	}
@@ -176,6 +246,27 @@ func (t *SlowTransport) WritePacket(p *Packet) error {
 	if p.Type == PUBLISH {
 		t.pubs.Add(1)
 	}
+	return nil
+}
+
+// WriteFrame implements FrameWriter with the same delay/count semantics as
+// WritePacket (frames are always PUBLISH).
+func (t *SlowTransport) WriteFrame(f *Frame, pid uint16, dup bool) error {
+	if t.Delay > 0 {
+		timer := time.NewTimer(t.Delay)
+		select {
+		case <-timer.C:
+		case <-t.closed:
+			timer.Stop()
+			return ErrTransportClosed
+		}
+	}
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	t.pubs.Add(1)
 	return nil
 }
 

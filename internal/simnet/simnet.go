@@ -129,7 +129,15 @@ func (l *Link) pump() {
 // lost per the configured loss probability or an active partition — that is
 // the point of the simulation; Send only returns an error once the link is
 // closed.
-func (l *Link) Send(payload []byte) error {
+func (l *Link) Send(payload []byte) error { return l.send(payload, false) }
+
+// SendOwned enqueues one frame without copying: ownership of payload
+// transfers to the link (and ultimately to the receiver), so the caller must
+// not reuse the slice afterwards. This is the zero-copy path for pooled
+// encode buffers.
+func (l *Link) SendOwned(payload []byte) error { return l.send(payload, true) }
+
+func (l *Link) send(payload []byte, owned bool) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -155,8 +163,11 @@ func (l *Link) Send(payload []byte) error {
 	}
 	l.mu.Unlock()
 
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	cp := payload
+	if !owned {
+		cp = make([]byte, len(payload))
+		copy(cp, payload)
+	}
 	f := frame{payload: cp, deliverAt: time.Now().Add(delay)}
 	select {
 	case l.in <- f:
@@ -222,6 +233,10 @@ type Endpoint struct {
 
 // Send transmits toward the peer endpoint.
 func (e *Endpoint) Send(payload []byte) error { return e.send.Send(payload) }
+
+// SendOwned transmits toward the peer without copying; the slice becomes the
+// link's (see Link.SendOwned).
+func (e *Endpoint) SendOwned(payload []byte) error { return e.send.SendOwned(payload) }
 
 // Recv returns the channel of frames arriving from the peer.
 func (e *Endpoint) Recv() <-chan []byte { return e.recv.Recv() }
