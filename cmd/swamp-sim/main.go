@@ -11,7 +11,7 @@
 //
 //	swamp-sim -pilot matopiba -mode farm-fog        # one season
 //	swamp-sim -experiments                          # all experiment tables
-//	swamp-sim -ctxbench -devices 100000 -updates 1000000 -shards 16
+//	swamp-sim -ctxbench -devices 100000 -updates 1000000 -ctx-shards 16
 //	swamp-sim -tsbench -devices 10000 -points 5000000 -batch 256
 //	swamp-sim -tsbench -tslegacy ...                # same load, old engine
 //	swamp-sim -mqttbench -pubs 4 -fansubs 8 -msgs 2000 -stall 1ms
@@ -19,6 +19,12 @@
 //	swamp-sim -walbench -walpoints 200000 -walworkers 256         # WAL throughput + recovery
 //	swamp-sim -walbench -walingest -waldir D -walmanifest M       # crash-harness producer
 //	swamp-sim -walbench -walverify -waldir D -walmanifest M       # crash-harness checker
+//
+// Platform knobs (-pilot, -mode, -sealed, -seed, -ctx-shards, -ts-shards,
+// -ts-chunk, -mqtt-queue, ...) come from the shared config schema
+// (internal/config), so swampd and swamp-sim accept identical spellings
+// and SWAMP_* environment variables work here too. Bench-shape flags
+// (-devices, -updates, ...) stay local to this command.
 //
 // Every bench accepts -benchjson FILE to emit its headline metrics for
 // the CI regression guard (cmd/benchguard).
@@ -32,21 +38,17 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"github.com/swamp-project/swamp/internal/config"
 	"github.com/swamp-project/swamp/internal/core"
 )
 
 func main() {
 	var (
-		pilotName   = flag.String("pilot", "matopiba", "pilot: matopiba, guaspari, intercrop, cbec")
-		modeName    = flag.String("mode", "farm-fog", "deployment: cloud-only, farm-fog, mobile-fog")
-		sealed      = flag.Bool("sealed", false, "enable secchan payload encryption")
-		seed        = flag.Int64("seed", 1, "simulation seed")
 		experiments = flag.Bool("experiments", false, "run the full experiment suite instead of a season")
 
 		ctxbench = flag.Bool("ctxbench", false, "stress the context broker instead of a season")
 		devices  = flag.Int("devices", 100_000, "ctxbench/tsbench: simulated device count")
 		updates  = flag.Int("updates", 1_000_000, "ctxbench: total attribute updates to apply")
-		shards   = flag.Int("shards", 0, "ctxbench/tsbench: shard count (0 = default)")
 		subs     = flag.Int("subs", 1000, "ctxbench: live subscriptions during the run")
 		workers  = flag.Int("workers", 8, "ctxbench/tsbench: concurrent writer goroutines")
 		batch    = flag.Int("batch", 64, "ctxbench/tsbench: entities (or points) per batch (1 = unbatched)")
@@ -54,7 +56,6 @@ func main() {
 		tsbench  = flag.Bool("tsbench", false, "stress the time-series engine instead of a season")
 		points   = flag.Int("points", 5_000_000, "tsbench: total points to append")
 		queries  = flag.Int("queries", 10_000, "tsbench: summarize+downsample query pairs after the load")
-		chunk    = flag.Int("chunk", 0, "tsbench: points per sealed chunk (0 = default)")
 		qwindow  = flag.Duration("qwindow", time.Hour, "tsbench: downsample window for the query phase")
 		tslegacy = flag.Bool("tslegacy", false, "tsbench: drive the legacy flat-slice engine for comparison")
 
@@ -67,7 +68,6 @@ func main() {
 		pubs      = flag.Int("pubs", 4, "mqttbench: concurrent publisher clients")
 		fansubs   = flag.Int("fansubs", 8, "mqttbench: healthy subscriber clients")
 		msgs      = flag.Int("msgs", 2000, "mqttbench: total messages published")
-		mqttqueue = flag.Int("mqttqueue", 0, "mqttbench: per-session outbound queue bound (0 = default)")
 		stall     = flag.Duration("stall", time.Millisecond, "mqttbench: per-write delay of the stalled session")
 
 		walbench    = flag.Bool("walbench", false, "stress the durability plane (group-committed WAL appends + recovery)")
@@ -84,8 +84,18 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
+	overlay := config.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	benchJSONPath = *benchjson
+
+	// Platform knobs resolve through the shared layered loader, so
+	// -ctx-shards / SWAMP_TIMESERIES_SHARDS / etc. mean the same thing
+	// here as in swampd. Benches read the knobs they care about below.
+	cfg, _, err := (&config.Loader{Flags: overlay}).Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -123,7 +133,7 @@ func main() {
 		}
 	case *ctxbench:
 		if err := runCtxBench(ctxBenchConfig{
-			Devices: *devices, Updates: *updates, Shards: *shards,
+			Devices: *devices, Updates: *updates, Shards: cfg.NGSI.Shards,
 			Subs: *subs, Workers: *workers, Batch: *batch,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
@@ -139,7 +149,7 @@ func main() {
 		}
 	case *mqttbench:
 		if err := runMQTTBench(mqttBenchConfig{
-			Pubs: *pubs, Subs: *fansubs, Msgs: *msgs, Queue: *mqttqueue, Stall: *stall,
+			Pubs: *pubs, Subs: *fansubs, Msgs: *msgs, Queue: cfg.MQTT.SessionQueue, Stall: *stall,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)
@@ -156,49 +166,37 @@ func main() {
 	case *tsbench:
 		if err := runTSBench(tsBenchConfig{
 			Devices: *devices, Points: *points, Workers: *workers, Batch: *batch,
-			Queries: *queries, Shards: *shards, ChunkSize: *chunk,
+			Queries: *queries, Shards: cfg.Timeseries.Shards, ChunkSize: cfg.Timeseries.ChunkSize,
 			Window: *qwindow, Legacy: *tslegacy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)
 		}
 	default:
-		if err := runSeason(*pilotName, *modeName, *sealed, *seed); err != nil {
+		if err := runSeason(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "cloud-only":
-		return core.ModeCloudOnly, nil
-	case "farm-fog":
-		return core.ModeFarmFog, nil
-	case "mobile-fog":
-		return core.ModeMobileFog, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
-}
-
-func runSeason(pilotName, modeName string, sealed bool, seed int64) error {
-	pilot, err := core.PilotByName(pilotName)
+func runSeason(cfg *config.Config) error {
+	pilot, err := core.PilotByName(cfg.Server.Pilot)
 	if err != nil {
 		return err
 	}
-	mode, err := parseMode(modeName)
+	mode, err := core.ParseMode(cfg.Server.Mode)
 	if err != nil {
 		return err
 	}
-	p, err := core.New(core.Options{Pilot: pilot, Mode: mode, Sealed: sealed, Seed: seed})
+	p, err := core.New(core.Options{Pilot: pilot, Mode: mode, Sealed: cfg.Server.Sealed, Seed: cfg.Sim.Seed})
 	if err != nil {
 		return err
 	}
 	defer p.Close()
 
 	fmt.Printf("running %s season (%d days) in %s mode, sealed=%v ...\n",
-		pilot.Name, pilot.Crop.SeasonDays(), mode, sealed)
+		pilot.Name, pilot.Crop.SeasonDays(), mode, cfg.Server.Sealed)
 	start := time.Now()
 	rep, err := p.RunSeason(core.SeasonHooks{})
 	if err != nil {

@@ -1,141 +1,263 @@
 // Command swampd runs a SWAMP platform as a long-lived daemon: the MQTT
 // broker listens on a real TCP port (external devices and dashboards can
 // connect with any MQTT 3.1.1 client), the simulated pilot devices feed it,
-// and the decision loop runs on a wall-clock cadence. SIGINT shuts down
-// cleanly.
+// and the decision loop runs on a wall-clock cadence.
+//
+// Configuration is layered: schema defaults, then the -config file (TOML,
+// or JSON by extension), then SWAMP_* environment variables, then any
+// explicitly set command-line flag — last writer wins. -config-check
+// resolves the stack, prints every knob with its provenance, and exits.
+//
+// The HTTP listener comes up before the platform constructs, so the
+// operational surface is honest about startup: /healthz is 200 as soon as
+// the port is bound, /readyz is 503 until WAL recovery completes (and
+// again whenever the aggregate MQTT queue depth exceeds
+// server.ready_queue_watermark), and API routes return 503 "starting"
+// until the platform attaches. SIGHUP and POST /admin/reload re-resolve
+// the config stack and apply dynamic knobs validate-then-swap; SIGINT and
+// SIGTERM drain the HTTP server gracefully and exit 0.
 //
 // Usage:
 //
+//	swampd -config swampd.toml
 //	swampd -pilot intercrop -mode farm-fog -listen 127.0.0.1:1883 -interval 2s
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/swamp-project/swamp/internal/config"
 	"github.com/swamp-project/swamp/internal/core"
 	"github.com/swamp-project/swamp/internal/httpapi"
+	"github.com/swamp-project/swamp/internal/metrics"
 )
 
 func main() {
-	var (
-		pilotName = flag.String("pilot", "matopiba", "pilot: matopiba, guaspari, intercrop, cbec")
-		modeName  = flag.String("mode", "farm-fog", "deployment: cloud-only, farm-fog, mobile-fog")
-		listen    = flag.String("listen", "127.0.0.1:1883", "MQTT TCP listen address")
-		httpAddr  = flag.String("http", "127.0.0.1:8026", "HTTP API listen address (empty disables)")
-		interval  = flag.Duration("interval", 2*time.Second, "sensor sampling / decision interval")
-		sealed    = flag.Bool("sealed", false, "enable secchan payload encryption")
-		mqttQueue = flag.Int("mqtt-queue", 0, "per-session MQTT outbound queue bound (0 = default)")
-		mqttRetry = flag.Duration("mqtt-retry", 0, "MQTT QoS 1 redelivery interval (0 = default 1s)")
-		mqttFlush = flag.Int("mqtt-flush-watermark", 0, "MQTT session writer flush watermark in bytes (0 = default 8KiB, negative = flush per packet)")
-		mqttRC    = flag.Int("mqtt-route-cache", 0, "MQTT topic route cache capacity (0 = default 4096, negative = disabled)")
-		whWorkers = flag.Int("webhook-workers", 0, "concurrent webhook notification deliveries (0 = default)")
-		whRetry   = flag.Duration("webhook-retry", 0, "first webhook retry backoff, doubling per attempt (0 = default)")
-		queryCap  = flag.Int("query-cap", 0, "hard cap on /v2/entities page sizes (0 = default)")
-		walDir    = flag.String("wal-dir", "", "durability: WAL+snapshot directory (empty = in-memory only; existing state is recovered on start)")
-		walSeg    = flag.Int64("wal-segment-bytes", 0, "durability: WAL segment roll threshold (0 = default 8MiB)")
-		walFsync  = flag.Duration("wal-fsync-interval", 0, "durability: group-commit coalescing window (0 = fsync when the commit queue drains)")
-		snapEvery = flag.Duration("snapshot-interval", 0, "durability: snapshot + WAL truncation cadence (0 = default 5m)")
-	)
+	configPath := flag.String("config", "", "config file (TOML; .json for JSON); flags and SWAMP_* env override it")
+	configCheck := flag.Bool("config-check", false, "resolve the config stack, print every knob with provenance, and exit")
+	overlay := config.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*pilotName, *modeName, *listen, *httpAddr, *interval, core.Options{
-		Sealed:           *sealed,
-		MQTTSessionQueue: *mqttQueue, MQTTRetryInterval: *mqttRetry,
-		MQTTFlushWatermark: *mqttFlush, MQTTRouteCache: *mqttRC,
-		WebhookWorkers: *whWorkers, WebhookRetry: *whRetry, QueryResultCap: *queryCap,
-		WALDir: *walDir, WALSegmentBytes: *walSeg,
-		WALFsyncInterval: *walFsync, SnapshotInterval: *snapEvery,
-	}); err != nil {
+
+	loader := &config.Loader{Path: *configPath, Flags: overlay}
+	cfg, prov, err := loader.Load()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "swampd:", err)
+		os.Exit(1)
+	}
+	if *configCheck {
+		fmt.Print(config.Describe(cfg, prov))
+		return
+	}
+	logger := newLogger(cfg.Log)
+	slog.SetDefault(logger)
+	if err := run(loader, cfg, logger); err != nil {
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, opts core.Options) error {
-	pilot, err := core.PilotByName(pilotName)
+// newLogger builds the structured logger from the [log] section.
+func newLogger(lc config.Log) *slog.Logger {
+	var lvl slog.Level
+	switch lc.Level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if lc.Format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
+	reg := metrics.NewRegistry()
+	config.ExportGauges(reg, cfg)
+
+	// Reload state. cfgMu serialises SIGHUP and POST /admin/reload; the
+	// platform and API pointers are atomic because the HTTP mux reads them
+	// before core.New has finished.
+	var (
+		cfgMu    sync.Mutex
+		platform atomic.Pointer[core.Platform]
+		api      atomic.Pointer[httpapi.Server]
+		ready    atomic.Bool
+	)
+	current := cfg
+
+	doReload := func() ([]string, error) {
+		cfgMu.Lock()
+		defer cfgMu.Unlock()
+		candidate, _, err := loader.Load()
+		if err != nil {
+			return nil, err
+		}
+		applied, err := config.ValidateReload(current, candidate)
+		if err != nil {
+			return nil, err
+		}
+		if p := platform.Load(); p != nil {
+			p.ApplyDynamic(candidate)
+		}
+		if a := api.Load(); a != nil {
+			a.SetQueryCap(candidate.HTTP.QueryCap)
+		}
+		config.ExportGauges(reg, candidate)
+		current = candidate
+		return applied, nil
+	}
+	var reloadHook func() ([]string, error)
+	if loader.Path != "" {
+		reloadHook = doReload // without a file the stack cannot change at runtime
+	}
+
+	watermark := cfg.Server.ReadyQueueWatermark
+	readiness := func() error {
+		if !ready.Load() {
+			return errors.New("platform starting (WAL recovery in progress)")
+		}
+		if watermark > 0 {
+			if depth := reg.Gauge("mqtt.queue.depth").Value(); depth > float64(watermark) {
+				return fmt.Errorf("mqtt queue depth %.0f above watermark %d", depth, watermark)
+			}
+		}
+		return nil
+	}
+	ops := httpapi.NewOps(reg, readiness, reloadHook)
+
+	// Bind and serve HTTP before the (possibly long) platform construction,
+	// so /readyz can report 503 during WAL recovery instead of the port
+	// simply not existing yet.
+	var httpSrv *http.Server
+	if cfg.Server.HTTPListen != "" {
+		httpLn, err := net.Listen("tcp", cfg.Server.HTTPListen)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if ops.Handles(r.URL.Path) {
+				ops.ServeHTTP(w, r)
+				return
+			}
+			if a := api.Load(); a != nil {
+				a.ServeHTTP(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"starting","description":"platform is constructing; poll /readyz"}`)
+		})}
+		go func() {
+			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("http", "err", err)
+			}
+		}()
+		logger.Info("http listening", "addr", httpLn.Addr().String())
+	}
+
+	opts, err := core.OptionsFromConfig(cfg)
 	if err != nil {
 		return err
 	}
-	var mode core.Mode
-	switch modeName {
-	case "cloud-only":
-		mode = core.ModeCloudOnly
-	case "farm-fog":
-		mode = core.ModeFarmFog
-	case "mobile-fog":
-		mode = core.ModeMobileFog
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+	opts.Metrics = reg
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
 	}
-
-	opts.Pilot = pilot
-	opts.Mode = mode
-	opts.Seed = time.Now().UnixNano()
 	p, err := core.New(opts)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+	platform.Store(p)
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.Server.Listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	go func() {
 		if err := p.Broker.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
-			fmt.Fprintln(os.Stderr, "swampd: broker:", err)
+			logger.Error("broker", "err", err)
 		}
 	}()
-	if httpAddr != "" {
-		api, err := httpapi.NewServer(httpapi.Config{
+
+	if cfg.Server.HTTPListen != "" {
+		a, err := httpapi.NewServer(httpapi.Config{
 			Context: p.Context, Tokens: p.Tokens, PEP: p.PEP,
-			Analytics: p.Analytics, Metrics: p.Metrics(),
+			Analytics: p.Analytics, Metrics: reg,
 			Webhooks:      p.Webhooks,
-			QueryMaxLimit: opts.QueryResultCap,
+			QueryMaxLimit: cfg.HTTP.QueryCap,
 		})
 		if err != nil {
 			return err
 		}
-		defer api.Close()
-		httpLn, err := net.Listen("tcp", httpAddr)
-		if err != nil {
-			return err
-		}
-		defer httpLn.Close()
-		go func() {
-			if err := http.Serve(httpLn, api); err != nil && !errors.Is(err, net.ErrClosed) {
-				fmt.Fprintln(os.Stderr, "swampd: http:", err)
-			}
-		}()
-		fmt.Printf("swampd: http API on %s (POST /oauth/token, GET /v2/entities?q=&limit=, /v2/subscriptions, /healthz, /metrics)\n", httpLn.Addr())
+		defer a.Close()
+		api.Store(a)
 	}
-	fmt.Printf("swampd: pilot=%s mode=%s mqtt=%s sealed=%v\n", pilot.Name, mode, ln.Addr(), opts.Sealed)
+	ready.Store(true)
+
+	logger.Info("swampd up",
+		"pilot", opts.Pilot.Name, "mode", opts.Mode.String(),
+		"mqtt", ln.Addr().String(), "sealed", opts.Sealed)
 	if p.Durable != nil {
 		st := p.Durable.Recovered
-		fmt.Printf("swampd: wal=%s recovered %d snapshot + %d tail records (torn=%v) — entities=%d points=%d\n",
-			opts.WALDir, st.SnapshotRecords, st.TailRecords, st.Torn,
-			p.Context.EntityCount(), p.Store.Stats().Points)
+		logger.Info("wal recovered",
+			"dir", cfg.WAL.Dir, "snapshot_records", st.SnapshotRecords,
+			"tail_records", st.TailRecords, "torn", st.Torn,
+			"entities", p.Context.EntityCount(), "points", p.Store.Stats().Points)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 
-	tick := time.NewTicker(interval)
+	tick := time.NewTicker(cfg.Server.Interval)
 	defer tick.Stop()
+	pilot := opts.Pilot
 	day := 0
 	for {
 		select {
 		case <-stop:
-			fmt.Println("\nswampd: shutting down")
+			logger.Info("shutting down")
+			if httpSrv != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := httpSrv.Shutdown(ctx)
+				cancel()
+				if err != nil {
+					logger.Warn("http drain", "err", err)
+				}
+			}
 			return nil
+		case <-hup:
+			if reloadHook == nil {
+				logger.Warn("SIGHUP ignored: no -config file to reload from")
+				continue
+			}
+			applied, err := doReload()
+			if err != nil {
+				logger.Error("reload rejected", "err", err)
+				continue
+			}
+			logger.Info("config reloaded", "applied", applied)
 		case at := <-tick.C:
 			// Each tick is one accelerated "day" of the pilot.
 			doy := (pilot.SeasonStartDOY+day-1)%365 + 1
@@ -143,25 +265,27 @@ func run(pilotName, modeName, listen, httpAddr string, interval time.Duration, o
 			p.Station.SetDay(wd)
 			p.Decision.SetSeasonDay(day % pilot.Crop.SeasonDays())
 			if err := p.PumpOnce(at, 5*time.Second); err != nil {
-				fmt.Fprintln(os.Stderr, "swampd: pump:", err)
+				logger.Error("pump", "err", err)
 				continue
 			}
 			cmds, err := p.DecideOnce(at)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "swampd: decide:", err)
+				logger.Error("decide", "err", err)
 			}
 			vec, _, err := p.Decision.PrescriptionFromCommands(cmds, p.Field.Grid.NumCells())
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "swampd: prescription:", err)
+				logger.Error("prescription", "err", err)
 				continue
 			}
 			if _, err := p.Field.StepAll(4, wd.RainMM, vec); err != nil {
-				fmt.Fprintln(os.Stderr, "swampd: soil:", err)
+				logger.Error("soil", "err", err)
 				continue
 			}
 			mean, min, max := p.Field.MoistureStats()
-			fmt.Printf("day %3d: ctx-entities=%d commands=%d moisture=%.3f [%.3f..%.3f] sessions=%d\n",
-				day, p.Context.EntityCount(), len(cmds), mean, min, max, p.Broker.SessionCount())
+			logger.Info("day",
+				"day", day, "entities", p.Context.EntityCount(), "commands", len(cmds),
+				"moisture", fmt.Sprintf("%.3f [%.3f..%.3f]", mean, min, max),
+				"sessions", p.Broker.SessionCount())
 			day++
 		}
 	}

@@ -19,37 +19,54 @@
 // segmented, group-committed write-ahead log plus point-in-time
 // snapshots under the context broker and the time-series engine, with
 // corruption-tolerant crash recovery on startup. Enable it with
-// core.Options.WALDir / swampd -wal-dir; tune with -wal-segment-bytes,
-// -wal-fsync-interval and -snapshot-interval (DESIGN.md §7 has the full
-// knob table and the recovery protocol). New segments use the binary v2
-// record codec (per-segment string interning, delta-encoded telemetry
-// timestamps); v1 JSON segments and snapshots replay forever.
+// wal.dir / swampd -wal-dir (DESIGN.md §7 has the recovery protocol).
+// New segments use the binary v2 record codec (per-segment string
+// interning, delta-encoded telemetry timestamps); v1 JSON segments and
+// snapshots replay forever.
 //
-// Hot-path knobs (DESIGN.md §8 has the invariants):
+// Every operational knob lives in one typed schema (internal/config),
+// resolved in layers — declared defaults, then a -config file (TOML, or
+// JSON by extension), then SWAMP_* environment variables, then
+// explicitly set flags, last writer wins with per-knob provenance
+// (swampd -config-check prints the resolved stack). The spellings are
+// mechanical: knob timeseries.retention ⇔ flag -ts-retention ⇔ env
+// SWAMP_TIMESERIES_RETENTION. core.Options is a compatibility shim
+// derived from the schema via core.OptionsFromConfig. The knobs, per
+// section (defaults in parentheses; (dyn) = reloadable at runtime via
+// SIGHUP or POST /admin/reload, validate-then-swap — a bad file or a
+// static-field change applies nothing and reports every violation):
 //
-//	core.Options.AuditRingSize      PEP audit ring capacity (default 4096;
-//	                                overflow counts security.audit.dropped)
-//	core.Options.TokenPurgeInterval token purge cadence (default 1m,
-//	                                0 = default, negative disables)
-//	core.Options.SecurityClock      clock driving token expiry and purge
-//	                                (wall clock by default, Sim in tests)
+//	server      listen (127.0.0.1:1883), http_listen (127.0.0.1:8026),
+//	            pilot (matopiba), mode (farm-fog), interval (2s),
+//	            sealed (false), ready_queue_watermark (100000)
+//	log         level (info), format (text)
+//	mqtt        session_queue (256, dyn), retry_interval (1s),
+//	            flush_watermark (8192, dyn), route_cache (4096, dyn)
+//	ngsi        shards (8), agent_batch_interval (2ms),
+//	            fog_sync_batches (32)
+//	timeseries  shards (8), chunk_size (512), retention (0s, dyn),
+//	            eviction_interval (1m)
+//	wal         dir (""), segment_bytes (8MiB), fsync_interval (0s),
+//	            snapshot_interval (5m, dyn)
+//	webhooks    workers (8, dyn), retry_backoff (250ms, dyn), queue (64)
+//	security    audit_ring (4096), token_purge_interval (1m)
+//	http        query_cap (1000, dyn), default_limit (100)
+//	sim         seed (1; swampd derives 0 from the clock),
+//	            backhaul_latency (0s)
+//
+// swampd's operational surface (DESIGN.md §9): /healthz liveness,
+// /readyz readiness (503 until WAL recovery completes or while the MQTT
+// queue depth exceeds server.ready_queue_watermark), /metrics in
+// Prometheus text exposition format with every knob exported as a
+// config.<name> gauge, POST /admin/reload, structured log/slog logging,
+// graceful drain on SIGINT/SIGTERM. examples/swampd.toml is a commented
+// starting point.
 //
 // The MQTT broker's fan-out is zero-allocation in steady state: a
 // copy-on-write subscription trie read through one atomic load, an
 // epoch-validated topic→subscribers route cache, publishes encoded once
 // into refcounted shared frames, and per-session writers that coalesce
-// whole-queue drains into single buffered flushes (DESIGN.md §4):
-//
-//	core.Options.MQTTSessionQueue   per-session outbound queue bound
-//	                                (default 256; swampd -mqtt-queue)
-//	core.Options.MQTTRetryInterval  QoS 1 redelivery / keepalive cadence
-//	                                (default 1s; swampd -mqtt-retry)
-//	core.Options.MQTTFlushWatermark writer flush threshold in bytes
-//	                                (default 8KiB, negative = per-packet
-//	                                flush; swampd -mqtt-flush-watermark)
-//	core.Options.MQTTRouteCache     route cache capacity (default 4096,
-//	                                negative disables; swampd
-//	                                -mqtt-route-cache)
+// whole-queue drains into single buffered flushes (DESIGN.md §4).
 //
 // The northbound GET /v2/entities path memoizes rendered responses,
 // invalidated by the context broker's mutation epoch (ngsi.Broker.Epoch);

@@ -1,0 +1,349 @@
+package config
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Validate(Default()); err != nil {
+		t.Fatalf("declared defaults must validate: %v", err)
+	}
+}
+
+func TestOverlayPrecedence(t *testing.T) {
+	// File sets three knobs; env overrides one of them plus a fourth;
+	// a flag overrides one of the env values. Last writer wins.
+	path := writeFile(t, "swampd.toml", `
+[mqtt]
+flush_watermark = 1024
+session_queue = 512
+
+[timeseries]
+retention = "48h"
+`)
+	env := map[string]string{
+		"SWAMP_MQTT_FLUSH_WATERMARK": "2048",
+		"SWAMP_WEBHOOKS_WORKERS":     "3",
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	overlay := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-mqtt-flush-watermark", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+	l := &Loader{Path: path, Flags: overlay, Env: func(k string) string { return env[k] }}
+	c, prov, err := l.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	if got := c.MQTT.FlushWatermark; got != 4096 {
+		t.Errorf("flush_watermark = %d, want 4096 (flag beats env beats file)", got)
+	}
+	if got := c.MQTT.SessionQueue; got != 512 {
+		t.Errorf("session_queue = %d, want 512 (file)", got)
+	}
+	if got := c.Timeseries.Retention; got != 48*time.Hour {
+		t.Errorf("retention = %s, want 48h (file)", got)
+	}
+	if got := c.Webhooks.Workers; got != 3 {
+		t.Errorf("webhook workers = %d, want 3 (env)", got)
+	}
+	if got := c.MQTT.RouteCache; got != 4096 {
+		t.Errorf("route_cache = %d, want default 4096", got)
+	}
+
+	wantProv := map[string]Source{
+		"mqtt.flush_watermark": SourceFlag,
+		"mqtt.session_queue":   SourceFile,
+		"timeseries.retention": SourceFile,
+		"webhooks.workers":     SourceEnv,
+		"mqtt.route_cache":     SourceDefault,
+	}
+	for name, want := range wantProv {
+		if got := prov[name]; got != want {
+			t.Errorf("provenance[%s] = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestUnsetFlagDoesNotShadowFile(t *testing.T) {
+	path := writeFile(t, "swampd.toml", "[mqtt]\nsession_queue = 99\n")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	overlay := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := (&Loader{Path: path, Flags: overlay, Env: func(string) string { return "" }}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MQTT.SessionQueue != 99 {
+		t.Fatalf("session_queue = %d, want 99: declared-but-unset flag shadowed the file", c.MQTT.SessionQueue)
+	}
+}
+
+func TestAggregatedErrors(t *testing.T) {
+	// One unknown key, one unparseable value, one bounds violation, one
+	// bad env var: all four must surface in a single error.
+	path := writeFile(t, "swampd.toml", `
+[mqtt]
+bogus_knob = 1
+session_queue = "not-a-number"
+
+[timeseries]
+chunk_size = 1
+`)
+	env := map[string]string{"SWAMP_WEBHOOKS_WORKERS": "zero"}
+	c, _, err := (&Loader{Path: path, Env: func(k string) string { return env[k] }}).Load()
+	if err == nil {
+		t.Fatal("want aggregated error, got nil")
+	}
+	if c == nil {
+		t.Fatal("config should still be returned alongside validation errors")
+	}
+	errs, ok := err.(Errors)
+	if !ok {
+		t.Fatalf("error type = %T, want Errors", err)
+	}
+	if len(errs) != 4 {
+		t.Fatalf("got %d errors, want 4:\n%v", len(errs), err)
+	}
+	msg := err.Error()
+	for _, frag := range []string{
+		"mqtt.bogus_knob", "unknown setting",
+		"mqtt.session_queue",
+		"timeseries.chunk_size",
+		"webhooks.workers", "SWAMP_WEBHOOKS_WORKERS",
+	} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("aggregated error missing %q:\n%s", frag, msg)
+		}
+	}
+}
+
+func TestTOMLParser(t *testing.T) {
+	src := `
+# full-line comment
+[server]
+listen = "0.0.0.0:1883"   # trailing comment
+pilot = "gua#spari"       # hash inside quotes survives
+sealed = true
+
+[log]
+level = "debug"
+`
+	sections, err := parseTOML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sections["server"]["listen"]; got != "0.0.0.0:1883" {
+		t.Errorf("listen = %q", got)
+	}
+	if got := sections["server"]["pilot"]; got != "gua#spari" {
+		t.Errorf("pilot = %q, want hash preserved inside quotes", got)
+	}
+	if got := sections["server"]["sealed"]; got != "true" {
+		t.Errorf("sealed = %q", got)
+	}
+	if got := sections["log"]["level"]; got != "debug" {
+		t.Errorf("level = %q", got)
+	}
+
+	for _, bad := range []string{
+		"key = 1",                      // key outside any section
+		"[server]\nlisten = [1, 2]",    // array
+		"[server]\nlisten = 'literal'", // literal string
+		"[server]\nlisten = \"open",    // unterminated
+		"[server]\nx = 1\nx = 2",       // duplicate key
+		"[server\nlisten = \"a\"",      // malformed header
+		"[server]\nbad key = 1",        // space in key
+	} {
+		if _, err := parseTOML(bad); err == nil {
+			t.Errorf("parseTOML(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestJSONConfig(t *testing.T) {
+	path := writeFile(t, "swampd.json", `{
+  "mqtt": {"session_queue": 77, "flush_watermark": -1},
+  "wal": {"snapshot_interval": "30s"},
+  "server": {"sealed": true}
+}`)
+	c, prov, err := (&Loader{Path: path, Env: func(string) string { return "" }}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MQTT.SessionQueue != 77 || c.MQTT.FlushWatermark != -1 {
+		t.Errorf("mqtt = %+v", c.MQTT)
+	}
+	if c.WAL.SnapshotInterval != 30*time.Second {
+		t.Errorf("snapshot_interval = %s", c.WAL.SnapshotInterval)
+	}
+	if !c.Server.Sealed {
+		t.Error("sealed not set from JSON bool")
+	}
+	if prov["wal.snapshot_interval"] != SourceFile {
+		t.Errorf("provenance = %s", prov["wal.snapshot_interval"])
+	}
+}
+
+func TestValidateReloadDynamicOnly(t *testing.T) {
+	cur := Default()
+	cand := Default()
+	cand.MQTT.FlushWatermark = 1 << 20
+	cand.Webhooks.Retry = time.Second
+	dynamic, err := ValidateReload(cur, cand)
+	if err != nil {
+		t.Fatalf("dynamic-only reload rejected: %v", err)
+	}
+	want := map[string]bool{"mqtt.flush_watermark": true, "webhooks.retry_backoff": true}
+	if len(dynamic) != len(want) {
+		t.Fatalf("dynamic = %v, want %v", dynamic, want)
+	}
+	for _, name := range dynamic {
+		if !want[name] {
+			t.Errorf("unexpected dynamic field %s", name)
+		}
+	}
+}
+
+func TestValidateReloadRejectsStatic(t *testing.T) {
+	cur := Default()
+	cand := Default()
+	cand.MQTT.FlushWatermark = 1 << 20 // dynamic — fine on its own
+	cand.Timeseries.Shards = 32        // static — poisons the reload
+	dynamic, err := ValidateReload(cur, cand)
+	if err == nil {
+		t.Fatal("static change must reject the reload")
+	}
+	if dynamic != nil {
+		t.Fatalf("rejected reload must apply nothing, got dynamic=%v", dynamic)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "timeseries.shards") || !strings.Contains(msg, "restart required") {
+		t.Errorf("error should name the static field and demand a restart:\n%s", msg)
+	}
+}
+
+func TestValidateReloadRejectsInvalidCandidate(t *testing.T) {
+	cur := Default()
+	cand := Default()
+	cand.Webhooks.Workers = 0 // below min
+	if _, err := ValidateReload(cur, cand); err == nil {
+		t.Fatal("invalid candidate must reject the reload")
+	}
+}
+
+func TestCrossFieldValidation(t *testing.T) {
+	c := Default()
+	c.HTTP.DefaultLimit = 5000 // exceeds query_cap 1000
+	err := Validate(c)
+	if err == nil || !strings.Contains(err.Error(), "http.query_cap") {
+		t.Fatalf("cross-field violation not reported: %v", err)
+	}
+
+	c = Default()
+	c.Timeseries.Retention = time.Minute
+	c.Timeseries.EvictionInterval = time.Hour
+	if err := Validate(c); err == nil {
+		t.Fatal("eviction interval beyond retention window not reported")
+	}
+}
+
+func TestOneofAndBounds(t *testing.T) {
+	c := Default()
+	c.Server.Mode = "peer-to-peer"
+	if err := Validate(c); err == nil || !strings.Contains(err.Error(), "server.mode") {
+		t.Fatalf("oneof violation not reported: %v", err)
+	}
+
+	f, ok := FieldByName("timeseries.chunk_size")
+	if !ok {
+		t.Fatal("missing field")
+	}
+	c = Default()
+	if err := f.Set(c, "1"); err != nil {
+		t.Fatal(err) // Set parses; bounds are a Validate concern
+	}
+	if err := Validate(c); err == nil {
+		t.Fatal("chunk_size below min accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	path := writeFile(t, "swampd.toml", "[mqtt]\nflush_watermark = 123\n")
+	c, prov, err := (&Loader{Path: path, Env: func(string) string { return "" }}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(c, prov)
+	if !strings.Contains(out, "mqtt.flush_watermark") || !strings.Contains(out, "(file)") {
+		t.Errorf("Describe missing file-sourced knob:\n%s", out)
+	}
+	if !strings.Contains(out, "(default)") {
+		t.Errorf("Describe missing default-sourced knobs:\n%s", out)
+	}
+	// Every schema field appears exactly once.
+	for _, f := range Fields() {
+		if !strings.Contains(out, f.Name+" ") && !strings.Contains(out, f.Name+"=") && !strings.Contains(out, f.Name) {
+			t.Errorf("Describe missing %s", f.Name)
+		}
+	}
+}
+
+func TestEnvNamesDerived(t *testing.T) {
+	f, ok := FieldByName("mqtt.flush_watermark")
+	if !ok {
+		t.Fatal("missing field")
+	}
+	if f.Env != "SWAMP_MQTT_FLUSH_WATERMARK" {
+		t.Fatalf("env name = %s", f.Env)
+	}
+}
+
+func TestDynamicSetMatchesIssueList(t *testing.T) {
+	want := map[string]bool{
+		"mqtt.session_queue":     true,
+		"mqtt.flush_watermark":   true,
+		"mqtt.route_cache":       true,
+		"timeseries.retention":   true,
+		"wal.snapshot_interval":  true,
+		"webhooks.workers":       true,
+		"webhooks.retry_backoff": true,
+		"http.query_cap":         true,
+	}
+	got := map[string]bool{}
+	for _, f := range Fields() {
+		if f.Dynamic {
+			got[f.Name] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dynamic fields = %v, want %v", got, want)
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("field %s not marked dynamic", name)
+		}
+	}
+}
+
+func TestMissingFileIsError(t *testing.T) {
+	if _, _, err := (&Loader{Path: "/nonexistent/swampd.toml"}).Load(); err == nil {
+		t.Fatal("missing config file silently ignored")
+	}
+}

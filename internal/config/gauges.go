@@ -1,0 +1,32 @@
+package config
+
+import (
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// ExportGauges publishes every numeric knob's resolved value as a
+// config.<name> gauge (durations in seconds, booleans as 0/1; strings
+// have no gauge form and are skipped). swampd calls it at boot and after
+// every successful reload, so the live knob surface is observable at
+// /metrics — the ops drill asserts a reloaded knob through exactly this.
+func ExportGauges(reg *metrics.Registry, c *Config) {
+	for _, f := range Fields() {
+		g := func() *metrics.Gauge { return reg.Gauge("config." + f.Name) }
+		switch val := f.Get(c).(type) {
+		case time.Duration:
+			g().Set(val.Seconds())
+		case int:
+			g().Set(float64(val))
+		case int64:
+			g().Set(float64(val))
+		case bool:
+			if val {
+				g().Set(1)
+			} else {
+				g().Set(0)
+			}
+		}
+	}
+}

@@ -1,0 +1,426 @@
+// Package config is the platform's configuration plane: one typed,
+// validated schema covering every operational knob, a layered loader
+// (defaults → config file → SWAMP_* environment → command-line flags,
+// last writer wins) with per-knob provenance, and the dynamic-reload
+// protocol swampd's SIGHUP / POST /admin/reload surface is built on.
+//
+// The schema is the single source of truth: flag declarations, env
+// variable names, defaults, validation bounds and the DESIGN.md knob
+// table are all derived from the struct tags below, so a knob added once
+// appears in swampd, swamp-sim and the documentation without hand-copied
+// declarations.
+//
+// Tag grammar (on leaf fields):
+//
+//	knob:"flush_watermark"       key within the section ([mqtt] table key)
+//	flag:"mqtt-flush-watermark"  command-line flag name
+//	default:"8192"               literal default, parsed per field type
+//	dynamic:"true"               reloadable at runtime (validate-then-swap)
+//	min:"-1" max:"65536"         numeric bounds (inclusive), type-aware
+//	oneof:"a,b,c"                enumerated string values
+//	usage:"..."                  one-line help, shared by flags and docs
+//
+// Environment variable names derive mechanically from the field name:
+// section "mqtt" + knob "flush_watermark" → SWAMP_MQTT_FLUSH_WATERMARK.
+package config
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config is the full resolved configuration, one struct per plane.
+type Config struct {
+	Server     Server     `section:"server"`
+	Log        Log        `section:"log"`
+	MQTT       MQTT       `section:"mqtt"`
+	NGSI       NGSI       `section:"ngsi"`
+	Timeseries Timeseries `section:"timeseries"`
+	WAL        WAL        `section:"wal"`
+	Webhooks   Webhooks   `section:"webhooks"`
+	Security   Security   `section:"security"`
+	HTTP       HTTP       `section:"http"`
+	Sim        Sim        `section:"sim"`
+}
+
+// Server configures the swampd daemon itself.
+type Server struct {
+	Listen              string        `knob:"listen" flag:"listen" default:"127.0.0.1:1883" usage:"MQTT TCP listen address"`
+	HTTPListen          string        `knob:"http_listen" flag:"http" default:"127.0.0.1:8026" usage:"HTTP API listen address (empty disables)"`
+	Pilot               string        `knob:"pilot" flag:"pilot" default:"matopiba" usage:"pilot: matopiba, guaspari, intercrop, cbec"`
+	Mode                string        `knob:"mode" flag:"mode" default:"farm-fog" oneof:"cloud-only,farm-fog,mobile-fog" usage:"deployment mode"`
+	Interval            time.Duration `knob:"interval" flag:"interval" default:"2s" min:"1ms" usage:"sensor sampling / decision interval"`
+	Sealed              bool          `knob:"sealed" flag:"sealed" default:"false" usage:"enable secchan payload encryption"`
+	ReadyQueueWatermark int           `knob:"ready_queue_watermark" flag:"ready-queue-watermark" default:"100000" min:"0" usage:"aggregate MQTT queue depth above which /readyz reports 503 (0 disables the check)"`
+}
+
+// Log configures structured logging.
+type Log struct {
+	Level  string `knob:"level" flag:"log-level" default:"info" oneof:"debug,info,warn,error" usage:"minimum log level"`
+	Format string `knob:"format" flag:"log-format" default:"text" oneof:"text,json" usage:"log output format"`
+}
+
+// MQTT configures the transport plane (internal/mqtt).
+type MQTT struct {
+	SessionQueue   int           `knob:"session_queue" flag:"mqtt-queue" default:"256" min:"1" dynamic:"true" usage:"per-session outbound queue bound in packets (reload applies to new sessions)"`
+	RetryInterval  time.Duration `knob:"retry_interval" flag:"mqtt-retry" default:"1s" min:"1ms" usage:"QoS 1 redelivery / keepalive cadence"`
+	FlushWatermark int           `knob:"flush_watermark" flag:"mqtt-flush-watermark" default:"8192" dynamic:"true" usage:"session writer flush threshold in bytes (negative = flush per packet)"`
+	RouteCache     int           `knob:"route_cache" flag:"mqtt-route-cache" default:"4096" dynamic:"true" usage:"topic route cache capacity (negative disables caching)"`
+}
+
+// NGSI configures the context plane (internal/ngsi ingest side).
+type NGSI struct {
+	Shards         int           `knob:"shards" flag:"ctx-shards" default:"8" min:"1" usage:"context broker entity-store shard count"`
+	AgentBatch     time.Duration `knob:"agent_batch_interval" flag:"agent-batch-interval" default:"2ms" usage:"IoT agent northbound coalescing window (negative = synchronous per-message updates)"`
+	FogSyncBatches int           `knob:"fog_sync_batches" flag:"fog-sync-batches" default:"32" min:"1" usage:"buffered telemetry batches the fog node coalesces per backhaul round trip"`
+}
+
+// Timeseries configures the telemetry plane (internal/timeseries).
+type Timeseries struct {
+	Shards           int           `knob:"shards" flag:"ts-shards" default:"8" min:"1" usage:"telemetry store shard count"`
+	ChunkSize        int           `knob:"chunk_size" flag:"ts-chunk" default:"512" min:"2" usage:"points per sealed immutable chunk"`
+	Retention        time.Duration `knob:"retention" flag:"ts-retention" default:"0s" min:"0s" dynamic:"true" usage:"age-based telemetry retention (0 keeps everything)"`
+	EvictionInterval time.Duration `knob:"eviction_interval" flag:"ts-eviction-interval" default:"1m" min:"1ms" usage:"background eviction cadence (meaningful with retention set)"`
+}
+
+// WAL configures the durability plane (internal/wal).
+type WAL struct {
+	Dir              string        `knob:"dir" flag:"wal-dir" default:"" usage:"WAL+snapshot directory (empty = in-memory only; existing state is recovered on start)"`
+	SegmentBytes     int64         `knob:"segment_bytes" flag:"wal-segment-bytes" default:"8388608" min:"4096" usage:"WAL segment roll threshold in bytes"`
+	FsyncInterval    time.Duration `knob:"fsync_interval" flag:"wal-fsync-interval" default:"0s" min:"0s" usage:"group-commit coalescing window (0 = fsync when the commit queue drains)"`
+	SnapshotInterval time.Duration `knob:"snapshot_interval" flag:"snapshot-interval" default:"5m" dynamic:"true" usage:"snapshot + WAL truncation cadence (negative disables periodic snapshots)"`
+}
+
+// Webhooks configures outbound subscription delivery (internal/ngsi pool).
+type Webhooks struct {
+	Workers int           `knob:"workers" flag:"webhook-workers" default:"8" min:"1" dynamic:"true" usage:"concurrent outbound webhook deliveries"`
+	Retry   time.Duration `knob:"retry_backoff" flag:"webhook-retry" default:"250ms" min:"1ms" dynamic:"true" usage:"first webhook retry backoff, doubling per attempt"`
+	Queue   int           `knob:"queue" flag:"webhook-queue" default:"64" min:"1" usage:"per-subscription pending notification queue bound"`
+}
+
+// Security configures the security plane (internal/security).
+type Security struct {
+	AuditRing          int           `knob:"audit_ring" flag:"audit-ring" default:"4096" min:"1" usage:"PEP audit ring capacity (overflow overwrites oldest, counted)"`
+	TokenPurgeInterval time.Duration `knob:"token_purge_interval" flag:"token-purge-interval" default:"1m" usage:"expired/revoked token purge cadence (negative disables the loop)"`
+}
+
+// HTTP configures the northbound API server (internal/httpapi).
+type HTTP struct {
+	QueryCap     int `knob:"query_cap" flag:"query-cap" default:"1000" min:"1" dynamic:"true" usage:"hard cap on /v2/entities page sizes and offsets"`
+	DefaultLimit int `knob:"default_limit" flag:"query-default-limit" default:"100" min:"1" usage:"page size applied when a listing names none"`
+}
+
+// Sim configures simulation-only behaviour shared by swampd and swamp-sim.
+type Sim struct {
+	Seed            int64         `knob:"seed" flag:"seed" default:"1" usage:"seed driving every stochastic component (swampd: 0 derives from the clock)"`
+	BackhaulLatency time.Duration `knob:"backhaul_latency" flag:"backhaul-latency" default:"0s" min:"0s" usage:"one-way farm-cloud backhaul latency"`
+}
+
+// Kind is a field's parse/format type.
+type Kind int
+
+// Field kinds.
+const (
+	KindInt Kind = iota
+	KindInt64
+	KindBool
+	KindString
+	KindDuration
+)
+
+// Field describes one knob derived from the schema's struct tags.
+type Field struct {
+	// Name is the dotted path, e.g. "mqtt.flush_watermark".
+	Name string
+	// Section and Key split Name at the dot.
+	Section, Key string
+	// Flag is the command-line flag name.
+	Flag string
+	// Env is the environment variable name (SWAMP_MQTT_FLUSH_WATERMARK).
+	Env string
+	// Usage is the one-line help string.
+	Usage string
+	// Dynamic marks the field reloadable at runtime.
+	Dynamic bool
+	// Kind selects parsing/formatting.
+	Kind Kind
+	// Default is the literal default from the tag.
+	Default string
+
+	index          []int
+	minSet, maxSet bool
+	minVal, maxVal int64 // for numeric/duration kinds
+	oneof          []string
+}
+
+var (
+	registryOnce sync.Once
+	registry     []*Field
+	byName       map[string]*Field
+	byFlag       map[string]*Field
+)
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// Fields returns every schema field, sorted by Name. The slice is shared:
+// callers must not mutate it.
+func Fields() []*Field {
+	buildRegistry()
+	return registry
+}
+
+// FieldByName returns the field with the given dotted name.
+func FieldByName(name string) (*Field, bool) {
+	buildRegistry()
+	f, ok := byName[name]
+	return f, ok
+}
+
+func buildRegistry() {
+	registryOnce.Do(func() {
+		byName = make(map[string]*Field)
+		byFlag = make(map[string]*Field)
+		ct := reflect.TypeOf(Config{})
+		for si := 0; si < ct.NumField(); si++ {
+			sf := ct.Field(si)
+			section := sf.Tag.Get("section")
+			if section == "" {
+				panic("config: section struct without section tag: " + sf.Name)
+			}
+			st := sf.Type
+			for fi := 0; fi < st.NumField(); fi++ {
+				lf := st.Field(fi)
+				key := lf.Tag.Get("knob")
+				if key == "" {
+					panic("config: field without knob tag: " + section + "." + lf.Name)
+				}
+				f := &Field{
+					Name:    section + "." + key,
+					Section: section,
+					Key:     key,
+					Flag:    lf.Tag.Get("flag"),
+					Env:     "SWAMP_" + strings.ToUpper(section) + "_" + strings.ToUpper(key),
+					Usage:   lf.Tag.Get("usage"),
+					Dynamic: lf.Tag.Get("dynamic") == "true",
+					Default: lf.Tag.Get("default"),
+					index:   []int{si, fi},
+				}
+				switch {
+				case lf.Type == durationType:
+					f.Kind = KindDuration
+				case lf.Type.Kind() == reflect.Int:
+					f.Kind = KindInt
+				case lf.Type.Kind() == reflect.Int64:
+					f.Kind = KindInt64
+				case lf.Type.Kind() == reflect.Bool:
+					f.Kind = KindBool
+				case lf.Type.Kind() == reflect.String:
+					f.Kind = KindString
+				default:
+					panic("config: unsupported field type " + lf.Type.String() + " for " + f.Name)
+				}
+				if tag, ok := lf.Tag.Lookup("min"); ok {
+					f.minSet = true
+					f.minVal = mustParseBound(f, tag)
+				}
+				if tag, ok := lf.Tag.Lookup("max"); ok {
+					f.maxSet = true
+					f.maxVal = mustParseBound(f, tag)
+				}
+				if tag, ok := lf.Tag.Lookup("oneof"); ok {
+					f.oneof = strings.Split(tag, ",")
+				}
+				registry = append(registry, f)
+				byName[f.Name] = f
+				if f.Flag != "" {
+					if dup, clash := byFlag[f.Flag]; clash {
+						panic("config: duplicate flag " + f.Flag + " (" + dup.Name + ", " + f.Name + ")")
+					}
+					byFlag[f.Flag] = f
+				}
+			}
+		}
+		sort.Slice(registry, func(i, j int) bool { return registry[i].Name < registry[j].Name })
+		// Sanity: defaults must parse and validate.
+		c := &Config{}
+		for _, f := range registry {
+			if err := f.Set(c, f.Default); err != nil {
+				panic("config: bad default for " + f.Name + ": " + err.Error())
+			}
+		}
+	})
+}
+
+func mustParseBound(f *Field, tag string) int64 {
+	switch f.Kind {
+	case KindDuration:
+		d, err := time.ParseDuration(tag)
+		if err != nil {
+			panic("config: bad duration bound on " + f.Name + ": " + tag)
+		}
+		return int64(d)
+	case KindInt, KindInt64:
+		n, err := strconv.ParseInt(tag, 10, 64)
+		if err != nil {
+			panic("config: bad numeric bound on " + f.Name + ": " + tag)
+		}
+		return n
+	default:
+		panic("config: bound tag on non-numeric field " + f.Name)
+	}
+}
+
+// Default returns a Config with every field at its declared default.
+func Default() *Config {
+	buildRegistry()
+	c := &Config{}
+	for _, f := range registry {
+		_ = f.Set(c, f.Default) // defaults are panic-checked at registry build
+	}
+	return c
+}
+
+func (f *Field) value(c *Config) reflect.Value {
+	return reflect.ValueOf(c).Elem().FieldByIndex(f.index)
+}
+
+// Set parses raw per the field's kind and stores it into c. It does not
+// validate bounds — Validate aggregates that across the whole config.
+func (f *Field) Set(c *Config, raw string) error {
+	v := f.value(c)
+	switch f.Kind {
+	case KindDuration:
+		d, err := time.ParseDuration(strings.TrimSpace(raw))
+		if err != nil {
+			return fmt.Errorf("invalid duration %q (use Go syntax: 250ms, 2s, 5m)", raw)
+		}
+		v.SetInt(int64(d))
+	case KindInt, KindInt64:
+		n, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return fmt.Errorf("invalid integer %q", raw)
+		}
+		v.SetInt(n)
+	case KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(raw))
+		if err != nil {
+			return fmt.Errorf("invalid boolean %q", raw)
+		}
+		v.SetBool(b)
+	case KindString:
+		v.SetString(raw)
+	}
+	return nil
+}
+
+// setAny stores a decoded JSON value (float64/bool/string) into c.
+func (f *Field) setAny(c *Config, val any) error {
+	switch tv := val.(type) {
+	case string:
+		if f.Kind == KindString || f.Kind == KindDuration {
+			return f.Set(c, tv)
+		}
+		return f.Set(c, tv) // numeric/bool strings parse too
+	case bool:
+		if f.Kind != KindBool {
+			return fmt.Errorf("expected %s, got boolean", f.kindName())
+		}
+		f.value(c).SetBool(tv)
+		return nil
+	case float64:
+		switch f.Kind {
+		case KindInt, KindInt64:
+			if tv != float64(int64(tv)) {
+				return fmt.Errorf("expected integer, got %v", tv)
+			}
+			f.value(c).SetInt(int64(tv))
+			return nil
+		case KindDuration:
+			return fmt.Errorf("durations are strings (e.g. \"250ms\"), got number %v", tv)
+		default:
+			return fmt.Errorf("expected %s, got number", f.kindName())
+		}
+	default:
+		return fmt.Errorf("unsupported value type %T", val)
+	}
+}
+
+// Get returns the field's current value as a comparable any.
+func (f *Field) Get(c *Config) any {
+	v := f.value(c)
+	switch f.Kind {
+	case KindDuration:
+		return time.Duration(v.Int())
+	case KindInt:
+		return int(v.Int())
+	case KindInt64:
+		return v.Int()
+	case KindBool:
+		return v.Bool()
+	default:
+		return v.String()
+	}
+}
+
+// Format renders the field's current value the way a config file would
+// spell it.
+func (f *Field) Format(c *Config) string {
+	switch val := f.Get(c).(type) {
+	case time.Duration:
+		return fmt.Sprintf("%q", val.String())
+	case string:
+		return fmt.Sprintf("%q", val)
+	default:
+		return fmt.Sprint(val)
+	}
+}
+
+func (f *Field) kindName() string {
+	switch f.Kind {
+	case KindDuration:
+		return "duration string"
+	case KindInt, KindInt64:
+		return "integer"
+	case KindBool:
+		return "boolean"
+	default:
+		return "string"
+	}
+}
+
+// validate checks one field's bounds against the config.
+func (f *Field) validate(c *Config) error {
+	switch f.Kind {
+	case KindInt, KindInt64, KindDuration:
+		n := f.value(c).Int()
+		if f.minSet && n < f.minVal {
+			return fmt.Errorf("%s is below minimum %s", f.formatVal(n), f.formatVal(f.minVal))
+		}
+		if f.maxSet && n > f.maxVal {
+			return fmt.Errorf("%s is above maximum %s", f.formatVal(n), f.formatVal(f.maxVal))
+		}
+	case KindString:
+		if len(f.oneof) > 0 {
+			s := f.value(c).String()
+			for _, ok := range f.oneof {
+				if s == ok {
+					return nil
+				}
+			}
+			return fmt.Errorf("%q is not one of %s", f.value(c).String(), strings.Join(f.oneof, ", "))
+		}
+	}
+	return nil
+}
+
+func (f *Field) formatVal(n int64) string {
+	if f.Kind == KindDuration {
+		return time.Duration(n).String()
+	}
+	return strconv.FormatInt(n, 10)
+}

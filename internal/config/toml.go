@@ -1,0 +1,123 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parseTOML parses the TOML subset the config schema needs: [section]
+// tables, key = value pairs (basic strings, integers, booleans; durations
+// are quoted strings), full-line and trailing # comments. It returns
+// section → key → raw value, where raw string values are already
+// unquoted. Anything fancier (arrays, nested tables, multi-line strings)
+// is a parse error — the schema has no use for it, and rejecting beats
+// silently misreading.
+func parseTOML(src string) (map[string]map[string]string, error) {
+	out := make(map[string]map[string]string)
+	section := ""
+	for lineNo, line := range strings.Split(src, "\n") {
+		ln := strings.TrimSpace(stripComment(line))
+		if ln == "" {
+			continue
+		}
+		if strings.HasPrefix(ln, "[") {
+			if !strings.HasSuffix(ln, "]") {
+				return nil, fmt.Errorf("line %d: malformed table header %q", lineNo+1, ln)
+			}
+			section = strings.TrimSpace(ln[1 : len(ln)-1])
+			if section == "" || strings.ContainsAny(section, "[]\"'") {
+				return nil, fmt.Errorf("line %d: malformed table name %q", lineNo+1, ln)
+			}
+			if out[section] == nil {
+				out[section] = make(map[string]string)
+			}
+			continue
+		}
+		eq := strings.Index(ln, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: expected key = value, got %q", lineNo+1, ln)
+		}
+		key := strings.TrimSpace(ln[:eq])
+		if key == "" || strings.ContainsAny(key, " \t\"'") {
+			return nil, fmt.Errorf("line %d: malformed key %q", lineNo+1, ln)
+		}
+		val, err := parseTOMLValue(strings.TrimSpace(ln[eq+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %s: %w", lineNo+1, key, err)
+		}
+		if section == "" {
+			return nil, fmt.Errorf("line %d: key %q outside any [section]", lineNo+1, key)
+		}
+		if _, dup := out[section][key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %s.%s", lineNo+1, section, key)
+		}
+		out[section][key] = val
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment, respecting double quotes.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++ // skip the escaped char
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseTOMLValue unquotes a basic string or passes a bare scalar through
+// (validated later against the field's kind).
+func parseTOMLValue(v string) (string, error) {
+	if v == "" {
+		return "", fmt.Errorf("missing value")
+	}
+	if v[0] == '"' {
+		if len(v) < 2 || v[len(v)-1] != '"' {
+			return "", fmt.Errorf("unterminated string %s", v)
+		}
+		body := v[1 : len(v)-1]
+		// Minimal escape handling: \" \\ \t \n.
+		if strings.ContainsRune(body, '\\') {
+			var b strings.Builder
+			for i := 0; i < len(body); i++ {
+				if body[i] != '\\' {
+					b.WriteByte(body[i])
+					continue
+				}
+				i++
+				if i >= len(body) {
+					return "", fmt.Errorf("dangling escape in %s", v)
+				}
+				switch body[i] {
+				case '"', '\\':
+					b.WriteByte(body[i])
+				case 't':
+					b.WriteByte('\t')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("unsupported escape \\%c", body[i])
+				}
+			}
+			body = b.String()
+		} else if strings.ContainsRune(body, '"') {
+			return "", fmt.Errorf("unescaped quote in %s", v)
+		}
+		return body, nil
+	}
+	if v[0] == '\'' || v[0] == '[' || v[0] == '{' {
+		return "", fmt.Errorf("unsupported TOML value %s (only basic strings, integers and booleans)", v)
+	}
+	return v, nil
+}

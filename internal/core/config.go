@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/swamp-project/swamp/internal/config"
+)
+
+// ParseMode maps a deployment-mode name onto its Mode constant.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "cloud-only":
+		return ModeCloudOnly, nil
+	case "farm-fog":
+		return ModeFarmFog, nil
+	case "mobile-fog":
+		return ModeMobileFog, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (have cloud-only, farm-fog, mobile-fog)", name)
+}
+
+// OptionsFromConfig maps the resolved configuration plane onto the
+// platform's Options. Options is the compat shim over the config schema:
+// components keep their narrow knob structs, and this is the one place
+// the two vocabularies meet. The error reports an unknown pilot or mode
+// (every other field was already validated by config.Validate).
+func OptionsFromConfig(c *config.Config) (Options, error) {
+	pilot, err := PilotByName(c.Server.Pilot)
+	if err != nil {
+		return Options{}, err
+	}
+	mode, err := ParseMode(c.Server.Mode)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Pilot:  pilot,
+		Mode:   mode,
+		Seed:   c.Sim.Seed,
+		Sealed: c.Server.Sealed,
+
+		BackhaulLatency: c.Sim.BackhaulLatency,
+
+		MQTTSessionQueue:   c.MQTT.SessionQueue,
+		MQTTRetryInterval:  c.MQTT.RetryInterval,
+		MQTTFlushWatermark: c.MQTT.FlushWatermark,
+		MQTTRouteCache:     c.MQTT.RouteCache,
+
+		ContextShards:      c.NGSI.Shards,
+		AgentBatchInterval: c.NGSI.AgentBatch,
+		FogSyncBatches:     c.NGSI.FogSyncBatches,
+
+		TimeseriesShards:          c.Timeseries.Shards,
+		TimeseriesChunkSize:       c.Timeseries.ChunkSize,
+		TelemetryMaxAge:           c.Timeseries.Retention,
+		TelemetryEvictionInterval: c.Timeseries.EvictionInterval,
+
+		WALDir:           c.WAL.Dir,
+		WALSegmentBytes:  c.WAL.SegmentBytes,
+		WALFsyncInterval: c.WAL.FsyncInterval,
+		SnapshotInterval: c.WAL.SnapshotInterval,
+
+		WebhookWorkers: c.Webhooks.Workers,
+		WebhookRetry:   c.Webhooks.Retry,
+		WebhookQueue:   c.Webhooks.Queue,
+
+		QueryResultCap: c.HTTP.QueryCap,
+
+		AuditRingSize:      c.Security.AuditRing,
+		TokenPurgeInterval: c.Security.TokenPurgeInterval,
+	}, nil
+}
+
+// ApplyDynamic pushes the reloadable knobs of a validated candidate
+// config into the running platform. It is the "swap" half of the
+// validate-then-swap reload protocol: the caller has already run
+// config.ValidateReload, so every change here is a dynamic field.
+// Setters are individually atomic; there is no cross-knob transaction,
+// which is fine — every dynamic knob is an independent tuning bound.
+func (p *Platform) ApplyDynamic(c *config.Config) {
+	p.Broker.SetSessionQueueLen(c.MQTT.SessionQueue)
+	p.Broker.SetFlushWatermark(c.MQTT.FlushWatermark)
+	p.Broker.SetRouteCacheSize(c.MQTT.RouteCache)
+	p.Webhooks.SetWorkers(c.Webhooks.Workers)
+	p.Webhooks.SetRetryBackoff(c.Webhooks.Retry)
+	p.Store.SetMaxAge(c.Timeseries.Retention)
+	if p.Durable != nil {
+		interval := c.WAL.SnapshotInterval
+		if interval == 0 {
+			interval = DefaultSnapshotInterval
+		}
+		p.Durable.WAL.SetSnapshotInterval(interval)
+	}
+}

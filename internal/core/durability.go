@@ -87,13 +87,14 @@ func OpenDurability(cfg DurabilityConfig, ctx *ngsi.Broker, store *timeseries.St
 	d.Recovered = stats
 	ctx.SetJournal(m.ContextJournal())
 	store.SetJournal(m.TelemetryJournal())
-	if cfg.SnapshotInterval >= 0 {
-		interval := cfg.SnapshotInterval
-		if interval == 0 {
-			interval = DefaultSnapshotInterval
-		}
-		m.StartSnapshots(interval, d.dump)
+	// The snapshot loop always starts — parked when the interval is
+	// negative — so a reload can enable or retune periodic snapshots via
+	// SetSnapshotInterval without a restart.
+	interval := cfg.SnapshotInterval
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
 	}
+	m.StartSnapshots(interval, d.dump)
 	return d, nil
 }
 

@@ -177,6 +177,10 @@ type Options struct {
 	// WebhookRetry is the first webhook retry backoff, doubling per
 	// attempt (0 → ngsi.DefaultWebhookBackoff).
 	WebhookRetry time.Duration
+	// WebhookQueue bounds each subscription's pending-notification queue
+	// (0 → ngsi.DefaultWebhookQueueLen). Overflow drops the newest
+	// notification for that subscription only.
+	WebhookQueue int
 	// QueryResultCap is the hard cap on northbound query page sizes the
 	// HTTP API enforces (0 → httpapi.DefaultQueryCap). The platform
 	// records it here; swampd passes it to the API server.
@@ -383,6 +387,7 @@ func New(opts Options) (*Platform, error) {
 		Metrics:      p.reg,
 		Workers:      opts.WebhookWorkers,
 		RetryBackoff: opts.WebhookRetry,
+		QueueLen:     opts.WebhookQueue,
 		OnStatus:     ngsi.StatusUpdater(p.Context),
 	})
 

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/cloud"
@@ -61,6 +62,10 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	ownPool bool
+
+	// queryCap is the reloadable hard cap on listing page sizes and
+	// offsets (see SetQueryCap); it starts at Config.QueryMaxLimit.
+	queryCap atomic.Int64
 
 	// lists memoizes entity-listing bodies across requests, invalidated
 	// by the broker's mutation epoch.
@@ -132,10 +137,22 @@ func NewServer(cfg Config) (*Server, error) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, cfg.Metrics.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Metrics.WritePrometheus(w)
 	})
+	s.queryCap.Store(int64(cfg.QueryMaxLimit))
 	return s, nil
+}
+
+// SetQueryCap changes the hard cap on listing page sizes and offsets at
+// runtime. n <= 0 restores the default. The static default page size is
+// not re-clamped — a reload can only have raised or kept the cap it was
+// validated against.
+func (s *Server) SetQueryCap(n int) {
+	if n <= 0 {
+		n = DefaultQueryCap
+	}
+	s.queryCap.Store(int64(n))
 }
 
 // Close releases resources the server owns (the private webhook pool,
@@ -363,6 +380,7 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error())
 		return
 	}
+	queryCap := int(s.queryCap.Load())
 	limit := s.cfg.QueryDefaultLimit
 	if ls := qs.Get("limit"); ls != "" {
 		limit, err = strconv.Atoi(ls)
@@ -370,9 +388,9 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "invalid_limit", ls)
 			return
 		}
-		if limit > s.cfg.QueryMaxLimit {
+		if limit > queryCap {
 			writeErr(w, http.StatusBadRequest, "invalid_limit",
-				fmt.Sprintf("limit %d exceeds maximum %d", limit, s.cfg.QueryMaxLimit))
+				fmt.Sprintf("limit %d exceeds maximum %d", limit, queryCap))
 			return
 		}
 	}
@@ -386,9 +404,9 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "invalid_offset", os)
 			return
 		}
-		if offset > s.cfg.QueryMaxLimit {
+		if offset > queryCap {
 			writeErr(w, http.StatusBadRequest, "invalid_offset",
-				fmt.Sprintf("offset %d exceeds maximum %d; narrow the query instead", offset, s.cfg.QueryMaxLimit))
+				fmt.Sprintf("offset %d exceeds maximum %d; narrow the query instead", offset, queryCap))
 			return
 		}
 	}

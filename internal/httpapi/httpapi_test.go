@@ -22,6 +22,7 @@ import (
 
 type fixture struct {
 	srv    *httptest.Server
+	api    *Server
 	ctx    *ngsi.Broker
 	tokens *oauth.Server
 }
@@ -91,7 +92,7 @@ func newFixtureWith(t *testing.T, tweak func(*Config)) *fixture {
 	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
-	return &fixture{srv: ts, ctx: ctx, tokens: tokens}
+	return &fixture{srv: ts, api: s, ctx: ctx, tokens: tokens}
 }
 
 func (f *fixture) token(t *testing.T, user string) string {
@@ -390,8 +391,11 @@ func TestHealthAndMetrics(t *testing.T) {
 	if _, err := jsonSafeCopy(buf, resp); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "httpapi.token.issued") {
+	if !strings.Contains(buf.String(), "swamp_httpapi_token_issued 1") {
 		t.Errorf("metrics output missing counters:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "# TYPE swamp_httpapi_token_issued counter") {
+		t.Errorf("metrics output not in Prometheus exposition format:\n%s", buf.String())
 	}
 }
 

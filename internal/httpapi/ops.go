@@ -1,0 +1,93 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+)
+
+// Ops is swampd's operational surface, servable before the platform has
+// finished constructing (WAL recovery can take a while, and the whole
+// point of /readyz is to report 503 during that window):
+//
+//	GET  /healthz       liveness — 200 as soon as the process serves HTTP
+//	GET  /readyz        readiness — 503 until Ready() returns nil
+//	GET  /metrics       Prometheus text exposition of the shared registry
+//	POST /admin/reload  validate-then-swap config reload (same as SIGHUP)
+//
+// Liveness and readiness are deliberately distinct: a deadlocked-but-
+// listening process is live and unready, a process mid-recovery is live
+// and unready, and orchestrators restart on liveness but only route on
+// readiness.
+type Ops struct {
+	// Metrics is the registry /metrics renders. Required.
+	Metrics *metrics.Registry
+	// Ready reports nil when the daemon can serve traffic; the returned
+	// error becomes the /readyz 503 body. Nil means always ready.
+	Ready func() error
+	// Reload performs one validate-then-swap config reload and returns
+	// the dynamic fields applied. Nil disables POST /admin/reload (405).
+	Reload func() (applied []string, err error)
+
+	mux *http.ServeMux
+}
+
+// NewOps builds the ops handler.
+func NewOps(reg *metrics.Registry, ready func() error, reload func() ([]string, error)) *Ops {
+	o := &Ops{Metrics: reg, Ready: ready, Reload: reload}
+	o.mux = http.NewServeMux()
+	o.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	o.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Ready != nil {
+			if err := o.Ready(); err != nil {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+					"status": "unready", "reason": err.Error(),
+				})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	o.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Metrics.WritePrometheus(w)
+	})
+	o.mux.HandleFunc("POST /admin/reload", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Reload == nil {
+			writeErr(w, http.StatusMethodNotAllowed, "reload_unavailable", "no config file to reload from")
+			return
+		}
+		applied, err := o.Reload()
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "reload_rejected", err.Error())
+			return
+		}
+		if applied == nil {
+			applied = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "applied": applied})
+	})
+	return o
+}
+
+// Handles reports whether path belongs to the ops surface — swampd's
+// outer mux routes these to Ops and everything else to the API server.
+func (o *Ops) Handles(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics", "/admin/reload":
+		return true
+	}
+	return false
+}
+
+// ServeHTTP implements http.Handler.
+func (o *Ops) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if o.Handles(r.URL.Path) {
+		o.mux.ServeHTTP(w, r)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "not_found", fmt.Sprintf("no ops route %s", r.URL.Path))
+}

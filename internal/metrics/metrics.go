@@ -153,6 +153,14 @@ type Histogram struct {
 	samples []time.Duration
 	sorted  bool
 	max     int
+	// seen counts every observation ever made, not just retained ones:
+	// it drives the rolling overwrite index once the reservoir is full
+	// (len(samples) stops growing there, so an index derived from it
+	// would pin every overwrite to one slot) and is what Prometheus
+	// exposition reports as the cumulative _count.
+	seen uint64
+	// sum accumulates every observed duration for the exposition _sum.
+	sum time.Duration
 }
 
 // NewHistogram returns a histogram bounded to 100k samples.
@@ -160,17 +168,19 @@ func NewHistogram() *Histogram {
 	return &Histogram{max: 100_000}
 }
 
-// Observe records one duration. Once the bound is hit, a random-ish
-// (deterministic stride) reservoir overwrite keeps memory constant.
+// Observe records one duration. Once the bound is hit, a rolling
+// overwrite driven by the total observation count keeps memory constant
+// while spreading replacements across the whole reservoir.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) < h.max {
 		h.samples = append(h.samples, d)
 	} else {
-		// Overwrite with a simple rolling index derived from the count.
-		h.samples[len(h.samples)%h.max] = d
+		h.samples[int(h.seen%uint64(h.max))] = d
 	}
+	h.seen++
+	h.sum += d
 	h.sorted = false
 }
 
@@ -179,6 +189,21 @@ func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
+}
+
+// Observations returns the total number of Observe calls, including
+// samples since evicted from the reservoir.
+func (h *Histogram) Observations() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seen
+}
+
+// Sum returns the cumulative total of every observed duration.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Quantile returns the q-quantile (0..1) of retained samples, or 0 if empty.

@@ -84,6 +84,91 @@ func TestHistogramBounded(t *testing.T) {
 	if h.Count() > 100 {
 		t.Errorf("histogram grew past bound: %d", h.Count())
 	}
+	if h.Observations() != 1000 {
+		t.Errorf("observations = %d, want 1000", h.Observations())
+	}
+}
+
+// Regression: once the reservoir filled, the overwrite index was derived
+// from len(samples)%max — always 0 — so every later sample landed in one
+// slot and the other max-1 slots fossilized. The rolling index must come
+// from the total observation count so overwrites sweep the reservoir.
+func TestHistogramReservoirRolls(t *testing.T) {
+	h := &Histogram{max: 10}
+	// Fill with a low value, then overwrite the entire reservoir with a
+	// high one. With the rolling index every slot is replaced; with the
+	// broken index 9 low samples survive and the median stays low.
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	if got := h.Quantile(0); got != time.Second {
+		t.Fatalf("min retained sample = %v, want 1s: reservoir overwrites pinned to one slot", got)
+	}
+	if h.Observations() != 20 {
+		t.Errorf("observations = %d, want 20", h.Observations())
+	}
+	if h.Sum() != 10*time.Millisecond+10*time.Second {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mqtt.publish.count").Add(42)
+	r.Gauge("mqtt.queue.depth").Set(7)
+	h := r.Histogram("api.latency")
+	h.Observe(100 * time.Millisecond)
+	h.Observe(300 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE swamp_mqtt_publish_count counter\n",
+		"swamp_mqtt_publish_count 42\n",
+		"# TYPE swamp_mqtt_queue_depth gauge\n",
+		"swamp_mqtt_queue_depth 7\n",
+		"# TYPE swamp_api_latency_seconds summary\n",
+		"swamp_api_latency_seconds{quantile=\"0.5\"} ",
+		"swamp_api_latency_seconds_sum 0.4\n",
+		"swamp_api_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Structural check: every non-comment line is "name[{labels}] value"
+	// and every sample is preceded by a TYPE declaration for its family.
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			types[parts[2]] = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !types[name] && !types[family] {
+			t.Errorf("sample %q has no TYPE declaration", line)
+		}
+	}
 }
 
 func TestSnapshot(t *testing.T) {

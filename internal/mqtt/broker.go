@@ -110,6 +110,14 @@ type Broker struct {
 	rcMu       sync.Mutex // serializes route-cache map replacement
 	routeCache atomic.Pointer[routeMap]
 
+	// Dynamic knobs, reloadable at runtime via the Set* methods. Sessions
+	// snapshot dynQueueLen at attach (a live ring cannot resize safely),
+	// so a new bound applies to sessions created after the change; the
+	// flush watermark and route-cache cap take effect immediately.
+	dynQueueLen  atomic.Int64
+	dynFlushMark atomic.Int64
+	dynRouteCap  atomic.Int64
+
 	retained []*retainedShard
 
 	wg   sync.WaitGroup
@@ -217,11 +225,50 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		gQueueDepth:   cfg.Metrics.Gauge("mqtt.queue.depth"),
 	}
 	b.subs.Store(newSubTree())
+	b.dynQueueLen.Store(int64(cfg.SessionQueueLen))
+	b.dynFlushMark.Store(int64(cfg.FlushWatermark))
+	b.dynRouteCap.Store(int64(cfg.RouteCacheSize))
 	return b
 }
 
 // Metrics returns the broker's metrics registry.
 func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// SetSessionQueueLen changes the per-session outbound queue bound.
+// Existing sessions keep the ring they were attached with; the new bound
+// applies to sessions created afterwards. n <= 0 restores the default.
+func (b *Broker) SetSessionQueueLen(n int) {
+	if n <= 0 {
+		n = DefaultSessionQueueLen
+	}
+	b.dynQueueLen.Store(int64(n))
+}
+
+// SetFlushWatermark changes the writer's mid-batch flush threshold in
+// bytes, effective on the next drain. Negative flushes per packet; 0
+// restores the default.
+func (b *Broker) SetFlushWatermark(n int) {
+	if n == 0 {
+		n = DefaultFlushWatermark
+	}
+	b.dynFlushMark.Store(int64(n))
+}
+
+// SetRouteCacheSize changes the route-cache capacity. Negative disables
+// caching and drops the current cache; 0 restores the default. Shrinking
+// below the current population takes effect at the next insert (the cache
+// resets wholesale at capacity).
+func (b *Broker) SetRouteCacheSize(n int) {
+	if n == 0 {
+		n = DefaultRouteCacheSize
+	}
+	b.dynRouteCap.Store(int64(n))
+	if n < 0 {
+		b.rcMu.Lock()
+		b.routeCache.Store(nil)
+		b.rcMu.Unlock()
+	}
+}
 
 // retainedFor returns the retained shard owning topic.
 func (b *Broker) retainedFor(topic string) *retainedShard {
@@ -308,11 +355,16 @@ type session struct {
 	fl        Flusher     // transport's flush hook; nil if it writes through
 	broker    *Broker
 
+	// qcap is the session's outbound queue bound, snapshotted from the
+	// broker's dynamic knob at attach: the ring is fixed-capacity once
+	// allocated, so a reload applies to sessions created after it.
+	qcap int
+
 	mu      sync.Mutex
 	pending map[uint16]*pendingPub
 	parkedN int // pending entries with parked=true, so the writer can skip scans
-	// outq is a fixed-capacity ring of queued deliveries (cap =
-	// SessionQueueLen, allocated on first use) drained by the writer.
+	// outq is a fixed-capacity ring of queued deliveries (cap = qcap,
+	// allocated on first use) drained by the writer.
 	outq            []outMsg
 	outHead, outLen int
 	ctlq            []*Packet // control acks, drained ahead of outq
@@ -353,7 +405,7 @@ type pendingPub struct {
 // pushLocked appends to the ring; the caller has checked it is not full.
 func (s *session) pushLocked(m outMsg) {
 	if s.outq == nil {
-		s.outq = make([]outMsg, s.broker.cfg.SessionQueueLen)
+		s.outq = make([]outMsg, s.qcap)
 	}
 	s.outq[(s.outHead+s.outLen)%len(s.outq)] = m
 	s.outLen++
@@ -437,6 +489,7 @@ func (b *Broker) serveTransport(t Transport) {
 		id:        first.ClientID,
 		transport: t,
 		broker:    b,
+		qcap:      int(b.dynQueueLen.Load()),
 		pending:   make(map[uint16]*pendingPub),
 		lastSeen:  b.clk.Now(),
 		keep:      time.Duration(first.KeepAliveSec) * time.Second,
@@ -707,7 +760,8 @@ func (b *Broker) buildRoute(topic string, epoch uint64, re *routeEntry) *routeTa
 // (rare: once per topic, amortized over the device's lifetime). At capacity
 // the cache is reset wholesale rather than evicting piecemeal.
 func (b *Broker) storeRoute(topic string, re *routeEntry, rt *routeTargets) {
-	if b.cfg.RouteCacheSize < 0 {
+	rcap := int(b.dynRouteCap.Load())
+	if rcap < 0 {
 		return
 	}
 	if re != nil {
@@ -726,7 +780,7 @@ func (b *Broker) storeRoute(topic string, re *routeEntry, rt *routeTargets) {
 	}
 	var nm routeMap
 	switch {
-	case mp == nil || len(*mp) >= b.cfg.RouteCacheSize:
+	case mp == nil || len(*mp) >= rcap:
 		nm = make(routeMap, 64)
 	default:
 		nm = make(routeMap, len(*mp)+1)
@@ -794,7 +848,7 @@ func (b *Broker) enqueueMsg(s *session, f *Frame, pkt *Packet, qos byte) {
 		// delivery that never went out (on a loss-free link it costs
 		// nothing). Only when nothing has been transmitted (everything
 		// parked behind a full ring) is the new delivery shed.
-		if len(s.pending) >= 4*b.cfg.SessionQueueLen {
+		if len(s.pending) >= 4*s.qcap {
 			var victim *pendingPub
 			for _, p := range s.pending {
 				if p.parked {
@@ -828,7 +882,7 @@ func (b *Broker) enqueueMsg(s *session, f *Frame, pkt *Packet, qos byte) {
 			p.pkt = pkt
 		}
 		s.pending[pid] = p
-		if s.outLen == b.cfg.SessionQueueLen {
+		if s.outLen == s.qcap {
 			p.parked = true
 			s.parkedN++
 			s.mu.Unlock()
@@ -841,7 +895,7 @@ func (b *Broker) enqueueMsg(s *session, f *Frame, pkt *Packet, qos byte) {
 			runtime.Gosched()
 			return
 		}
-	} else if s.outLen == b.cfg.SessionQueueLen {
+	} else if s.outLen == s.qcap {
 		evicted = s.popLocked()
 		hasEvicted = true
 	}
@@ -893,7 +947,7 @@ func (b *Broker) enqueueCtl(s *session, pkt *Packet) {
 		return
 	}
 	s.mu.Lock()
-	if s.closedFl || len(s.ctlq) >= b.cfg.SessionQueueLen {
+	if s.closedFl || len(s.ctlq) >= s.qcap {
 		dropped := !s.closedFl
 		s.mu.Unlock()
 		if dropped {
@@ -973,6 +1027,7 @@ func releaseBatch(batch []outMsg, from int) {
 func (b *Broker) drainQueue(s *session) bool {
 	unflushed := 0 // packets written since the last flush
 	bytes := 0
+	watermark := int(b.dynFlushMark.Load()) // one knob read per drain
 	for {
 		s.mu.Lock()
 		ctl := s.ctlq
@@ -1018,7 +1073,7 @@ func (b *Broker) drainQueue(s *session) bool {
 			if m.qos == 1 {
 				qos1++
 			}
-			if s.fl != nil && bytes >= b.cfg.FlushWatermark {
+			if s.fl != nil && bytes >= watermark {
 				if err := s.fl.Flush(); err != nil {
 					b.cDeliverErr.Inc()
 					releaseBatch(batch, i+1)

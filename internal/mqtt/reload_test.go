@@ -1,0 +1,112 @@
+package mqtt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDynamicKnobsUnderLoad hammers the broker's reloadable knobs while
+// publishes fan out — the -race run of this test is what proves the
+// validate-then-swap reload path can fire mid-traffic.
+func TestDynamicKnobsUnderLoad(t *testing.T) {
+	b := NewBroker(BrokerConfig{SessionQueueLen: 64})
+	defer b.Close()
+	pub := newTestPair(t, b, "pub")
+	sub := newTestPair(t, b, "sub")
+
+	var delivered atomic.Int64
+	if _, err := sub.Subscribe("farm/+/soil", 0, func(Message) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = pub.Publish(fmt.Sprintf("farm/%d/soil", i%8), []byte("0.2"), 0, false)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.SetFlushWatermark(1 << (8 + i%8))
+			b.SetSessionQueueLen(32 << (i % 4))
+			b.SetRouteCacheSize([]int{-1, 16, 0, 4096}[i%4])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return delivered.Load() > 500 })
+	close(stop)
+	wg.Wait()
+}
+
+// TestSessionQueueLenAppliesToNewSessions pins the documented reload
+// semantics: an existing session keeps the bound it attached with, and a
+// session attached after SetSessionQueueLen gets the new one.
+func TestSessionQueueLenAppliesToNewSessions(t *testing.T) {
+	b := NewBroker(BrokerConfig{SessionQueueLen: 8})
+	defer b.Close()
+
+	before := attachScripted(t, b, "before", "x/#", 0)
+	_ = before
+	b.SetSessionQueueLen(32)
+	attachScripted(t, b, "after", "y/#", 0)
+
+	b.sessMu.RLock()
+	defer b.sessMu.RUnlock()
+	if got := b.sessions["before"].qcap; got != 8 {
+		t.Errorf("pre-reload session qcap = %d, want 8", got)
+	}
+	if got := b.sessions["after"].qcap; got != 32 {
+		t.Errorf("post-reload session qcap = %d, want 32", got)
+	}
+}
+
+// TestSetRouteCacheDisableDropsCache checks that disabling the route cache
+// clears it and stops new inserts.
+func TestSetRouteCacheDisableDropsCache(t *testing.T) {
+	b := NewBroker(BrokerConfig{})
+	defer b.Close()
+	pub := newTestPair(t, b, "pub")
+	sub := newTestPair(t, b, "sub")
+
+	var n atomic.Int64
+	if _, err := sub.Subscribe("cached/topic", 0, func(Message) { n.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("cached/topic", []byte("1"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return n.Load() == 1 })
+	if mp := b.routeCache.Load(); mp == nil || (*mp)["cached/topic"] == nil {
+		t.Fatal("expected the publish to populate the route cache")
+	}
+
+	b.SetRouteCacheSize(-1)
+	if b.routeCache.Load() != nil {
+		t.Fatal("disabling the route cache must drop it")
+	}
+	if err := pub.Publish("cached/topic", []byte("2"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return n.Load() == 2 })
+	if b.routeCache.Load() != nil {
+		t.Fatal("publishes must not repopulate a disabled route cache")
+	}
+}

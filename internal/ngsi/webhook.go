@@ -76,7 +76,15 @@ type WebhookConfig struct {
 // a shared semaphore bounds total concurrent HTTP requests.
 type WebhookPool struct {
 	cfg WebhookConfig
-	sem chan struct{}
+	// sem is the delivery-concurrency semaphore, swappable at runtime by
+	// SetWorkers: acquirers load the current channel, and a holder
+	// releases into the channel it acquired from, so a resize never
+	// corrupts accounting — it just lets in-flight deliveries finish
+	// under the old bound while new ones take the new bound.
+	sem atomic.Pointer[chan struct{}]
+	// backoffNanos is the reloadable first-retry delay (doubles per
+	// attempt), read per delivery.
+	backoffNanos atomic.Int64
 
 	mu        sync.Mutex
 	notifiers map[string]*HTTPNotifier
@@ -115,9 +123,8 @@ func NewWebhookPool(cfg WebhookConfig) *WebhookPool {
 	if cfg.FailureThreshold <= 0 {
 		cfg.FailureThreshold = DefaultWebhookFailureThreshold
 	}
-	return &WebhookPool{
+	p := &WebhookPool{
 		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.Workers),
 		notifiers: make(map[string]*HTTPNotifier),
 		depth:     cfg.Metrics.Gauge("ngsi.webhook.depth"),
 		cSent:     cfg.Metrics.Counter("ngsi.webhook.sent"),
@@ -125,6 +132,31 @@ func NewWebhookPool(cfg WebhookConfig) *WebhookPool {
 		cRetries:  cfg.Metrics.Counter("ngsi.webhook.retries"),
 		cDropped:  cfg.Metrics.Counter("ngsi.webhook.dropped"),
 	}
+	sem := make(chan struct{}, cfg.Workers)
+	p.sem.Store(&sem)
+	p.backoffNanos.Store(int64(cfg.RetryBackoff))
+	return p
+}
+
+// SetWorkers changes the delivery-concurrency bound by swapping in a new
+// semaphore. Deliveries already in flight finish against the old
+// semaphore (a transient overshoot bounded by old+new), so the new bound
+// is exact once they drain. n <= 0 restores the default.
+func (p *WebhookPool) SetWorkers(n int) {
+	if n <= 0 {
+		n = DefaultWebhookWorkers
+	}
+	sem := make(chan struct{}, n)
+	p.sem.Store(&sem)
+}
+
+// SetRetryBackoff changes the first-retry delay (doubling per attempt),
+// effective on the next delivery. d <= 0 restores the default.
+func (p *WebhookPool) SetRetryBackoff(d time.Duration) {
+	if d <= 0 {
+		d = DefaultWebhookBackoff
+	}
+	p.backoffNanos.Store(int64(d))
 }
 
 // ErrPoolClosed is returned by Notifier on a closed pool.
@@ -334,7 +366,7 @@ func (n *HTTPNotifier) deliver(note Notification) {
 		n.pool.cFailed.Inc()
 		return
 	}
-	backoff := cfg.RetryBackoff
+	backoff := time.Duration(n.pool.backoffNanos.Load())
 	for attempt := 0; ; attempt++ {
 		err := n.post(body)
 		if err == nil {
@@ -374,12 +406,13 @@ func (n *HTTPNotifier) deliver(note Notification) {
 
 // post performs one delivery attempt under the pool's concurrency bound.
 func (n *HTTPNotifier) post(body []byte) error {
+	sem := *n.pool.sem.Load()
 	select {
-	case n.pool.sem <- struct{}{}:
+	case sem <- struct{}{}:
 	case <-n.stop:
 		return ErrPoolClosed
 	}
-	defer func() { <-n.pool.sem }()
+	defer func() { <-sem }()
 	resp, err := n.pool.cfg.Client.Post(n.url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err

@@ -1,0 +1,79 @@
+package ngsi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWebhookSetWorkersUnderLoad swaps the pool's concurrency bound while
+// deliveries are in flight against a slow endpoint — under -race this is
+// the proof the semaphore swap is safe mid-traffic. Every delivery must
+// still complete: a holder releases into the semaphore it acquired from,
+// so no swap can leak a slot or wedge a worker.
+func TestWebhookSetWorkersUnderLoad(t *testing.T) {
+	recv := newWebhookReceiver(t)
+	p := fastWebhookPool(t, nil, WebhookConfig{Workers: 2})
+
+	const subs = 8
+	for i := 0; i < subs; i++ {
+		n, err := p.Notifier(string(rune('a'+i)), recv.srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = n }()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetWorkers(1 + i%8)
+			p.SetRetryBackoff(time.Duration(1+i%5) * time.Millisecond)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const notes = 200
+	e := &Entity{ID: "urn:x", Type: "Sensor"}
+	p.mu.Lock()
+	notifiers := make([]*HTTPNotifier, 0, len(p.notifiers))
+	for _, n := range p.notifiers {
+		notifiers = append(notifiers, n)
+	}
+	p.mu.Unlock()
+	for i := 0; i < notes; i++ {
+		notifiers[i%len(notifiers)].Notify(Notification{Entity: e})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for recv.count() < notes-int(p.cDropped.Value()) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := recv.count() + int(p.cDropped.Value()); got < notes {
+		t.Fatalf("deliveries lost across semaphore swaps: delivered+dropped=%d, want >= %d", got, notes)
+	}
+}
+
+// TestWebhookSetRetryBackoffApplies pins that a reloaded backoff is read
+// by subsequent deliveries.
+func TestWebhookSetRetryBackoffApplies(t *testing.T) {
+	p := fastWebhookPool(t, nil, WebhookConfig{})
+	p.SetRetryBackoff(7 * time.Millisecond)
+	if got := time.Duration(p.backoffNanos.Load()); got != 7*time.Millisecond {
+		t.Fatalf("backoff = %v", got)
+	}
+	p.SetRetryBackoff(0) // restores default
+	if got := time.Duration(p.backoffNanos.Load()); got != DefaultWebhookBackoff {
+		t.Fatalf("backoff after reset = %v", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/clock"
@@ -62,8 +63,8 @@ const (
 type Store struct {
 	shards     []*tsShard
 	chunkSize  int
-	maxPoints  int           // per-series retention by count, 0 = unlimited
-	maxAge     time.Duration // per-point retention by age, 0 = unlimited
+	maxPoints  int          // per-series retention by count, 0 = unlimited
+	maxAge     atomic.Int64 // per-point retention by age in ns, 0 = unlimited; reloadable
 	evictEvery time.Duration
 	clk        clock.Clock
 
@@ -76,6 +77,10 @@ type Store struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	loopMu      sync.Mutex // guards loopRunning/closed for lazy loop start
+	loopRunning bool
+	closed      bool
 }
 
 type tsShard struct {
@@ -122,7 +127,7 @@ func WithChunkSize(n int) Option {
 func WithMaxAge(d time.Duration) Option {
 	return func(s *Store) {
 		if d > 0 {
-			s.maxAge = d
+			s.maxAge.Store(int64(d))
 		}
 	}
 }
@@ -162,25 +167,55 @@ func New(opts ...Option) *Store {
 	for i := range s.shards {
 		s.shards[i] = &tsShard{series: make(map[SeriesKey]*series)}
 	}
-	if s.maxAge > 0 {
-		if s.evictEvery <= 0 {
-			s.evictEvery = DefaultEvictionInterval
-		}
-		s.done = make(chan struct{})
-		s.wg.Add(1)
-		go s.evictLoop()
+	if s.evictEvery <= 0 {
+		s.evictEvery = DefaultEvictionInterval
+	}
+	s.done = make(chan struct{})
+	if s.maxAge.Load() > 0 {
+		s.startEvictLoop()
 	}
 	return s
+}
+
+// SetMaxAge changes the retention window at runtime: d > 0 enables
+// age-based eviction (starting the background loop if it never ran),
+// d <= 0 disables it — retained points stop expiring but stay queryable.
+func (s *Store) SetMaxAge(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.maxAge.Store(int64(d))
+	if d > 0 {
+		s.startEvictLoop()
+	}
+}
+
+// MaxAge returns the current retention window (0 = unlimited).
+func (s *Store) MaxAge() time.Duration { return time.Duration(s.maxAge.Load()) }
+
+// startEvictLoop starts the background eviction goroutine once; the loop
+// itself no-ops while retention is disabled, so it is safe to leave
+// running across disable/enable cycles.
+func (s *Store) startEvictLoop() {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.loopRunning || s.closed {
+		return
+	}
+	s.loopRunning = true
+	s.wg.Add(1)
+	go s.evictLoop()
 }
 
 // Close stops the background eviction goroutine. Safe to call multiple
 // times; the store itself remains usable for appends and queries.
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
-		if s.done != nil {
-			close(s.done)
-			s.wg.Wait()
-		}
+		s.loopMu.Lock()
+		s.closed = true
+		s.loopMu.Unlock()
+		close(s.done)
+		s.wg.Wait()
 	})
 }
 
@@ -198,12 +233,13 @@ func (s *Store) evictLoop() {
 
 // EvictExpired applies age-based retention now: every point older than
 // MaxAge is dropped and emptied series are removed. It returns the number
-// of points dropped (0 when WithMaxAge is not configured).
+// of points dropped (0 while retention is disabled).
 func (s *Store) EvictExpired() int {
-	if s.maxAge <= 0 {
+	maxAge := time.Duration(s.maxAge.Load())
+	if maxAge <= 0 {
 		return 0
 	}
-	return s.DeleteBefore(s.clk.Now().Add(-s.maxAge))
+	return s.DeleteBefore(s.clk.Now().Add(-maxAge))
 }
 
 // shardIndex hashes a series key onto its shard (FNV-1a over

@@ -241,7 +241,7 @@ func TestBinaryTornRecords(t *testing.T) {
 		}
 		const n = 10
 		for i := 0; i < n; i++ {
-			rec, err := EncodeTelemetry(testBatch(i, at.Add(time.Duration(i) * time.Minute)))
+			rec, err := EncodeTelemetry(testBatch(i, at.Add(time.Duration(i)*time.Minute)))
 			if err != nil {
 				t.Fatal(err)
 			}

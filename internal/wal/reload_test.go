@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSetSnapshotIntervalEnablesParkedLoop starts the snapshot loop
+// parked (negative interval) and enables it at runtime — the reload path
+// that turns periodic snapshots on without a restart.
+func TestSetSnapshotIntervalEnablesParkedLoop(t *testing.T) {
+	m := openTest(t, t.TempDir())
+	if _, err := m.Recover(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.AppendWait(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var dumps atomic.Int64
+	m.StartSnapshots(-1, func(rotate func() error, sink func(Record) error) error {
+		dumps.Add(1)
+		return rotate()
+	})
+	if m.SnapshotInterval() != -1 {
+		t.Fatalf("interval = %v", m.SnapshotInterval())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if dumps.Load() != 0 {
+		t.Fatal("parked loop took a snapshot")
+	}
+
+	m.SetSnapshotInterval(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for dumps.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if dumps.Load() == 0 {
+		t.Fatal("enabled loop never snapshotted")
+	}
+
+	// Park again: the cadence change must take effect promptly, not wait
+	// out a previously armed timer.
+	m.SetSnapshotInterval(-1)
+	time.Sleep(10 * time.Millisecond)
+	base := dumps.Load()
+	time.Sleep(30 * time.Millisecond)
+	if dumps.Load() > base {
+		t.Fatalf("re-parked loop kept snapshotting (%d -> %d)", base, dumps.Load())
+	}
+}

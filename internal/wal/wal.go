@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/metrics"
@@ -105,6 +106,11 @@ type Manager struct {
 	loopDone chan struct{}
 	loopWG   sync.WaitGroup
 
+	// snapIntv is the reloadable snapshot cadence in ns (<= 0 parks the
+	// loop); snapPoke wakes the loop so a new cadence re-arms immediately.
+	snapIntv atomic.Int64
+	snapPoke chan struct{}
+
 	cSnapshots    *metrics.Counter
 	cSnapRecords  *metrics.Counter
 	cSnapErrors   *metrics.Counter
@@ -161,6 +167,7 @@ func Open(cfg Config) (*Manager, error) {
 		reg:           cfg.Metrics,
 		startSeg:      start,
 		loopDone:      make(chan struct{}),
+		snapPoke:      make(chan struct{}, 1),
 		cSnapshots:    cfg.Metrics.Counter("wal.snapshots"),
 		cSnapRecords:  cfg.Metrics.Counter("wal.snapshot.records"),
 		cSnapErrors:   cfg.Metrics.Counter("wal.snapshot.errors"),
@@ -405,24 +412,55 @@ func (m *Manager) Snapshot(dump func(rotate func() error, sink func(Record) erro
 
 // StartSnapshots runs Snapshot(dump) every interval until Close. Errors
 // are counted (wal.snapshot.errors) and the loop keeps going — a failed
-// snapshot only delays truncation, it never loses records.
+// snapshot only delays truncation, it never loses records. The loop
+// starts even when interval <= 0 (parked), so SetSnapshotInterval can
+// enable periodic snapshots later.
 func (m *Manager) StartSnapshots(interval time.Duration, dump func(rotate func() error, sink func(Record) error) error) {
-	if interval <= 0 {
-		return
-	}
+	m.snapIntv.Store(int64(interval))
 	m.loopWG.Add(1)
 	go func() {
 		defer m.loopWG.Done()
-		t := time.NewTicker(interval)
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
 		defer t.Stop()
 		for {
+			// Re-arm from the current cadence each iteration so a reload
+			// takes effect at the next wakeup; <= 0 parks until poked.
+			var tick <-chan time.Time
+			if iv := time.Duration(m.snapIntv.Load()); iv > 0 {
+				t.Reset(iv)
+				tick = t.C
+			}
 			select {
 			case <-m.loopDone:
 				return
-			case <-t.C:
+			case <-m.snapPoke:
+				if tick != nil && !t.Stop() {
+					<-t.C
+				}
+			case <-tick:
 				// Errors are already counted inside Snapshot.
 				_ = m.Snapshot(dump)
 			}
 		}
 	}()
+}
+
+// SetSnapshotInterval changes the periodic-snapshot cadence at runtime:
+// the loop re-arms immediately, so a shortened interval does not wait out
+// the old timer. d <= 0 parks periodic snapshots (manual Snapshot calls
+// still work); a later positive value resumes them.
+func (m *Manager) SetSnapshotInterval(d time.Duration) {
+	m.snapIntv.Store(int64(d))
+	select {
+	case m.snapPoke <- struct{}{}:
+	default: // a poke is already pending; the loop will re-read the knob
+	}
+}
+
+// SnapshotInterval returns the current periodic-snapshot cadence.
+func (m *Manager) SnapshotInterval() time.Duration {
+	return time.Duration(m.snapIntv.Load())
 }
