@@ -80,9 +80,17 @@ func main() {
 		walmanifest = flag.String("walmanifest", "", "walbench: acked-writes manifest path for ingest/verify")
 		walsnap     = flag.Duration("walsnap", 0, "walbench: snapshot cadence during ingest (0 = 2s)")
 
-		benchjson  = flag.String("benchjson", "", "write the bench's headline metrics to this JSON file (BENCH_<name>.json shape)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
+		clusterbench = flag.Bool("clusterbench", false, "measure cluster-plane ingest scaling and run the leader-kill drill")
+		clnodes      = flag.Int("clnodes", 3, "clusterbench: cluster size for the replicated phases (min 3)")
+		cldevices    = flag.Int("cldevices", 32, "clusterbench: devices per node (the cluster carries clnodes× the baseline population)")
+		clpoints     = flag.Int("clpoints", 51_200, "clusterbench: telemetry points through the single-node baseline")
+		clbatch      = flag.Int("clbatch", 32, "clusterbench: points per device emission")
+		clinterval   = flag.Duration("clinterval", 60*time.Millisecond, "clusterbench: per-device sampling interval")
+
+		benchjson    = flag.String("benchjson", "", "write the bench's headline metrics to this JSON file (BENCH_<name>.json shape)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile at exit to this file (go tool pprof)")
 	)
 	overlay := config.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -125,6 +133,22 @@ func main() {
 		}()
 	}
 
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(100_000) // sample blocking events ≥100µs
+		path := *blockprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "swamp-sim: blockprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "swamp-sim: blockprofile:", err)
+			}
+		}()
+	}
+
 	switch {
 	case *experiments:
 		if err := runExperiments(); err != nil {
@@ -159,6 +183,15 @@ func main() {
 			Dir: *waldir, Points: *walpoints, Batch: *walbatch, Workers: *walworkers,
 			Devices: *devices, Ingest: *walingest, Verify: *walverify,
 			Manifest: *walmanifest, SnapIntv: *walsnap,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *clusterbench:
+		if err := runClusterBench(clusterBenchConfig{
+			Nodes: *clnodes, Partitions: cfg.Cluster.Partitions,
+			Devices: *cldevices, Points: *clpoints, Batch: *clbatch,
+			Interval: *clinterval, AckTimeout: cfg.Cluster.AckTimeout,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

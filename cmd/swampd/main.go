@@ -38,11 +38,17 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/swamp-project/swamp/internal/cluster"
 	"github.com/swamp-project/swamp/internal/config"
 	"github.com/swamp-project/swamp/internal/core"
 	"github.com/swamp-project/swamp/internal/httpapi"
 	"github.com/swamp-project/swamp/internal/metrics"
 )
+
+// The cluster router satisfies the northbound's cluster seam
+// structurally — httpapi deliberately does not import internal/cluster,
+// so the contract is pinned here, where both packages meet.
+var _ httpapi.ClusterBackend = (*cluster.Router)(nil)
 
 func main() {
 	configPath := flag.String("config", "", "config file (TOML; .json for JSON); flags and SWAMP_* env override it")
@@ -96,12 +102,15 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 	// platform and API pointers are atomic because the HTTP mux reads them
 	// before core.New has finished.
 	var (
-		cfgMu    sync.Mutex
-		platform atomic.Pointer[core.Platform]
-		api      atomic.Pointer[httpapi.Server]
-		ready    atomic.Bool
+		cfgMu       sync.Mutex
+		platform    atomic.Pointer[core.Platform]
+		api         atomic.Pointer[httpapi.Server]
+		clusterNode atomic.Pointer[cluster.Node]
+		maxReadyLag atomic.Int64
+		ready       atomic.Bool
 	)
 	current := cfg
+	maxReadyLag.Store(cfg.Cluster.MaxReadyLag)
 
 	doReload := func() ([]string, error) {
 		cfgMu.Lock()
@@ -120,6 +129,10 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 		if a := api.Load(); a != nil {
 			a.SetQueryCap(candidate.HTTP.QueryCap)
 		}
+		if cn := clusterNode.Load(); cn != nil {
+			cn.SetAckTimeout(candidate.Cluster.AckTimeout)
+		}
+		maxReadyLag.Store(candidate.Cluster.MaxReadyLag)
 		config.ExportGauges(reg, candidate)
 		current = candidate
 		return applied, nil
@@ -139,9 +152,31 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 				return fmt.Errorf("mqtt queue depth %.0f above watermark %d", depth, watermark)
 			}
 		}
+		if cn := clusterNode.Load(); cn != nil {
+			if err := cn.ReadyLag(maxReadyLag.Load()); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	ops := httpapi.NewOps(reg, readiness, reloadHook)
+	ops.Detail = func() map[string]any {
+		d := map[string]any{
+			"queue_depth": reg.Gauge("mqtt.queue.depth").Value(),
+		}
+		if p := platform.Load(); p != nil && p.Durable != nil {
+			st := p.Durable.Recovered
+			d["recovery"] = map[string]any{
+				"snapshot_records": st.SnapshotRecords,
+				"tail_records":     st.TailRecords,
+				"torn":             st.Torn,
+			}
+		}
+		if cn := clusterNode.Load(); cn != nil {
+			d["cluster"] = cn.Status()
+		}
+		return d
+	}
 
 	// Bind and serve HTTP before the (possibly long) platform construction,
 	// so /readyz can report 503 during WAL recovery instead of the port
@@ -188,6 +223,68 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 	defer p.Close()
 	platform.Store(p)
 
+	// Cluster plane: replication listener + peer router. Comes up after
+	// recovery (followers must not stream half-recovered state) but before
+	// the northbound attaches, so routed requests never race bring-up.
+	var clusterRouter *cluster.Router
+	if cfg.Cluster.NodeID != "" {
+		peers, err := cluster.ParsePeers(cfg.Cluster.Peers)
+		if err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(peers))
+		for id := range peers {
+			ids = append(ids, id)
+		}
+		m, err := cluster.NewMap(cluster.Topology{
+			Partitions: cfg.Cluster.Partitions,
+			Replicas:   cfg.Cluster.Replicas,
+			Nodes:      ids,
+		})
+		if err != nil {
+			return err
+		}
+		hooks, err := p.ClusterHooks()
+		if err != nil {
+			return err
+		}
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			ID:         cfg.Cluster.NodeID,
+			Map:        m,
+			Hooks:      hooks,
+			MinISR:     cfg.Cluster.MinISR,
+			AckTimeout: cfg.Cluster.AckTimeout,
+			Dial: func(id string) (cluster.Conn, error) {
+				addr, ok := peers[id]
+				if !ok {
+					return nil, fmt.Errorf("cluster: no endpoint for peer %q", id)
+				}
+				return cluster.DialTCP(addr)
+			},
+			Metrics: reg,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		replLn, err := cluster.ListenTCP(cfg.Cluster.Listen, node.ServeConn)
+		if err != nil {
+			node.Close()
+			return err
+		}
+		defer replLn.Close()
+		node.Start()
+		defer node.Close()
+		clusterNode.Store(node)
+		clusterRouter = cluster.NewRouter(node)
+		defer clusterRouter.Close()
+		logger.Info("cluster up",
+			"node", node.ID(), "peers", len(peers),
+			"partitions", m.Partitions(), "led", len(m.LedBy(node.ID())))
+	}
+
 	ln, err := net.Listen("tcp", cfg.Server.Listen)
 	if err != nil {
 		return err
@@ -200,12 +297,16 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 	}()
 
 	if cfg.Server.HTTPListen != "" {
-		a, err := httpapi.NewServer(httpapi.Config{
+		apiCfg := httpapi.Config{
 			Context: p.Context, Tokens: p.Tokens, PEP: p.PEP,
 			Analytics: p.Analytics, Metrics: reg,
 			Webhooks:      p.Webhooks,
 			QueryMaxLimit: cfg.HTTP.QueryCap,
-		})
+		}
+		if clusterRouter != nil {
+			apiCfg.Cluster = clusterRouter
+		}
+		a, err := httpapi.NewServer(apiCfg)
 		if err != nil {
 			return err
 		}

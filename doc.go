@@ -51,6 +51,9 @@
 //	webhooks    workers (8, dyn), retry_backoff (250ms, dyn), queue (64)
 //	security    audit_ring (4096), token_purge_interval (1m)
 //	http        query_cap (1000, dyn), default_limit (100)
+//	cluster     node_id (""), peers (""), listen (""), partitions (16),
+//	            replicas (2), min_isr (1), ack_timeout (5s, dyn),
+//	            max_ready_lag (100000, dyn)
 //	sim         seed (1; swampd derives 0 from the clock),
 //	            backhaul_latency (0s)
 //
@@ -61,6 +64,18 @@
 // config.<name> gauge, POST /admin/reload, structured log/slog logging,
 // graceful drain on SIGINT/SIGTERM. examples/swampd.toml is a commented
 // starting point.
+//
+// Setting cluster.node_id (with peers + listen) turns swampd into one
+// node of a replicated cluster (internal/cluster, DESIGN.md §10):
+// entities and series consistent-hash across nodes, leaders ship their
+// committed WAL to followers over TCP (min_isr follower acks before a
+// write is acknowledged), deposed leaders are epoch-fenced, and the
+// northbound routes writes to the owning leader and scatter-gathers
+// queries — the API is unchanged from a client's view. /readyz grows a
+// cluster block (partitions led/followed, per-session lag) and 503s
+// past cluster.max_ready_lag; /metrics exports the swamp_cluster_*
+// gauges. The Dockerfile + docker-compose.yml stand up the 3-node
+// reference topology, smoke-tested by scripts/cluster-drill.sh.
 //
 // The MQTT broker's fan-out is zero-allocation in steady state: a
 // copy-on-write subscription trie read through one atomic load, an

@@ -1,0 +1,539 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/timeseries"
+	"github.com/swamp-project/swamp/internal/wal"
+)
+
+// Hooks is the slice of a platform a Node drives: the durable stores it
+// replicates and the WAL whose committed records it ships. core wires
+// these from a Platform via ClusterHooks.
+type Hooks struct {
+	// Context is the entity broker (NGSI plane).
+	Context *ngsi.Broker
+	// Store is the time-series store (telemetry plane).
+	Store *timeseries.Store
+	// WAL is the platform's write-ahead log; the Node installs a commit
+	// hook on it and streams its segments to followers.
+	WAL *wal.Manager
+	// Snapshot compacts the WAL (core's Durability.Snapshot). Leaders
+	// call it to produce a fresh bootstrap image for new followers;
+	// followers call it right after installing one. Required for
+	// bootstrap; a nil Snapshot limits the node to resume-mode peers.
+	Snapshot func() error
+}
+
+// NodeConfig configures a cluster Node.
+type NodeConfig struct {
+	// ID is this node's id; it must appear in the Map's node list.
+	ID string
+	// Map is the shared (in-process) or config-derived (multi-process)
+	// partition-ownership table.
+	Map *Map
+	// Hooks binds the node to its platform's stores and WAL.
+	Hooks Hooks
+	// MinISR is how many followers covering a partition must ack a
+	// write's log position before the write returns. 0 disables
+	// synchronous replication (acks are then only a lag signal).
+	MinISR int
+	// AckTimeout bounds the synchronous-replication wait (default 5s).
+	// Adjustable at runtime via SetAckTimeout.
+	AckTimeout time.Duration
+	// Window is the per-session in-flight record cap (default 4096).
+	// Must stay below the transport's queue length or the link, not
+	// flow control, becomes the bound.
+	Window int
+	// Dial opens a transport to a peer node by id.
+	Dial func(node string) (Conn, error)
+	// Metrics receives the swamp_cluster_* gauges and counters
+	// (optional).
+	Metrics *metrics.Registry
+	// Logf logs notable events (promotions, resyncs, fences); optional.
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member: leader for the partitions the Map assigns
+// it, follower (via replication sessions) for the rest. It installs a
+// WAL commit hook to learn every locally committed record's position and
+// fans those out to follower sessions; its own follower manager keeps
+// inbound sessions to every leader it replicates from.
+type Node struct {
+	cfg   NodeConfig
+	id    string
+	m     *Map
+	hooks Hooks
+	repl  *replicator
+	fmgr  *followerMgr
+
+	ackTimeoutNs atomic.Int64
+	closed       chan struct{}
+	closeOnce    sync.Once
+	wg           sync.WaitGroup
+
+	gLed, gFollowed, gSessions, gLag, gEpoch, gRole *metrics.Gauge
+	cShipped, cSkipped, cApplied, cFences, cAcksRejected,
+	cResyncs *metrics.Counter
+}
+
+// NewNode builds a node and installs the WAL commit hook. Build the node
+// before exposing the platform to traffic; records committed earlier are
+// still replicated (they are in the segments), but the first session may
+// need one resync round to see them.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("cluster: NodeConfig.ID required")
+	}
+	if cfg.Map == nil {
+		return nil, errors.New("cluster: NodeConfig.Map required")
+	}
+	if cfg.Hooks.Context == nil || cfg.Hooks.Store == nil || cfg.Hooks.WAL == nil {
+		return nil, errors.New("cluster: NodeConfig.Hooks requires Context, Store and WAL")
+	}
+	known := false
+	for _, n := range cfg.Map.Nodes() {
+		if n == cfg.ID {
+			known = true
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("cluster: node %q not in the map", cfg.ID)
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4096
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	n := &Node{
+		cfg:    cfg,
+		id:     cfg.ID,
+		m:      cfg.Map,
+		hooks:  cfg.Hooks,
+		closed: make(chan struct{}),
+	}
+	n.ackTimeoutNs.Store(int64(cfg.AckTimeout))
+	if reg := cfg.Metrics; reg != nil {
+		n.gLed = reg.Gauge("cluster.partitions.led")
+		n.gFollowed = reg.Gauge("cluster.partitions.followed")
+		n.gSessions = reg.Gauge("cluster.sessions")
+		n.gLag = reg.Gauge("cluster.replication.lag")
+		n.gEpoch = reg.Gauge("cluster.epoch.max")
+		n.gRole = reg.Gauge("cluster.role.leader")
+		n.cShipped = reg.Counter("cluster.records.shipped")
+		n.cSkipped = reg.Counter("cluster.records.skipped")
+		n.cApplied = reg.Counter("cluster.records.applied")
+		n.cFences = reg.Counter("cluster.fences")
+		n.cAcksRejected = reg.Counter("cluster.acks.rejected")
+		n.cResyncs = reg.Counter("cluster.resyncs")
+	}
+	n.repl = newReplicator(n)
+	n.fmgr = newFollowerMgr(n)
+	n.hooks.WAL.SetCommitHook(n.repl.onCommit)
+	n.repl.seedHead()
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() string { return n.id }
+
+// Map returns the partition-ownership table.
+func (n *Node) Map() *Map { return n.m }
+
+// Hooks returns the platform bindings (the router's local fast path).
+func (n *Node) Hooks() Hooks { return n.hooks }
+
+// Start launches the follower manager and the metrics updater.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.fmgr.run()
+	}()
+	if n.cfg.Metrics != nil {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			t := time.NewTicker(250 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-n.closed:
+					return
+				case <-t.C:
+					n.publishMetrics()
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the node: the commit hook is removed, every replication
+// session (both directions) is severed, and background loops exit. The
+// underlying platform and WAL are left to their owner.
+func (n *Node) Close() {
+	n.shutdown(true)
+}
+
+// Kill is Close for the failure drill: it severs everything abruptly,
+// simulating kill -9 — no offset flush, no goodbyes. A restart after
+// Kill may re-bootstrap where one after Close would resume; it must
+// never lose acked state (the sidecar only ever trails the stores).
+func (n *Node) Kill() { n.shutdown(false) }
+
+func (n *Node) shutdown(flushOffsets bool) {
+	n.closeOnce.Do(func() {
+		n.hooks.WAL.SetCommitHook(nil)
+		close(n.closed)
+		n.repl.closeAll()
+		n.fmgr.closeAll()
+	})
+	n.wg.Wait()
+	if flushOffsets {
+		// All links are quiesced: persist the latest replication offsets
+		// so a clean restart resumes instead of re-bootstrapping (the hot
+		// path throttles sidecar writes, so the file may trail the
+		// applied state).
+		n.fmgr.offsets().flush()
+	}
+}
+
+// SetAckTimeout adjusts the synchronous-replication wait at runtime
+// (config plane dynamic knob).
+func (n *Node) SetAckTimeout(d time.Duration) {
+	if d > 0 {
+		n.ackTimeoutNs.Store(int64(d))
+	}
+}
+
+func (n *Node) ackTimeout() time.Duration {
+	return time.Duration(n.ackTimeoutNs.Load())
+}
+
+// --- leader write path ---
+
+// checkLeader rejects writes for partitions this node does not lead (or
+// leads only per a fenced, stale view).
+func (n *Node) checkLeader(p int) error {
+	leader, _ := n.m.Leader(p)
+	if leader != n.id {
+		return fmt.Errorf("%w: partition %d is led by %s", ErrNotLeader, p, leader)
+	}
+	if epoch, fenced := n.repl.fencedEpoch(p); fenced {
+		return fmt.Errorf("%w: partition %d at epoch %d", ErrFenced, p, epoch)
+	}
+	return nil
+}
+
+// waitReplicated blocks until MinISR followers covering every partition
+// in parts have acked the current commit watermark — sampled after the
+// local apply, so it covers the caller's write.
+func (n *Node) waitReplicated(parts ...int) error {
+	if n.cfg.MinISR <= 0 {
+		return nil
+	}
+	w := n.repl.headPos()
+	deadline := time.Now().Add(n.ackTimeout())
+	for _, p := range parts {
+		if err := n.repl.waitAcked(p, w, n.cfg.MinISR, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpsertEntity applies a full entity write on the owning leader.
+func (n *Node) UpsertEntity(e *ngsi.Entity) error {
+	p := n.m.PartitionOf(e.ID)
+	if err := n.checkLeader(p); err != nil {
+		return err
+	}
+	if err := n.hooks.Context.UpsertEntity(e); err != nil {
+		return err
+	}
+	return n.waitReplicated(p)
+}
+
+// UpdateAttrs applies an attribute merge on the owning leader.
+func (n *Node) UpdateAttrs(id, typ string, attrs map[string]ngsi.Attribute) error {
+	p := n.m.PartitionOf(id)
+	if err := n.checkLeader(p); err != nil {
+		return err
+	}
+	if err := n.hooks.Context.UpdateAttrs(id, typ, attrs); err != nil {
+		return err
+	}
+	return n.waitReplicated(p)
+}
+
+// BatchUpdate applies a batch whose entities this node must all own.
+// The Router splits cross-node batches before calling this.
+func (n *Node) BatchUpdate(updates map[string]ngsi.BatchEntry) error {
+	parts := make(map[int]bool)
+	for id := range updates {
+		parts[n.m.PartitionOf(id)] = true
+	}
+	list := make([]int, 0, len(parts))
+	for p := range parts {
+		if err := n.checkLeader(p); err != nil {
+			return err
+		}
+		list = append(list, p)
+	}
+	if err := n.hooks.Context.BatchUpdate(updates); err != nil {
+		return err
+	}
+	return n.waitReplicated(list...)
+}
+
+// DeleteEntity deletes an entity on the owning leader.
+func (n *Node) DeleteEntity(id string) error {
+	p := n.m.PartitionOf(id)
+	if err := n.checkLeader(p); err != nil {
+		return err
+	}
+	if err := n.hooks.Context.DeleteEntity(id); err != nil {
+		return err
+	}
+	return n.waitReplicated(p)
+}
+
+// AppendBatch appends telemetry whose devices this node must all own.
+func (n *Node) AppendBatch(batch []timeseries.BatchPoint) (accepted, rejected int, err error) {
+	parts := make(map[int]bool)
+	for _, bp := range batch {
+		parts[n.m.PartitionOf(bp.Key.Device)] = true
+	}
+	list := make([]int, 0, len(parts))
+	for p := range parts {
+		if err := n.checkLeader(p); err != nil {
+			return 0, 0, err
+		}
+		list = append(list, p)
+	}
+	accepted, rejected, err = n.hooks.Store.AppendBatch(batch)
+	if err != nil {
+		return accepted, rejected, err
+	}
+	return accepted, rejected, n.waitReplicated(list...)
+}
+
+// --- record → partition mapping ---
+
+// recordParts returns the partitions a record's elements land in, or nil
+// for record types that do not replicate (subscriptions are node-local:
+// each node serves its own webhooks). Used by both the sender (session
+// relevance) and the follower (element filtering is finer-grained).
+func (n *Node) recordParts(rec wal.Record) []int {
+	add := func(parts []int, p int) []int {
+		for _, q := range parts {
+			if q == p {
+				return parts
+			}
+		}
+		return append(parts, p)
+	}
+	switch rec.Type {
+	case wal.TypeEntityUpsert:
+		e, err := wal.DecodeEntityUpsert(rec)
+		if err != nil {
+			return nil
+		}
+		return []int{n.m.PartitionOf(e.ID)}
+	case wal.TypeEntityMerge:
+		entries, err := wal.DecodeEntityMerge(rec)
+		if err != nil {
+			return nil
+		}
+		var parts []int
+		for _, en := range entries {
+			parts = add(parts, n.m.PartitionOf(en.ID))
+		}
+		return parts
+	case wal.TypeEntityDelete:
+		id, err := wal.DecodeID(rec)
+		if err != nil {
+			return nil
+		}
+		return []int{n.m.PartitionOf(id)}
+	case wal.TypeTelemetry:
+		pts, err := wal.DecodeTelemetry(rec)
+		if err != nil {
+			return nil
+		}
+		var parts []int
+		for _, bp := range pts {
+			parts = add(parts, n.m.PartitionOf(bp.Key.Device))
+		}
+		return parts
+	}
+	return nil
+}
+
+// --- follower-side state surgery ---
+
+// wipe removes every entity and series owned by the given partitions —
+// the first half of a snapshot install. Not journaled as a unit; the
+// follower snapshots its own WAL right after the install so a crash in
+// between re-bootstraps rather than recovering a half-wiped state.
+func (n *Node) wipe(parts map[int]bool) error {
+	var ids []string
+	err := n.hooks.Context.DumpEntities(func(e *ngsi.Entity) error {
+		if parts[n.m.PartitionOf(e.ID)] {
+			ids = append(ids, e.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := n.hooks.Context.DeleteEntity(id); err != nil && !errors.Is(err, ngsi.ErrNotFound) {
+			return err
+		}
+	}
+	for _, k := range n.hooks.Store.Keys() {
+		if parts[n.m.PartitionOf(k.Device)] {
+			n.hooks.Store.DeleteSeries(k)
+		}
+	}
+	return nil
+}
+
+// --- inbound connections ---
+
+// ServeConn runs one inbound transport connection: a follower session
+// (hello → record stream ← acks) and/or routed requests (msgReq) share
+// the connection. Blocks until the connection or the node closes.
+func (n *Node) ServeConn(c Conn) {
+	defer c.Close()
+	var sess *session
+	defer func() {
+		if sess != nil {
+			n.repl.drop(sess)
+		}
+	}()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case frame, ok := <-c.Recv():
+			if !ok {
+				return
+			}
+			t, body, err := frameType(frame)
+			if err != nil {
+				return
+			}
+			switch t {
+			case msgHello:
+				h, err := decodeHello(body)
+				if err != nil {
+					return
+				}
+				if sess != nil {
+					n.repl.drop(sess)
+				}
+				sess = n.repl.startSession(c, h)
+			case msgAck:
+				a, err := decodeAck(body)
+				if err == nil && sess != nil {
+					n.repl.onAck(sess, a)
+				}
+			case msgFence:
+				f, err := decodeFence(body)
+				if err == nil {
+					n.repl.onFence(f)
+				}
+			case msgReq:
+				rq, err := decodeReq(body)
+				if err != nil {
+					return
+				}
+				go n.serveReq(c, rq)
+			}
+		}
+	}
+}
+
+// --- status & readiness ---
+
+// SessionStatus is one outbound replication session's health.
+type SessionStatus struct {
+	Follower string   `json:"follower"`
+	Parts    int      `json:"partitions"`
+	Acked    wal.Pos  `json:"acked"`
+	Lag      uint64   `json:"lag"` // records shipped but not yet acked
+}
+
+// Status is the node's cluster-plane health snapshot.
+type Status struct {
+	ID            string          `json:"id"`
+	PartsLed      int             `json:"partitions_led"`
+	PartsFollowed int             `json:"partitions_followed"`
+	EpochMax      uint64          `json:"epoch_max"`
+	Sessions      []SessionStatus `json:"sessions,omitempty"`
+	MaxLag        uint64          `json:"max_lag"`
+}
+
+// Status snapshots the node's cluster-plane health.
+func (n *Node) Status() Status {
+	st := Status{ID: n.id}
+	st.PartsLed = len(n.m.LedBy(n.id))
+	for _, parts := range n.m.FollowedBy(n.id) {
+		st.PartsFollowed += len(parts)
+	}
+	for p := 0; p < n.m.Partitions(); p++ {
+		if e := n.m.Epoch(p); e > st.EpochMax {
+			st.EpochMax = e
+		}
+	}
+	st.Sessions = n.repl.sessionStatus()
+	for _, s := range st.Sessions {
+		if s.Lag > st.MaxLag {
+			st.MaxLag = s.Lag
+		}
+	}
+	return st
+}
+
+// ReadyLag gates readiness on replication lag: it returns an error when
+// any follower session trails the leader by more than maxLag records.
+// maxLag <= 0 disables the gate.
+func (n *Node) ReadyLag(maxLag int64) error {
+	if maxLag <= 0 {
+		return nil
+	}
+	st := n.repl.sessionStatus()
+	for _, s := range st {
+		if s.Lag > uint64(maxLag) {
+			return fmt.Errorf("cluster: follower %s lags by %d records (max %d)",
+				s.Follower, s.Lag, maxLag)
+		}
+	}
+	return nil
+}
+
+func (n *Node) publishMetrics() {
+	st := n.Status()
+	n.gLed.Set(float64(st.PartsLed))
+	n.gFollowed.Set(float64(st.PartsFollowed))
+	n.gSessions.Set(float64(len(st.Sessions)))
+	n.gLag.Set(float64(st.MaxLag))
+	n.gEpoch.Set(float64(st.EpochMax))
+	role := 0.0
+	if st.PartsLed > 0 {
+		role = 1
+	}
+	n.gRole.Set(role)
+}

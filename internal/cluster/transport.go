@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/swamp-project/swamp/internal/simnet"
+)
+
+// ErrConnClosed is returned by Send on a closed connection.
+var ErrConnClosed = errors.New("cluster: connection closed")
+
+// maxFrameBytes bounds one TCP frame; a record can be at most
+// wal.MaxRecordBytes, plus envelope.
+const maxFrameBytes = 80 << 20
+
+// Conn is one bidirectional message transport between two nodes. Send
+// must be safe for concurrent use and must not retain the frame after
+// returning (callers reuse encode buffers). Frames received after the
+// connection closes are dropped; Recv's channel closes on Close or peer
+// loss. A Conn may silently drop frames (simnet impairment, queue
+// overflow) — the replication protocol detects gaps by position chaining
+// and re-syncs, it never assumes reliability.
+type Conn interface {
+	Send(frame []byte) error
+	Recv() <-chan []byte
+	Close() error
+}
+
+// --- in-process pipe (reliable, for tests and same-process routing) ---
+
+type pipeShared struct {
+	once sync.Once
+	done chan struct{}
+}
+
+type pipeConn struct {
+	sh   *pipeShared
+	out  chan []byte
+	recv chan []byte
+}
+
+// Pipe returns a connected, reliable, in-process Conn pair. Send blocks
+// when the peer's queue (queueLen, default 1024) is full — backpressure,
+// never drops. Closing either end closes both; each end's Recv channel
+// is then closed (in-flight frames may be discarded).
+func Pipe(queueLen int) (Conn, Conn) {
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	sh := &pipeShared{done: make(chan struct{})}
+	ab := make(chan []byte, queueLen)
+	ba := make(chan []byte, queueLen)
+	a := &pipeConn{sh: sh, out: ab, recv: forwardUntil(ba, sh.done)}
+	b := &pipeConn{sh: sh, out: ba, recv: forwardUntil(ab, sh.done)}
+	return a, b
+}
+
+// forwardUntil relays frames from in until done closes, then closes the
+// returned channel — giving every Conn implementation the same "Recv
+// closes on Close" shape regardless of the underlying channel's owner.
+func forwardUntil(in <-chan []byte, done <-chan struct{}) chan []byte {
+	out := make(chan []byte)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-done:
+				return
+			case f, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case out <- f:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+func (c *pipeConn) Send(frame []byte) error {
+	cp := append([]byte(nil), frame...)
+	select {
+	case <-c.sh.done:
+		return ErrConnClosed
+	case c.out <- cp:
+		return nil
+	}
+}
+
+func (c *pipeConn) Recv() <-chan []byte { return c.recv }
+
+func (c *pipeConn) Close() error {
+	c.sh.once.Do(func() { close(c.sh.done) })
+	return nil
+}
+
+// --- simnet adapter ---
+
+type simConn struct {
+	ep     *simnet.Endpoint
+	closer func()
+	done   chan struct{}
+	recv   chan []byte
+}
+
+// SimnetPair wraps the two ends of a simnet Duplex as Conns. Closing
+// either end closes the duplex (both directions). Simnet links never
+// block and silently drop on loss, partition or queue overflow — size
+// Config.QueueLen above the session window so flow control, not the
+// link, is the bound.
+func SimnetPair(d *simnet.Duplex) (Conn, Conn) {
+	done := make(chan struct{})
+	var once sync.Once
+	closer := func() { once.Do(func() { close(done); d.Close() }) }
+	a := &simConn{ep: d.A, closer: closer, done: done, recv: forwardUntil(d.A.Recv(), done)}
+	b := &simConn{ep: d.B, closer: closer, done: done, recv: forwardUntil(d.B.Recv(), done)}
+	return a, b
+}
+
+func (c *simConn) Send(frame []byte) error {
+	select {
+	case <-c.done:
+		return ErrConnClosed
+	default:
+	}
+	return c.ep.Send(frame)
+}
+
+func (c *simConn) Recv() <-chan []byte { return c.recv }
+
+func (c *simConn) Close() error {
+	c.closer()
+	return nil
+}
+
+// --- TCP (length-prefixed frames, for multi-process swampd) ---
+
+type tcpConn struct {
+	c    net.Conn
+	wmu  sync.Mutex
+	in   chan []byte
+	once sync.Once
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	t := &tcpConn{c: c, in: make(chan []byte, 1024)}
+	go t.readLoop()
+	return t
+}
+
+func (t *tcpConn) readLoop() {
+	defer close(t.in)
+	defer t.c.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameBytes {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(t.c, frame); err != nil {
+			return
+		}
+		t.in <- frame
+	}
+}
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(frame)
+	return err
+}
+
+func (t *tcpConn) Recv() <-chan []byte { return t.in }
+
+func (t *tcpConn) Close() error {
+	var err error
+	t.once.Do(func() { err = t.c.Close() })
+	return err
+}
+
+// DialTCP connects to a peer's replication listener.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+// ListenTCP accepts replication/forwarding connections and hands each to
+// serve on its own goroutine. Close the returned listener to stop.
+func ListenTCP(addr string, serve func(Conn)) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serve(newTCPConn(c))
+		}
+	}()
+	return ln, nil
+}

@@ -262,6 +262,38 @@ func TestCrossFieldValidation(t *testing.T) {
 	if err := Validate(c); err == nil {
 		t.Fatal("eviction interval beyond retention window not reported")
 	}
+
+	c = Default()
+	c.Cluster.MinISR = 2 // replicas defaults to 2: only 1 follower
+	if err := Validate(c); err == nil || !strings.Contains(err.Error(), "cluster.min_isr") {
+		t.Fatalf("min_isr beyond follower count not reported: %v", err)
+	}
+
+	c = Default()
+	c.Cluster.NodeID = "n1" // no peers, no listen, no WAL dir
+	err = Validate(c)
+	if err == nil {
+		t.Fatal("clustering without peers/listen/wal.dir not reported")
+	}
+	for _, want := range []string{"cluster.peers", "cluster.listen", "wal.dir"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing %s violation in %v", want, err)
+		}
+	}
+
+	c = Default()
+	c.Cluster.NodeID = "n1"
+	c.Cluster.Peers = "n2=a:1,n3=b:1" // self absent
+	c.Cluster.Listen = "127.0.0.1:0"
+	c.WAL.Dir = t.TempDir()
+	if err := Validate(c); err == nil || !strings.Contains(err.Error(), "must include this node") {
+		t.Fatalf("peer list without self not reported: %v", err)
+	}
+
+	c.Cluster.Peers = "n1=a:1,n2=b:1,n3=c:1"
+	if err := Validate(c); err != nil {
+		t.Fatalf("valid cluster config rejected: %v", err)
+	}
 }
 
 func TestOneofAndBounds(t *testing.T) {
@@ -325,6 +357,8 @@ func TestDynamicSetMatchesIssueList(t *testing.T) {
 		"webhooks.workers":       true,
 		"webhooks.retry_backoff": true,
 		"http.query_cap":         true,
+		"cluster.ack_timeout":    true,
+		"cluster.max_ready_lag":  true,
 	}
 	got := map[string]bool{}
 	for _, f := range Fields() {

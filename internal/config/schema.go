@@ -45,6 +45,7 @@ type Config struct {
 	Webhooks   Webhooks   `section:"webhooks"`
 	Security   Security   `section:"security"`
 	HTTP       HTTP       `section:"http"`
+	Cluster    Cluster    `section:"cluster"`
 	Sim        Sim        `section:"sim"`
 }
 
@@ -113,6 +114,21 @@ type Security struct {
 type HTTP struct {
 	QueryCap     int `knob:"query_cap" flag:"query-cap" default:"1000" min:"1" dynamic:"true" usage:"hard cap on /v2/entities page sizes and offsets"`
 	DefaultLimit int `knob:"default_limit" flag:"query-default-limit" default:"100" min:"1" usage:"page size applied when a listing names none"`
+}
+
+// Cluster configures the cluster plane (internal/cluster). Topology
+// (node_id, peers, listen, partitions, replicas) is static for a
+// process's lifetime; the safety/liveness trade-offs (ack_timeout,
+// max_ready_lag) are dynamic.
+type Cluster struct {
+	NodeID      string        `knob:"node_id" flag:"cluster-node" default:"" usage:"this node's cluster identity (empty disables clustering)"`
+	Peers       string        `knob:"peers" flag:"cluster-peers" default:"" usage:"comma-separated peer replication endpoints, id=host:port (must include this node)"`
+	Listen      string        `knob:"listen" flag:"cluster-listen" default:"" usage:"replication TCP listen address"`
+	Partitions  int           `knob:"partitions" flag:"cluster-partitions" default:"16" min:"1" usage:"consistent-hash partition count (identical on every node)"`
+	Replicas    int           `knob:"replicas" flag:"cluster-replicas" default:"2" min:"1" usage:"replicas per partition, leader included"`
+	MinISR      int           `knob:"min_isr" flag:"cluster-min-isr" default:"1" min:"0" usage:"follower acks required before a write is acknowledged (0 = leader-local durability only)"`
+	AckTimeout  time.Duration `knob:"ack_timeout" flag:"cluster-ack-timeout" default:"5s" min:"1ms" dynamic:"true" usage:"how long a leader waits for min_isr follower acks before failing the write"`
+	MaxReadyLag int64         `knob:"max_ready_lag" flag:"cluster-max-ready-lag" default:"100000" min:"0" dynamic:"true" usage:"replication lag in records above which /readyz reports 503 (0 disables the gate)"`
 }
 
 // Sim configures simulation-only behaviour shared by swampd and swamp-sim.

@@ -61,6 +61,38 @@ func Validate(c *Config) error {
 				c.Timeseries.EvictionInterval, c.Timeseries.Retention),
 		})
 	}
+	if c.Cluster.MinISR > c.Cluster.Replicas-1 {
+		errs = append(errs, FieldError{
+			Name: "cluster.min_isr",
+			Err: fmt.Errorf("%d exceeds the follower count (cluster.replicas %d includes the leader)",
+				c.Cluster.MinISR, c.Cluster.Replicas),
+		})
+	}
+	if c.Cluster.NodeID != "" {
+		if c.Cluster.Peers == "" {
+			errs = append(errs, FieldError{
+				Name: "cluster.peers",
+				Err:  fmt.Errorf("required when cluster.node_id is set"),
+			})
+		} else if !strings.Contains(c.Cluster.Peers, c.Cluster.NodeID+"=") {
+			errs = append(errs, FieldError{
+				Name: "cluster.peers",
+				Err:  fmt.Errorf("must include this node (%s=host:port)", c.Cluster.NodeID),
+			})
+		}
+		if c.Cluster.Listen == "" {
+			errs = append(errs, FieldError{
+				Name: "cluster.listen",
+				Err:  fmt.Errorf("required when cluster.node_id is set"),
+			})
+		}
+		if c.WAL.Dir == "" {
+			errs = append(errs, FieldError{
+				Name: "wal.dir",
+				Err:  fmt.Errorf("replication ships WAL segments; clustering requires a durable WAL"),
+			})
+		}
+	}
 	return errs.or()
 }
 

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/swamp-project/swamp/internal/cluster"
+)
+
+// ClusterHooks exposes the platform's durable stores to the cluster
+// plane: the entity broker, the time-series store, the WAL the cluster
+// node streams to followers, and the snapshot hook used for follower
+// bootstrap. The platform must have been built with durability (a WAL
+// directory) — replication is WAL shipping, so there is nothing to ship
+// without one.
+func (p *Platform) ClusterHooks() (cluster.Hooks, error) {
+	if p.Durable == nil {
+		return cluster.Hooks{}, fmt.Errorf("core: cluster mode needs durability (a WAL directory)")
+	}
+	return cluster.Hooks{
+		Context:  p.Context,
+		Store:    p.Store,
+		WAL:      p.Durable.WAL,
+		Snapshot: p.Durable.Snapshot,
+	}, nil
+}

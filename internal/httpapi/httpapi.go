@@ -25,6 +25,7 @@ import (
 	"github.com/swamp-project/swamp/internal/security/identity"
 	"github.com/swamp-project/swamp/internal/security/oauth"
 	"github.com/swamp-project/swamp/internal/security/pep"
+	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
 // Query pagination defaults: every entity listing is bounded, so a
@@ -49,6 +50,12 @@ type Config struct {
 	// Webhooks delivers subscription notifications; nil builds a private
 	// pool wired to Context (closed by Server.Close).
 	Webhooks *ngsi.WebhookPool
+	// Cluster, when non-nil, routes entity reads/writes and analytics to
+	// partition owners across the cluster instead of the local stores.
+	// Listing responses bypass the local cache in this mode (the local
+	// broker epoch cannot witness remote mutations). Subscriptions stay
+	// node-local either way.
+	Cluster ClusterBackend
 	// QueryDefaultLimit is the page size applied when a listing request
 	// names none (0 → DefaultQueryLimit).
 	QueryDefaultLimit int
@@ -362,9 +369,11 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 	}
 	// The epoch must be captured before the query runs: a mutation that
 	// races the scan bumps it, so the filled entry can never validate
-	// against post-mutation reads (see listCache.put).
+	// against post-mutation reads (see listCache.put). In cluster mode
+	// the cache is bypassed entirely — remote mutations don't bump the
+	// local epoch, so a hit could serve arbitrarily stale pages.
 	epoch := s.cfg.Context.Epoch()
-	if ent := s.lists.get(r.URL.RawQuery, epoch); ent != nil {
+	if ent := s.lists.get(r.URL.RawQuery, epoch); ent != nil && s.cfg.Cluster == nil {
 		if ent.total >= 0 {
 			w.Header().Set("Fiware-Total-Count", strconv.Itoa(ent.total))
 		}
@@ -427,7 +436,7 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 			count = true
 		}
 	}
-	res, err := s.cfg.Context.Query(ngsi.Query{
+	res, err := s.backendQuery(ngsi.Query{
 		IDPattern:  pattern,
 		Type:       qs.Get("type"),
 		Conditions: conds,
@@ -438,6 +447,10 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 		Count:      count,
 	})
 	if err != nil {
+		if s.cfg.Cluster != nil && clusterRetryable(err) {
+			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "invalid_query", err.Error())
 		return
 	}
@@ -452,10 +465,12 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 		total = res.Total
 		w.Header().Set("Fiware-Total-Count", strconv.Itoa(total))
 	}
-	s.lists.put(r.URL.RawQuery, epoch, &listCacheEntry{
-		body:  append([]byte(nil), buf.Bytes()...),
-		total: total,
-	})
+	if s.cfg.Cluster == nil {
+		s.lists.put(r.URL.RawQuery, epoch, &listCacheEntry{
+			body:  append([]byte(nil), buf.Bytes()...),
+			total: total,
+		})
+	}
 	s.cList.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -468,8 +483,12 @@ func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.authorize(w, r, "read", "ngsi:"+id); !ok {
 		return
 	}
-	e, err := s.cfg.Context.GetEntity(id)
+	e, err := s.backendGetEntity(id)
 	if err != nil {
+		if s.cfg.Cluster != nil && !errors.Is(err, ngsi.ErrNotFound) && clusterRetryable(err) {
+			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
+			return
+		}
 		writeErr(w, http.StatusNotFound, "not_found", id)
 		return
 	}
@@ -505,8 +524,12 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 		}
 		attrs[name] = ngsi.Attribute{Type: typ, Value: a.Value}
 	}
-	if err := s.cfg.Context.UpdateAttrs(id, entityType, attrs); err != nil {
-		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
+	if err := s.backendUpdateAttrs(id, entityType, attrs); err != nil {
+		if s.cfg.Cluster != nil {
+			writeClusterMutationErr(w, http.StatusBadRequest, "update_failed", err)
+		} else {
+			writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
+		}
 		return
 	}
 	s.cUpdate.Inc()
@@ -562,8 +585,12 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		updates[e.ID] = entry
 	}
-	if err := s.cfg.Context.BatchUpdate(updates); err != nil {
-		writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
+	if err := s.backendBatchUpdate(updates); err != nil {
+		if s.cfg.Cluster != nil {
+			writeClusterMutationErr(w, http.StatusBadRequest, "update_failed", err)
+		} else {
+			writeMutationErr(w, http.StatusBadRequest, "update_failed", err)
+		}
 		return
 	}
 	s.cBatch.Inc()
@@ -576,11 +603,15 @@ func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.authorize(w, r, "write", "ngsi:"+id); !ok {
 		return
 	}
-	if err := s.cfg.Context.DeleteEntity(id); err != nil {
+	if err := s.backendDeleteEntity(id); err != nil {
 		// A durability failure answers 503, not 404: the delete was
 		// rolled back, so the entity is still there and the client
 		// must retry.
-		writeMutationErr(w, http.StatusNotFound, "not_found", err)
+		if s.cfg.Cluster != nil {
+			writeClusterMutationErr(w, http.StatusNotFound, "not_found", err)
+		} else {
+			writeMutationErr(w, http.StatusNotFound, "not_found", err)
+		}
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -604,7 +635,7 @@ func (s *Server) analyticsRange(w http.ResponseWriter, r *http.Request) (from, t
 // handleAnalytics returns the summary aggregate of one series:
 // GET /v2/analytics/{device}/{quantity}?hours=24
 func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Analytics == nil {
+	if s.cfg.Analytics == nil && s.cfg.Cluster == nil {
 		writeErr(w, http.StatusNotFound, "analytics_disabled", "")
 		return
 	}
@@ -617,7 +648,17 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	agg := s.cfg.Analytics.Summary(device, quantity, from, to)
+	var agg timeseries.Aggregate
+	if s.cfg.Cluster != nil {
+		var err error
+		agg, err = s.cfg.Cluster.Summary(device, quantity, from, to)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
+			return
+		}
+	} else {
+		agg = s.cfg.Analytics.Summary(device, quantity, from, to)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"device": device, "quantity": quantity,
 		"count": agg.Count, "min": agg.Min, "max": agg.Max, "mean": agg.Mean,
@@ -640,7 +681,7 @@ type seriesWindowJSON struct {
 // aggregation is pushed down onto the store's chunk summaries, so the cost
 // scales with chunks, not points.
 func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Analytics == nil {
+	if s.cfg.Analytics == nil && s.cfg.Cluster == nil {
 		writeErr(w, http.StatusNotFound, "analytics_disabled", "")
 		return
 	}
@@ -662,7 +703,17 @@ func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
 		}
 		window = d
 	}
-	wins, err := s.cfg.Analytics.Windows(device, quantity, from, to, window)
+	var wins []timeseries.WindowAggregate
+	var err error
+	if s.cfg.Cluster != nil {
+		wins, err = s.cfg.Cluster.Windows(device, quantity, from, to, window)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
+			return
+		}
+	} else {
+		wins, err = s.cfg.Analytics.Windows(device, quantity, from, to, window)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "query_failed", err.Error())
 		return

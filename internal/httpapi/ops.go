@@ -29,6 +29,11 @@ type Ops struct {
 	// Reload performs one validate-then-swap config reload and returns
 	// the dynamic fields applied. Nil disables POST /admin/reload (405).
 	Reload func() (applied []string, err error)
+	// Detail, when set, contributes extra fields to the /readyz JSON
+	// body on both the ready and unready paths — recovery progress,
+	// queue depths, replication lag. Keys named "status" or "reason"
+	// are ignored (they belong to the gate itself).
+	Detail func() map[string]any
 
 	mux *http.ServeMux
 }
@@ -41,15 +46,24 @@ func NewOps(reg *metrics.Registry, ready func() error, reload func() ([]string, 
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	o.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		body := map[string]any{"status": "ready"}
+		code := http.StatusOK
 		if o.Ready != nil {
 			if err := o.Ready(); err != nil {
-				writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-					"status": "unready", "reason": err.Error(),
-				})
-				return
+				body["status"] = "unready"
+				body["reason"] = err.Error()
+				code = http.StatusServiceUnavailable
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		if o.Detail != nil {
+			for k, v := range o.Detail() {
+				if k == "status" || k == "reason" {
+					continue
+				}
+				body[k] = v
+			}
+		}
+		writeJSON(w, code, body)
 	})
 	o.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -272,6 +272,12 @@ type Query struct {
 	// Count requests the exact total match count (forces a full scan
 	// even for unordered limited queries).
 	Count bool
+	// IDFilter, if non-nil, additionally restricts the scan to entities
+	// whose id it accepts. It runs under shard locks and must be fast
+	// and side-effect free. The cluster plane uses it to scope a
+	// scatter-gather sub-query to the partitions a node owns, so copies
+	// held by followers are never double-counted.
+	IDFilter func(id string) bool
 }
 
 // QueryResult is the answer to a Query.
@@ -328,6 +334,9 @@ func (b *Broker) Query(q Query) (QueryResult, error) {
 		var cand []*Entity // raw pointers, only valid under sh.mu
 		for id, e := range sh.entities {
 			if !MatchIDPattern(q.IDPattern, id) {
+				continue
+			}
+			if q.IDFilter != nil && !q.IDFilter(id) {
 				continue
 			}
 			if q.Type != "" && e.Type != q.Type {
@@ -407,6 +416,13 @@ func cloneProjected(e *Entity, attrs []string) *Entity {
 // string values, entities missing the attribute last), ties broken by
 // id. A '!' prefix reverses the primary order (missing-attribute
 // entities stay last).
+// SortEntities sorts entities with the same semantics Query applies:
+// "" or "id" by entity id, anything else by that attribute's value
+// (numeric before string, missing last), '!' prefix reversed. Exported
+// so a cluster scatter-gather can merge per-node pages under exactly the
+// ordering each node produced.
+func SortEntities(list []*Entity, orderBy string) { sortEntities(list, orderBy) }
+
 func sortEntities(list []*Entity, orderBy string) {
 	key := orderBy
 	desc := strings.HasPrefix(key, "!")

@@ -813,6 +813,25 @@ func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Durati
 
 // DeleteBefore removes all points older than cutoff from every series,
 // drops series left empty, and returns how many points were removed.
+// DeleteSeries drops one series entirely, returning how many points it
+// held. Like DeleteBefore it is a retention/administrative operation:
+// the deletion is not journaled, so a WAL-backed store resurrects the
+// series on recovery unless a snapshot intervenes. The cluster plane
+// uses it to wipe partition-owned series before installing a bootstrap
+// snapshot (and takes a local snapshot right after, closing that gap).
+func (s *Store) DeleteSeries(key SeriesKey) int {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.series[key]
+	if sr == nil {
+		return 0
+	}
+	n := sr.totalLocked()
+	delete(sh.series, key)
+	return n
+}
+
 func (s *Store) DeleteBefore(cutoff time.Time) int {
 	dropped := 0
 	for _, sh := range s.shards {

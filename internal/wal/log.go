@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swamp-project/swamp/internal/metrics"
@@ -127,6 +128,18 @@ type wlog struct {
 	// intern table; reset on every rotation so each segment decodes
 	// standalone.
 	enc *segEncoder
+	// segRec counts records written to the active segment; a record's
+	// position is (seg, segRec) with segRec 1-based, so positions are
+	// stable across restarts: sealed segments are immutable and every
+	// process appends to a fresh segment.
+	segRec uint64
+	// hooked accumulates (record, position) pairs of the current batch;
+	// after the batch's fsync succeeds — and before any Pending is
+	// released — the commit hook observes them. That ordering is what
+	// lets a replication watermark taken after an acknowledged append
+	// always cover that append.
+	hooked []hookEvent
+	hook   atomic.Pointer[CommitHook]
 	// fatal latches the first write/fsync/rotation failure. Once set,
 	// every subsequent batch fails without touching the file: a failed
 	// write may have left a torn frame mid-segment (records appended
@@ -342,6 +355,7 @@ func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
 		}
 		return
 	}
+	hook := l.hook.Load()
 	var err error
 	dirty := false
 	flush := func() {
@@ -386,6 +400,10 @@ func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
 				err = werr
 				if werr == nil {
 					l.size += int64(len(frame))
+					l.segRec++
+					if hook != nil {
+						l.hooked = append(l.hooked, hookEvent{p.rec, Pos{Seg: l.seg, Rec: l.segRec}})
+					}
 					dirty = true
 					l.cRecords.Inc()
 					l.cBytes.Add(uint64(len(frame)))
@@ -401,6 +419,12 @@ func (l *wlog) commit(batch []*Pending, bufp *[]byte) {
 	if err != nil {
 		l.fatal = fmt.Errorf("wal: log failed, rejecting further appends: %w", err)
 	}
+	if hook != nil && err == nil {
+		for _, ev := range l.hooked {
+			(*hook)(ev.rec, ev.pos)
+		}
+	}
+	l.hooked = l.hooked[:0]
 	for _, p := range batch {
 		if p.err == nil {
 			p.err = err
@@ -424,6 +448,7 @@ func (l *wlog) rotateFile() error {
 	}
 	l.seg++
 	l.f, l.size = f, int64(len(segMagic))
+	l.segRec = 0
 	l.enc.reset()
 	l.cRotations.Inc()
 	l.gSegment.Set(float64(l.seg))

@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Pos addresses one committed record in the log: the segment index plus
+// the 1-based record index within that segment. Positions are stable
+// across restarts — sealed segments are immutable and every Open starts
+// the committer on a fresh segment — which is what makes them usable as
+// replication offsets. The zero Pos means "nothing".
+type Pos struct {
+	Seg uint64
+	Rec uint64
+}
+
+// IsZero reports whether p addresses nothing.
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Rec == 0 }
+
+// Less orders positions: segment first, then record index.
+func (p Pos) Less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Rec < q.Rec
+}
+
+// Follows reports whether p is the position immediately after prev in a
+// gap-free stream of one log: the next record of the same segment, or the
+// first record of a later segment (rotation — possibly skipping truncated
+// or torn-tail segment indexes). Replication uses it to detect lost
+// frames on impaired transports.
+func (p Pos) Follows(prev Pos) bool {
+	if p.Seg == prev.Seg {
+		return p.Rec == prev.Rec+1
+	}
+	return p.Seg > prev.Seg && p.Rec == 1
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d/%d", p.Seg, p.Rec) }
+
+// hookEvent is one durable record awaiting commit-hook delivery.
+type hookEvent struct {
+	rec Record
+	pos Pos
+}
+
+// CommitHook observes every record the log makes durable, in commit
+// order, with its position. It runs on the committer goroutine after the
+// record's fsync succeeded and strictly before the record's Pending is
+// released — so a watermark sampled after any acknowledged append covers
+// that append. It must not block (it stalls every commit) and must not
+// call back into the Manager.
+type CommitHook func(rec Record, pos Pos)
+
+// SetCommitHook installs (or, with nil, removes) the commit hook.
+// Records committed while no hook is installed are only reachable by
+// reading segment files.
+func (m *Manager) SetCommitHook(h CommitHook) {
+	if h == nil {
+		m.log.hook.Store(nil)
+		return
+	}
+	m.log.hook.Store(&h)
+}
+
+// StartSeg returns the index of the fresh segment this Open created.
+// Every record committed by this process lands at or above it; everything
+// below is immutable recovery input.
+func (m *Manager) StartSeg() uint64 { return m.startSeg }
+
+// Segments returns the sorted indexes of the segment files currently on
+// disk, including the active one. Sealed segments (all but the highest)
+// are immutable; the set only shrinks through snapshot truncation.
+func (m *Manager) Segments() ([]uint64, error) {
+	return listIndexed(m.cfg.Dir, segPrefix, segSuffix)
+}
+
+// SnapshotSeq returns the boundary of the newest snapshot on disk, and
+// whether one exists. A snapshot with boundary B covers every record in
+// segments below B.
+func (m *Manager) SnapshotSeq() (uint64, bool, error) {
+	snaps, err := listIndexed(m.cfg.Dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(snaps) == 0 {
+		return 0, false, nil
+	}
+	return snaps[len(snaps)-1], true, nil
+}
+
+// SegmentPath returns the path of the segment file with the given index.
+func (m *Manager) SegmentPath(idx uint64) string {
+	return filepath.Join(m.cfg.Dir, segName(idx))
+}
+
+// SnapshotPath returns the path of the snapshot file with the given
+// boundary.
+func (m *Manager) SnapshotPath(idx uint64) string {
+	return filepath.Join(m.cfg.Dir, snapName(idx))
+}
+
+// ReplayFile streams the records of one segment or snapshot file into
+// apply, returning the number applied and whether reading stopped at a
+// torn (truncated or corrupt) record — the expected tail shape of a
+// segment after a crash. An error from apply aborts the replay and is
+// returned wrapped.
+func ReplayFile(path string, apply func(Record) error) (int, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	// The 8-byte magic selects the v2 frame codec. Anything else — a v1
+	// file from before codec v2, an empty file, or a header torn by a
+	// crash (in which case no record in the file was ever acknowledged) —
+	// reads as v1, whose framing maps such tails to clean EOF or ErrTorn.
+	var dec *segDecoder
+	if hdr, err := br.Peek(len(segMagic)); err == nil && isV2Header(hdr) {
+		if _, err := br.Discard(len(segMagic)); err != nil {
+			return 0, false, err
+		}
+		dec = newSegDecoder()
+	}
+	n := 0
+	for {
+		var rec Record
+		var err error
+		if dec != nil {
+			rec, err = dec.readRecord(br)
+		} else {
+			rec, err = readRecord(br)
+		}
+		if err == io.EOF {
+			return n, false, nil
+		}
+		if err == ErrTorn {
+			return n, true, nil
+		}
+		if err != nil {
+			return n, false, err
+		}
+		if err := apply(rec); err != nil {
+			return n, false, fmt.Errorf("wal: replay %s record %d: %w", filepath.Base(path), n, err)
+		}
+		n++
+	}
+}

@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestSegmentsAndPaths: Segments lists the on-disk segment indexes in
+// order, and SegmentPath round-trips through ReplayFile.
+func TestSegmentsAndPaths(t *testing.T) {
+	dir := t.TempDir()
+	m := openTest(t, dir, func(c *Config) { c.SegmentBytes = 256 })
+	defer m.Close()
+
+	start := m.StartSeg()
+	segs, err := m.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != start {
+		t.Fatalf("fresh log segments = %v, want [%d]", segs, start)
+	}
+
+	// Small SegmentBytes forces rotations.
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := m.AppendWait(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err = m.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotations, got segments %v", segs)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i] <= segs[i-1] {
+			t.Fatalf("segments not ascending: %v", segs)
+		}
+	}
+	total := 0
+	for _, seg := range segs {
+		cnt, torn, err := ReplayFile(m.SegmentPath(seg), func(Record) error { return nil })
+		if err != nil || torn {
+			t.Fatalf("segment %d: count=%d torn=%v err=%v", seg, cnt, torn, err)
+		}
+		total += cnt
+	}
+	if total != n {
+		t.Fatalf("replayed %d records across segments, want %d", total, n)
+	}
+}
+
+// TestSnapshotSeq: no snapshot → ok=false; after Snapshot the newest
+// snapshot index is returned and its path replays.
+func TestSnapshotSeq(t *testing.T) {
+	dir := t.TempDir()
+	m := openTest(t, dir)
+	defer m.Close()
+
+	if _, ok, err := m.SnapshotSeq(); err != nil || ok {
+		t.Fatalf("fresh log SnapshotSeq ok=%v err=%v, want none", ok, err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.AppendWait(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := m.Snapshot(func(rotate func() error, sink func(Record) error) error {
+		if err := rotate(); err != nil {
+			return err
+		}
+		return sink(testRecord(999))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok, err := m.SnapshotSeq()
+	if err != nil || !ok {
+		t.Fatalf("SnapshotSeq ok=%v err=%v after snapshot", ok, err)
+	}
+	cnt, torn, err := ReplayFile(m.SnapshotPath(idx), func(Record) error { return nil })
+	if err != nil || torn || cnt != 1 {
+		t.Fatalf("snapshot replay count=%d torn=%v err=%v", cnt, torn, err)
+	}
+}
+
+// TestReplayFileApplyError: an apply failure aborts the replay and is
+// wrapped (errors.Is reaches the sentinel).
+func TestReplayFileApplyError(t *testing.T) {
+	dir := t.TempDir()
+	m := openTest(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := m.AppendWait(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := m.StartSeg()
+	m.Close()
+
+	sentinel := errors.New("stop here")
+	seen := 0
+	_, _, err := ReplayFile(filepath.Join(dir, segName(seg)), func(Record) error {
+		seen++
+		if seen == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if seen != 3 {
+		t.Fatalf("apply ran %d times, want 3", seen)
+	}
+}
+
+// TestCommitHookPositions: the hook fires once per committed record, in
+// order, with 1-based in-segment positions that track rotations — and
+// strictly before the corresponding AppendWait returns.
+func TestCommitHookPositions(t *testing.T) {
+	dir := t.TempDir()
+	m := openTest(t, dir, func(c *Config) { c.SegmentBytes = 256 })
+	defer m.Close()
+
+	var mu sync.Mutex
+	var poss []Pos
+	m.SetCommitHook(func(rec Record, pos Pos) {
+		mu.Lock()
+		poss = append(poss, pos)
+		mu.Unlock()
+	})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := m.AppendWait(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		// AppendWait returning means the fsync happened, and the hook
+		// contract says it ran before pendings released.
+		mu.Lock()
+		got := len(poss)
+		mu.Unlock()
+		if got < i+1 {
+			t.Fatalf("after append %d only %d hook firings", i, got)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(poss) != n {
+		t.Fatalf("hook fired %d times, want %d", len(poss), n)
+	}
+	rotated := false
+	for i := 1; i < len(poss); i++ {
+		prev, cur := poss[i-1], poss[i]
+		if !cur.Follows(prev) {
+			t.Fatalf("pos %d (%s) does not follow %s", i, cur, prev)
+		}
+		if cur.Seg != prev.Seg {
+			rotated = true
+			if cur.Rec != 1 {
+				t.Fatalf("first record of segment %d at Rec=%d, want 1", cur.Seg, cur.Rec)
+			}
+		}
+	}
+	if !rotated {
+		t.Fatal("expected at least one rotation with 256-byte segments")
+	}
+
+	// Removing the hook stops firings.
+	m.SetCommitHook(nil)
+	if err := m.AppendWait(testRecord(n)); err != nil {
+		t.Fatal(err)
+	}
+	if len(poss) != n {
+		t.Fatalf("hook fired after removal: %d firings", len(poss))
+	}
+}
+
+// TestPosOrdering pins the Pos comparison helpers the replication chain
+// check depends on.
+func TestPosOrdering(t *testing.T) {
+	zero := Pos{}
+	a := Pos{Seg: 3, Rec: 1}
+	b := Pos{Seg: 3, Rec: 2}
+	c := Pos{Seg: 4, Rec: 1}
+	if !zero.IsZero() || a.IsZero() {
+		t.Fatal("IsZero misreports")
+	}
+	if !zero.Less(a) || !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("Less misorders")
+	}
+	// Rotation: the first record of any later segment follows (torn or
+	// truncated segment indexes may be skipped).
+	if !b.Follows(a) || !c.Follows(b) || !c.Follows(a) {
+		t.Fatal("Follows rejects valid successors")
+	}
+	d := Pos{Seg: 4, Rec: 2}
+	if a.Follows(b) || d.Follows(b) || a.Follows(a) {
+		t.Fatal("Follows accepts invalid successors")
+	}
+}

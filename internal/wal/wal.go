@@ -25,7 +25,6 @@ package wal
 import (
 	"bufio"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -203,50 +202,15 @@ func (m *Manager) Close() error {
 	return m.log.close()
 }
 
-// replayFile streams the records of one file into apply. It returns the
-// number applied and whether it stopped at a torn record.
+// replayFile is ReplayFile plus the manager's replay accounting.
 func (m *Manager) replayFile(path string, apply func(Record) error) (int, bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, false, err
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	// The 8-byte magic selects the v2 frame codec. Anything else — a v1
-	// file from before codec v2, an empty file, or a header torn by a
-	// crash (in which case no record in the file was ever acknowledged) —
-	// reads as v1, whose framing maps such tails to clean EOF or ErrTorn.
-	var dec *segDecoder
-	if hdr, err := br.Peek(len(segMagic)); err == nil && isV2Header(hdr) {
-		if _, err := br.Discard(len(segMagic)); err != nil {
-			return 0, false, err
-		}
-		dec = newSegDecoder()
-	}
-	n := 0
-	for {
-		var rec Record
-		var err error
-		if dec != nil {
-			rec, err = dec.readRecord(br)
-		} else {
-			rec, err = readRecord(br)
-		}
-		if err == io.EOF {
-			return n, false, nil
-		}
-		if err == ErrTorn {
-			return n, true, nil
-		}
-		if err != nil {
-			return n, false, err
-		}
+	return ReplayFile(path, func(rec Record) error {
 		if err := apply(rec); err != nil {
-			return n, false, fmt.Errorf("wal: replay %s record %d: %w", filepath.Base(path), n, err)
+			return err
 		}
-		n++
 		m.cReplayed.Inc()
-	}
+		return nil
+	})
 }
 
 // Recover replays the newest snapshot (if any) and then every tail
