@@ -24,6 +24,7 @@ import (
 	"github.com/swamp-project/swamp/internal/security/pep"
 	"github.com/swamp-project/swamp/internal/security/secchan"
 	"github.com/swamp-project/swamp/internal/simnet"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // --- EXP-A1: deployment configurations -----------------------------------
@@ -219,7 +220,7 @@ func BenchmarkAuthPipeline(b *testing.B) {
 	tokens := oauth.NewServer(idm, oauth.Config{})
 	pdp := pep.NewPDP(pep.Policy{
 		ID: "own-data", Roles: []identity.Role{identity.RoleFarmer},
-		Owners: []string{"farm1"}, ResourcePattern: "ngsi:farm1:*", Effect: pep.Permit,
+		Owners: []tenant.ID{"farm1"}, ResourcePattern: "ngsi:farm1:*", Effect: pep.Permit,
 	})
 	enforcer := pep.NewPEP(tokens, pdp, nil)
 

@@ -45,7 +45,7 @@ import (
 // below it. Raise -cldevices / shrink -clinterval on real multi-disk
 // hardware to probe the true capacity ceiling.
 type clusterBenchConfig struct {
-	Nodes      int           // cluster size for phases B and C
+	Nodes      int // cluster size for phases B and C
 	Partitions int
 	Devices    int           // devices per node, both phases
 	Points     int           // telemetry points through the single node (cluster carries Nodes×)
@@ -503,11 +503,11 @@ func runClusterBench(cfg clusterBenchConfig) error {
 		// The _info suffix keeps these out of benchguard's gated set:
 		// mean ack latency on a shared CI disk is too noisy to gate on,
 		// but it belongs in the record — it is the bench's health signal.
-		"single_ack_ms_info":   singleStats.meanAckMs(),
-		"cluster_ack_ms_info":  clusterStats.meanAckMs(),
-		"drill_acked_writes":   float64(len(acked)),
-		"drill_lost_writes":    float64(lost),
-		"promoted_partitions":  float64(promoted),
+		"single_ack_ms_info":  singleStats.meanAckMs(),
+		"cluster_ack_ms_info": clusterStats.meanAckMs(),
+		"drill_acked_writes":  float64(len(acked)),
+		"drill_lost_writes":   float64(lost),
+		"promoted_partitions": float64(promoted),
 	}); err != nil {
 		return err
 	}

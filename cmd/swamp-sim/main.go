@@ -80,6 +80,11 @@ func main() {
 		walmanifest = flag.String("walmanifest", "", "walbench: acked-writes manifest path for ingest/verify")
 		walsnap     = flag.Duration("walsnap", 0, "walbench: snapshot cadence during ingest (0 = 2s)")
 
+		tenantbench = flag.Bool("tenantbench", false, "run the tenant-isolation drill (1 abusive tenant vs a polite fleet)")
+		tbpolite    = flag.Int("tbpolite", 8, "tenantbench: polite tenants, each publishing at half quota")
+		tbquota     = flag.Int("tbquota", 100, "tenantbench: per-tenant msgs/s quota")
+		tbduration  = flag.Duration("tbduration", 4*time.Second, "tenantbench: length of each measured phase")
+
 		clusterbench = flag.Bool("clusterbench", false, "measure cluster-plane ingest scaling and run the leader-kill drill")
 		clnodes      = flag.Int("clnodes", 3, "clusterbench: cluster size for the replicated phases (min 3)")
 		cldevices    = flag.Int("cldevices", 32, "clusterbench: devices per node (the cluster carries clnodes× the baseline population)")
@@ -183,6 +188,13 @@ func main() {
 			Dir: *waldir, Points: *walpoints, Batch: *walbatch, Workers: *walworkers,
 			Devices: *devices, Ingest: *walingest, Verify: *walverify,
 			Manifest: *walmanifest, SnapIntv: *walsnap,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
+			os.Exit(1)
+		}
+	case *tenantbench:
+		if err := runTenantBench(tenantBenchConfig{
+			Polite: *tbpolite, QuotaMsg: *tbquota, Duration: *tbduration,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "swamp-sim:", err)
 			os.Exit(1)

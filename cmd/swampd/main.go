@@ -43,6 +43,7 @@ import (
 	"github.com/swamp-project/swamp/internal/core"
 	"github.com/swamp-project/swamp/internal/httpapi"
 	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // The cluster router satisfies the northbound's cluster seam
@@ -177,6 +178,38 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 		}
 		return d
 	}
+	ops.Tenants = func() *tenant.Admission {
+		if p := platform.Load(); p != nil {
+			return p.Admission
+		}
+		return nil
+	}
+	// PUT /admin/tenants/{id}/quota rides the same validate-then-swap
+	// pipeline as a reload: edit the quota table on a clone, validate the
+	// whole candidate, then apply. Runtime overrides last until the next
+	// file reload re-resolves the stack from disk.
+	ops.SetQuota = func(id, spec string) error {
+		cfgMu.Lock()
+		defer cfgMu.Unlock()
+		candidate := current.Clone()
+		if spec == "" {
+			delete(candidate.Tenant.Quotas, id)
+		} else {
+			if candidate.Tenant.Quotas == nil {
+				candidate.Tenant.Quotas = map[string]string{}
+			}
+			candidate.Tenant.Quotas[id] = spec
+		}
+		if _, err := config.ValidateReload(current, candidate); err != nil {
+			return err
+		}
+		if p := platform.Load(); p != nil {
+			p.ApplyDynamic(candidate)
+		}
+		config.ExportGauges(reg, candidate)
+		current = candidate
+		return nil
+	}
 
 	// Bind and serve HTTP before the (possibly long) platform construction,
 	// so /readyz can report 503 during WAL recovery instead of the port
@@ -301,6 +334,7 @@ func run(loader *config.Loader, cfg *config.Config, logger *slog.Logger) error {
 			Context: p.Context, Tokens: p.Tokens, PEP: p.PEP,
 			Analytics: p.Analytics, Metrics: reg,
 			Webhooks:      p.Webhooks,
+			Admission:     p.Admission,
 			QueryMaxLimit: cfg.HTTP.QueryCap,
 		}
 		if clusterRouter != nil {

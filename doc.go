@@ -54,6 +54,13 @@
 //	cluster     node_id (""), peers (""), listen (""), partitions (16),
 //	            replicas (2), min_isr (1), ack_timeout (5s, dyn),
 //	            max_ready_lag (100000, dyn)
+//	tenant      enabled (false, dyn), default_msgs_per_sec (1000, dyn),
+//	            default_bytes_per_sec (1MiB, dyn),
+//	            default_inflight (64, dyn),
+//	            default_subscriptions (32, dyn),
+//	            default_webhook_share_pct (50, dyn), burst (2s, dyn),
+//	            metrics_topk (8, dyn); per-tenant overrides in the
+//	            [tenant.quotas] table (id = "msgs=...,bytes=..." spec)
 //	sim         seed (1; swampd derives 0 from the clock),
 //	            backhaul_latency (0s)
 //
@@ -76,6 +83,20 @@
 // past cluster.max_ready_lag; /metrics exports the swamp_cluster_*
 // gauges. The Dockerfile + docker-compose.yml stand up the 3-node
 // reference topology, smoke-tested by scripts/cluster-drill.sh.
+//
+// With tenant.enabled, the admission plane (internal/tenant, DESIGN.md
+// §11) enforces per-tenant token-bucket quotas at every ingress — MQTT
+// publishes, HTTP API requests, fog sync — with a graduated shed ladder
+// (telemetry sampling, delayed webhooks, HTTP 429 + Retry-After, MQTT
+// disconnect last). The ops surface grows GET /admin/tenants and
+// GET/PUT /admin/tenants/{id}/quota (validate-then-swap, like a
+// reload), and /metrics exports the capped-cardinality swamp_tenant_*
+// family. Deprecation note: tenancy used to ride untyped `owner string`
+// fields; those are now tenant.ID throughout (ngsi.Subscription.Owner,
+// identity.Principal.Owner, the cluster request metadata). JSON wire
+// shapes are unchanged — subscription bodies still serialize the tenant
+// under the "owner" key — but Go callers of the exported surfaces must
+// use the typed ID.
 //
 // The MQTT broker's fan-out is zero-allocation in steady state: a
 // copy-on-write subscription trie read through one atomic load, an

@@ -273,7 +273,7 @@ func (a *Agent) onMeasure(msg mqtt.Message) {
 			Value: v,
 			Metadata: map[string]string{
 				"device": string(prov.Desc.ID),
-				"owner":  prov.Desc.Owner,
+				"owner":  string(prov.Desc.Owner),
 			},
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
@@ -17,6 +18,7 @@ import (
 // node rebuilds the filter from the shared hash, so follower copies of
 // foreign partitions never leak into a scatter leg.
 type wireQuery struct {
+	Tenant     tenant.ID        `json:"tenant,omitempty"`
 	IDPattern  string           `json:"idPattern,omitempty"`
 	Type       string           `json:"type,omitempty"`
 	Conditions []ngsi.Condition `json:"conditions,omitempty"`
@@ -34,16 +36,19 @@ type wireQueryResult struct {
 }
 
 type wireID struct {
-	ID string `json:"id"`
+	Tenant tenant.ID `json:"tenant,omitempty"`
+	ID     string    `json:"id"`
 }
 
 type wireUpdate struct {
-	ID    string                    `json:"id"`
-	Type  string                    `json:"type"`
-	Attrs map[string]ngsi.Attribute `json:"attrs"`
+	Tenant tenant.ID                 `json:"tenant,omitempty"`
+	ID     string                    `json:"id"`
+	Type   string                    `json:"type"`
+	Attrs  map[string]ngsi.Attribute `json:"attrs"`
 }
 
 type wireBatch struct {
+	Tenant  tenant.ID                  `json:"tenant,omitempty"`
 	Updates map[string]ngsi.BatchEntry `json:"updates"`
 }
 
@@ -57,6 +62,7 @@ type wireAppendResult struct {
 }
 
 type wireSeries struct {
+	Tenant   tenant.ID     `json:"tenant,omitempty"`
 	Device   string        `json:"device"`
 	Quantity string        `json:"quantity"`
 	From     time.Time     `json:"from"`
@@ -345,41 +351,41 @@ func (rt *Router) owner(key string) string {
 }
 
 // GetEntity reads an entity from its owning leader.
-func (rt *Router) GetEntity(id string) (*ngsi.Entity, error) {
+func (rt *Router) GetEntity(tid tenant.ID, id string) (*ngsi.Entity, error) {
 	node := rt.owner(id)
 	if node == rt.node.id {
 		return rt.node.hooks.Context.GetEntity(id)
 	}
 	var e ngsi.Entity
-	if err := rt.call(node, reqGet, wireID{ID: id}, &e); err != nil {
+	if err := rt.call(node, reqGet, wireID{Tenant: tid, ID: id}, &e); err != nil {
 		return nil, err
 	}
 	return &e, nil
 }
 
 // UpdateAttrs routes an attribute merge to the owning leader.
-func (rt *Router) UpdateAttrs(id, typ string, attrs map[string]ngsi.Attribute) error {
+func (rt *Router) UpdateAttrs(tid tenant.ID, id, typ string, attrs map[string]ngsi.Attribute) error {
 	node := rt.owner(id)
 	if node == rt.node.id {
 		return rt.node.UpdateAttrs(id, typ, attrs)
 	}
-	return rt.call(node, reqUpdateAttrs, wireUpdate{ID: id, Type: typ, Attrs: attrs}, nil)
+	return rt.call(node, reqUpdateAttrs, wireUpdate{Tenant: tid, ID: id, Type: typ, Attrs: attrs}, nil)
 }
 
 // DeleteEntity routes a delete to the owning leader.
-func (rt *Router) DeleteEntity(id string) error {
+func (rt *Router) DeleteEntity(tid tenant.ID, id string) error {
 	node := rt.owner(id)
 	if node == rt.node.id {
 		return rt.node.DeleteEntity(id)
 	}
-	return rt.call(node, reqDelete, wireID{ID: id}, nil)
+	return rt.call(node, reqDelete, wireID{Tenant: tid, ID: id}, nil)
 }
 
 // BatchUpdate splits a batch by owning leader and applies the slices
 // concurrently. Per-entity atomicity holds (an entity is in exactly one
 // slice); cross-entity atomicity across nodes does not, matching the
 // broker's own per-shard semantics.
-func (rt *Router) BatchUpdate(updates map[string]ngsi.BatchEntry) error {
+func (rt *Router) BatchUpdate(tid tenant.ID, updates map[string]ngsi.BatchEntry) error {
 	slices := make(map[string]map[string]ngsi.BatchEntry)
 	for id, e := range updates {
 		node := rt.owner(id)
@@ -451,7 +457,7 @@ func (rt *Router) fanOut(n int, start func(errs chan<- error)) error {
 // global ordering and an offset+limit over-fetch, the merged set is
 // re-sorted, and the global offset/limit window is cut. Counts are exact
 // — partitions are disjoint, so leg totals sum.
-func (rt *Router) Query(q ngsi.Query) (ngsi.QueryResult, error) {
+func (rt *Router) Query(tid tenant.ID, q ngsi.Query) (ngsi.QueryResult, error) {
 	m := rt.node.m
 	byLeader := make(map[string][]int)
 	for p := 0; p < m.Partitions(); p++ {
@@ -463,6 +469,7 @@ func (rt *Router) Query(q ngsi.Query) (ngsi.QueryResult, error) {
 		need = q.Offset + q.Limit
 	}
 	wq := wireQuery{
+		Tenant:     tid,
 		IDPattern:  q.IDPattern,
 		Type:       q.Type,
 		Conditions: q.Conditions,
@@ -534,7 +541,7 @@ func (rt *Router) Query(q ngsi.Query) (ngsi.QueryResult, error) {
 }
 
 // Summary routes a series aggregate to the device's owning leader.
-func (rt *Router) Summary(device, quantity string, from, to time.Time) (timeseries.Aggregate, error) {
+func (rt *Router) Summary(tid tenant.ID, device, quantity string, from, to time.Time) (timeseries.Aggregate, error) {
 	node := rt.owner(device)
 	if node == rt.node.id {
 		return rt.node.hooks.Store.Summarize(
@@ -542,12 +549,12 @@ func (rt *Router) Summary(device, quantity string, from, to time.Time) (timeseri
 	}
 	var agg timeseries.Aggregate
 	err := rt.call(node, reqSummary,
-		wireSeries{Device: device, Quantity: quantity, From: from, To: to}, &agg)
+		wireSeries{Tenant: tid, Device: device, Quantity: quantity, From: from, To: to}, &agg)
 	return agg, err
 }
 
 // Windows routes a downsampled series read to the device's owning leader.
-func (rt *Router) Windows(device, quantity string, from, to time.Time, window time.Duration) ([]timeseries.WindowAggregate, error) {
+func (rt *Router) Windows(tid tenant.ID, device, quantity string, from, to time.Time, window time.Duration) ([]timeseries.WindowAggregate, error) {
 	node := rt.owner(device)
 	if node == rt.node.id {
 		return rt.node.hooks.Store.AggregateWindows(
@@ -555,6 +562,6 @@ func (rt *Router) Windows(device, quantity string, from, to time.Time, window ti
 	}
 	var out wireWindows
 	err := rt.call(node, reqWindows,
-		wireSeries{Device: device, Quantity: quantity, From: from, To: to, Window: window}, &out)
+		wireSeries{Tenant: tid, Device: device, Quantity: quantity, From: from, To: to, Window: window}, &out)
 	return out.Windows, err
 }

@@ -359,6 +359,16 @@ func TestDynamicSetMatchesIssueList(t *testing.T) {
 		"http.query_cap":         true,
 		"cluster.ack_timeout":    true,
 		"cluster.max_ready_lag":  true,
+		// The whole tenant admission plane is dynamic: quota retuning
+		// under load is the reload path's primary use case (PR 10).
+		"tenant.enabled":                   true,
+		"tenant.default_msgs_per_sec":      true,
+		"tenant.default_bytes_per_sec":     true,
+		"tenant.default_inflight":          true,
+		"tenant.default_subscriptions":     true,
+		"tenant.default_webhook_share_pct": true,
+		"tenant.burst":                     true,
+		"tenant.metrics_topk":              true,
 	}
 	got := map[string]bool{}
 	for _, f := range Fields() {

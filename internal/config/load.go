@@ -103,6 +103,15 @@ func applyFile(c *Config, prov Provenance, path string, raw []byte) (Errors, err
 		for _, section := range sortedKeys(doc) {
 			for _, key := range sortedKeys(doc[section]) {
 				name := section + "." + key
+				if section == quotasSection {
+					raw, ok := doc[section][key].(string)
+					if !ok {
+						errs = append(errs, FieldError{Name: name, Err: fmt.Errorf("quota specs are strings")})
+						continue
+					}
+					setQuota(c, prov, key, raw)
+					continue
+				}
 				f, ok := FieldByName(name)
 				if !ok {
 					errs = append(errs, FieldError{Name: name, Err: fmt.Errorf("unknown setting")})
@@ -125,6 +134,10 @@ func applyFile(c *Config, prov Provenance, path string, raw []byte) (Errors, err
 	for _, section := range sortedKeys(sections) {
 		for _, key := range sortedKeys(sections[section]) {
 			name := section + "." + key
+			if section == quotasSection {
+				setQuota(c, prov, key, sections[section][key])
+				continue
+			}
 			f, ok := FieldByName(name)
 			if !ok {
 				errs = append(errs, FieldError{Name: name, Err: fmt.Errorf("unknown setting")})
@@ -138,6 +151,17 @@ func applyFile(c *Config, prov Provenance, path string, raw []byte) (Errors, err
 		}
 	}
 	return errs, nil
+}
+
+// setQuota records one [tenant.quotas] override. Spec syntax is not
+// checked here — Validate aggregates ParseSpec failures with every other
+// violation, so a bad spec reports alongside bad knobs.
+func setQuota(c *Config, prov Provenance, id, spec string) {
+	if c.Tenant.Quotas == nil {
+		c.Tenant.Quotas = make(map[string]string)
+	}
+	c.Tenant.Quotas[id] = spec
+	prov[quotasSection+"."+id] = SourceFile
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -222,6 +246,14 @@ func Describe(c *Config, prov Provenance) string {
 			src = SourceDefault
 		}
 		fmt.Fprintf(&b, "%-*s = %-14s (%s)\n", width, f.Name, f.Format(c), src)
+	}
+	for _, id := range sortedKeys(c.Tenant.Quotas) {
+		name := quotasSection + "." + id
+		src := prov[name]
+		if src == "" {
+			src = SourceFile
+		}
+		fmt.Fprintf(&b, "%-*s = %-14s (%s)\n", width, name, fmt.Sprintf("%q", c.Tenant.Quotas[id]), src)
 	}
 	return b.String()
 }

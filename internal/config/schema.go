@@ -46,7 +46,22 @@ type Config struct {
 	Security   Security   `section:"security"`
 	HTTP       HTTP       `section:"http"`
 	Cluster    Cluster    `section:"cluster"`
+	Tenant     Tenant     `section:"tenant"`
 	Sim        Sim        `section:"sim"`
+}
+
+// Clone returns a deep copy of the config — candidate configs for the
+// validate-then-swap reload path and the admin quota API mutate the copy,
+// never the live config.
+func (c *Config) Clone() *Config {
+	out := *c
+	if c.Tenant.Quotas != nil {
+		out.Tenant.Quotas = make(map[string]string, len(c.Tenant.Quotas))
+		for k, v := range c.Tenant.Quotas {
+			out.Tenant.Quotas[k] = v
+		}
+	}
+	return &out
 }
 
 // Server configures the swampd daemon itself.
@@ -131,6 +146,32 @@ type Cluster struct {
 	MaxReadyLag int64         `knob:"max_ready_lag" flag:"cluster-max-ready-lag" default:"100000" min:"0" dynamic:"true" usage:"replication lag in records above which /readyz reports 503 (0 disables the gate)"`
 }
 
+// Tenant configures the multi-tenant admission plane (internal/tenant,
+// DESIGN.md §11). The default_* knobs form the quota applied to any
+// tenant without an explicit override; per-tenant overrides live in the
+// [tenant.quotas] table (tenant id → compact spec string, e.g.
+// "msgs=500,bytes=1048576"), which is not a registry field — arbitrary
+// keys don't fit the schema — but is loaded, validated and reloaded
+// through the same layered path. Every knob here is dynamic: admission
+// policy is exactly the kind of thing operators retune under load.
+type Tenant struct {
+	Enabled                bool          `knob:"enabled" flag:"tenant-admission" default:"false" dynamic:"true" usage:"enforce per-tenant admission control at the MQTT, HTTP and fog ingress points"`
+	DefaultMsgsPerSec      int           `knob:"default_msgs_per_sec" flag:"tenant-msgs" default:"1000" min:"0" dynamic:"true" usage:"per-tenant sustained message budget across all ingress points (0 suspends unlisted tenants)"`
+	DefaultBytesPerSec     int64         `knob:"default_bytes_per_sec" flag:"tenant-bytes" default:"1048576" min:"0" dynamic:"true" usage:"per-tenant sustained payload-byte budget (0 leaves bytes unenforced)"`
+	DefaultInflight        int           `knob:"default_inflight" flag:"tenant-inflight" default:"64" min:"0" dynamic:"true" usage:"per-tenant concurrent HTTP request bound (0 = unenforced)"`
+	DefaultSubscriptions   int           `knob:"default_subscriptions" flag:"tenant-subs" default:"32" min:"0" dynamic:"true" usage:"per-tenant live NGSI subscription bound (0 = unenforced)"`
+	DefaultWebhookSharePct int           `knob:"default_webhook_share_pct" flag:"tenant-webhook-share" default:"50" min:"0" max:"100" dynamic:"true" usage:"per-tenant share of each webhook queue in percent (0 or 100 = full queue)"`
+	Burst                  time.Duration `knob:"burst" flag:"tenant-burst" default:"2s" min:"100ms" dynamic:"true" usage:"token-bucket burst window: a tenant may spend this much quota ahead of its sustained rate"`
+	MetricsTopK            int           `knob:"metrics_topk" flag:"tenant-topk" default:"8" min:"1" dynamic:"true" usage:"tenants granted named swamp_tenant_* metric series; the rest aggregate into _other"`
+
+	// Quotas holds per-tenant overrides from the [tenant.quotas] table
+	// and the admin quota API: tenant id → spec string parsed by
+	// tenant.ParseSpec. Not a schema field (knob:"-"): its keys are
+	// operator-defined, so it bypasses the registry but shares the
+	// load/validate/reload path.
+	Quotas map[string]string `knob:"-"`
+}
+
 // Sim configures simulation-only behaviour shared by swampd and swamp-sim.
 type Sim struct {
 	Seed            int64         `knob:"seed" flag:"seed" default:"1" usage:"seed driving every stochastic component (swampd: 0 derives from the clock)"`
@@ -212,6 +253,12 @@ func buildRegistry() {
 			for fi := 0; fi < st.NumField(); fi++ {
 				lf := st.Field(fi)
 				key := lf.Tag.Get("knob")
+				if key == "-" {
+					// Opt-out for fields the registry cannot carry
+					// (operator-keyed tables like tenant.Quotas); they
+					// get bespoke load/validate handling instead.
+					continue
+				}
 				if key == "" {
 					panic("config: field without knob tag: " + section + "." + lf.Name)
 				}

@@ -1,0 +1,84 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/swamp-project/swamp/internal/tenant"
+)
+
+// quotasSection is the config-file table holding per-tenant quota
+// overrides. Its keys are tenant ids (operator-defined), so it is handled
+// outside the field registry: applyFile routes it here, Validate checks
+// every spec, and ValidateReload treats any change as dynamic.
+const quotasSection = "tenant.quotas"
+
+// DefaultQuota assembles the quota applied to tenants without an explicit
+// [tenant.quotas] override.
+func (t Tenant) DefaultQuota() tenant.Quota {
+	return tenant.Quota{
+		MsgsPerSec:      t.DefaultMsgsPerSec,
+		BytesPerSec:     t.DefaultBytesPerSec,
+		Inflight:        t.DefaultInflight,
+		Subscriptions:   t.DefaultSubscriptions,
+		WebhookSharePct: t.DefaultWebhookSharePct,
+	}
+}
+
+// Limits resolves the full quota table: the section defaults plus every
+// parsed [tenant.quotas] override. Specs are assumed pre-validated
+// (Validate aggregates spec errors); a malformed spec that somehow
+// reaches here falls back to the default quota rather than panicking.
+func (t Tenant) Limits() tenant.Limits {
+	l := tenant.Limits{Default: t.DefaultQuota()}
+	if len(t.Quotas) > 0 {
+		l.Overrides = make(map[tenant.ID]tenant.Quota, len(t.Quotas))
+		for id, spec := range t.Quotas {
+			q, err := tenant.ParseSpec(spec, l.Default)
+			if err != nil {
+				q = l.Default
+			}
+			l.Overrides[tenant.ID(id)] = q
+		}
+	}
+	return l
+}
+
+// validateQuotas aggregates per-entry [tenant.quotas] spec errors.
+func validateQuotas(c *Config) Errors {
+	var errs Errors
+	base := c.Tenant.DefaultQuota()
+	for _, id := range sortedKeys(c.Tenant.Quotas) {
+		if id == "" {
+			errs = append(errs, FieldError{
+				Name: quotasSection,
+				Err:  fmt.Errorf("empty tenant id"),
+			})
+			continue
+		}
+		if _, err := tenant.ParseSpec(c.Tenant.Quotas[id], base); err != nil {
+			errs = append(errs, FieldError{Name: quotasSection + "." + id, Err: err})
+		}
+	}
+	return errs
+}
+
+// diffQuotas returns the dotted names of [tenant.quotas] entries that
+// differ between two configs — added, removed or changed overrides.
+// Override changes are always dynamic: the whole point of the table is
+// live retuning.
+func diffQuotas(old, new *Config) []string {
+	var out []string
+	for id, spec := range new.Tenant.Quotas {
+		if prev, ok := old.Tenant.Quotas[id]; !ok || prev != spec {
+			out = append(out, quotasSection+"."+id)
+		}
+	}
+	for id := range old.Tenant.Quotas {
+		if _, ok := new.Tenant.Quotas[id]; !ok {
+			out = append(out, quotasSection+"."+id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -68,6 +68,7 @@ func Validate(c *Config) error {
 				c.Cluster.MinISR, c.Cluster.Replicas),
 		})
 	}
+	errs = append(errs, validateQuotas(c)...)
 	if c.Cluster.NodeID != "" {
 		if c.Cluster.Peers == "" {
 			errs = append(errs, FieldError{
@@ -130,6 +131,10 @@ func ValidateReload(current, candidate *Config) (dynamic []string, err error) {
 				f.Format(current), f.Format(candidate)),
 		})
 	}
+	// [tenant.quotas] overrides live outside the registry; any change to
+	// the table is dynamic by design (quota retuning is the reload's
+	// primary use case).
+	dynamic = append(dynamic, diffQuotas(current, candidate)...)
 	if len(errs) > 0 {
 		return nil, errs
 	}

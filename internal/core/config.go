@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/swamp-project/swamp/internal/config"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // ParseMode maps a deployment-mode name onto its Mode constant.
@@ -68,6 +69,13 @@ func OptionsFromConfig(c *config.Config) (Options, error) {
 
 		AuditRingSize:      c.Security.AuditRing,
 		TokenPurgeInterval: c.Security.TokenPurgeInterval,
+
+		Tenant: tenant.Config{
+			Enabled: c.Tenant.Enabled,
+			Limits:  c.Tenant.Limits(),
+			Burst:   c.Tenant.Burst,
+			TopK:    c.Tenant.MetricsTopK,
+		},
 	}, nil
 }
 
@@ -81,6 +89,14 @@ func (p *Platform) ApplyDynamic(c *config.Config) {
 	p.Broker.SetSessionQueueLen(c.MQTT.SessionQueue)
 	p.Broker.SetFlushWatermark(c.MQTT.FlushWatermark)
 	p.Broker.SetRouteCacheSize(c.MQTT.RouteCache)
+	// The whole tenant section is dynamic: quota-table edits (including
+	// the admin API's PUT) and the enablement switch land here. SetLimits
+	// clamps live buckets, so shrinking a quota below current usage
+	// throttles immediately rather than after the old allowance drains.
+	p.Admission.SetEnabled(c.Tenant.Enabled)
+	p.Admission.SetLimits(c.Tenant.Limits())
+	p.Admission.SetBurst(c.Tenant.Burst)
+	p.Admission.SetTopK(c.Tenant.MetricsTopK)
 	p.Webhooks.SetWorkers(c.Webhooks.Workers)
 	p.Webhooks.SetRetryBackoff(c.Webhooks.Retry)
 	p.Store.SetMaxAge(c.Timeseries.Retention)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 	"github.com/swamp-project/swamp/internal/wal"
 )
@@ -154,6 +155,7 @@ func (d *Durability) apply(rec wal.Record) error {
 		if err != nil {
 			return err
 		}
+		notifier.SetOwner(tenant.ID(sr.Owner))
 		_, err = d.Context.Subscribe(ngsi.Subscription{
 			ID:              sr.ID,
 			EntityIDPattern: sr.EntityIDPattern,
@@ -161,7 +163,7 @@ func (d *Durability) apply(rec wal.Record) error {
 			ConditionAttrs:  sr.ConditionAttrs,
 			NotifyAttrs:     sr.NotifyAttrs,
 			Throttling:      sr.Throttling,
-			Owner:           sr.Owner,
+			Owner:           tenant.ID(sr.Owner),
 			Notifier:        notifier,
 		})
 		if err != nil {

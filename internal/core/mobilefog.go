@@ -7,6 +7,7 @@ import (
 	"github.com/swamp-project/swamp/internal/drone"
 	"github.com/swamp-project/swamp/internal/model"
 	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // EnsureDrone lazily creates the platform's survey drone (mobile fog).
@@ -23,7 +24,7 @@ func (p *Platform) EnsureDrone() (*drone.Drone, error) {
 	desc := model.Descriptor{
 		ID:     model.DeviceID(p.Opts.Pilot.Name + "-drone-01"),
 		Kind:   model.KindDrone,
-		Owner:  p.Opts.Pilot.Name,
+		Owner:  tenant.ID(p.Opts.Pilot.Name),
 		APIKey: "swamp-" + p.Opts.Pilot.Name,
 	}
 	d, err := drone.New(desc, 0.01, p.Opts.Seed+500)

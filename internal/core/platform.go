@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"github.com/swamp-project/swamp/internal/sensor"
 	"github.com/swamp-project/swamp/internal/simnet"
 	"github.com/swamp-project/swamp/internal/soil"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 	"github.com/swamp-project/swamp/internal/weather"
 )
@@ -216,6 +218,10 @@ type Options struct {
 	// clock). Simulations pass their simulated clock so token lifetimes
 	// follow simulated time.
 	SecurityClock clock.Clock
+	// Tenant configures the per-tenant admission controller. The zero
+	// value builds a disabled controller: all wiring is in place but
+	// every Admit answers Allow until tenant.enabled flips it on.
+	Tenant tenant.Config
 }
 
 // DefaultTokenPurgeInterval is the token-store purge cadence when
@@ -239,6 +245,11 @@ type Platform struct {
 	PEP     *pep.PEP
 	KeyRing *secchan.KeyRing
 	Anomaly *anomaly.Engine
+
+	// Admission is the per-tenant admission controller shared by every
+	// ingress (MQTT publish, HTTP API, fog sync, webhook egress). Always
+	// constructed; enforcement is gated on the tenant.enabled knob.
+	Admission *tenant.Admission
 
 	// Cloud plane.
 	Store     *timeseries.Store
@@ -301,11 +312,12 @@ func New(opts Options) (*Platform, error) {
 		p.Tokens.StartPurge(interval)
 	}
 	owner := opts.Pilot.Name
+	tid := tenant.ID(owner)
 	p.PDP = pep.NewPDP(
 		pep.Policy{
 			ID:              "farmer-own-data",
 			Roles:           []identity.Role{identity.RoleFarmer, identity.RoleAgronomist},
-			Owners:          []string{owner},
+			Owners:          []tenant.ID{tid},
 			Actions:         []string{"read", "subscribe"},
 			ResourcePattern: "ngsi:urn:swamp:" + owner + ":*",
 			Effect:          pep.Permit,
@@ -313,7 +325,7 @@ func New(opts Options) (*Platform, error) {
 		pep.Policy{
 			ID:              "farmer-commands",
 			Roles:           []identity.Role{identity.RoleFarmer},
-			Owners:          []string{owner},
+			Owners:          []tenant.ID{tid},
 			Actions:         []string{"command"},
 			ResourcePattern: "actuator:" + owner + ":*",
 			Effect:          pep.Permit,
@@ -321,7 +333,7 @@ func New(opts Options) (*Platform, error) {
 		pep.Policy{
 			ID:              "farmer-subscriptions",
 			Roles:           []identity.Role{identity.RoleFarmer, identity.RoleAgronomist},
-			Owners:          []string{owner},
+			Owners:          []tenant.ID{tid},
 			Actions:         []string{"read", "subscribe"},
 			ResourcePattern: "subscriptions",
 			Effect:          pep.Permit,
@@ -335,12 +347,12 @@ func New(opts Options) (*Platform, error) {
 	)
 	p.PEP = pep.NewPEP(p.Tokens, p.PDP, p.reg, pep.WithAuditCap(opts.AuditRingSize))
 	if err := p.IDM.Register(identity.Principal{
-		ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: owner,
+		ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: tid,
 	}, "farmer-secret"); err != nil {
 		return nil, err
 	}
 	if err := p.IDM.Register(identity.Principal{
-		ID: "svc-irrigation", Roles: []identity.Role{identity.RoleService}, Owner: owner,
+		ID: "svc-irrigation", Roles: []identity.Role{identity.RoleService}, Owner: tid,
 	}, "svc-secret"); err != nil {
 		return nil, err
 	}
@@ -366,10 +378,18 @@ func New(opts Options) (*Platform, error) {
 		Metrics: p.reg,
 	})
 
+	// --- tenant admission plane ---
+	// Constructed unconditionally (enforcement is behind tenant.enabled)
+	// so every ingress wires through it and a reload can turn admission
+	// on without a restart.
+	p.Admission = tenant.NewAdmission(opts.Tenant)
+
 	// --- transport plane ---
 	p.Broker = mqtt.NewBroker(mqtt.BrokerConfig{
 		Metrics:         p.reg,
 		ACL:             p.brokerACL,
+		TenantFunc:      p.brokerTenant,
+		Admission:       p.Admission,
 		SessionQueueLen: opts.MQTTSessionQueue,
 		RetryInterval:   opts.MQTTRetryInterval,
 		FlushWatermark:  opts.MQTTFlushWatermark,
@@ -389,6 +409,7 @@ func New(opts Options) (*Platform, error) {
 		RetryBackoff: opts.WebhookRetry,
 		QueueLen:     opts.WebhookQueue,
 		OnStatus:     ngsi.StatusUpdater(p.Context),
+		Admission:    p.Admission,
 	})
 
 	// --- cloud plane ---
@@ -520,6 +541,23 @@ func New(opts Options) (*Platform, error) {
 	return p, nil
 }
 
+// brokerTenant resolves an MQTT client to its tenant at CONNECT time:
+// infrastructure clients are internal platform traffic (tenant.None,
+// exempt from admission); every device client belongs to the pilot's
+// tenant. A username of the form "tenant:<id>" overrides the mapping —
+// the hook multi-tenant harnesses (swampd cluster fronts, tenantbench)
+// use to attach foreign tenants to one broker.
+func (p *Platform) brokerTenant(clientID, username string) tenant.ID {
+	if rest, ok := strings.CutPrefix(username, "tenant:"); ok {
+		return tenant.ID(rest)
+	}
+	switch clientID {
+	case "iot-agent", "fog", "cloud", "platform", "bench":
+		return tenant.None
+	}
+	return tenant.ID(p.Opts.Pilot.Name)
+}
+
 // brokerACL restricts devices to their own topics; infrastructure clients
 // are unrestricted. This is the transport-level arm of the §III access
 // control story.
@@ -611,7 +649,7 @@ func (p *Platform) provisionDevices() error {
 		cell := (i*stride + stride/2) % n
 		id := fmt.Sprintf("%s-probe-%02d", pilot.Name, i)
 		desc := model.Descriptor{
-			ID: model.DeviceID(id), Kind: model.KindSoilProbe, Owner: pilot.Name,
+			ID: model.DeviceID(id), Kind: model.KindSoilProbe, Owner: tenant.ID(pilot.Name),
 			Location: cellCenter(p.Field.Grid, cell),
 			Depths:   []float64{0.2, 0.5},
 			APIKey:   "swamp-" + pilot.Name,
@@ -629,7 +667,7 @@ func (p *Platform) provisionDevices() error {
 			return err
 		}
 		if err := p.IDM.Register(identity.Principal{
-			ID: id, Roles: []identity.Role{identity.RoleDevice}, Owner: pilot.Name,
+			ID: id, Roles: []identity.Role{identity.RoleDevice}, Owner: tenant.ID(pilot.Name),
 		}, "device-"+id); err != nil {
 			return err
 		}
@@ -656,7 +694,7 @@ func (p *Platform) provisionDevices() error {
 	// Weather station.
 	wsID := pilot.Name + "-ws"
 	wsDesc := model.Descriptor{
-		ID: model.DeviceID(wsID), Kind: model.KindWeatherStation, Owner: pilot.Name,
+		ID: model.DeviceID(wsID), Kind: model.KindWeatherStation, Owner: tenant.ID(pilot.Name),
 		APIKey: "swamp-" + pilot.Name,
 	}
 	ws, err := sensor.NewWeatherStation(wsDesc, p.Opts.Seed+99)
@@ -731,9 +769,23 @@ func (p *Platform) onContextNotification(n ngsi.Notification) {
 	}
 }
 
+// approxReadingBytes is the admission byte charge per fog-synced reading
+// (the rough wire footprint of one encoded sample).
+const approxReadingBytes = 24
+
 // cloudUplink is the fog node's northbound path: a backhaul round trip
 // into the cloud ingestor.
+//
+// Admission here is pure backpressure: any non-Allow decision surfaces
+// as an error, which the fog node treats exactly like a partition — the
+// batch stays in its store-and-forward queue and replays later. Nothing
+// acknowledged is ever shed; an over-quota tenant's sync just falls
+// behind its own queue bound.
 func (p *Platform) cloudUplink(batch []model.Reading) error {
+	tid := tenant.ID(p.Opts.Pilot.Name)
+	if d := p.Admission.Admit(tid, int64(len(batch))*approxReadingBytes); !d.Allowed() {
+		return fmt.Errorf("core: fog uplink throttled for tenant %s (retry in %v)", tid, d.RetryAfter)
+	}
 	return p.Backhaul.Do(func() error {
 		return p.Ingestor.IngestReadings(batch)
 	})

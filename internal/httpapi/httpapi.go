@@ -25,6 +25,7 @@ import (
 	"github.com/swamp-project/swamp/internal/security/identity"
 	"github.com/swamp-project/swamp/internal/security/oauth"
 	"github.com/swamp-project/swamp/internal/security/pep"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// QueryMaxLimit is the hard cap on requested page sizes
 	// (0 → DefaultQueryCap). Requests above it are rejected with 400.
 	QueryMaxLimit int
+	// Admission is the shared per-tenant admission controller. nil (or
+	// disabled) admits everything; when set, every authorized data route
+	// is charged against the principal's tenant and over-quota requests
+	// answer 429 with Retry-After.
+	Admission *tenant.Admission
 }
 
 // Server is the HTTP facade. It implements http.Handler.
@@ -83,7 +89,7 @@ type Server struct {
 	cTokenIssued, cTokenRejected *metrics.Counter
 	cList, cListCached           *metrics.Counter
 	cUpdate, cBatch, cBatchSize  *metrics.Counter
-	cSeries                      *metrics.Counter
+	cSeries, cThrottled          *metrics.Counter
 }
 
 // NewServer validates the config and builds the routing table.
@@ -116,6 +122,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cBatch:         cfg.Metrics.Counter("httpapi.entities.batch"),
 		cBatchSize:     cfg.Metrics.Counter("httpapi.entities.batch.size"),
 		cSeries:        cfg.Metrics.Counter("httpapi.analytics.series"),
+		cThrottled:     cfg.Metrics.Counter("httpapi.throttled"),
 	}
 	// WAL recovery may have repopulated the broker with HTTP-created
 	// subscriptions; advance the id counter past them so fresh creations
@@ -174,7 +181,13 @@ func (s *Server) Close() {
 // envelope writer so even mux-generated failures (unknown route, method
 // mismatch) carry the NGSI-v2 JSON error body instead of plain text.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	ew := &envelopeWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(ew, r)
+	// The tenant inflight slot claimed in authorize spans the whole
+	// handler; it is returned here, once the response is written.
+	if ew.release != nil {
+		ew.release()
+	}
 }
 
 // envelopeWriter rewrites non-JSON error responses (the mux's plain-text
@@ -185,6 +198,9 @@ type envelopeWriter struct {
 	http.ResponseWriter
 	suppressBody bool
 	wroteHeader  bool
+	// release returns the tenant admission inflight slot (set by
+	// authorize on the first authorized route of the request).
+	release func()
 }
 
 func (e *envelopeWriter) WriteHeader(code int) {
@@ -326,7 +342,47 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resou
 		}
 		return identity.Principal{}, false
 	}
+	// Tenant admission runs after authentication (the tenant is the
+	// principal's) and once per request: handlers that authorize several
+	// resources (batch update) are charged on the first pass only, so one
+	// HTTP request always costs one quota message plus its body bytes.
+	if ew, isEnvelope := w.(*envelopeWriter); !isEnvelope || ew.release == nil {
+		bytes := r.ContentLength
+		if bytes < 0 {
+			bytes = 0
+		}
+		d, release := s.cfg.Admission.AdmitRequest(prin.Tenant(), bytes)
+		if !d.Allowed() {
+			s.cThrottled.Inc()
+			writeThrottled(w, d)
+			return identity.Principal{}, false
+		}
+		if isEnvelope {
+			ew.release = release
+		} else {
+			// No envelope writer to park the slot on (a handler invoked
+			// outside ServeHTTP): return it now — the rate charge stands,
+			// only the inflight bound is skipped.
+			release()
+		}
+		// Thread the tenant through the request context so downstream
+		// layers can attribute work without re-deriving the principal.
+		*r = *r.WithContext(tenant.WithID(r.Context(), prin.Tenant()))
+	}
 	return prin, true
+}
+
+// writeThrottled answers an over-quota request: 429 through the JSON
+// error envelope plus a Retry-After header sized from the tenant's
+// current quota debt (never below 1s — clients should back off, not spin).
+func writeThrottled(w http.ResponseWriter, d tenant.Decision) {
+	retry := int(d.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeErr(w, http.StatusTooManyRequests, "too_many_requests",
+		fmt.Sprintf("tenant quota exceeded; retry after %ds", retry))
 }
 
 // entityJSON is the wire form of an entity.
@@ -436,7 +492,7 @@ func (s *Server) handleListEntities(w http.ResponseWriter, r *http.Request) {
 			count = true
 		}
 	}
-	res, err := s.backendQuery(ngsi.Query{
+	res, err := s.backendQuery(r, ngsi.Query{
 		IDPattern:  pattern,
 		Type:       qs.Get("type"),
 		Conditions: conds,
@@ -483,7 +539,7 @@ func (s *Server) handleGetEntity(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.authorize(w, r, "read", "ngsi:"+id); !ok {
 		return
 	}
-	e, err := s.backendGetEntity(id)
+	e, err := s.backendGetEntity(r, id)
 	if err != nil {
 		if s.cfg.Cluster != nil && !errors.Is(err, ngsi.ErrNotFound) && clusterRetryable(err) {
 			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
@@ -524,7 +580,7 @@ func (s *Server) handleUpdateAttrs(w http.ResponseWriter, r *http.Request) {
 		}
 		attrs[name] = ngsi.Attribute{Type: typ, Value: a.Value}
 	}
-	if err := s.backendUpdateAttrs(id, entityType, attrs); err != nil {
+	if err := s.backendUpdateAttrs(r, id, entityType, attrs); err != nil {
 		if s.cfg.Cluster != nil {
 			writeClusterMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		} else {
@@ -585,7 +641,7 @@ func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		updates[e.ID] = entry
 	}
-	if err := s.backendBatchUpdate(updates); err != nil {
+	if err := s.backendBatchUpdate(r, updates); err != nil {
 		if s.cfg.Cluster != nil {
 			writeClusterMutationErr(w, http.StatusBadRequest, "update_failed", err)
 		} else {
@@ -603,7 +659,7 @@ func (s *Server) handleDeleteEntity(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.authorize(w, r, "write", "ngsi:"+id); !ok {
 		return
 	}
-	if err := s.backendDeleteEntity(id); err != nil {
+	if err := s.backendDeleteEntity(r, id); err != nil {
 		// A durability failure answers 503, not 404: the delete was
 		// rolled back, so the entity is still there and the client
 		// must retry.
@@ -651,7 +707,7 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	var agg timeseries.Aggregate
 	if s.cfg.Cluster != nil {
 		var err error
-		agg, err = s.cfg.Cluster.Summary(device, quantity, from, to)
+		agg, err = s.cfg.Cluster.Summary(tenant.FromContext(r.Context()), device, quantity, from, to)
 		if err != nil {
 			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
 			return
@@ -706,7 +762,7 @@ func (s *Server) handleAnalyticsSeries(w http.ResponseWriter, r *http.Request) {
 	var wins []timeseries.WindowAggregate
 	var err error
 	if s.cfg.Cluster != nil {
-		wins, err = s.cfg.Cluster.Windows(device, quantity, from, to, window)
+		wins, err = s.cfg.Cluster.Windows(tenant.FromContext(r.Context()), device, quantity, from, to, window)
 		if err != nil {
 			writeErr(w, http.StatusServiceUnavailable, "cluster_unavailable", err.Error())
 			return

@@ -17,6 +17,7 @@ import (
 	"github.com/swamp-project/swamp/internal/security/identity"
 	"github.com/swamp-project/swamp/internal/security/oauth"
 	"github.com/swamp-project/swamp/internal/security/pep"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
@@ -51,11 +52,11 @@ func newFixtureWith(t *testing.T, tweak func(*Config)) *fixture {
 	pdp := pep.NewPDP(
 		pep.Policy{
 			ID: "own-ngsi", Roles: []identity.Role{identity.RoleFarmer},
-			Owners: []string{"farm1"}, ResourcePattern: "ngsi:urn:farm1:*", Effect: pep.Permit,
+			Owners: []tenant.ID{"farm1"}, ResourcePattern: "ngsi:urn:farm1:*", Effect: pep.Permit,
 		},
 		pep.Policy{
 			ID: "own-series", Roles: []identity.Role{identity.RoleFarmer},
-			Owners: []string{"farm1"}, ResourcePattern: "series:farm1-*", Effect: pep.Permit,
+			Owners: []tenant.ID{"farm1"}, ResourcePattern: "series:farm1-*", Effect: pep.Permit,
 		},
 		pep.Policy{
 			ID: "subscriptions", Roles: []identity.Role{identity.RoleFarmer},
@@ -64,7 +65,7 @@ func newFixtureWith(t *testing.T, tweak func(*Config)) *fixture {
 		},
 		pep.Policy{
 			ID: "outsider-ngsi", Roles: []identity.Role{identity.RoleFarmer},
-			Owners: []string{"farm2"}, ResourcePattern: "ngsi:urn:farm2:*", Effect: pep.Permit,
+			Owners: []tenant.ID{"farm2"}, ResourcePattern: "ngsi:urn:farm2:*", Effect: pep.Permit,
 		},
 	)
 	ctx := ngsi.NewBroker(ngsi.BrokerConfig{})

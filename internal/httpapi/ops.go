@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // Ops is swampd's operational surface, servable before the platform has
@@ -34,6 +37,18 @@ type Ops struct {
 	// queue depths, replication lag. Keys named "status" or "reason"
 	// are ignored (they belong to the gate itself).
 	Detail func() map[string]any
+	// Tenants, when set, resolves the admission controller backing the
+	// tenant admin surface (GET /admin/tenants, GET
+	// /admin/tenants/{id}/quota) and the per-tenant gauge export before
+	// each /metrics render. A func, not a pointer, because the ops
+	// surface serves before the platform (and its controller) exists;
+	// returning nil answers 404 until then.
+	Tenants func() *tenant.Admission
+	// SetQuota applies one per-tenant quota override through the same
+	// validate-then-swap pipeline as a config reload; spec is the compact
+	// ParseSpec form, and an empty spec clears the override back to the
+	// table default. Nil disables PUT /admin/tenants/{id}/quota (405).
+	SetQuota func(id, spec string) error
 
 	mux *http.ServeMux
 }
@@ -66,8 +81,62 @@ func NewOps(reg *metrics.Registry, ready func() error, reload func() ([]string, 
 		writeJSON(w, code, body)
 	})
 	o.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if adm := o.admission(); adm != nil {
+			// Refresh the swamp_tenant_* gauges (top-K by admitted volume
+			// plus an _other aggregate) so the scrape sees live usage.
+			adm.Export(o.Metrics)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = o.Metrics.WritePrometheus(w)
+	})
+	o.mux.HandleFunc("GET /admin/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		adm := o.admission()
+		if adm == nil {
+			writeErr(w, http.StatusNotFound, "tenants_unavailable", "tenant admission not wired")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": adm.Enabled(),
+			"tenants": adm.Tenants(),
+		})
+	})
+	o.mux.HandleFunc("GET /admin/tenants/{id}/quota", func(w http.ResponseWriter, r *http.Request) {
+		adm := o.admission()
+		if adm == nil {
+			writeErr(w, http.StatusNotFound, "tenants_unavailable", "tenant admission not wired")
+			return
+		}
+		id := tenant.ID(r.PathValue("id"))
+		q, override := adm.QuotaFor(id)
+		writeJSON(w, http.StatusOK, quotaJSON{ID: id, Quota: q, Override: override, Spec: q.Spec()})
+	})
+	o.mux.HandleFunc("PUT /admin/tenants/{id}/quota", func(w http.ResponseWriter, r *http.Request) {
+		adm := o.admission()
+		if adm == nil || o.SetQuota == nil {
+			writeErr(w, http.StatusMethodNotAllowed, "tenants_unavailable", "tenant quota updates not wired")
+			return
+		}
+		id := strings.TrimSpace(r.PathValue("id"))
+		if id == "" {
+			writeErr(w, http.StatusBadRequest, "invalid_tenant", "empty tenant id")
+			return
+		}
+		var body struct {
+			Spec string `json:"spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_body", `expected {"spec": "msgs=...,bytes=..."}`)
+			return
+		}
+		// SetQuota routes through validate-then-swap: an invalid spec (or
+		// any other rejected candidate config) answers 422 and changes
+		// nothing, exactly like a rejected reload.
+		if err := o.SetQuota(id, strings.TrimSpace(body.Spec)); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "invalid_quota", err.Error())
+			return
+		}
+		q, override := adm.QuotaFor(tenant.ID(id))
+		writeJSON(w, http.StatusOK, quotaJSON{ID: tenant.ID(id), Quota: q, Override: override, Spec: q.Spec()})
 	})
 	o.mux.HandleFunc("POST /admin/reload", func(w http.ResponseWriter, _ *http.Request) {
 		if o.Reload == nil {
@@ -87,14 +156,33 @@ func NewOps(reg *metrics.Registry, ready func() error, reload func() ([]string, 
 	return o
 }
 
+// admission resolves the live admission controller, or nil when the
+// hook is unset or the platform has not finished constructing.
+func (o *Ops) admission() *tenant.Admission {
+	if o.Tenants == nil {
+		return nil
+	}
+	return o.Tenants()
+}
+
+// quotaJSON is the wire form of one tenant's effective quota: the
+// structured fields plus the compact spec string PUT accepts, so a GET
+// body can be edited and PUT straight back.
+type quotaJSON struct {
+	ID       tenant.ID    `json:"id"`
+	Quota    tenant.Quota `json:"quota"`
+	Override bool         `json:"override"`
+	Spec     string       `json:"spec"`
+}
+
 // Handles reports whether path belongs to the ops surface — swampd's
 // outer mux routes these to Ops and everything else to the API server.
 func (o *Ops) Handles(path string) bool {
 	switch path {
-	case "/healthz", "/readyz", "/metrics", "/admin/reload":
+	case "/healthz", "/readyz", "/metrics", "/admin/reload", "/admin/tenants":
 		return true
 	}
-	return false
+	return strings.HasPrefix(path, "/admin/tenants/")
 }
 
 // ServeHTTP implements http.Handler.

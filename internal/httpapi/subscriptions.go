@@ -10,6 +10,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/ngsi"
 	"github.com/swamp-project/swamp/internal/security/identity"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // nextSubID numbers HTTP-created subscriptions. The prefix keeps them
@@ -62,9 +63,11 @@ type subscriptionBody struct {
 
 // subscriptionJSON is the wire form of a subscription view.
 type subscriptionJSON struct {
-	ID      string `json:"id"`
-	Status  string `json:"status"`
-	Owner   string `json:"owner,omitempty"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Owner is a tenant.ID, which marshals as the same bare string the
+	// pre-tenant `owner string` field produced — wire compatible.
+	Owner   tenant.ID `json:"owner,omitempty"`
 	Subject struct {
 		Entities  []map[string]string `json:"entities"`
 		Condition struct {
@@ -147,13 +150,23 @@ func (s *Server) handleCreateSubscription(w http.ResponseWriter, r *http.Request
 	if !ok {
 		return
 	}
+	// The subscription slot is held for the subscription's lifetime, not
+	// the request's: released on delete, or below if registration fails.
+	if err := s.cfg.Admission.ReserveSubscription(prin.Tenant()); err != nil {
+		s.cThrottled.Inc()
+		w.Header().Set("Retry-After", "60")
+		writeErr(w, http.StatusTooManyRequests, "too_many_requests", err.Error())
+		return
+	}
 
 	id := fmt.Sprintf("urn:swamp:subscription:%06d", nextSubID.Add(1))
 	notifier, err := s.cfg.Webhooks.Notifier(id, body.Notification.HTTP.URL)
 	if err != nil {
+		s.cfg.Admission.ReleaseSubscription(prin.Tenant())
 		writeErr(w, http.StatusInternalServerError, "subscription_failed", err.Error())
 		return
 	}
+	notifier.SetOwner(prin.Tenant())
 	if _, err := s.cfg.Context.Subscribe(ngsi.Subscription{
 		ID:              id,
 		EntityIDPattern: pattern,
@@ -165,6 +178,7 @@ func (s *Server) handleCreateSubscription(w http.ResponseWriter, r *http.Request
 		Owner:           prin.Owner,
 	}); err != nil {
 		s.cfg.Webhooks.Remove(id)
+		s.cfg.Admission.ReleaseSubscription(prin.Tenant())
 		writeMutationErr(w, http.StatusBadRequest, "subscription_failed", err)
 		return
 	}
@@ -231,6 +245,9 @@ func (s *Server) handleDeleteSubscription(w http.ResponseWriter, r *http.Request
 		return
 	}
 	s.cfg.Webhooks.Remove(id)
+	// Return the owner's slot (not the caller's — an operator may delete
+	// another tenant's subscription).
+	s.cfg.Admission.ReleaseSubscription(v.Owner)
 	s.cfg.Metrics.Counter("httpapi.subscriptions.deleted").Inc()
 	w.WriteHeader(http.StatusNoContent)
 }

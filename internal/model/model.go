@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // DeviceID uniquely identifies a device (sensor, actuator, drone or fog
@@ -123,7 +125,7 @@ func (r Reading) Validate() error {
 type Descriptor struct {
 	ID       DeviceID
 	Kind     DeviceKind
-	Owner    string // farmer / tenant that owns the data (paper §III)
+	Owner    tenant.ID // farmer / tenant that owns the data (paper §III)
 	Location GeoPoint
 	Depths   []float64 // for multi-depth soil probes
 	APIKey   string    // shared key used on the southbound transport

@@ -13,6 +13,7 @@ import (
 	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/shardhash"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // AuthFunc authenticates a connecting client and returns an MQTT connect
@@ -30,6 +31,15 @@ type BrokerConfig struct {
 	Auth AuthFunc
 	// ACL is consulted on PUBLISH and SUBSCRIBE; nil allows everything.
 	ACL ACLFunc
+	// TenantFunc resolves the connecting client to its tenant, once, at
+	// CONNECT time (after Auth accepts). nil, or returning tenant.None,
+	// marks the session as internal platform traffic — never admitted
+	// against a quota.
+	TenantFunc func(clientID, username string) tenant.ID
+	// Admission is the shared per-tenant admission controller. nil (or
+	// disabled) admits everything; when set, CONNECT, PUBLISH and
+	// SUBSCRIBE are charged against the session tenant's quotas.
+	Admission *tenant.Admission
 	// RetryInterval is the QoS 1 redelivery interval (default 1s).
 	RetryInterval time.Duration
 	// MaxRetries bounds QoS 1 redeliveries before the message is dropped
@@ -129,7 +139,11 @@ type Broker struct {
 	cPubIn, cPubDenied, cDeliverOut, cDeliverErr *metrics.Counter
 	cQueueDropped, cQueueParked, cCtlDropped     *metrics.Counter
 	cFlushes, cFlushedPkts, cRouteMiss           *metrics.Counter
+	cPubSampled, cPubThrottled, cQuotaDisc       *metrics.Counter
 	gQueueDepth                                  *metrics.Gauge
+	// lastQuotaLog rate-limits the quota-disconnect log line (unix nanos
+	// of the last emission).
+	lastQuotaLog atomic.Int64
 
 	// Tap, if set, observes every PUBLISH routed by the broker. The anomaly
 	// detection layer uses it as its traffic feed. Must be set before
@@ -222,6 +236,9 @@ func NewBroker(cfg BrokerConfig) *Broker {
 		cFlushes:      cfg.Metrics.Counter("mqtt.writer.flushes"),
 		cFlushedPkts:  cfg.Metrics.Counter("mqtt.writer.flushed_packets"),
 		cRouteMiss:    cfg.Metrics.Counter("mqtt.route.cache_miss"),
+		cPubSampled:   cfg.Metrics.Counter("mqtt.publish.sampled"),
+		cPubThrottled: cfg.Metrics.Counter("mqtt.publish.throttled"),
+		cQuotaDisc:    cfg.Metrics.Counter("mqtt.quota.disconnects"),
 		gQueueDepth:   cfg.Metrics.Gauge("mqtt.queue.depth"),
 	}
 	b.subs.Store(newSubTree())
@@ -355,6 +372,13 @@ type session struct {
 	fl        Flusher     // transport's flush hook; nil if it writes through
 	broker    *Broker
 
+	// tenant is resolved once at CONNECT and is immutable afterwards.
+	// tenant.None marks internal platform sessions, exempt from admission.
+	tenant tenant.ID
+	// tenantSubs counts the subscription-quota slots this session holds,
+	// so close() can return exactly what was reserved.
+	tenantSubs atomic.Int64
+
 	// qcap is the session's outbound queue bound, snapshotted from the
 	// broker's dynamic knob at attach: the ring is fixed-capacity once
 	// allocated, so a reload applies to sessions created after it.
@@ -448,6 +472,11 @@ func (s *session) close() {
 	for _, f := range frames {
 		f.release()
 	}
+	// Return every subscription-quota slot the session still holds; the
+	// Swap makes a takeover + dropSession pair release exactly once.
+	for n := s.tenantSubs.Swap(0); n > 0; n-- {
+		s.broker.cfg.Admission.ReleaseSubscription(s.tenant)
+	}
 	close(s.done)
 	s.transport.Close()
 }
@@ -484,9 +513,23 @@ func (b *Broker) serveTransport(t Transport) {
 			return
 		}
 	}
+	var tid tenant.ID
+	if b.cfg.TenantFunc != nil {
+		tid = b.cfg.TenantFunc(first.ClientID, first.Username)
+	}
+	// The quota gate is the last CONNECT check: a suspended or deeply
+	// indebted tenant is refused at the door rather than admitted into a
+	// session every publish of which would be shed.
+	if !b.cfg.Admission.AdmitConnect(tid) {
+		b.reg.Counter("mqtt.connect.quota_refused").Inc()
+		_ = t.WritePacket(&Packet{Type: CONNACK, ReturnCode: ConnRefusedQuota})
+		t.Close()
+		return
+	}
 
 	s := &session{
 		id:        first.ClientID,
+		tenant:    tid,
 		transport: t,
 		broker:    b,
 		qcap:      int(b.dynQueueLen.Load()),
@@ -576,7 +619,7 @@ func (b *Broker) stripSubscriptions(clientID string) {
 func (b *Broker) handlePacket(s *session, pkt *Packet) (stop bool) {
 	switch pkt.Type {
 	case PUBLISH:
-		b.handlePublish(s, pkt)
+		return b.handlePublish(s, pkt)
 	case PUBACK:
 		s.mu.Lock()
 		p := s.pending[pkt.PacketID]
@@ -605,14 +648,49 @@ func (b *Broker) handlePacket(s *session, pkt *Packet) (stop bool) {
 	return false
 }
 
-func (b *Broker) handlePublish(s *session, pkt *Packet) {
+// handlePublish processes one inbound PUBLISH; it reports whether the
+// session should end (the disconnect rung of the tenant shed ladder).
+func (b *Broker) handlePublish(s *session, pkt *Packet) (stop bool) {
 	if err := ValidateTopicName(pkt.Topic); err != nil {
 		b.cfg.Logf("mqtt broker: %s: %v", s.id, err)
-		return
+		return false
 	}
 	if b.cfg.ACL != nil && !b.cfg.ACL(s.id, pkt.Topic, true) {
 		b.cPubDenied.Inc()
-		return
+		return false
+	}
+	// Tenant admission walks the shed ladder before any routing work —
+	// a shed message costs the platform nothing but this switch.
+	switch d := b.cfg.Admission.Admit(s.tenant, int64(len(pkt.Payload))); d.Action {
+	case tenant.ActAllow:
+	case tenant.ActSampled:
+		// Sampling rung: the reading is shed but QoS 1 is still
+		// acknowledged, so constrained devices do not retransmit into the
+		// very congestion being shed. The shed is counted, never silent.
+		b.cPubSampled.Inc()
+		if pkt.QoS == 1 {
+			b.enqueueCtl(s, &Packet{Type: PUBACK, PacketID: pkt.PacketID})
+		}
+		return false
+	case tenant.ActRejected:
+		// Reject rung: drop without PUBACK. A QoS 1 publisher's
+		// redelivery timer is the honest backpressure signal here —
+		// nothing was acknowledged, so nothing acked is lost.
+		b.cPubThrottled.Inc()
+		return false
+	case tenant.ActDisconnected:
+		// Last rung: the tenant kept hammering through a full reject
+		// window, so the session itself goes. The log line is sampled to
+		// one per second — a reconnect-hammering tenant must not be able
+		// to spam the operator log; mqtt.quota.disconnects counts every
+		// occurrence.
+		b.cPubThrottled.Inc()
+		b.cQuotaDisc.Inc()
+		if now := b.clk.Now().UnixNano(); now-b.lastQuotaLog.Load() > int64(time.Second) {
+			b.lastQuotaLog.Store(now)
+			b.cfg.Logf("mqtt broker: %s (tenant %s): disconnected for sustained quota overrun", s.id, s.tenant)
+		}
+		return true
 	}
 	b.cPubIn.Inc()
 	if pkt.QoS == 1 {
@@ -625,6 +703,7 @@ func (b *Broker) handlePublish(s *session, pkt *Packet) {
 		tap(s.id, pkt.Topic, pkt.Payload, b.clk.Now())
 	}
 	b.routePublish(pkt.Topic, pkt.Payload, pkt.QoS)
+	return false
 }
 
 // storeRetained updates the retained store for topic; an empty payload
@@ -1306,6 +1385,17 @@ func (b *Broker) handleSubscribe(s *session, pkt *Packet) {
 			granted[i] = 0x80
 			continue
 		}
+		// Each accepted filter holds one of the tenant's subscription
+		// slots until the session releases it (UNSUBSCRIBE or close). A
+		// duplicate SUBSCRIBE to the same filter double-reserves until
+		// close — a bounded over-count on a misbehaving client, never a
+		// leak.
+		if err := b.cfg.Admission.ReserveSubscription(s.tenant); err != nil {
+			b.reg.Counter("mqtt.subscribe.quota_refused").Inc()
+			granted[i] = 0x80
+			continue
+		}
+		s.tenantSubs.Add(1)
 		granted[i] = qos
 		accepted = append(accepted, Subscription{Filter: f.Filter, QoS: qos})
 	}
@@ -1367,6 +1457,10 @@ func (b *Broker) handleUnsubscribe(s *session, pkt *Packet) {
 	for _, f := range pkt.Filters {
 		var removed bool
 		root, removed = root.withoutSub(f.Filter, s.id)
+		if removed && s.tenantSubs.Load() > 0 {
+			s.tenantSubs.Add(-1)
+			b.cfg.Admission.ReleaseSubscription(s.tenant)
+		}
 		changed = changed || removed
 	}
 	if changed {

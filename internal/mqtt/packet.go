@@ -55,6 +55,11 @@ const (
 	ConnRefusedIdentifier byte = 2
 	ConnRefusedBadAuth    byte = 4
 	ConnRefusedNotAuthed  byte = 5
+	// ConnRefusedQuota refuses a CONNECT whose tenant is suspended or in
+	// sustained quota debt. 3.1.1 has no code for this, so the broker
+	// borrows MQTT 5's quota-exceeded reason code; clients should treat
+	// it as "try again later", not as an authentication failure.
+	ConnRefusedQuota byte = 0x97
 )
 
 // Packet is the decoded form of one MQTT control packet. A single struct

@@ -11,6 +11,7 @@ import (
 	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/shardhash"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // ErrNotFound is returned for lookups of unknown entities or subscriptions.
@@ -54,8 +55,10 @@ type Subscription struct {
 	// HTTPNotifier from a WebhookPool.
 	Notifier Notifier
 	// Owner is the tenant that created the subscription; the HTTP API
-	// scopes visibility and deletion to it. Empty for internal wiring.
-	Owner string
+	// scopes visibility and deletion to it, and the admission plane
+	// charges webhook budgets against it. tenant.None for internal
+	// wiring.
+	Owner tenant.ID
 }
 
 // BrokerConfig configures the context broker.

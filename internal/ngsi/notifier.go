@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // Notifier delivers notifications for one subscription. Implementations
@@ -46,7 +48,7 @@ type SubscriptionView struct {
 	ConditionAttrs  []string
 	NotifyAttrs     []string
 	Throttling      time.Duration
-	Owner           string
+	Owner           tenant.ID
 	Status          SubStatus
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/clock"
 	"github.com/swamp-project/swamp/internal/metrics"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // Webhook defaults.
@@ -67,6 +68,11 @@ type WebhookConfig struct {
 	// crosses the failure threshold (healthy=false) or recovers
 	// (healthy=true). Wire it to Broker.SetSubscriptionStatus.
 	OnStatus func(subscriptionID string, healthy bool)
+	// Admission is the shared per-tenant admission controller. nil (or
+	// disabled) changes nothing; when set, owned notifiers cap their
+	// queue at the tenant's webhook share and delay deliveries on the
+	// ladder's Delay rung.
+	Admission *tenant.Admission
 }
 
 // WebhookPool delivers NGSI notifications to subscription callback URLs.
@@ -284,6 +290,11 @@ type HTTPNotifier struct {
 	queue chan Notification
 	stop  chan struct{}
 
+	// owner is the subscription's tenant, set once via SetOwner before
+	// the subscription starts receiving traffic; tenant.None exempts the
+	// notifier from per-tenant queue caps and delivery delays.
+	owner tenant.ID
+
 	closed   atomic.Bool
 	stopOnce sync.Once
 
@@ -296,15 +307,31 @@ type HTTPNotifier struct {
 // webhook subscriptions as durable for the journal.
 func (n *HTTPNotifier) Endpoint() string { return n.url }
 
+// SetOwner binds the notifier to its subscription's tenant for webhook
+// quota accounting. Call it after Notifier and before the subscription is
+// registered with the broker (registration is the synchronization point —
+// no notification can race a SetOwner that precedes it).
+func (n *HTTPNotifier) SetOwner(id tenant.ID) { n.owner = id }
+
 // Notify implements Notifier.
 func (n *HTTPNotifier) Notify(note Notification) {
 	if n.closed.Load() {
 		n.pool.cDropped.Inc()
 		return
 	}
+	// The tenant's webhook share caps how much of the per-subscription
+	// queue an owned subscription may fill: an over-subscribed tenant's
+	// backlog saturates at its share while others keep their full queue.
+	if adm := n.pool.cfg.Admission; adm.Enabled() && !n.owner.IsNone() {
+		if len(n.queue) >= adm.WebhookQueueCap(n.owner, cap(n.queue)) {
+			n.pool.cDropped.Inc()
+			return
+		}
+	}
 	select {
 	case n.queue <- note:
 		n.pool.depth.Add(1)
+		n.pool.cfg.Admission.AddQueueDepth(n.owner, 1)
 		// Re-check after the enqueue: if shutdown ran (and drained)
 		// concurrently, nobody will ever service the queue again, so
 		// drain one item ourselves to keep the depth gauge truthful.
@@ -312,6 +339,7 @@ func (n *HTTPNotifier) Notify(note Notification) {
 			select {
 			case <-n.queue:
 				n.pool.depth.Add(-1)
+				n.pool.cfg.Admission.AddQueueDepth(n.owner, -1)
 				n.pool.cDropped.Inc()
 			default:
 			}
@@ -338,6 +366,7 @@ func (n *HTTPNotifier) run() {
 				select {
 				case <-n.queue:
 					n.pool.depth.Add(-1)
+					n.pool.cfg.Admission.AddQueueDepth(n.owner, -1)
 					n.pool.cDropped.Inc()
 				default:
 					return
@@ -345,6 +374,7 @@ func (n *HTTPNotifier) run() {
 			}
 		case note := <-n.queue:
 			n.pool.depth.Add(-1)
+			n.pool.cfg.Admission.AddQueueDepth(n.owner, -1)
 			n.deliver(note)
 		}
 	}
@@ -361,6 +391,16 @@ type notificationBody struct {
 // while the HTTP request is in flight — backoff sleeps release it.
 func (n *HTTPNotifier) deliver(note Notification) {
 	cfg := &n.pool.cfg
+	// Delay rung of the tenant shed ladder: an indebted tenant's webhooks
+	// are postponed, not dropped — the sleep happens on this notifier's
+	// own goroutine, before a pool slot is held, so no other tenant waits.
+	if d := cfg.Admission.WebhookDelay(n.owner); d > 0 {
+		select {
+		case <-n.stop:
+			return
+		case <-cfg.Clock.After(d):
+		}
+	}
 	body, err := json.Marshal(notificationBody{SubscriptionID: n.subID, Data: []*Entity{note.Entity}})
 	if err != nil {
 		n.pool.cFailed.Inc()

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 // Role is a coarse authorization role attached to a principal.
@@ -29,11 +31,17 @@ const (
 
 // Principal is an authenticated actor: user, device or service account.
 type Principal struct {
-	ID       string
-	Roles    []Role
-	Owner    string // tenant (farm) whose data this principal belongs to
+	ID    string
+	Roles []Role
+	// Owner is the tenant (farm) whose data this principal belongs to —
+	// the canonical principal→tenant mapping every ingress point
+	// resolves admission and access control against.
+	Owner    tenant.ID
 	Disabled bool
 }
+
+// Tenant returns the principal's tenant identity.
+func (p Principal) Tenant() tenant.ID { return p.Owner }
 
 // HasRole reports whether the principal holds r.
 func (p Principal) HasRole(r Role) bool {

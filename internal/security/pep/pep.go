@@ -28,6 +28,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/security/identity"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/security/oauth"
 )
 
@@ -66,7 +67,7 @@ type Policy struct {
 	// Roles: the principal must hold at least one; empty matches any role.
 	Roles []identity.Role
 	// Owners: the principal's tenant must be listed; empty matches any.
-	Owners []string
+	Owners []tenant.ID
 	// Actions: the request action must be listed; empty matches any.
 	Actions []string
 	// ResourcePattern: exact resource or prefix ending in '*'; empty
@@ -370,7 +371,7 @@ func memoKey(pr *identity.Principal, action, resource string) string {
 	b.Grow(n)
 	b.WriteString(pr.ID)
 	b.WriteByte(0)
-	b.WriteString(pr.Owner)
+	b.WriteString(string(pr.Owner))
 	for _, r := range pr.Roles {
 		b.WriteByte(0)
 		b.WriteString(string(r))

@@ -7,10 +7,11 @@ import (
 
 	"github.com/swamp-project/swamp/internal/security/identity"
 	"github.com/swamp-project/swamp/internal/security/oauth"
+	"github.com/swamp-project/swamp/internal/tenant"
 )
 
 func farmer(owner string) identity.Principal {
-	return identity.Principal{ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: owner}
+	return identity.Principal{ID: owner + "-farmer", Roles: []identity.Role{identity.RoleFarmer}, Owner: tenant.ID(owner)}
 }
 
 func TestPDPDefaultDeny(t *testing.T) {
@@ -59,7 +60,7 @@ func TestPDPDenyOverrides(t *testing.T) {
 }
 
 func TestPDPOwnerSelector(t *testing.T) {
-	pdp := NewPDP(Policy{ID: "farm1-only", Owners: []string{"farm1"}, Effect: Permit})
+	pdp := NewPDP(Policy{ID: "farm1-only", Owners: []tenant.ID{"farm1"}, Effect: Permit})
 	if dec := pdp.Decide(Request{Principal: farmer("farm1"), Action: "read", Resource: "r"}); dec.Effect != Permit {
 		t.Error("owner match denied")
 	}

@@ -1,0 +1,605 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+)
+
+// The graduated shed ladder, in seconds of accumulated quota debt
+// (DESIGN.md §11.2). A tenant within budget pays nothing; past budget it
+// is degraded in escalating rungs before anything is refused outright.
+const (
+	// sampleDebtSec: telemetry sampling starts (keep 1 in sampleKeepN).
+	sampleDebtSec = 0.5
+	// delayDebtSec: webhook deliveries are delayed and sampling hardens
+	// to 1 in delayKeepN.
+	delayDebtSec = 1.0
+	// rejectCapSec caps accumulated debt: past delayDebtSec ingress is
+	// refused (HTTP 429 + Retry-After, MQTT throttle), and debt never
+	// grows beyond this, bounding the post-abuse recovery time.
+	rejectCapSec = 3.0
+
+	sampleKeepN = 4 // Sample rung: admit 1 in 4 telemetry messages
+	delayKeepN  = 8 // Delay rung: admit 1 in 8
+
+	// maxWebhookDelay bounds the Delay rung's webhook deferral.
+	maxWebhookDelay = time.Second
+)
+
+// Action is an admission decision's disposition.
+type Action uint8
+
+// Admission dispositions, in ladder order.
+const (
+	// ActAllow admits the message.
+	ActAllow Action = iota
+	// ActSampled sheds the message as telemetry thinning: the tenant is
+	// over budget and this message lost the 1-in-N draw. Observable
+	// (tenant.sampled counts it), never silent.
+	ActSampled
+	// ActRejected refuses the message: HTTP surfaces 429 + Retry-After,
+	// MQTT withholds the ack so QoS 1 clients back off and retry.
+	ActRejected
+	// ActDisconnected is the MQTT last resort: the tenant kept hammering
+	// through a sustained reject streak and its session should be
+	// dropped (CONNACK 0x97 on reconnect while pressure persists).
+	ActDisconnected
+)
+
+// String names the action for logs and metrics.
+func (a Action) String() string {
+	switch a {
+	case ActAllow:
+		return "allow"
+	case ActSampled:
+		return "sampled"
+	case ActRejected:
+		return "rejected"
+	case ActDisconnected:
+		return "disconnected"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	Action Action
+	// RetryAfter is how long the tenant should wait before retrying —
+	// the HTTP Retry-After header value. Set on ActRejected and
+	// ActDisconnected.
+	RetryAfter time.Duration
+}
+
+// Allowed reports whether the message was admitted.
+func (d Decision) Allowed() bool { return d.Action == ActAllow }
+
+// Config configures an Admission controller.
+type Config struct {
+	// Enabled turns enforcement on. A disabled controller still exists
+	// (wiring is unconditional) but admits everything and keeps no
+	// per-tenant ledger hot; the flag is a dynamic knob.
+	Enabled bool
+	// Limits is the initial quota table.
+	Limits Limits
+	// Clock drives bucket refill (nil → wall clock). Tests and
+	// simulations pass clock.Sim.
+	Clock clock.Clock
+	// Burst is the token-bucket capacity expressed as a duration of
+	// sustained rate (capacity = rate × Burst). 0 → 2s.
+	Burst time.Duration
+	// MetricsTopK caps per-tenant metric cardinality: the K busiest
+	// tenants get named swamp_tenant_* series, the rest aggregate into
+	// "_other". 0 → 8.
+	TopK int
+}
+
+// Admission is the per-tenant admission controller shared by the three
+// ingress points (MQTT publish, HTTP API, fog sync). All methods are safe
+// for concurrent use, and all are nil-safe: a nil *Admission admits
+// everything, so wiring stays unconditional and the controller is the
+// single on/off switch.
+//
+// Isolation invariant: a tenant that stays within its quota is never
+// sampled, delayed, rejected or disconnected — regardless of what any
+// other tenant does. Each tenant draws on its own budget only.
+type Admission struct {
+	clk     clock.Clock
+	enabled atomic.Bool
+
+	mu      sync.RWMutex
+	limits  Limits
+	burst   time.Duration
+	topK    int
+	tenants map[ID]*state
+}
+
+// state is one tenant's live admission ledger. Token counts may go
+// negative: the debt depth selects the shed-ladder rung.
+type state struct {
+	mu         sync.Mutex
+	quota      Quota
+	override   bool
+	msgTokens  float64
+	byteTokens float64
+	last       time.Time
+	sampleSeq  uint64
+	// rejectStreak counts consecutive rejected messages; crossing
+	// disconnectStreak(quota) escalates to ActDisconnected.
+	rejectStreak int
+
+	inflight atomic.Int64
+	subs     atomic.Int64
+	// queueDepth mirrors the tenant's aggregate MQTT outbound queue
+	// depth, maintained by the broker's enqueue/dequeue accounting.
+	queueDepth atomic.Int64
+
+	admitted    atomic.Uint64
+	sampled     atomic.Uint64
+	throttled   atomic.Uint64
+	disconnects atomic.Uint64
+	bytesIn     atomic.Uint64
+}
+
+// NewAdmission builds a controller.
+func NewAdmission(cfg Config) *Admission {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * time.Second
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 8
+	}
+	a := &Admission{
+		clk:     cfg.Clock,
+		limits:  cfg.Limits.clone(),
+		burst:   cfg.Burst,
+		topK:    cfg.TopK,
+		tenants: make(map[ID]*state),
+	}
+	a.enabled.Store(cfg.Enabled)
+	return a
+}
+
+// SetEnabled flips enforcement — the tenant.enabled dynamic knob.
+func (a *Admission) SetEnabled(on bool) {
+	if a != nil {
+		a.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether enforcement is on.
+func (a *Admission) Enabled() bool { return a != nil && a.enabled.Load() }
+
+// SetBurst updates the token-bucket capacity window (dynamic knob).
+func (a *Admission) SetBurst(d time.Duration) {
+	if a == nil || d <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.burst = d
+	a.mu.Unlock()
+}
+
+// SetTopK updates the metrics cardinality cap (dynamic knob).
+func (a *Admission) SetTopK(k int) {
+	if a == nil || k <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.topK = k
+	a.mu.Unlock()
+}
+
+// SetLimits swaps the quota table — the reload path. Every live tenant's
+// governing quota updates immediately; token balances are clamped to the
+// new burst capacity, so a reload that shrinks a quota below current
+// usage throttles the tenant on its very next message instead of letting
+// an old surplus ride.
+func (a *Admission) SetLimits(l Limits) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.limits = l.clone()
+	for id, st := range a.tenants {
+		q := a.limits.For(id)
+		_, over := a.limits.Overrides[id]
+		st.mu.Lock()
+		st.quota = q
+		st.override = over
+		st.clampLocked(a.burst)
+		st.mu.Unlock()
+	}
+	a.mu.Unlock()
+}
+
+// Limits returns a copy of the installed quota table.
+func (a *Admission) Limits() Limits {
+	if a == nil {
+		return Limits{}
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.limits.clone()
+}
+
+// QuotaFor returns the quota governing id and whether it is an explicit
+// override (vs the table default).
+func (a *Admission) QuotaFor(id ID) (Quota, bool) {
+	if a == nil {
+		return Quota{}, false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	q, over := a.limits.Overrides[id]
+	if !over {
+		q = a.limits.Default
+	}
+	return q, over
+}
+
+// get returns the tenant's state, creating it on first sight.
+func (a *Admission) get(id ID) *state {
+	a.mu.RLock()
+	st := a.tenants[id]
+	a.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.tenants[id]; st != nil {
+		return st
+	}
+	q := a.limits.For(id)
+	_, over := a.limits.Overrides[id]
+	st = &state{quota: q, override: over, last: a.clk.Now()}
+	// A new tenant starts with a full burst allowance.
+	st.msgTokens = float64(q.MsgsPerSec) * a.burst.Seconds()
+	st.byteTokens = float64(q.BytesPerSec) * a.burst.Seconds()
+	a.tenants[id] = st
+	return st
+}
+
+// clampLocked bounds token balances to the (possibly new) burst capacity
+// and the debt floor. Callers hold st.mu.
+func (st *state) clampLocked(burst time.Duration) {
+	capMsgs := float64(st.quota.MsgsPerSec) * burst.Seconds()
+	capBytes := float64(st.quota.BytesPerSec) * burst.Seconds()
+	st.msgTokens = math.Min(st.msgTokens, capMsgs)
+	st.byteTokens = math.Min(st.byteTokens, capBytes)
+	st.msgTokens = math.Max(st.msgTokens, -rejectCapSec*float64(st.quota.MsgsPerSec))
+	st.byteTokens = math.Max(st.byteTokens, -rejectCapSec*float64(st.quota.BytesPerSec))
+}
+
+// refillLocked advances the buckets to now. Callers hold st.mu.
+func (st *state) refillLocked(now time.Time, burst time.Duration) {
+	dt := now.Sub(st.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	st.last = now
+	st.msgTokens += dt * float64(st.quota.MsgsPerSec)
+	st.byteTokens += dt * float64(st.quota.BytesPerSec)
+	st.clampLocked(burst)
+}
+
+// debtSecLocked returns the deeper of the two buckets' debt, in seconds
+// of sustained quota. Callers hold st.mu.
+func (st *state) debtSecLocked() float64 {
+	var d float64
+	if st.quota.MsgsPerSec > 0 && st.msgTokens < 0 {
+		d = -st.msgTokens / float64(st.quota.MsgsPerSec)
+	}
+	if st.quota.BytesPerSec > 0 && st.byteTokens < 0 {
+		if bd := -st.byteTokens / float64(st.quota.BytesPerSec); bd > d {
+			d = bd
+		}
+	}
+	return d
+}
+
+// disconnectStreak is the sustained-reject threshold past which an MQTT
+// tenant is disconnected: about a second of hammering at full quota rate.
+func disconnectStreak(q Quota) int {
+	if n := q.MsgsPerSec; n > 32 {
+		return n
+	}
+	return 32
+}
+
+// Admit charges one message of the given payload size against the tenant
+// and walks the shed ladder. The None tenant (internal platform traffic)
+// is always admitted.
+func (a *Admission) Admit(id ID, bytes int64) Decision {
+	if !a.Enabled() || id.IsNone() {
+		return Decision{Action: ActAllow}
+	}
+	st := a.get(id)
+	a.mu.RLock()
+	burst := a.burst
+	a.mu.RUnlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.refillLocked(a.clk.Now(), burst)
+
+	// MsgsPerSec 0 suspends the tenant outright (an operator kill
+	// switch); the other dimensions treat 0 as unenforced.
+	if st.quota.MsgsPerSec == 0 {
+		st.rejectStreak++
+		if st.rejectStreak > disconnectStreak(st.quota) {
+			st.disconnects.Add(1)
+			return Decision{Action: ActDisconnected, RetryAfter: time.Duration(rejectCapSec * float64(time.Second))}
+		}
+		st.throttled.Add(1)
+		return Decision{Action: ActRejected, RetryAfter: time.Second}
+	}
+
+	// Reject rung: debt is already past the delay window. Refused
+	// messages are not charged — debt is capped so recovery time is
+	// bounded by rejectCapSec.
+	if debt := st.debtSecLocked(); debt > delayDebtSec {
+		st.rejectStreak++
+		retry := time.Duration(debt * float64(time.Second))
+		if st.rejectStreak > disconnectStreak(st.quota) {
+			st.disconnects.Add(1)
+			return Decision{Action: ActDisconnected, RetryAfter: retry}
+		}
+		st.throttled.Add(1)
+		return Decision{Action: ActRejected, RetryAfter: retry}
+	}
+	st.rejectStreak = 0
+
+	// Charge the buckets (they may go negative — that's the ladder).
+	st.msgTokens--
+	if st.quota.BytesPerSec > 0 {
+		st.byteTokens -= float64(bytes)
+	}
+	st.clampLocked(burst)
+
+	switch debt := st.debtSecLocked(); {
+	case debt <= 0:
+		st.admitted.Add(1)
+		st.bytesIn.Add(uint64(bytes))
+		return Decision{Action: ActAllow}
+	case debt <= sampleDebtSec:
+		return st.sampleLocked(bytes, sampleKeepN)
+	default:
+		return st.sampleLocked(bytes, delayKeepN)
+	}
+}
+
+// sampleLocked implements the Sample/Delay rungs: admit 1 in keepN,
+// counting the rest as sampled sheds. Callers hold st.mu.
+func (st *state) sampleLocked(bytes int64, keepN uint64) Decision {
+	st.sampleSeq++
+	if st.sampleSeq%keepN == 0 {
+		st.admitted.Add(1)
+		st.bytesIn.Add(uint64(bytes))
+		return Decision{Action: ActAllow}
+	}
+	st.sampled.Add(1)
+	return Decision{Action: ActSampled}
+}
+
+// AdmitConnect gates an MQTT CONNECT. It charges nothing: it only
+// refuses while the tenant is suspended or already deep enough in debt
+// that every publish would be rejected anyway — refusing at the door
+// beats accepting a session whose first packet disconnects it.
+func (a *Admission) AdmitConnect(id ID) bool {
+	if !a.Enabled() || id.IsNone() {
+		return true
+	}
+	st := a.get(id)
+	a.mu.RLock()
+	burst := a.burst
+	a.mu.RUnlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.refillLocked(a.clk.Now(), burst)
+	if st.quota.MsgsPerSec == 0 {
+		st.throttled.Add(1)
+		return false
+	}
+	if st.debtSecLocked() > delayDebtSec {
+		st.throttled.Add(1)
+		return false
+	}
+	return true
+}
+
+// AdmitRequest admits one HTTP request: the rate check plus the inflight
+// bound. On ActAllow the returned release func MUST be called when the
+// request completes; it is nil otherwise.
+func (a *Admission) AdmitRequest(id ID, bytes int64) (Decision, func()) {
+	if !a.Enabled() || id.IsNone() {
+		return Decision{Action: ActAllow}, func() {}
+	}
+	st := a.get(id)
+	if lim := st.quotaInflight(); lim > 0 && st.inflight.Load() >= int64(lim) {
+		st.throttled.Add(1)
+		return Decision{Action: ActRejected, RetryAfter: time.Second}, nil
+	}
+	d := a.Admit(id, bytes)
+	if !d.Allowed() {
+		return d, nil
+	}
+	st.inflight.Add(1)
+	var once sync.Once
+	return d, func() { once.Do(func() { st.inflight.Add(-1) }) }
+}
+
+func (st *state) quotaInflight() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.quota.Inflight
+}
+
+// ReserveSubscription claims one of the tenant's subscription slots,
+// failing when the quota is exhausted. Callers pair it with
+// ReleaseSubscription on teardown.
+func (a *Admission) ReserveSubscription(id ID) error {
+	if !a.Enabled() || id.IsNone() {
+		return nil
+	}
+	st := a.get(id)
+	st.mu.Lock()
+	lim := st.quota.Subscriptions
+	st.mu.Unlock()
+	for {
+		cur := st.subs.Load()
+		if lim > 0 && cur >= int64(lim) {
+			st.throttled.Add(1)
+			return fmt.Errorf("tenant %s: subscription quota %d exhausted", id, lim)
+		}
+		if st.subs.CompareAndSwap(cur, cur+1) {
+			return nil
+		}
+	}
+}
+
+// ReleaseSubscription returns a subscription slot.
+func (a *Admission) ReleaseSubscription(id ID) {
+	if a == nil || id.IsNone() {
+		return
+	}
+	st := a.get(id)
+	for {
+		cur := st.subs.Load()
+		if cur <= 0 {
+			return
+		}
+		if st.subs.CompareAndSwap(cur, cur-1) {
+			return
+		}
+	}
+}
+
+// WebhookDelay implements the Delay rung for outbound notifications: 0
+// while the tenant is inside the delay window, else a deferral
+// proportional to debt, capped at maxWebhookDelay. The webhook pool adds
+// this to a delivery's schedule the way a retry backoff would be.
+func (a *Admission) WebhookDelay(id ID) time.Duration {
+	if !a.Enabled() || id.IsNone() {
+		return 0
+	}
+	st := a.get(id)
+	a.mu.RLock()
+	burst := a.burst
+	a.mu.RUnlock()
+	st.mu.Lock()
+	st.refillLocked(a.clk.Now(), burst)
+	debt := st.debtSecLocked()
+	st.mu.Unlock()
+	if debt <= sampleDebtSec {
+		return 0
+	}
+	d := time.Duration((debt - sampleDebtSec) * float64(time.Second))
+	if d > maxWebhookDelay {
+		d = maxWebhookDelay
+	}
+	return d
+}
+
+// WebhookQueueCap returns the tenant's share of a webhook queue of the
+// given full length, per its WebhookSharePct (0 → the full queue).
+func (a *Admission) WebhookQueueCap(id ID, full int) int {
+	if !a.Enabled() || id.IsNone() {
+		return full
+	}
+	q, _ := a.QuotaFor(id)
+	if q.WebhookSharePct <= 0 || q.WebhookSharePct >= 100 {
+		return full
+	}
+	cap := full * q.WebhookSharePct / 100
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// AddQueueDepth adjusts the tenant's webhook-backlog gauge — the
+// pool's per-tenant enqueue/dequeue accounting. Informational only (the
+// enforced bound is WebhookQueueCap), so toggling enablement mid-flight
+// can only skew the gauge, never an enforcement decision.
+func (a *Admission) AddQueueDepth(id ID, delta int64) {
+	if !a.Enabled() || id.IsNone() {
+		return
+	}
+	a.get(id).queueDepth.Add(delta)
+}
+
+// Status is one tenant's live usage snapshot — the GET /admin/tenants row.
+type Status struct {
+	ID            ID      `json:"id"`
+	Quota         Quota   `json:"quota"`
+	Override      bool    `json:"override"`
+	DebtSec       float64 `json:"debt_sec"`
+	Inflight      int64   `json:"inflight"`
+	Subscriptions int64   `json:"subscriptions"`
+	QueueDepth    int64   `json:"queue_depth"`
+	Admitted      uint64  `json:"admitted"`
+	Sampled       uint64  `json:"sampled"`
+	Throttled     uint64  `json:"throttled"`
+	Disconnects   uint64  `json:"disconnects"`
+	BytesIn       uint64  `json:"bytes_in"`
+}
+
+// Tenants snapshots every tenant the controller has seen (live usage)
+// plus configured-but-idle overrides, sorted by id.
+func (a *Admission) Tenants() []Status {
+	if a == nil {
+		return nil
+	}
+	a.mu.RLock()
+	burst := a.burst
+	seen := make(map[ID]*state, len(a.tenants))
+	for id, st := range a.tenants {
+		seen[id] = st
+	}
+	idle := make([]ID, 0)
+	for id := range a.limits.Overrides {
+		if _, ok := seen[id]; !ok {
+			idle = append(idle, id)
+		}
+	}
+	limits := a.limits
+	a.mu.RUnlock()
+
+	out := make([]Status, 0, len(seen)+len(idle))
+	now := a.clk.Now()
+	for id, st := range seen {
+		st.mu.Lock()
+		st.refillLocked(now, burst)
+		s := Status{
+			ID:       id,
+			Quota:    st.quota,
+			Override: st.override,
+			DebtSec:  st.debtSecLocked(),
+		}
+		st.mu.Unlock()
+		s.Inflight = st.inflight.Load()
+		s.Subscriptions = st.subs.Load()
+		s.QueueDepth = st.queueDepth.Load()
+		s.Admitted = st.admitted.Load()
+		s.Sampled = st.sampled.Load()
+		s.Throttled = st.throttled.Load()
+		s.Disconnects = st.disconnects.Load()
+		s.BytesIn = st.bytesIn.Load()
+		out = append(out, s)
+	}
+	for _, id := range idle {
+		out = append(out, Status{ID: id, Quota: limits.For(id), Override: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

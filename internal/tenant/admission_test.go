@@ -1,0 +1,279 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/swamp-project/swamp/internal/clock"
+)
+
+func simAdmission(t *testing.T, limits Limits) (*Admission, *clock.Sim) {
+	t.Helper()
+	sim := clock.NewSim(time.Unix(1_700_000_000, 0))
+	a := NewAdmission(Config{Enabled: true, Limits: limits, Clock: sim})
+	return a, sim
+}
+
+func TestDisabledAndNoneAdmitEverything(t *testing.T) {
+	var nilA *Admission
+	if d := nilA.Admit("farm-a", 1<<20); !d.Allowed() {
+		t.Fatalf("nil controller refused: %+v", d)
+	}
+	a, _ := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 1}})
+	a.SetEnabled(false)
+	for i := 0; i < 1000; i++ {
+		if d := a.Admit("farm-a", 4096); !d.Allowed() {
+			t.Fatalf("disabled controller refused at %d: %+v", i, d)
+		}
+	}
+	a.SetEnabled(true)
+	for i := 0; i < 1000; i++ {
+		if d := a.Admit(None, 4096); !d.Allowed() {
+			t.Fatalf("None tenant refused at %d: %+v", i, d)
+		}
+	}
+}
+
+// A zero-msgs quota is the operator kill switch: every message is
+// refused (never sampled), CONNECT is refused at the door, and a
+// sustained hammer escalates to disconnect.
+func TestZeroQuotaSuspendsTenant(t *testing.T) {
+	a, _ := simAdmission(t, Limits{
+		Default:   Quota{MsgsPerSec: 100},
+		Overrides: map[ID]Quota{"banned": {MsgsPerSec: 0}},
+	})
+	if a.AdmitConnect("banned") {
+		t.Fatal("suspended tenant's CONNECT was admitted")
+	}
+	sawDisconnect := false
+	for i := 0; i < 100; i++ {
+		d := a.Admit("banned", 10)
+		switch d.Action {
+		case ActRejected:
+		case ActDisconnected:
+			sawDisconnect = true
+		default:
+			t.Fatalf("suspended tenant got %v at message %d", d.Action, i)
+		}
+	}
+	if !sawDisconnect {
+		t.Fatal("sustained hammer on a suspended tenant never escalated to disconnect")
+	}
+	// The healthy tenant is untouched.
+	if d := a.Admit("farm-a", 10); !d.Allowed() {
+		t.Fatalf("healthy tenant refused: %+v", d)
+	}
+	if a.AdmitConnect("farm-a") != true {
+		t.Fatal("healthy tenant's CONNECT refused")
+	}
+}
+
+// Burst-then-idle: a tenant may spend its full burst allowance at once,
+// degrades under sustained overrun, and is fully forgiven after idling
+// long enough for the buckets to refill (debt is capped, so recovery
+// time is bounded).
+func TestBurstThenIdleRefill(t *testing.T) {
+	a, sim := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 10}})
+	a.SetBurst(2 * time.Second) // capacity: 20 messages
+
+	// The full burst is admitted back-to-back.
+	for i := 0; i < 20; i++ {
+		if d := a.Admit("farm-a", 1); !d.Allowed() {
+			t.Fatalf("burst message %d refused: %+v", i, d)
+		}
+	}
+	// Past the burst the ladder engages: keep hammering until rejected.
+	sawShed := false
+	for i := 0; i < 200; i++ {
+		d := a.Admit("farm-a", 1)
+		if d.Action == ActSampled {
+			sawShed = true
+		}
+		if d.Action == ActRejected {
+			if d.RetryAfter <= 0 {
+				t.Fatalf("reject without RetryAfter: %+v", d)
+			}
+			break
+		}
+	}
+	if !sawShed {
+		t.Fatal("ladder skipped the Sample rung")
+	}
+
+	// Idle past the debt cap + burst window: fully forgiven.
+	sim.Advance(rejectCapSec*time.Second + 3*time.Second)
+	for i := 0; i < 20; i++ {
+		if d := a.Admit("farm-a", 1); !d.Allowed() {
+			t.Fatalf("post-idle message %d refused: %+v (refill did not forgive)", i, d)
+		}
+	}
+}
+
+// Shrinking a quota below live usage (the reload path) clamps the
+// tenant's bucket immediately: the very next burst throttles instead of
+// riding the old allowance.
+func TestReloadShrinkBelowUsageClampsImmediately(t *testing.T) {
+	a, _ := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 1000}})
+	a.SetBurst(2 * time.Second)
+	// Establish live usage at the old generous rate.
+	for i := 0; i < 500; i++ {
+		if d := a.Admit("farm-a", 1); !d.Allowed() {
+			t.Fatalf("warm-up message %d refused: %+v", i, d)
+		}
+	}
+	// Reload with a 10/s quota. Remaining tokens must clamp to the new
+	// 20-message capacity — not the ~1500 the old rate would leave.
+	a.SetLimits(Limits{Default: Quota{MsgsPerSec: 10}})
+	allowed := 0
+	for i := 0; i < 200; i++ {
+		if a.Admit("farm-a", 1).Allowed() {
+			allowed++
+		}
+	}
+	// 20 clean admits plus the sampled rungs' 1-in-N draws (≤ ~15 in 180).
+	if allowed > 60 {
+		t.Fatalf("post-shrink burst admitted %d of 200 (clamp did not apply)", allowed)
+	}
+	q, override := a.QuotaFor("farm-a")
+	if q.MsgsPerSec != 10 || override {
+		t.Fatalf("QuotaFor after reload = %+v override=%v", q, override)
+	}
+}
+
+// Isolation under -race: one abusive tenant hammering at many times its
+// quota must not cost a polite tenant a single message.
+func TestFairShareIsolationUnderConcurrency(t *testing.T) {
+	a, sim := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 100}})
+	a.SetBurst(2 * time.Second)
+
+	const politeTenants = 8
+	var wg sync.WaitGroup
+	politeRefused := make([]int, politeTenants)
+	abusiveOutcomes := struct {
+		sync.Mutex
+		refused int
+	}{}
+
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // abusive: full-speed hammer, no pacing
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !a.Admit("abusive", 512).Allowed() {
+				abusiveOutcomes.Lock()
+				abusiveOutcomes.refused++
+				abusiveOutcomes.Unlock()
+			}
+		}
+	}()
+	// Polite tenants: 50 messages per simulated second each — half quota.
+	for p := 0; p < politeTenants; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := ID('a' + byte(p))
+			for round := 0; round < 40; round++ {
+				for i := 0; i < 5; i++ {
+					if !a.Admit(id, 128).Allowed() {
+						politeRefused[p]++
+					}
+				}
+				time.Sleep(time.Millisecond) // yield to the hammer
+			}
+		}(p)
+	}
+	// Drive the sim clock so buckets refill while the goroutines run.
+	for i := 0; i < 40; i++ {
+		time.Sleep(time.Millisecond)
+		sim.Advance(100 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for p, n := range politeRefused {
+		if n != 0 {
+			t.Errorf("polite tenant %d lost %d messages to the abusive neighbour", p, n)
+		}
+	}
+	abusiveOutcomes.Lock()
+	refused := abusiveOutcomes.refused
+	abusiveOutcomes.Unlock()
+	if refused == 0 {
+		t.Error("abusive tenant was never refused")
+	}
+}
+
+func TestInflightBound(t *testing.T) {
+	a, _ := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 1000, Inflight: 2}})
+	d1, rel1 := a.AdmitRequest("farm-a", 10)
+	d2, rel2 := a.AdmitRequest("farm-a", 10)
+	if !d1.Allowed() || !d2.Allowed() {
+		t.Fatalf("first two requests refused: %+v %+v", d1, d2)
+	}
+	if d3, rel3 := a.AdmitRequest("farm-a", 10); d3.Allowed() || rel3 != nil {
+		t.Fatalf("third concurrent request admitted past Inflight=2: %+v", d3)
+	}
+	rel1()
+	rel1() // double release must not free a second slot
+	if d4, rel4 := a.AdmitRequest("farm-a", 10); !d4.Allowed() {
+		t.Fatalf("request after release refused: %+v", d4)
+	} else {
+		rel4()
+	}
+	rel2()
+}
+
+func TestSubscriptionSlots(t *testing.T) {
+	a, _ := simAdmission(t, Limits{Default: Quota{MsgsPerSec: 100, Subscriptions: 2}})
+	if err := a.ReserveSubscription("farm-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReserveSubscription("farm-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReserveSubscription("farm-a"); err == nil {
+		t.Fatal("third subscription admitted past quota 2")
+	}
+	a.ReleaseSubscription("farm-a")
+	if err := a.ReserveSubscription("farm-a"); err != nil {
+		t.Fatalf("slot not returned: %v", err)
+	}
+	// Over-release never goes negative.
+	a.ReleaseSubscription("other")
+	if err := a.ReserveSubscription("other"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebhookShares(t *testing.T) {
+	a, sim := simAdmission(t, Limits{
+		Default:   Quota{MsgsPerSec: 10},
+		Overrides: map[ID]Quota{"half": {MsgsPerSec: 10, WebhookSharePct: 50}},
+	})
+	if got := a.WebhookQueueCap("half", 64); got != 32 {
+		t.Fatalf("WebhookQueueCap(half, 64) = %d, want 32", got)
+	}
+	if got := a.WebhookQueueCap("full", 64); got != 64 {
+		t.Fatalf("WebhookQueueCap(full, 64) = %d, want 64", got)
+	}
+	if d := a.WebhookDelay("half"); d != 0 {
+		t.Fatalf("in-budget tenant delayed %v", d)
+	}
+	// Drive the tenant into the Delay rung and check the deferral.
+	for i := 0; i < 40; i++ {
+		a.Admit("half", 1)
+	}
+	if d := a.WebhookDelay("half"); d <= 0 || d > maxWebhookDelay {
+		t.Fatalf("deep-debt WebhookDelay = %v, want (0, %v]", d, maxWebhookDelay)
+	}
+	sim.Advance(10 * time.Second)
+	if d := a.WebhookDelay("half"); d != 0 {
+		t.Fatalf("post-idle WebhookDelay = %v, want 0", d)
+	}
+}

@@ -1,0 +1,80 @@
+// Package tenant is the platform's multi-tenancy plane: one canonical
+// tenant identity (ID) resolved once at each ingress point (OAuth
+// principal, MQTT credentials, fog sync session) and threaded through the
+// request path, plus the admission controller that enforces per-tenant
+// quotas with a graduated load-shedding ladder (DESIGN.md §11).
+//
+// A tenant is the paper's unit of isolation — one farm/pilot sharing the
+// cloud and fog infrastructure with others. Before this package, tenant
+// identity was smeared across ad-hoc `owner string` fields; ID replaces
+// them with one typed value that marshals exactly like the strings it
+// replaced, so every JSON wire format (subscription bodies, WAL records,
+// cluster DTOs) is unchanged.
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// ID is a canonical tenant identity — the farm / pilot a principal,
+// device, subscription or request acts for. The zero value None means
+// "no tenant": internal platform wiring, infrastructure clients and
+// pre-auth traffic.
+//
+// ID deliberately marshals as a bare JSON string, byte-identical to the
+// `owner string` fields it replaced, so wire formats and WAL segments
+// written before the refactor parse unchanged.
+type ID string
+
+// None is the zero ID: no tenant attributed (internal/platform traffic).
+const None ID = ""
+
+// String returns the raw identity.
+func (id ID) String() string { return string(id) }
+
+// IsNone reports whether the ID is the zero "no tenant" value.
+func (id ID) IsNone() bool { return id == None }
+
+// MarshalJSON encodes the ID as a plain JSON string. This shim pins the
+// wire format: a tenant.ID serializes byte-identically to the ad-hoc
+// owner strings that predate it (see the deprecation note in doc.go).
+func (id ID) MarshalJSON() ([]byte, error) {
+	return json.Marshal(string(id))
+}
+
+// UnmarshalJSON decodes a plain JSON string into the ID.
+func (id *ID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("tenant: id must be a JSON string: %w", err)
+	}
+	*id = ID(s)
+	return nil
+}
+
+// ctxKey is the private context key type for the threaded tenant ID.
+type ctxKey struct{}
+
+// WithID returns a context carrying the tenant identity. Each ingress
+// point (httpapi authorize, MQTT CONNECT, fog sync session) resolves the
+// tenant once and threads it here; downstream layers read it with
+// FromContext instead of re-deriving it from credentials.
+func WithID(ctx context.Context, id ID) context.Context {
+	if id.IsNone() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext returns the tenant identity threaded by WithID, or None.
+func FromContext(ctx context.Context) ID {
+	if ctx == nil {
+		return None
+	}
+	if id, ok := ctx.Value(ctxKey{}).(ID); ok {
+		return id
+	}
+	return None
+}

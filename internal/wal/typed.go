@@ -145,7 +145,7 @@ func NewSubscriptionRecord(v ngsi.SubscriptionView, endpoint string) Subscriptio
 		ConditionAttrs:  v.ConditionAttrs,
 		NotifyAttrs:     v.NotifyAttrs,
 		Throttling:      v.Throttling,
-		Owner:           v.Owner,
+		Owner:           string(v.Owner),
 		Endpoint:        endpoint,
 	}
 }
