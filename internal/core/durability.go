@@ -35,6 +35,11 @@ type DurabilityConfig struct {
 	SyncEveryRecord bool
 	// Metrics receives the wal.* counters; nil allocates one.
 	Metrics *metrics.Registry
+	// Admission, when set, has a subscription slot restored for every
+	// owned subscription recovered during replay (and released again when
+	// a tail delete removes one), so post-restart slot accounting matches
+	// the live subscriptions instead of restarting at zero.
+	Admission *tenant.Admission
 }
 
 // Durability wires one WAL manager under a context broker and a
@@ -51,10 +56,11 @@ type DurabilityConfig struct {
 // Notifications replayed from the tail may redeliver to webhook
 // endpoints: durability is at-least-once at the notification layer.
 type Durability struct {
-	WAL      *wal.Manager
-	Context  *ngsi.Broker
-	Store    *timeseries.Store
-	Webhooks *ngsi.WebhookPool
+	WAL       *wal.Manager
+	Context   *ngsi.Broker
+	Store     *timeseries.Store
+	Webhooks  *ngsi.WebhookPool
+	Admission *tenant.Admission
 	// Recovered reports what the opening recovery replayed.
 	Recovered wal.RecoverStats
 }
@@ -79,7 +85,7 @@ func OpenDurability(cfg DurabilityConfig, ctx *ngsi.Broker, store *timeseries.St
 	if err != nil {
 		return nil, err
 	}
-	d := &Durability{WAL: m, Context: ctx, Store: store, Webhooks: hooks}
+	d := &Durability{WAL: m, Context: ctx, Store: store, Webhooks: hooks, Admission: cfg.Admission}
 	stats, err := m.Recover(d.apply)
 	if err != nil {
 		m.Close()
@@ -146,9 +152,11 @@ func (d *Durability) apply(rec wal.Record) error {
 			return nil // no pool to rebuild delivery workers in
 		}
 		// Replay idempotently: a subscription present in both the
-		// snapshot and the tail replaces itself.
-		if _, err := d.Context.Subscription(sr.ID); err == nil {
+		// snapshot and the tail replaces itself — releasing the slot the
+		// earlier apply restored, so the pairing survives re-puts.
+		if prev, err := d.Context.Subscription(sr.ID); err == nil {
 			_ = d.Context.Unsubscribe(sr.ID)
+			d.Admission.ReleaseSubscription(prev.Owner)
 		}
 		d.Webhooks.Remove(sr.ID)
 		notifier, err := d.Webhooks.Notifier(sr.ID, sr.Endpoint)
@@ -168,12 +176,22 @@ func (d *Durability) apply(rec wal.Record) error {
 		})
 		if err != nil {
 			d.Webhooks.Remove(sr.ID)
+			return err
 		}
-		return err
+		// Restore the recovered subscription's quota slot (bypassing the
+		// quota bound — it was enforced at create time) so a post-restart
+		// delete releases a slot this subscription actually holds.
+		d.Admission.RestoreSubscription(tenant.ID(sr.Owner))
+		return nil
 	case wal.TypeSubscriptionDelete:
 		id, err := wal.DecodeID(rec)
 		if err != nil {
 			return err
+		}
+		// A tail delete removes a subscription an earlier apply restored
+		// a slot for; release it so the pairing holds through replay.
+		if sub, err := d.Context.Subscription(id); err == nil {
+			d.Admission.ReleaseSubscription(sub.Owner)
 		}
 		if err := d.Context.Unsubscribe(id); err != nil && !errors.Is(err, ngsi.ErrNotFound) {
 			return err

@@ -11,6 +11,7 @@ import (
 
 	"github.com/swamp-project/swamp/internal/metrics"
 	"github.com/swamp-project/swamp/internal/ngsi"
+	"github.com/swamp-project/swamp/internal/tenant"
 	"github.com/swamp-project/swamp/internal/timeseries"
 )
 
@@ -374,5 +375,85 @@ func TestPlatformWALRecovery(t *testing.T) {
 	}
 	if n := p2.Store.Len(key); n != 1 {
 		t.Fatalf("recovered %d points for %s, want 1", n, key)
+	}
+}
+
+// WAL-recovered subscriptions must restore their tenant's subscription
+// slots: without pairing, post-restart slot usage restarts at zero
+// while the subscriptions live on, and a later delete would release a
+// slot held by a post-restart subscription of the same tenant.
+func TestDurabilityRestoresSubscriptionSlots(t *testing.T) {
+	dir := t.TempDir()
+	newAdm := func() *tenant.Admission {
+		return tenant.NewAdmission(tenant.Config{
+			Enabled: true,
+			Limits:  tenant.Limits{Default: tenant.Quota{MsgsPerSec: 100, Subscriptions: 2}},
+		})
+	}
+	open := func(adm *tenant.Admission) (*ngsi.Broker, *ngsi.WebhookPool, *Durability) {
+		reg := metrics.NewRegistry()
+		broker := ngsi.NewBroker(ngsi.BrokerConfig{Metrics: reg})
+		store := timeseries.New()
+		pool := ngsi.NewWebhookPool(ngsi.WebhookConfig{Metrics: reg, OnStatus: ngsi.StatusUpdater(broker)})
+		d, err := OpenDurability(DurabilityConfig{
+			Dir: dir, SnapshotInterval: -1, Metrics: reg, Admission: adm,
+		}, broker, store, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			broker.Close()
+			pool.Close()
+			store.Close()
+			_ = d.Close()
+		})
+		return broker, pool, d
+	}
+	subscribe := func(broker *ngsi.Broker, pool *ngsi.WebhookPool, adm *tenant.Admission, id string) {
+		t.Helper()
+		if err := adm.ReserveSubscription("tenant-1"); err != nil {
+			t.Fatal(err)
+		}
+		n, err := pool.Notifier(id, "http://127.0.0.1:1/hook")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := broker.Subscribe(ngsi.Subscription{
+			ID: id, EntityIDPattern: "urn:test:*", Owner: "tenant-1", Notifier: n,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	adm := newAdm()
+	broker, pool, d := open(adm)
+	subscribe(broker, pool, adm, "urn:swamp:subscription:000001")
+	subscribe(broker, pool, adm, "urn:swamp:subscription:000002")
+	broker.Close()
+	pool.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh admission over the same dir: replay must restore both slots,
+	// so the quota of 2 is already exhausted.
+	adm2 := newAdm()
+	broker2, _, _ := open(adm2)
+	if len(broker2.Subscriptions()) != 2 {
+		t.Fatalf("recovered %d subscriptions, want 2", len(broker2.Subscriptions()))
+	}
+	if err := adm2.ReserveSubscription("tenant-1"); err == nil {
+		t.Fatal("recovered subscriptions did not occupy their quota slots")
+	}
+	// Deleting a recovered subscription frees exactly one slot.
+	if err := broker2.Unsubscribe("urn:swamp:subscription:000001"); err != nil {
+		t.Fatal(err)
+	}
+	adm2.ReleaseSubscription("tenant-1")
+	if err := adm2.ReserveSubscription("tenant-1"); err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+	if err := adm2.ReserveSubscription("tenant-1"); err == nil {
+		t.Fatal("slot accounting drifted: quota 2 admitted a third subscription")
 	}
 }

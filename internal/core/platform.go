@@ -222,6 +222,15 @@ type Options struct {
 	// value builds a disabled controller: all wiring is in place but
 	// every Admit answers Allow until tenant.enabled flips it on.
 	Tenant tenant.Config
+	// TrustTenantUsernames honors the "tenant:<id>" MQTT username
+	// override in the broker's tenant resolution. Off by default: the
+	// username is client-supplied and the platform broker runs no
+	// AuthFunc, so trusting it would let any device impersonate another
+	// tenant (draining the victim's quota) or mint fresh tenant IDs for
+	// a new burst allowance per connect. Only multi-tenant harnesses
+	// that control every attached transport (tenantbench-style cluster
+	// fronts) should set it; production resolution stays credential-based.
+	TrustTenantUsernames bool
 }
 
 // DefaultTokenPurgeInterval is the token-store purge cadence when
@@ -441,6 +450,7 @@ func New(opts Options) (*Platform, error) {
 			FsyncInterval:    opts.WALFsyncInterval,
 			SnapshotInterval: opts.SnapshotInterval,
 			Metrics:          p.reg,
+			Admission:        p.Admission,
 		}, p.Context, p.Store, p.Webhooks)
 		if err != nil {
 			p.Close()
@@ -544,11 +554,13 @@ func New(opts Options) (*Platform, error) {
 // brokerTenant resolves an MQTT client to its tenant at CONNECT time:
 // infrastructure clients are internal platform traffic (tenant.None,
 // exempt from admission); every device client belongs to the pilot's
-// tenant. A username of the form "tenant:<id>" overrides the mapping —
-// the hook multi-tenant harnesses (swampd cluster fronts, tenantbench)
-// use to attach foreign tenants to one broker.
+// tenant. A username of the form "tenant:<id>" overrides the mapping
+// only when Options.TrustTenantUsernames is set — the username is
+// client-supplied, so honoring it unconditionally would let any device
+// impersonate (and throttle) another tenant or mint fresh tenant IDs to
+// evade quotas.
 func (p *Platform) brokerTenant(clientID, username string) tenant.ID {
-	if rest, ok := strings.CutPrefix(username, "tenant:"); ok {
+	if rest, ok := strings.CutPrefix(username, "tenant:"); ok && p.Opts.TrustTenantUsernames {
 		return tenant.ID(rest)
 	}
 	switch clientID {

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -349,7 +350,15 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resou
 	if ew, isEnvelope := w.(*envelopeWriter); !isEnvelope || ew.release == nil {
 		bytes := r.ContentLength
 		if bytes < 0 {
+			// Chunked transfer: the body size is unknown until read, so
+			// admit on the message token alone and settle the byte cost
+			// as the handler consumes the body — otherwise a tenant
+			// could evade the bytes/s quota entirely by never sending
+			// Content-Length.
 			bytes = 0
+			if r.Body != nil {
+				r.Body = &chargedBody{ReadCloser: r.Body, adm: s.cfg.Admission, id: prin.Tenant()}
+			}
 		}
 		d, release := s.cfg.Admission.AdmitRequest(prin.Tenant(), bytes)
 		if !d.Allowed() {
@@ -370,6 +379,24 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request, action, resou
 		*r = *r.WithContext(tenant.WithID(r.Context(), prin.Tenant()))
 	}
 	return prin, true
+}
+
+// chargedBody settles a chunked request body's byte cost against the
+// tenant's quota as the handler reads it. Charging per Read (rather
+// than once on completion) means an abandoned oversized upload is still
+// charged for everything consumed.
+type chargedBody struct {
+	io.ReadCloser
+	adm *tenant.Admission
+	id  tenant.ID
+}
+
+func (b *chargedBody) Read(p []byte) (int, error) {
+	n, err := b.ReadCloser.Read(p)
+	if n > 0 {
+		b.adm.ChargeBytes(b.id, int64(n))
+	}
+	return n, err
 }
 
 // writeThrottled answers an over-quota request: 429 through the JSON

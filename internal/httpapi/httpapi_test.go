@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -469,5 +471,58 @@ func TestDurabilityFailureMapsTo503(t *testing.T) {
 	// A genuinely missing entity still answers 404.
 	if resp := f.do(t, "DELETE", "/v2/entities/urn:farm1:nope", tok, nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("missing delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// A chunked request body carries no Content-Length, so admission cannot
+// charge it up front; the counting reader must settle the byte cost as
+// the handler consumes it — otherwise chunked transfer encoding evades
+// the bytes/s quota entirely.
+func TestChunkedBodyChargedAgainstByteQuota(t *testing.T) {
+	adm := tenant.NewAdmission(tenant.Config{
+		Enabled: true,
+		Limits:  tenant.Limits{Default: tenant.Quota{MsgsPerSec: 1000, BytesPerSec: 1024}},
+	})
+	f := newFixtureWith(t, func(c *Config) { c.Admission = adm })
+	tok := f.token(t, "farmer")
+
+	// ~40 KiB of attributes against a 2 KiB burst capacity: far past the
+	// reject rung once the body lands in the byte bucket.
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `"attr%04d":{"type":"Number","value":0.5}`, i)
+	}
+	sb.WriteByte('}')
+	body := []byte(sb.String())
+	// Hiding the reader's concrete type strips ContentLength, so the
+	// client sends Transfer-Encoding: chunked.
+	req, err := http.NewRequest("POST",
+		f.srv.URL+"/v2/entities/urn:farm1:plot9/attrs?type=AgriParcel",
+		struct{ io.Reader }{bytes.NewReader(body)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("chunked update status %d", resp.StatusCode)
+	}
+
+	// The consumed body must have landed in the byte bucket: the tenant
+	// is now deep in debt and its next request is refused.
+	resp = f.do(t, "GET", "/v2/entities/urn:farm1:plot9", tok, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request after oversized chunked upload got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
 	}
 }

@@ -71,6 +71,17 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// DeleteGauge removes the named gauge so it no longer appears in
+// snapshots or the Prometheus exposition. Publishers of dynamically
+// named series (per-tenant gauges) use it to retire series whose
+// subject fell out of the exported set; holders of a stale pointer can
+// still Set it, but the value is unreachable through the registry.
+func (r *Registry) DeleteGauge(name string) {
+	r.mu.Lock()
+	delete(r.gauges, name)
+	r.mu.Unlock()
+}
+
 // Histogram returns the histogram named name, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.RLock()

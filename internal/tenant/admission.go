@@ -32,6 +32,24 @@ const (
 	maxWebhookDelay = time.Second
 )
 
+// Ledger bounds: per-tenant states are created on first sight, so an
+// unbounded ID source (a misconfigured fleet, a harness minting tenants)
+// would otherwise grow the tenants map — and every /admin/tenants and
+// Export snapshot — without limit.
+const (
+	// idleEvictAfter is how long a tenant must go without charging its
+	// buckets (while holding no inflight requests, subscription slots or
+	// queued webhooks) before its state is reclaimable. Long enough that
+	// any capped debt (≤ rejectCapSec) has refilled, so eviction and
+	// recreation both land on the same full-burst ledger.
+	idleEvictAfter = 10 * time.Minute
+	// idleSweepInterval paces the opportunistic idle sweep that runs as
+	// new states are created.
+	idleSweepInterval = time.Minute
+	// defaultMaxTenants bounds the ledger when Config.MaxTenants is 0.
+	defaultMaxTenants = 8192
+)
+
 // Action is an admission decision's disposition.
 type Action uint8
 
@@ -97,6 +115,13 @@ type Config struct {
 	// tenants get named swamp_tenant_* series, the rest aggregate into
 	// "_other". 0 → 8.
 	TopK int
+	// MaxTenants bounds the number of live per-tenant ledger states
+	// (0 → 8192). At the bound, creating a state for an unseen tenant
+	// first reclaims the longest-idle unused states. The bound is soft:
+	// states with live usage (inflight, subscription slots, queued
+	// webhooks) are never reclaimed, so a genuinely busy fleet exceeds
+	// the bound rather than losing enforcement state.
+	MaxTenants int
 }
 
 // Admission is the per-tenant admission controller shared by the three
@@ -112,11 +137,19 @@ type Admission struct {
 	clk     clock.Clock
 	enabled atomic.Bool
 
-	mu      sync.RWMutex
-	limits  Limits
-	burst   time.Duration
-	topK    int
-	tenants map[ID]*state
+	mu         sync.RWMutex
+	limits     Limits
+	burst      time.Duration
+	topK       int
+	maxTenants int
+	lastSweep  time.Time
+	tenants    map[ID]*state
+
+	// expMu guards exported, the metric labels published by the last
+	// Export round; labels that fall out of the set get their series
+	// deleted so stale per-tenant gauges never freeze at old values.
+	expMu    sync.Mutex
+	exported map[string]bool
 }
 
 // state is one tenant's live admission ledger. Token counts may go
@@ -157,12 +190,16 @@ func NewAdmission(cfg Config) *Admission {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 8
 	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = defaultMaxTenants
+	}
 	a := &Admission{
-		clk:     cfg.Clock,
-		limits:  cfg.Limits.clone(),
-		burst:   cfg.Burst,
-		topK:    cfg.TopK,
-		tenants: make(map[ID]*state),
+		clk:        cfg.Clock,
+		limits:     cfg.Limits.clone(),
+		burst:      cfg.Burst,
+		topK:       cfg.TopK,
+		maxTenants: cfg.MaxTenants,
+		tenants:    make(map[ID]*state),
 	}
 	a.enabled.Store(cfg.Enabled)
 	return a
@@ -246,7 +283,10 @@ func (a *Admission) QuotaFor(id ID) (Quota, bool) {
 	return q, over
 }
 
-// get returns the tenant's state, creating it on first sight.
+// get returns the tenant's state, creating it on first sight. The
+// create path bounds the ledger: a paced idle sweep reclaims states
+// that have been fully idle past idleEvictAfter, and at maxTenants the
+// longest-idle unused states are reclaimed immediately.
 func (a *Admission) get(id ID) *state {
 	a.mu.RLock()
 	st := a.tenants[id]
@@ -259,14 +299,61 @@ func (a *Admission) get(id ID) *state {
 	if st := a.tenants[id]; st != nil {
 		return st
 	}
+	now := a.clk.Now()
+	if now.Sub(a.lastSweep) >= idleSweepInterval {
+		a.lastSweep = now
+		a.evictLocked(now, idleEvictAfter)
+	}
+	if len(a.tenants) >= a.maxTenants {
+		a.evictLocked(now, 0)
+	}
 	q := a.limits.For(id)
 	_, over := a.limits.Overrides[id]
-	st = &state{quota: q, override: over, last: a.clk.Now()}
+	st = &state{quota: q, override: over, last: now}
 	// A new tenant starts with a full burst allowance.
 	st.msgTokens = float64(q.MsgsPerSec) * a.burst.Seconds()
 	st.byteTokens = float64(q.BytesPerSec) * a.burst.Seconds()
 	a.tenants[id] = st
 	return st
+}
+
+// evictLocked reclaims unused tenant states, longest-idle first. A
+// state is reclaimable when it holds no live usage — no inflight
+// requests, subscription slots or queued webhooks — and last charged
+// its buckets at least minIdle ago; explicit overrides are kept (their
+// cardinality is bounded by the config). With minIdle 0 (the ledger is
+// at maxTenants) reclamation stops as soon as the map is back under the
+// bound. Reclaiming drops the tenant's cumulative counters and resets
+// its ledger to the full-burst starting state — which, past
+// idleEvictAfter, is exactly what refill would have restored anyway
+// (debt is capped at rejectCapSec seconds). Callers hold a.mu for
+// writing.
+func (a *Admission) evictLocked(now time.Time, minIdle time.Duration) {
+	type cand struct {
+		id   ID
+		last time.Time
+	}
+	var cands []cand
+	for id, st := range a.tenants {
+		if st.inflight.Load() != 0 || st.subs.Load() != 0 || st.queueDepth.Load() != 0 {
+			continue
+		}
+		st.mu.Lock()
+		c := cand{id: id, last: st.last}
+		over := st.override
+		st.mu.Unlock()
+		if over || now.Sub(c.last) < minIdle {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last.Before(cands[j].last) })
+	for _, c := range cands {
+		if minIdle == 0 && len(a.tenants) < a.maxTenants {
+			return
+		}
+		delete(a.tenants, c.id)
+	}
 }
 
 // clampLocked bounds token balances to the (possibly new) burst capacity
@@ -378,6 +465,30 @@ func (a *Admission) Admit(id ID, bytes int64) Decision {
 	}
 }
 
+// ChargeBytes settles payload bytes that were unknown at admission time
+// (a chunked HTTP request body carries no Content-Length). It debits
+// the byte bucket only — the message was already admitted and charged
+// one message token — deepening debt that the tenant's next admission
+// check observes, so oversized chunked uploads cannot evade the
+// bytes/s quota; they just pay for it one request late.
+func (a *Admission) ChargeBytes(id ID, n int64) {
+	if !a.Enabled() || id.IsNone() || n <= 0 {
+		return
+	}
+	st := a.get(id)
+	a.mu.RLock()
+	burst := a.burst
+	a.mu.RUnlock()
+	st.mu.Lock()
+	st.refillLocked(a.clk.Now(), burst)
+	if st.quota.BytesPerSec > 0 {
+		st.byteTokens -= float64(n)
+		st.clampLocked(burst)
+	}
+	st.mu.Unlock()
+	st.bytesIn.Add(uint64(n))
+}
+
 // sampleLocked implements the Sample/Delay rungs: admit 1 in keepN,
 // counting the rest as sampled sheds. Callers hold st.mu.
 func (st *state) sampleLocked(bytes int64, keepN uint64) Decision {
@@ -465,6 +576,20 @@ func (a *Admission) ReserveSubscription(id ID) error {
 			return nil
 		}
 	}
+}
+
+// RestoreSubscription re-claims a subscription slot without enforcing
+// the quota bound — the WAL-replay path. Recovered subscriptions were
+// admitted (and charged a slot) when created, so replay must restore
+// the slot unconditionally to keep reserve/release counts paired: a
+// quota shrunk below the recovered count would otherwise leave live
+// subscriptions uncounted, and a later delete would decrement a slot
+// legitimately held by a post-restart subscription of the same tenant.
+func (a *Admission) RestoreSubscription(id ID) {
+	if !a.Enabled() || id.IsNone() {
+		return
+	}
+	a.get(id).subs.Add(1)
 }
 
 // ReleaseSubscription returns a subscription slot.

@@ -277,3 +277,69 @@ func TestWebhookShares(t *testing.T) {
 		t.Fatalf("post-idle WebhookDelay = %v, want 0", d)
 	}
 }
+
+// The ledger is bounded: at MaxTenants the longest-idle unused states
+// are reclaimed to make room, fully idle states are swept past the idle
+// window, and states with live usage or explicit overrides are never
+// reclaimed — so an unbounded tenant-ID source cannot grow the map (or
+// the /admin/tenants and Export snapshots) without limit.
+func TestLedgerEviction(t *testing.T) {
+	sim := clock.NewSim(time.Unix(1_700_000_000, 0))
+	a := NewAdmission(Config{
+		Enabled: true,
+		Limits: Limits{
+			Default:   Quota{MsgsPerSec: 100, Subscriptions: 4},
+			Overrides: map[ID]Quota{"pinned": {MsgsPerSec: 5}},
+		},
+		Clock:      sim,
+		MaxTenants: 4,
+	})
+	size := func() int {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		return len(a.tenants)
+	}
+	has := func(id ID) bool {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		_, ok := a.tenants[id]
+		return ok
+	}
+
+	for _, id := range []ID{"t1", "t2", "t3", "t4"} {
+		a.Admit(id, 1)
+		sim.Advance(time.Second) // distinct idle ages, oldest first
+	}
+	if err := a.ReserveSubscription("t1"); err != nil {
+		t.Fatal(err)
+	}
+	// At the bound: the next unseen tenant reclaims the longest-idle
+	// unused state (t2 — t1 is older but holds a subscription slot).
+	a.Admit("t5", 1)
+	if size() > 4 {
+		t.Fatalf("ledger grew past MaxTenants: %d states", size())
+	}
+	if has("t2") || !has("t1") {
+		t.Fatalf("cap eviction picked wrong state: t1=%v t2=%v", has("t1"), has("t2"))
+	}
+	// Fully idle past the window: a sweep reclaims everything unused,
+	// keeping the busy tenant and the explicit override.
+	a.Admit("pinned", 1)
+	sim.Advance(idleEvictAfter + time.Minute)
+	a.Admit("t6", 1)
+	if !has("t1") {
+		t.Fatal("idle sweep evicted a tenant holding a subscription slot")
+	}
+	if !has("pinned") {
+		t.Fatal("idle sweep evicted an explicit override")
+	}
+	for _, id := range []ID{"t3", "t4", "t5"} {
+		if has(id) {
+			t.Fatalf("idle state %s survived the sweep", id)
+		}
+	}
+	// The evicted tenant is still enforced on its next sighting.
+	if d := a.Admit("t3", 1); !d.Allowed() {
+		t.Fatalf("recreated tenant refused: %+v", d)
+	}
+}
